@@ -1,0 +1,99 @@
+// Ablation: load-balancing policy under DCP (the R2 claim).
+//
+// DCP is natively compatible with any packet-level LB.  This sweep runs
+// the same WebSearch workload under ECMP (flow-level), flowlet switching
+// (the "compromise" §2.2 mentions), uniform packet spraying and adaptive
+// routing, plus IRN under the two packet-level policies for contrast:
+// IRN's loss recovery misreads the reordering they create.
+
+#include <cstdio>
+
+#include "harness/report.h"
+#include "harness/scheme.h"
+#include "stats/fct_stats.h"
+#include "topo/clos.h"
+#include "workload/flowgen.h"
+
+using namespace dcp;
+
+namespace {
+
+struct Row {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  std::uint64_t retx = 0;
+  std::uint64_t timeouts = 0;
+};
+
+Row run(SchemeKind kind, LbPolicy lb) {
+  Simulator sim;
+  Logger log(LogLevel::kError);
+  Network net(sim, log);
+  SchemeSetup setup = make_scheme(kind);
+  setup.sw.lb = lb;
+  ClosParams clos;
+  clos.spines = 4;
+  clos.leaves = 4;
+  clos.hosts_per_leaf = full_scale() ? 16 : 4;
+  clos.sw = setup.sw;
+  ClosTopology topo = build_clos(net, clos);
+  apply_scheme(net, setup);
+
+  FlowGenParams fg;
+  fg.load = 0.5;
+  fg.num_flows = full_scale() ? 4000 : 400;
+  fg.msg_bytes = 4 * 1024 * 1024;
+  generate_poisson_flows(net, topo.hosts, SizeDist::websearch(), fg);
+  net.run_until_done(seconds(5));
+
+  Row r;
+  FctStats st;
+  for (const FlowRecord& rec : net.records()) {
+    if (!rec.complete()) continue;
+    st.add(rec, net.ideal_fct(rec.spec.src, rec.spec.dst, rec.spec.bytes));
+    r.retx += rec.sender.retransmitted_packets;
+    r.timeouts += rec.sender.timeouts;
+  }
+  r.p50 = st.overall().percentile(50);
+  r.p95 = st.overall().percentile(95);
+  return r;
+}
+
+const char* lb_name(LbPolicy lb) {
+  switch (lb) {
+    case LbPolicy::kEcmp: return "ECMP";
+    case LbPolicy::kFlowlet: return "Flowlet";
+    case LbPolicy::kSpray: return "Spray";
+    case LbPolicy::kAdaptive: return "Adaptive";
+    case LbPolicy::kSourcePath: return "SourcePath";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  banner("Ablation: DCP under every load-balancing policy (WebSearch 0.5)");
+  Table t({"LB policy", "P50", "P95", "Retransmissions", "RTOs"});
+  for (LbPolicy lb :
+       {LbPolicy::kEcmp, LbPolicy::kFlowlet, LbPolicy::kSpray, LbPolicy::kAdaptive}) {
+    const Row r = run(SchemeKind::kDcp, lb);
+    t.add_row({lb_name(lb), Table::num(r.p50, 2), Table::num(r.p95, 2), std::to_string(r.retx),
+               std::to_string(r.timeouts)});
+  }
+  t.print();
+
+  banner("Contrast: IRN under packet-level policies (spurious retransmissions)");
+  Table c({"Scheme+LB", "P50", "P95", "Retransmissions", "RTOs"});
+  for (LbPolicy lb : {LbPolicy::kEcmp, LbPolicy::kSpray, LbPolicy::kAdaptive}) {
+    const Row r = run(SchemeKind::kIrn, lb);
+    c.add_row({std::string("IRN+") + lb_name(lb), Table::num(r.p50, 2), Table::num(r.p95, 2),
+               std::to_string(r.retx), std::to_string(r.timeouts)});
+  }
+  c.print();
+
+  std::printf("\nDCP's retransmission count is loss-only under every policy (R2); IRN\n"
+              "retransmits spuriously as soon as the policy reorders packets, and the\n"
+              "finer the balancing the more it pays.\n");
+  return 0;
+}

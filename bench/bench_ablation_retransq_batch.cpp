@@ -1,0 +1,83 @@
+// Ablation: RetransQ PCIe batch size (paper §4.3, challenge #1).
+//
+// HO-based retransmission must fetch loss entries from host memory.  With
+// batch size 1, every retransmitted packet costs a full PCIe round trip —
+// the paper's back-of-envelope caps recovery throughput around
+// 1KB / 2us = 4 Gbps.  Batching up to 16 entries per fetch amortizes the
+// round trip and restores goodput.  We force 5% trimming on a long flow
+// and sweep the batch size.
+
+#include <cstdio>
+
+#include "harness/report.h"
+#include "harness/scheme.h"
+#include "core/dcp_transport.h"
+#include "topo/testbed.h"
+
+using namespace dcp;
+
+namespace {
+
+struct Result {
+  double goodput_gbps = 0.0;
+  std::uint64_t pcie_fetches = 0;
+  std::uint64_t retx = 0;
+};
+
+Result run(std::uint32_t batch, Time pcie_rtt) {
+  Simulator sim;
+  Logger log(LogLevel::kError);
+  Network net(sim, log);
+  SchemeSetup s = make_scheme(SchemeKind::kDcp);
+  s.tcfg.retrans_batch = batch;
+  s.tcfg.pcie_rtt = pcie_rtt;
+  TestbedParams tb;
+  tb.sw = s.sw;
+  TestbedTopology topo = build_testbed(net, tb);
+  topo.sw1->config().inject_loss_rate = 0.5;  // brutal: half of all data trimmed
+  apply_scheme(net, s);
+
+  FlowSpec spec;
+  spec.src = topo.hosts[0]->id();
+  spec.dst = topo.hosts[8]->id();
+  spec.bytes = full_scale() ? 100ull * 1000 * 1000 : 20ull * 1000 * 1000;
+  spec.msg_bytes = 4 * 1024 * 1024;
+  const FlowId id = net.start_flow(spec);
+  net.run_until_done(seconds(2));
+
+  Result r;
+  const FlowRecord& rec = net.record(id);
+  if (rec.complete()) {
+    r.goodput_gbps = static_cast<double>(rec.spec.bytes) * 8.0 /
+                     (static_cast<double>(rec.fct()) / kSecond) / 1e9;
+  }
+  auto* snd = dynamic_cast<DcpSender*>(net.host(spec.src)->sender(id));
+  if (snd != nullptr) {
+    r.pcie_fetches = snd->dcp_stats().pcie_fetches;
+    r.retx = snd->dcp_stats().ho_triggered_retx;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  banner("Ablation: RetransQ PCIe batch size (long flow, 50% forced trimming)");
+
+  Table t({"Batch", "Goodput (Gbps)", "PCIe fetches", "HO retransmissions",
+           "Retx per fetch"});
+  for (std::uint32_t b : {1u, 2u, 4u, 8u, 16u, 64u}) {
+    const Result r = run(b, microseconds(2));
+    t.add_row({std::to_string(b), Table::num(r.goodput_gbps, 2), std::to_string(r.pcie_fetches),
+               std::to_string(r.retx),
+               r.pcie_fetches > 0
+                   ? Table::num(static_cast<double>(r.retx) / static_cast<double>(r.pcie_fetches), 1)
+                   : "-"});
+  }
+  t.print();
+
+  std::printf("\nSmall batches pay one 2-us PCIe round trip per retransmitted packet and\n"
+              "goodput under loss drops accordingly; the paper's batch of 16 (= the\n"
+              "16 KB round quota) amortizes the fetch latency away.\n");
+  return 0;
+}

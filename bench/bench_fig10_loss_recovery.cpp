@@ -1,0 +1,38 @@
+// Fig. 10: loss recovery efficiency — goodput of a long-running cross-
+// switch flow while switch 1 force-drops (CX5) or force-trims (DCP) data
+// packets at rates from 0.01% to 5%.
+
+#include <cstdio>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+using namespace dcp;
+
+int main() {
+  banner("Fig 10: goodput vs forced loss rate (testbed, long flow)");
+
+  const double rates[] = {0.0, 0.0001, 0.001, 0.005, 0.01, 0.02, 0.05};
+  Table t({"Loss rate", "CX5 (Gbps)", "DCP (Gbps)", "DCP/CX5"});
+  for (double rate : rates) {
+    LongFlowParams p;
+    p.flow_bytes = full_scale() ? 100ull * 1000 * 1000 : 20ull * 1000 * 1000;
+    p.loss_rate = rate;
+    p.max_time = milliseconds(full_scale() ? 500 : 100);
+
+    p.scheme = SchemeKind::kCx5;
+    const double cx5 = run_long_flow(p).goodput_gbps;
+    p.scheme = SchemeKind::kDcp;
+    const double dcp = run_long_flow(p).goodput_gbps;
+
+    char lbl[32];
+    std::snprintf(lbl, sizeof(lbl), "%.2f%%", rate * 100);
+    t.add_row({lbl, Table::num(cx5, 2), Table::num(dcp, 2),
+               cx5 > 0 ? Table::num(dcp / cx5, 1) + "x" : "-"});
+  }
+  t.print();
+
+  std::printf("\nPaper shape: DCP holds near line rate across the sweep; CX5 (GBN)\n"
+              "collapses as loss grows — 1.6x at 0.01%% up to ~72x at 5%%.\n");
+  return 0;
+}

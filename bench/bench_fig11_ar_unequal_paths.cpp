@@ -1,0 +1,35 @@
+// Fig. 11: adapting to unequal paths — two cross-switch flows over two
+// cross links whose capacities are set to 1:1, 1:4 and 1:10.  DCP rides
+// in-network adaptive routing; CX5 hashes each flow onto one path (ECMP)
+// and starves when it lands on the thin one.
+
+#include <cstdio>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+using namespace dcp;
+
+int main() {
+  banner("Fig 11: average goodput over unequal parallel paths");
+
+  Table t({"Capacity ratio", "CX5 (Gbps)", "DCP (Gbps)"});
+  const int trials = 6;  // average over ECMP hash draws
+  for (double ratio : {1.0, 4.0, 10.0}) {
+    const std::uint64_t bytes = full_scale() ? 40ull * 1000 * 1000 : 10ull * 1000 * 1000;
+    double cx5 = 0, dcp = 0;
+    for (int s = 0; s < trials; ++s) {
+      const auto base = static_cast<std::uint16_t>(10000 + 101 * s);
+      cx5 += run_unequal_paths(SchemeKind::kCx5, ratio, bytes, {}, base).avg_goodput_gbps;
+      dcp += run_unequal_paths(SchemeKind::kDcp, ratio, bytes, {}, base).avg_goodput_gbps;
+    }
+    char lbl[16];
+    std::snprintf(lbl, sizeof(lbl), "1:%g", ratio);
+    t.add_row({lbl, Table::num(cx5 / trials, 2), Table::num(dcp / trials, 2)});
+  }
+  t.print();
+
+  std::printf("\nPaper shape: DCP's goodput stays stable across all ratios (packet-level\n"
+              "AR fills both paths); CX5's average drops sharply as the paths diverge.\n");
+  return 0;
+}

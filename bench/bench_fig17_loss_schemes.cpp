@@ -1,0 +1,39 @@
+// Fig. 17: loss recovery efficiency of DCP, RACK-TLP, IRN and the
+// timeout-only scheme — goodput of a long-running flow under forced loss
+// rates from 0 to 5% with ECMP.
+
+#include <cstdio>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+using namespace dcp;
+
+int main() {
+  banner("Fig 17: goodput vs loss rate — DCP / RACK-TLP / IRN / Timeout");
+
+  const double rates[] = {0.0, 0.0001, 0.001, 0.005, 0.01, 0.02, 0.05};
+  Table t({"Loss rate", "DCP", "RACK-TLP", "IRN", "Timeout"});
+  for (double rate : rates) {
+    std::vector<std::string> row;
+    char lbl[32];
+    std::snprintf(lbl, sizeof(lbl), "%.2f%%", rate * 100);
+    row.push_back(lbl);
+    for (SchemeKind k :
+         {SchemeKind::kDcp, SchemeKind::kRackTlp, SchemeKind::kIrn, SchemeKind::kTimeout}) {
+      LongFlowParams p;
+      p.scheme = k;
+      p.loss_rate = rate;
+      p.flow_bytes = full_scale() ? 100ull * 1000 * 1000 : 20ull * 1000 * 1000;
+      p.max_time = milliseconds(full_scale() ? 500 : 100);
+      row.push_back(Table::num(run_long_flow(p).goodput_gbps, 2));
+    }
+    t.add_row(row);
+  }
+  t.print();
+
+  std::printf("\nPaper shape: DCP stays near line rate; RACK-TLP trails it (retransmission\n"
+              "delayed one RTT); IRN degrades with re-lost retransmissions; the pure\n"
+              "timeout scheme collapses fastest.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Fig. 2: retransmission timeouts under WebSearch (0.3) background plus
+// N-to-1 incast (0.1), for IRN+ECMP, IRN+AR and DCP.  IRN needs RTOs for
+// tail and re-lost packets; DCP recovers everything through header-only
+// notifications.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+using namespace dcp;
+
+namespace {
+
+WebSearchResult run_one(SchemeKind k) {
+  WebSearchParams p;
+  p.scheme = k;
+  p.load = 0.3;
+  p.with_incast = true;
+  if (full_scale()) {
+    p.clos.spines = 16;
+    p.clos.leaves = 16;
+    p.clos.hosts_per_leaf = 16;
+    p.num_flows = 8000;
+    p.incast.fan_in = 128;
+    p.incast.bursts = 15;
+  } else {
+    p.clos.spines = 4;
+    p.clos.leaves = 4;
+    p.clos.hosts_per_leaf = 4;
+    p.num_flows = 500;
+    p.incast.fan_in = 12;
+    p.incast.bursts = 10;
+  }
+  p.incast.load = 0.1;
+  // Deep enough bursts to overflow the 1 MB egress queue even at the
+  // reduced fan-in (the paper's 128-to-1 overflows it trivially).
+  // Reduced scale needs deeper per-sender bursts to overflow the 1 MB
+  // queue; at paper scale 128 senders x 64 KB already do (and 256 KB x 128
+  // would exhaust the whole shared buffer, which the paper's setup avoids).
+  p.incast.bytes_per_sender = full_scale() ? 64 * 1024 : 256 * 1024;
+  p.max_time = seconds(5);
+  return run_websearch(p);
+}
+
+std::uint64_t max_of(const std::vector<std::uint64_t>& v) {
+  return v.empty() ? 0 : *std::max_element(v.begin(), v.end());
+}
+
+}  // namespace
+
+int main() {
+  banner("Fig 2: RTO counts, WebSearch 0.3 + incast 0.1");
+
+  const WebSearchResult irn_ecmp = run_one(SchemeKind::kIrnEcmp);
+  const WebSearchResult irn_ar = run_one(SchemeKind::kIrn);
+  const WebSearchResult dcp = run_one(SchemeKind::kDcp);
+
+  Table t({"Metric", "IRN-ECMP", "IRN-AR", "DCP"});
+  auto row = [&](const char* label, auto getter) {
+    t.add_row({label, std::to_string(getter(irn_ecmp)), std::to_string(getter(irn_ar)),
+               std::to_string(getter(dcp))});
+  };
+  row("background timeouts (total)",
+      [](const WebSearchResult& r) { return r.timeouts_background; });
+  row("background timeouts (max/flow)",
+      [](const WebSearchResult& r) { return max_of(r.timeouts_per_flow_bg); });
+  row("incast timeouts (total)", [](const WebSearchResult& r) { return r.timeouts_incast; });
+  row("incast timeouts (max/flow)",
+      [](const WebSearchResult& r) { return max_of(r.timeouts_per_flow_incast); });
+  t.print();
+
+  std::printf("\nPaper shape: IRN suffers RTOs in both background and incast flows (more\n"
+              "with AR, whose spurious retransmissions add load); DCP has none.\n");
+  return 0;
+}

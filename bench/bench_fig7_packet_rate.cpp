@@ -1,0 +1,25 @@
+// Fig. 7: theoretical packet rate (Mpps) vs. out-of-order degree at a
+// 300 MHz pipeline clock, measured by exercising the three tracking
+// structures and counting their sequential access steps.
+
+#include <cstdio>
+
+#include "analysis/packet_rate_model.h"
+#include "harness/report.h"
+
+int main() {
+  using namespace dcp;
+  banner("Fig 7: theoretical packet rate vs OOO degree (300 MHz clock)");
+
+  Table t({"OOO degree", "BDP-sized (Mpps)", "Linked chunk (Mpps)", "DCP (Mpps)"});
+  for (const PacketRatePoint& p : packet_rate_sweep(448, 64, 300.0)) {
+    t.add_row({std::to_string(p.ooo_degree), Table::num(p.bdp_bitmap_mpps, 1),
+               Table::num(p.linked_chunk_mpps, 1), Table::num(p.dcp_mpps, 1)});
+  }
+  t.print();
+
+  std::printf("\n50 Mpps sustains 400 Gbps at 1 KB MTU.  Paper shape: BDP-sized and DCP\n"
+              "are flat (constant steps); the linked chunk degrades as the OOO degree\n"
+              "grows (one pointer chase per 128-packet chunk) and falls below line rate.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Microbenchmarks (google-benchmark) of the hot datapath structures: the
+// three packet trackers, the retransmission queue, the event queue, and
+// DWRR selection.  These quantify the software cost behind Fig. 7 /
+// Table 3 on the host CPU (the simulator substrate's own speed).
+
+#include <benchmark/benchmark.h>
+
+#include "core/retransq.h"
+#include "core/tracking.h"
+#include "sim/event_queue.h"
+#include "switch/scheduler.h"
+
+namespace {
+
+using namespace dcp;
+
+void BM_BdpBitmapTracker(benchmark::State& state) {
+  BdpBitmapTracker t(4096);
+  std::uint32_t psn = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.on_packet(psn % 4096));
+    ++psn;
+  }
+}
+BENCHMARK(BM_BdpBitmapTracker);
+
+void BM_LinkedChunkTracker(benchmark::State& state) {
+  const auto degree = static_cast<std::uint32_t>(state.range(0));
+  LinkedChunkTracker t(1 << 20);
+  std::uint32_t head = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.on_packet(head + degree));
+    ++head;
+    t.advance_head(head);
+  }
+  state.SetLabel("ooo_degree=" + std::to_string(degree));
+}
+BENCHMARK(BM_LinkedChunkTracker)->Arg(0)->Arg(128)->Arg(448);
+
+void BM_MessageCounterTracker(benchmark::State& state) {
+  MessageCounterTracker t(std::vector<std::uint32_t>(1u << 16, 1u << 14), 8);
+  std::uint32_t psn = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.on_packet(psn % (1u << 14)));
+    ++psn;
+  }
+}
+BENCHMARK(BM_MessageCounterTracker);
+
+void BM_RetransQPushFetchPop(benchmark::State& state) {
+  RetransQ q;
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    q.push({0, i++});
+    if (q.len() >= 16) {
+      q.fetch_to_staging(16);
+      while (!q.staging_empty()) benchmark::DoNotOptimize(q.pop_staged());
+    }
+  }
+}
+BENCHMARK(BM_RetransQPushFetchPop);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  EventQueue q;
+  Time now = 0;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    q.push(++t, [] {});
+    if (q.size() >= 1024) q.pop_and_run(now);
+  }
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_DwrrSelect(benchmark::State& state) {
+  DwrrPolicy policy({1.0, 4.0});
+  std::vector<FifoQueue> queues(kNumQueueClasses);
+  Packet p;
+  p.wire_bytes = 1000;
+  for (int i = 0; i < 64; ++i) {
+    queues[0].push(p);
+    queues[1].push(p);
+  }
+  std::array<bool, kNumQueueClasses> paused{};
+  for (auto _ : state) {
+    const int c = policy.select(queues, paused);
+    benchmark::DoNotOptimize(c);
+    policy.charge(c, 1000);
+    Packet popped = queues[static_cast<std::size_t>(c)].pop();
+    queues[static_cast<std::size_t>(c)].push(popped);
+  }
+}
+BENCHMARK(BM_DwrrSelect);
+
+}  // namespace
+
+BENCHMARK_MAIN();

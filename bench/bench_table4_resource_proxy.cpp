@@ -1,0 +1,34 @@
+// Table 4 (substituted): the paper reports FPGA LUT/register/BRAM usage of
+// the RNIC-GBN vs DCP-RNIC prototypes (DCP costs only ~1.7%/1.1% more).
+// Software cannot synthesize LUT counts, so — per the substitution note in
+// DESIGN.md — we report the software analogue measured from this
+// repository's implementations: per-QP connection-state bytes, the
+// loss-tracking structure footprint at BDP, and hot-path steps per packet.
+// The claim preserved is the *ratio*: DCP adds marginal overhead over GBN,
+// unlike timestamp- or bitmap-based schemes.
+
+#include <cstdio>
+
+#include "analysis/resource_proxy.h"
+#include "harness/report.h"
+
+int main() {
+  using namespace dcp;
+  banner("Table 4 (software proxy): per-QP resource usage of the transports");
+
+  const std::uint32_t bdp_pkts = 500;  // 400G x 10us / 1KB
+  Table t({"Scheme", "Sender state", "Receiver state", "Loss-tracking @BDP",
+           "Rx steps/packet"});
+  for (const ResourceRow& r : resource_proxy_rows(bdp_pkts)) {
+    t.add_row({r.scheme, Table::bytes_human(r.sender_state_bytes),
+               Table::bytes_human(r.receiver_state_bytes), Table::bytes_human(r.tracking_bytes),
+               Table::num(r.rx_steps_per_packet, 1)});
+  }
+  t.print();
+
+  std::printf("\nPaper reference (FPGA): DCP-RNIC uses +1.7%% LUTs, +0.4%% registers,\n"
+              "+1.1%% BRAM over RNIC-GBN.  Above, DCP's extra tracking state is tens of\n"
+              "bytes per QP (counters + QPC fields) versus KBs for bitmap/timestamp\n"
+              "schemes — the same marginal-overhead conclusion.\n");
+  return 0;
+}

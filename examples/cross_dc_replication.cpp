@@ -1,0 +1,104 @@
+// Cross-datacenter replication example: four storage-style bulk transfers
+// contend for one long-haul fiber (1 km to 1000 km, 4:1 oversubscribed).
+//
+// At distance, reliability style decides everything:
+//   * lossy GBN drops at the congested haul and goes back N — with a long
+//     RTT every loss costs a full pipe drain;
+//   * GBN+PFC needs headroom proportional to the distance (Table 1); at
+//     100-1000 km a 32 MB buffer cannot provide it, PFC's guarantee breaks
+//     and GBN pays the same price;
+//   * DCP turns every congestion drop into a header-only notification and
+//     retransmits exactly the missing packets — on the same 32 MB buffer.
+//
+// Build & run:  ./example_cross_dc_replication
+
+#include <cstdio>
+#include <vector>
+
+#include "harness/scheme.h"
+#include "topo/clos.h"
+#include "topo/testbed.h"
+
+using namespace dcp;
+
+namespace {
+
+/// Aggregate goodput of the four transfers (total bytes / last completion).
+double run_replication(SchemeKind kind, Time link_delay) {
+  Simulator sim;
+  Logger log(LogLevel::kError);
+  Network net(sim, log);
+
+  SchemeSetup scheme = make_scheme(kind);
+  // Windows/timers must scale with the long-haul RTT; DCP messages use the
+  // largest size a 14-bit packet counter supports (16 MB) so 8 outstanding
+  // messages cover the haul's BDP.
+  const Time rtt = 2 * (2 * microseconds(1) + link_delay);
+  scheme.tcfg.cc.window_bytes = bdp_bytes(Bandwidth::gbps(100), rtt);
+  scheme.tcfg.rto_high = 2 * rtt + microseconds(320);
+  scheme.tcfg.rto_low = rtt + microseconds(100);
+  scheme.tcfg.dcp_msg_timeout = 2 * rtt + milliseconds(1);
+
+  TestbedParams tb;
+  tb.sw = scheme.sw;
+  tb.cross_links = {Bandwidth::gbps(400)};  // one fat long-haul fiber
+  tb.cross_link_delay = link_delay;
+  if (kind == SchemeKind::kPfc) {
+    // PFC thresholds must reserve headroom for the in-flight bytes of the
+    // long-haul port — with 32 MB this becomes impossible at distance.
+    std::vector<std::pair<Bandwidth, Time>> ports(9, {Bandwidth::gbps(100), microseconds(1)});
+    ports.emplace_back(Bandwidth::gbps(400), link_delay);
+    tb.sw.pfc = derive_pfc_thresholds(tb.sw.buffer_bytes, ports);
+    tb.sw.pfc.enabled = true;
+  }
+  TestbedTopology topo = build_testbed(net, tb);
+  apply_scheme(net, scheme);
+
+  // 4-to-1 incast *across* the haul: the congested queue sits behind the
+  // long link, so PFC's PAUSE must cross it — the in-flight bytes it cannot
+  // stop are exactly the headroom Table 1 says the buffer must reserve.
+  constexpr int kFlows = 4;
+  const std::uint64_t kBytes = 25ull * 1000 * 1000;  // 25 MB each
+  std::vector<FlowId> ids;
+  for (int i = 0; i < kFlows; ++i) {
+    FlowSpec spec;
+    spec.src = topo.hosts[static_cast<std::size_t>(i)]->id();
+    spec.dst = topo.hosts[8]->id();
+    spec.bytes = kBytes;
+    spec.msg_bytes = 16 * 1024 * 1024;
+    ids.push_back(net.start_flow(spec));
+  }
+  net.run_until_done(seconds(120));
+
+  Time last = 0;
+  for (FlowId id : ids) {
+    const FlowRecord& rec = net.record(id);
+    if (!rec.complete()) return 0.0;  // did not finish in the budget
+    last = std::max(last, rec.tx_done);
+  }
+  return static_cast<double>(kFlows * kBytes) * 8.0 / (static_cast<double>(last) / kSecond) /
+         1e9;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("4 x 25 MB replication batches incast across one 400G long-haul fiber,\n"
+              "32 MB switch buffers, aggregate goodput in Gbps (0 = stalled):\n\n");
+  std::printf("%10s %12s %12s %12s\n", "distance", "DCP", "GBN lossy", "GBN+PFC");
+  struct Hop {
+    const char* label;
+    Time delay;
+  };
+  // 5 us/km of fiber.
+  for (const Hop h : {Hop{"1 km", microseconds(5)}, Hop{"10 km", microseconds(50)},
+                      Hop{"100 km", microseconds(500)}, Hop{"1000 km", milliseconds(5)}}) {
+    const double dcp = run_replication(SchemeKind::kDcp, h.delay);
+    const double gbn = run_replication(SchemeKind::kCx5, h.delay);
+    const double pfc = run_replication(SchemeKind::kPfc, h.delay);
+    std::printf("%10s %12.1f %12.1f %12.1f\n", h.label, dcp, gbn, pfc);
+  }
+  std::printf("\nDCP sustains the haul on commodity buffers at every distance; the\n"
+              "paper's 10 km testbed experiment (~85 Gbps) corresponds to row two.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Incast storm example: 16 senders dump bursts into a single receiver
+// through one DCP switch with a deliberately shallow trim threshold —
+// the worst case for a lossy fabric.  Shows the lossless control plane at
+// work: data packets are trimmed, header-only notifications bounce back,
+// every byte is retransmitted precisely, and (with the WRR weight chosen
+// by the paper's formula) not a single HO packet is lost.  Contrast with
+// IRN, which needs retransmission timeouts for the same storm.
+//
+// Build & run:  ./example_incast_storm
+
+#include <cstdio>
+
+#include "harness/scheme.h"
+#include "switch/scheduler.h"
+#include "topo/dumbbell.h"
+
+using namespace dcp;
+
+namespace {
+
+struct StormResult {
+  bool all_done = false;
+  double worst_fct_ms = 0.0;
+  std::uint64_t timeouts = 0;
+  Switch::Stats sw;
+};
+
+StormResult run_storm(SchemeKind kind) {
+  Simulator sim;
+  Logger log(LogLevel::kError);
+  Network net(sim, log);
+
+  constexpr int kFanIn = 16;
+  SchemeSetup scheme = make_scheme(kind);
+  if (kind == SchemeKind::kDcp) {
+    // Shallow data queue (64 KB) to force heavy trimming; WRR weight from
+    // w = (N-1)/(r-N+1) with r = 1073/57 (data vs header-only wire size).
+    scheme.sw.trim_threshold_bytes = 64 * 1024;
+    scheme.sw.control_weight = wrr_control_weight(kFanIn + 1, 1073.0 / 57.0, 4.0);
+  } else {
+    scheme.sw.max_data_queue_bytes = 64 * 1024;  // same shallow buffer
+  }
+  Star star = build_star(net, kFanIn + 1, scheme.sw);
+  apply_scheme(net, scheme);
+
+  for (int i = 0; i < kFanIn; ++i) {
+    FlowSpec spec;
+    spec.src = star.hosts[static_cast<std::size_t>(i)]->id();
+    spec.dst = star.hosts[kFanIn]->id();
+    spec.bytes = 1024 * 1024;
+    spec.msg_bytes = 256 * 1024;
+    net.start_flow(spec);
+  }
+  net.run_until_done(seconds(10));
+
+  StormResult r;
+  r.all_done = net.all_flows_done();
+  for (const FlowRecord& rec : net.records()) {
+    if (rec.complete()) r.worst_fct_ms = std::max(r.worst_fct_ms, to_ms(rec.fct()));
+    r.timeouts += rec.sender.timeouts;
+  }
+  r.sw = net.total_switch_stats();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("16-to-1 incast, 1 MB per sender, 64 KB switch queues\n\n");
+
+  const StormResult dcp = run_storm(SchemeKind::kDcp);
+  std::printf("DCP  : all flows done=%s  worst FCT=%.2f ms  RTOs=%llu\n",
+              dcp.all_done ? "yes" : "NO", dcp.worst_fct_ms,
+              static_cast<unsigned long long>(dcp.timeouts));
+  std::printf("       trimmed=%llu data packets -> %llu HO notifications, HO lost=%llu\n",
+              static_cast<unsigned long long>(dcp.sw.trimmed),
+              static_cast<unsigned long long>(dcp.sw.ho_seen),
+              static_cast<unsigned long long>(dcp.sw.dropped_ho));
+
+  const StormResult irn = run_storm(SchemeKind::kIrn);
+  std::printf("\nIRN  : all flows done=%s  worst FCT=%.2f ms  RTOs=%llu\n",
+              irn.all_done ? "yes" : "NO", irn.worst_fct_ms,
+              static_cast<unsigned long long>(irn.timeouts));
+  std::printf("       dropped=%llu data packets (recovered by SACK/RTO)\n",
+              static_cast<unsigned long long>(irn.sw.dropped_data));
+
+  std::printf("\nThe lossless control plane converts every congestion drop into a\n"
+              "header-only notification; DCP needs no RTO even in this storm.\n");
+  return 0;
+}

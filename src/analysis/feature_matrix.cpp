@@ -1,0 +1,17 @@
+#include "analysis/feature_matrix.h"
+
+namespace dcp {
+
+std::vector<SchemeFeatures> feature_matrix() {
+  return {
+      {"RNIC-GBN", false, false, false, true},
+      {"RNIC-SR (IRN)", true, false, false, true},
+      {"MPTCP", true, true, false, false},
+      {"NDP", true, true, true, false},
+      {"CP", true, true, true, false},
+      {"MP-RDMA", false, true, false, true},
+      {"DCP", true, true, true, true},
+  };
+}
+
+}  // namespace dcp

@@ -1,0 +1,20 @@
+#pragma once
+// Table 2: which schemes meet requirements R1-R4.  Encoded as data derived
+// from the properties of the implementations in this repository.
+
+#include <string>
+#include <vector>
+
+namespace dcp {
+
+struct SchemeFeatures {
+  std::string name;
+  bool r1_no_pfc;          // efficient without PFC
+  bool r2_packet_level_lb; // compatible with packet-level load balancing
+  bool r3_fast_retx_any;   // fast retransmission for any lost packet
+  bool r4_hw_friendly;     // offloadable with low memory/compute
+};
+
+std::vector<SchemeFeatures> feature_matrix();
+
+}  // namespace dcp

@@ -1,0 +1,27 @@
+#include "analysis/lossless_distance.h"
+
+namespace dcp {
+
+std::vector<AsicSpec> commodity_asics() {
+  return {
+      {"Tomahawk 3", 32, 400, 64},  {"Tomahawk 5", 64, 800, 165},
+      {"Tofino 1", 32, 100, 20},    {"Tofino 2", 32, 400, 64},
+      {"Spectrum", 32, 100, 16},    {"Spectrum-4", 64, 800, 160},
+  };
+}
+
+double buffer_per_port_per_100g_mb(const AsicSpec& a) {
+  const double total_100g_units = a.ports * a.gbps_per_port / 100.0;
+  return a.buffer_mb / total_100g_units;
+}
+
+double max_lossless_km(const AsicSpec& a, int queues) {
+  // L = buffer / (bandwidth * one_hop_delay_per_km * 2); per 100 Gbps unit:
+  // bytes available = per-port-per-100G buffer / queues; drain = 12.5 GB/s;
+  // delay = 5 us/km.
+  const double bytes = buffer_per_port_per_100g_mb(a) * 1024 * 1024 / queues;
+  const double bytes_per_km = 12.5e9 /* B/s at 100G */ * 5e-6 /* s/km */ * 2.0;
+  return bytes / bytes_per_km;
+}
+
+}  // namespace dcp

@@ -1,0 +1,29 @@
+#pragma once
+// Table 1: maximum lossless communication distance with PFC enabled, for
+// commodity switching ASICs:  L = buffer / (bandwidth × one-hop-delay × 2)
+// with one-hop delay 5 us per km of fiber (2×10^8 m/s).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcp {
+
+struct AsicSpec {
+  std::string name;
+  int ports;
+  double gbps_per_port;
+  double buffer_mb;
+};
+
+/// The six ASICs of Table 1.
+std::vector<AsicSpec> commodity_asics();
+
+/// Buffer available per port per 100 Gbps (MB).
+double buffer_per_port_per_100g_mb(const AsicSpec& a);
+
+/// Max lossless distance in km when the per-port buffer is split across
+/// `queues` lossless queues.
+double max_lossless_km(const AsicSpec& a, int queues);
+
+}  // namespace dcp

@@ -1,0 +1,35 @@
+#pragma once
+// Table 3: receiver-side packet-tracking memory for the three schemes, in
+// the paper's typical intra-DC setting (400 Gbps, 10 us RTT, 1 KB MTU).
+
+#include <cstdint>
+
+namespace dcp {
+
+struct TrackingMemoryRow {
+  const char* scheme;
+  std::uint64_t per_qp_bytes_min;
+  std::uint64_t per_qp_bytes_max;
+  std::uint64_t total_10k_qps_min;
+  std::uint64_t total_10k_qps_max;
+};
+
+struct TrackingMemoryInputs {
+  double gbps = 400.0;
+  double rtt_us = 10.0;
+  std::uint32_t mtu_bytes = 1000;
+  std::uint32_t bitmaps_per_qp = 5;  // RNIC designs keep several BDP bitmaps
+  std::uint32_t outstanding_msgs = 8;
+  std::uint32_t qps = 10'000;
+};
+
+std::uint32_t bdp_packets(const TrackingMemoryInputs& in);
+
+/// Rows: BDP-sized, Linked chunk, DCP — min/max per QP and fleet totals.
+/// Computed from the same structures the simulator uses, instantiated at
+/// the BDP geometry.
+TrackingMemoryRow bdp_bitmap_row(const TrackingMemoryInputs& in);
+TrackingMemoryRow linked_chunk_row(const TrackingMemoryInputs& in);
+TrackingMemoryRow dcp_row(const TrackingMemoryInputs& in);
+
+}  // namespace dcp

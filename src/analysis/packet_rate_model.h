@@ -1,0 +1,23 @@
+#pragma once
+// Fig. 7: theoretical packet rate (Mpps) vs. out-of-order degree, measured
+// by exercising the real tracking structures with a synthetic OOO arrival
+// pattern and averaging their reported step counts.
+
+#include <cstdint>
+#include <vector>
+
+namespace dcp {
+
+struct PacketRatePoint {
+  int ooo_degree;
+  double bdp_bitmap_mpps;
+  double linked_chunk_mpps;
+  double dcp_mpps;
+};
+
+/// Sweeps OOO degrees (0..max_degree, stride) at the given pipeline clock.
+/// The OOO pattern delivers packets `degree` PSNs ahead of the window head,
+/// which forces the linked-chunk walk the paper analyzes.
+std::vector<PacketRatePoint> packet_rate_sweep(int max_degree, int stride, double clock_mhz);
+
+}  // namespace dcp

@@ -1,0 +1,26 @@
+#pragma once
+// Table 4 substitute (documented in DESIGN.md): we cannot synthesize FPGA
+// LUT/BRAM counts from software, so we report the software analogue — the
+// per-QP state bytes and per-packet processing steps of each transport
+// implementation, measured from the actual classes.  The paper's claim is
+// the *ratio*: DCP-RNIC costs only ~1-2% more than RNIC-GBN.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcp {
+
+struct ResourceRow {
+  std::string scheme;
+  std::uint64_t sender_state_bytes;    // per-QP connection state (sizeof)
+  std::uint64_t receiver_state_bytes;  // per-QP receive state (sizeof)
+  std::uint64_t tracking_bytes;        // loss-tracking structures at BDP
+  double rx_steps_per_packet;          // sequential steps in the hot path
+};
+
+/// GBN vs DCP vs IRN vs RACK-TLP rows measured from the implementations,
+/// at the given BDP (packets).
+std::vector<ResourceRow> resource_proxy_rows(std::uint32_t bdp_pkts);
+
+}  // namespace dcp

@@ -1,0 +1,86 @@
+#pragma once
+// Congestion-control interface for sender transports.
+//
+// DCP deliberately decouples reliability from congestion control (paper
+// §3, §4.3): the retransmission machinery works with any CC.  We model CC
+// as a rate/window provider the sender consults when pacing packets.
+
+#include <cstdint>
+#include <memory>
+
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace dcp {
+
+class CongestionControl {
+ public:
+  virtual ~CongestionControl() = default;
+
+  /// Current sending rate; senders space packets at wire_bytes / rate.
+  virtual Bandwidth rate() const = 0;
+
+  /// Cap on unacknowledged bytes (flow control); kNoWindowCap = unlimited.
+  virtual std::uint64_t window_bytes() const = 0;
+
+  virtual void on_ack(std::uint64_t newly_acked_bytes) { (void)newly_acked_bytes; }
+  /// RTT sample from an ACK echoing the data packet's transmit timestamp
+  /// (consumed by delay-based CCs such as TIMELY).
+  virtual void on_rtt_sample(Time rtt) { (void)rtt; }
+  virtual void on_cnp() {}
+  virtual void on_ecn_echo() {}
+  virtual void on_timeout() {}
+
+  static constexpr std::uint64_t kNoWindowCap = UINT64_MAX;
+};
+
+/// Uncontrolled: line rate, fixed window (the paper's "BDP-based flow
+/// control" used by IRN and by DCP-without-CC).
+class StaticWindowCc final : public CongestionControl {
+ public:
+  StaticWindowCc(Bandwidth line_rate, std::uint64_t window)
+      : rate_(line_rate), window_(window) {}
+  Bandwidth rate() const override { return rate_; }
+  std::uint64_t window_bytes() const override { return window_; }
+
+ private:
+  Bandwidth rate_;
+  std::uint64_t window_;
+};
+
+struct DcqcnParams {
+  double g = 1.0 / 16.0;              // alpha EWMA gain
+  Time alpha_timer = microseconds(55);
+  Time rate_increase_timer = microseconds(55);
+  std::uint64_t byte_counter = 1024 * 1024;  // 100G-scale: events come fast
+  double rai_gbps = 1.0;              // additive increase step
+  double rhai_gbps = 5.0;             // hyper increase step
+  int fast_recovery_rounds = 5;       // F in the DCQCN paper
+  double min_rate_gbps = 0.1;
+  Time cnp_min_interval = microseconds(50);  // NP-side CNP pacing
+};
+
+struct TimelyParams {
+  Time t_low = microseconds(30);    // below: additive increase
+  Time t_high = microseconds(150);  // above: multiplicative decrease
+  Time min_rtt = microseconds(8);
+  double ewma_alpha = 0.46;         // gradient smoothing
+  double beta = 0.8;                // multiplicative decrease factor
+  double rai_gbps = 1.0;            // additive increase step
+  int hai_threshold = 5;            // negative-gradient streak for HAI mode
+  double min_rate_gbps = 0.5;
+};
+
+struct CcConfig {
+  enum class Type { kStaticWindow, kDcqcn, kTimely } type = Type::kStaticWindow;
+  Bandwidth line_rate = Bandwidth::gbps(100);
+  std::uint64_t window_bytes = 150 * 1024;  // ~BDP for 100G * 12us
+  DcqcnParams dcqcn;
+  TimelyParams timely;
+};
+
+/// Builds a CC instance; DCQCN needs the simulator for its timers.
+std::unique_ptr<CongestionControl> make_cc(Simulator& sim, const CcConfig& cfg);
+
+}  // namespace dcp

@@ -1,0 +1,86 @@
+#include "cc/dcqcn.h"
+
+namespace dcp {
+
+DcqcnRp::DcqcnRp(Simulator& sim, Bandwidth line_rate, std::uint64_t window, DcqcnParams p)
+    : sim_(sim),
+      p_(p),
+      line_gbps_(line_rate.as_gbps()),
+      window_(window),
+      rc_gbps_(line_rate.as_gbps()),
+      rt_gbps_(line_rate.as_gbps()) {}
+
+DcqcnRp::~DcqcnRp() {
+  if (alpha_ev_ != kInvalidEvent) sim_.cancel(alpha_ev_);
+  if (rate_ev_ != kInvalidEvent) sim_.cancel(rate_ev_);
+}
+
+void DcqcnRp::arm_alpha_timer() {
+  if (alpha_ev_ != kInvalidEvent) sim_.cancel(alpha_ev_);
+  alpha_ev_ = sim_.schedule(p_.alpha_timer, [this] {
+    alpha_ev_ = kInvalidEvent;
+    alpha_ *= (1.0 - p_.g);
+    // Once alpha has decayed to irrelevance and the rate is restored there
+    // is nothing left to do; stop so an idle simulation can drain.
+    if (alpha_ > 1e-3 || rc_gbps_ < line_gbps_ * 0.999) arm_alpha_timer();
+  });
+}
+
+void DcqcnRp::arm_rate_timer() {
+  if (rate_ev_ != kInvalidEvent) sim_.cancel(rate_ev_);
+  rate_ev_ = sim_.schedule(p_.rate_increase_timer, [this] {
+    rate_ev_ = kInvalidEvent;
+    ++rate_timer_events_;
+    increase_event();
+    if (rc_gbps_ < line_gbps_ * 0.999) arm_rate_timer();
+  });
+}
+
+void DcqcnRp::cut_rate() {
+  rt_gbps_ = rc_gbps_;
+  rc_gbps_ = std::max(p_.min_rate_gbps, rc_gbps_ * (1.0 - alpha_ / 2.0));
+  rate_timer_events_ = 0;
+  byte_counter_events_ = 0;
+  bytes_since_event_ = 0;
+}
+
+void DcqcnRp::on_cnp() {
+  alpha_ = (1.0 - p_.g) * alpha_ + p_.g;
+  cut_rate();
+  arm_alpha_timer();
+  arm_rate_timer();
+}
+
+void DcqcnRp::on_ack(std::uint64_t newly_acked_bytes) {
+  // Byte-counter stage advance (paper: BC increments every B bytes sent; we
+  // approximate with acked bytes, which tracks sent bytes at steady state).
+  bytes_since_event_ += newly_acked_bytes;
+  if (bytes_since_event_ >= p_.byte_counter) {
+    bytes_since_event_ = 0;
+    ++byte_counter_events_;
+    increase_event();
+  }
+}
+
+void DcqcnRp::increase_event() {
+  const int stage = std::min(rate_timer_events_, byte_counter_events_);
+  if (stage < p_.fast_recovery_rounds) {
+    // Fast recovery: halve the gap toward the target rate.
+  } else if (std::max(rate_timer_events_, byte_counter_events_) <
+             2 * p_.fast_recovery_rounds) {
+    rt_gbps_ = std::min(line_gbps_, rt_gbps_ + p_.rai_gbps);  // additive
+  } else {
+    rt_gbps_ = std::min(line_gbps_, rt_gbps_ + p_.rhai_gbps);  // hyper
+  }
+  rc_gbps_ = (rt_gbps_ + rc_gbps_) / 2.0;
+}
+
+void DcqcnRp::on_timeout() {
+  // An RTO is a strong congestion signal; restart from target = current.
+  alpha_ = 1.0;
+  cut_rate();
+  arm_alpha_timer();
+  arm_rate_timer();
+}
+
+}  // namespace dcp

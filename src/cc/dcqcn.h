@@ -1,0 +1,69 @@
+#pragma once
+// DCQCN reaction point (sender-side rate machine), after Zhu et al.,
+// SIGCOMM 2015.  The notification point (receiver-side CNP pacing) is the
+// small CnpGenerator helper, embedded in receiver transports.
+
+#include <algorithm>
+#include <cstdint>
+
+#include "cc/cc.h"
+#include "sim/simulator.h"
+
+namespace dcp {
+
+class DcqcnRp final : public CongestionControl {
+ public:
+  DcqcnRp(Simulator& sim, Bandwidth line_rate, std::uint64_t window, DcqcnParams p);
+  ~DcqcnRp() override;
+
+  Bandwidth rate() const override { return Bandwidth::gbps(rc_gbps_); }
+  std::uint64_t window_bytes() const override { return window_; }
+
+  void on_cnp() override;
+  void on_ack(std::uint64_t newly_acked_bytes) override;
+  void on_timeout() override;
+
+  double alpha() const { return alpha_; }
+  double current_rate_gbps() const { return rc_gbps_; }
+
+ private:
+  void cut_rate();
+  void increase_event();
+  void arm_alpha_timer();
+  void arm_rate_timer();
+
+  Simulator& sim_;
+  DcqcnParams p_;
+  double line_gbps_;
+  std::uint64_t window_;
+
+  double rc_gbps_;       // current rate
+  double rt_gbps_;       // target rate
+  double alpha_ = 1.0;
+  int rate_timer_events_ = 0;   // T in the paper
+  int byte_counter_events_ = 0; // BC in the paper
+  std::uint64_t bytes_since_event_ = 0;
+  EventId alpha_ev_ = kInvalidEvent;
+  EventId rate_ev_ = kInvalidEvent;
+};
+
+/// Receiver-side CNP pacing: at most one CNP per flow per interval.
+class CnpGenerator {
+ public:
+  explicit CnpGenerator(Time min_interval = microseconds(50)) : interval_(min_interval) {}
+
+  /// Called when an ECN-CE data packet arrives; true = emit a CNP now.
+  bool should_send(Time now) {
+    if (last_ == -1 || now - last_ >= interval_) {
+      last_ = now;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  Time interval_;
+  Time last_ = -1;
+};
+
+}  // namespace dcp

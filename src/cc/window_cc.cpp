@@ -1,0 +1,3 @@
+#include "cc/cc.h"
+
+// StaticWindowCc is header-only; this TU anchors the library target.

@@ -1,0 +1,232 @@
+#include "core/dcp_transport.h"
+#include "host/host.h"
+
+namespace dcp {
+
+DcpReceiver::DcpReceiver(Simulator& sim, Host& host, FlowSpec spec, TransportConfig cfg)
+    : ReceiverTransport(sim, host, spec, cfg),
+      layout_(spec.bytes, spec.msg_bytes, cfg.mtu_payload),
+      tracker_(layout_.all_msg_pkts(), cfg.outstanding_msgs),
+      rretry_(cfg.outstanding_msgs, 0) {}
+
+void DcpReceiver::bounce_header_only(const Packet& pkt) {
+  // §4.1 step 2: swap source/destination (IP + QPN) and forward the HO
+  // packet to the sender.  It rides the control queue end to end.
+  Packet ho = make_control(PktType::kHeaderOnly, HeaderSizes::kDcpHeaderOnly);
+  ho.tag = DcpTag::kHeaderOnly;
+  ho.queue_class = QueueClass::kControl;
+  ho.psn = pkt.psn;
+  ho.msn = pkt.msn;
+  ho.retry_no = pkt.retry_no;
+  dstats_.ho_bounced++;
+  stats_.ho_received++;
+  send_control(std::move(ho));
+}
+
+DcpReceiver::~DcpReceiver() {
+  if (keepalive_ev_ != kInvalidEvent) sim_.cancel(keepalive_ev_);
+}
+
+void DcpReceiver::send_emsn_ack() {
+  Packet ack = make_control(PktType::kAck, HeaderSizes::kDcpAck);
+  ack.tag = DcpTag::kAck;
+  ack.emsn = tracker_.emsn();
+  // Cumulative arrival count: the sender's flow-control credit (awin).
+  ack.ack_psn = static_cast<std::uint32_t>(stats_.data_packets);
+  ack.echo_ts = last_echo_;  // RTT echo for delay-based CC (TIMELY)
+  send_control(std::move(ack));
+  arm_ack_keepalive();
+}
+
+void DcpReceiver::arm_ack_keepalive() {
+  if (keepalive_ev_ != kInvalidEvent) return;  // periodic chain already live
+  keepalive_ev_ = sim_.schedule(ka_backoff_, [this] {
+    keepalive_ev_ = kInvalidEvent;
+    if (complete() && post_complete_kas_ >= 12) return;  // give up; sender RTO owns it
+    if (sim_.now() - last_activity_ >= ka_backoff_) {
+      Packet ack = make_control(PktType::kAck, HeaderSizes::kDcpAck);
+      ack.tag = DcpTag::kAck;
+      ack.emsn = tracker_.emsn();
+      ack.ack_psn = static_cast<std::uint32_t>(stats_.data_packets);
+      ack.echo_ts = last_echo_;
+      send_control(std::move(ack));
+      if (complete()) ++post_complete_kas_;
+      ka_backoff_ = std::min<Time>(2 * ka_backoff_, microseconds(200));
+    }
+    arm_ack_keepalive();
+  });
+}
+
+void DcpReceiver::on_packet(Packet pkt) {
+  if (pkt.type == PktType::kHeaderOnly) {
+    bounce_header_only(pkt);
+    return;
+  }
+  if (pkt.type != PktType::kData) return;
+  stats_.data_packets++;
+  last_activity_ = sim_.now();
+  last_echo_ = pkt.sent_at;
+  ka_backoff_ = microseconds(50);
+  if (!complete()) post_complete_kas_ = 0;
+  arm_ack_keepalive();
+
+  // Credit ACK every 8 arrivals so the sender's awin stays clocked even
+  // while messages are incomplete (a dropped credit ACK is healed by the
+  // next one — the counter is cumulative).
+  if (stats_.data_packets % 8 == 0) send_emsn_ack();
+
+  if (ecn_enabled_ && pkt.ecn_ce && cnp_.should_send(sim_.now())) {
+    Packet cnp = make_control(PktType::kCnp, HeaderSizes::kCnp);
+    cnp.tag = DcpTag::kAck;  // CNPs share the ACK class of the DCP tag space
+    send_control(std::move(cnp));
+  }
+
+  const std::uint32_t msn = pkt.msn;
+  if (msn < tracker_.emsn()) {
+    // Stale duplicate of a completed message (e.g. a timeout round raced a
+    // lost ACK): re-ACK so the sender can advance.
+    stats_.duplicate_packets++;
+    send_emsn_ack();
+    return;
+  }
+  if (msn >= tracker_.emsn() + cfg_.outstanding_msgs || msn >= layout_.num_msgs) {
+    // Outside the tracking window; the sender's message window makes this
+    // unreachable, but drop defensively rather than corrupt counters.
+    stats_.duplicate_packets++;
+    return;
+  }
+
+  // Timeout-round reconciliation (§4.5): the packet's sRetryNo must match
+  // the receiver's rRetryNo for this message.
+  std::uint8_t& rretry = rretry_[msn % cfg_.outstanding_msgs];
+  if (pkt.retry_no > rretry) {
+    // A new timeout round: restart counting for this message.
+    tracker_.reset_message(msn);
+    rretry = pkt.retry_no;
+    dstats_.counter_resets++;
+  } else if (pkt.retry_no < rretry) {
+    // Straggler from a superseded round; it must not be counted.
+    dstats_.stale_retry_packets++;
+    return;
+  }
+
+  // Order-tolerant placement: RETH/MSN in every packet lets the payload go
+  // straight to application memory; only the counter is touched.  Placement
+  // is idempotent across timeout rounds, so unique bytes are accounted at
+  // message completion rather than per packet.
+  const std::uint32_t prev_emsn = tracker_.emsn();
+  if (!tracker_.count_packet(msn)) stats_.duplicate_packets++;
+
+  if (tracker_.emsn() > prev_emsn) {
+    // Messages complete in eMSN order (CQEs for the application); reset the
+    // retry slots the window just freed and ACK the new eMSN.
+    for (std::uint32_t m = prev_emsn; m < tracker_.emsn(); ++m) {
+      rretry_[m % cfg_.outstanding_msgs] = 0;
+      stats_.bytes_received += layout_.msg_bytes_of(m);
+    }
+    send_emsn_ack();
+    if (complete()) mark_complete();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DcpBitmapReceiver (§4.5 orthogonality variant)
+// ---------------------------------------------------------------------------
+
+DcpBitmapReceiver::DcpBitmapReceiver(Simulator& sim, Host& host, FlowSpec spec,
+                                     TransportConfig cfg)
+    : ReceiverTransport(sim, host, spec, cfg),
+      layout_(spec.bytes, spec.msg_bytes, cfg.mtu_payload),
+      received_(layout_.total_pkts, false) {}
+
+DcpBitmapReceiver::~DcpBitmapReceiver() {
+  if (keepalive_ev_ != kInvalidEvent) sim_.cancel(keepalive_ev_);
+}
+
+void DcpBitmapReceiver::bounce_header_only(const Packet& pkt) {
+  Packet ho = make_control(PktType::kHeaderOnly, HeaderSizes::kDcpHeaderOnly);
+  ho.tag = DcpTag::kHeaderOnly;
+  ho.queue_class = QueueClass::kControl;
+  ho.psn = pkt.psn;
+  ho.msn = pkt.msn;
+  ho.retry_no = pkt.retry_no;
+  stats_.ho_received++;
+  send_control(std::move(ho));
+}
+
+void DcpBitmapReceiver::send_emsn_ack() {
+  Packet ack = make_control(PktType::kAck, HeaderSizes::kDcpAck);
+  ack.tag = DcpTag::kAck;
+  ack.emsn = emsn_;
+  ack.ack_psn = static_cast<std::uint32_t>(stats_.data_packets);
+  ack.echo_ts = last_echo_;
+  send_control(std::move(ack));
+  arm_ack_keepalive();
+}
+
+void DcpBitmapReceiver::arm_ack_keepalive() {
+  if (keepalive_ev_ != kInvalidEvent) return;
+  keepalive_ev_ = sim_.schedule(ka_backoff_, [this] {
+    keepalive_ev_ = kInvalidEvent;
+    if (complete() && post_complete_kas_ >= 12) return;
+    if (sim_.now() - last_activity_ >= ka_backoff_) {
+      Packet ack = make_control(PktType::kAck, HeaderSizes::kDcpAck);
+      ack.tag = DcpTag::kAck;
+      ack.emsn = emsn_;
+      ack.ack_psn = static_cast<std::uint32_t>(stats_.data_packets);
+      ack.echo_ts = last_echo_;
+      send_control(std::move(ack));
+      if (complete()) ++post_complete_kas_;
+      ka_backoff_ = std::min<Time>(2 * ka_backoff_, microseconds(200));
+    }
+    arm_ack_keepalive();
+  });
+}
+
+void DcpBitmapReceiver::on_packet(Packet pkt) {
+  if (pkt.type == PktType::kHeaderOnly) {
+    bounce_header_only(pkt);
+    return;
+  }
+  if (pkt.type != PktType::kData) return;
+  stats_.data_packets++;
+  last_activity_ = sim_.now();
+  last_echo_ = pkt.sent_at;
+  ka_backoff_ = microseconds(50);
+  if (!complete()) post_complete_kas_ = 0;
+  arm_ack_keepalive();
+
+  if (ecn_enabled_ && pkt.ecn_ce && cnp_.should_send(sim_.now())) {
+    Packet cnp = make_control(PktType::kCnp, HeaderSizes::kCnp);
+    cnp.tag = DcpTag::kAck;
+    send_control(std::move(cnp));
+  }
+  if (pkt.psn >= layout_.total_pkts) return;
+
+  // The bitmap makes duplicates (timeout rounds, races) naturally
+  // idempotent — no sRetryNo reconciliation needed.
+  if (received_[pkt.psn]) {
+    stats_.duplicate_packets++;
+    send_emsn_ack();  // re-ACK so a stalled sender advances
+    return;
+  }
+  received_[pkt.psn] = true;
+  if (pkt.psn != scan_) stats_.out_of_order_packets++;
+
+  // Advance the contiguous frontier and with it the eMSN.  (Per-message
+  // completeness and contiguous-frontier advancement coincide for eMSN:
+  // the eMSN-th message only completes once everything before it has.)
+  const std::uint32_t prev_emsn = emsn_;
+  while (scan_ < layout_.total_pkts && received_[scan_]) ++scan_;
+  while (emsn_ < layout_.num_msgs &&
+         scan_ >= layout_.msg_start_psn(emsn_) + layout_.msg_pkts(emsn_)) {
+    stats_.bytes_received += layout_.msg_bytes_of(emsn_);
+    ++emsn_;
+  }
+  if (emsn_ > prev_emsn) {
+    send_emsn_ack();
+    if (complete()) mark_complete();
+  }
+}
+
+}  // namespace dcp

@@ -1,0 +1,216 @@
+#pragma once
+// DCP-RNIC: the paper's primary contribution (§4).
+//
+// Sender (§4.3): HO-based retransmission.  A bounced header-only packet
+// names the exact lost (MSN, PSN); the entry is DMA-queued into the per-QP
+// RetransQ in host memory and fetched in PCIe batches; the CC module's
+// available window regulates the retransmission rate.  A coarse-grained
+// per-message timeout (§4.5) with the sRetryNo header field is the
+// fallback for control-plane violations (ACK loss, HO loss, failures).
+//
+// Receiver (§4.4, §4.5): order-tolerant reception — every packet carries
+// its RETH/MSN (and SSN for two-sided ops) so payloads are placed directly
+// into application memory with no reorder buffer — and bitmap-free packet
+// tracking via per-message counters, with eMSN-carrying ACKs.
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "core/retransq.h"
+#include "core/tracking.h"
+#include "host/transport.h"
+
+namespace dcp {
+
+/// Per-flow message geometry shared by the two ends: the flow is split
+/// into messages of spec.msg_bytes (0 = single message).
+struct MessageLayout {
+  std::uint32_t mtu = 1000;
+  std::uint64_t flow_bytes = 0;
+  std::uint64_t msg_bytes = 0;     // uniform, except the tail message
+  std::uint32_t num_msgs = 1;
+  std::uint32_t pkts_per_full_msg = 1;
+  std::uint32_t total_pkts = 1;
+
+  MessageLayout() = default;
+  MessageLayout(std::uint64_t bytes, std::uint64_t msg_size, std::uint32_t mtu_payload);
+
+  std::uint32_t msn_of_psn(std::uint32_t psn) const {
+    const std::uint32_t m = psn / pkts_per_full_msg;
+    return m >= num_msgs ? num_msgs - 1 : m;
+  }
+  std::uint32_t msg_start_psn(std::uint32_t msn) const { return msn * pkts_per_full_msg; }
+  std::uint32_t msg_pkts(std::uint32_t msn) const {
+    if (msn + 1 < num_msgs) return pkts_per_full_msg;
+    return total_pkts - msg_start_psn(num_msgs - 1);
+  }
+  /// Application bytes carried by message `msn` (tail may be short).
+  std::uint64_t msg_bytes_of(std::uint32_t msn) const {
+    const std::uint64_t start = static_cast<std::uint64_t>(msg_start_psn(msn)) * mtu;
+    const std::uint64_t end =
+        std::min<std::uint64_t>(flow_bytes, start + static_cast<std::uint64_t>(msg_pkts(msn)) * mtu);
+    return end > start ? end - start : 0;
+  }
+  std::vector<std::uint32_t> all_msg_pkts() const {
+    std::vector<std::uint32_t> v(num_msgs);
+    for (std::uint32_t m = 0; m < num_msgs; ++m) v[m] = msg_pkts(m);
+    return v;
+  }
+};
+
+struct DcpSenderStats {
+  std::uint64_t ho_triggered_retx = 0;
+  std::uint64_t timeout_retx_packets = 0;
+  std::uint64_t pcie_fetches = 0;
+  std::uint64_t stale_ho = 0;  // HO for already-completed messages
+};
+
+class DcpSender final : public SenderTransport {
+ public:
+  DcpSender(Simulator& sim, Host& host, FlowSpec spec, TransportConfig cfg);
+  ~DcpSender() override;
+
+  void on_packet(Packet pkt) override;
+  bool done() const override { return una_msn_ >= layout_.num_msgs; }
+
+  const DcpSenderStats& dcp_stats() const { return dstats_; }
+  const RetransQ& retransq() const { return rq_; }
+  std::uint32_t una_msn() const { return una_msn_; }
+
+ protected:
+  bool protocol_has_packet() override;
+  Packet protocol_next_packet() override;
+  void on_start() override { arm_msg_timer(); }
+
+ private:
+  Packet build_packet(std::uint32_t psn, bool retransmit, std::uint8_t retry_no);
+  void start_fetch();
+  void arm_msg_timer();
+  void on_msg_timeout();
+  std::uint8_t retry_of(std::uint32_t msn) const { return sretry_[msn]; }
+  std::uint64_t inflight_bytes_estimate() const;
+
+  MessageLayout layout_;
+  RetransQ rq_;
+  bool fetch_in_flight_ = false;
+  // Packet-conservation flow control (the paper's `awin`): every
+  // transmission is eventually accounted either by the receiver's
+  // cumulative arrival counter (rcnt, carried in ACKs) or by a bounced HO.
+  //   inflight = sent − rcnt − ho_arrivals − flushed
+  // `flushed_` compensates for silent drops, written off by the coarse
+  // timeout.  All four counters are monotone.
+  std::uint64_t rcnt_ = 0;      // latest receiver arrival count seen
+  std::uint64_t ho_total_ = 0;  // every HO arrival, stale or not
+  std::uint64_t flushed_ = 0;
+  std::deque<std::uint32_t> timeout_retx_;  // PSNs queued by the coarse timer
+  std::vector<std::uint8_t> sretry_;        // per-message timeout round
+  std::uint32_t snd_nxt_ = 0;
+  std::uint32_t una_msn_ = 0;  // smallest unacknowledged MSN
+  EventId msg_timer_ = kInvalidEvent;
+  // The coarse timer fires only after a *quiet* period with no forward
+  // progress (no ACK advance, no HO arrival) and no recovery in flight;
+  // consecutive rounds for the same message back off exponentially.
+  Time last_progress_ = 0;
+  int timeout_backoff_ = 1;
+  DcpSenderStats dstats_;
+};
+
+struct DcpReceiverStats {
+  std::uint64_t ho_bounced = 0;
+  std::uint64_t stale_retry_packets = 0;
+  std::uint64_t counter_resets = 0;
+};
+
+class DcpReceiver final : public ReceiverTransport {
+ public:
+  DcpReceiver(Simulator& sim, Host& host, FlowSpec spec, TransportConfig cfg);
+
+  void on_packet(Packet pkt) override;
+  bool complete() const override { return tracker_.emsn() >= layout_.num_msgs; }
+
+  const DcpReceiverStats& dcp_stats() const { return dstats_; }
+  const MessageCounterTracker& tracker() const { return tracker_; }
+
+  ~DcpReceiver() override;
+
+ private:
+  void bounce_header_only(const Packet& pkt);
+  void send_emsn_ack();
+  void arm_ack_keepalive();
+
+  MessageLayout layout_;
+  MessageCounterTracker tracker_;
+  std::vector<std::uint8_t> rretry_;  // ring: per outstanding message slot
+  DcpReceiverStats dstats_;
+  // DCP ACKs are droppable at over-threshold switches (§4.2), and a lost
+  // eMSN ACK can stall a message-window-limited sender until the coarse
+  // timeout.  The receiver therefore repeats its latest eMSN ACK whenever
+  // the QP goes quiet ("sends ACKs ... if necessary", §4.1): indefinitely
+  // with exponential backoff while messages are incomplete (more data must
+  // be coming), and a bounded number of times after completion (the final
+  // ACK might have died).  The sender's coarse timeout stays the last
+  // resort.
+  EventId keepalive_ev_ = kInvalidEvent;
+  Time last_activity_ = 0;
+  Time ka_backoff_ = microseconds(50);
+  int post_complete_kas_ = 0;
+  Time last_echo_ = -1;  // latest data packet's transmit timestamp (RTT echo)
+};
+
+/// §4.5 "Orthogonality": a DCP receiver that keeps a traditional
+/// per-packet bitmap instead of the bitmap-free counters.  Functionally
+/// equivalent (same HO bounce, same eMSN ACKs, naturally idempotent across
+/// timeout rounds) but costs n bits instead of log2(n) — the trade-off
+/// Table 3 quantifies.  Exists to demonstrate that HO-based retransmission
+/// and order-tolerant reception do not depend on the counting scheme.
+class DcpBitmapReceiver final : public ReceiverTransport {
+ public:
+  DcpBitmapReceiver(Simulator& sim, Host& host, FlowSpec spec, TransportConfig cfg);
+  ~DcpBitmapReceiver() override;
+
+  void on_packet(Packet pkt) override;
+  bool complete() const override { return emsn_ >= layout_.num_msgs; }
+
+  std::uint64_t tracking_bytes() const { return (received_.size() + 7) / 8; }
+  std::uint32_t emsn() const { return emsn_; }
+
+ private:
+  void bounce_header_only(const Packet& pkt);
+  void send_emsn_ack();
+  void arm_ack_keepalive();
+
+  MessageLayout layout_;
+  std::vector<bool> received_;  // the bitmap the paper's design eliminates
+  std::uint32_t emsn_ = 0;
+  std::uint32_t scan_ = 0;  // first PSN not known-received
+  EventId keepalive_ev_ = kInvalidEvent;
+  Time last_activity_ = 0;
+  Time ka_backoff_ = microseconds(50);
+  int post_complete_kas_ = 0;
+  Time last_echo_ = -1;
+};
+
+class DcpFactory final : public TransportFactory {
+ public:
+  std::unique_ptr<SenderTransport> make_sender(Simulator& sim, Host& host, const FlowSpec& spec,
+                                               const TransportConfig& cfg) override {
+    return std::make_unique<DcpSender>(sim, host, spec, cfg);
+  }
+  std::unique_ptr<ReceiverTransport> make_receiver(Simulator& sim, Host& host,
+                                                   const FlowSpec& spec,
+                                                   const TransportConfig& cfg) override {
+    if (cfg.dcp_bitmap_receiver) {
+      return std::make_unique<DcpBitmapReceiver>(sim, host, spec, cfg);
+    }
+    return std::make_unique<DcpReceiver>(sim, host, spec, cfg);
+  }
+  std::string name() const override { return "DCP"; }
+};
+
+/// Wire size of a DCP data packet header for the given operation: 57 B base
+/// (incl. MSN), plus RETH in *every* packet for one-sided ops, plus SSN for
+/// two-sided ops (Fig. 4a).
+std::uint32_t dcp_data_header_bytes(RdmaOp op);
+
+}  // namespace dcp

@@ -1,0 +1,3 @@
+#include "core/retransq.h"
+
+// Header-only today; this TU anchors the library target.

@@ -1,0 +1,168 @@
+#include "core/verbs.h"
+
+namespace dcp::verbs {
+
+void SharedReceiveQueue::post_recv(std::uint64_t wr_id) {
+  wqes_.push_back(wr_id);
+  for (QueuePair* qp : bound_) qp->match_receives();
+}
+
+void QueuePair::bind_srq(SharedReceiveQueue* srq) {
+  srq_ = srq;
+  if (srq != nullptr) {
+    srq->bound_.push_back(this);
+    match_receives();
+  }
+}
+
+const char* qp_state_name(QpState s) {
+  switch (s) {
+    case QpState::kReset: return "RESET";
+    case QpState::kInit: return "INIT";
+    case QpState::kRtr: return "RTR";
+    case QpState::kRts: return "RTS";
+    case QpState::kError: return "ERROR";
+  }
+  return "?";
+}
+
+Device::Device(Network& net) : net_(net) {
+  net_.add_tx_listener([this](const FlowRecord& rec) {
+    auto it = owner_.find(rec.spec.id);
+    if (it != owner_.end()) it->second->complete(rec);
+  });
+  // Responder side: two-sided ops consume Receive WQEs when all their
+  // bytes have been placed.
+  net_.add_rx_listener([this](const FlowRecord& rec) {
+    if (rec.spec.op == RdmaOp::kWrite) return;  // one-sided: no Recv WQE
+    auto it = owner_.find(rec.spec.id);
+    if (it != owner_.end()) it->second->received(rec);
+  });
+}
+
+QueuePair& Device::create_qp(NodeId local, NodeId remote, std::uint64_t msg_bytes,
+                             bool auto_connect) {
+  qps_.push_back(std::unique_ptr<QueuePair>(new QueuePair(*this, local, remote, msg_bytes)));
+  QueuePair& qp = *qps_.back();
+  if (auto_connect) {
+    qp.modify(QpState::kInit);
+    qp.modify(QpState::kRtr);
+    qp.modify(QpState::kRts);
+  }
+  return qp;
+}
+
+bool QueuePair::modify(QpState next) {
+  const bool legal = (state_ == QpState::kReset && next == QpState::kInit) ||
+                     (state_ == QpState::kInit && next == QpState::kRtr) ||
+                     (state_ == QpState::kRtr && next == QpState::kRts) ||
+                     next == QpState::kError ||
+                     (state_ == QpState::kError && next == QpState::kReset);
+  if (!legal) return false;
+  state_ = next;
+  return true;
+}
+
+void QueuePair::connect(std::function<void()> on_connected) {
+  if (state_ == QpState::kReset) modify(QpState::kInit);
+  // Simulated CM handshake: REQ/REP/RTU across the fabric, ~one RTT.
+  Time rtt = microseconds(10);
+  if (dev_.net_.path_info) {
+    rtt = 2 * dev_.net_.path_info(local_, remote_).one_way_delay + microseconds(2);
+  }
+  dev_.net_.sim().schedule(rtt, [this, cb = std::move(on_connected)] {
+    modify(QpState::kRtr);
+    modify(QpState::kRts);
+    if (cb) cb();
+  });
+}
+
+FlowId QueuePair::post(std::uint64_t bytes, std::uint64_t wr_id, RdmaOp op) {
+  if (state_ != QpState::kRts) {
+    ++rejected_posts_;
+    return 0;
+  }
+  FlowSpec spec;
+  spec.src = local_;
+  spec.dst = remote_;
+  spec.bytes = bytes;
+  spec.op = op;
+  spec.msg_bytes = msg_bytes_;
+  spec.start_time = dev_.net_.sim().now();
+  const FlowId id = dev_.net_.start_flow(spec);
+  wr_of_flow_[id] = wr_id;
+  dev_.owner_[id] = this;
+  ++outstanding_;
+  return id;
+}
+
+void QueuePair::complete(const FlowRecord& rec) {
+  WorkCompletion wc;
+  wc.flow = rec.spec.id;
+  wc.wr_id = wr_of_flow_.at(rec.spec.id);
+  wc.completed_at = rec.tx_done;
+  wc.bytes = rec.spec.bytes;
+  wc.op = rec.spec.op;
+  cq_.push_back(wc);
+  --outstanding_;
+}
+
+bool QueuePair::poll_cq(WorkCompletion& wc) {
+  if (cq_.empty()) return false;
+  wc = cq_.front();
+  cq_.pop_front();
+  return true;
+}
+
+bool QueuePair::post_recv(std::uint64_t wr_id) {
+  if (state_ == QpState::kReset || state_ == QpState::kError) {
+    ++rejected_posts_;
+    return false;
+  }
+  rq_.push_back(RecvWqe{wr_id});
+  match_receives();
+  return true;
+}
+
+void QueuePair::received(const FlowRecord& rec) {
+  WorkCompletion wc;
+  wc.flow = rec.spec.id;
+  wc.bytes = rec.spec.bytes;
+  wc.op = rec.spec.op;
+  wc.completed_at = rec.rx_done;
+  unmatched_.push_back(wc);
+  match_receives();
+}
+
+void QueuePair::match_receives() {
+  // Receive WQEs are consumed strictly in posting order (SSN order of the
+  // incoming messages, which our flows complete in).  With an SRQ bound,
+  // WQEs come from the shared pool instead of the per-QP RQ.
+  if (srq_ != nullptr) {
+    while (!unmatched_.empty()) {
+      const auto wqe = srq_->take();
+      if (!wqe.has_value()) return;
+      WorkCompletion wc = unmatched_.front();
+      unmatched_.pop_front();
+      wc.wr_id = *wqe;
+      recv_cq_.push_back(wc);
+    }
+    return;
+  }
+  while (!rq_.empty() && !unmatched_.empty()) {
+    WorkCompletion wc = unmatched_.front();
+    unmatched_.pop_front();
+    wc.wr_id = rq_.front().wr_id;  // responder CQE names the Recv WQE
+    rq_.pop_front();
+    recv_cq_.push_back(wc);
+  }
+}
+
+bool QueuePair::poll_recv_cq(WorkCompletion& wc) {
+  if (recv_cq_.empty()) return false;
+  wc = recv_cq_.front();
+  recv_cq_.pop_front();
+  return true;
+}
+
+}  // namespace dcp::verbs

@@ -1,0 +1,229 @@
+#include "harness/config.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "harness/report.h"
+
+namespace dcp {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+bool parse_bool(const std::string& v, bool& out) {
+  const std::string l = lower(v);
+  if (l == "true" || l == "yes" || l == "1" || l == "on") {
+    out = true;
+    return true;
+  }
+  if (l == "false" || l == "no" || l == "0" || l == "off") {
+    out = false;
+    return true;
+  }
+  return false;
+}
+
+bool parse_scheme(const std::string& v, SchemeKind& out) {
+  const std::string l = lower(v);
+  if (l == "dcp") out = SchemeKind::kDcp;
+  else if (l == "irn") out = SchemeKind::kIrn;
+  else if (l == "irn-ecmp") out = SchemeKind::kIrnEcmp;
+  else if (l == "pfc") out = SchemeKind::kPfc;
+  else if (l == "mprdma" || l == "mp-rdma") out = SchemeKind::kMpRdma;
+  else if (l == "cx5" || l == "gbn") out = SchemeKind::kCx5;
+  else if (l == "timeout") out = SchemeKind::kTimeout;
+  else if (l == "racktlp" || l == "rack-tlp") out = SchemeKind::kRackTlp;
+  else if (l == "tcp") out = SchemeKind::kTcp;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+std::optional<ExperimentConfig> parse_experiment_config(const std::string& text,
+                                                        std::string* error) {
+  ExperimentConfig cfg;
+  auto fail = [&](int line_no, const std::string& msg) -> std::optional<ExperimentConfig> {
+    if (error != nullptr) *error = "line " + std::to_string(line_no) + ": " + msg;
+    return std::nullopt;
+  };
+
+  SchemeKind scheme = SchemeKind::kDcp;
+  SchemeOptions opt;
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    const std::string line = trim(raw);
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) return fail(line_no, "expected key = value");
+    const std::string key = lower(trim(line.substr(0, eq)));
+    const std::string val = trim(line.substr(eq + 1));
+    if (val.empty()) return fail(line_no, "empty value for '" + key + "'");
+
+    try {
+      if (key == "experiment") {
+        const std::string l = lower(val);
+        if (l == "websearch") cfg.kind = ExperimentConfig::Kind::kWebSearch;
+        else if (l == "longflow") cfg.kind = ExperimentConfig::Kind::kLongFlow;
+        else if (l == "collective") cfg.kind = ExperimentConfig::Kind::kCollective;
+        else if (l == "unequal_paths") cfg.kind = ExperimentConfig::Kind::kUnequalPaths;
+        else return fail(line_no, "unknown experiment '" + val + "'");
+      } else if (key == "scheme") {
+        if (!parse_scheme(val, scheme)) return fail(line_no, "unknown scheme '" + val + "'");
+      } else if (key == "with_cc") {
+        if (!parse_bool(val, opt.with_cc)) return fail(line_no, "bad bool '" + val + "'");
+      } else if (key == "cc") {
+        const std::string l = lower(val);
+        if (l == "dcqcn") opt.cc_type = CcConfig::Type::kDcqcn;
+        else if (l == "timely") opt.cc_type = CcConfig::Type::kTimely;
+        else return fail(line_no, "unknown cc '" + val + "'");
+      } else if (key == "load") {
+        cfg.websearch.load = std::stod(val);
+      } else if (key == "flows") {
+        cfg.websearch.num_flows = std::stoul(val);
+      } else if (key == "seed") {
+        cfg.websearch.seed = std::stoull(val);
+      } else if (key == "dist") {
+        const std::string l = lower(val);
+        if (l == "websearch") cfg.websearch.dist = WorkloadDist::kWebSearch;
+        else if (l == "datamining") cfg.websearch.dist = WorkloadDist::kDataMining;
+        else return fail(line_no, "unknown dist '" + val + "'");
+      } else if (key == "spines") {
+        cfg.websearch.clos.spines = std::stoi(val);
+        cfg.collective.clos.spines = std::stoi(val);
+      } else if (key == "leaves") {
+        cfg.websearch.clos.leaves = std::stoi(val);
+        cfg.collective.clos.leaves = std::stoi(val);
+      } else if (key == "hosts_per_leaf") {
+        cfg.websearch.clos.hosts_per_leaf = std::stoi(val);
+        cfg.collective.clos.hosts_per_leaf = std::stoi(val);
+      } else if (key == "leaf_spine_delay_us") {
+        cfg.websearch.clos.leaf_spine_delay = microseconds(std::stod(val));
+      } else if (key == "incast") {
+        if (!parse_bool(val, cfg.websearch.with_incast)) {
+          return fail(line_no, "bad bool '" + val + "'");
+        }
+      } else if (key == "incast_fan_in") {
+        cfg.websearch.incast.fan_in = std::stoi(val);
+      } else if (key == "incast_load") {
+        cfg.websearch.incast.load = std::stod(val);
+      } else if (key == "incast_bytes") {
+        cfg.websearch.incast.bytes_per_sender = std::stoull(val);
+      } else if (key == "loss_rate") {
+        cfg.longflow.loss_rate = std::stod(val);
+      } else if (key == "flow_bytes") {
+        cfg.longflow.flow_bytes = std::stoull(val);
+      } else if (key == "collective_kind") {
+        const std::string l = lower(val);
+        if (l == "allreduce") cfg.collective.kind = CollectiveKind::kAllReduce;
+        else if (l == "alltoall") cfg.collective.kind = CollectiveKind::kAllToAll;
+        else return fail(line_no, "unknown collective '" + val + "'");
+      } else if (key == "groups") {
+        cfg.collective.groups = std::stoi(val);
+      } else if (key == "members") {
+        cfg.collective.members_per_group = std::stoi(val);
+      } else if (key == "collective_bytes") {
+        cfg.collective.total_bytes = std::stoull(val);
+      } else if (key == "ratio") {
+        cfg.unequal_ratio = std::stod(val);
+      } else if (key == "max_time_ms") {
+        const Time t = milliseconds(std::stod(val));
+        cfg.websearch.max_time = t;
+        cfg.longflow.max_time = t;
+        cfg.collective.max_time = t;
+      } else {
+        return fail(line_no, "unknown key '" + key + "'");
+      }
+    } catch (const std::exception&) {
+      return fail(line_no, "bad numeric value '" + val + "' for '" + key + "'");
+    }
+  }
+
+  cfg.websearch.scheme = scheme;
+  cfg.websearch.opt = opt;
+  cfg.longflow.scheme = scheme;
+  cfg.longflow.opt = opt;
+  cfg.collective.scheme = scheme;
+  cfg.collective.opt = opt;
+  return cfg;
+}
+
+std::optional<ExperimentConfig> load_experiment_config(const std::string& path,
+                                                       std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open '" + path + "'";
+    return std::nullopt;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return parse_experiment_config(ss.str(), error);
+}
+
+std::string run_configured_experiment(const ExperimentConfig& cfg) {
+  char buf[256];
+  std::string out;
+  switch (cfg.kind) {
+    case ExperimentConfig::Kind::kWebSearch: {
+      WebSearchResult r = run_websearch(cfg.websearch);
+      std::snprintf(buf, sizeof(buf),
+                    "websearch %s: flows %zu/%zu  P50 %.2f  P95 %.2f  P99 %.2f  "
+                    "timeouts %llu  trims %llu\n",
+                    scheme_name(cfg.websearch.scheme), r.flows_completed, r.flows_total,
+                    r.background.overall().percentile(50), r.background.overall().percentile(95),
+                    r.background.overall().percentile(99),
+                    static_cast<unsigned long long>(r.timeouts_background + r.timeouts_incast),
+                    static_cast<unsigned long long>(r.sw.trimmed));
+      out = buf;
+      break;
+    }
+    case ExperimentConfig::Kind::kLongFlow: {
+      LongFlowResult r = run_long_flow(cfg.longflow);
+      std::snprintf(buf, sizeof(buf), "longflow %s: goodput %.2f Gbps  completed=%s\n",
+                    scheme_name(cfg.longflow.scheme), r.goodput_gbps, r.completed ? "yes" : "no");
+      out = buf;
+      break;
+    }
+    case ExperimentConfig::Kind::kCollective: {
+      CollectiveResult r = run_collectives(cfg.collective);
+      double worst = 0;
+      for (double j : r.jct_ms) worst = std::max(worst, j);
+      std::snprintf(buf, sizeof(buf),
+                    "collective %s: groups %zu  worst JCT %.2f ms  ideal %.2f ms  done=%s\n",
+                    scheme_name(cfg.collective.scheme), r.jct_ms.size(), worst, r.ideal_jct_ms,
+                    r.all_done ? "yes" : "no");
+      out = buf;
+      break;
+    }
+    case ExperimentConfig::Kind::kUnequalPaths: {
+      UnequalPathsResult r =
+          run_unequal_paths(cfg.longflow.scheme, cfg.unequal_ratio, cfg.longflow.flow_bytes);
+      std::snprintf(buf, sizeof(buf), "unequal_paths %s ratio 1:%g: avg goodput %.2f Gbps\n",
+                    scheme_name(cfg.longflow.scheme), cfg.unequal_ratio, r.avg_goodput_gbps);
+      out = buf;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace dcp

@@ -1,0 +1,48 @@
+#pragma once
+// Text-file experiment configuration: a small `key = value` format (with
+// `#` comments) that maps onto the harness runners, so experiments can be
+// scripted without recompiling.  Used by `examples/run_config`.
+//
+//   experiment = websearch        # websearch | longflow | collective | unequal_paths
+//   scheme     = dcp              # dcp irn irn-ecmp pfc mprdma cx5 timeout racktlp tcp
+//   with_cc    = true
+//   cc         = timely           # dcqcn | timely
+//   load       = 0.5
+//   flows      = 800
+//   spines     = 4
+//   leaves     = 4
+//   hosts_per_leaf = 4
+//   incast     = true
+//   incast_fan_in = 12
+//   ...
+
+#include <optional>
+#include <string>
+
+#include "harness/experiment.h"
+
+namespace dcp {
+
+struct ExperimentConfig {
+  enum class Kind { kWebSearch, kLongFlow, kCollective, kUnequalPaths };
+  Kind kind = Kind::kWebSearch;
+
+  WebSearchParams websearch;
+  LongFlowParams longflow;
+  CollectiveExpParams collective;
+  double unequal_ratio = 4.0;
+};
+
+/// Parses config text.  On failure returns nullopt and, if `error` is
+/// non-null, a message naming the offending line/key.
+std::optional<ExperimentConfig> parse_experiment_config(const std::string& text,
+                                                        std::string* error = nullptr);
+
+/// Reads and parses a config file.
+std::optional<ExperimentConfig> load_experiment_config(const std::string& path,
+                                                       std::string* error = nullptr);
+
+/// Runs the configured experiment and returns a printable report.
+std::string run_configured_experiment(const ExperimentConfig& cfg);
+
+}  // namespace dcp

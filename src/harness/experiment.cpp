@@ -1,0 +1,235 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+
+namespace dcp {
+
+LongFlowResult run_long_flow(const LongFlowParams& p) {
+  Simulator sim;
+  Logger log(LogLevel::kError);
+  Network net(sim, log);
+
+  SchemeSetup setup = make_scheme(p.scheme, p.opt);
+  TestbedParams tb;
+  tb.sw = setup.sw;
+  tb.cross_link_delay = p.cross_link_delay;
+  TestbedTopology topo = build_testbed(net, tb);
+  // Loss is injected at switch 1 only (the paper manipulates one switch).
+  topo.sw1->config().inject_loss_rate = p.loss_rate;
+  apply_scheme(net, setup);
+
+  FlowSpec spec;
+  spec.src = topo.hosts[0]->id();
+  spec.dst = topo.hosts[tb.hosts_per_switch]->id();  // cross-switch
+  spec.bytes = p.flow_bytes;
+  spec.start_time = 0;
+  spec.msg_bytes = p.opt.msg_bytes;
+  const FlowId id = net.start_flow(spec);
+
+  net.run_until_done(p.max_time);
+
+  LongFlowResult r;
+  const FlowRecord& rec = net.record(id);
+  r.completed = rec.complete();
+  r.elapsed = r.completed ? rec.fct() : sim.now();
+  // Live stats if the flow did not finish inside the budget.
+  Host* dst = net.host(spec.dst);
+  Host* src = net.host(spec.src);
+  r.receiver = rec.complete() ? rec.receiver : dst->receiver(id)->stats();
+  r.sender = rec.complete() ? rec.sender : src->sender(id)->stats();
+  if (r.elapsed > 0) {
+    r.goodput_gbps = static_cast<double>(r.receiver.bytes_received) * 8.0 /
+                     (static_cast<double>(r.elapsed) / kSecond) / 1e9;
+  }
+  r.sw = net.total_switch_stats();
+  return r;
+}
+
+UnequalPathsResult run_unequal_paths(SchemeKind scheme, double ratio, std::uint64_t flow_bytes,
+                                     const SchemeOptions& opt, std::uint16_t sport_base) {
+  Simulator sim;
+  Logger log(LogLevel::kError);
+  Network net(sim, log);
+  net.set_sport_base(sport_base);
+
+  SchemeSetup setup = make_scheme(scheme, opt);
+  TestbedParams tb;
+  tb.sw = setup.sw;
+  // Two cross links with capacities 1 : 1/ratio (the paper modifies port
+  // capacities to 1:1, 1:4, 1:10).
+  tb.cross_links = {Bandwidth::gbps(100), Bandwidth::gbps(100.0 / ratio)};
+  TestbedTopology topo = build_testbed(net, tb);
+  apply_scheme(net, setup);
+
+  // Two senders on switch 1, two receivers on switch 2.
+  std::vector<FlowId> ids;
+  for (int i = 0; i < 2; ++i) {
+    FlowSpec spec;
+    spec.src = topo.hosts[static_cast<std::size_t>(i)]->id();
+    spec.dst = topo.hosts[static_cast<std::size_t>(tb.hosts_per_switch + i)]->id();
+    spec.bytes = flow_bytes;
+    spec.start_time = 0;
+    spec.msg_bytes = opt.msg_bytes;
+    ids.push_back(net.start_flow(spec));
+  }
+  net.run_until_done(milliseconds(500));
+
+  UnequalPathsResult r;
+  for (int i = 0; i < 2; ++i) {
+    const FlowRecord& rec = net.record(ids[static_cast<std::size_t>(i)]);
+    double g = 0.0;
+    if (rec.complete()) {
+      g = static_cast<double>(rec.spec.bytes) * 8.0 /
+          (static_cast<double>(rec.fct()) / kSecond) / 1e9;
+    } else {
+      Host* dst = net.host(rec.spec.dst);
+      const auto& st = dst->receiver(rec.spec.id)->stats();
+      g = static_cast<double>(st.bytes_received) * 8.0 /
+          (static_cast<double>(sim.now()) / kSecond) / 1e9;
+    }
+    r.flow_goodputs[i] = g;
+  }
+  r.avg_goodput_gbps = (r.flow_goodputs[0] + r.flow_goodputs[1]) / 2.0;
+  return r;
+}
+
+WebSearchResult run_websearch(const WebSearchParams& p) {
+  Simulator sim;
+  Logger log(LogLevel::kError);
+  Network net(sim, log);
+
+  SchemeSetup setup = make_scheme(p.scheme, p.opt);
+  ClosParams clos = p.clos;
+  clos.sw = setup.sw;
+  if (setup.sw.pfc.enabled) clos.sw.pfc.enabled = true;
+  ClosTopology topo = build_clos(net, clos);
+  apply_scheme(net, setup);
+
+  FlowGenParams fg;
+  fg.load = p.load;
+  fg.host_rate = clos.link;
+  fg.num_flows = p.num_flows;
+  fg.seed = p.seed;
+  fg.msg_bytes = p.opt.msg_bytes;
+  generate_poisson_flows(
+      net, topo.hosts,
+      p.dist == WorkloadDist::kDataMining ? SizeDist::datamining() : SizeDist::websearch(), fg);
+
+  if (p.with_incast) {
+    IncastParams ip = p.incast;
+    ip.host_rate = clos.link;
+    ip.msg_bytes = p.opt.msg_bytes;
+    generate_incast(net, topo.hosts, ip);
+  }
+
+  net.run_until_done(p.max_time);
+
+  WebSearchResult r;
+  for (const FlowRecord& rec : net.records()) {
+    r.flows_total++;
+    if (!rec.complete()) continue;
+    r.flows_completed++;
+    const Time ideal = net.ideal_fct(rec.spec.src, rec.spec.dst, rec.spec.bytes);
+    if (rec.spec.background) {
+      r.background.add(rec, ideal);
+      r.timeouts_background += rec.sender.timeouts;
+      r.timeouts_per_flow_bg.push_back(rec.sender.timeouts);
+    } else {
+      r.incast_flows.add(rec, ideal);
+      r.timeouts_incast += rec.sender.timeouts;
+      r.timeouts_per_flow_incast.push_back(rec.sender.timeouts);
+    }
+    if (rec.sender.data_packets_sent > 0) {
+      r.retrans.push_back(RetransSample{
+          rec.spec.bytes,
+          static_cast<double>(rec.sender.retransmitted_packets) /
+              static_cast<double>(rec.sender.data_packets_sent),
+          rec.spec.background});
+    }
+  }
+  r.sw = net.total_switch_stats();
+  const std::uint64_t ho_total = r.sw.ho_seen + r.sw.dropped_ho;
+  r.ho_loss_ratio =
+      ho_total == 0 ? 0.0 : static_cast<double>(r.sw.dropped_ho) / static_cast<double>(ho_total);
+  return r;
+}
+
+CollectiveResult run_collectives(const CollectiveExpParams& p) {
+  Simulator sim;
+  Logger log(LogLevel::kError);
+  Network net(sim, log);
+
+  SchemeSetup setup = make_scheme(p.scheme, p.opt);
+  std::vector<Host*> hosts;
+  Bandwidth rate = Bandwidth::gbps(100);
+  if (p.use_clos) {
+    ClosParams clos = p.clos;
+    clos.sw = setup.sw;
+    if (setup.sw.pfc.enabled) clos.sw.pfc.enabled = true;
+    ClosTopology topo = build_clos(net, clos);
+    hosts = topo.hosts;
+    rate = clos.link;
+  } else {
+    TestbedParams tb;
+    tb.sw = setup.sw;
+    TestbedTopology topo = build_testbed(net, tb);
+    hosts = topo.hosts;
+    rate = tb.host_link;
+  }
+  apply_scheme(net, setup);
+
+  const int total_members = p.groups * p.members_per_group;
+  (void)total_members;
+  std::vector<std::unique_ptr<Collective>> collectives;
+  CollectiveParams cp_template;
+  cp_template.total_bytes = p.total_bytes;
+  cp_template.msg_bytes = p.opt.msg_bytes;
+
+  for (int g = 0; g < p.groups; ++g) {
+    CollectiveParams cp = cp_template;
+    cp.group_tag = g;
+    for (int m = 0; m < p.members_per_group; ++m) {
+      // Spread members across the topology: member m of group g is host
+      // m * groups + g, interleaving groups across racks like a real job
+      // placement would.
+      const std::size_t idx =
+          (static_cast<std::size_t>(m) * static_cast<std::size_t>(p.groups) +
+           static_cast<std::size_t>(g)) %
+          hosts.size();
+      cp.members.push_back(hosts[idx]->id());
+    }
+    if (p.kind == CollectiveKind::kAllReduce) {
+      collectives.push_back(std::make_unique<RingAllReduce>(net, cp));
+    } else {
+      collectives.push_back(std::make_unique<AllToAll>(net, cp));
+    }
+  }
+
+  // Collectives create flows dynamically; run until every group reports
+  // completion or the budget expires.
+  while (sim.now() < p.max_time) {
+    bool all = true;
+    for (const auto& c : collectives) all = all && c->done();
+    if (all) break;
+    sim.run(std::min(p.max_time, sim.now() + milliseconds(1)));
+    if (sim.idle()) break;
+  }
+
+  CollectiveResult r;
+  r.all_done = true;
+  for (const auto& c : collectives) {
+    r.all_done = r.all_done && c->done();
+    r.jct_ms.push_back(to_ms(c->jct()));
+  }
+  for (const FlowRecord& rec : net.records()) {
+    if (rec.complete()) r.flow_fct_ms.push_back(to_ms(rec.fct()));
+  }
+  CollectiveParams ideal_cp = cp_template;
+  ideal_cp.members.resize(static_cast<std::size_t>(p.members_per_group));
+  r.ideal_jct_ms = to_ms(p.kind == CollectiveKind::kAllReduce
+                             ? RingAllReduce::ideal_jct(ideal_cp, rate)
+                             : AllToAll::ideal_jct(ideal_cp, rate));
+  return r;
+}
+
+}  // namespace dcp

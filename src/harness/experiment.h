@@ -1,0 +1,129 @@
+#pragma once
+// One-call experiment runners shared by the bench binaries and the
+// integration tests.  Each builds its own Simulator + Network, deploys a
+// scheme, drives a workload, and returns the measurements the paper plots.
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/scheme.h"
+#include "stats/fct_stats.h"
+#include "topo/clos.h"
+#include "topo/testbed.h"
+#include "workload/collective.h"
+#include "workload/flowgen.h"
+#include "workload/incast.h"
+
+namespace dcp {
+
+// ---------------------------------------------------------------------------
+// Long-running flow on the testbed (Figs. 10, 17, long-haul)
+// ---------------------------------------------------------------------------
+
+struct LongFlowParams {
+  SchemeKind scheme = SchemeKind::kDcp;
+  SchemeOptions opt;
+  double loss_rate = 0.0;            // injected at switch 1
+  std::uint64_t flow_bytes = 25ull * 1000 * 1000;
+  Time max_time = milliseconds(200);
+  Time cross_link_delay = microseconds(1);  // 50 us = the 10 km fiber
+  std::uint64_t seed = 1;
+};
+
+struct LongFlowResult {
+  double goodput_gbps = 0.0;   // receiver bytes / elapsed
+  bool completed = false;
+  Time elapsed = 0;
+  SenderStats sender;
+  ReceiverStats receiver;
+  Switch::Stats sw;
+};
+
+LongFlowResult run_long_flow(const LongFlowParams& p);
+
+// ---------------------------------------------------------------------------
+// Adaptive routing over unequal paths (Fig. 11)
+// ---------------------------------------------------------------------------
+
+struct UnequalPathsResult {
+  double avg_goodput_gbps = 0.0;
+  double flow_goodputs[2] = {0.0, 0.0};
+};
+
+/// Two cross-switch flows over two cross links with capacity `ratio`:1.
+/// `sport_base` varies the ECMP hash draw across trials.
+UnequalPathsResult run_unequal_paths(SchemeKind scheme, double ratio,
+                                     std::uint64_t flow_bytes = 12ull * 1000 * 1000,
+                                     const SchemeOptions& opt = {},
+                                     std::uint16_t sport_base = 10000);
+
+// ---------------------------------------------------------------------------
+// WebSearch background (+ optional incast) on the CLOS fabric
+// (Figs. 1, 2, 13, 15, 16; Table 5)
+// ---------------------------------------------------------------------------
+
+enum class WorkloadDist { kWebSearch, kDataMining };
+
+struct WebSearchParams {
+  SchemeKind scheme = SchemeKind::kDcp;
+  SchemeOptions opt;
+  ClosParams clos;                 // sw config is overwritten by the scheme
+  WorkloadDist dist = WorkloadDist::kWebSearch;
+  double load = 0.3;
+  std::size_t num_flows = 500;
+  bool with_incast = false;
+  IncastParams incast;
+  Time max_time = seconds(2);
+  std::uint64_t seed = 42;
+};
+
+struct RetransSample {
+  std::uint64_t flow_bytes;
+  double retrans_ratio;  // retransmitted / total data packets sent
+  bool background;
+};
+
+struct WebSearchResult {
+  FctStats background;       // slowdowns of background flows
+  FctStats incast_flows;     // slowdowns of incast flows
+  std::uint64_t timeouts_background = 0;
+  std::uint64_t timeouts_incast = 0;
+  std::vector<RetransSample> retrans;   // per-flow retransmission ratios
+  std::vector<std::uint64_t> timeouts_per_flow_bg;
+  std::vector<std::uint64_t> timeouts_per_flow_incast;
+  Switch::Stats sw;
+  std::size_t flows_total = 0;
+  std::size_t flows_completed = 0;
+  double ho_loss_ratio = 0.0;  // dropped HO / (dropped + delivered) (Table 5)
+};
+
+WebSearchResult run_websearch(const WebSearchParams& p);
+
+// ---------------------------------------------------------------------------
+// Collectives (Figs. 12, 14)
+// ---------------------------------------------------------------------------
+
+enum class CollectiveKind { kAllReduce, kAllToAll };
+
+struct CollectiveExpParams {
+  SchemeKind scheme = SchemeKind::kDcp;
+  SchemeOptions opt;
+  CollectiveKind kind = CollectiveKind::kAllReduce;
+  int groups = 4;
+  int members_per_group = 4;
+  std::uint64_t total_bytes = 16ull * 1024 * 1024;  // per collective op
+  bool use_clos = true;      // false: the 2-switch testbed (Fig. 12)
+  ClosParams clos;
+  Time max_time = seconds(5);
+};
+
+struct CollectiveResult {
+  std::vector<double> jct_ms;        // one per group
+  std::vector<double> flow_fct_ms;   // all individual flows (CDF source)
+  double ideal_jct_ms = 0.0;
+  bool all_done = false;
+};
+
+CollectiveResult run_collectives(const CollectiveExpParams& p);
+
+}  // namespace dcp

@@ -1,0 +1,68 @@
+#include "host/host.h"
+
+namespace dcp {
+
+void Host::receive(Packet pkt, std::uint32_t in_port) {
+  maybe_trace(pkt, in_port);
+  (void)in_port;
+  if (pkt.type == PktType::kPfcPause || pkt.type == PktType::kPfcResume) {
+    nic_.set_paused(pkt.type == PktType::kPfcPause);
+    return;
+  }
+
+  switch (pkt.type) {
+    case PktType::kData: {
+      if (auto* r = receiver(pkt.flow)) {
+        r->on_packet(std::move(pkt));
+        return;
+      }
+      break;
+    }
+    case PktType::kAck:
+    case PktType::kSack:
+    case PktType::kNack:
+    case PktType::kCnp: {
+      if (auto* s = sender(pkt.flow)) {
+        s->on_packet(std::move(pkt));
+        return;
+      }
+      break;
+    }
+    case PktType::kHeaderOnly: {
+      // First leg (switch -> receiver): the receiver bounces it back.
+      // Second leg (receiver -> sender): drives HO-based retransmission.
+      if (auto* r = receiver(pkt.flow)) {
+        r->on_packet(std::move(pkt));
+        return;
+      }
+      if (auto* s = sender(pkt.flow)) {
+        s->on_packet(std::move(pkt));
+        return;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  unroutable_++;
+}
+
+void Host::add_sender(std::unique_ptr<SenderTransport> s) {
+  senders_[s->spec().id] = std::move(s);
+}
+
+void Host::add_receiver(std::unique_ptr<ReceiverTransport> r) {
+  receivers_[r->spec().id] = std::move(r);
+}
+
+SenderTransport* Host::sender(FlowId id) {
+  auto it = senders_.find(id);
+  return it == senders_.end() ? nullptr : it->second.get();
+}
+
+ReceiverTransport* Host::receiver(FlowId id) {
+  auto it = receivers_.find(id);
+  return it == receivers_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace dcp

@@ -1,0 +1,46 @@
+#pragma once
+// An end host: one NIC (uplink to its leaf switch) plus the per-flow
+// sender/receiver transports living on it.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "host/rnic_scheduler.h"
+#include "host/transport.h"
+#include "net/node.h"
+
+namespace dcp {
+
+class Host final : public Node {
+ public:
+  Host(Simulator& sim, Logger& log, NodeId id, std::string name, Bandwidth nic_bw,
+       Time link_propagation)
+      : Node(sim, log, id, std::move(name)), nic_(sim, nic_bw, link_propagation) {}
+
+  RnicScheduler& nic() { return nic_; }
+  void connect(Node* sw, std::uint32_t sw_port) { nic_.channel().connect(sw, sw_port); }
+
+  void receive(Packet pkt, std::uint32_t in_port) override;
+
+  void add_sender(std::unique_ptr<SenderTransport> s);
+  void add_receiver(std::unique_ptr<ReceiverTransport> r);
+  SenderTransport* sender(FlowId id);
+  ReceiverTransport* receiver(FlowId id);
+
+  /// Fired when a sender considers its flow fully acknowledged.
+  std::function<void(FlowId)> on_sender_done;
+  /// Fired when a receiver has every byte of the flow.
+  std::function<void(FlowId)> on_receiver_done;
+
+  std::uint64_t unroutable_packets() const { return unroutable_; }
+
+ private:
+  RnicScheduler nic_;
+  std::unordered_map<FlowId, std::unique_ptr<SenderTransport>> senders_;
+  std::unordered_map<FlowId, std::unique_ptr<ReceiverTransport>> receivers_;
+  std::uint64_t unroutable_ = 0;
+};
+
+}  // namespace dcp

@@ -1,0 +1,83 @@
+#include "host/rnic_scheduler.h"
+
+#include <algorithm>
+
+namespace dcp {
+
+void RnicScheduler::send_control(Packet pkt) {
+  control_q_.push_back(std::move(pkt));
+  kick();
+}
+
+void RnicScheduler::register_sender(SenderTransport* s) {
+  senders_.push_back(s);
+  kick();
+}
+
+void RnicScheduler::deregister_sender(SenderTransport* s) {
+  auto it = std::find(senders_.begin(), senders_.end(), s);
+  if (it == senders_.end()) return;
+  const std::size_t idx = static_cast<std::size_t>(it - senders_.begin());
+  senders_.erase(it);
+  if (rr_ > idx) --rr_;
+  if (!senders_.empty()) rr_ %= senders_.size();
+}
+
+void RnicScheduler::set_paused(bool paused) {
+  paused_ = paused;
+  if (!paused_) kick();
+}
+
+void RnicScheduler::transmit(Packet pkt) {
+  tx_packets_++;
+  tx_bytes_ += pkt.wire_bytes;
+  const Time ser = channel_.serialization(pkt.wire_bytes);
+  channel_.deliver(std::move(pkt), ser);
+  transmitting_ = true;
+  sim_.schedule(ser, [this] {
+    transmitting_ = false;
+    kick();
+  });
+}
+
+void RnicScheduler::kick() {
+  if (transmitting_ || paused_) return;
+  if (wakeup_ != kInvalidEvent) {
+    sim_.cancel(wakeup_);
+    wakeup_ = kInvalidEvent;
+  }
+
+  // Stage 1: control packets (strict priority).
+  if (!control_q_.empty()) {
+    Packet pkt = std::move(control_q_.front());
+    control_q_.pop_front();
+    transmit(std::move(pkt));
+    return;
+  }
+
+  // Stage 2: round-robin over active QPs with an eligible packet.
+  const Time now = sim_.now();
+  const std::size_t n = senders_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    SenderTransport* s = senders_[(rr_ + i) % n];
+    if (s->has_packet(now)) {
+      rr_ = (rr_ + i + 1) % n;
+      transmit(s->next_packet());
+      return;
+    }
+  }
+
+  // Nothing eligible now; wake up when the earliest pacing gate opens.
+  Time earliest = kTimeInfinity;
+  for (SenderTransport* s : senders_) {
+    earliest = std::min(earliest, s->next_eligible(now));
+  }
+  if (earliest != kTimeInfinity && earliest > now) {
+    wakeup_ = sim_.schedule_at(earliest, [this] {
+      wakeup_ = kInvalidEvent;
+      kick();
+    });
+  }
+}
+
+}  // namespace dcp

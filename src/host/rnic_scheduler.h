@@ -1,0 +1,59 @@
+#pragma once
+// The host-side RNIC transmit scheduler.
+//
+// Models the QP arbitration of an RNIC's Tx pipeline: a strict-priority
+// control stage (ACKs, CNPs, bounced header-only packets) over a
+// round-robin data stage that pulls one packet at a time from active QPs
+// whose window and pacing allow it.  The wire runs at NIC line rate; a
+// QP's own CC rate gates its eligibility, not the wire.
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "host/transport.h"
+#include "net/channel.h"
+#include "sim/simulator.h"
+
+namespace dcp {
+
+class RnicScheduler {
+ public:
+  RnicScheduler(Simulator& sim, Bandwidth bw, Time propagation)
+      : sim_(sim), channel_(sim, bw, propagation) {}
+
+  Channel& channel() { return channel_; }
+  Bandwidth line_rate() const { return channel_.bandwidth(); }
+
+  /// Queues a control packet (strict priority over data).
+  void send_control(Packet pkt);
+
+  void register_sender(SenderTransport* s);
+  void deregister_sender(SenderTransport* s);
+
+  /// Re-evaluates eligibility; called whenever window/pacing state changes.
+  void kick();
+
+  /// PFC PAUSE/RESUME from the attached switch.
+  void set_paused(bool paused);
+
+  std::uint64_t tx_packets() const { return tx_packets_; }
+  std::uint64_t tx_bytes() const { return tx_bytes_; }
+  std::size_t active_senders() const { return senders_.size(); }
+
+ private:
+  void transmit(Packet pkt);
+
+  Simulator& sim_;
+  Channel channel_;
+  std::deque<Packet> control_q_;
+  std::vector<SenderTransport*> senders_;
+  std::size_t rr_ = 0;
+  bool transmitting_ = false;
+  bool paused_ = false;
+  EventId wakeup_ = kInvalidEvent;
+  std::uint64_t tx_packets_ = 0;
+  std::uint64_t tx_bytes_ = 0;
+};
+
+}  // namespace dcp

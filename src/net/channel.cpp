@@ -1,0 +1,19 @@
+#include "net/channel.h"
+
+namespace dcp {
+
+void Channel::deliver(Packet pkt, Time extra) {
+  if (!up_) {
+    discarded_packets_++;
+    return;
+  }
+  delivered_packets_++;
+  delivered_bytes_ += pkt.wire_bytes;
+  Node* dst = dst_;
+  const std::uint32_t port = dst_port_;
+  sim_.schedule(extra + propagation_, [dst, port, p = std::move(pkt)]() mutable {
+    dst->receive(std::move(p), port);
+  });
+}
+
+}  // namespace dcp

@@ -1,0 +1,57 @@
+#pragma once
+// A unidirectional point-to-point wire: fixed bandwidth + propagation delay.
+// A full-duplex cable is two Channels.  The egress Port drives the channel
+// (it decides when transmission starts); the Channel schedules delivery at
+// the far end.
+
+#include <cstdint>
+#include <functional>
+
+#include "net/node.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace dcp {
+
+class Channel {
+ public:
+  Channel(Simulator& sim, Bandwidth bw, Time propagation)
+      : sim_(sim), bw_(bw), propagation_(propagation) {}
+
+  void connect(Node* dst, std::uint32_t dst_port) {
+    dst_ = dst;
+    dst_port_ = dst_port;
+  }
+
+  Bandwidth bandwidth() const { return bw_; }
+  Time propagation() const { return propagation_; }
+  Time serialization(std::uint32_t bytes) const { return bw_.serialize(bytes); }
+  Node* peer() const { return dst_; }
+  std::uint32_t peer_port() const { return dst_port_; }
+
+  /// Schedules delivery of `pkt` at the far end, `extra` (typically the
+  /// serialization time) plus the propagation delay from now.
+  void deliver(Packet pkt, Time extra);
+
+  /// A downed channel discards everything handed to it (cut fiber).
+  void set_up(bool up) { up_ = up; }
+  bool up() const { return up_; }
+
+  std::uint64_t delivered_packets() const { return delivered_packets_; }
+  std::uint64_t delivered_bytes() const { return delivered_bytes_; }
+  std::uint64_t discarded_packets() const { return discarded_packets_; }
+
+ private:
+  Simulator& sim_;
+  Bandwidth bw_;
+  Time propagation_;
+  Node* dst_ = nullptr;
+  std::uint32_t dst_port_ = 0;
+  bool up_ = true;
+  std::uint64_t delivered_packets_ = 0;
+  std::uint64_t delivered_bytes_ = 0;
+  std::uint64_t discarded_packets_ = 0;
+};
+
+}  // namespace dcp

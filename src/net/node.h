@@ -1,0 +1,46 @@
+#pragma once
+// Base class for anything attached to the network graph (hosts, switches).
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "net/packet.h"
+#include "sim/logger.h"
+#include "sim/simulator.h"
+
+namespace dcp {
+
+class Node {
+ public:
+  Node(Simulator& sim, Logger& log, NodeId id, std::string name)
+      : sim_(sim), log_(log), id_(id), name_(std::move(name)) {}
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  /// Delivery of a packet arriving on `in_port`.
+  virtual void receive(Packet pkt, std::uint32_t in_port) = 0;
+
+  /// Optional per-node observation hook, invoked for every packet the node
+  /// receives (before processing).  Installed by diagnostic tooling such
+  /// as PacketTracer; nullptr in normal operation.
+  std::function<void(const Node&, const Packet&, std::uint32_t)> trace_hook;
+
+ protected:
+  void maybe_trace(const Packet& pkt, std::uint32_t in_port) const {
+    if (trace_hook) trace_hook(*this, pkt, in_port);
+  }
+
+  Simulator& sim_;
+  Logger& log_;
+
+ private:
+  NodeId id_;
+  std::string name_;
+};
+
+}  // namespace dcp

@@ -1,0 +1,135 @@
+#pragma once
+// The simulated packet and the RoCEv2 + DCP header model.
+//
+// We do not carry payload bytes — only sizes — but every header field the
+// protocols actually consult is modeled explicitly, including the DCP
+// extensions of Fig. 4: the 2-bit DCP tag in the IP ToS field, the MSN,
+// the SSN for two-sided operations, sRetryNo in data packets, eMSN in ACKs,
+// and the RETH carried in *every* packet of a Write (not just the first).
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+
+namespace dcp {
+
+using NodeId = std::uint32_t;
+using FlowId = std::uint64_t;
+inline constexpr NodeId kInvalidNode = UINT32_MAX;
+
+/// 2-bit tag in the IP ToS field (paper §4.2).
+enum class DcpTag : std::uint8_t {
+  kNonDcp = 0b00,      // dropped when over threshold
+  kAck = 0b01,         // DCP ACK; dropped when over threshold
+  kData = 0b10,        // trimmed to header-only when over threshold
+  kHeaderOnly = 0b11,  // enqueued into the control queue, never trimmed
+};
+
+enum class PktType : std::uint8_t {
+  kData,        // payload-carrying data packet
+  kAck,         // cumulative ACK (GBN/DCP eMSN ACK/TCP ACK)
+  kSack,        // selective ACK (IRN)
+  kNack,        // NAK/duplicate indication (GBN)
+  kCnp,         // DCQCN congestion notification packet
+  kHeaderOnly,  // trimmed data packet (switch -> receiver -> sender)
+  kPfcPause,    // PFC PAUSE frame (hop-local)
+  kPfcResume,   // PFC RESUME frame (hop-local)
+};
+
+/// RDMA operation carried by a data packet.
+enum class RdmaOp : std::uint8_t { kWrite, kWriteWithImm, kSend };
+
+/// Header byte sizes (paper §4.2 footnote: 57 B = 14 MAC + 20 IP + 8 UDP +
+/// 12 BTH + 3 MSN).
+struct HeaderSizes {
+  static constexpr std::uint32_t kEth = 14;
+  static constexpr std::uint32_t kIp = 20;
+  static constexpr std::uint32_t kUdp = 8;
+  static constexpr std::uint32_t kBth = 12;
+  static constexpr std::uint32_t kMsn = 3;        // DCP MSN field
+  static constexpr std::uint32_t kReth = 16;      // remote address + rkey + len
+  static constexpr std::uint32_t kSsn = 3;        // DCP SSN field (two-sided)
+  static constexpr std::uint32_t kAeth = 4;
+  static constexpr std::uint32_t kEmsn = 3;       // DCP eMSN in ACKs
+
+  static constexpr std::uint32_t kRoceData = kEth + kIp + kUdp + kBth;       // 54
+  static constexpr std::uint32_t kDcpHeaderOnly = kRoceData + kMsn;          // 57
+  static constexpr std::uint32_t kRoceAck = kEth + kIp + kUdp + kBth + kAeth;  // 58
+  static constexpr std::uint32_t kDcpAck = kRoceAck + kEmsn;                 // 61
+  static constexpr std::uint32_t kPfcFrame = 64;
+  static constexpr std::uint32_t kCnp = kRoceAck;
+};
+
+/// Queue class at switch egress ports.
+enum class QueueClass : std::uint8_t {
+  kData = 0,     // normal data queue (lossy under DCP; lossless under PFC)
+  kControl = 1,  // DCP control queue for header-only packets
+};
+inline constexpr int kNumQueueClasses = 2;
+
+struct Packet {
+  // ---- Addressing -------------------------------------------------------
+  NodeId src = kInvalidNode;  // originating host
+  NodeId dst = kInvalidNode;  // destination host
+  std::uint16_t sport = 0;    // UDP source port (ECMP entropy)
+  std::uint16_t dport = 4791; // RoCEv2
+  FlowId flow = 0;            // flow / QP identifier (globally unique)
+
+  // ---- Classification ---------------------------------------------------
+  PktType type = PktType::kData;
+  DcpTag tag = DcpTag::kNonDcp;
+  RdmaOp op = RdmaOp::kWrite;
+  QueueClass queue_class = QueueClass::kData;
+  std::uint8_t pfc_class = 0;  // PFC priority class
+
+  // ---- Sizes ------------------------------------------------------------
+  std::uint32_t wire_bytes = 0;     // total size on the wire
+  std::uint32_t payload_bytes = 0;  // application bytes carried
+
+  // ---- Sequencing -------------------------------------------------------
+  std::uint32_t psn = 0;       // packet sequence number within the flow
+  std::uint32_t msn = 0;       // message sequence number (DCP)
+  std::uint32_t ssn = 0;       // send sequence number (two-sided ops)
+  std::uint32_t ack_psn = 0;   // cumulative ACK / expected PSN
+  std::uint32_t sack_psn = 0;  // PSN selectively acknowledged (IRN SACK)
+  std::uint32_t emsn = 0;      // DCP ACK: expected MSN
+  std::uint8_t retry_no = 0;   // DCP sRetryNo (timeout round)
+  Time echo_ts = -1;           // ACKs echo the data packet's send time (RTT)
+  bool last_of_msg = false;
+  bool last_of_flow = false;
+
+  // ---- Order-tolerant reception (paper §4.4) ----------------------------
+  bool has_reth = false;        // RETH present (every DCP Write packet)
+  std::uint64_t remote_addr = 0;
+
+  // ---- Congestion signalling --------------------------------------------
+  bool ecn_capable = false;
+  bool ecn_ce = false;  // CE mark applied by a switch
+
+  // ---- Load balancing ---------------------------------------------------
+  std::uint32_t path_id = 0;  // entropy value; MP-RDMA virtual path
+
+  // ---- PFC frames (hop-local) -------------------------------------------
+  std::uint8_t pause_class = 0;
+  bool pause_on = false;
+
+  // ---- Bookkeeping ------------------------------------------------------
+  Time sent_at = 0;        // when the sender injected it
+  std::uint64_t uid = 0;   // unique per transmission (debugging/tracing)
+  bool is_retransmit = false;
+  // Switch-internal: ingress port the packet was buffered against (for
+  // shared-buffer / PFC accounting).  Reset at every hop.
+  std::uint32_t acct_in_port = UINT32_MAX;
+
+  bool is_control() const {
+    return type != PktType::kData;
+  }
+
+  std::string brief() const;
+};
+
+/// Builds the ECMP hash input from the 5-tuple plus the path entropy field.
+std::uint64_t ecmp_key(const Packet& p);
+
+}  // namespace dcp

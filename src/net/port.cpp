@@ -1,0 +1,49 @@
+#include "net/port.h"
+
+namespace dcp {
+
+void Port::enqueue(Packet pkt) {
+  const int c = static_cast<int>(pkt.queue_class);
+  queues_[c].push(std::move(pkt));
+  stats_.enqueued_packets++;
+  try_transmit();
+}
+
+void Port::send_oob(Packet pkt) {
+  channel_.deliver(std::move(pkt), channel_.serialization(HeaderSizes::kPfcFrame));
+}
+
+void Port::set_paused(int queue_class, bool paused) {
+  if (paused_[queue_class] == paused) return;
+  paused_[queue_class] = paused;
+  if (!paused) try_transmit();
+}
+
+std::uint64_t Port::total_queued_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& q : queues_) total += q.bytes();
+  return total;
+}
+
+void Port::try_transmit() {
+  if (transmitting_) return;
+  const int c = policy_->select(queues_, paused_);
+  if (c < 0) return;
+
+  Packet pkt = queues_[c].pop();
+  policy_->charge(c, pkt.wire_bytes);
+  stats_.tx_packets++;
+  stats_.tx_bytes += pkt.wire_bytes;
+  stats_.tx_packets_by_class[c]++;
+  if (on_dequeue) on_dequeue(pkt);
+
+  const Time ser = channel_.serialization(pkt.wire_bytes);
+  channel_.deliver(std::move(pkt), ser);
+  transmitting_ = true;
+  sim_.schedule(ser, [this] {
+    transmitting_ = false;
+    try_transmit();
+  });
+}
+
+}  // namespace dcp

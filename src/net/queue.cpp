@@ -1,0 +1,3 @@
+#include "net/queue.h"
+
+// Header-only today; this TU anchors the library target.

@@ -1,0 +1,56 @@
+#pragma once
+// Byte-exact wire format for the RoCEv2 + DCP headers of Fig. 4.
+//
+// The simulator itself moves metadata structs, but a credible RNIC design
+// must pin down the actual encoding: this module serializes/parses the
+// packet headers exactly as the FPGA/P4 prototypes would emit them —
+// Ethernet / IPv4 (DCP tag in the two low ToS bits) / UDP / BTH (sRetryNo
+// in the reserved byte) / MSN, plus RETH for one-sided ops, SSN for
+// two-sided ops, and AETH + eMSN for DCP ACKs.  The encoded sizes are, by
+// construction, the HeaderSizes constants the rest of the library uses —
+// including the 57-byte header-only packet the paper's §4.2 footnote
+// derives.
+//
+// Network byte order (big-endian) throughout, as on the wire.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace dcp::wire {
+
+/// RoCEv2 BTH opcodes (RC transport class), the subset DCP uses, plus
+/// vendor-space opcodes for DCP's control packets.
+enum class BthOpcode : std::uint8_t {
+  kRcWriteOnly = 0x0A,       // RDMA WRITE Only
+  kRcWriteOnlyImm = 0x0B,    // RDMA WRITE Only with Immediate
+  kRcSendOnly = 0x04,        // SEND Only
+  kRcAck = 0x11,             // Acknowledge
+  kDcpHeaderOnly = 0xC0,     // vendor: trimmed header-only packet
+  kDcpCnp = 0x81,            // CNP (RoCEv2 CNP opcode)
+};
+
+/// Encodes the full header (+ zero-filled payload placeholder if
+/// `include_payload`); returns the raw bytes.
+std::vector<std::uint8_t> encode(const Packet& pkt, bool include_payload = false);
+
+/// Parses a packet from raw bytes.  Returns std::nullopt on malformed
+/// input (truncated headers, bad version, unknown opcode, checksum
+/// mismatch).
+std::optional<Packet> decode(std::span<const std::uint8_t> bytes);
+
+/// Header length (bytes) the encoder will emit for this packet.
+std::uint32_t header_bytes(const Packet& pkt);
+
+/// The IPv4 header checksum (RFC 791) over a 20-byte header.
+std::uint16_t ipv4_checksum(std::span<const std::uint8_t> header20);
+
+/// Synthetic addressing used on the simulated wire: node ids map to
+/// 10.(id>>8).(id&255).1 and a locally administered MAC.
+std::uint32_t ip_of_node(NodeId id);
+std::uint64_t mac_of_node(NodeId id);  // 48 bits used
+
+}  // namespace dcp::wire

@@ -1,0 +1,49 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+
+namespace dcp {
+
+EventId EventQueue::push(Time t, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  heap_.push_back(Entry{t, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_;
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id == kInvalidEvent || id >= next_id_) return;
+  if (cancelled_.insert(id).second) {
+    if (live_ > 0) --live_;
+  }
+}
+
+void EventQueue::drop_cancelled_top() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.front().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+Time EventQueue::next_time() {
+  drop_cancelled_top();
+  return heap_.empty() ? kTimeInfinity : heap_.front().t;
+}
+
+bool EventQueue::pop_and_run(Time& now) {
+  drop_cancelled_top();
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  --live_;
+  now = e.t;
+  e.fn();
+  return true;
+}
+
+}  // namespace dcp

@@ -1,0 +1,59 @@
+#pragma once
+// A binary-heap event queue with stable FIFO ordering for simultaneous
+// events and lazy cancellation.
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace dcp {
+
+/// Handle for a scheduled event; used to cancel it.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` to fire at absolute time `t`.  Events scheduled for the
+  /// same instant fire in the order they were scheduled.
+  EventId push(Time t, std::function<void()> fn);
+
+  /// Cancels a pending event.  Cancelling an already-fired or invalid id is
+  /// a harmless no-op.  The entry stays in the heap until its firing time
+  /// (lazy removal), which is fine for the short-lived timers we cancel.
+  void cancel(EventId id);
+
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
+
+  /// Time of the earliest pending (non-cancelled) event; kTimeInfinity when
+  /// empty.
+  Time next_time();
+
+  /// Pops the earliest event and runs it, setting `now` to its time first.
+  /// Returns false if the queue is empty.
+  bool pop_and_run(Time& now);
+
+ private:
+  struct Entry {
+    Time t;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.t != b.t ? a.t > b.t : a.id > b.id;
+    }
+  };
+  void drop_cancelled_top();
+
+  std::vector<Entry> heap_;  // maintained with std::push_heap/pop_heap
+  std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace dcp

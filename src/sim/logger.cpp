@@ -1,0 +1,25 @@
+#include "sim/logger.h"
+
+namespace dcp {
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logger::log(LogLevel level, Time now, std::string_view component, std::string_view msg) {
+  if (!enabled(level)) return;
+  std::fprintf(out_, "[%12.3fus] %-5s %.*s: %.*s\n", to_us(now), level_name(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace dcp

@@ -1,0 +1,37 @@
+#pragma once
+// Minimal leveled logger.  Simulation components log through a Logger owned
+// by the experiment so parallel simulations don't interleave unexpectedly.
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "sim/time.h"
+
+namespace dcp {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  explicit Logger(LogLevel level = LogLevel::kWarn, std::FILE* out = stderr)
+      : level_(level), out_(out) {}
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_ && level_ != LogLevel::kOff; }
+
+  void log(LogLevel level, Time now, std::string_view component, std::string_view msg);
+
+  void trace(Time now, std::string_view c, std::string_view m) { log(LogLevel::kTrace, now, c, m); }
+  void debug(Time now, std::string_view c, std::string_view m) { log(LogLevel::kDebug, now, c, m); }
+  void info(Time now, std::string_view c, std::string_view m) { log(LogLevel::kInfo, now, c, m); }
+  void warn(Time now, std::string_view c, std::string_view m) { log(LogLevel::kWarn, now, c, m); }
+  void error(Time now, std::string_view c, std::string_view m) { log(LogLevel::kError, now, c, m); }
+
+ private:
+  LogLevel level_;
+  std::FILE* out_;
+};
+
+}  // namespace dcp

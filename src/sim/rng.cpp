@@ -1,0 +1,3 @@
+#include "sim/rng.h"
+
+// Header-only today; this TU anchors the library target.

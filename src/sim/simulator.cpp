@@ -1,0 +1,24 @@
+#include "sim/simulator.h"
+
+namespace dcp {
+
+void Simulator::run(Time until) {
+  stopped_ = false;
+  while (!stopped_) {
+    const Time t = queue_.next_time();
+    if (t == kTimeInfinity || t > until) {
+      if (t != kTimeInfinity && until != kTimeInfinity) now_ = until;
+      return;
+    }
+    queue_.pop_and_run(now_);
+    ++events_processed_;
+  }
+}
+
+bool Simulator::run_one() {
+  if (!queue_.pop_and_run(now_)) return false;
+  ++events_processed_;
+  return true;
+}
+
+}  // namespace dcp

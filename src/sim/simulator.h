@@ -1,0 +1,56 @@
+#pragma once
+// The discrete-event simulator driving every model in this library.
+//
+// Ownership: a Simulator is created by the experiment (or test) and passed
+// by reference to every component.  There are no globals; two simulations
+// can run side by side in one process.
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace dcp {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` from now.  Contract: an EventId must not
+  /// be cancelled after its event has fired (callers null their stored ids
+  /// inside the callback).
+  EventId schedule(Time delay, std::function<void()> fn) {
+    return queue_.push(now_ + delay, std::move(fn));
+  }
+  EventId schedule_at(Time t, std::function<void()> fn) {
+    return queue_.push(t < now_ ? now_ : t, std::move(fn));
+  }
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Runs until the queue drains or simulated time exceeds `until`.
+  void run(Time until = kTimeInfinity);
+
+  /// Runs a single event; returns false when the queue is empty.
+  bool run_one();
+
+  /// Stops a `run()` in progress after the current event returns.
+  void stop() { stopped_ = true; }
+
+  bool idle() { return queue_.empty(); }
+  Time next_event_time() { return queue_.next_time(); }
+  std::uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  EventQueue queue_;
+  Time now_ = 0;
+  std::uint64_t events_processed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace dcp

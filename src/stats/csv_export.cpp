@@ -1,0 +1,85 @@
+#include "stats/csv_export.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace dcp {
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+bool export_flow_records_csv(const Network& net, const std::string& path) {
+  File f(std::fopen(path.c_str(), "w"));
+  if (!f) return false;
+  std::fprintf(f.get(),
+               "flow,src,dst,bytes,start_us,rx_done_us,tx_done_us,fct_us,slowdown,"
+               "pkts_sent,retransmitted,timeouts,ho_received,duplicates,ooo,acks\n");
+  for (const FlowRecord& rec : net.records()) {
+    const double fct_us = rec.complete() ? to_us(rec.fct()) : -1.0;
+    double slowdown = -1.0;
+    if (rec.complete()) {
+      const Time ideal = net.ideal_fct(rec.spec.src, rec.spec.dst, rec.spec.bytes);
+      if (ideal > 0) slowdown = static_cast<double>(rec.fct()) / static_cast<double>(ideal);
+    }
+    std::fprintf(f.get(),
+                 "%llu,%u,%u,%llu,%.3f,%.3f,%.3f,%.3f,%.4f,%llu,%llu,%llu,%llu,%llu,%llu,%llu\n",
+                 static_cast<unsigned long long>(rec.spec.id), rec.spec.src, rec.spec.dst,
+                 static_cast<unsigned long long>(rec.spec.bytes), to_us(rec.spec.start_time),
+                 rec.rx_done >= 0 ? to_us(rec.rx_done) : -1.0,
+                 rec.tx_done >= 0 ? to_us(rec.tx_done) : -1.0, fct_us, slowdown,
+                 static_cast<unsigned long long>(rec.sender.data_packets_sent),
+                 static_cast<unsigned long long>(rec.sender.retransmitted_packets),
+                 static_cast<unsigned long long>(rec.sender.timeouts),
+                 static_cast<unsigned long long>(rec.sender.ho_received),
+                 static_cast<unsigned long long>(rec.receiver.duplicate_packets),
+                 static_cast<unsigned long long>(rec.receiver.out_of_order_packets),
+                 static_cast<unsigned long long>(rec.receiver.acks_sent));
+  }
+  return true;
+}
+
+bool export_fct_buckets_csv(FctStats& stats, const std::string& path,
+                            const std::vector<double>& percentiles) {
+  File f(std::fopen(path.c_str(), "w"));
+  if (!f) return false;
+  std::fprintf(f.get(), "bucket_hi_bytes,flows");
+  for (double p : percentiles) std::fprintf(f.get(), ",p%g", p);
+  std::fprintf(f.get(), "\n");
+  const auto edges = stats.bucket_edges();
+  for (std::size_t b = 0; b < stats.buckets().size(); ++b) {
+    auto& bucket = stats.buckets()[b];
+    if (bucket.slowdown.empty()) continue;
+    if (edges[b] == UINT64_MAX) {
+      std::fprintf(f.get(), "inf,%zu", bucket.slowdown.count());
+    } else {
+      std::fprintf(f.get(), "%llu,%zu", static_cast<unsigned long long>(edges[b]),
+                   bucket.slowdown.count());
+    }
+    for (double p : percentiles) std::fprintf(f.get(), ",%.4f", bucket.slowdown.percentile(p));
+    std::fprintf(f.get(), "\n");
+  }
+  return true;
+}
+
+bool export_telemetry_csv(const FabricTelemetry& tel, const std::string& path) {
+  File f(std::fopen(path.c_str(), "w"));
+  if (!f) return false;
+  std::fprintf(f.get(), "t_us,max_data_queue,max_ctrl_queue,total_buffered,tx_bytes_delta\n");
+  for (const TelemetrySample& s : tel.samples()) {
+    std::fprintf(f.get(), "%.3f,%llu,%llu,%llu,%llu\n", to_us(s.t),
+                 static_cast<unsigned long long>(s.max_data_queue),
+                 static_cast<unsigned long long>(s.max_ctrl_queue),
+                 static_cast<unsigned long long>(s.total_buffered),
+                 static_cast<unsigned long long>(s.tx_bytes_delta));
+  }
+  return true;
+}
+
+}  // namespace dcp

@@ -1,0 +1,27 @@
+#pragma once
+// CSV export of experiment results so users can plot with their tool of
+// choice: per-flow records, FCT-slowdown bucket series, and telemetry
+// time series.
+
+#include <string>
+
+#include "stats/fct_stats.h"
+#include "stats/telemetry.h"
+#include "topo/network.h"
+
+namespace dcp {
+
+/// Writes one row per flow: id, src, dst, bytes, start/rx/tx times,
+/// slowdown (vs the network's ideal FCT) and the sender/receiver counters.
+/// Returns false if the file could not be opened.
+bool export_flow_records_csv(const Network& net, const std::string& path);
+
+/// Writes the per-bucket percentile series of an FctStats: one row per
+/// bucket with the requested percentiles as columns.
+bool export_fct_buckets_csv(FctStats& stats, const std::string& path,
+                            const std::vector<double>& percentiles = {50, 95, 99});
+
+/// Writes the telemetry time series (one row per sample).
+bool export_telemetry_csv(const FabricTelemetry& tel, const std::string& path);
+
+}  // namespace dcp

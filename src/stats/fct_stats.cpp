@@ -1,0 +1,64 @@
+#include "stats/fct_stats.h"
+
+namespace dcp {
+
+SizeClass size_class_of(std::uint64_t bytes) {
+  if (bytes <= 50 * 1024) return SizeClass::kSmall;
+  if (bytes <= 2 * 1024 * 1024) return SizeClass::kMedium;
+  return SizeClass::kLarge;
+}
+
+const char* size_class_name(SizeClass c) {
+  switch (c) {
+    case SizeClass::kSmall: return "Small (0~50KB)";
+    case SizeClass::kMedium: return "Medium (50KB~2MB)";
+    case SizeClass::kLarge: return "Large (>2MB)";
+  }
+  return "?";
+}
+
+std::vector<std::uint64_t> FctStats::default_edges() {
+  // The flow-size ticks the paper uses on the Fig. 13 x-axis (in bytes).
+  return {3'000,     6'000,     9'000,     20'000,    24'000,    29'000,    40'000,
+          50'000,    61'000,    73'000,    117'000,   218'000,   614'000,   1'021'000,
+          1'507'000, 1'991'000, 3'494'000, 5'109'000, 8'674'000, 29'995'000};
+}
+
+FctStats::FctStats(std::vector<std::uint64_t> edges) {
+  std::uint64_t lo = 0;
+  for (std::uint64_t hi : edges) {
+    buckets_.push_back(FctBucket{lo, hi, {}});
+    lo = hi;
+  }
+  buckets_.push_back(FctBucket{lo, UINT64_MAX, {}});
+}
+
+void FctStats::add(const FlowRecord& rec, Time ideal_fct) {
+  if (!rec.complete() || ideal_fct <= 0) return;
+  const double slowdown =
+      static_cast<double>(rec.fct()) / static_cast<double>(ideal_fct);
+  const double clamped = slowdown < 1.0 ? 1.0 : slowdown;
+  overall_.add(clamped);
+  ++count_;
+  for (auto& b : buckets_) {
+    if (rec.spec.bytes >= b.lo && rec.spec.bytes < b.hi) {
+      b.slowdown.add(clamped);
+      break;
+    }
+  }
+}
+
+std::vector<double> FctStats::per_bucket_percentile(double p) {
+  std::vector<double> out;
+  out.reserve(buckets_.size());
+  for (auto& b : buckets_) out.push_back(b.slowdown.empty() ? 0.0 : b.slowdown.percentile(p));
+  return out;
+}
+
+std::vector<std::uint64_t> FctStats::bucket_edges() const {
+  std::vector<std::uint64_t> out;
+  for (const auto& b : buckets_) out.push_back(b.hi);
+  return out;
+}
+
+}  // namespace dcp

@@ -1,0 +1,3 @@
+#include "stats/goodput.h"
+
+// Header-only today; this TU anchors the library target.

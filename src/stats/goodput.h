@@ -1,0 +1,26 @@
+#pragma once
+// Goodput measurement for long-running flows (Figs. 10, 11, 17 and the
+// long-haul experiment).
+
+#include <cstdint>
+
+#include "sim/time.h"
+#include "topo/network.h"
+
+namespace dcp {
+
+/// Application-level goodput of a completed flow in Gbps.
+inline double flow_goodput_gbps(const FlowRecord& rec) {
+  if (!rec.complete() || rec.fct() <= 0) return 0.0;
+  return static_cast<double>(rec.spec.bytes) * 8.0 / (static_cast<double>(rec.fct()) / kSecond) /
+         1e9;
+}
+
+/// Receiver-side goodput (useful when the last ACK dominates a short run).
+inline double flow_rx_goodput_gbps(const FlowRecord& rec) {
+  if (rec.rx_done < 0 || rec.rx_fct() <= 0) return 0.0;
+  return static_cast<double>(rec.spec.bytes) * 8.0 /
+         (static_cast<double>(rec.rx_fct()) / kSecond) / 1e9;
+}
+
+}  // namespace dcp

@@ -1,0 +1,3 @@
+#include "stats/percentile.h"
+
+// Header-only today; this TU anchors the library target.

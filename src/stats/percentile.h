@@ -1,0 +1,56 @@
+#pragma once
+// Exact percentile computation over collected samples.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace dcp {
+
+class PercentileEstimator {
+ public:
+  void add(double v) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double mean() const {
+    if (samples_.empty()) return 0.0;
+    double s = 0.0;
+    for (double v : samples_) s += v;
+    return s / static_cast<double>(samples_.size());
+  }
+
+  /// p in [0, 100].  Nearest-rank on the sorted samples.
+  double percentile(double p) {
+    if (samples_.empty()) return 0.0;
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+    if (p <= 0.0) return samples_.front();
+    if (p >= 100.0) return samples_.back();
+    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= samples_.size()) return samples_.back();
+    return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+  }
+
+  double min() {
+    return percentile(0);
+  }
+  double max() {
+    return percentile(100);
+  }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+}  // namespace dcp

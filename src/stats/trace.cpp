@@ -1,0 +1,84 @@
+#include "stats/trace.h"
+
+#include <cstdio>
+
+namespace dcp {
+
+PacketTracer::PacketTracer(Network& net, FlowId flow_filter, std::size_t max_events)
+    : net_(net), filter_(flow_filter), cap_(max_events) {
+  auto hook = [this](const Node& node, const Packet& pkt, std::uint32_t in_port) {
+    record(node, pkt, in_port);
+  };
+  for (const auto& h : net_.hosts()) h->trace_hook = hook;
+  for (const auto& s : net_.switches()) s->trace_hook = hook;
+}
+
+PacketTracer::~PacketTracer() { detach(); }
+
+void PacketTracer::detach() {
+  for (const auto& h : net_.hosts()) h->trace_hook = nullptr;
+  for (const auto& s : net_.switches()) s->trace_hook = nullptr;
+}
+
+void PacketTracer::record(const Node& node, const Packet& pkt, std::uint32_t in_port) {
+  if (filter_ != 0 && pkt.flow != filter_) return;
+  if (events_.size() >= cap_) return;
+  TraceEvent e;
+  e.t = net_.sim().now();
+  e.node = node.id();
+  e.node_name = node.name();
+  e.in_port = in_port;
+  e.type = pkt.type;
+  e.tag = pkt.tag;
+  e.flow = pkt.flow;
+  e.psn = pkt.psn;
+  e.msn = pkt.msn;
+  e.wire_bytes = pkt.wire_bytes;
+  events_.push_back(std::move(e));
+}
+
+std::vector<TraceEvent> PacketTracer::flow_events(FlowId flow) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.flow == flow) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<NodeId> PacketTracer::path_of(FlowId flow, std::uint32_t psn, PktType type) const {
+  std::vector<NodeId> out;
+  for (const auto& e : events_) {
+    if (e.flow == flow && e.psn == psn && e.type == type) out.push_back(e.node);
+  }
+  return out;
+}
+
+std::string PacketTracer::dump(std::size_t limit) const {
+  std::string out;
+  char line[160];
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    if (n++ >= limit) {
+      out += "  ... (truncated)\n";
+      break;
+    }
+    const char* type = "?";
+    switch (e.type) {
+      case PktType::kData: type = "DATA"; break;
+      case PktType::kAck: type = "ACK"; break;
+      case PktType::kSack: type = "SACK"; break;
+      case PktType::kNack: type = "NACK"; break;
+      case PktType::kCnp: type = "CNP"; break;
+      case PktType::kHeaderOnly: type = "HO"; break;
+      case PktType::kPfcPause: type = "PAUSE"; break;
+      case PktType::kPfcResume: type = "RESUME"; break;
+    }
+    std::snprintf(line, sizeof(line), "  %10.3fus  %-8s port=%u  %-5s flow=%llu psn=%u msn=%u %uB\n",
+                  to_us(e.t), e.node_name.c_str(), e.in_port, type,
+                  static_cast<unsigned long long>(e.flow), e.psn, e.msn, e.wire_bytes);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace dcp

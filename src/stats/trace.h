@@ -1,0 +1,62 @@
+#pragma once
+// Packet tracing: records every hop of (optionally filtered) packets as
+// they traverse the fabric — the simulator's answer to a pcap.  Used by
+// tests to verify multi-hop paths (e.g. the HO trim -> receiver -> sender
+// bounce) and by users to debug experiments.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "topo/network.h"
+
+namespace dcp {
+
+struct TraceEvent {
+  Time t = 0;
+  NodeId node = kInvalidNode;
+  std::string node_name;
+  std::uint32_t in_port = 0;
+  // Snapshot of the interesting packet fields.
+  PktType type = PktType::kData;
+  DcpTag tag = DcpTag::kNonDcp;
+  FlowId flow = 0;
+  std::uint32_t psn = 0;
+  std::uint32_t msn = 0;
+  std::uint32_t wire_bytes = 0;
+};
+
+class PacketTracer {
+ public:
+  /// Attaches to every node currently in the network.  `flow_filter` = 0
+  /// records everything; otherwise only that flow.  `max_events` bounds
+  /// memory (recording stops silently at the cap).
+  PacketTracer(Network& net, FlowId flow_filter = 0, std::size_t max_events = 100'000);
+  ~PacketTracer();
+  PacketTracer(const PacketTracer&) = delete;
+  PacketTracer& operator=(const PacketTracer&) = delete;
+
+  void detach();
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Events of one flow in time order (the recorded order).
+  std::vector<TraceEvent> flow_events(FlowId flow) const;
+
+  /// The sequence of node ids a specific (flow, psn, type) visited.
+  std::vector<NodeId> path_of(FlowId flow, std::uint32_t psn, PktType type) const;
+
+  /// Renders a human-readable hop listing (for debugging).
+  std::string dump(std::size_t limit = 50) const;
+
+ private:
+  void record(const Node& node, const Packet& pkt, std::uint32_t in_port);
+
+  Network& net_;
+  FlowId filter_;
+  std::size_t cap_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace dcp

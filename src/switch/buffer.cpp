@@ -1,0 +1,18 @@
+#include "switch/buffer.h"
+
+namespace dcp {
+
+bool SharedBuffer::alloc(std::uint32_t in_port, std::uint8_t pfc_class, std::uint64_t bytes) {
+  if (!has_room(bytes)) return false;
+  used_ += bytes;
+  if (used_ > max_used_) max_used_ = used_;
+  if (in_port < ingress_bytes_.size()) ingress_bytes_[in_port][pfc_class] += bytes;
+  return true;
+}
+
+void SharedBuffer::release(std::uint32_t in_port, std::uint8_t pfc_class, std::uint64_t bytes) {
+  used_ -= bytes;
+  if (in_port < ingress_bytes_.size()) ingress_bytes_[in_port][pfc_class] -= bytes;
+}
+
+}  // namespace dcp

@@ -1,0 +1,79 @@
+#pragma once
+// Shared-buffer accounting and PFC (IEEE 802.1Qbb) ingress state for a
+// switch.
+//
+// The switch is output-queued, but PFC pauses are generated from *ingress*
+// accounting: every buffered packet is charged to the (ingress port, PFC
+// class) it arrived on.  When a counter crosses Xoff the switch sends PAUSE
+// to that upstream neighbour; when it falls below Xon it sends RESUME.
+// Headroom must absorb the in-flight bytes between PAUSE emission and the
+// upstream actually stopping — this is what limits PFC's reach to a few km
+// (paper Table 1).
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace dcp {
+
+struct PfcConfig {
+  bool enabled = false;
+  std::uint64_t xoff_bytes = 256 * 1024;  // pause threshold per (port, class)
+  std::uint64_t xon_bytes = 224 * 1024;   // resume threshold
+};
+
+class SharedBuffer {
+ public:
+  explicit SharedBuffer(std::uint64_t capacity_bytes, std::uint32_t num_ports,
+                        PfcConfig pfc = {})
+      : capacity_(capacity_bytes), pfc_(pfc), ingress_bytes_(num_ports) {}
+
+  /// True if `bytes` more can be buffered.
+  bool has_room(std::uint64_t bytes) const { return used_ + bytes <= capacity_; }
+
+  /// Charges a buffered packet against the shared pool and its ingress
+  /// accounting.  Returns false (and charges nothing) when full.
+  bool alloc(std::uint32_t in_port, std::uint8_t pfc_class, std::uint64_t bytes);
+
+  /// Releases a previously charged packet.
+  void release(std::uint32_t in_port, std::uint8_t pfc_class, std::uint64_t bytes);
+
+  std::uint64_t used() const { return used_; }
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t max_used() const { return max_used_; }
+  std::uint64_t ingress_bytes(std::uint32_t port, std::uint8_t cls) const {
+    return ingress_bytes_[port][cls];
+  }
+
+  /// Grows the ingress accounting table (ports can be added after the
+  /// buffer is constructed).
+  void ensure_ports(std::uint32_t n) {
+    if (ingress_bytes_.size() < n) ingress_bytes_.resize(n);
+  }
+
+  const PfcConfig& pfc() const { return pfc_; }
+
+  /// PFC decision points: after alloc, should the (port, class) be paused?
+  bool should_pause(std::uint32_t port, std::uint8_t cls) const {
+    return pfc_.enabled && ingress_bytes_[port][cls] > pfc_.xoff_bytes;
+  }
+  bool should_resume(std::uint32_t port, std::uint8_t cls) const {
+    return pfc_.enabled && ingress_bytes_[port][cls] < pfc_.xon_bytes;
+  }
+
+ private:
+  struct PerPort {
+    std::uint64_t cls_bytes[kNumQueueClasses] = {};
+    std::uint64_t& operator[](std::uint8_t c) { return cls_bytes[c]; }
+    std::uint64_t operator[](std::uint8_t c) const { return cls_bytes[c]; }
+  };
+
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::uint64_t max_used_ = 0;
+  PfcConfig pfc_;
+  std::vector<PerPort> ingress_bytes_;
+};
+
+}  // namespace dcp

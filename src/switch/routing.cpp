@@ -1,0 +1,3 @@
+#include "switch/routing.h"
+
+// Header-only today; this TU anchors the library target.

@@ -1,0 +1,138 @@
+#pragma once
+// Static routing tables + per-packet load-balancing policies.
+//
+// Topology builders install, for every (switch, destination host), the set
+// of equal-cost egress ports.  The load-balancing policy then picks one
+// port per packet:
+//   * ECMP        — flow-hash, stable per flow (the RNIC-SR assumption);
+//   * Adaptive    — least-loaded data queue among candidates (the paper's
+//                   in-network adaptive routing, per-packet);
+//   * SourcePath  — honour the packet's path_id (MP-RDMA virtual paths).
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace dcp {
+
+enum class LbPolicy : std::uint8_t {
+  kEcmp,        // flow-hash, stable per flow
+  kAdaptive,    // least-loaded egress data queue, per packet
+  kSourcePath,  // honour the packet's path_id (MP-RDMA virtual paths)
+  kSpray,       // uniform random per packet (packet spraying)
+  kFlowlet,     // flowlet switching: reuse the last port while packets of
+                // the flow arrive within the flowlet gap, else re-pick the
+                // least-loaded port (CONGA/LetFlow-style)
+};
+
+class RouteTable {
+ public:
+  void add_route(NodeId dst, std::uint32_t egress_port) { routes_[dst].push_back(egress_port); }
+  void clear_routes(NodeId dst) { routes_[dst].clear(); }
+
+  /// Candidate egress ports toward `dst`; empty if unknown.
+  const std::vector<std::uint32_t>& candidates(NodeId dst) const {
+    static const std::vector<std::uint32_t> kNone;
+    auto it = routes_.find(dst);
+    return it == routes_.end() ? kNone : it->second;
+  }
+
+  bool has_route(NodeId dst) const { return routes_.contains(dst) && !routes_.at(dst).empty(); }
+
+ private:
+  std::unordered_map<NodeId, std::vector<std::uint32_t>> routes_;
+};
+
+/// Per-flow flowlet state for LbPolicy::kFlowlet.
+struct FlowletEntry {
+  std::uint32_t port = 0;
+  Time last_seen = -1;
+};
+
+class FlowletTable {
+ public:
+  explicit FlowletTable(Time gap = microseconds(50)) : gap_(gap) {}
+
+  /// Returns the cached port if the flow's inter-packet gap is below the
+  /// flowlet gap; otherwise signals a new flowlet (caller re-picks).
+  std::optional<std::uint32_t> lookup(FlowId flow, Time now) {
+    auto it = table_.find(flow);
+    if (it == table_.end() || now - it->second.last_seen > gap_) return std::nullopt;
+    it->second.last_seen = now;
+    return it->second.port;
+  }
+  void update(FlowId flow, std::uint32_t port, Time now) {
+    table_[flow] = FlowletEntry{port, now};
+  }
+  Time gap() const { return gap_; }
+  std::size_t entries() const { return table_.size(); }
+
+ private:
+  Time gap_;
+  std::unordered_map<FlowId, FlowletEntry> table_;
+};
+
+/// Picks the least-loaded candidate with random tie-break (the adaptive
+/// routing primitive).
+template <typename QueueDepthFn>
+std::uint32_t least_loaded(const std::vector<std::uint32_t>& candidates,
+                           QueueDepthFn&& queue_bytes, Rng& rng) {
+  std::uint32_t best = candidates[0];
+  std::uint64_t best_depth = queue_bytes(best);
+  int ties = 1;
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    const std::uint64_t d = queue_bytes(candidates[i]);
+    if (d < best_depth) {
+      best = candidates[i];
+      best_depth = d;
+      ties = 1;
+    } else if (d == best_depth) {
+      ++ties;
+      if (rng.uniform_int(1, ties) == 1) best = candidates[i];
+    }
+  }
+  return best;
+}
+
+/// Picks an egress port index into `candidates`.
+/// `queue_bytes(port)` must return the egress data-queue depth for adaptive
+/// routing decisions; `flowlets` may be null unless policy is kFlowlet.
+template <typename QueueDepthFn>
+std::uint32_t select_port(LbPolicy policy, const Packet& pkt,
+                          const std::vector<std::uint32_t>& candidates,
+                          QueueDepthFn&& queue_bytes, Rng& rng, Time now = 0,
+                          FlowletTable* flowlets = nullptr) {
+  if (candidates.size() == 1) return candidates[0];
+  switch (policy) {
+    case LbPolicy::kEcmp:
+      return candidates[ecmp_key(pkt) % candidates.size()];
+    case LbPolicy::kSourcePath:
+      return candidates[pkt.path_id % candidates.size()];
+    case LbPolicy::kSpray:
+      return candidates[rng.pick_index(candidates.size())];
+    case LbPolicy::kAdaptive:
+      return least_loaded(candidates, queue_bytes, rng);
+    case LbPolicy::kFlowlet: {
+      if (flowlets != nullptr) {
+        if (auto port = flowlets->lookup(pkt.flow, now)) {
+          // Stale routes (candidate set changed) fall through to re-pick.
+          for (std::uint32_t c : candidates) {
+            if (c == *port) return *port;
+          }
+        }
+        const std::uint32_t pick = least_loaded(candidates, queue_bytes, rng);
+        flowlets->update(pkt.flow, pick, now);
+        return pick;
+      }
+      return least_loaded(candidates, queue_bytes, rng);
+    }
+  }
+  return candidates[0];
+}
+
+}  // namespace dcp

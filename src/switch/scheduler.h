@@ -1,0 +1,49 @@
+#pragma once
+// Egress scheduling policies for switch ports.
+//
+// DCP-Switch uses weighted round-robin between the control queue (trimmed
+// header-only packets) and the data queue, with the control queue weighted
+// so that its drain rate covers the worst-case trim rate (paper §4.2):
+//
+//     w = (N - 1) / (r - N + 1)
+//
+// where N is the incast scale the switch must absorb and 1:r is the
+// HO-to-data packet size ratio.  The scheduled byte-volume ratio between
+// control and data queues is then w : 1.
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/port.h"
+
+namespace dcp {
+
+/// Byte-deficit weighted round robin across the queue classes.
+class DwrrPolicy final : public SchedulerPolicy {
+ public:
+  /// `weights[i]` is the relative byte share of class i.  They may be
+  /// fractional (e.g. control weight 3.75 vs data weight 1).
+  explicit DwrrPolicy(std::array<double, kNumQueueClasses> weights,
+                      std::uint32_t quantum_bytes = 2048);
+
+  int select(const std::vector<FifoQueue>& queues,
+             const std::array<bool, kNumQueueClasses>& paused) override;
+  void charge(int queue, std::uint32_t bytes) override;
+
+ private:
+  std::array<double, kNumQueueClasses> weights_;
+  std::array<double, kNumQueueClasses> deficit_{};
+  std::uint32_t quantum_;
+  int cur_ = 0;        // queue currently holding the round
+  bool entered_ = false;  // quantum credited for this turn?
+};
+
+/// Computes the paper's WRR weight w = (N-1)/(r-N+1) for the control queue,
+/// where r is the data-to-HO size ratio.  When r <= N-1 the formula has no
+/// positive solution (the paper's "r < N-1" regime); we then fall back to
+/// `fallback`, which §6.3 shows handles even 255-to-1 incast in practice.
+double wrr_control_weight(int incast_scale_n, double size_ratio_r, double fallback = 1.0);
+
+}  // namespace dcp

@@ -1,0 +1,197 @@
+#include "switch/switch.h"
+
+#include <utility>
+
+namespace dcp {
+
+Switch::Switch(Simulator& sim, Logger& log, NodeId id, std::string name, SwitchConfig cfg,
+               std::uint64_t seed)
+    : Node(sim, log, id, std::move(name)),
+      cfg_(cfg),
+      rng_(seed),
+      flowlets_(cfg.flowlet_gap),
+      buffer_(cfg.buffer_bytes, 0, cfg.pfc) {}
+
+std::uint32_t Switch::add_port(Bandwidth bw, Time propagation) {
+  const auto idx = static_cast<std::uint32_t>(ports_.size());
+  auto policy = std::make_unique<DwrrPolicy>(
+      std::array<double, kNumQueueClasses>{1.0, cfg_.control_weight});
+  auto port = std::make_unique<Port>(sim_, bw, propagation, std::move(policy));
+  port->on_dequeue = [this](const Packet& p) { on_port_dequeue(p); };
+  ports_.push_back(std::move(port));
+  port_up_.push_back(true);
+  pause_sent_.push_back({});
+  buffer_.ensure_ports(idx + 1);
+  return idx;
+}
+
+void Switch::set_link_up(std::uint32_t port, bool up) {
+  port_up_[port] = up;
+  ports_[port]->channel().set_up(up);  // anything already queued is lost
+  any_port_down_ = false;
+  for (bool u : port_up_) any_port_down_ = any_port_down_ || !u;
+}
+
+void Switch::receive(Packet pkt, std::uint32_t in_port) {
+  maybe_trace(pkt, in_port);
+  if (pkt.type == PktType::kPfcPause || pkt.type == PktType::kPfcResume) {
+    handle_pfc(pkt, in_port);
+    return;
+  }
+
+  const std::vector<std::uint32_t>* candidates = &routes_.candidates(pkt.dst);
+  std::vector<std::uint32_t> alive;
+  if (any_port_down_) {
+    // Failure detection has withdrawn the dead links from the candidate
+    // set (as a routing protocol would).
+    for (std::uint32_t c : *candidates) {
+      if (port_up_[c]) alive.push_back(c);
+    }
+    candidates = &alive;
+  }
+  if (candidates->empty()) {
+    stats_.no_route++;
+    return;
+  }
+  const std::uint32_t eport = select_port(
+      cfg_.lb, pkt, *candidates,
+      [this](std::uint32_t p) {
+        return ports_[p]->queued_bytes(static_cast<int>(QueueClass::kData));
+      },
+      rng_, sim_.now(), &flowlets_);
+
+  // Forced loss (testbed experiments): the P4 switch trims DCP data packets
+  // and plainly drops everything else.
+  if (cfg_.inject_loss_rate > 0.0 && pkt.type == PktType::kData &&
+      rng_.chance(cfg_.inject_loss_rate)) {
+    if (cfg_.trimming && pkt.tag == DcpTag::kData) {
+      trim_to_header_only(pkt);
+      stats_.injected_trims++;
+      // falls through to egress enqueue as a header-only packet
+    } else {
+      stats_.injected_drops++;
+      return;
+    }
+  }
+
+  egress_enqueue(std::move(pkt), eport, in_port);
+}
+
+void Switch::handle_pfc(const Packet& pkt, std::uint32_t in_port) {
+  // PAUSE/RESUME from the downstream neighbour applies to our egress port
+  // facing it, i.e. the port the frame arrived on (ports are full-duplex).
+  ports_[in_port]->set_paused(pkt.pause_class, pkt.type == PktType::kPfcPause);
+}
+
+void Switch::trim_to_header_only(Packet& pkt) const {
+  pkt.type = PktType::kHeaderOnly;
+  pkt.tag = DcpTag::kHeaderOnly;
+  pkt.queue_class = QueueClass::kControl;
+  pkt.wire_bytes = HeaderSizes::kDcpHeaderOnly;
+  pkt.payload_bytes = 0;
+}
+
+bool Switch::ecn_mark_decision(std::uint64_t qbytes) {
+  if (!cfg_.ecn) return false;
+  if (qbytes <= cfg_.ecn_kmin_bytes) return false;
+  if (qbytes >= cfg_.ecn_kmax_bytes) return true;
+  const double span = static_cast<double>(cfg_.ecn_kmax_bytes - cfg_.ecn_kmin_bytes);
+  const double p = cfg_.ecn_pmax * static_cast<double>(qbytes - cfg_.ecn_kmin_bytes) / span;
+  return rng_.chance(p);
+}
+
+void Switch::egress_enqueue(Packet pkt, std::uint32_t eport, std::uint32_t in_port) {
+  Port& port = *ports_[eport];
+  pkt.acct_in_port = in_port;
+
+  // Header-only packets always ride the control queue, at any depth; losing
+  // one breaks the lossless-control-plane property and is counted.
+  if (pkt.queue_class == QueueClass::kControl || pkt.type == PktType::kHeaderOnly) {
+    pkt.queue_class = QueueClass::kControl;
+    if (!buffer_.alloc(in_port, static_cast<std::uint8_t>(QueueClass::kControl),
+                       pkt.wire_bytes)) {
+      stats_.dropped_ho++;
+      return;
+    }
+    stats_.ho_seen++;
+    stats_.forwarded++;
+    port.enqueue(std::move(pkt));
+    return;
+  }
+
+  const std::uint64_t qbytes = port.queued_bytes(static_cast<int>(QueueClass::kData));
+  const std::uint64_t threshold =
+      cfg_.trimming ? cfg_.trim_threshold_bytes
+                    : (cfg_.pfc.enabled ? UINT64_MAX : cfg_.max_data_queue_bytes);
+
+  if (qbytes >= threshold) {
+    if (cfg_.trimming && pkt.tag == DcpTag::kData && pkt.type == PktType::kData) {
+      // Paper §4.2: trim the payload, flip the DCP tag to 11, and enqueue
+      // the 57-byte remainder into the control queue.
+      trim_to_header_only(pkt);
+      if (!buffer_.alloc(in_port, static_cast<std::uint8_t>(QueueClass::kControl),
+                         pkt.wire_bytes)) {
+        stats_.dropped_ho++;
+        return;
+      }
+      stats_.trimmed++;
+      stats_.ho_seen++;
+      stats_.forwarded++;
+      port.enqueue(std::move(pkt));
+      return;
+    }
+    // Non-DCP and DCP-ACK packets are dropped above the threshold (§4.2).
+    if (pkt.type == PktType::kData) {
+      stats_.dropped_data++;
+    } else {
+      stats_.dropped_ctrl++;
+    }
+    if (cfg_.pfc.enabled) stats_.lossless_violations++;
+    return;
+  }
+
+  if (!buffer_.alloc(in_port, static_cast<std::uint8_t>(QueueClass::kData), pkt.wire_bytes)) {
+    stats_.dropped_buffer_full++;
+    if (pkt.type == PktType::kData) stats_.dropped_data++;
+    if (cfg_.pfc.enabled) stats_.lossless_violations++;
+    return;
+  }
+
+  if (pkt.ecn_capable && ecn_mark_decision(qbytes)) {
+    pkt.ecn_ce = true;
+    stats_.ecn_marked++;
+  }
+
+  stats_.forwarded++;
+  port.enqueue(std::move(pkt));
+
+  // PFC: crossing Xoff on the ingress accounting pauses the upstream.
+  const auto cls = static_cast<std::uint8_t>(QueueClass::kData);
+  if (buffer_.should_pause(in_port, cls) && !pause_sent_[in_port][cls]) {
+    pause_sent_[in_port][cls] = true;
+    stats_.pauses_sent++;
+    Packet pause;
+    pause.type = PktType::kPfcPause;
+    pause.pause_class = cls;
+    pause.wire_bytes = HeaderSizes::kPfcFrame;
+    ports_[in_port]->send_oob(std::move(pause));
+  }
+}
+
+void Switch::on_port_dequeue(const Packet& pkt) {
+  const auto cls = static_cast<std::uint8_t>(pkt.queue_class);
+  const std::uint32_t in_port = pkt.acct_in_port;
+  if (in_port == UINT32_MAX) return;  // not buffer-accounted (should not happen)
+  buffer_.release(in_port, cls, pkt.wire_bytes);
+  if (pause_sent_[in_port][cls] && buffer_.should_resume(in_port, cls)) {
+    pause_sent_[in_port][cls] = false;
+    stats_.resumes_sent++;
+    Packet resume;
+    resume.type = PktType::kPfcResume;
+    resume.pause_class = cls;
+    resume.wire_bytes = HeaderSizes::kPfcFrame;
+    ports_[in_port]->send_oob(std::move(resume));
+  }
+}
+
+}  // namespace dcp

@@ -1,0 +1,119 @@
+#include "topo/clos.h"
+
+#include <algorithm>
+
+namespace dcp {
+
+PfcConfig derive_pfc_thresholds(std::uint64_t buffer_bytes,
+                                const std::vector<std::pair<Bandwidth, Time>>& ports) {
+  PfcConfig pfc;
+  pfc.enabled = true;
+  // Headroom per port: a PAUSE takes one propagation to reach the upstream
+  // and the upstream may have one propagation's worth already in flight,
+  // plus one MTU in serialization each way.
+  std::uint64_t headroom_total = 0;
+  for (const auto& [bw, prop] : ports) {
+    const double bytes_per_ps = 1.0 / static_cast<double>(bw.ps_per_byte);
+    headroom_total +=
+        static_cast<std::uint64_t>(2.0 * static_cast<double>(prop) * bytes_per_ps) + 2 * 2048;
+  }
+  const std::uint64_t usable = buffer_bytes > headroom_total ? buffer_bytes - headroom_total : 0;
+  const std::uint64_t per_port =
+      ports.empty() ? buffer_bytes : std::max<std::uint64_t>(usable / ports.size(), 16 * 1024);
+  pfc.xoff_bytes = per_port;
+  pfc.xon_bytes = per_port > 16 * 1024 ? per_port - 8 * 1024 : per_port / 2;
+  return pfc;
+}
+
+ClosTopology build_clos(Network& net, ClosParams p) {
+  ClosTopology topo;
+  topo.params = p;
+
+  // Derive PFC thresholds from the port mix if PFC is requested.
+  if (p.sw.pfc.enabled) {
+    std::vector<std::pair<Bandwidth, Time>> leaf_ports;
+    for (int i = 0; i < p.hosts_per_leaf; ++i) leaf_ports.emplace_back(p.link, p.host_link_delay);
+    for (int i = 0; i < p.spines; ++i) leaf_ports.emplace_back(p.link, p.leaf_spine_delay);
+    p.sw.pfc = derive_pfc_thresholds(p.sw.buffer_bytes, leaf_ports);
+    p.sw.pfc.enabled = true;
+  }
+
+  for (int s = 0; s < p.spines; ++s) {
+    topo.spines.push_back(net.add_switch("spine" + std::to_string(s), p.sw));
+  }
+  for (int l = 0; l < p.leaves; ++l) {
+    Switch* leaf = net.add_switch("leaf" + std::to_string(l), p.sw);
+    topo.leaves.push_back(leaf);
+    for (int h = 0; h < p.hosts_per_leaf; ++h) {
+      Host* host = net.add_host("h" + std::to_string(l) + "_" + std::to_string(h), p.link,
+                                p.host_link_delay);
+      net.attach(host, leaf, p.link, p.host_link_delay);
+      topo.hosts.push_back(host);
+    }
+  }
+
+  // Leaf <-> spine full mesh.
+  std::vector<std::vector<std::uint32_t>> leaf_uplink(p.leaves);   // [leaf][spine] -> port
+  std::vector<std::vector<std::uint32_t>> spine_down(p.spines);    // [spine][leaf] -> port
+  for (int l = 0; l < p.leaves; ++l) {
+    leaf_uplink[l].resize(p.spines);
+    for (int s = 0; s < p.spines; ++s) {
+      auto [pl, ps] = net.link(topo.leaves[l], topo.spines[s], p.link, p.leaf_spine_delay);
+      leaf_uplink[l][s] = pl;
+      if (spine_down[s].size() < static_cast<std::size_t>(p.leaves)) {
+        spine_down[s].resize(p.leaves);
+      }
+      spine_down[s][l] = ps;
+    }
+  }
+
+  // Routes: leaves reach remote hosts through any spine; spines reach each
+  // host through its leaf.
+  for (int l = 0; l < p.leaves; ++l) {
+    for (int hi = 0; hi < p.num_hosts(); ++hi) {
+      if (topo.leaf_of(hi) == l) continue;  // direct host routes added by attach()
+      for (int s = 0; s < p.spines; ++s) {
+        topo.leaves[l]->routes().add_route(topo.hosts[hi]->id(), leaf_uplink[l][s]);
+      }
+    }
+  }
+  for (int s = 0; s < p.spines; ++s) {
+    for (int hi = 0; hi < p.num_hosts(); ++hi) {
+      topo.spines[s]->routes().add_route(topo.hosts[hi]->id(), spine_down[s][topo.leaf_of(hi)]);
+    }
+  }
+
+  // Path metadata for ideal-FCT normalization.  Host ids are allocated in
+  // ascending order, so same-leaf membership is recoverable by index.
+  const int hpl = p.hosts_per_leaf;
+  const Time hd = p.host_link_delay;
+  const Time sd = p.leaf_spine_delay;
+  const Bandwidth bw = p.link;
+  std::vector<NodeId> host_ids;
+  host_ids.reserve(topo.hosts.size());
+  for (auto* h : topo.hosts) host_ids.push_back(h->id());
+  net.path_info = [host_ids, hpl, hd, sd, bw](NodeId a, NodeId b) {
+    PathInfo pi;
+    pi.bottleneck = bw;
+    auto index_of = [&host_ids](NodeId id) -> int {
+      auto it = std::lower_bound(host_ids.begin(), host_ids.end(), id);
+      return it != host_ids.end() && *it == id
+                 ? static_cast<int>(it - host_ids.begin())
+                 : -1;
+    };
+    const int ia = index_of(a);
+    const int ib = index_of(b);
+    if (ia >= 0 && ib >= 0 && ia / hpl == ib / hpl) {
+      pi.one_way_delay = 2 * hd;
+      pi.hops = 2;
+    } else {
+      pi.one_way_delay = 2 * hd + 2 * sd;
+      pi.hops = 4;
+    }
+    return pi;
+  };
+
+  return topo;
+}
+
+}  // namespace dcp

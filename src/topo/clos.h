@@ -1,0 +1,41 @@
+#pragma once
+// Two-layer CLOS (leaf-spine) topology, the simulation fabric of §6.2:
+// 16 spines × 16 leaves × 16 hosts/leaf = 256 servers, every link 100 Gbps.
+// Scaled-down variants keep the same structure for fast benches/tests.
+
+#include <vector>
+
+#include "topo/network.h"
+
+namespace dcp {
+
+struct ClosParams {
+  int spines = 4;
+  int leaves = 4;
+  int hosts_per_leaf = 4;
+  Bandwidth link = Bandwidth::gbps(100);
+  Time host_link_delay = microseconds(1);
+  Time leaf_spine_delay = microseconds(1);  // 500 us / 5 ms for cross-DC
+  SwitchConfig sw;  // applied to every switch (PFC thresholds auto-derived)
+
+  int num_hosts() const { return leaves * hosts_per_leaf; }
+};
+
+struct ClosTopology {
+  ClosParams params;
+  std::vector<Host*> hosts;
+  std::vector<Switch*> leaves;
+  std::vector<Switch*> spines;
+
+  int leaf_of(int host_index) const { return host_index / params.hosts_per_leaf; }
+};
+
+/// Builds the fabric inside `net`, installs routes and path_info.
+ClosTopology build_clos(Network& net, ClosParams params);
+
+/// Derives PFC Xoff/Xon so that headroom for every port's in-flight bytes
+/// is reserved out of the shared buffer (PFC-safety; see Table 1 logic).
+PfcConfig derive_pfc_thresholds(std::uint64_t buffer_bytes,
+                                const std::vector<std::pair<Bandwidth, Time>>& ports);
+
+}  // namespace dcp

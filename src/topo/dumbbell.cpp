@@ -1,0 +1,38 @@
+#include "topo/dumbbell.h"
+
+namespace dcp {
+
+BackToBack build_back_to_back(Network& net, Bandwidth bw, Time prop) {
+  BackToBack t;
+  t.a = net.add_host("hA", bw, prop);
+  t.b = net.add_host("hB", bw, prop);
+  net.direct_link(t.a, t.b);
+  net.path_info = [bw, prop](NodeId, NodeId) {
+    PathInfo pi;
+    pi.bottleneck = bw;
+    pi.one_way_delay = prop;
+    pi.hops = 1;
+    return pi;
+  };
+  return t;
+}
+
+Star build_star(Network& net, int hosts, const SwitchConfig& cfg, Bandwidth bw, Time prop) {
+  Star t;
+  t.sw = net.add_switch("sw", cfg);
+  for (int i = 0; i < hosts; ++i) {
+    Host* h = net.add_host("h" + std::to_string(i), bw, prop);
+    net.attach(h, t.sw, bw, prop);
+    t.hosts.push_back(h);
+  }
+  net.path_info = [bw, prop](NodeId, NodeId) {
+    PathInfo pi;
+    pi.bottleneck = bw;
+    pi.one_way_delay = 2 * prop;
+    pi.hops = 2;
+    return pi;
+  };
+  return t;
+}
+
+}  // namespace dcp

@@ -1,0 +1,29 @@
+#pragma once
+// Minimal fixtures: two hosts back-to-back (perftest-style, Fig. 8) and a
+// single-switch star used by unit tests.
+
+#include <vector>
+
+#include "topo/network.h"
+
+namespace dcp {
+
+struct BackToBack {
+  Host* a = nullptr;
+  Host* b = nullptr;
+};
+
+/// Two directly cabled hosts.
+BackToBack build_back_to_back(Network& net, Bandwidth bw = Bandwidth::gbps(100),
+                              Time prop = microseconds(1));
+
+struct Star {
+  Switch* sw = nullptr;
+  std::vector<Host*> hosts;
+};
+
+/// N hosts hanging off one switch.
+Star build_star(Network& net, int hosts, const SwitchConfig& cfg,
+                Bandwidth bw = Bandwidth::gbps(100), Time prop = microseconds(1));
+
+}  // namespace dcp

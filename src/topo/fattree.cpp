@@ -1,0 +1,159 @@
+#include "topo/fattree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dcp {
+
+FatTreeTopology build_fattree(Network& net, FatTreeParams p) {
+  assert(p.k % 2 == 0 && "fat-tree arity must be even");
+  FatTreeTopology topo;
+  topo.params = p;
+  const int half = p.k / 2;
+
+  // Core switches.
+  for (int c = 0; c < p.cores(); ++c) {
+    topo.core.push_back(net.add_switch("core" + std::to_string(c), p.sw));
+  }
+
+  topo.edge.resize(static_cast<std::size_t>(p.pods()));
+  topo.agg.resize(static_cast<std::size_t>(p.pods()));
+
+  // Pods: edge + aggregation switches, hosts under edges.
+  for (int pod = 0; pod < p.pods(); ++pod) {
+    for (int i = 0; i < half; ++i) {
+      topo.agg[static_cast<std::size_t>(pod)].push_back(
+          net.add_switch("agg" + std::to_string(pod) + "_" + std::to_string(i), p.sw));
+    }
+    for (int i = 0; i < half; ++i) {
+      Switch* e = net.add_switch("edge" + std::to_string(pod) + "_" + std::to_string(i), p.sw);
+      topo.edge[static_cast<std::size_t>(pod)].push_back(e);
+      for (int h = 0; h < half; ++h) {
+        Host* host = net.add_host(
+            "h" + std::to_string(pod) + "_" + std::to_string(i) + "_" + std::to_string(h),
+            p.link, p.link_delay);
+        net.attach(host, e, p.link, p.link_delay);
+        topo.hosts.push_back(host);
+      }
+    }
+  }
+
+  // Edge <-> agg full mesh within each pod.
+  // edge_up[pod][e][a] = port on edge e toward agg a, and vice versa.
+  std::vector<std::vector<std::vector<std::uint32_t>>> edge_up(
+      static_cast<std::size_t>(p.pods()));
+  std::vector<std::vector<std::vector<std::uint32_t>>> agg_down(
+      static_cast<std::size_t>(p.pods()));
+  for (int pod = 0; pod < p.pods(); ++pod) {
+    auto& eu = edge_up[static_cast<std::size_t>(pod)];
+    auto& ad = agg_down[static_cast<std::size_t>(pod)];
+    eu.assign(static_cast<std::size_t>(half), std::vector<std::uint32_t>(half));
+    ad.assign(static_cast<std::size_t>(half), std::vector<std::uint32_t>(half));
+    for (int e = 0; e < half; ++e) {
+      for (int a = 0; a < half; ++a) {
+        auto [pe, pa] = net.link(topo.edge[static_cast<std::size_t>(pod)][e],
+                                 topo.agg[static_cast<std::size_t>(pod)][a], p.link, p.link_delay);
+        eu[static_cast<std::size_t>(e)][static_cast<std::size_t>(a)] = pe;
+        ad[static_cast<std::size_t>(a)][static_cast<std::size_t>(e)] = pa;
+      }
+    }
+  }
+
+  // Agg <-> core: aggregation switch a of every pod connects to cores
+  // [a*half, (a+1)*half).
+  std::vector<std::vector<std::uint32_t>> agg_up(
+      static_cast<std::size_t>(p.pods() * half));  // [pod*half+a][j] port to core a*half+j
+  std::vector<std::vector<std::uint32_t>> core_down(static_cast<std::size_t>(p.cores()));
+  for (auto& v : core_down) v.resize(static_cast<std::size_t>(p.pods()));
+  for (int pod = 0; pod < p.pods(); ++pod) {
+    for (int a = 0; a < half; ++a) {
+      auto& up = agg_up[static_cast<std::size_t>(pod * half + a)];
+      up.resize(static_cast<std::size_t>(half));
+      for (int j = 0; j < half; ++j) {
+        const int c = a * half + j;
+        auto [pa, pc] = net.link(topo.agg[static_cast<std::size_t>(pod)][a],
+                                 topo.core[static_cast<std::size_t>(c)], p.link, p.link_delay);
+        up[static_cast<std::size_t>(j)] = pa;
+        core_down[static_cast<std::size_t>(c)][static_cast<std::size_t>(pod)] = pc;
+      }
+    }
+  }
+
+  // Routes.
+  const int hosts_per_pod = half * half;
+  for (int hi = 0; hi < p.hosts(); ++hi) {
+    const NodeId hid = topo.hosts[static_cast<std::size_t>(hi)]->id();
+    const int hpod = topo.pod_of(hi);
+    const int hedge = topo.edge_of(hi);
+
+    // Edge switches: same edge -> direct (installed by attach); other edges
+    // go up to any agg in the pod.
+    for (int pod = 0; pod < p.pods(); ++pod) {
+      for (int e = 0; e < half; ++e) {
+        if (pod == hpod && e == hedge) continue;
+        for (int a = 0; a < half; ++a) {
+          topo.edge[static_cast<std::size_t>(pod)][e]->routes().add_route(
+              hid, edge_up[static_cast<std::size_t>(pod)][static_cast<std::size_t>(e)]
+                          [static_cast<std::size_t>(a)]);
+        }
+      }
+    }
+    // Aggregation switches: same pod -> down to the host's edge; other pods
+    // -> up to any of this agg's cores.
+    for (int pod = 0; pod < p.pods(); ++pod) {
+      for (int a = 0; a < half; ++a) {
+        Switch* sw = topo.agg[static_cast<std::size_t>(pod)][a];
+        if (pod == hpod) {
+          sw->routes().add_route(
+              hid, agg_down[static_cast<std::size_t>(pod)][static_cast<std::size_t>(a)]
+                           [static_cast<std::size_t>(hedge)]);
+        } else {
+          for (std::uint32_t port : agg_up[static_cast<std::size_t>(pod * half + a)]) {
+            sw->routes().add_route(hid, port);
+          }
+        }
+      }
+    }
+    // Core switches: down to the host's pod.
+    for (int c = 0; c < p.cores(); ++c) {
+      topo.core[static_cast<std::size_t>(c)]->routes().add_route(
+          hid, core_down[static_cast<std::size_t>(c)][static_cast<std::size_t>(hpod)]);
+    }
+  }
+
+  // Path metadata.
+  std::vector<NodeId> host_ids;
+  for (auto* h : topo.hosts) host_ids.push_back(h->id());
+  const Time d = p.link_delay;
+  const Bandwidth bw = p.link;
+  const int hpp = hosts_per_pod;
+  net.path_info = [host_ids, half, hpp, d, bw](NodeId a, NodeId b) {
+    PathInfo pi;
+    pi.bottleneck = bw;
+    auto idx = [&host_ids](NodeId id) {
+      auto it = std::lower_bound(host_ids.begin(), host_ids.end(), id);
+      return it != host_ids.end() && *it == id ? static_cast<int>(it - host_ids.begin()) : -1;
+    };
+    const int ia = idx(a);
+    const int ib = idx(b);
+    if (ia >= 0 && ib >= 0) {
+      if (ia / half == ib / half) {  // same edge switch
+        pi.one_way_delay = 2 * d;
+        pi.hops = 2;
+        return pi;
+      }
+      if (ia / hpp == ib / hpp) {  // same pod, via aggregation
+        pi.one_way_delay = 4 * d;
+        pi.hops = 4;
+        return pi;
+      }
+    }
+    pi.one_way_delay = 6 * d;  // via core
+    pi.hops = 6;
+    return pi;
+  };
+
+  return topo;
+}
+
+}  // namespace dcp

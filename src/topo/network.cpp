@@ -1,0 +1,145 @@
+#include "topo/network.h"
+
+#include <cassert>
+
+namespace dcp {
+
+Host* Network::add_host(const std::string& name, Bandwidth nic_bw, Time link_prop) {
+  auto h = std::make_unique<Host>(sim_, log_, next_node_++, name, nic_bw, link_prop);
+  Host* raw = h.get();
+  host_by_id_[raw->id()] = raw;
+  wire_host_hooks(raw);
+  hosts_.push_back(std::move(h));
+  return raw;
+}
+
+Switch* Network::add_switch(const std::string& name, const SwitchConfig& cfg) {
+  const NodeId id = next_node_++;
+  auto s = std::make_unique<Switch>(sim_, log_, id, name, cfg, /*seed=*/0x5eedULL + id);
+  Switch* raw = s.get();
+  switches_.push_back(std::move(s));
+  return raw;
+}
+
+std::uint32_t Network::attach(Host* h, Switch* s, Bandwidth bw, Time prop) {
+  const std::uint32_t sp = s->add_port(bw, prop);
+  s->connect(sp, h, 0);
+  h->connect(s, sp);
+  s->routes().add_route(h->id(), sp);
+  return sp;
+}
+
+std::pair<std::uint32_t, std::uint32_t> Network::link(Switch* a, Switch* b, Bandwidth bw,
+                                                      Time prop) {
+  const std::uint32_t pa = a->add_port(bw, prop);
+  const std::uint32_t pb = b->add_port(bw, prop);
+  a->connect(pa, b, pb);
+  b->connect(pb, a, pa);
+  return {pa, pb};
+}
+
+void Network::direct_link(Host* a, Host* b) {
+  a->connect(b, 0);
+  b->connect(a, 0);
+}
+
+void Network::wire_host_hooks(Host* h) {
+  h->on_sender_done = [this](FlowId id) { finalize_flow(id); };
+  h->on_receiver_done = [this](FlowId id) {
+    FlowRecord& rec = record(id);
+    rec.rx_done = sim_.now();
+    for (auto& fn : rx_listeners_) fn(rec);
+  };
+}
+
+FlowId Network::start_flow(FlowSpec spec) {
+  assert(factory_ && "set_factory() before start_flow()");
+  spec.id = next_flow_++;
+  spec.sport = next_sport_++;
+  if (next_sport_ < 10000) next_sport_ = 10000;
+
+  Host* src = host_by_id_.at(spec.src);
+  Host* dst = host_by_id_.at(spec.dst);
+  assert(src != dst && "loopback flows are not modeled");
+
+  FlowRecord rec;
+  rec.spec = spec;
+  index_[spec.id] = records_.size();
+  records_.push_back(rec);
+
+  dst->add_receiver(factory_->make_receiver(sim_, *dst, spec, tcfg_));
+  src->add_sender(factory_->make_sender(sim_, *src, spec, tcfg_));
+
+  SenderTransport* snd = src->sender(spec.id);
+  sim_.schedule_at(spec.start_time, [snd] { snd->start(); });
+  return spec.id;
+}
+
+void Network::finalize_flow(FlowId id) {
+  FlowRecord& rec = record(id);
+  if (rec.tx_done >= 0) return;
+  rec.tx_done = sim_.now();
+  Host* src = host_by_id_.at(rec.spec.src);
+  Host* dst = host_by_id_.at(rec.spec.dst);
+  if (auto* s = src->sender(id)) rec.sender = s->stats();
+  if (auto* r = dst->receiver(id)) rec.receiver = r->stats();
+  ++completed_;
+  if (on_flow_complete) on_flow_complete(rec);
+  for (auto& fn : tx_listeners_) fn(rec);
+}
+
+Host* Network::host(NodeId id) {
+  auto it = host_by_id_.find(id);
+  return it == host_by_id_.end() ? nullptr : it->second;
+}
+
+Time Network::ideal_fct(NodeId src, NodeId dst, std::uint64_t bytes) const {
+  PathInfo pi;
+  if (path_info) pi = path_info(src, dst);
+  const std::uint64_t mtu = tcfg_.mtu_payload;
+  const std::uint64_t pkts = bytes == 0 ? 1 : (bytes + mtu - 1) / mtu;
+  const std::uint64_t hdr = HeaderSizes::kDcpHeaderOnly + HeaderSizes::kReth;
+  const std::uint64_t wire = bytes + pkts * hdr;
+  const std::uint64_t first_pkt = std::min<std::uint64_t>(wire, mtu + hdr);
+  // First packet pipelines through `hops` store-and-forward stages, the
+  // rest stream behind it at the bottleneck, then the final ACK returns.
+  Time t = pi.one_way_delay;
+  t += static_cast<Time>(pi.hops) * pi.bottleneck.serialize(static_cast<std::int64_t>(first_pkt));
+  t += pi.bottleneck.serialize(static_cast<std::int64_t>(wire - first_pkt));
+  t += pi.one_way_delay + pi.bottleneck.serialize(HeaderSizes::kDcpAck);
+  return t;
+}
+
+void Network::run_until_done(Time max_time) {
+  // Run in slices so we can stop as soon as all flows complete.
+  const Time slice = std::max<Time>(microseconds(100), max_time / 10000);
+  while (!all_flows_done() && sim_.now() < max_time) {
+    const Time next = std::min(max_time, sim_.now() + slice);
+    sim_.run(next);
+    if (sim_.idle()) break;
+  }
+}
+
+Switch::Stats Network::total_switch_stats() const {
+  Switch::Stats total;
+  for (const auto& s : switches_) {
+    const auto& st = s->stats();
+    total.forwarded += st.forwarded;
+    total.trimmed += st.trimmed;
+    total.injected_trims += st.injected_trims;
+    total.dropped_data += st.dropped_data;
+    total.dropped_ho += st.dropped_ho;
+    total.ho_seen += st.ho_seen;
+    total.dropped_ctrl += st.dropped_ctrl;
+    total.dropped_buffer_full += st.dropped_buffer_full;
+    total.injected_drops += st.injected_drops;
+    total.ecn_marked += st.ecn_marked;
+    total.pauses_sent += st.pauses_sent;
+    total.resumes_sent += st.resumes_sent;
+    total.lossless_violations += st.lossless_violations;
+    total.no_route += st.no_route;
+  }
+  return total;
+}
+
+}  // namespace dcp

@@ -1,0 +1,125 @@
+#pragma once
+// Network: owns every node, wires topologies, instantiates per-flow
+// transports through the configured scheme factory, and records flow
+// completion metrics.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "host/host.h"
+#include "host/transport.h"
+#include "net/packet.h"
+#include "switch/switch.h"
+
+namespace dcp {
+
+/// Shortest-path properties between two hosts, used for ideal-FCT
+/// normalization (FCT slowdown).  Installed by topology builders.
+struct PathInfo {
+  Time one_way_delay = 0;     // propagation only
+  int hops = 2;               // store-and-forward stages (links traversed)
+  Bandwidth bottleneck = Bandwidth::gbps(100);
+};
+
+struct FlowRecord {
+  FlowSpec spec;
+  Time rx_done = -1;  // receiver has every byte
+  Time tx_done = -1;  // sender fully acknowledged
+  SenderStats sender;
+  ReceiverStats receiver;
+  bool complete() const { return tx_done >= 0; }
+  Time fct() const { return tx_done - spec.start_time; }
+  Time rx_fct() const { return rx_done - spec.start_time; }
+};
+
+class Network {
+ public:
+  Network(Simulator& sim, Logger& log) : sim_(sim), log_(log) {}
+
+  // ---- Construction -----------------------------------------------------
+  Host* add_host(const std::string& name, Bandwidth nic_bw, Time link_prop);
+  Switch* add_switch(const std::string& name, const SwitchConfig& cfg);
+  /// Full-duplex host<->switch attachment; returns the switch port index.
+  std::uint32_t attach(Host* h, Switch* s, Bandwidth bw, Time prop);
+  /// Full-duplex switch<->switch link; returns {port_on_a, port_on_b}.
+  std::pair<std::uint32_t, std::uint32_t> link(Switch* a, Switch* b, Bandwidth bw, Time prop);
+  /// Direct host<->host cable (back-to-back benchmarks).
+  void direct_link(Host* a, Host* b);
+
+  // ---- Scheme & flows ---------------------------------------------------
+  void set_factory(std::shared_ptr<TransportFactory> f) { factory_ = std::move(f); }
+  TransportFactory* factory() { return factory_.get(); }
+  void set_transport_config(const TransportConfig& cfg) { tcfg_ = cfg; }
+  TransportConfig& transport_config() { return tcfg_; }
+
+  /// Registers and schedules a flow; returns its id.  spec.id/sport are
+  /// assigned here.
+  FlowId start_flow(FlowSpec spec);
+
+  /// Shifts the UDP source-port sequence (varies ECMP hashing across
+  /// otherwise identical runs).
+  void set_sport_base(std::uint16_t base) { next_sport_ = base; }
+
+  std::size_t flows_started() const { return records_.size(); }
+  std::size_t flows_completed() const { return completed_; }
+  bool all_flows_done() const { return completed_ == records_.size(); }
+  const std::vector<FlowRecord>& records() const { return records_; }
+  FlowRecord& record(FlowId id) { return records_[index_.at(id)]; }
+
+  /// Per-flow completion hook (fires when the sender finishes).
+  std::function<void(const FlowRecord&)> on_flow_complete;
+  /// Additional listeners (workloads chaining dependent flows).
+  void add_tx_listener(std::function<void(const FlowRecord&)> fn) {
+    tx_listeners_.push_back(std::move(fn));
+  }
+  /// Fires when the receiver has every byte (before the final ACK lands).
+  void add_rx_listener(std::function<void(const FlowRecord&)> fn) {
+    rx_listeners_.push_back(std::move(fn));
+  }
+
+  // ---- Introspection ----------------------------------------------------
+  Host* host(NodeId id);
+  const std::vector<std::unique_ptr<Host>>& hosts() const { return hosts_; }
+  const std::vector<std::unique_ptr<Switch>>& switches() const { return switches_; }
+  Simulator& sim() { return sim_; }
+  Logger& log() { return log_; }
+
+  /// Path metadata for ideal-FCT; installed by topology builders.
+  std::function<PathInfo(NodeId, NodeId)> path_info;
+
+  /// Ideal (unloaded-network) sender-side FCT for a flow: first-packet
+  /// pipeline latency + serialization of the remaining bytes + ACK return.
+  Time ideal_fct(NodeId src, NodeId dst, std::uint64_t bytes) const;
+
+  /// Runs the simulation until all flows complete or `max_time` elapses.
+  void run_until_done(Time max_time);
+
+  // Aggregate switch counters (across all switches).
+  Switch::Stats total_switch_stats() const;
+
+ private:
+  void wire_host_hooks(Host* h);
+  void finalize_flow(FlowId id);
+
+  Simulator& sim_;
+  Logger& log_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::unique_ptr<Switch>> switches_;
+  std::unordered_map<NodeId, Host*> host_by_id_;
+  std::shared_ptr<TransportFactory> factory_;
+  TransportConfig tcfg_;
+  std::vector<FlowRecord> records_;
+  std::vector<std::function<void(const FlowRecord&)>> tx_listeners_;
+  std::vector<std::function<void(const FlowRecord&)>> rx_listeners_;
+  std::unordered_map<FlowId, std::size_t> index_;
+  std::size_t completed_ = 0;
+  FlowId next_flow_ = 1;
+  std::uint16_t next_sport_ = 10000;
+  NodeId next_node_ = 0;
+};
+
+}  // namespace dcp

@@ -1,0 +1,66 @@
+#include "topo/testbed.h"
+
+#include <algorithm>
+
+namespace dcp {
+
+TestbedTopology build_testbed(Network& net, TestbedParams p) {
+  TestbedTopology topo;
+  topo.params = p;
+
+  topo.sw1 = net.add_switch("sw1", p.sw);
+  topo.sw2 = net.add_switch("sw2", p.sw);
+
+  for (int i = 0; i < 2 * p.hosts_per_switch; ++i) {
+    Switch* sw = i < p.hosts_per_switch ? topo.sw1 : topo.sw2;
+    Host* h = net.add_host("h" + std::to_string(i), p.host_link, p.host_link_delay);
+    net.attach(h, sw, p.host_link, p.host_link_delay);
+    topo.hosts.push_back(h);
+  }
+
+  std::vector<std::uint32_t> sw1_cross, sw2_cross;
+  for (const Bandwidth bw : p.cross_links) {
+    auto [p1, p2] = net.link(topo.sw1, topo.sw2, bw, p.cross_link_delay);
+    sw1_cross.push_back(p1);
+    sw2_cross.push_back(p2);
+  }
+
+  for (int i = 0; i < 2 * p.hosts_per_switch; ++i) {
+    const bool on_sw1 = i < p.hosts_per_switch;
+    const NodeId hid = topo.hosts[i]->id();
+    // Remote switch reaches this host over every cross link.
+    const auto& cross = on_sw1 ? sw2_cross : sw1_cross;
+    Switch* remote = on_sw1 ? topo.sw2 : topo.sw1;
+    for (std::uint32_t port : cross) remote->routes().add_route(hid, port);
+  }
+
+  const Time hd = p.host_link_delay;
+  const Time cd = p.cross_link_delay;
+  const int hps = p.hosts_per_switch;
+  const Bandwidth bw = p.host_link;
+  std::vector<NodeId> host_ids;
+  for (auto* h : topo.hosts) host_ids.push_back(h->id());
+  net.path_info = [host_ids, hps, hd, cd, bw](NodeId a, NodeId b) {
+    PathInfo pi;
+    pi.bottleneck = bw;
+    auto idx = [&host_ids](NodeId id) {
+      auto it = std::lower_bound(host_ids.begin(), host_ids.end(), id);
+      return it != host_ids.end() && *it == id ? static_cast<int>(it - host_ids.begin()) : -1;
+    };
+    const int ia = idx(a);
+    const int ib = idx(b);
+    const bool same_side = ia >= 0 && ib >= 0 && (ia < hps) == (ib < hps);
+    if (same_side) {
+      pi.one_way_delay = 2 * hd;
+      pi.hops = 2;
+    } else {
+      pi.one_way_delay = 2 * hd + cd;
+      pi.hops = 3;
+    }
+    return pi;
+  };
+
+  return topo;
+}
+
+}  // namespace dcp

@@ -1,0 +1,31 @@
+#pragma once
+// The paper's testbed (Fig. 9): two switches, 8 hosts each, connected by
+// parallel cross-switch links.  Fig. 11 uses unequal cross-link capacities
+// (1:1, 1:4, 1:10); Fig. 10/17 inject loss at switch 1.
+
+#include <vector>
+
+#include "topo/network.h"
+
+namespace dcp {
+
+struct TestbedParams {
+  int hosts_per_switch = 8;
+  Bandwidth host_link = Bandwidth::gbps(100);
+  /// One entry per cross-switch link; the paper's default is 8 × 100 Gbps.
+  std::vector<Bandwidth> cross_links = std::vector<Bandwidth>(8, Bandwidth::gbps(100));
+  Time host_link_delay = microseconds(1);
+  Time cross_link_delay = microseconds(1);  // 50 us models the 10 km fiber
+  SwitchConfig sw;
+};
+
+struct TestbedTopology {
+  TestbedParams params;
+  std::vector<Host*> hosts;  // [0, hps) on switch 1; [hps, 2*hps) on switch 2
+  Switch* sw1 = nullptr;
+  Switch* sw2 = nullptr;
+};
+
+TestbedTopology build_testbed(Network& net, TestbedParams params);
+
+}  // namespace dcp

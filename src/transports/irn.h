@@ -1,0 +1,99 @@
+#pragma once
+// IRN (Mittal et al., SIGCOMM 2018) — the paper's representative RNIC-SR
+// (simplified selective repeat in the NIC).
+//
+// Receiver: accepts out-of-order packets (tracked in a bitmap) and answers
+// every OOO arrival with a SACK carrying the cumulative ePSN plus the PSN
+// just received.  Sender: keeps a bitmap of (S)ACKed packets; a SACK or an
+// RTO enters *loss recovery*, where a packet counts as lost iff a higher
+// PSN has been SACKed.  The sender exits recovery only once the cumulative
+// ACK passes the highest PSN outstanding at entry — so a retransmission
+// that is lost again can only be recovered by RTO (paper §2.2 Issue #2).
+// Flow control is a static BDP window; RTO is RTO_low when few packets are
+// outstanding, RTO_high otherwise.
+
+#include <vector>
+
+#include "host/transport.h"
+
+namespace dcp {
+
+class IrnSender final : public SenderTransport {
+ public:
+  IrnSender(Simulator& sim, Host& host, FlowSpec spec, TransportConfig cfg)
+      : SenderTransport(sim, host, spec, cfg),
+        acked_(total_packets(), false),
+        retx_pending_(total_packets(), false),
+        retx_done_(total_packets(), false) {}
+  ~IrnSender() override;
+
+  void on_packet(Packet pkt) override;
+  bool done() const override { return snd_una_ >= total_packets(); }
+
+  bool in_recovery() const { return in_recovery_; }
+  std::uint32_t snd_una() const { return snd_una_; }
+  std::uint32_t snd_nxt() const { return snd_nxt_; }
+  std::uint32_t retx_count() const { return retx_count_; }
+  bool rto_armed() const { return rto_ev_ != kInvalidEvent; }
+
+ protected:
+  bool protocol_has_packet() override;
+  Packet protocol_next_packet() override;
+  void on_start() override { arm_rto(); }
+
+ private:
+  void arm_rto();
+  void on_rto();
+  void enter_recovery();
+  void scan_for_losses();
+  void advance_una();
+  std::uint64_t inflight_bytes() const;
+  bool has_retx() const { return retx_count_ > 0; }
+
+  std::vector<bool> acked_;        // sender-side bitmap (cumulative+selective)
+  std::vector<bool> retx_pending_; // marked lost, awaiting retransmission
+  std::vector<bool> retx_done_;    // retransmitted once in this episode
+  std::uint32_t retx_count_ = 0;
+  std::uint32_t retx_scan_ = 0;    // next index to pop from retx_pending_
+  std::uint32_t snd_una_ = 0;
+  std::uint32_t snd_nxt_ = 0;
+  std::uint32_t highest_sacked_ = 0;  // highest PSN ever (s)acked + 1
+  // Loss-scan watermark: below it every packet is acked or already
+  // fast-retransmitted this episode, so each SACK only scans the newly
+  // SACKed range (amortized O(total) per episode instead of
+  // O(window) per SACK — essential for cross-DC BDP windows).
+  std::uint32_t loss_scan_ = 0;
+  bool in_recovery_ = false;
+  std::uint32_t recovery_high_ = 0;   // snd_nxt at recovery entry
+  EventId rto_ev_ = kInvalidEvent;
+};
+
+class IrnReceiver final : public ReceiverTransport {
+ public:
+  IrnReceiver(Simulator& sim, Host& host, FlowSpec spec, TransportConfig cfg)
+      : ReceiverTransport(sim, host, spec, cfg), received_(total_packets(), false) {}
+
+  void on_packet(Packet pkt) override;
+  bool complete() const override { return received_count_ >= total_packets(); }
+
+ private:
+  std::vector<bool> received_;
+  std::uint32_t received_count_ = 0;
+  std::uint32_t expected_ = 0;  // cumulative ePSN
+};
+
+class IrnFactory final : public TransportFactory {
+ public:
+  std::unique_ptr<SenderTransport> make_sender(Simulator& sim, Host& host, const FlowSpec& spec,
+                                               const TransportConfig& cfg) override {
+    return std::make_unique<IrnSender>(sim, host, spec, cfg);
+  }
+  std::unique_ptr<ReceiverTransport> make_receiver(Simulator& sim, Host& host,
+                                                   const FlowSpec& spec,
+                                                   const TransportConfig& cfg) override {
+    return std::make_unique<IrnReceiver>(sim, host, spec, cfg);
+  }
+  std::string name() const override { return "IRN"; }
+};
+
+}  // namespace dcp

@@ -1,0 +1,85 @@
+#pragma once
+// MP-RDMA (Lu et al., NSDI 2018) — packet-level multipath RDMA with an
+// ECN-driven adaptive congestion window.  Requires a lossless (PFC) fabric
+// because its loss recovery is GBN-grade (paper Table 2: fails R1/R3).
+//
+// Model: the sender sprays packets over `path_count` virtual paths
+// (switches honour path_id in SourcePath mode), grows its window by 1/cwnd
+// per unmarked ACK and shrinks by 1/2 packet per ECN-marked ACK (the
+// NSDI'18 per-ACK rule).  The receiver accepts out-of-order packets inside
+// a bounded reordering window of `mp_ooo_window_pkts`; beyond it, packets
+// are dropped and NACKed — the "cannot control OOO degree" behaviour §6.2
+// observes.
+
+#include <vector>
+
+#include "host/transport.h"
+
+namespace dcp {
+
+class MpRdmaSender final : public SenderTransport {
+ public:
+  MpRdmaSender(Simulator& sim, Host& host, FlowSpec spec, TransportConfig cfg)
+      : SenderTransport(sim, host, spec, cfg),
+        acked_(total_packets(), false),
+        retx_pending_(total_packets(), false),
+        cwnd_pkts_(static_cast<double>(cfg.cc.window_bytes) / cfg.mtu_payload) {
+    if (cwnd_pkts_ < 1.0) cwnd_pkts_ = 1.0;
+    max_cwnd_pkts_ = 2.0 * cwnd_pkts_;
+  }
+  ~MpRdmaSender() override;
+
+  void on_packet(Packet pkt) override;
+  bool done() const override { return snd_una_ >= total_packets(); }
+
+  double cwnd_pkts() const { return cwnd_pkts_; }
+
+ protected:
+  bool protocol_has_packet() override;
+  Packet protocol_next_packet() override;
+  void on_start() override { arm_rto(); }
+
+ private:
+  void arm_rto();
+
+  std::vector<bool> acked_;
+  std::vector<bool> retx_pending_;
+  std::uint32_t retx_count_ = 0;
+  std::uint32_t retx_scan_ = 0;
+  std::uint32_t snd_una_ = 0;
+  std::uint32_t snd_nxt_ = 0;
+  double cwnd_pkts_;
+  double max_cwnd_pkts_;
+  std::uint32_t vp_rr_ = 0;  // virtual-path round robin
+  EventId rto_ev_ = kInvalidEvent;
+};
+
+class MpRdmaReceiver final : public ReceiverTransport {
+ public:
+  MpRdmaReceiver(Simulator& sim, Host& host, FlowSpec spec, TransportConfig cfg)
+      : ReceiverTransport(sim, host, spec, cfg), received_(total_packets(), false) {}
+
+  void on_packet(Packet pkt) override;
+  bool complete() const override { return received_count_ >= total_packets(); }
+
+ private:
+  std::vector<bool> received_;
+  std::uint32_t received_count_ = 0;
+  std::uint32_t expected_ = 0;
+};
+
+class MpRdmaFactory final : public TransportFactory {
+ public:
+  std::unique_ptr<SenderTransport> make_sender(Simulator& sim, Host& host, const FlowSpec& spec,
+                                               const TransportConfig& cfg) override {
+    return std::make_unique<MpRdmaSender>(sim, host, spec, cfg);
+  }
+  std::unique_ptr<ReceiverTransport> make_receiver(Simulator& sim, Host& host,
+                                                   const FlowSpec& spec,
+                                                   const TransportConfig& cfg) override {
+    return std::make_unique<MpRdmaReceiver>(sim, host, spec, cfg);
+  }
+  std::string name() const override { return "MP-RDMA"; }
+};
+
+}  // namespace dcp

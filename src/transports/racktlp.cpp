@@ -1,0 +1,160 @@
+#include "transports/racktlp.h"
+
+#include <algorithm>
+
+#include "host/host.h"
+
+namespace dcp {
+
+RackTlpSender::~RackTlpSender() {
+  if (rack_ev_ != kInvalidEvent) sim_.cancel(rack_ev_);
+  if (tlp_ev_ != kInvalidEvent) sim_.cancel(tlp_ev_);
+  if (rto_ev_ != kInvalidEvent) sim_.cancel(rto_ev_);
+}
+
+bool RackTlpSender::protocol_has_packet() {
+  if (done()) return false;
+  if (retx_count_ > 0) return true;
+  const std::uint64_t inflight =
+      static_cast<std::uint64_t>(snd_nxt_ - snd_una_) * cfg_.mtu_payload;
+  return snd_nxt_ < total_packets() && inflight < cc_->window_bytes();
+}
+
+Packet RackTlpSender::protocol_next_packet() {
+  std::uint32_t psn;
+  bool retx = false;
+  if (retx_count_ > 0) {
+    while (retx_scan_ < retx_pending_.size() && !retx_pending_[retx_scan_]) ++retx_scan_;
+    psn = retx_scan_;
+    retx_pending_[psn] = false;
+    --retx_count_;
+    retx = true;
+  } else {
+    psn = snd_nxt_++;
+  }
+  Packet p = make_data_packet(psn, HeaderSizes::kRoceData + (psn == 0 ? HeaderSizes::kReth : 0));
+  p.tag = DcpTag::kNonDcp;
+  p.is_retransmit = retx;
+  xmit_ts_[psn] = sim_.now();  // RACK: every transmission re-timestamps
+  return p;
+}
+
+void RackTlpSender::arm_rack_timer(Time deadline) {
+  if (rack_ev_ != kInvalidEvent) sim_.cancel(rack_ev_);
+  rack_ev_ = sim_.schedule_at(deadline, [this] {
+    rack_ev_ = kInvalidEvent;
+    detect_losses();
+    kick_nic();
+  });
+}
+
+void RackTlpSender::arm_tlp() {
+  if (tlp_ev_ != kInvalidEvent) sim_.cancel(tlp_ev_);
+  tlp_ev_ = sim_.schedule(2 * srtt_, [this] {
+    tlp_ev_ = kInvalidEvent;
+    if (done()) return;
+    // Tail loss probe: resend the newest unacked packet to elicit a SACK.
+    for (std::uint32_t p = snd_nxt_; p > snd_una_; --p) {
+      const std::uint32_t psn = p - 1;
+      if (!acked_[psn] && !retx_pending_[psn]) {
+        retx_pending_[psn] = true;
+        ++retx_count_;
+        retx_scan_ = std::min(retx_scan_, psn);
+        break;
+      }
+    }
+    arm_tlp();
+    kick_nic();
+  });
+}
+
+void RackTlpSender::arm_rto() {
+  if (rto_ev_ != kInvalidEvent) sim_.cancel(rto_ev_);
+  rto_ev_ = sim_.schedule(cfg_.rto_high, [this] {
+    rto_ev_ = kInvalidEvent;
+    if (done()) return;
+    stats_.timeouts++;
+    cc_->on_timeout();
+    retx_scan_ = total_packets();
+    for (std::uint32_t p = snd_una_; p < snd_nxt_; ++p) {
+      if (!acked_[p] && !retx_pending_[p]) {
+        retx_pending_[p] = true;
+        ++retx_count_;
+        if (p < retx_scan_) retx_scan_ = p;
+      }
+    }
+    arm_rto();
+    kick_nic();
+  });
+}
+
+void RackTlpSender::detect_losses() {
+  if (rack_xmit_ts_ < 0) return;
+  // reo_wnd = one estimated RTT (paper's description of the mechanism).
+  const Time reo_wnd = srtt_;
+  Time next_deadline = kTimeInfinity;
+  for (std::uint32_t p = snd_una_; p < snd_nxt_; ++p) {
+    if (acked_[p] || retx_pending_[p] || xmit_ts_[p] < 0) continue;
+    if (xmit_ts_[p] + reo_wnd <= rack_xmit_ts_) {
+      retx_pending_[p] = true;
+      ++retx_count_;
+      if (p < retx_scan_) retx_scan_ = p;
+    } else if (xmit_ts_[p] < rack_xmit_ts_) {
+      // Could still be declared lost once reo_wnd elapses.
+      next_deadline = std::min(next_deadline, sim_.now() + (xmit_ts_[p] + reo_wnd - rack_xmit_ts_));
+    }
+  }
+  if (next_deadline != kTimeInfinity) arm_rack_timer(next_deadline);
+}
+
+void RackTlpSender::on_packet(Packet pkt) {
+  switch (pkt.type) {
+    case PktType::kCnp:
+      stats_.cnp_received++;
+      cc_->on_cnp();
+      return;
+    case PktType::kAck:
+    case PktType::kSack:
+      break;
+    default:
+      return;
+  }
+
+  const std::uint32_t old_una = snd_una_;
+  for (std::uint32_t p = snd_una_; p < pkt.ack_psn && p < total_packets(); ++p) {
+    if (!acked_[p]) {
+      acked_[p] = true;
+      rack_xmit_ts_ = std::max(rack_xmit_ts_, xmit_ts_[p]);
+    }
+  }
+  if (pkt.type == PktType::kSack && pkt.sack_psn < total_packets() && !acked_[pkt.sack_psn]) {
+    acked_[pkt.sack_psn] = true;
+    rack_xmit_ts_ = std::max(rack_xmit_ts_, xmit_ts_[pkt.sack_psn]);
+    // RTT sample from the echoed packet.
+    const Time sample = sim_.now() - xmit_ts_[pkt.sack_psn];
+    srtt_ = (7 * srtt_ + sample) / 8;
+    if (retx_pending_[pkt.sack_psn]) {
+      retx_pending_[pkt.sack_psn] = false;
+      --retx_count_;
+    }
+  }
+  while (snd_una_ < total_packets() && acked_[snd_una_]) ++snd_una_;
+
+  if (snd_una_ > old_una) {
+    cc_->on_ack(static_cast<std::uint64_t>(snd_una_ - old_una) * cfg_.mtu_payload);
+  }
+  if (done()) {
+    sim_.cancel(rack_ev_);
+    sim_.cancel(tlp_ev_);
+    sim_.cancel(rto_ev_);
+    rack_ev_ = tlp_ev_ = rto_ev_ = kInvalidEvent;
+    finish();
+    return;
+  }
+  arm_tlp();
+  arm_rto();
+  detect_losses();
+  kick_nic();
+}
+
+}  // namespace dcp

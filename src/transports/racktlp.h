@@ -1,0 +1,76 @@
+#pragma once
+// RACK-TLP (RFC 8985) adapted to the RDMA message setting, the Falcon-style
+// baseline of §6.3 / Fig. 17.
+//
+// The sender timestamps every (re)transmission.  A packet is declared lost
+// when a packet sent *after* it has been delivered and at least one
+// reordering window (estimated as one RTT, per the paper's description)
+// has elapsed since the packet's transmission.  A Tail Loss Probe resends
+// the newest unacked packet when ACKs stop arriving.  The per-packet
+// timestamps are exactly the memory overhead the paper criticizes; the
+// resource-proxy bench reports them.
+
+#include <vector>
+
+#include "host/transport.h"
+#include "transports/timeout.h"  // OooReceiver
+
+namespace dcp {
+
+class RackTlpSender final : public SenderTransport {
+ public:
+  RackTlpSender(Simulator& sim, Host& host, FlowSpec spec, TransportConfig cfg)
+      : SenderTransport(sim, host, spec, cfg),
+        acked_(total_packets(), false),
+        retx_pending_(total_packets(), false),
+        xmit_ts_(total_packets(), -1) {}
+  ~RackTlpSender() override;
+
+  void on_packet(Packet pkt) override;
+  bool done() const override { return snd_una_ >= total_packets(); }
+
+  Time srtt() const { return srtt_; }
+
+ protected:
+  bool protocol_has_packet() override;
+  Packet protocol_next_packet() override;
+  void on_start() override {
+    arm_tlp();
+    arm_rto();
+  }
+
+ private:
+  void detect_losses();
+  void arm_rack_timer(Time deadline);
+  void arm_tlp();
+  void arm_rto();
+
+  std::vector<bool> acked_;
+  std::vector<bool> retx_pending_;
+  std::vector<Time> xmit_ts_;  // last transmission time per PSN (the cost!)
+  std::uint32_t retx_count_ = 0;
+  std::uint32_t retx_scan_ = 0;
+  std::uint32_t snd_una_ = 0;
+  std::uint32_t snd_nxt_ = 0;
+  Time srtt_ = microseconds(20);
+  Time rack_xmit_ts_ = -1;  // newest delivered packet's transmission time
+  EventId rack_ev_ = kInvalidEvent;
+  EventId tlp_ev_ = kInvalidEvent;
+  EventId rto_ev_ = kInvalidEvent;
+};
+
+class RackTlpFactory final : public TransportFactory {
+ public:
+  std::unique_ptr<SenderTransport> make_sender(Simulator& sim, Host& host, const FlowSpec& spec,
+                                               const TransportConfig& cfg) override {
+    return std::make_unique<RackTlpSender>(sim, host, spec, cfg);
+  }
+  std::unique_ptr<ReceiverTransport> make_receiver(Simulator& sim, Host& host,
+                                                   const FlowSpec& spec,
+                                                   const TransportConfig& cfg) override {
+    return std::make_unique<OooReceiver>(sim, host, spec, cfg);
+  }
+  std::string name() const override { return "RACK-TLP"; }
+};
+
+}  // namespace dcp

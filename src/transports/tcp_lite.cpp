@@ -1,0 +1,132 @@
+#include "transports/tcp_lite.h"
+
+#include <algorithm>
+
+#include "host/host.h"
+
+namespace dcp {
+
+TcpLiteSender::~TcpLiteSender() {
+  if (rto_ev_ != kInvalidEvent) sim_.cancel(rto_ev_);
+}
+
+bool TcpLiteSender::protocol_has_packet() {
+  if (done()) return false;
+  if (retx_count_ > 0) return true;
+  const double inflight = static_cast<double>(snd_nxt_ - snd_una_);
+  return snd_nxt_ < total_packets() && inflight < cwnd_pkts_;
+}
+
+Packet TcpLiteSender::protocol_next_packet() {
+  std::uint32_t psn;
+  bool retx = false;
+  if (retx_count_ > 0) {
+    while (retx_scan_ < retx_pending_.size() && !retx_pending_[retx_scan_]) ++retx_scan_;
+    psn = retx_scan_;
+    retx_pending_[psn] = false;
+    --retx_count_;
+    retx = true;
+  } else {
+    psn = snd_nxt_++;
+  }
+  // TCP/IP header ~ Ethernet + IP + TCP(20).
+  Packet p = make_data_packet(psn, HeaderSizes::kEth + HeaderSizes::kIp + 20);
+  p.tag = DcpTag::kNonDcp;
+  p.is_retransmit = retx;
+  // Host processing throughput cap: stretch this packet's pacing gap to the
+  // software-stack rate (slower than the CC line rate).
+  // (Applied via a longer wire-independent eligibility gap.)
+  return p;
+}
+
+void TcpLiteSender::arm_rto() {
+  if (rto_ev_ != kInvalidEvent) sim_.cancel(rto_ev_);
+  rto_ev_ = sim_.schedule(std::max<Time>(cfg_.rto_high, milliseconds(1)), [this] {
+    rto_ev_ = kInvalidEvent;
+    if (done()) return;
+    stats_.timeouts++;
+    ssthresh_pkts_ = std::max(2.0, cwnd_pkts_ / 2.0);
+    cwnd_pkts_ = 1.0;
+    if (retx_pending_.empty()) retx_pending_.assign(total_packets(), false);
+    retx_scan_ = total_packets();
+    for (std::uint32_t p = snd_una_; p < snd_nxt_; ++p) {
+      if (!acked_[p] && !retx_pending_[p]) {
+        retx_pending_[p] = true;
+        ++retx_count_;
+        if (p < retx_scan_) retx_scan_ = p;
+      }
+    }
+    arm_rto();
+    kick_nic();
+  });
+}
+
+void TcpLiteSender::handle_ack(const Packet& pkt) {
+  const std::uint32_t old_una = snd_una_;
+  for (std::uint32_t p = snd_una_; p < pkt.ack_psn && p < total_packets(); ++p) acked_[p] = true;
+  while (snd_una_ < total_packets() && acked_[snd_una_]) ++snd_una_;
+
+  if (snd_una_ > old_una) {
+    dup_acks_ = 0;
+    // Slow start / congestion avoidance.
+    const double delta = static_cast<double>(snd_una_ - old_una);
+    if (cwnd_pkts_ < ssthresh_pkts_) {
+      cwnd_pkts_ += delta;
+    } else {
+      cwnd_pkts_ += delta / cwnd_pkts_;
+    }
+    arm_rto();
+  } else if (pkt.ack_psn == snd_una_ && snd_nxt_ > snd_una_) {
+    if (++dup_acks_ == 3) {
+      ssthresh_pkts_ = std::max(2.0, cwnd_pkts_ / 2.0);
+      cwnd_pkts_ = ssthresh_pkts_;
+      if (retx_pending_.empty()) retx_pending_.assign(total_packets(), false);
+      if (!acked_[snd_una_] && !retx_pending_[snd_una_]) {
+        retx_pending_[snd_una_] = true;
+        ++retx_count_;
+        if (snd_una_ < retx_scan_) retx_scan_ = snd_una_;
+      }
+    }
+  }
+  if (done()) {
+    sim_.cancel(rto_ev_);
+    rto_ev_ = kInvalidEvent;
+    finish();
+    return;
+  }
+  kick_nic();
+}
+
+void TcpLiteSender::on_packet(Packet pkt) {
+  if (pkt.type != PktType::kAck) return;
+  // Kernel processing latency before the ACK reaches the TCP state machine.
+  sim_.schedule(cfg_.sw_stack_delay / 2, [this, pkt] { handle_ack(pkt); });
+}
+
+void TcpLiteReceiver::on_packet(Packet pkt) {
+  if (pkt.type != PktType::kData) return;
+  // Kernel receive path latency (interrupt + softirq + socket copy).
+  sim_.schedule(cfg_.sw_stack_delay / 2, [this, p = std::move(pkt)]() mutable {
+    process(std::move(p));
+  });
+}
+
+void TcpLiteReceiver::process(Packet pkt) {
+  stats_.data_packets++;
+  if (pkt.psn >= total_packets()) return;
+  if (received_[pkt.psn]) {
+    stats_.duplicate_packets++;
+  } else {
+    received_[pkt.psn] = true;
+    received_count_++;
+    stats_.bytes_received += pkt.payload_bytes;
+    if (pkt.psn != expected_) stats_.out_of_order_packets++;
+    while (expected_ < total_packets() && received_[expected_]) ++expected_;
+    if (complete()) mark_complete();
+  }
+  Packet ack = make_control(PktType::kAck, HeaderSizes::kEth + HeaderSizes::kIp + 20);
+  ack.ack_psn = expected_;
+  send_control(std::move(ack));
+}
+
+}  // namespace dcp

@@ -1,0 +1,84 @@
+#pragma once
+// TcpLite: a kernel-TCP software-stack proxy used only for the Fig. 8
+// basic-validation bars (DCP / RNIC-GBN / TCP over two directly cabled
+// hosts).  It is a NewReno-flavoured window transport whose throughput is
+// capped by a modeled host processing rate (`sw_stack_rate`) and whose
+// latency is inflated by per-packet kernel processing (`sw_stack_delay`
+// on each side) — capturing why RDMA offload wins, which is the figure's
+// entire point.
+
+#include <vector>
+
+#include "host/transport.h"
+
+namespace dcp {
+
+class TcpLiteSender final : public SenderTransport {
+ public:
+  TcpLiteSender(Simulator& sim, Host& host, FlowSpec spec, TransportConfig cfg)
+      : SenderTransport(sim, host, spec, stack_capped(cfg)),
+        acked_(total_packets(), false),
+        cwnd_pkts_(10.0) {}
+  ~TcpLiteSender() override;
+
+  void on_packet(Packet pkt) override;
+  bool done() const override { return snd_una_ >= total_packets(); }
+
+ protected:
+  bool protocol_has_packet() override;
+  Packet protocol_next_packet() override;
+  void on_start() override { arm_rto(); }
+
+ private:
+  /// Pacing at the host-processing rate instead of NIC line rate.
+  static TransportConfig stack_capped(TransportConfig c) {
+    c.cc.type = CcConfig::Type::kStaticWindow;
+    c.cc.line_rate = c.sw_stack_rate;
+    return c;
+  }
+  void arm_rto();
+  void handle_ack(const Packet& pkt);
+
+  std::vector<bool> acked_;
+  std::vector<bool> retx_pending_;
+  std::uint32_t retx_count_ = 0;
+  std::uint32_t retx_scan_ = 0;
+  std::uint32_t snd_una_ = 0;
+  std::uint32_t snd_nxt_ = 0;
+  double cwnd_pkts_;
+  double ssthresh_pkts_ = 1e9;
+  std::uint32_t dup_acks_ = 0;
+  EventId rto_ev_ = kInvalidEvent;
+};
+
+class TcpLiteReceiver final : public ReceiverTransport {
+ public:
+  TcpLiteReceiver(Simulator& sim, Host& host, FlowSpec spec, TransportConfig cfg)
+      : ReceiverTransport(sim, host, spec, cfg), received_(total_packets(), false) {}
+
+  void on_packet(Packet pkt) override;
+  bool complete() const override { return received_count_ >= total_packets(); }
+
+ private:
+  void process(Packet pkt);
+
+  std::vector<bool> received_;
+  std::uint32_t received_count_ = 0;
+  std::uint32_t expected_ = 0;
+};
+
+class TcpLiteFactory final : public TransportFactory {
+ public:
+  std::unique_ptr<SenderTransport> make_sender(Simulator& sim, Host& host, const FlowSpec& spec,
+                                               const TransportConfig& cfg) override {
+    return std::make_unique<TcpLiteSender>(sim, host, spec, cfg);
+  }
+  std::unique_ptr<ReceiverTransport> make_receiver(Simulator& sim, Host& host,
+                                                   const FlowSpec& spec,
+                                                   const TransportConfig& cfg) override {
+    return std::make_unique<TcpLiteReceiver>(sim, host, spec, cfg);
+  }
+  std::string name() const override { return "TCP"; }
+};
+
+}  // namespace dcp

@@ -1,0 +1,116 @@
+#include "transports/timeout.h"
+
+#include "host/host.h"
+
+namespace dcp {
+
+TimeoutSender::~TimeoutSender() {
+  if (rto_ev_ != kInvalidEvent) sim_.cancel(rto_ev_);
+}
+
+bool TimeoutSender::protocol_has_packet() {
+  if (done()) return false;
+  if (retx_count_ > 0) return true;
+  const std::uint64_t inflight =
+      static_cast<std::uint64_t>(snd_nxt_ - snd_una_) * cfg_.mtu_payload;
+  return snd_nxt_ < total_packets() && inflight < cc_->window_bytes();
+}
+
+Packet TimeoutSender::protocol_next_packet() {
+  if (retx_count_ > 0) {
+    while (retx_scan_ < retx_pending_.size() && !retx_pending_[retx_scan_]) ++retx_scan_;
+    const std::uint32_t psn = retx_scan_;
+    retx_pending_[psn] = false;
+    --retx_count_;
+    Packet p = make_data_packet(psn, HeaderSizes::kRoceData + (psn == 0 ? HeaderSizes::kReth : 0));
+    p.tag = DcpTag::kNonDcp;
+    p.is_retransmit = true;
+    return p;
+  }
+  const std::uint32_t psn = snd_nxt_++;
+  Packet p = make_data_packet(psn, HeaderSizes::kRoceData + (psn == 0 ? HeaderSizes::kReth : 0));
+  p.tag = DcpTag::kNonDcp;
+  return p;
+}
+
+void TimeoutSender::arm_rto() {
+  if (rto_ev_ != kInvalidEvent) sim_.cancel(rto_ev_);
+  rto_ev_ = sim_.schedule(cfg_.rto_high, [this] {
+    rto_ev_ = kInvalidEvent;
+    on_rto();
+  });
+}
+
+void TimeoutSender::on_rto() {
+  if (done()) return;
+  stats_.timeouts++;
+  cc_->on_timeout();
+  if (retx_pending_.empty()) retx_pending_.assign(total_packets(), false);
+  retx_scan_ = total_packets();
+  for (std::uint32_t p = snd_una_; p < snd_nxt_; ++p) {
+    if (!acked_[p] && !retx_pending_[p]) {
+      retx_pending_[p] = true;
+      ++retx_count_;
+      if (p < retx_scan_) retx_scan_ = p;
+    }
+  }
+  arm_rto();
+  kick_nic();
+}
+
+void TimeoutSender::on_packet(Packet pkt) {
+  switch (pkt.type) {
+    case PktType::kCnp:
+      stats_.cnp_received++;
+      cc_->on_cnp();
+      return;
+    case PktType::kAck:
+    case PktType::kSack:
+      break;
+    default:
+      return;
+  }
+  const std::uint32_t old_una = snd_una_;
+  if (pkt.echo_ts >= 0) cc_->on_rtt_sample(sim_.now() - pkt.echo_ts);
+  for (std::uint32_t p = snd_una_; p < pkt.ack_psn && p < total_packets(); ++p) acked_[p] = true;
+  if (pkt.type == PktType::kSack && pkt.sack_psn < total_packets()) acked_[pkt.sack_psn] = true;
+  while (snd_una_ < total_packets() && acked_[snd_una_]) ++snd_una_;
+  if (snd_una_ > old_una) {
+    cc_->on_ack(static_cast<std::uint64_t>(snd_una_ - old_una) * cfg_.mtu_payload);
+    arm_rto();
+  }
+  if (done()) {
+    sim_.cancel(rto_ev_);
+    rto_ev_ = kInvalidEvent;
+    finish();
+    return;
+  }
+  kick_nic();
+}
+
+void OooReceiver::on_packet(Packet pkt) {
+  if (pkt.type != PktType::kData) return;
+  stats_.data_packets++;
+  if (ecn_enabled_ && pkt.ecn_ce && cnp_.should_send(sim_.now())) {
+    send_control(make_control(PktType::kCnp, HeaderSizes::kCnp));
+  }
+  if (pkt.psn >= total_packets()) return;
+  if (received_[pkt.psn]) {
+    stats_.duplicate_packets++;
+  } else {
+    received_[pkt.psn] = true;
+    received_count_++;
+    stats_.bytes_received += pkt.payload_bytes;
+    if (pkt.psn != expected_) stats_.out_of_order_packets++;
+    while (expected_ < total_packets() && received_[expected_]) ++expected_;
+    if (complete()) mark_complete();
+  }
+  Packet ack = make_control(PktType::kSack, HeaderSizes::kRoceAck + 4);
+  ack.ack_psn = expected_;
+  ack.sack_psn = pkt.psn;
+  ack.ecn_ce = pkt.ecn_ce;  // echo for window-based CCs
+  ack.echo_ts = pkt.sent_at;
+  send_control(std::move(ack));
+}
+
+}  // namespace dcp

@@ -1,0 +1,70 @@
+#pragma once
+// Timeout-only loss recovery (the NVIDIA Spectrum AR + SuperNIC stand-in,
+// §6.3 / Fig. 17): the receiver places packets out-of-order and returns
+// cumulative ACKs, but the sender has *no* fast retransmission — every
+// loss waits for an RTO, which then selectively resends unacked packets.
+
+#include <vector>
+
+#include "host/transport.h"
+
+namespace dcp {
+
+class TimeoutSender final : public SenderTransport {
+ public:
+  TimeoutSender(Simulator& sim, Host& host, FlowSpec spec, TransportConfig cfg)
+      : SenderTransport(sim, host, spec, cfg), acked_(total_packets(), false) {}
+  ~TimeoutSender() override;
+
+  void on_packet(Packet pkt) override;
+  bool done() const override { return snd_una_ >= total_packets(); }
+
+ protected:
+  bool protocol_has_packet() override;
+  Packet protocol_next_packet() override;
+  void on_start() override { arm_rto(); }
+
+ private:
+  void arm_rto();
+  void on_rto();
+
+  std::vector<bool> acked_;
+  std::vector<bool> retx_pending_;
+  std::uint32_t retx_count_ = 0;
+  std::uint32_t retx_scan_ = 0;
+  std::uint32_t snd_una_ = 0;
+  std::uint32_t snd_nxt_ = 0;
+  EventId rto_ev_ = kInvalidEvent;
+};
+
+/// Out-of-order-accepting receiver with cumulative ACKs + per-packet echo
+/// (ack_psn = ePSN, sack_psn = this packet) so the sender can clear state.
+class OooReceiver : public ReceiverTransport {
+ public:
+  OooReceiver(Simulator& sim, Host& host, FlowSpec spec, TransportConfig cfg)
+      : ReceiverTransport(sim, host, spec, cfg), received_(total_packets(), false) {}
+
+  void on_packet(Packet pkt) override;
+  bool complete() const override { return received_count_ >= total_packets(); }
+
+ protected:
+  std::vector<bool> received_;
+  std::uint32_t received_count_ = 0;
+  std::uint32_t expected_ = 0;
+};
+
+class TimeoutFactory final : public TransportFactory {
+ public:
+  std::unique_ptr<SenderTransport> make_sender(Simulator& sim, Host& host, const FlowSpec& spec,
+                                               const TransportConfig& cfg) override {
+    return std::make_unique<TimeoutSender>(sim, host, spec, cfg);
+  }
+  std::unique_ptr<ReceiverTransport> make_receiver(Simulator& sim, Host& host,
+                                                   const FlowSpec& spec,
+                                                   const TransportConfig& cfg) override {
+    return std::make_unique<OooReceiver>(sim, host, spec, cfg);
+  }
+  std::string name() const override { return "Timeout"; }
+};
+
+}  // namespace dcp

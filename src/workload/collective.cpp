@@ -1,0 +1,113 @@
+#include "workload/collective.h"
+
+#include <algorithm>
+
+namespace dcp {
+
+// ---------------------------------------------------------------------------
+// RingAllReduce
+// ---------------------------------------------------------------------------
+
+RingAllReduce::RingAllReduce(Network& net, CollectiveParams p)
+    : Collective(net, std::move(p)), state_(params_.members.size()) {
+  expected_ = static_cast<std::size_t>(n()) * static_cast<std::size_t>(steps());
+  net_.add_tx_listener([this](const FlowRecord& rec) { on_tx(rec); });
+  net_.add_rx_listener([this](const FlowRecord& rec) { on_rx(rec); });
+  for (int i = 0; i < n(); ++i) start_send(i, 0);
+}
+
+void RingAllReduce::start_send(int member, int step) {
+  FlowSpec spec;
+  spec.src = params_.members[static_cast<std::size_t>(member)];
+  spec.dst = params_.members[static_cast<std::size_t>((member + 1) % n())];
+  spec.bytes = chunk_bytes();
+  spec.start_time = std::max(params_.start, net_.sim().now());
+  spec.msg_bytes = params_.msg_bytes;
+  spec.group = params_.group_tag;
+  spec.background = false;
+  const FlowId id = net_.start_flow(spec);
+  flow_ids_.push_back(id);
+  flow_role_[id] = {member, step};
+  state_[static_cast<std::size_t>(member)].started_step = step;
+}
+
+void RingAllReduce::maybe_advance(int member) {
+  MemberState& st = state_[static_cast<std::size_t>(member)];
+  const int next = st.started_step + 1;
+  if (next >= steps()) return;
+  // Dependency: own previous send done AND previous inbound chunk received.
+  if (st.tx_done_step >= next - 1 && st.rx_done_step >= next - 1) {
+    start_send(member, next);
+  }
+}
+
+void RingAllReduce::on_tx(const FlowRecord& rec) {
+  auto it = flow_role_.find(rec.spec.id);
+  if (it == flow_role_.end()) return;
+  const auto [member, step] = it->second;
+  MemberState& st = state_[static_cast<std::size_t>(member)];
+  st.tx_done_step = std::max(st.tx_done_step, step);
+  ++completed_;
+  last_done_ = std::max(last_done_, rec.tx_done);
+  maybe_advance(member);
+}
+
+void RingAllReduce::on_rx(const FlowRecord& rec) {
+  auto it = flow_role_.find(rec.spec.id);
+  if (it == flow_role_.end()) return;
+  const auto [sender, step] = it->second;
+  const int receiver = (sender + 1) % n();
+  MemberState& st = state_[static_cast<std::size_t>(receiver)];
+  st.rx_done_step = std::max(st.rx_done_step, step);
+  maybe_advance(receiver);
+}
+
+Time RingAllReduce::ideal_jct(const CollectiveParams& p, Bandwidth rate) {
+  const std::uint64_t n = p.members.size();
+  if (n < 2) return 0;
+  const std::uint64_t per_member = 2 * (n - 1) * (p.total_bytes / n);
+  return rate.serialize(static_cast<std::int64_t>(per_member));
+}
+
+// ---------------------------------------------------------------------------
+// AllToAll
+// ---------------------------------------------------------------------------
+
+AllToAll::AllToAll(Network& net, CollectiveParams p) : Collective(net, std::move(p)) {
+  const int n = static_cast<int>(params_.members.size());
+  const std::uint64_t slice =
+      std::max<std::uint64_t>(1, params_.total_bytes / static_cast<std::uint64_t>(n));
+  expected_ = static_cast<std::size_t>(n) * static_cast<std::size_t>(n - 1);
+  net_.add_tx_listener([this](const FlowRecord& rec) { on_tx(rec); });
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      FlowSpec spec;
+      spec.src = params_.members[static_cast<std::size_t>(i)];
+      spec.dst = params_.members[static_cast<std::size_t>(j)];
+      spec.bytes = slice;
+      spec.start_time = params_.start;
+      spec.msg_bytes = params_.msg_bytes;
+      spec.group = params_.group_tag;
+      spec.background = false;
+      const FlowId id = net_.start_flow(spec);
+      flow_ids_.push_back(id);
+      mine_[id] = true;
+    }
+  }
+}
+
+void AllToAll::on_tx(const FlowRecord& rec) {
+  if (!mine_.contains(rec.spec.id)) return;
+  ++completed_;
+  last_done_ = std::max(last_done_, rec.tx_done);
+}
+
+Time AllToAll::ideal_jct(const CollectiveParams& p, Bandwidth rate) {
+  const std::uint64_t n = p.members.size();
+  if (n < 2) return 0;
+  const std::uint64_t per_member = (n - 1) * (p.total_bytes / n);
+  return rate.serialize(static_cast<std::int64_t>(per_member));
+}
+
+}  // namespace dcp

@@ -1,0 +1,87 @@
+#pragma once
+// Collective-communication workloads (Figs. 12, 14): ring AllReduce with
+// proper step dependencies, and AllToAll.
+//
+// RingAllReduce: the buffer is split into n chunks; 2(n-1) steps; in step
+// s, member i sends one chunk to member (i+1) mod n, and may only do so
+// after (a) its own step-(s-1) send finished and (b) it received the
+// step-(s-1) chunk from member (i-1) — the reduce/forward dependency.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "topo/network.h"
+
+namespace dcp {
+
+struct CollectiveParams {
+  std::vector<NodeId> members;
+  std::uint64_t total_bytes = 32 * 1024 * 1024;
+  Time start = 0;
+  std::uint64_t msg_bytes = 1024 * 1024;
+  int group_tag = 0;
+};
+
+class Collective {
+ public:
+  virtual ~Collective() = default;
+  bool done() const { return completed_ == expected_; }
+  /// Job completion time: last flow's sender-side completion - start.
+  Time jct() const { return last_done_ - params_.start; }
+  const std::vector<FlowId>& flows() const { return flow_ids_; }
+  const CollectiveParams& params() const { return params_; }
+
+ protected:
+  Collective(Network& net, CollectiveParams p) : net_(net), params_(std::move(p)) {}
+
+  Network& net_;
+  CollectiveParams params_;
+  std::vector<FlowId> flow_ids_;
+  std::size_t expected_ = 0;
+  std::size_t completed_ = 0;
+  Time last_done_ = 0;
+};
+
+class RingAllReduce final : public Collective {
+ public:
+  /// Registers listeners and schedules step 0 at params.start.
+  RingAllReduce(Network& net, CollectiveParams p);
+
+  int steps() const { return 2 * (n() - 1); }
+  /// Unloaded lower bound: each member pushes 2(n-1)/n * total bytes
+  /// through its NIC sequentially.
+  static Time ideal_jct(const CollectiveParams& p, Bandwidth rate);
+
+ private:
+  int n() const { return static_cast<int>(params_.members.size()); }
+  std::uint64_t chunk_bytes() const {
+    return std::max<std::uint64_t>(1, params_.total_bytes / static_cast<std::uint64_t>(n()));
+  }
+  void start_send(int member, int step);
+  void maybe_advance(int member);
+  void on_tx(const FlowRecord& rec);
+  void on_rx(const FlowRecord& rec);
+
+  struct MemberState {
+    int tx_done_step = -1;   // highest step whose send completed
+    int rx_done_step = -1;   // highest step whose inbound chunk arrived
+    int started_step = -1;   // highest step whose send has been launched
+  };
+  std::vector<MemberState> state_;
+  std::unordered_map<FlowId, std::pair<int, int>> flow_role_;  // id -> (member, step)
+};
+
+class AllToAll final : public Collective {
+ public:
+  /// Every member sends total/n bytes to every other member, all at once.
+  AllToAll(Network& net, CollectiveParams p);
+
+  static Time ideal_jct(const CollectiveParams& p, Bandwidth rate);
+
+ private:
+  void on_tx(const FlowRecord& rec);
+  std::unordered_map<FlowId, bool> mine_;
+};
+
+}  // namespace dcp

@@ -1,0 +1,76 @@
+#include "workload/flowgen.h"
+
+namespace dcp {
+
+std::vector<FlowId> generate_poisson_flows(Network& net, const std::vector<Host*>& hosts,
+                                           const SizeDist& dist, const FlowGenParams& p) {
+  Rng rng(p.seed);
+  std::vector<FlowId> ids;
+  ids.reserve(p.num_flows);
+
+  // Aggregate arrival rate: load * sum of host capacities / mean flow size.
+  const double bits_per_sec = p.host_rate.as_gbps() * 1e9 * static_cast<double>(hosts.size());
+  const double flows_per_sec = p.load * bits_per_sec / (dist.mean_bytes() * 8.0);
+  const double mean_gap_ps = static_cast<double>(kSecond) / flows_per_sec;
+
+  Time t = p.start;
+  for (std::size_t i = 0; i < p.num_flows; ++i) {
+    t += static_cast<Time>(rng.exponential(mean_gap_ps));
+    std::size_t src = rng.pick_index(hosts.size());
+    std::size_t dst = rng.pick_index(hosts.size());
+    int guard = 0;
+    while ((dst == src ||
+            (p.inter_rack_only && p.hosts_per_group > 0 &&
+             src / static_cast<std::size_t>(p.hosts_per_group) ==
+                 dst / static_cast<std::size_t>(p.hosts_per_group))) &&
+           guard++ < 64) {
+      dst = rng.pick_index(hosts.size());
+    }
+    if (dst == src) dst = (src + 1) % hosts.size();
+
+    FlowSpec spec;
+    spec.src = hosts[src]->id();
+    spec.dst = hosts[dst]->id();
+    spec.bytes = dist.sample(rng);
+    spec.start_time = t;
+    spec.msg_bytes = p.msg_bytes;
+    spec.op = p.op;
+    spec.background = true;
+    ids.push_back(net.start_flow(spec));
+  }
+  return ids;
+}
+
+std::vector<FlowId> generate_permutation(Network& net, const std::vector<Host*>& hosts,
+                                         std::uint64_t bytes, Time start, std::uint64_t seed,
+                                         std::uint64_t msg_bytes) {
+  Rng rng(seed);
+  const std::size_t n = hosts.size();
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  // Fisher-Yates into a derangement: reshuffle until no fixed points
+  // (expected ~e tries; guaranteed for n >= 2 eventually).
+  bool ok = false;
+  while (!ok) {
+    for (std::size_t i = n - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(i)));
+      std::swap(perm[i], perm[j]);
+    }
+    ok = true;
+    for (std::size_t i = 0; i < n; ++i) ok = ok && perm[i] != i;
+  }
+  std::vector<FlowId> ids;
+  ids.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    FlowSpec spec;
+    spec.src = hosts[i]->id();
+    spec.dst = hosts[perm[i]]->id();
+    spec.bytes = bytes;
+    spec.start_time = start;
+    spec.msg_bytes = msg_bytes;
+    ids.push_back(net.start_flow(spec));
+  }
+  return ids;
+}
+
+}  // namespace dcp

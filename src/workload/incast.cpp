@@ -1,0 +1,38 @@
+#include "workload/incast.h"
+
+namespace dcp {
+
+std::vector<FlowId> generate_incast(Network& net, const std::vector<Host*>& hosts,
+                                    const IncastParams& p) {
+  Rng rng(p.seed);
+  std::vector<FlowId> ids;
+
+  // Burst interval such that average offered load on the victim's link is
+  // `load`: burst_bytes * 8 / interval = load * rate.
+  const double burst_bits =
+      static_cast<double>(p.fan_in) * static_cast<double>(p.bytes_per_sender) * 8.0;
+  const double interval_ps = burst_bits / (p.load * p.host_rate.as_gbps() * 1e9) *
+                             static_cast<double>(kSecond);
+
+  const std::size_t victim = static_cast<std::size_t>(p.victim_index) % hosts.size();
+  Time t = p.start;
+  for (int b = 0; b < p.bursts; ++b) {
+    for (int s = 0; s < p.fan_in; ++s) {
+      std::size_t sender = rng.pick_index(hosts.size());
+      if (sender == victim) sender = (sender + 1) % hosts.size();
+      FlowSpec spec;
+      spec.src = hosts[sender]->id();
+      spec.dst = hosts[victim]->id();
+      spec.bytes = p.bytes_per_sender;
+      spec.start_time = t;
+      spec.msg_bytes = p.msg_bytes;
+      spec.group = b;
+      spec.background = false;
+      ids.push_back(net.start_flow(spec));
+    }
+    t += static_cast<Time>(interval_ps);  // periodic bursts at the target load
+  }
+  return ids;
+}
+
+}  // namespace dcp

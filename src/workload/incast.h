@@ -1,0 +1,29 @@
+#pragma once
+// N-to-1 incast generation (Figs. 2, 16, Table 5): periodic bursts where
+// `fan_in` random senders each ship `bytes_per_sender` to one victim.
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/network.h"
+
+namespace dcp {
+
+struct IncastParams {
+  int fan_in = 128;
+  std::uint64_t bytes_per_sender = 64 * 1024;
+  double load = 0.1;  // of the victim's NIC capacity
+  Bandwidth host_rate = Bandwidth::gbps(100);
+  int bursts = 10;
+  Time start = 0;
+  std::uint64_t seed = 7;
+  std::uint64_t msg_bytes = 1024 * 1024;
+  int victim_index = 0;  // index into `hosts`
+};
+
+/// Registers the incast flows; flows carry group = burst index and
+/// background = false so stats can separate them from background traffic.
+std::vector<FlowId> generate_incast(Network& net, const std::vector<Host*>& hosts,
+                                    const IncastParams& p);
+
+}  // namespace dcp

@@ -1,0 +1,95 @@
+#include "workload/size_dist.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dcp {
+
+SizeDist::SizeDist(std::vector<Point> points) : pts_(std::move(points)) {
+  assert(!pts_.empty() && pts_.back().cdf >= 1.0 - 1e-9);
+  // Mean of the piecewise-linear CDF: each segment contributes its
+  // probability mass times the segment's average size.
+  double mean = 0.0;
+  double prev_cdf = 0.0;
+  std::uint64_t prev_b = pts_.front().cdf > 0.0 ? 0 : pts_.front().bytes;
+  for (const Point& p : pts_) {
+    const double mass = p.cdf - prev_cdf;
+    if (mass > 0) mean += mass * (static_cast<double>(prev_b) + static_cast<double>(p.bytes)) / 2.0;
+    prev_cdf = p.cdf;
+    prev_b = p.bytes;
+  }
+  mean_ = mean;
+}
+
+std::uint64_t SizeDist::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  double prev_cdf = 0.0;
+  std::uint64_t prev_b = 0;
+  for (const Point& p : pts_) {
+    if (u <= p.cdf) {
+      const double span = p.cdf - prev_cdf;
+      if (span <= 0.0) return p.bytes;
+      const double f = (u - prev_cdf) / span;
+      const double b =
+          static_cast<double>(prev_b) + f * (static_cast<double>(p.bytes) - static_cast<double>(prev_b));
+      return static_cast<std::uint64_t>(std::max(1.0, b));
+    }
+    prev_cdf = p.cdf;
+    prev_b = p.bytes;
+  }
+  return pts_.back().bytes;
+}
+
+double SizeDist::cdf_at(std::uint64_t bytes) const {
+  double prev_cdf = 0.0;
+  std::uint64_t prev_b = 0;
+  for (const Point& p : pts_) {
+    if (bytes <= p.bytes) {
+      if (p.bytes == prev_b) return p.cdf;
+      const double f = static_cast<double>(bytes - prev_b) /
+                       static_cast<double>(p.bytes - prev_b);
+      return prev_cdf + f * (p.cdf - prev_cdf);
+    }
+    prev_cdf = p.cdf;
+    prev_b = p.bytes;
+  }
+  return 1.0;
+}
+
+SizeDist SizeDist::websearch() {
+  // DCTCP web-search distribution (Alizadeh et al., SIGCOMM 2010), the
+  // standard simulator rendition; satisfies the paper's 60/37/3 split at
+  // 200 KB and 10 MB.
+  return SizeDist({{6'000, 0.15},
+                   {13'000, 0.20},
+                   {19'000, 0.30},
+                   {33'000, 0.40},
+                   {53'000, 0.53},
+                   {133'000, 0.60},
+                   {667'000, 0.70},
+                   {1'333'000, 0.80},
+                   {3'333'000, 0.90},
+                   {6'667'000, 0.95},
+                   {10'000'000, 0.97},
+                   {30'000'000, 1.00}});
+}
+
+SizeDist SizeDist::datamining() {
+  // VL2's data-mining workload, as commonly rendered in DC transport
+  // simulators: ~80% of flows under 10 KB, a long tail out to 1 GB.
+  return SizeDist({{100, 0.10},
+                   {1'000, 0.50},
+                   {10'000, 0.80},
+                   {100'000, 0.85},
+                   {1'000'000, 0.90},
+                   {10'000'000, 0.95},
+                   {100'000'000, 0.98},
+                   {1'000'000'000, 1.00}});
+}
+
+SizeDist SizeDist::fixed(std::uint64_t bytes) {
+  // A zero-mass point at `bytes` pins the whole distribution there.
+  return SizeDist({{bytes, 0.0}, {bytes, 1.0}});
+}
+
+}  // namespace dcp

@@ -1,0 +1,43 @@
+#pragma once
+// Empirical flow-size distributions sampled by inverse-CDF interpolation.
+// Ships the WebSearch (DCTCP) distribution the paper evaluates: 60% of
+// flows below 200 KB, 37% between 200 KB and 10 MB, 3% above 10 MB.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace dcp {
+
+class SizeDist {
+ public:
+  struct Point {
+    std::uint64_t bytes;
+    double cdf;  // in [0, 1], non-decreasing; last point must be 1.0
+  };
+
+  explicit SizeDist(std::vector<Point> points);
+
+  /// Inverse-CDF sample with linear interpolation between points.
+  std::uint64_t sample(Rng& rng) const;
+
+  /// Analytic mean of the piecewise-linear distribution.
+  double mean_bytes() const { return mean_; }
+
+  /// CDF value at `bytes` (linear interpolation).
+  double cdf_at(std::uint64_t bytes) const;
+
+  static SizeDist websearch();
+  /// The DataMining / Hadoop-style distribution (Greenberg et al. VL2):
+  /// dominated by tiny flows with a very heavy multi-MB tail.
+  static SizeDist datamining();
+  /// Uniform fixed size (incast and microbenchmarks).
+  static SizeDist fixed(std::uint64_t bytes);
+
+ private:
+  std::vector<Point> pts_;
+  double mean_ = 0.0;
+};
+
+}  // namespace dcp

@@ -1,0 +1,115 @@
+// Tests for the collective workloads: ring AllReduce dependencies and
+// AllToAll fan-out.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "harness/scheme.h"
+#include "topo/dumbbell.h"
+#include "workload/collective.h"
+
+namespace dcp {
+namespace {
+
+struct CollFixture {
+  Simulator sim;
+  Logger log{LogLevel::kOff};
+  Network net{sim, log};
+  Star star;
+
+  explicit CollFixture(int hosts) {
+    SchemeSetup s = make_scheme(SchemeKind::kDcp);
+    star = build_star(net, hosts, s.sw);
+    apply_scheme(net, s);
+  }
+
+  CollectiveParams params(int n, std::uint64_t bytes) {
+    CollectiveParams p;
+    for (int i = 0; i < n; ++i) p.members.push_back(star.hosts[static_cast<std::size_t>(i)]->id());
+    p.total_bytes = bytes;
+    p.msg_bytes = 256 * 1024;
+    return p;
+  }
+};
+
+TEST(RingAllReduceTest, RunsAllStepsAndFinishes) {
+  CollFixture f(4);
+  RingAllReduce ar(f.net, f.params(4, 4 * 1024 * 1024));
+  EXPECT_EQ(ar.steps(), 6);  // 2*(4-1)
+  f.net.run_until_done(seconds(5));
+  EXPECT_TRUE(ar.done());
+  // 4 members x 6 steps = 24 flows of total/4 bytes each.
+  EXPECT_EQ(ar.flows().size(), 24u);
+  for (FlowId id : ar.flows()) {
+    EXPECT_EQ(f.net.record(id).spec.bytes, 1024u * 1024);
+    EXPECT_TRUE(f.net.record(id).complete());
+  }
+  EXPECT_GT(ar.jct(), 0);
+}
+
+TEST(RingAllReduceTest, StepDependenciesRespected) {
+  CollFixture f(3);
+  RingAllReduce ar(f.net, f.params(3, 3 * 1024 * 1024));
+  f.net.run_until_done(seconds(5));
+  ASSERT_TRUE(ar.done());
+  // A member's step-s flow must start only after its step-(s-1) flow ended
+  // (sender side); verify via record timestamps per (member = src host).
+  std::map<NodeId, std::vector<const FlowRecord*>> by_src;
+  for (FlowId id : ar.flows()) by_src[f.net.record(id).spec.src].push_back(&f.net.record(id));
+  for (auto& [src, recs] : by_src) {
+    std::sort(recs.begin(), recs.end(), [](const FlowRecord* a, const FlowRecord* b) {
+      return a->spec.start_time < b->spec.start_time;
+    });
+    for (std::size_t i = 1; i < recs.size(); ++i) {
+      EXPECT_GE(recs[i]->spec.start_time, recs[i - 1]->tx_done);
+    }
+  }
+}
+
+TEST(RingAllReduceTest, JctAboveIdealLowerBound) {
+  CollFixture f(4);
+  const auto p = f.params(4, 8 * 1024 * 1024);
+  RingAllReduce ar(f.net, p);
+  f.net.run_until_done(seconds(5));
+  ASSERT_TRUE(ar.done());
+  EXPECT_GE(ar.jct(), RingAllReduce::ideal_jct(p, Bandwidth::gbps(100)));
+}
+
+TEST(AllToAllTest, EveryPairGetsAFlow) {
+  CollFixture f(4);
+  AllToAll a2a(f.net, f.params(4, 4 * 1024 * 1024));
+  f.net.run_until_done(seconds(5));
+  EXPECT_TRUE(a2a.done());
+  EXPECT_EQ(a2a.flows().size(), 12u);  // 4*3 ordered pairs
+  std::set<std::pair<NodeId, NodeId>> pairs;
+  for (FlowId id : a2a.flows()) {
+    const auto& spec = f.net.record(id).spec;
+    pairs.insert({spec.src, spec.dst});
+  }
+  EXPECT_EQ(pairs.size(), 12u);
+}
+
+TEST(AllToAllTest, IdealJctBelowMeasured) {
+  CollFixture f(4);
+  const auto p = f.params(4, 8 * 1024 * 1024);
+  AllToAll a2a(f.net, p);
+  f.net.run_until_done(seconds(5));
+  ASSERT_TRUE(a2a.done());
+  EXPECT_GE(a2a.jct(), AllToAll::ideal_jct(p, Bandwidth::gbps(100)));
+}
+
+TEST(CollectiveIdeal, FormulaSanity) {
+  CollectiveParams p;
+  p.members = {1, 2, 3, 4};
+  p.total_bytes = 4 * 1000 * 1000;
+  // AllReduce moves 2(n-1)/n * total per member = 6 MB at 100 Gb/s = 480 us.
+  EXPECT_EQ(RingAllReduce::ideal_jct(p, Bandwidth::gbps(100)), microseconds(480));
+  // AllToAll moves (n-1)/n * total = 3 MB = 240 us.
+  EXPECT_EQ(AllToAll::ideal_jct(p, Bandwidth::gbps(100)), microseconds(240));
+}
+
+}  // namespace
+}  // namespace dcp

@@ -1,0 +1,109 @@
+// Tests for the experiment-config parser and runner.
+
+#include <gtest/gtest.h>
+
+#include "harness/config.h"
+
+namespace dcp {
+namespace {
+
+TEST(Config, ParsesFullWebsearchConfig) {
+  const char* text =
+      "# comment\n"
+      "experiment = websearch\n"
+      "scheme = irn-ecmp   # trailing comment\n"
+      "with_cc = true\n"
+      "cc = timely\n"
+      "load = 0.7\n"
+      "flows = 123\n"
+      "dist = datamining\n"
+      "spines = 8\n"
+      "incast = yes\n"
+      "incast_fan_in = 31\n";
+  std::string err;
+  auto cfg = parse_experiment_config(text, &err);
+  ASSERT_TRUE(cfg.has_value()) << err;
+  EXPECT_EQ(cfg->kind, ExperimentConfig::Kind::kWebSearch);
+  EXPECT_EQ(cfg->websearch.scheme, SchemeKind::kIrnEcmp);
+  EXPECT_TRUE(cfg->websearch.opt.with_cc);
+  EXPECT_EQ(cfg->websearch.opt.cc_type, CcConfig::Type::kTimely);
+  EXPECT_DOUBLE_EQ(cfg->websearch.load, 0.7);
+  EXPECT_EQ(cfg->websearch.num_flows, 123u);
+  EXPECT_EQ(cfg->websearch.dist, WorkloadDist::kDataMining);
+  EXPECT_EQ(cfg->websearch.clos.spines, 8);
+  EXPECT_TRUE(cfg->websearch.with_incast);
+  EXPECT_EQ(cfg->websearch.incast.fan_in, 31);
+}
+
+TEST(Config, DefaultsAreSane) {
+  auto cfg = parse_experiment_config("");
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->kind, ExperimentConfig::Kind::kWebSearch);
+  EXPECT_EQ(cfg->websearch.scheme, SchemeKind::kDcp);
+  EXPECT_FALSE(cfg->websearch.opt.with_cc);
+}
+
+TEST(Config, ErrorsNameTheLine) {
+  std::string err;
+  EXPECT_FALSE(parse_experiment_config("scheme = dcp\nbogus_key = 1\n", &err).has_value());
+  EXPECT_NE(err.find("line 2"), std::string::npos);
+  EXPECT_NE(err.find("bogus_key"), std::string::npos);
+
+  EXPECT_FALSE(parse_experiment_config("load = not_a_number\n", &err).has_value());
+  EXPECT_NE(err.find("line 1"), std::string::npos);
+
+  EXPECT_FALSE(parse_experiment_config("just a line without equals\n", &err).has_value());
+  EXPECT_FALSE(parse_experiment_config("scheme = klingon\n", &err).has_value());
+  EXPECT_FALSE(parse_experiment_config("with_cc = maybe\n", &err).has_value());
+}
+
+TEST(Config, LongflowRuns) {
+  const char* text =
+      "experiment = longflow\n"
+      "scheme = dcp\n"
+      "loss_rate = 0.01\n"
+      "flow_bytes = 5000000\n"
+      "max_time_ms = 100\n";
+  auto cfg = parse_experiment_config(text);
+  ASSERT_TRUE(cfg.has_value());
+  const std::string report = run_configured_experiment(*cfg);
+  EXPECT_NE(report.find("longflow DCP"), std::string::npos);
+  EXPECT_NE(report.find("completed=yes"), std::string::npos);
+}
+
+TEST(Config, WebsearchRunsEndToEnd) {
+  const char* text =
+      "experiment = websearch\n"
+      "scheme = dcp\n"
+      "flows = 40\n"
+      "load = 0.3\n"
+      "max_time_ms = 2000\n";
+  auto cfg = parse_experiment_config(text);
+  ASSERT_TRUE(cfg.has_value());
+  const std::string report = run_configured_experiment(*cfg);
+  EXPECT_NE(report.find("flows 40/40"), std::string::npos);
+}
+
+TEST(Config, CollectiveRuns) {
+  const char* text =
+      "experiment = collective\n"
+      "scheme = dcp\n"
+      "collective_kind = alltoall\n"
+      "groups = 2\n"
+      "members = 4\n"
+      "collective_bytes = 4194304\n"
+      "max_time_ms = 5000\n";
+  auto cfg = parse_experiment_config(text);
+  ASSERT_TRUE(cfg.has_value());
+  const std::string report = run_configured_experiment(*cfg);
+  EXPECT_NE(report.find("done=yes"), std::string::npos);
+}
+
+TEST(Config, MissingFileReportsError) {
+  std::string err;
+  EXPECT_FALSE(load_experiment_config("/no/such/file.conf", &err).has_value());
+  EXPECT_NE(err.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dcp

@@ -1,0 +1,100 @@
+// Tests for the CSV exporters.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "harness/scheme.h"
+#include "stats/csv_export.h"
+#include "topo/dumbbell.h"
+
+namespace dcp {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+int count_lines(const std::string& s) {
+  int n = 0;
+  for (char c : s) n += c == '\n';
+  return n;
+}
+
+struct Fixture {
+  Simulator sim;
+  Logger log{LogLevel::kOff};
+  Network net{sim, log};
+  Star star;
+
+  Fixture() {
+    SchemeSetup s = make_scheme(SchemeKind::kDcp);
+    star = build_star(net, 3, s.sw);
+    apply_scheme(net, s);
+  }
+};
+
+TEST(CsvExport, FlowRecordsOneRowPerFlow) {
+  Fixture f;
+  for (int i = 0; i < 4; ++i) {
+    FlowSpec spec;
+    spec.src = f.star.hosts[static_cast<std::size_t>(i % 2)]->id();
+    spec.dst = f.star.hosts[2]->id();
+    spec.bytes = 50'000 + static_cast<std::uint64_t>(i) * 1000;
+    f.net.start_flow(spec);
+  }
+  f.net.run_until_done(seconds(1));
+  const std::string path = "/tmp/dcp_test_flows.csv";
+  ASSERT_TRUE(export_flow_records_csv(f.net, path));
+  const std::string out = slurp(path);
+  EXPECT_EQ(count_lines(out), 5);  // header + 4 flows
+  EXPECT_NE(out.find("flow,src,dst,bytes"), std::string::npos);
+  EXPECT_NE(out.find("50000"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CsvExport, FctBucketsSkipEmpty) {
+  FctStats st({1000, 1'000'000});
+  FlowRecord r;
+  r.spec.bytes = 500;
+  r.spec.start_time = 0;
+  r.rx_done = r.tx_done = microseconds(4);
+  st.add(r, microseconds(2));
+  const std::string path = "/tmp/dcp_test_buckets.csv";
+  ASSERT_TRUE(export_fct_buckets_csv(st, path, {50, 99}));
+  const std::string out = slurp(path);
+  EXPECT_EQ(count_lines(out), 2);  // header + the one non-empty bucket
+  EXPECT_NE(out.find("1000,1,2.0000,2.0000"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CsvExport, TelemetrySeries) {
+  Fixture f;
+  FabricTelemetry tel(f.net, microseconds(10));
+  FlowSpec spec;
+  spec.src = f.star.hosts[0]->id();
+  spec.dst = f.star.hosts[1]->id();
+  spec.bytes = 500'000;
+  f.net.start_flow(spec);
+  f.net.run_until_done(seconds(1));
+  tel.stop();
+  const std::string path = "/tmp/dcp_test_telemetry.csv";
+  ASSERT_TRUE(export_telemetry_csv(tel, path));
+  const std::string out = slurp(path);
+  EXPECT_GE(count_lines(out), 3);
+  EXPECT_NE(out.find("t_us,max_data_queue"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CsvExport, UnwritablePathReturnsFalse) {
+  Fixture f;
+  EXPECT_FALSE(export_flow_records_csv(f.net, "/nonexistent_dir/x.csv"));
+}
+
+}  // namespace
+}  // namespace dcp

@@ -1,0 +1,106 @@
+// Determinism: the simulator is a pure function of its seeds.  Two runs of
+// the same experiment must produce bit-identical flow records — the
+// property that makes every experiment in EXPERIMENTS.md reproducible.
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+namespace dcp {
+namespace {
+
+struct Digest {
+  std::vector<Time> fcts;
+  std::vector<std::uint64_t> retx;
+  std::uint64_t trims = 0;
+  std::uint64_t events = 0;
+
+  bool operator==(const Digest&) const = default;
+};
+
+Digest run_once(SchemeKind kind, bool with_cc) {
+  Simulator sim;
+  Logger log{LogLevel::kOff};
+  Network net{sim, log};
+  SchemeOptions opt;
+  opt.with_cc = with_cc;
+  SchemeSetup s = make_scheme(kind, opt);
+  s.sw.inject_loss_rate = s.sw.pfc.enabled ? 0.0 : 0.005;
+  ClosParams cp;
+  cp.spines = 2;
+  cp.leaves = 2;
+  cp.hosts_per_leaf = 4;
+  cp.sw = s.sw;
+  ClosTopology topo = build_clos(net, cp);
+  apply_scheme(net, s);
+
+  FlowGenParams fg;
+  fg.load = 0.4;
+  fg.num_flows = 80;
+  fg.seed = 7;
+  generate_poisson_flows(net, topo.hosts, SizeDist::websearch(), fg);
+  net.run_until_done(seconds(10));
+
+  Digest d;
+  for (const FlowRecord& rec : net.records()) {
+    d.fcts.push_back(rec.tx_done);
+    d.retx.push_back(rec.sender.retransmitted_packets);
+  }
+  d.trims = net.total_switch_stats().trimmed;
+  d.events = sim.events_processed();
+  return d;
+}
+
+class DeterminismSweep : public ::testing::TestWithParam<SchemeKind> {};
+
+TEST_P(DeterminismSweep, IdenticalDigestsAcrossRuns) {
+  const Digest a = run_once(GetParam(), false);
+  const Digest b = run_once(GetParam(), false);
+  EXPECT_EQ(a, b) << scheme_name(GetParam());
+  EXPECT_GT(a.events, 1000u);  // the run actually did something
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, DeterminismSweep,
+                         ::testing::Values(SchemeKind::kDcp, SchemeKind::kIrn, SchemeKind::kCx5,
+                                           SchemeKind::kMpRdma, SchemeKind::kPfc,
+                                           SchemeKind::kRackTlp),
+                         [](const auto& info) {
+                           std::string n = scheme_name(info.param);
+                           for (auto& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(Determinism, WithDcqcnToo) {
+  EXPECT_EQ(run_once(SchemeKind::kDcp, true), run_once(SchemeKind::kDcp, true));
+}
+
+TEST(Determinism, DifferentSeedsDiffer) {
+  Simulator sim1, sim2;
+  Logger log{LogLevel::kOff};
+  auto run_seed = [&](std::uint64_t seed) {
+    Simulator sim;
+    Network net{sim, log};
+    SchemeSetup s = make_scheme(SchemeKind::kDcp);
+    ClosParams cp;
+    cp.spines = 2;
+    cp.leaves = 2;
+    cp.hosts_per_leaf = 2;
+    cp.sw = s.sw;
+    ClosTopology topo = build_clos(net, cp);
+    apply_scheme(net, s);
+    FlowGenParams fg;
+    fg.num_flows = 30;
+    fg.seed = seed;
+    generate_poisson_flows(net, topo.hosts, SizeDist::websearch(), fg);
+    net.run_until_done(seconds(5));
+    Time sum = 0;
+    for (const FlowRecord& rec : net.records()) sum += rec.tx_done;
+    return sum;
+  };
+  EXPECT_NE(run_seed(1), run_seed(2));
+}
+
+}  // namespace
+}  // namespace dcp

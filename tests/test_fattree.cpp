@@ -1,0 +1,122 @@
+// Tests for the three-tier fat-tree topology.
+
+#include <gtest/gtest.h>
+
+#include "harness/scheme.h"
+#include "topo/fattree.h"
+#include "workload/flowgen.h"
+
+namespace dcp {
+namespace {
+
+struct Fixture {
+  Simulator sim;
+  Logger log{LogLevel::kOff};
+  Network net{sim, log};
+};
+
+TEST(FatTree, DimensionsForK4) {
+  Fixture f;
+  FatTreeParams p;
+  p.k = 4;
+  p.sw = make_scheme(SchemeKind::kDcp).sw;
+  FatTreeTopology t = build_fattree(f.net, p);
+  EXPECT_EQ(t.hosts.size(), 16u);
+  EXPECT_EQ(t.core.size(), 4u);
+  EXPECT_EQ(t.edge.size(), 4u);
+  EXPECT_EQ(t.agg.size(), 4u);
+  EXPECT_EQ(t.edge[0].size(), 2u);
+  // Edge switch: 2 host ports + 2 agg uplinks.
+  EXPECT_EQ(t.edge[0][0]->num_ports(), 4u);
+  // Core switch: one port per pod.
+  EXPECT_EQ(t.core[0]->num_ports(), 4u);
+}
+
+TEST(FatTree, RoutesOfferFullMultipath) {
+  Fixture f;
+  FatTreeParams p;
+  p.k = 4;
+  p.sw = make_scheme(SchemeKind::kDcp).sw;
+  FatTreeTopology t = build_fattree(f.net, p);
+  // Cross-pod destination: edge offers k/2 uplinks, agg offers k/2 core
+  // uplinks -> 4 distinct paths for k=4.
+  const NodeId far = t.hosts[15]->id();
+  EXPECT_EQ(t.edge[0][0]->routes().candidates(far).size(), 2u);
+  EXPECT_EQ(t.agg[0][0]->routes().candidates(far).size(), 2u);
+  // Same-pod, different edge: up one level only.
+  const NodeId near = t.hosts[2]->id();  // pod 0, edge 1
+  EXPECT_EQ(t.edge[0][0]->routes().candidates(near).size(), 2u);
+  EXPECT_EQ(t.agg[0][0]->routes().candidates(near).size(), 1u);  // down
+}
+
+TEST(FatTree, PathInfoTiers) {
+  Fixture f;
+  FatTreeParams p;
+  p.k = 4;
+  p.sw = make_scheme(SchemeKind::kDcp).sw;
+  FatTreeTopology t = build_fattree(f.net, p);
+  EXPECT_EQ(f.net.path_info(t.hosts[0]->id(), t.hosts[1]->id()).hops, 2);   // same edge
+  EXPECT_EQ(f.net.path_info(t.hosts[0]->id(), t.hosts[2]->id()).hops, 4);   // same pod
+  EXPECT_EQ(f.net.path_info(t.hosts[0]->id(), t.hosts[15]->id()).hops, 6);  // cross pod
+}
+
+TEST(FatTree, DcpTrafficFlowsAcrossPods) {
+  Fixture f;
+  FatTreeParams p;
+  p.k = 4;
+  p.sw = make_scheme(SchemeKind::kDcp).sw;
+  FatTreeTopology t = build_fattree(f.net, p);
+  apply_scheme(f.net, make_scheme(SchemeKind::kDcp));
+
+  FlowGenParams fg;
+  fg.num_flows = 40;
+  fg.load = 0.3;
+  generate_poisson_flows(f.net, t.hosts, SizeDist::websearch(), fg);
+  f.net.run_until_done(seconds(10));
+  EXPECT_TRUE(f.net.all_flows_done());
+  EXPECT_EQ(f.net.total_switch_stats().no_route, 0u);
+}
+
+TEST(FatTree, SurvivesCoreFailure) {
+  Fixture f;
+  FatTreeParams p;
+  p.k = 4;
+  p.sw = make_scheme(SchemeKind::kDcp).sw;
+  FatTreeTopology t = build_fattree(f.net, p);
+  apply_scheme(f.net, make_scheme(SchemeKind::kDcp));
+
+  FlowSpec spec;
+  spec.src = t.hosts[0]->id();
+  spec.dst = t.hosts[15]->id();
+  spec.bytes = 4'000'000;
+  spec.msg_bytes = 512 * 1024;
+  const FlowId id = f.net.start_flow(spec);
+  f.sim.schedule(microseconds(50), [&] {
+    // Kill core 0 and withdraw the agg uplinks toward it.
+    for (std::uint32_t port = 0; port < t.core[0]->num_ports(); ++port) {
+      t.core[0]->set_link_up(port, false);
+    }
+    for (int pod = 0; pod < 4; ++pod) {
+      // agg a=0's first core uplink leads to core 0 (ports: 2 edge links
+      // then 2 core links).
+      t.agg[static_cast<std::size_t>(pod)][0]->set_link_up(2, false);
+    }
+  });
+  f.net.run_until_done(seconds(5));
+  ASSERT_TRUE(f.net.record(id).complete());
+  EXPECT_EQ(f.net.record(id).receiver.bytes_received, 4'000'000u);
+}
+
+TEST(SizeDistExtra, DataminingShape) {
+  const SizeDist dm = SizeDist::datamining();
+  EXPECT_NEAR(dm.cdf_at(10'000), 0.80, 0.01);
+  EXPECT_NEAR(dm.cdf_at(1'000'000), 0.90, 0.01);
+  // Heavy tail: the mean dwarfs the median.
+  Rng rng(3);
+  std::uint64_t median_ish = dm.sample(rng);
+  (void)median_ish;
+  EXPECT_GT(dm.mean_bytes(), 5'000'000.0);
+}
+
+}  // namespace
+}  // namespace dcp

@@ -1,0 +1,121 @@
+// Integration tests for the experiment harness: scheme wiring, the
+// WebSearch/CLOS runner, long-flow goodput, and collective runners.
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+namespace dcp {
+namespace {
+
+TEST(Scheme, FactoriesMatchKinds) {
+  EXPECT_EQ(make_scheme(SchemeKind::kDcp).factory->name(), "DCP");
+  EXPECT_EQ(make_scheme(SchemeKind::kIrn).factory->name(), "IRN");
+  EXPECT_EQ(make_scheme(SchemeKind::kPfc).factory->name(), "RNIC-GBN");
+  EXPECT_EQ(make_scheme(SchemeKind::kCx5).factory->name(), "RNIC-GBN");
+  EXPECT_EQ(make_scheme(SchemeKind::kMpRdma).factory->name(), "MP-RDMA");
+  EXPECT_EQ(make_scheme(SchemeKind::kRackTlp).factory->name(), "RACK-TLP");
+}
+
+TEST(Scheme, SwitchConfigReflectsScheme) {
+  EXPECT_TRUE(make_scheme(SchemeKind::kDcp).sw.trimming);
+  EXPECT_FALSE(make_scheme(SchemeKind::kIrn).sw.trimming);
+  EXPECT_TRUE(make_scheme(SchemeKind::kPfc).sw.pfc.enabled);
+  EXPECT_TRUE(make_scheme(SchemeKind::kMpRdma).sw.pfc.enabled);
+  EXPECT_EQ(make_scheme(SchemeKind::kDcp).sw.lb, LbPolicy::kAdaptive);
+  EXPECT_EQ(make_scheme(SchemeKind::kIrnEcmp).sw.lb, LbPolicy::kEcmp);
+  EXPECT_EQ(make_scheme(SchemeKind::kMpRdma).sw.lb, LbPolicy::kSourcePath);
+}
+
+TEST(Scheme, DcqcnIntegrationTogglesEcn) {
+  SchemeOptions cc;
+  cc.with_cc = true;
+  EXPECT_TRUE(make_scheme(SchemeKind::kDcp, cc).sw.ecn);
+  EXPECT_FALSE(make_scheme(SchemeKind::kDcp).sw.ecn);
+  EXPECT_EQ(make_scheme(SchemeKind::kDcp, cc).tcfg.cc.type, CcConfig::Type::kDcqcn);
+}
+
+TEST(Scheme, BdpMatchesRateTimesRtt) {
+  // 100 Gb/s * 8 us = 100 KB.
+  EXPECT_EQ(bdp_bytes(Bandwidth::gbps(100), microseconds(8)), 100'000u);
+}
+
+TEST(HarnessLongFlow, DcpHoldsGoodputAtOnePercentLoss) {
+  LongFlowParams p;
+  p.scheme = SchemeKind::kDcp;
+  p.loss_rate = 0.01;
+  p.flow_bytes = 10'000'000;
+  LongFlowResult r = run_long_flow(p);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.goodput_gbps, 50.0);
+}
+
+TEST(HarnessLongFlow, GbnCollapsesAtOnePercentLoss) {
+  LongFlowParams p;
+  p.scheme = SchemeKind::kCx5;
+  p.loss_rate = 0.01;
+  p.flow_bytes = 10'000'000;
+  p.max_time = milliseconds(50);
+  LongFlowResult r = run_long_flow(p);
+  // GBN should be far below line rate under loss.
+  EXPECT_LT(r.goodput_gbps, 50.0);
+}
+
+TEST(HarnessWebSearch, SmallClosRunCompletesAllFlows) {
+  WebSearchParams p;
+  p.scheme = SchemeKind::kDcp;
+  p.num_flows = 60;
+  p.load = 0.3;
+  WebSearchResult r = run_websearch(p);
+  EXPECT_EQ(r.flows_completed, r.flows_total);
+  EXPECT_GT(r.background.flows(), 0u);
+  EXPECT_EQ(r.sw.dropped_ho, 0u);
+}
+
+TEST(HarnessWebSearch, AllSchemesCompleteSmallRun) {
+  for (SchemeKind k : {SchemeKind::kPfc, SchemeKind::kIrn, SchemeKind::kMpRdma}) {
+    WebSearchParams p;
+    p.scheme = k;
+    p.num_flows = 40;
+    WebSearchResult r = run_websearch(p);
+    EXPECT_EQ(r.flows_completed, r.flows_total) << scheme_name(k);
+  }
+}
+
+TEST(HarnessUnequalPaths, DcpAdaptsUnderSkew) {
+  const auto dcp_even = run_unequal_paths(SchemeKind::kDcp, 1.0, 4'000'000);
+  const auto dcp_skew = run_unequal_paths(SchemeKind::kDcp, 10.0, 4'000'000);
+  EXPECT_GT(dcp_even.avg_goodput_gbps, 30.0);
+  // Adaptive routing keeps DCP's goodput within a sane band under skew.
+  EXPECT_GT(dcp_skew.avg_goodput_gbps, 0.4 * dcp_even.avg_goodput_gbps);
+}
+
+TEST(HarnessCollective, AllReduceFinishesOnTestbed) {
+  CollectiveExpParams p;
+  p.scheme = SchemeKind::kDcp;
+  p.use_clos = false;
+  p.groups = 4;
+  p.members_per_group = 4;
+  p.total_bytes = 4 * 1024 * 1024;
+  CollectiveResult r = run_collectives(p);
+  EXPECT_TRUE(r.all_done);
+  ASSERT_EQ(r.jct_ms.size(), 4u);
+  for (double j : r.jct_ms) EXPECT_GT(j, 0.0);
+  EXPECT_GT(r.ideal_jct_ms, 0.0);
+}
+
+TEST(HarnessCollective, AllToAllFinishesOnClos) {
+  CollectiveExpParams p;
+  p.scheme = SchemeKind::kDcp;
+  p.kind = CollectiveKind::kAllToAll;
+  p.use_clos = true;
+  p.groups = 2;
+  p.members_per_group = 4;
+  p.total_bytes = 4 * 1024 * 1024;
+  CollectiveResult r = run_collectives(p);
+  EXPECT_TRUE(r.all_done);
+  EXPECT_EQ(r.jct_ms.size(), 2u);
+}
+
+}  // namespace
+}  // namespace dcp

@@ -1,0 +1,174 @@
+// Load-balancing policy tests: spraying uniformity, flowlet stickiness and
+// gap-triggered re-picks, and policy behaviour through the switch.
+
+#include <gtest/gtest.h>
+
+#include "harness/scheme.h"
+#include "switch/routing.h"
+#include "topo/clos.h"
+#include "topo/testbed.h"
+
+namespace dcp {
+namespace {
+
+std::vector<std::uint32_t> four_ports() { return {0, 1, 2, 3}; }
+
+TEST(SelectPort, SprayIsRoughlyUniform) {
+  Rng rng(7);
+  Packet p;
+  std::array<int, 4> hits{};
+  auto depth = [](std::uint32_t) { return 0ull; };
+  for (int i = 0; i < 4000; ++i) {
+    hits[select_port(LbPolicy::kSpray, p, four_ports(), depth, rng)]++;
+  }
+  for (int h : hits) EXPECT_NEAR(h, 1000, 150);
+}
+
+TEST(SelectPort, SourcePathHonoursPathId) {
+  Rng rng(7);
+  Packet p;
+  auto depth = [](std::uint32_t) { return 0ull; };
+  for (std::uint32_t vp = 0; vp < 8; ++vp) {
+    p.path_id = vp;
+    EXPECT_EQ(select_port(LbPolicy::kSourcePath, p, four_ports(), depth, rng), vp % 4);
+  }
+}
+
+TEST(SelectPort, AdaptivePrefersShallowQueue) {
+  Rng rng(7);
+  Packet p;
+  auto depth = [](std::uint32_t port) { return port == 2 ? 0ull : 100'000ull; };
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(select_port(LbPolicy::kAdaptive, p, four_ports(), depth, rng), 2u);
+  }
+}
+
+TEST(FlowletTableTest, SticksWithinGapRepicksAfter) {
+  FlowletTable t(microseconds(50));
+  EXPECT_FALSE(t.lookup(1, 0).has_value());  // unknown flow
+  t.update(1, 3, 0);
+  // Within the gap: sticky.
+  auto hit = t.lookup(1, microseconds(10));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 3u);
+  // lookup refreshes last_seen, so a chain of closely spaced packets keeps
+  // the flowlet alive...
+  EXPECT_TRUE(t.lookup(1, microseconds(40)).has_value());
+  EXPECT_TRUE(t.lookup(1, microseconds(80)).has_value());
+  // ...but a real gap expires it.
+  EXPECT_FALSE(t.lookup(1, microseconds(200)).has_value());
+}
+
+TEST(FlowletSelect, BurstStaysOnOnePort) {
+  Rng rng(7);
+  FlowletTable table(microseconds(50));
+  Packet p;
+  p.flow = 42;
+  auto depth = [&rng](std::uint32_t) { return static_cast<std::uint64_t>(0); };
+  const std::uint32_t first =
+      select_port(LbPolicy::kFlowlet, p, four_ports(), depth, rng, 0, &table);
+  for (int i = 1; i <= 30; ++i) {
+    const Time now = i * microseconds(1);
+    EXPECT_EQ(select_port(LbPolicy::kFlowlet, p, four_ports(), depth, rng, now, &table), first);
+  }
+}
+
+TEST(FlowletSelect, GapAllowsPathChangeTowardShorterQueue) {
+  Rng rng(7);
+  FlowletTable table(microseconds(50));
+  Packet p;
+  p.flow = 42;
+  std::uint64_t depths[4] = {0, 0, 0, 0};
+  auto depth = [&depths](std::uint32_t port) { return depths[port]; };
+  const std::uint32_t first =
+      select_port(LbPolicy::kFlowlet, p, four_ports(), depth, rng, 0, &table);
+  // Congest the chosen port, wait out the flowlet gap, and re-pick.
+  depths[first] = 1'000'000;
+  const std::uint32_t second =
+      select_port(LbPolicy::kFlowlet, p, four_ports(), depth, rng, milliseconds(1), &table);
+  EXPECT_NE(second, first);
+}
+
+TEST(SwitchLbPolicy, SpraySpreadsOneFlowAcrossCrossLinks) {
+  Simulator sim;
+  Logger log{LogLevel::kOff};
+  Network net{sim, log};
+  SchemeSetup s = make_scheme(SchemeKind::kDcp);
+  s.sw.lb = LbPolicy::kSpray;
+  TestbedParams tb;
+  tb.sw = s.sw;
+  TestbedTopology topo = build_testbed(net, tb);
+  apply_scheme(net, s);
+
+  FlowSpec spec;
+  spec.src = topo.hosts[0]->id();
+  spec.dst = topo.hosts[8]->id();
+  spec.bytes = 4'000'000;
+  const FlowId id = net.start_flow(spec);
+  net.run_until_done(seconds(2));
+  ASSERT_TRUE(net.record(id).complete());
+  int used = 0;
+  for (std::uint32_t pi = 8; pi < topo.sw1->num_ports(); ++pi) {
+    if (topo.sw1->port(pi).stats().tx_packets > 100) ++used;
+  }
+  EXPECT_GE(used, 6);  // one flow over nearly all 8 links
+}
+
+TEST(SwitchLbPolicy, FlowletKeepsAFlowMostlyOnOnePath) {
+  Simulator sim;
+  Logger log{LogLevel::kOff};
+  Network net{sim, log};
+  SchemeSetup s = make_scheme(SchemeKind::kDcp);
+  s.sw.lb = LbPolicy::kFlowlet;
+  s.sw.flowlet_gap = microseconds(100);
+  TestbedParams tb;
+  tb.sw = s.sw;
+  TestbedTopology topo = build_testbed(net, tb);
+  apply_scheme(net, s);
+
+  FlowSpec spec;
+  spec.src = topo.hosts[0]->id();
+  spec.dst = topo.hosts[8]->id();
+  spec.bytes = 4'000'000;
+  const FlowId id = net.start_flow(spec);
+  net.run_until_done(seconds(2));
+  ASSERT_TRUE(net.record(id).complete());
+  // A continuously backlogged flow has no flowlet gaps: one cross link
+  // should carry (nearly) all of it.
+  std::uint64_t max_pkts = 0, total = 0;
+  for (std::uint32_t pi = 8; pi < topo.sw1->num_ports(); ++pi) {
+    max_pkts = std::max(max_pkts, topo.sw1->port(pi).stats().tx_packets);
+    total += topo.sw1->port(pi).stats().tx_packets;
+  }
+  EXPECT_GT(max_pkts, total * 9 / 10);
+}
+
+TEST(SwitchLbPolicy, DcpDeliversExactBytesUnderEveryPolicy) {
+  for (LbPolicy lb : {LbPolicy::kEcmp, LbPolicy::kAdaptive, LbPolicy::kSpray,
+                      LbPolicy::kFlowlet, LbPolicy::kSourcePath}) {
+    Simulator sim;
+    Logger log{LogLevel::kOff};
+    Network net{sim, log};
+    SchemeSetup s = make_scheme(SchemeKind::kDcp);
+    s.sw.lb = lb;
+    ClosParams cp;
+    cp.spines = 4;
+    cp.leaves = 2;
+    cp.hosts_per_leaf = 2;
+    cp.sw = s.sw;
+    ClosTopology topo = build_clos(net, cp);
+    apply_scheme(net, s);
+    FlowSpec spec;
+    spec.src = topo.hosts[0]->id();
+    spec.dst = topo.hosts[3]->id();
+    spec.bytes = 1'000'000;
+    const FlowId id = net.start_flow(spec);
+    net.run_until_done(seconds(2));
+    ASSERT_TRUE(net.record(id).complete()) << static_cast<int>(lb);
+    EXPECT_EQ(net.record(id).receiver.bytes_received, 1'000'000u);
+    EXPECT_EQ(net.record(id).sender.retransmitted_packets, 0u);  // R2: no spurious
+  }
+}
+
+}  // namespace
+}  // namespace dcp

@@ -1,0 +1,62 @@
+// Unit tests for the host-memory retransmission queue (paper §4.3).
+
+#include <gtest/gtest.h>
+
+#include "core/retransq.h"
+
+namespace dcp {
+namespace {
+
+TEST(RetransQ, PushPopThroughStaging) {
+  RetransQ q;
+  q.push({1, 10});
+  q.push({1, 11});
+  q.push({2, 20});
+  EXPECT_EQ(q.len(), 3u);
+  EXPECT_TRUE(q.staging_empty());
+
+  EXPECT_EQ(q.fetch_to_staging(2), 2u);
+  EXPECT_EQ(q.len(), 1u);
+  EXPECT_EQ(q.staging_len(), 2u);
+
+  auto e = q.pop_staged();
+  EXPECT_EQ(e.msn, 1u);
+  EXPECT_EQ(e.psn, 10u);
+  e = q.pop_staged();
+  EXPECT_EQ(e.psn, 11u);
+  EXPECT_TRUE(q.staging_empty());
+}
+
+TEST(RetransQ, FetchLimitedByHostQueue) {
+  RetransQ q;
+  q.push({0, 1});
+  EXPECT_EQ(q.fetch_to_staging(16), 1u);
+  EXPECT_EQ(q.fetch_to_staging(16), 0u);
+}
+
+TEST(RetransQ, OnePcieFetchPerBatch) {
+  RetransQ q;
+  for (std::uint32_t i = 0; i < 32; ++i) q.push({0, i});
+  q.fetch_to_staging(16);
+  q.fetch_to_staging(16);
+  EXPECT_EQ(q.pcie_fetches(), 2u);  // 32 entries, 2 PCIe round trips
+  EXPECT_EQ(q.total_pushed(), 32u);
+}
+
+TEST(RetransQ, TracksMaxDepth) {
+  RetransQ q;
+  for (std::uint32_t i = 0; i < 5; ++i) q.push({0, i});
+  q.fetch_to_staging(5);
+  q.push({0, 99});
+  EXPECT_EQ(q.max_len(), 5u);
+}
+
+TEST(RetransQ, FifoOrderPreserved) {
+  RetransQ q;
+  for (std::uint32_t i = 0; i < 10; ++i) q.push({0, i});
+  q.fetch_to_staging(10);
+  for (std::uint32_t i = 0; i < 10; ++i) EXPECT_EQ(q.pop_staged().psn, i);
+}
+
+}  // namespace
+}  // namespace dcp

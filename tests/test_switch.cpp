@@ -1,0 +1,406 @@
+// Unit tests for the switch: routing/LB, packet trimming, the lossless
+// control queue, ECN marking, loss injection, shared buffer and PFC.
+
+#include <gtest/gtest.h>
+
+#include "net/node.h"
+#include "switch/switch.h"
+#include "topo/clos.h"
+
+namespace dcp {
+namespace {
+
+class SinkNode final : public Node {
+ public:
+  SinkNode(Simulator& sim, Logger& log, NodeId id) : Node(sim, log, id, "sink") {}
+  void receive(Packet pkt, std::uint32_t) override { arrivals.push_back(std::move(pkt)); }
+  std::vector<Packet> arrivals;
+};
+
+struct SwitchFixture {
+  Simulator sim;
+  Logger log{LogLevel::kOff};
+  std::vector<std::unique_ptr<SinkNode>> sinks;
+
+  SinkNode* sink(NodeId id) {
+    sinks.push_back(std::make_unique<SinkNode>(sim, log, id));
+    return sinks.back().get();
+  }
+};
+
+Packet dcp_data(NodeId src, NodeId dst, std::uint32_t psn = 0) {
+  Packet p;
+  p.type = PktType::kData;
+  p.tag = DcpTag::kData;
+  p.src = src;
+  p.dst = dst;
+  p.psn = psn;
+  p.wire_bytes = 1057;
+  p.payload_bytes = 1000;
+  p.ecn_capable = true;
+  return p;
+}
+
+TEST(SwitchRouting, ForwardsToRoutedPort) {
+  SwitchFixture f;
+  Switch sw(f.sim, f.log, 100, "sw", SwitchConfig{}, 1);
+  SinkNode* a = f.sink(1);
+  SinkNode* b = f.sink(2);
+  const auto pa = sw.add_port(Bandwidth::gbps(100), microseconds(1));
+  const auto pb = sw.add_port(Bandwidth::gbps(100), microseconds(1));
+  sw.connect(pa, a, 0);
+  sw.connect(pb, b, 0);
+  sw.routes().add_route(1, pa);
+  sw.routes().add_route(2, pb);
+
+  sw.receive(dcp_data(1, 2), pa);
+  f.sim.run();
+  EXPECT_EQ(a->arrivals.size(), 0u);
+  ASSERT_EQ(b->arrivals.size(), 1u);
+  EXPECT_EQ(sw.stats().no_route, 0u);
+}
+
+TEST(SwitchRouting, NoRouteCountsAndDrops) {
+  SwitchFixture f;
+  Switch sw(f.sim, f.log, 100, "sw", SwitchConfig{}, 1);
+  sw.receive(dcp_data(1, 99), 0);
+  f.sim.run();
+  EXPECT_EQ(sw.stats().no_route, 1u);
+}
+
+TEST(SwitchLb, EcmpIsFlowStable) {
+  SwitchFixture f;
+  SwitchConfig cfg;
+  cfg.lb = LbPolicy::kEcmp;
+  Switch sw(f.sim, f.log, 100, "sw", cfg, 1);
+  SinkNode* x = f.sink(5);
+  std::vector<std::uint32_t> ports;
+  for (int i = 0; i < 4; ++i) {
+    const auto p = sw.add_port(Bandwidth::gbps(100), 0);
+    sw.connect(p, x, 0);
+    sw.routes().add_route(5, p);
+    ports.push_back(p);
+  }
+  // Same flow -> same egress every time.
+  for (int i = 0; i < 50; ++i) {
+    Packet p = dcp_data(1, 5, static_cast<std::uint32_t>(i));
+    p.flow = 42;
+    p.sport = 777;
+    sw.receive(std::move(p), 0);
+  }
+  f.sim.run();
+  int used = 0;
+  for (auto p : ports) {
+    if (sw.port(p).stats().tx_packets > 0) ++used;
+  }
+  EXPECT_EQ(used, 1);
+}
+
+TEST(SwitchLb, AdaptiveRoutingPicksLeastLoaded) {
+  SwitchFixture f;
+  SwitchConfig cfg;
+  cfg.lb = LbPolicy::kAdaptive;
+  Switch sw(f.sim, f.log, 100, "sw", cfg, 1);
+  SinkNode* x = f.sink(5);
+  // Two candidate egress ports; one is slow so its queue backs up.
+  const auto p0 = sw.add_port(Bandwidth::gbps(1), microseconds(1));
+  const auto p1 = sw.add_port(Bandwidth::gbps(100), microseconds(1));
+  sw.connect(p0, x, 0);
+  sw.connect(p1, x, 0);
+  sw.routes().add_route(5, p0);
+  sw.routes().add_route(5, p1);
+
+  // Spread arrivals at line rate so queues drain between decisions: the
+  // slow port backs up after its first packets and AR steers to the fast
+  // one.
+  for (int i = 0; i < 200; ++i) {
+    f.sim.schedule(i * 85 * kNanosecond,
+                   [&sw, i] { sw.receive(dcp_data(1, 5, static_cast<std::uint32_t>(i)), 0); });
+  }
+  f.sim.run();
+  // The fast port should carry the overwhelming majority.
+  EXPECT_GT(sw.port(p1).stats().tx_packets, 150u);
+}
+
+TEST(SwitchTrim, DataTrimmedAboveThresholdIntoControlQueue) {
+  SwitchFixture f;
+  SwitchConfig cfg;
+  cfg.trimming = true;
+  cfg.trim_threshold_bytes = 3000;  // ~3 packets
+  Switch sw(f.sim, f.log, 100, "sw", cfg, 1);
+  SinkNode* x = f.sink(5);
+  const auto p = sw.add_port(Bandwidth::gbps(1), microseconds(1));  // slow: queue builds
+  sw.connect(p, x, 0);
+  sw.routes().add_route(5, p);
+
+  for (int i = 0; i < 10; ++i) sw.receive(dcp_data(1, 5, static_cast<std::uint32_t>(i)), 0);
+  f.sim.run();
+  EXPECT_GT(sw.stats().trimmed, 0u);
+  EXPECT_EQ(sw.stats().dropped_data, 0u);  // trimmed, never dropped
+
+  // Trimmed packets arrive as 57-byte header-only packets with tag 11.
+  int ho = 0;
+  for (const auto& a : x->arrivals) {
+    if (a.type == PktType::kHeaderOnly) {
+      ++ho;
+      EXPECT_EQ(a.wire_bytes, HeaderSizes::kDcpHeaderOnly);
+      EXPECT_EQ(a.tag, DcpTag::kHeaderOnly);
+      EXPECT_EQ(a.payload_bytes, 0u);
+    }
+  }
+  EXPECT_EQ(static_cast<std::uint64_t>(ho), sw.stats().trimmed);
+  // All 10 packets reached the receiver in some form: exactly-once overall.
+  EXPECT_EQ(x->arrivals.size(), 10u);
+}
+
+TEST(SwitchTrim, NonDcpAndAcksDroppedAboveThreshold) {
+  SwitchFixture f;
+  SwitchConfig cfg;
+  cfg.trimming = true;
+  cfg.trim_threshold_bytes = 2000;
+  Switch sw(f.sim, f.log, 100, "sw", cfg, 1);
+  SinkNode* x = f.sink(5);
+  const auto p = sw.add_port(Bandwidth::gbps(1), microseconds(1));
+  sw.connect(p, x, 0);
+  sw.routes().add_route(5, p);
+
+  for (int i = 0; i < 4; ++i) sw.receive(dcp_data(1, 5, static_cast<std::uint32_t>(i)), 0);
+  Packet ack;
+  ack.type = PktType::kAck;
+  ack.tag = DcpTag::kAck;
+  ack.src = 1;
+  ack.dst = 5;
+  ack.wire_bytes = 61;
+  sw.receive(std::move(ack), 0);
+  Packet nondcp = dcp_data(1, 5, 99);
+  nondcp.tag = DcpTag::kNonDcp;
+  sw.receive(std::move(nondcp), 0);
+  f.sim.run();
+  EXPECT_GE(sw.stats().dropped_ctrl, 1u);   // the ACK died
+  EXPECT_GE(sw.stats().dropped_data, 1u);   // the non-DCP data died
+}
+
+TEST(SwitchTrim, HeaderOnlyAlwaysRidesControlQueue) {
+  SwitchFixture f;
+  SwitchConfig cfg;
+  cfg.trimming = true;
+  cfg.trim_threshold_bytes = 1;  // everything data-side is over threshold
+  Switch sw(f.sim, f.log, 100, "sw", cfg, 1);
+  SinkNode* x = f.sink(5);
+  const auto p = sw.add_port(Bandwidth::gbps(100), 0);
+  sw.connect(p, x, 0);
+  sw.routes().add_route(5, p);
+
+  Packet ho;
+  ho.type = PktType::kHeaderOnly;
+  ho.tag = DcpTag::kHeaderOnly;
+  ho.src = 1;
+  ho.dst = 5;
+  ho.wire_bytes = HeaderSizes::kDcpHeaderOnly;
+  ho.queue_class = QueueClass::kControl;
+  sw.receive(std::move(ho), 0);
+  f.sim.run();
+  ASSERT_EQ(x->arrivals.size(), 1u);
+  EXPECT_EQ(sw.stats().ho_seen, 1u);
+  EXPECT_EQ(sw.stats().dropped_ho, 0u);
+}
+
+TEST(SwitchEcn, MarksAboveKmin) {
+  SwitchFixture f;
+  SwitchConfig cfg;
+  cfg.ecn = true;
+  cfg.ecn_kmin_bytes = 2000;
+  cfg.ecn_kmax_bytes = 4000;
+  cfg.ecn_pmax = 1.0;
+  Switch sw(f.sim, f.log, 100, "sw", cfg, 1);
+  SinkNode* x = f.sink(5);
+  const auto p = sw.add_port(Bandwidth::gbps(1), microseconds(1));
+  sw.connect(p, x, 0);
+  sw.routes().add_route(5, p);
+  for (int i = 0; i < 20; ++i) sw.receive(dcp_data(1, 5, static_cast<std::uint32_t>(i)), 0);
+  f.sim.run();
+  EXPECT_GT(sw.stats().ecn_marked, 0u);
+  bool any_ce = false;
+  for (const auto& a : x->arrivals) any_ce = any_ce || a.ecn_ce;
+  EXPECT_TRUE(any_ce);
+}
+
+TEST(SwitchLoss, InjectionDropsNonDcpTrimsDcp) {
+  SwitchFixture f;
+  SwitchConfig cfg;
+  cfg.inject_loss_rate = 1.0;  // every data packet
+  cfg.trimming = true;
+  Switch sw(f.sim, f.log, 100, "sw", cfg, 1);
+  SinkNode* x = f.sink(5);
+  const auto p = sw.add_port(Bandwidth::gbps(100), 0);
+  sw.connect(p, x, 0);
+  sw.routes().add_route(5, p);
+
+  sw.receive(dcp_data(1, 5, 0), 0);  // DCP: trimmed
+  Packet plain = dcp_data(1, 5, 1);
+  plain.tag = DcpTag::kNonDcp;
+  sw.receive(std::move(plain), 0);   // non-DCP: dropped
+  f.sim.run();
+  EXPECT_EQ(sw.stats().injected_trims, 1u);
+  EXPECT_EQ(sw.stats().injected_drops, 1u);
+  ASSERT_EQ(x->arrivals.size(), 1u);
+  EXPECT_EQ(x->arrivals[0].type, PktType::kHeaderOnly);
+}
+
+TEST(SharedBufferTest, AllocReleaseAndCaps) {
+  SharedBuffer b(1000, 2);
+  EXPECT_TRUE(b.alloc(0, 0, 600));
+  EXPECT_FALSE(b.alloc(1, 0, 600));  // would exceed capacity
+  EXPECT_TRUE(b.alloc(1, 0, 400));
+  EXPECT_EQ(b.used(), 1000u);
+  b.release(0, 0, 600);
+  EXPECT_EQ(b.used(), 400u);
+  EXPECT_EQ(b.ingress_bytes(1, 0), 400u);
+  EXPECT_EQ(b.max_used(), 1000u);
+}
+
+TEST(SharedBufferTest, PfcThresholdDecisions) {
+  PfcConfig pfc;
+  pfc.enabled = true;
+  pfc.xoff_bytes = 500;
+  pfc.xon_bytes = 300;
+  SharedBuffer b(10'000, 1, pfc);
+  b.alloc(0, 0, 600);
+  EXPECT_TRUE(b.should_pause(0, 0));
+  EXPECT_FALSE(b.should_resume(0, 0));
+  b.release(0, 0, 400);
+  EXPECT_FALSE(b.should_pause(0, 0));
+  EXPECT_TRUE(b.should_resume(0, 0));
+}
+
+TEST(PfcThresholds, DerivationReservesHeadroom) {
+  const auto pfc = derive_pfc_thresholds(
+      32ull * 1024 * 1024,
+      std::vector<std::pair<Bandwidth, Time>>(32, {Bandwidth::gbps(100), microseconds(1)}));
+  EXPECT_TRUE(pfc.enabled);
+  EXPECT_GT(pfc.xoff_bytes, 64u * 1024);
+  EXPECT_LT(pfc.xon_bytes, pfc.xoff_bytes);
+  // Long-haul ports shrink the usable share.
+  const auto far = derive_pfc_thresholds(
+      32ull * 1024 * 1024,
+      std::vector<std::pair<Bandwidth, Time>>(32, {Bandwidth::gbps(100), microseconds(500)}));
+  EXPECT_LT(far.xoff_bytes, pfc.xoff_bytes);
+}
+
+TEST(SwitchTrim, TrimPreservesHeaderFields) {
+  SwitchFixture f;
+  SwitchConfig cfg;
+  cfg.trimming = true;
+  cfg.trim_threshold_bytes = 1;
+  Switch sw(f.sim, f.log, 100, "sw", cfg, 1);
+  SinkNode* x = f.sink(5);
+  const auto p = sw.add_port(Bandwidth::gbps(1), 0);  // slow: queue persists
+  sw.connect(p, x, 0);
+  sw.routes().add_route(5, p);
+
+  // Packet 1 goes straight to the wire, packet 2 queues (queue was empty at
+  // its check), packet 3 sees a non-empty queue over the 1-byte threshold
+  // and is trimmed.
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    Packet d = dcp_data(1, 5, 4242 + i);
+    d.msn = 17;
+    d.retry_no = 3;
+    d.flow = 777;
+    sw.receive(std::move(d), 0);
+  }
+  f.sim.run();
+  ASSERT_EQ(x->arrivals.size(), 3u);
+  const Packet* found = nullptr;
+  for (const Packet& a : x->arrivals) {
+    if (a.type == PktType::kHeaderOnly) found = &a;
+  }
+  ASSERT_NE(found, nullptr);
+  const Packet& ho = *found;
+  // Everything the sender needs for a precise retransmission survives.
+  EXPECT_EQ(ho.psn, 4244u);
+  EXPECT_EQ(ho.msn, 17u);
+  EXPECT_EQ(ho.retry_no, 3);
+  EXPECT_EQ(ho.flow, 777u);
+  EXPECT_EQ(ho.src, 1u);
+  EXPECT_EQ(ho.dst, 5u);
+}
+
+TEST(SwitchLb, SprayUsesAllPortsEvenly) {
+  SwitchFixture f;
+  SwitchConfig cfg;
+  cfg.lb = LbPolicy::kSpray;
+  Switch sw(f.sim, f.log, 100, "sw", cfg, 1);
+  SinkNode* x = f.sink(5);
+  std::vector<std::uint32_t> ports;
+  for (int i = 0; i < 4; ++i) {
+    const auto p = sw.add_port(Bandwidth::gbps(100), 0);
+    sw.connect(p, x, 0);
+    sw.routes().add_route(5, p);
+    ports.push_back(p);
+  }
+  for (int i = 0; i < 800; ++i) {
+    Packet p = dcp_data(1, 5, static_cast<std::uint32_t>(i));
+    p.flow = 42;  // same flow: spraying ignores the hash
+    sw.receive(std::move(p), 0);
+  }
+  f.sim.run();
+  for (auto p : ports) {
+    EXPECT_NEAR(static_cast<double>(sw.port(p).stats().tx_packets), 200.0, 60.0);
+  }
+}
+
+TEST(SwitchEcn, NeverMarksBelowKmin) {
+  SwitchFixture f;
+  SwitchConfig cfg;
+  cfg.ecn = true;
+  cfg.ecn_kmin_bytes = 1'000'000;  // far above anything this test queues
+  Switch sw(f.sim, f.log, 100, "sw", cfg, 1);
+  SinkNode* x = f.sink(5);
+  const auto p = sw.add_port(Bandwidth::gbps(100), 0);
+  sw.connect(p, x, 0);
+  sw.routes().add_route(5, p);
+  for (int i = 0; i < 50; ++i) sw.receive(dcp_data(1, 5, static_cast<std::uint32_t>(i)), 0);
+  f.sim.run();
+  EXPECT_EQ(sw.stats().ecn_marked, 0u);
+  for (const auto& a : x->arrivals) EXPECT_FALSE(a.ecn_ce);
+}
+
+TEST(SwitchPfc, PauseFrameFreezesOnlyPausedClass) {
+  SwitchFixture f;
+  SwitchConfig cfg;
+  cfg.trimming = true;  // so control-queue traffic exists
+  Switch sw(f.sim, f.log, 100, "sw", cfg, 1);
+  SinkNode* x = f.sink(5);
+  const auto p = sw.add_port(Bandwidth::gbps(100), microseconds(1));
+  sw.connect(p, x, 0);
+  sw.routes().add_route(5, p);
+
+  // Pause the data class on the egress port via a PFC frame arriving on it.
+  Packet pause;
+  pause.type = PktType::kPfcPause;
+  pause.pause_class = static_cast<std::uint8_t>(QueueClass::kData);
+  sw.receive(std::move(pause), p);
+
+  sw.receive(dcp_data(1, 5, 1), 0);  // data: frozen
+  Packet ho;
+  ho.type = PktType::kHeaderOnly;
+  ho.tag = DcpTag::kHeaderOnly;
+  ho.src = 1;
+  ho.dst = 5;
+  ho.wire_bytes = 57;
+  ho.queue_class = QueueClass::kControl;
+  sw.receive(std::move(ho), 0);      // control: flows through
+  f.sim.run();
+  ASSERT_EQ(x->arrivals.size(), 1u);
+  EXPECT_EQ(x->arrivals[0].type, PktType::kHeaderOnly);
+
+  Packet resume;
+  resume.type = PktType::kPfcResume;
+  resume.pause_class = static_cast<std::uint8_t>(QueueClass::kData);
+  sw.receive(std::move(resume), p);
+  f.sim.run();
+  EXPECT_EQ(x->arrivals.size(), 2u);
+}
+
+}  // namespace
+}  // namespace dcp

@@ -1,0 +1,116 @@
+// Unit tests for topology builders: CLOS wiring/routes, testbed parallel
+// links, path_info metadata and ideal-FCT normalization.
+
+#include <gtest/gtest.h>
+
+#include "topo/clos.h"
+#include "topo/dumbbell.h"
+#include "topo/testbed.h"
+
+namespace dcp {
+namespace {
+
+struct TopoFixture {
+  Simulator sim;
+  Logger log{LogLevel::kOff};
+  Network net{sim, log};
+};
+
+TEST(Clos, DimensionsAndRoutes) {
+  TopoFixture f;
+  ClosParams p;
+  p.spines = 2;
+  p.leaves = 3;
+  p.hosts_per_leaf = 4;
+  ClosTopology t = build_clos(f.net, p);
+  EXPECT_EQ(t.hosts.size(), 12u);
+  EXPECT_EQ(t.leaves.size(), 3u);
+  EXPECT_EQ(t.spines.size(), 2u);
+
+  // Leaf 0 reaches a remote host through both spines, its own host directly.
+  const NodeId remote = t.hosts[11]->id();
+  const NodeId local = t.hosts[0]->id();
+  EXPECT_EQ(t.leaves[0]->routes().candidates(remote).size(), 2u);
+  EXPECT_EQ(t.leaves[0]->routes().candidates(local).size(), 1u);
+  // Spines reach every host through exactly one leaf port.
+  for (auto* sp : t.spines) {
+    EXPECT_EQ(sp->routes().candidates(remote).size(), 1u);
+  }
+}
+
+TEST(Clos, PathInfoDistinguishesIntraAndInterRack) {
+  TopoFixture f;
+  ClosParams p;
+  p.spines = 2;
+  p.leaves = 2;
+  p.hosts_per_leaf = 2;
+  ClosTopology t = build_clos(f.net, p);
+  const auto same = f.net.path_info(t.hosts[0]->id(), t.hosts[1]->id());
+  const auto cross = f.net.path_info(t.hosts[0]->id(), t.hosts[3]->id());
+  EXPECT_EQ(same.hops, 2);
+  EXPECT_EQ(cross.hops, 4);
+  EXPECT_LT(same.one_way_delay, cross.one_way_delay);
+}
+
+TEST(Clos, PfcThresholdsDerivedWhenEnabled) {
+  TopoFixture f;
+  ClosParams p;
+  p.sw.pfc.enabled = true;
+  ClosTopology t = build_clos(f.net, p);
+  EXPECT_TRUE(t.leaves[0]->buffer().pfc().enabled);
+  EXPECT_GT(t.leaves[0]->buffer().pfc().xoff_bytes, 0u);
+}
+
+TEST(Testbed, ParallelCrossLinksInstalled) {
+  TopoFixture f;
+  TestbedParams p;
+  TestbedTopology t = build_testbed(f.net, p);
+  EXPECT_EQ(t.hosts.size(), 16u);
+  // sw1: 8 host ports + 8 cross ports.
+  EXPECT_EQ(t.sw1->num_ports(), 16u);
+  const NodeId far = t.hosts[12]->id();
+  EXPECT_EQ(t.sw1->routes().candidates(far).size(), 8u);
+}
+
+TEST(Testbed, UnequalCrossLinkCapacities) {
+  TopoFixture f;
+  TestbedParams p;
+  p.cross_links = {Bandwidth::gbps(100), Bandwidth::gbps(10)};
+  TestbedTopology t = build_testbed(f.net, p);
+  EXPECT_EQ(t.sw1->routes().candidates(t.hosts[8]->id()).size(), 2u);
+  EXPECT_EQ(t.sw1->port(8).channel().bandwidth().as_gbps(), 100.0);
+  EXPECT_EQ(t.sw1->port(9).channel().bandwidth().as_gbps(), 10.0);
+}
+
+TEST(IdealFct, ScalesWithSizeAndDistance) {
+  TopoFixture f;
+  ClosParams p;
+  ClosTopology t = build_clos(f.net, p);
+  const NodeId a = t.hosts[0]->id();
+  const NodeId far = t.hosts.back()->id();
+  const Time small = f.net.ideal_fct(a, far, 1000);
+  const Time big = f.net.ideal_fct(a, far, 1'000'000);
+  EXPECT_GT(big, small);
+  // 1 MB at 100G ~ 80 us of serialization; ideal must be in that ballpark.
+  EXPECT_GT(big, microseconds(80));
+  EXPECT_LT(big, microseconds(200));
+}
+
+TEST(IdealFct, CrossDcDominatedByPropagation) {
+  TopoFixture f;
+  ClosParams p;
+  p.leaf_spine_delay = microseconds(500);
+  ClosTopology t = build_clos(f.net, p);
+  const Time ideal = f.net.ideal_fct(t.hosts[0]->id(), t.hosts.back()->id(), 1000);
+  EXPECT_GT(ideal, milliseconds(2));  // ~2 one-way delays of ~1 ms
+}
+
+TEST(BackToBackTopo, DirectDelivery) {
+  TopoFixture f;
+  BackToBack t = build_back_to_back(f.net);
+  EXPECT_EQ(f.net.hosts().size(), 2u);
+  EXPECT_EQ(f.net.path_info(t.a->id(), t.b->id()).hops, 1);
+}
+
+}  // namespace
+}  // namespace dcp

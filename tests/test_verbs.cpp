@@ -1,0 +1,154 @@
+// Tests for the ibverbs-flavoured public API.
+
+#include <gtest/gtest.h>
+
+#include "core/verbs.h"
+#include "harness/scheme.h"
+#include "topo/dumbbell.h"
+
+namespace dcp {
+namespace {
+
+struct VerbsFixture {
+  Simulator sim;
+  Logger log{LogLevel::kOff};
+  Network net{sim, log};
+  Star star;
+  std::unique_ptr<verbs::Device> dev;
+
+  VerbsFixture() {
+    SchemeSetup s = make_scheme(SchemeKind::kDcp);
+    star = build_star(net, 3, s.sw);
+    apply_scheme(net, s);
+    dev = std::make_unique<verbs::Device>(net);
+  }
+};
+
+TEST(Verbs, PostAndPollCompletion) {
+  VerbsFixture f;
+  auto& qp = f.dev->create_qp(f.star.hosts[0]->id(), f.star.hosts[1]->id());
+  qp.post(100'000, /*wr_id=*/7);
+  EXPECT_EQ(qp.outstanding(), 1u);
+  f.net.run_until_done(seconds(1));
+
+  verbs::WorkCompletion wc;
+  ASSERT_TRUE(qp.poll_cq(wc));
+  EXPECT_EQ(wc.wr_id, 7u);
+  EXPECT_EQ(wc.bytes, 100'000u);
+  EXPECT_EQ(qp.outstanding(), 0u);
+  EXPECT_FALSE(qp.poll_cq(wc));
+}
+
+TEST(Verbs, MultipleWorkRequestsCompleteInPostOrder) {
+  VerbsFixture f;
+  auto& qp = f.dev->create_qp(f.star.hosts[0]->id(), f.star.hosts[1]->id());
+  for (std::uint64_t i = 0; i < 5; ++i) qp.post(50'000, i);
+  f.net.run_until_done(seconds(1));
+  verbs::WorkCompletion wc;
+  std::vector<std::uint64_t> order;
+  while (qp.poll_cq(wc)) order.push_back(wc.wr_id);
+  ASSERT_EQ(order.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Verbs, IndependentQpsDoNotCrossTalk) {
+  VerbsFixture f;
+  auto& qp1 = f.dev->create_qp(f.star.hosts[0]->id(), f.star.hosts[1]->id());
+  auto& qp2 = f.dev->create_qp(f.star.hosts[0]->id(), f.star.hosts[2]->id());
+  qp1.post(10'000, 1);
+  qp2.post(20'000, 2);
+  f.net.run_until_done(seconds(1));
+  verbs::WorkCompletion wc;
+  ASSERT_TRUE(qp1.poll_cq(wc));
+  EXPECT_EQ(wc.wr_id, 1u);
+  EXPECT_FALSE(qp1.poll_cq(wc));
+  ASSERT_TRUE(qp2.poll_cq(wc));
+  EXPECT_EQ(wc.wr_id, 2u);
+}
+
+TEST(Verbs, SendOpCarriesSsnSizedHeaders) {
+  VerbsFixture f;
+  auto& qp = f.dev->create_qp(f.star.hosts[0]->id(), f.star.hosts[1]->id());
+  const FlowId id = qp.post(5'000, 1, RdmaOp::kSend);
+  f.net.run_until_done(seconds(1));
+  EXPECT_EQ(f.net.record(id).spec.op, RdmaOp::kSend);
+  verbs::WorkCompletion wc;
+  ASSERT_TRUE(qp.poll_cq(wc));
+  EXPECT_EQ(wc.op, RdmaOp::kSend);
+}
+
+// ---------------------------------------------------------------------------
+// QP lifecycle state machine
+// ---------------------------------------------------------------------------
+
+TEST(VerbsLifecycle, AutoConnectedQpIsRts) {
+  VerbsFixture f;
+  auto& qp = f.dev->create_qp(f.star.hosts[0]->id(), f.star.hosts[1]->id());
+  EXPECT_EQ(qp.state(), verbs::QpState::kRts);
+}
+
+TEST(VerbsLifecycle, LegalTransitionChain) {
+  VerbsFixture f;
+  auto& qp = f.dev->create_qp(f.star.hosts[0]->id(), f.star.hosts[1]->id(), 1024 * 1024,
+                              /*auto_connect=*/false);
+  EXPECT_EQ(qp.state(), verbs::QpState::kReset);
+  EXPECT_TRUE(qp.modify(verbs::QpState::kInit));
+  EXPECT_TRUE(qp.modify(verbs::QpState::kRtr));
+  EXPECT_TRUE(qp.modify(verbs::QpState::kRts));
+  EXPECT_EQ(qp.state(), verbs::QpState::kRts);
+}
+
+TEST(VerbsLifecycle, IllegalTransitionsRejected) {
+  VerbsFixture f;
+  auto& qp = f.dev->create_qp(f.star.hosts[0]->id(), f.star.hosts[1]->id(), 1024 * 1024, false);
+  EXPECT_FALSE(qp.modify(verbs::QpState::kRts));   // RESET -> RTS skips states
+  EXPECT_FALSE(qp.modify(verbs::QpState::kRtr));   // RESET -> RTR too
+  EXPECT_EQ(qp.state(), verbs::QpState::kReset);
+  EXPECT_TRUE(qp.modify(verbs::QpState::kError));  // any -> ERROR is legal
+  EXPECT_TRUE(qp.modify(verbs::QpState::kReset));  // ERROR -> RESET recycles
+}
+
+TEST(VerbsLifecycle, PostRejectedBeforeRts) {
+  VerbsFixture f;
+  auto& qp = f.dev->create_qp(f.star.hosts[0]->id(), f.star.hosts[1]->id(), 1024 * 1024, false);
+  EXPECT_EQ(qp.post(1000, 1), 0u);  // rejected in RESET
+  qp.modify(verbs::QpState::kInit);
+  EXPECT_EQ(qp.post(1000, 2), 0u);  // rejected in INIT
+  EXPECT_TRUE(qp.post_recv(10));    // but Recv WQEs are legal from INIT
+  EXPECT_EQ(qp.rejected_posts(), 2u);
+}
+
+TEST(VerbsLifecycle, ConnectHandshakeTakesOneRtt) {
+  VerbsFixture f;
+  auto& qp = f.dev->create_qp(f.star.hosts[0]->id(), f.star.hosts[1]->id(), 1024 * 1024, false);
+  bool connected = false;
+  qp.connect([&] { connected = true; });
+  EXPECT_EQ(qp.state(), verbs::QpState::kInit);
+  f.sim.run(microseconds(1));
+  EXPECT_FALSE(connected);  // handshake in flight
+  f.sim.run(microseconds(20));
+  EXPECT_TRUE(connected);
+  EXPECT_EQ(qp.state(), verbs::QpState::kRts);
+  // And the QP is immediately usable.
+  EXPECT_NE(qp.post(10'000, 7), 0u);
+  f.net.run_until_done(seconds(1));
+  verbs::WorkCompletion wc;
+  EXPECT_TRUE(qp.poll_cq(wc));
+}
+
+TEST(VerbsLifecycle, ErrorStateFreezesQp) {
+  VerbsFixture f;
+  auto& qp = f.dev->create_qp(f.star.hosts[0]->id(), f.star.hosts[1]->id());
+  qp.modify(verbs::QpState::kError);
+  EXPECT_EQ(qp.post(1000, 1), 0u);
+  EXPECT_FALSE(qp.post_recv(2));
+}
+
+TEST(VerbsLifecycle, StateNames) {
+  EXPECT_STREQ(verbs::qp_state_name(verbs::QpState::kReset), "RESET");
+  EXPECT_STREQ(verbs::qp_state_name(verbs::QpState::kRts), "RTS");
+  EXPECT_STREQ(verbs::qp_state_name(verbs::QpState::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace dcp

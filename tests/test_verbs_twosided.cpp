@@ -1,0 +1,181 @@
+// Two-sided verbs semantics (§4.4): Send / Write-with-Imm consume Receive
+// WQEs in posting order; RDMA Write does not; un-posted receives wait
+// (RNR) and complete as soon as a WQE appears.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/verbs.h"
+#include "harness/scheme.h"
+#include "topo/dumbbell.h"
+
+namespace dcp {
+namespace {
+
+struct Fixture {
+  Simulator sim;
+  Logger log{LogLevel::kOff};
+  Network net{sim, log};
+  Star star;
+  std::unique_ptr<verbs::Device> dev;
+
+  Fixture() {
+    SchemeSetup s = make_scheme(SchemeKind::kDcp);
+    star = build_star(net, 3, s.sw);
+    apply_scheme(net, s);
+    dev = std::make_unique<verbs::Device>(net);
+  }
+};
+
+TEST(VerbsTwoSided, SendConsumesRecvWqeInOrder) {
+  Fixture f;
+  auto& qp = f.dev->create_qp(f.star.hosts[0]->id(), f.star.hosts[1]->id());
+  qp.post_recv(101);
+  qp.post_recv(102);
+  qp.post_recv(103);
+  qp.post(10'000, 1, RdmaOp::kSend);
+  qp.post(20'000, 2, RdmaOp::kSend);
+  f.net.run_until_done(seconds(1));
+
+  verbs::WorkCompletion wc;
+  ASSERT_TRUE(qp.poll_recv_cq(wc));
+  EXPECT_EQ(wc.wr_id, 101u);  // first posted Recv matches first Send
+  EXPECT_EQ(wc.bytes, 10'000u);
+  ASSERT_TRUE(qp.poll_recv_cq(wc));
+  EXPECT_EQ(wc.wr_id, 102u);
+  EXPECT_EQ(wc.bytes, 20'000u);
+  EXPECT_FALSE(qp.poll_recv_cq(wc));
+  EXPECT_EQ(qp.recv_wqes_posted(), 1u);  // 103 still available
+}
+
+TEST(VerbsTwoSided, WriteDoesNotConsumeRecvWqes) {
+  Fixture f;
+  auto& qp = f.dev->create_qp(f.star.hosts[0]->id(), f.star.hosts[1]->id());
+  qp.post_recv(7);
+  qp.post(50'000, 1, RdmaOp::kWrite);
+  f.net.run_until_done(seconds(1));
+  verbs::WorkCompletion wc;
+  ASSERT_TRUE(qp.poll_cq(wc));  // requester CQE fires
+  EXPECT_FALSE(qp.poll_recv_cq(wc));
+  EXPECT_EQ(qp.recv_wqes_posted(), 1u);  // untouched
+}
+
+TEST(VerbsTwoSided, WriteWithImmConsumesRecvWqe) {
+  Fixture f;
+  auto& qp = f.dev->create_qp(f.star.hosts[0]->id(), f.star.hosts[1]->id());
+  qp.post_recv(55);
+  qp.post(30'000, 1, RdmaOp::kWriteWithImm);
+  f.net.run_until_done(seconds(1));
+  verbs::WorkCompletion wc;
+  ASSERT_TRUE(qp.poll_recv_cq(wc));
+  EXPECT_EQ(wc.wr_id, 55u);
+  EXPECT_EQ(wc.op, RdmaOp::kWriteWithImm);
+}
+
+TEST(VerbsTwoSided, RnrWaitsUntilRecvPosted) {
+  Fixture f;
+  auto& qp = f.dev->create_qp(f.star.hosts[0]->id(), f.star.hosts[1]->id());
+  qp.post(10'000, 1, RdmaOp::kSend);  // no Recv WQE posted yet
+  f.net.run_until_done(seconds(1));
+
+  verbs::WorkCompletion wc;
+  EXPECT_FALSE(qp.poll_recv_cq(wc));
+  EXPECT_EQ(qp.rnr_waiting(), 1u);  // message arrived, waiting for a WQE
+
+  qp.post_recv(200);  // posting the buffer releases the completion
+  ASSERT_TRUE(qp.poll_recv_cq(wc));
+  EXPECT_EQ(wc.wr_id, 200u);
+  EXPECT_EQ(qp.rnr_waiting(), 0u);
+}
+
+TEST(VerbsTwoSided, MixedOpsMatchOnlySends) {
+  Fixture f;
+  auto& qp = f.dev->create_qp(f.star.hosts[0]->id(), f.star.hosts[1]->id());
+  qp.post_recv(1);
+  qp.post_recv(2);
+  qp.post(5'000, 10, RdmaOp::kWrite);
+  qp.post(5'000, 11, RdmaOp::kSend);
+  qp.post(5'000, 12, RdmaOp::kWrite);
+  qp.post(5'000, 13, RdmaOp::kWriteWithImm);
+  f.net.run_until_done(seconds(1));
+
+  verbs::WorkCompletion wc;
+  std::vector<std::uint64_t> recv_order;
+  while (qp.poll_recv_cq(wc)) recv_order.push_back(wc.wr_id);
+  EXPECT_EQ(recv_order, (std::vector<std::uint64_t>{1, 2}));
+  int req_cqes = 0;
+  while (qp.poll_cq(wc)) ++req_cqes;
+  EXPECT_EQ(req_cqes, 4);
+}
+
+// ---------------------------------------------------------------------------
+// Shared Receive Queue
+// ---------------------------------------------------------------------------
+
+TEST(VerbsSrq, MultipleQpsShareOnePool) {
+  Fixture f;
+  verbs::SharedReceiveQueue srq;
+  auto& qp1 = f.dev->create_qp(f.star.hosts[0]->id(), f.star.hosts[2]->id());
+  auto& qp2 = f.dev->create_qp(f.star.hosts[1]->id(), f.star.hosts[2]->id());
+  qp1.bind_srq(&srq);
+  qp2.bind_srq(&srq);
+  srq.post_recv(100);
+  srq.post_recv(101);
+  srq.post_recv(102);
+
+  qp1.post(10'000, 1, RdmaOp::kSend);
+  qp2.post(20'000, 2, RdmaOp::kSend);
+  f.net.run_until_done(seconds(1));
+
+  // Both QPs drew their WQEs from the shared pool (one left over).
+  EXPECT_EQ(srq.posted(), 1u);
+  verbs::WorkCompletion wc;
+  int total = 0;
+  std::set<std::uint64_t> wr_ids;
+  while (qp1.poll_recv_cq(wc)) {
+    ++total;
+    wr_ids.insert(wc.wr_id);
+  }
+  while (qp2.poll_recv_cq(wc)) {
+    ++total;
+    wr_ids.insert(wc.wr_id);
+  }
+  EXPECT_EQ(total, 2);
+  for (std::uint64_t id : wr_ids) {
+    EXPECT_GE(id, 100u);
+    EXPECT_LE(id, 102u);
+  }
+}
+
+TEST(VerbsSrq, RnrWaitReleasedByLaterSrqPost) {
+  Fixture f;
+  verbs::SharedReceiveQueue srq;
+  auto& qp = f.dev->create_qp(f.star.hosts[0]->id(), f.star.hosts[1]->id());
+  qp.bind_srq(&srq);
+  qp.post(5'000, 1, RdmaOp::kSend);
+  f.net.run_until_done(seconds(1));
+  EXPECT_EQ(qp.rnr_waiting(), 1u);  // message arrived; pool empty
+  srq.post_recv(55);                // posting releases it immediately
+  verbs::WorkCompletion wc;
+  ASSERT_TRUE(qp.poll_recv_cq(wc));
+  EXPECT_EQ(wc.wr_id, 55u);
+  EXPECT_EQ(qp.rnr_waiting(), 0u);
+  EXPECT_EQ(srq.posted(), 0u);
+}
+
+TEST(VerbsSrq, PerQpRqUnusedWhenSrqBound) {
+  Fixture f;
+  verbs::SharedReceiveQueue srq;
+  auto& qp = f.dev->create_qp(f.star.hosts[0]->id(), f.star.hosts[1]->id());
+  qp.bind_srq(&srq);
+  srq.post_recv(7);
+  qp.post(1'000, 1, RdmaOp::kSend);
+  f.net.run_until_done(seconds(1));
+  verbs::WorkCompletion wc;
+  ASSERT_TRUE(qp.poll_recv_cq(wc));
+  EXPECT_EQ(wc.wr_id, 7u);  // came from the SRQ
+}
+
+}  // namespace
+}  // namespace dcp

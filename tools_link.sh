@@ -1,0 +1,5 @@
+#!/bin/bash
+# helper: link a scratch harness binary against the project libs
+SRC=$1; OUT=$2
+L="build/src/libdcp_harness.a build/src/libdcp_workload.a build/src/libdcp_stats.a build/src/libdcp_analysis.a build/src/libdcp_core.a build/src/libdcp_transports.a build/src/libdcp_topo.a build/src/libdcp_host.a build/src/libdcp_cc.a build/src/libdcp_switch.a build/src/libdcp_net.a build/src/libdcp_sim.a"
+g++ -std=c++20 -O2 -I src "$SRC" -o "$OUT" $L $L
