@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fattree.dir/bench_ablation_fattree.cpp.o"
+  "CMakeFiles/bench_ablation_fattree.dir/bench_ablation_fattree.cpp.o.d"
+  "bench_ablation_fattree"
+  "bench_ablation_fattree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fattree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_websearch.dir/bench_fig13_websearch.cpp.o"
+  "CMakeFiles/bench_fig13_websearch.dir/bench_fig13_websearch.cpp.o.d"
+  "bench_fig13_websearch"
+  "bench_fig13_websearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_websearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

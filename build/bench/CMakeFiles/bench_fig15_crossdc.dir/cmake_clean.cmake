@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_crossdc.dir/bench_fig15_crossdc.cpp.o"
+  "CMakeFiles/bench_fig15_crossdc.dir/bench_fig15_crossdc.cpp.o.d"
+  "bench_fig15_crossdc"
+  "bench_fig15_crossdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_crossdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

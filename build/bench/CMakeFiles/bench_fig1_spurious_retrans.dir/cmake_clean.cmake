@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_spurious_retrans.dir/bench_fig1_spurious_retrans.cpp.o"
+  "CMakeFiles/bench_fig1_spurious_retrans.dir/bench_fig1_spurious_retrans.cpp.o.d"
+  "bench_fig1_spurious_retrans"
+  "bench_fig1_spurious_retrans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_spurious_retrans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

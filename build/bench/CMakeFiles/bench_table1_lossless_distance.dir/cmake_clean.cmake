@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_lossless_distance.dir/bench_table1_lossless_distance.cpp.o"
+  "CMakeFiles/bench_table1_lossless_distance.dir/bench_table1_lossless_distance.cpp.o.d"
+  "bench_table1_lossless_distance"
+  "bench_table1_lossless_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_lossless_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_resource_proxy.dir/bench_table4_resource_proxy.cpp.o"
+  "CMakeFiles/bench_table4_resource_proxy.dir/bench_table4_resource_proxy.cpp.o.d"
+  "bench_table4_resource_proxy"
+  "bench_table4_resource_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_resource_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

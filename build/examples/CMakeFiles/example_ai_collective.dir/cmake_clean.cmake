@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ai_collective.dir/ai_collective.cpp.o"
+  "CMakeFiles/example_ai_collective.dir/ai_collective.cpp.o.d"
+  "example_ai_collective"
+  "example_ai_collective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ai_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cross_dc_replication.dir/cross_dc_replication.cpp.o"
+  "CMakeFiles/example_cross_dc_replication.dir/cross_dc_replication.cpp.o.d"
+  "example_cross_dc_replication"
+  "example_cross_dc_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cross_dc_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

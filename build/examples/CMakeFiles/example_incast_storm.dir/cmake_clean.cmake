@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_incast_storm.dir/incast_storm.cpp.o"
+  "CMakeFiles/example_incast_storm.dir/incast_storm.cpp.o.d"
+  "example_incast_storm"
+  "example_incast_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_incast_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_kv_rpc.dir/kv_rpc.cpp.o"
+  "CMakeFiles/example_kv_rpc.dir/kv_rpc.cpp.o.d"
+  "example_kv_rpc"
+  "example_kv_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_kv_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

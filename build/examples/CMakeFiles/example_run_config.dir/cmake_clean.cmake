@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_run_config.dir/run_config.cpp.o"
+  "CMakeFiles/example_run_config.dir/run_config.cpp.o.d"
+  "example_run_config"
+  "example_run_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_run_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

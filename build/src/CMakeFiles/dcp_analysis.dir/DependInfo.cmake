@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/feature_matrix.cpp" "src/CMakeFiles/dcp_analysis.dir/analysis/feature_matrix.cpp.o" "gcc" "src/CMakeFiles/dcp_analysis.dir/analysis/feature_matrix.cpp.o.d"
+  "/root/repo/src/analysis/lossless_distance.cpp" "src/CMakeFiles/dcp_analysis.dir/analysis/lossless_distance.cpp.o" "gcc" "src/CMakeFiles/dcp_analysis.dir/analysis/lossless_distance.cpp.o.d"
+  "/root/repo/src/analysis/memory_model.cpp" "src/CMakeFiles/dcp_analysis.dir/analysis/memory_model.cpp.o" "gcc" "src/CMakeFiles/dcp_analysis.dir/analysis/memory_model.cpp.o.d"
+  "/root/repo/src/analysis/packet_rate_model.cpp" "src/CMakeFiles/dcp_analysis.dir/analysis/packet_rate_model.cpp.o" "gcc" "src/CMakeFiles/dcp_analysis.dir/analysis/packet_rate_model.cpp.o.d"
+  "/root/repo/src/analysis/resource_proxy.cpp" "src/CMakeFiles/dcp_analysis.dir/analysis/resource_proxy.cpp.o" "gcc" "src/CMakeFiles/dcp_analysis.dir/analysis/resource_proxy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dcp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_transports.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_switch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcp_analysis.dir/analysis/feature_matrix.cpp.o"
+  "CMakeFiles/dcp_analysis.dir/analysis/feature_matrix.cpp.o.d"
+  "CMakeFiles/dcp_analysis.dir/analysis/lossless_distance.cpp.o"
+  "CMakeFiles/dcp_analysis.dir/analysis/lossless_distance.cpp.o.d"
+  "CMakeFiles/dcp_analysis.dir/analysis/memory_model.cpp.o"
+  "CMakeFiles/dcp_analysis.dir/analysis/memory_model.cpp.o.d"
+  "CMakeFiles/dcp_analysis.dir/analysis/packet_rate_model.cpp.o"
+  "CMakeFiles/dcp_analysis.dir/analysis/packet_rate_model.cpp.o.d"
+  "CMakeFiles/dcp_analysis.dir/analysis/resource_proxy.cpp.o"
+  "CMakeFiles/dcp_analysis.dir/analysis/resource_proxy.cpp.o.d"
+  "libdcp_analysis.a"
+  "libdcp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

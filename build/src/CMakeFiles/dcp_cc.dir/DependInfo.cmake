@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/cc.cpp" "src/CMakeFiles/dcp_cc.dir/cc/cc.cpp.o" "gcc" "src/CMakeFiles/dcp_cc.dir/cc/cc.cpp.o.d"
+  "/root/repo/src/cc/dcqcn.cpp" "src/CMakeFiles/dcp_cc.dir/cc/dcqcn.cpp.o" "gcc" "src/CMakeFiles/dcp_cc.dir/cc/dcqcn.cpp.o.d"
+  "/root/repo/src/cc/timely.cpp" "src/CMakeFiles/dcp_cc.dir/cc/timely.cpp.o" "gcc" "src/CMakeFiles/dcp_cc.dir/cc/timely.cpp.o.d"
+  "/root/repo/src/cc/window_cc.cpp" "src/CMakeFiles/dcp_cc.dir/cc/window_cc.cpp.o" "gcc" "src/CMakeFiles/dcp_cc.dir/cc/window_cc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dcp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcp_cc.dir/cc/cc.cpp.o"
+  "CMakeFiles/dcp_cc.dir/cc/cc.cpp.o.d"
+  "CMakeFiles/dcp_cc.dir/cc/dcqcn.cpp.o"
+  "CMakeFiles/dcp_cc.dir/cc/dcqcn.cpp.o.d"
+  "CMakeFiles/dcp_cc.dir/cc/timely.cpp.o"
+  "CMakeFiles/dcp_cc.dir/cc/timely.cpp.o.d"
+  "CMakeFiles/dcp_cc.dir/cc/window_cc.cpp.o"
+  "CMakeFiles/dcp_cc.dir/cc/window_cc.cpp.o.d"
+  "libdcp_cc.a"
+  "libdcp_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcp_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

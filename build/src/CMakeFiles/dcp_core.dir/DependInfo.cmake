@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dcp_receiver.cpp" "src/CMakeFiles/dcp_core.dir/core/dcp_receiver.cpp.o" "gcc" "src/CMakeFiles/dcp_core.dir/core/dcp_receiver.cpp.o.d"
+  "/root/repo/src/core/dcp_sender.cpp" "src/CMakeFiles/dcp_core.dir/core/dcp_sender.cpp.o" "gcc" "src/CMakeFiles/dcp_core.dir/core/dcp_sender.cpp.o.d"
+  "/root/repo/src/core/dcp_transport.cpp" "src/CMakeFiles/dcp_core.dir/core/dcp_transport.cpp.o" "gcc" "src/CMakeFiles/dcp_core.dir/core/dcp_transport.cpp.o.d"
+  "/root/repo/src/core/retransq.cpp" "src/CMakeFiles/dcp_core.dir/core/retransq.cpp.o" "gcc" "src/CMakeFiles/dcp_core.dir/core/retransq.cpp.o.d"
+  "/root/repo/src/core/tracking.cpp" "src/CMakeFiles/dcp_core.dir/core/tracking.cpp.o" "gcc" "src/CMakeFiles/dcp_core.dir/core/tracking.cpp.o.d"
+  "/root/repo/src/core/verbs.cpp" "src/CMakeFiles/dcp_core.dir/core/verbs.cpp.o" "gcc" "src/CMakeFiles/dcp_core.dir/core/verbs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dcp_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_switch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcp_core.dir/core/dcp_receiver.cpp.o"
+  "CMakeFiles/dcp_core.dir/core/dcp_receiver.cpp.o.d"
+  "CMakeFiles/dcp_core.dir/core/dcp_sender.cpp.o"
+  "CMakeFiles/dcp_core.dir/core/dcp_sender.cpp.o.d"
+  "CMakeFiles/dcp_core.dir/core/dcp_transport.cpp.o"
+  "CMakeFiles/dcp_core.dir/core/dcp_transport.cpp.o.d"
+  "CMakeFiles/dcp_core.dir/core/retransq.cpp.o"
+  "CMakeFiles/dcp_core.dir/core/retransq.cpp.o.d"
+  "CMakeFiles/dcp_core.dir/core/tracking.cpp.o"
+  "CMakeFiles/dcp_core.dir/core/tracking.cpp.o.d"
+  "CMakeFiles/dcp_core.dir/core/verbs.cpp.o"
+  "CMakeFiles/dcp_core.dir/core/verbs.cpp.o.d"
+  "libdcp_core.a"
+  "libdcp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

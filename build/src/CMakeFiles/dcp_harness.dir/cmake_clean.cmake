@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcp_harness.dir/harness/config.cpp.o"
+  "CMakeFiles/dcp_harness.dir/harness/config.cpp.o.d"
+  "CMakeFiles/dcp_harness.dir/harness/experiment.cpp.o"
+  "CMakeFiles/dcp_harness.dir/harness/experiment.cpp.o.d"
+  "CMakeFiles/dcp_harness.dir/harness/report.cpp.o"
+  "CMakeFiles/dcp_harness.dir/harness/report.cpp.o.d"
+  "CMakeFiles/dcp_harness.dir/harness/scheme.cpp.o"
+  "CMakeFiles/dcp_harness.dir/harness/scheme.cpp.o.d"
+  "libdcp_harness.a"
+  "libdcp_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcp_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/host.cpp" "src/CMakeFiles/dcp_host.dir/host/host.cpp.o" "gcc" "src/CMakeFiles/dcp_host.dir/host/host.cpp.o.d"
+  "/root/repo/src/host/rnic_scheduler.cpp" "src/CMakeFiles/dcp_host.dir/host/rnic_scheduler.cpp.o" "gcc" "src/CMakeFiles/dcp_host.dir/host/rnic_scheduler.cpp.o.d"
+  "/root/repo/src/host/transport.cpp" "src/CMakeFiles/dcp_host.dir/host/transport.cpp.o" "gcc" "src/CMakeFiles/dcp_host.dir/host/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dcp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcp_host.dir/host/host.cpp.o"
+  "CMakeFiles/dcp_host.dir/host/host.cpp.o.d"
+  "CMakeFiles/dcp_host.dir/host/rnic_scheduler.cpp.o"
+  "CMakeFiles/dcp_host.dir/host/rnic_scheduler.cpp.o.d"
+  "CMakeFiles/dcp_host.dir/host/transport.cpp.o"
+  "CMakeFiles/dcp_host.dir/host/transport.cpp.o.d"
+  "libdcp_host.a"
+  "libdcp_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcp_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

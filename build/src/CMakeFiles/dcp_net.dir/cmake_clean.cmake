@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcp_net.dir/net/channel.cpp.o"
+  "CMakeFiles/dcp_net.dir/net/channel.cpp.o.d"
+  "CMakeFiles/dcp_net.dir/net/packet.cpp.o"
+  "CMakeFiles/dcp_net.dir/net/packet.cpp.o.d"
+  "CMakeFiles/dcp_net.dir/net/port.cpp.o"
+  "CMakeFiles/dcp_net.dir/net/port.cpp.o.d"
+  "CMakeFiles/dcp_net.dir/net/queue.cpp.o"
+  "CMakeFiles/dcp_net.dir/net/queue.cpp.o.d"
+  "CMakeFiles/dcp_net.dir/net/wire.cpp.o"
+  "CMakeFiles/dcp_net.dir/net/wire.cpp.o.d"
+  "libdcp_net.a"
+  "libdcp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcp_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/dcp_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/dcp_sim.dir/sim/logger.cpp.o"
+  "CMakeFiles/dcp_sim.dir/sim/logger.cpp.o.d"
+  "CMakeFiles/dcp_sim.dir/sim/rng.cpp.o"
+  "CMakeFiles/dcp_sim.dir/sim/rng.cpp.o.d"
+  "CMakeFiles/dcp_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/dcp_sim.dir/sim/simulator.cpp.o.d"
+  "libdcp_sim.a"
+  "libdcp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

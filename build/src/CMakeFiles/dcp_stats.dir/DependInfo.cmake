@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/csv_export.cpp" "src/CMakeFiles/dcp_stats.dir/stats/csv_export.cpp.o" "gcc" "src/CMakeFiles/dcp_stats.dir/stats/csv_export.cpp.o.d"
+  "/root/repo/src/stats/fct_stats.cpp" "src/CMakeFiles/dcp_stats.dir/stats/fct_stats.cpp.o" "gcc" "src/CMakeFiles/dcp_stats.dir/stats/fct_stats.cpp.o.d"
+  "/root/repo/src/stats/goodput.cpp" "src/CMakeFiles/dcp_stats.dir/stats/goodput.cpp.o" "gcc" "src/CMakeFiles/dcp_stats.dir/stats/goodput.cpp.o.d"
+  "/root/repo/src/stats/percentile.cpp" "src/CMakeFiles/dcp_stats.dir/stats/percentile.cpp.o" "gcc" "src/CMakeFiles/dcp_stats.dir/stats/percentile.cpp.o.d"
+  "/root/repo/src/stats/telemetry.cpp" "src/CMakeFiles/dcp_stats.dir/stats/telemetry.cpp.o" "gcc" "src/CMakeFiles/dcp_stats.dir/stats/telemetry.cpp.o.d"
+  "/root/repo/src/stats/trace.cpp" "src/CMakeFiles/dcp_stats.dir/stats/trace.cpp.o" "gcc" "src/CMakeFiles/dcp_stats.dir/stats/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dcp_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_switch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcp_stats.dir/stats/csv_export.cpp.o"
+  "CMakeFiles/dcp_stats.dir/stats/csv_export.cpp.o.d"
+  "CMakeFiles/dcp_stats.dir/stats/fct_stats.cpp.o"
+  "CMakeFiles/dcp_stats.dir/stats/fct_stats.cpp.o.d"
+  "CMakeFiles/dcp_stats.dir/stats/goodput.cpp.o"
+  "CMakeFiles/dcp_stats.dir/stats/goodput.cpp.o.d"
+  "CMakeFiles/dcp_stats.dir/stats/percentile.cpp.o"
+  "CMakeFiles/dcp_stats.dir/stats/percentile.cpp.o.d"
+  "CMakeFiles/dcp_stats.dir/stats/telemetry.cpp.o"
+  "CMakeFiles/dcp_stats.dir/stats/telemetry.cpp.o.d"
+  "CMakeFiles/dcp_stats.dir/stats/trace.cpp.o"
+  "CMakeFiles/dcp_stats.dir/stats/trace.cpp.o.d"
+  "libdcp_stats.a"
+  "libdcp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

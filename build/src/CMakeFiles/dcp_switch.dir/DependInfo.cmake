@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/switch/buffer.cpp" "src/CMakeFiles/dcp_switch.dir/switch/buffer.cpp.o" "gcc" "src/CMakeFiles/dcp_switch.dir/switch/buffer.cpp.o.d"
+  "/root/repo/src/switch/routing.cpp" "src/CMakeFiles/dcp_switch.dir/switch/routing.cpp.o" "gcc" "src/CMakeFiles/dcp_switch.dir/switch/routing.cpp.o.d"
+  "/root/repo/src/switch/scheduler.cpp" "src/CMakeFiles/dcp_switch.dir/switch/scheduler.cpp.o" "gcc" "src/CMakeFiles/dcp_switch.dir/switch/scheduler.cpp.o.d"
+  "/root/repo/src/switch/switch.cpp" "src/CMakeFiles/dcp_switch.dir/switch/switch.cpp.o" "gcc" "src/CMakeFiles/dcp_switch.dir/switch/switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dcp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

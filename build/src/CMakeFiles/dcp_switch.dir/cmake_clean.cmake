@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcp_switch.dir/switch/buffer.cpp.o"
+  "CMakeFiles/dcp_switch.dir/switch/buffer.cpp.o.d"
+  "CMakeFiles/dcp_switch.dir/switch/routing.cpp.o"
+  "CMakeFiles/dcp_switch.dir/switch/routing.cpp.o.d"
+  "CMakeFiles/dcp_switch.dir/switch/scheduler.cpp.o"
+  "CMakeFiles/dcp_switch.dir/switch/scheduler.cpp.o.d"
+  "CMakeFiles/dcp_switch.dir/switch/switch.cpp.o"
+  "CMakeFiles/dcp_switch.dir/switch/switch.cpp.o.d"
+  "libdcp_switch.a"
+  "libdcp_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcp_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/clos.cpp" "src/CMakeFiles/dcp_topo.dir/topo/clos.cpp.o" "gcc" "src/CMakeFiles/dcp_topo.dir/topo/clos.cpp.o.d"
+  "/root/repo/src/topo/dumbbell.cpp" "src/CMakeFiles/dcp_topo.dir/topo/dumbbell.cpp.o" "gcc" "src/CMakeFiles/dcp_topo.dir/topo/dumbbell.cpp.o.d"
+  "/root/repo/src/topo/fattree.cpp" "src/CMakeFiles/dcp_topo.dir/topo/fattree.cpp.o" "gcc" "src/CMakeFiles/dcp_topo.dir/topo/fattree.cpp.o.d"
+  "/root/repo/src/topo/network.cpp" "src/CMakeFiles/dcp_topo.dir/topo/network.cpp.o" "gcc" "src/CMakeFiles/dcp_topo.dir/topo/network.cpp.o.d"
+  "/root/repo/src/topo/testbed.cpp" "src/CMakeFiles/dcp_topo.dir/topo/testbed.cpp.o" "gcc" "src/CMakeFiles/dcp_topo.dir/topo/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dcp_switch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcp_topo.dir/topo/clos.cpp.o"
+  "CMakeFiles/dcp_topo.dir/topo/clos.cpp.o.d"
+  "CMakeFiles/dcp_topo.dir/topo/dumbbell.cpp.o"
+  "CMakeFiles/dcp_topo.dir/topo/dumbbell.cpp.o.d"
+  "CMakeFiles/dcp_topo.dir/topo/fattree.cpp.o"
+  "CMakeFiles/dcp_topo.dir/topo/fattree.cpp.o.d"
+  "CMakeFiles/dcp_topo.dir/topo/network.cpp.o"
+  "CMakeFiles/dcp_topo.dir/topo/network.cpp.o.d"
+  "CMakeFiles/dcp_topo.dir/topo/testbed.cpp.o"
+  "CMakeFiles/dcp_topo.dir/topo/testbed.cpp.o.d"
+  "libdcp_topo.a"
+  "libdcp_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcp_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transports/gbn.cpp" "src/CMakeFiles/dcp_transports.dir/transports/gbn.cpp.o" "gcc" "src/CMakeFiles/dcp_transports.dir/transports/gbn.cpp.o.d"
+  "/root/repo/src/transports/irn.cpp" "src/CMakeFiles/dcp_transports.dir/transports/irn.cpp.o" "gcc" "src/CMakeFiles/dcp_transports.dir/transports/irn.cpp.o.d"
+  "/root/repo/src/transports/mprdma.cpp" "src/CMakeFiles/dcp_transports.dir/transports/mprdma.cpp.o" "gcc" "src/CMakeFiles/dcp_transports.dir/transports/mprdma.cpp.o.d"
+  "/root/repo/src/transports/racktlp.cpp" "src/CMakeFiles/dcp_transports.dir/transports/racktlp.cpp.o" "gcc" "src/CMakeFiles/dcp_transports.dir/transports/racktlp.cpp.o.d"
+  "/root/repo/src/transports/tcp_lite.cpp" "src/CMakeFiles/dcp_transports.dir/transports/tcp_lite.cpp.o" "gcc" "src/CMakeFiles/dcp_transports.dir/transports/tcp_lite.cpp.o.d"
+  "/root/repo/src/transports/timeout.cpp" "src/CMakeFiles/dcp_transports.dir/transports/timeout.cpp.o" "gcc" "src/CMakeFiles/dcp_transports.dir/transports/timeout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dcp_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

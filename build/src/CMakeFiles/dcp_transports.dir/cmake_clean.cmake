@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcp_transports.dir/transports/gbn.cpp.o"
+  "CMakeFiles/dcp_transports.dir/transports/gbn.cpp.o.d"
+  "CMakeFiles/dcp_transports.dir/transports/irn.cpp.o"
+  "CMakeFiles/dcp_transports.dir/transports/irn.cpp.o.d"
+  "CMakeFiles/dcp_transports.dir/transports/mprdma.cpp.o"
+  "CMakeFiles/dcp_transports.dir/transports/mprdma.cpp.o.d"
+  "CMakeFiles/dcp_transports.dir/transports/racktlp.cpp.o"
+  "CMakeFiles/dcp_transports.dir/transports/racktlp.cpp.o.d"
+  "CMakeFiles/dcp_transports.dir/transports/tcp_lite.cpp.o"
+  "CMakeFiles/dcp_transports.dir/transports/tcp_lite.cpp.o.d"
+  "CMakeFiles/dcp_transports.dir/transports/timeout.cpp.o"
+  "CMakeFiles/dcp_transports.dir/transports/timeout.cpp.o.d"
+  "libdcp_transports.a"
+  "libdcp_transports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcp_transports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

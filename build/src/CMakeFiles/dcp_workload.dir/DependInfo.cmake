@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/collective.cpp" "src/CMakeFiles/dcp_workload.dir/workload/collective.cpp.o" "gcc" "src/CMakeFiles/dcp_workload.dir/workload/collective.cpp.o.d"
+  "/root/repo/src/workload/flowgen.cpp" "src/CMakeFiles/dcp_workload.dir/workload/flowgen.cpp.o" "gcc" "src/CMakeFiles/dcp_workload.dir/workload/flowgen.cpp.o.d"
+  "/root/repo/src/workload/incast.cpp" "src/CMakeFiles/dcp_workload.dir/workload/incast.cpp.o" "gcc" "src/CMakeFiles/dcp_workload.dir/workload/incast.cpp.o.d"
+  "/root/repo/src/workload/size_dist.cpp" "src/CMakeFiles/dcp_workload.dir/workload/size_dist.cpp.o" "gcc" "src/CMakeFiles/dcp_workload.dir/workload/size_dist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dcp_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_switch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

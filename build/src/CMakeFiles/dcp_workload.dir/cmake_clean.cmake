@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcp_workload.dir/workload/collective.cpp.o"
+  "CMakeFiles/dcp_workload.dir/workload/collective.cpp.o.d"
+  "CMakeFiles/dcp_workload.dir/workload/flowgen.cpp.o"
+  "CMakeFiles/dcp_workload.dir/workload/flowgen.cpp.o.d"
+  "CMakeFiles/dcp_workload.dir/workload/incast.cpp.o"
+  "CMakeFiles/dcp_workload.dir/workload/incast.cpp.o.d"
+  "CMakeFiles/dcp_workload.dir/workload/size_dist.cpp.o"
+  "CMakeFiles/dcp_workload.dir/workload/size_dist.cpp.o.d"
+  "libdcp_workload.a"
+  "libdcp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

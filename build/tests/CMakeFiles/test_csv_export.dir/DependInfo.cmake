@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_csv_export.cpp" "tests/CMakeFiles/test_csv_export.dir/test_csv_export.cpp.o" "gcc" "tests/CMakeFiles/test_csv_export.dir/test_csv_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dcp_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_transports.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_switch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dcp_credit.dir/test_dcp_credit.cpp.o"
+  "CMakeFiles/test_dcp_credit.dir/test_dcp_credit.cpp.o.d"
+  "test_dcp_credit"
+  "test_dcp_credit.pdb"
+  "test_dcp_credit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dcp_credit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_dcp_credit.
+# This may be replaced when dependencies are built.

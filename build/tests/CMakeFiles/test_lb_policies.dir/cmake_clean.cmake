@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lb_policies.dir/test_lb_policies.cpp.o"
+  "CMakeFiles/test_lb_policies.dir/test_lb_policies.cpp.o.d"
+  "test_lb_policies"
+  "test_lb_policies.pdb"
+  "test_lb_policies[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lb_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_retransq.dir/test_retransq.cpp.o"
+  "CMakeFiles/test_retransq.dir/test_retransq.cpp.o.d"
+  "test_retransq"
+  "test_retransq.pdb"
+  "test_retransq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_retransq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_verbs_twosided.dir/test_verbs_twosided.cpp.o"
+  "CMakeFiles/test_verbs_twosided.dir/test_verbs_twosided.cpp.o.d"
+  "test_verbs_twosided"
+  "test_verbs_twosided.pdb"
+  "test_verbs_twosided[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_verbs_twosided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
