@@ -1,0 +1,108 @@
+// Simulator-core throughput benchmark: measures how fast the substrate
+// itself processes events, micro (raw EventQueue churn) and macro (a full
+// websearch-on-CLOS run), and writes BENCH_core.json next to the binary.
+//
+// The seed_* constants are the same measurements taken at the pre-rewrite
+// seed (std::function events, binary heap + lazy-cancel hash set, by-value
+// Packet moves), on the same workloads, so the JSON carries the
+// before/after comparison the numbers in docs/architecture.md come from.
+
+#include <cstdio>
+
+#include "harness/experiment.h"
+#include "sim/event_queue.h"
+#include "stats/core_perf.h"
+#include "topo/network.h"
+
+namespace {
+
+using namespace dcp;
+
+// Seed (commit d08d0a0) throughput on these exact workloads.
+constexpr double kSeedMicroEventsPerSec = 11.2e6;  // 89.0 ns / schedule+fire
+constexpr double kSeedMacroEventsPerSec = 3.96e6;  // 3,639,028 events in 0.92 s
+
+/// Steady-state schedule->fire churn at depth 1024: the same loop as
+/// BM_EventQueuePushPop, measured as events/sec over `total` events.
+CorePerf micro_event_churn(std::uint64_t total) {
+  EventQueue q;
+  Time now = 0;
+  std::int64_t t = 0;
+  // Warm up: fill the slab and the heap to working depth.
+  for (int i = 0; i < 1024; ++i) q.push(++t, [] {});
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < total; ++i) {
+    q.push(++t, [] {});
+    q.pop_and_run(now);
+  }
+  CorePerf p;
+  p.events_processed = total;
+  p.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return p;
+}
+
+/// Full-stack macro run: DCP on a 2x2x4 CLOS with 0.5% injected loss,
+/// 400 websearch flows at 40% load (the seed baseline was measured on this
+/// exact configuration).
+CorePerf macro_websearch() {
+  Simulator sim;
+  Logger log(LogLevel::kOff);
+  Network net(sim, log);
+
+  SchemeSetup s = make_scheme(SchemeKind::kDcp, SchemeOptions{});
+  s.sw.inject_loss_rate = 0.005;
+  ClosParams cp;
+  cp.spines = 2;
+  cp.leaves = 2;
+  cp.hosts_per_leaf = 4;
+  cp.sw = s.sw;
+  ClosTopology topo = build_clos(net, cp);
+  apply_scheme(net, s);
+
+  FlowGenParams fg;
+  fg.load = 0.4;
+  fg.num_flows = 400;
+  fg.seed = 7;
+  generate_poisson_flows(net, topo.hosts, SizeDist::websearch(), fg);
+
+  CorePerfTimer timer(sim);
+  net.run_until_done(seconds(10));
+  return timer.finish();
+}
+
+/// The same metric surfaced through the standard harness runner, proving
+/// every experiment reports substrate speed for free.
+CorePerf harness_websearch() {
+  WebSearchParams p;
+  p.clos.spines = 2;
+  p.clos.leaves = 2;
+  p.clos.hosts_per_leaf = 4;
+  p.load = 0.4;
+  p.num_flows = 400;
+  p.seed = 7;
+  return run_websearch(p).core;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<CorePerfEntry> entries;
+  entries.push_back({"micro_event_queue_push_pop_1M", micro_event_churn(1'000'000),
+                     kSeedMicroEventsPerSec});
+  entries.push_back({"macro_websearch_clos_loss", macro_websearch(), kSeedMacroEventsPerSec});
+  entries.push_back({"harness_run_websearch", harness_websearch(), 0.0});
+
+  for (const CorePerfEntry& e : entries) {
+    std::printf("%-32s events=%llu wall=%.3fs events/sec=%.3gM", e.name.c_str(),
+                static_cast<unsigned long long>(e.perf.events_processed), e.perf.wall_seconds,
+                e.perf.events_per_sec() / 1e6);
+    if (e.baseline_events_per_sec > 0.0) {
+      std::printf("  (seed %.3gM, %.2fx)", e.baseline_events_per_sec / 1e6,
+                  e.perf.events_per_sec() / e.baseline_events_per_sec);
+    }
+    std::printf("\n");
+  }
+  const bool ok = export_core_perf_json("BENCH_core.json", entries);
+  std::printf("BENCH_core.json %s\n", ok ? "written" : "FAILED");
+  return ok ? 0 : 1;
+}

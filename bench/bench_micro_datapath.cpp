@@ -7,6 +7,7 @@
 
 #include "core/retransq.h"
 #include "core/tracking.h"
+#include "net/packet_pool.h"
 #include "sim/event_queue.h"
 #include "switch/scheduler.h"
 
@@ -71,6 +72,46 @@ void BM_EventQueuePushPop(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueuePushPop);
 
+// The timeout pattern: nearly every scheduled event is cancelled before it
+// fires (retransmission timers on a healthy fabric).  Exercises the
+// in-place O(log n) removal path.
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  EventQueue q;
+  Time now = 0;
+  std::int64_t t = 0;
+  std::vector<EventId> pending;
+  pending.reserve(1024);
+  std::size_t next_victim = 0;
+  for (auto _ : state) {
+    pending.push_back(q.push(++t, [] {}));
+    if (pending.size() >= 1024) {
+      // Cancel from the middle of the window (oldest ids already fired).
+      q.cancel(pending[next_victim]);
+      next_victim = (next_victim + 7) % pending.size();
+      q.pop_and_run(now);
+      if (pending.size() >= 4096) {
+        pending.clear();
+        next_victim = 0;
+      }
+    }
+  }
+}
+BENCHMARK(BM_EventQueueCancelHeavy);
+
+// Pooled packet churn: acquire, fill, move, release — the per-hop cost of
+// the PacketPtr datapath vs copying ~130-byte Packets by value.
+void BM_PacketPool(benchmark::State& state) {
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    PacketPtr p = PacketPtr::make();
+    p->wire_bytes = 1000 + (i & 63);
+    p->psn = i++;
+    PacketPtr moved = std::move(p);
+    benchmark::DoNotOptimize(moved->psn);
+  }
+}
+BENCHMARK(BM_PacketPool);
+
 void BM_DwrrSelect(benchmark::State& state) {
   DwrrPolicy policy({1.0, 4.0});
   std::vector<FifoQueue> queues(kNumQueueClasses);
@@ -85,8 +126,8 @@ void BM_DwrrSelect(benchmark::State& state) {
     const int c = policy.select(queues, paused);
     benchmark::DoNotOptimize(c);
     policy.charge(c, 1000);
-    Packet popped = queues[static_cast<std::size_t>(c)].pop();
-    queues[static_cast<std::size_t>(c)].push(popped);
+    PacketPtr popped = queues[static_cast<std::size_t>(c)].pop();
+    queues[static_cast<std::size_t>(c)].push(std::move(popped));
   }
 }
 BENCHMARK(BM_DwrrSelect);

@@ -26,9 +26,11 @@ LongFlowResult run_long_flow(const LongFlowParams& p) {
   spec.msg_bytes = p.opt.msg_bytes;
   const FlowId id = net.start_flow(spec);
 
+  CorePerfTimer timer(sim);
   net.run_until_done(p.max_time);
 
   LongFlowResult r;
+  r.core = timer.finish();
   const FlowRecord& rec = net.record(id);
   r.completed = rec.complete();
   r.elapsed = r.completed ? rec.fct() : sim.now();
@@ -72,9 +74,11 @@ UnequalPathsResult run_unequal_paths(SchemeKind scheme, double ratio, std::uint6
     spec.msg_bytes = opt.msg_bytes;
     ids.push_back(net.start_flow(spec));
   }
+  CorePerfTimer timer(sim);
   net.run_until_done(milliseconds(500));
 
   UnequalPathsResult r;
+  r.core = timer.finish();
   for (int i = 0; i < 2; ++i) {
     const FlowRecord& rec = net.record(ids[static_cast<std::size_t>(i)]);
     double g = 0.0;
@@ -122,9 +126,11 @@ WebSearchResult run_websearch(const WebSearchParams& p) {
     generate_incast(net, topo.hosts, ip);
   }
 
+  CorePerfTimer timer(sim);
   net.run_until_done(p.max_time);
 
   WebSearchResult r;
+  r.core = timer.finish();
   for (const FlowRecord& rec : net.records()) {
     r.flows_total++;
     if (!rec.complete()) continue;
@@ -207,6 +213,7 @@ CollectiveResult run_collectives(const CollectiveExpParams& p) {
 
   // Collectives create flows dynamically; run until every group reports
   // completion or the budget expires.
+  CorePerfTimer timer(sim);
   while (sim.now() < p.max_time) {
     bool all = true;
     for (const auto& c : collectives) all = all && c->done();
@@ -216,6 +223,7 @@ CollectiveResult run_collectives(const CollectiveExpParams& p) {
   }
 
   CollectiveResult r;
+  r.core = timer.finish();
   r.all_done = true;
   for (const auto& c : collectives) {
     r.all_done = r.all_done && c->done();

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "harness/scheme.h"
+#include "stats/core_perf.h"
 #include "stats/fct_stats.h"
 #include "topo/clos.h"
 #include "topo/testbed.h"
@@ -37,6 +38,7 @@ struct LongFlowResult {
   SenderStats sender;
   ReceiverStats receiver;
   Switch::Stats sw;
+  CorePerf core;  // simulator substrate speed for this run
 };
 
 LongFlowResult run_long_flow(const LongFlowParams& p);
@@ -48,6 +50,7 @@ LongFlowResult run_long_flow(const LongFlowParams& p);
 struct UnequalPathsResult {
   double avg_goodput_gbps = 0.0;
   double flow_goodputs[2] = {0.0, 0.0};
+  CorePerf core;
 };
 
 /// Two cross-switch flows over two cross links with capacity `ratio`:1.
@@ -95,6 +98,7 @@ struct WebSearchResult {
   std::size_t flows_total = 0;
   std::size_t flows_completed = 0;
   double ho_loss_ratio = 0.0;  // dropped HO / (dropped + delivered) (Table 5)
+  CorePerf core;
 };
 
 WebSearchResult run_websearch(const WebSearchParams& p);
@@ -122,6 +126,7 @@ struct CollectiveResult {
   std::vector<double> flow_fct_ms;   // all individual flows (CDF source)
   double ideal_jct_ms = 0.0;
   bool all_done = false;
+  CorePerf core;
 };
 
 CollectiveResult run_collectives(const CollectiveExpParams& p);

@@ -2,18 +2,20 @@
 
 namespace dcp {
 
-void Host::receive(Packet pkt, std::uint32_t in_port) {
-  maybe_trace(pkt, in_port);
+void Host::receive(PacketPtr pkt, std::uint32_t in_port) {
+  maybe_trace(*pkt, in_port);
   (void)in_port;
-  if (pkt.type == PktType::kPfcPause || pkt.type == PktType::kPfcResume) {
-    nic_.set_paused(pkt.type == PktType::kPfcPause);
+  if (pkt->type == PktType::kPfcPause || pkt->type == PktType::kPfcResume) {
+    nic_.set_paused(pkt->type == PktType::kPfcPause);
     return;
   }
 
-  switch (pkt.type) {
+  // End of the pooled path: the transport state machines take the packet
+  // by value (one final move out of the pool slot).
+  switch (pkt->type) {
     case PktType::kData: {
-      if (auto* r = receiver(pkt.flow)) {
-        r->on_packet(std::move(pkt));
+      if (auto* r = receiver(pkt->flow)) {
+        r->on_packet(std::move(*pkt));
         return;
       }
       break;
@@ -22,8 +24,8 @@ void Host::receive(Packet pkt, std::uint32_t in_port) {
     case PktType::kSack:
     case PktType::kNack:
     case PktType::kCnp: {
-      if (auto* s = sender(pkt.flow)) {
-        s->on_packet(std::move(pkt));
+      if (auto* s = sender(pkt->flow)) {
+        s->on_packet(std::move(*pkt));
         return;
       }
       break;
@@ -31,12 +33,12 @@ void Host::receive(Packet pkt, std::uint32_t in_port) {
     case PktType::kHeaderOnly: {
       // First leg (switch -> receiver): the receiver bounces it back.
       // Second leg (receiver -> sender): drives HO-based retransmission.
-      if (auto* r = receiver(pkt.flow)) {
-        r->on_packet(std::move(pkt));
+      if (auto* r = receiver(pkt->flow)) {
+        r->on_packet(std::move(*pkt));
         return;
       }
-      if (auto* s = sender(pkt.flow)) {
-        s->on_packet(std::move(pkt));
+      if (auto* s = sender(pkt->flow)) {
+        s->on_packet(std::move(*pkt));
         return;
       }
       break;

@@ -22,7 +22,8 @@ class Host final : public Node {
   RnicScheduler& nic() { return nic_; }
   void connect(Node* sw, std::uint32_t sw_port) { nic_.channel().connect(sw, sw_port); }
 
-  void receive(Packet pkt, std::uint32_t in_port) override;
+  using Node::receive;
+  void receive(PacketPtr pkt, std::uint32_t in_port) override;
 
   void add_sender(std::unique_ptr<SenderTransport> s);
   void add_receiver(std::unique_ptr<ReceiverTransport> r);

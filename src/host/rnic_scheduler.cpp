@@ -5,7 +5,7 @@
 namespace dcp {
 
 void RnicScheduler::send_control(Packet pkt) {
-  control_q_.push_back(std::move(pkt));
+  control_q_.push_back(PacketPtr::make(std::move(pkt)));
   kick();
 }
 
@@ -28,10 +28,10 @@ void RnicScheduler::set_paused(bool paused) {
   if (!paused_) kick();
 }
 
-void RnicScheduler::transmit(Packet pkt) {
+void RnicScheduler::transmit(PacketPtr pkt) {
   tx_packets_++;
-  tx_bytes_ += pkt.wire_bytes;
-  const Time ser = channel_.serialization(pkt.wire_bytes);
+  tx_bytes_ += pkt->wire_bytes;
+  const Time ser = channel_.serialization(pkt->wire_bytes);
   channel_.deliver(std::move(pkt), ser);
   transmitting_ = true;
   sim_.schedule(ser, [this] {
@@ -49,7 +49,7 @@ void RnicScheduler::kick() {
 
   // Stage 1: control packets (strict priority).
   if (!control_q_.empty()) {
-    Packet pkt = std::move(control_q_.front());
+    PacketPtr pkt = std::move(control_q_.front());
     control_q_.pop_front();
     transmit(std::move(pkt));
     return;
@@ -62,7 +62,9 @@ void RnicScheduler::kick() {
     SenderTransport* s = senders_[(rr_ + i) % n];
     if (s->has_packet(now)) {
       rr_ = (rr_ + i + 1) % n;
-      transmit(s->next_packet());
+      // Injection point: the one Packet copy of the datapath, into a
+      // pooled slot the rest of the path moves by handle.
+      transmit(PacketPtr::make(s->next_packet()));
       return;
     }
   }

@@ -25,7 +25,8 @@ class RnicScheduler {
   Channel& channel() { return channel_; }
   Bandwidth line_rate() const { return channel_.bandwidth(); }
 
-  /// Queues a control packet (strict priority over data).
+  /// Queues a control packet (strict priority over data).  Pools the
+  /// packet immediately; it rides the pooled path from here to the peer.
   void send_control(Packet pkt);
 
   void register_sender(SenderTransport* s);
@@ -42,11 +43,11 @@ class RnicScheduler {
   std::size_t active_senders() const { return senders_.size(); }
 
  private:
-  void transmit(Packet pkt);
+  void transmit(PacketPtr pkt);
 
   Simulator& sim_;
   Channel channel_;
-  std::deque<Packet> control_q_;
+  std::deque<PacketPtr> control_q_;
   std::vector<SenderTransport*> senders_;
   std::size_t rr_ = 0;
   bool transmitting_ = false;

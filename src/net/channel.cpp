@@ -2,18 +2,17 @@
 
 namespace dcp {
 
-void Channel::deliver(Packet pkt, Time extra) {
+void Channel::deliver(PacketPtr pkt, Time extra) {
   if (!up_) {
     discarded_packets_++;
-    return;
+    return;  // the dying handle recycles the packet
   }
   delivered_packets_++;
-  delivered_bytes_ += pkt.wire_bytes;
-  Node* dst = dst_;
-  const std::uint32_t port = dst_port_;
-  sim_.schedule(extra + propagation_, [dst, port, p = std::move(pkt)]() mutable {
-    dst->receive(std::move(p), port);
-  });
+  delivered_bytes_ += pkt->wire_bytes;
+  sim_.schedule(extra + propagation_,
+                [dst = dst_, port = dst_port_, p = std::move(pkt)]() mutable {
+                  dst->receive(std::move(p), port);
+                });
 }
 
 }  // namespace dcp

@@ -5,10 +5,11 @@
 // the far end.
 
 #include <cstdint>
-#include <functional>
+#include <utility>
 
 #include "net/node.h"
 #include "net/packet.h"
+#include "net/packet_pool.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
 
@@ -31,8 +32,11 @@ class Channel {
   std::uint32_t peer_port() const { return dst_port_; }
 
   /// Schedules delivery of `pkt` at the far end, `extra` (typically the
-  /// serialization time) plus the propagation delay from now.
-  void deliver(Packet pkt, Time extra);
+  /// serialization time) plus the propagation delay from now.  The pooled
+  /// handle rides inside the event inline — no per-hop allocation or
+  /// Packet copy.
+  void deliver(PacketPtr pkt, Time extra);
+  void deliver(Packet pkt, Time extra) { deliver(PacketPtr::make(std::move(pkt)), extra); }
 
   /// A downed channel discards everything handed to it (cut fiber).
   void set_up(bool up) { up_ = up; }

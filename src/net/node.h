@@ -2,10 +2,12 @@
 // Base class for anything attached to the network graph (hosts, switches).
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <utility>
 
 #include "net/packet.h"
+#include "net/packet_pool.h"
 #include "sim/logger.h"
 #include "sim/simulator.h"
 
@@ -22,8 +24,17 @@ class Node {
   NodeId id() const { return id_; }
   const std::string& name() const { return name_; }
 
-  /// Delivery of a packet arriving on `in_port`.
-  virtual void receive(Packet pkt, std::uint32_t in_port) = 0;
+  /// Delivery of a pooled packet arriving on `in_port`.  The node owns the
+  /// handle from here on: forwarding moves it onward, dropping just lets
+  /// it die (the slot returns to the pool).
+  virtual void receive(PacketPtr pkt, std::uint32_t in_port) = 0;
+
+  /// Convenience for tests and tools that build packets by value: pools
+  /// the packet and forwards to the virtual overload.  Subclasses pull
+  /// both into scope with `using Node::receive;`.
+  void receive(Packet pkt, std::uint32_t in_port) {
+    receive(PacketPtr::make(std::move(pkt)), in_port);
+  }
 
   /// Optional per-node observation hook, invoked for every packet the node
   /// receives (before processing).  Installed by diagnostic tooling such

@@ -1,0 +1,20 @@
+#include "net/packet_pool.h"
+
+namespace dcp {
+
+PacketPool& PacketPool::local() {
+  thread_local PacketPool pool;
+  return pool;
+}
+
+void PacketPool::grow() {
+  chunks_.push_back(std::make_unique<Packet[]>(kChunkPackets));
+  Packet* base = chunks_.back().get();
+  free_.reserve(free_.size() + kChunkPackets);
+  // Reversed so the lowest address is handed out first.
+  for (std::size_t i = kChunkPackets; i > 0; --i) {
+    free_.push_back(base + i - 1);
+  }
+}
+
+}  // namespace dcp

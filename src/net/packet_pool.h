@@ -1,0 +1,131 @@
+#pragma once
+// A freelist pool of Packet objects and the owning handle that moves them
+// through the datapath.
+//
+// The seed simulator copied the ~130-byte Packet struct at every stage of
+// every hop: into the egress FifoQueue, out of it, into the delivery
+// closure (which std::function heap-allocated), and into the receiver.
+// With the pool, a packet is materialized once at injection and then a
+// single 8-byte PacketPtr travels through queues, events, and channels;
+// dropping a packet (tail-drop, link down, trim-refused) is just letting
+// the handle die, which recycles the slot.
+//
+// The pool is thread-local: simulations on the same thread share one
+// freelist (harmless — packets are pure value state and nothing in the
+// simulator depends on slot addresses), while simulations on different
+// threads never contend.  Slabs are chunked and never shrink, so the
+// steady-state acquire/release cycle performs zero heap allocations.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace dcp {
+
+class PacketPool {
+ public:
+  struct Stats {
+    std::uint64_t acquires = 0;
+    std::uint64_t releases = 0;
+    std::size_t slots = 0;    // total slots ever allocated
+    std::size_t in_use = 0;   // currently checked out
+  };
+
+  /// The calling thread's pool.
+  static PacketPool& local();
+
+  Packet* acquire() {
+    if (free_.empty()) grow();
+    Packet* p = free_.back();
+    free_.pop_back();
+    ++acquires_;
+    return p;
+  }
+
+  void release(Packet* p) {
+    ++releases_;
+    free_.push_back(p);
+  }
+
+  Stats stats() const {
+    return Stats{acquires_, releases_, chunks_.size() * kChunkPackets,
+                 chunks_.size() * kChunkPackets - free_.size()};
+  }
+
+ private:
+  static constexpr std::size_t kChunkPackets = 512;
+
+  void grow();
+
+  std::vector<std::unique_ptr<Packet[]>> chunks_;
+  std::vector<Packet*> free_;
+  std::uint64_t acquires_ = 0;
+  std::uint64_t releases_ = 0;
+};
+
+/// Move-only owning handle to a pooled Packet.  8 bytes; returns the
+/// packet to the thread-local pool when it goes out of scope.
+class PacketPtr {
+ public:
+  PacketPtr() = default;
+
+  /// A fresh default-initialized packet from the pool.
+  static PacketPtr make() {
+    PacketPtr p(PacketPool::local().acquire());
+    *p.p_ = Packet{};
+    return p;
+  }
+
+  /// A pooled copy of `src` (the one copy a packet's lifetime pays, at
+  /// injection into the datapath).
+  static PacketPtr make(Packet&& src) {
+    PacketPtr p(PacketPool::local().acquire());
+    *p.p_ = src;
+    return p;
+  }
+  static PacketPtr make(const Packet& src) {
+    PacketPtr p(PacketPool::local().acquire());
+    *p.p_ = src;
+    return p;
+  }
+
+  PacketPtr(PacketPtr&& other) noexcept : p_(other.p_) { other.p_ = nullptr; }
+  PacketPtr& operator=(PacketPtr&& other) noexcept {
+    if (this != &other) {
+      reset();
+      p_ = other.p_;
+      other.p_ = nullptr;
+    }
+    return *this;
+  }
+  PacketPtr(const PacketPtr&) = delete;
+  PacketPtr& operator=(const PacketPtr&) = delete;
+  ~PacketPtr() { reset(); }
+
+  void reset() {
+    if (p_ != nullptr) {
+      PacketPool::local().release(p_);
+      p_ = nullptr;
+    }
+  }
+
+  Packet& operator*() const { return *p_; }
+  Packet* operator->() const { return p_; }
+  Packet* get() const { return p_; }
+  explicit operator bool() const { return p_ != nullptr; }
+
+ private:
+  explicit PacketPtr(Packet* p) : p_(p) {}
+
+  Packet* p_ = nullptr;
+};
+
+static_assert(std::is_trivially_copyable_v<Packet>,
+              "Packet must stay a plain value type: the pool recycles slots "
+              "by assignment and never runs destructors");
+
+}  // namespace dcp

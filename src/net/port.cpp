@@ -2,8 +2,8 @@
 
 namespace dcp {
 
-void Port::enqueue(Packet pkt) {
-  const int c = static_cast<int>(pkt.queue_class);
+void Port::enqueue(PacketPtr pkt) {
+  const int c = static_cast<int>(pkt->queue_class);
   queues_[c].push(std::move(pkt));
   stats_.enqueued_packets++;
   try_transmit();
@@ -30,14 +30,14 @@ void Port::try_transmit() {
   const int c = policy_->select(queues_, paused_);
   if (c < 0) return;
 
-  Packet pkt = queues_[c].pop();
-  policy_->charge(c, pkt.wire_bytes);
+  PacketPtr pkt = queues_[c].pop();
+  policy_->charge(c, pkt->wire_bytes);
   stats_.tx_packets++;
-  stats_.tx_bytes += pkt.wire_bytes;
+  stats_.tx_bytes += pkt->wire_bytes;
   stats_.tx_packets_by_class[c]++;
-  if (on_dequeue) on_dequeue(pkt);
+  if (on_dequeue) on_dequeue(*pkt);
 
-  const Time ser = channel_.serialization(pkt.wire_bytes);
+  const Time ser = channel_.serialization(pkt->wire_bytes);
   channel_.deliver(std::move(pkt), ser);
   transmitting_ = true;
   sim_.schedule(ser, [this] {

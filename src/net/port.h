@@ -81,7 +81,8 @@ class Port {
   void connect(Node* dst, std::uint32_t dst_port) { channel_.connect(dst, dst_port); }
 
   /// Queues a packet in its queue class and kicks the wire if idle.
-  void enqueue(Packet pkt);
+  void enqueue(PacketPtr pkt);
+  void enqueue(Packet pkt) { enqueue(PacketPtr::make(std::move(pkt))); }
 
   /// Sends a frame "out of band": it reaches the peer after its own
   /// serialization + propagation but does not occupy the wire or any queue.

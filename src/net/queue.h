@@ -1,36 +1,42 @@
 #pragma once
 // FIFO packet queue with byte accounting, used for every egress queue class.
+// Stores pooled packet handles: pushing and popping moves 8 bytes, not the
+// ~130-byte Packet struct.
 
 #include <cstdint>
 #include <deque>
+#include <utility>
 
 #include "net/packet.h"
+#include "net/packet_pool.h"
 
 namespace dcp {
 
 class FifoQueue {
  public:
-  void push(Packet pkt) {
-    bytes_ += pkt.wire_bytes;
+  void push(PacketPtr pkt) {
+    bytes_ += pkt->wire_bytes;
     max_bytes_seen_ = bytes_ > max_bytes_seen_ ? bytes_ : max_bytes_seen_;
     q_.push_back(std::move(pkt));
   }
+  /// Convenience for tests/benches that build packets by value.
+  void push(Packet pkt) { push(PacketPtr::make(std::move(pkt))); }
 
-  Packet pop() {
-    Packet p = std::move(q_.front());
+  PacketPtr pop() {
+    PacketPtr p = std::move(q_.front());
     q_.pop_front();
-    bytes_ -= p.wire_bytes;
+    bytes_ -= p->wire_bytes;
     return p;
   }
 
-  const Packet& front() const { return q_.front(); }
+  const Packet& front() const { return *q_.front(); }
   bool empty() const { return q_.empty(); }
   std::size_t packets() const { return q_.size(); }
   std::uint64_t bytes() const { return bytes_; }
   std::uint64_t max_bytes_seen() const { return max_bytes_seen_; }
 
  private:
-  std::deque<Packet> q_;
+  std::deque<PacketPtr> q_;
   std::uint64_t bytes_ = 0;
   std::uint64_t max_bytes_seen_ = 0;
 };

@@ -3,47 +3,128 @@
 #include <algorithm>
 
 namespace dcp {
+namespace {
 
-EventId EventQueue::push(Time t, std::function<void()> fn) {
-  const EventId id = next_id_++;
-  heap_.push_back(Entry{t, id, std::move(fn)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  ++live_;
-  return id;
+constexpr std::uint64_t kSlotMask = 0xFFFFFFFFull;
+
+}  // namespace
+
+void EventQueue::grow() {
+  const auto base = static_cast<std::uint32_t>(gen_.size());
+  chunks_.push_back(std::make_unique<EventCallback[]>(kChunkSize));
+  gen_.resize(base + kChunkSize, 0);
+  pos_.resize(base + kChunkSize, kNoPos);
+  free_.reserve(free_.size() + kChunkSize);
+  // Reversed so the lowest index is handed out first.
+  for (std::uint32_t i = kChunkSize; i > 0; --i) {
+    free_.push_back(base + i - 1);
+  }
+}
+
+EventId EventQueue::push(Time t, EventCallback fn) {
+  if (free_.empty()) grow();
+  const std::uint32_t idx = free_.back();
+  free_.pop_back();
+
+  fn_of(idx) = std::move(fn);
+  heap_.emplace_back();  // placeholder; sift_up writes the entry in place
+  sift_up(heap_.size() - 1, HeapEntry{t, next_seq_++, idx});
+  return (static_cast<EventId>(gen_[idx]) << 32) | (idx + 1);
 }
 
 void EventQueue::cancel(EventId id) {
-  if (id == kInvalidEvent || id >= next_id_) return;
-  if (cancelled_.insert(id).second) {
-    if (live_ > 0) --live_;
-  }
+  const std::uint64_t slot_part = id & kSlotMask;
+  if (slot_part == 0) return;  // kInvalidEvent or malformed
+  const auto idx = static_cast<std::uint32_t>(slot_part - 1);
+  if (idx >= gen_.size()) return;  // never allocated
+
+  if (gen_[idx] != static_cast<std::uint32_t>(id >> 32)) return;  // stale handle
+  if (pos_[idx] == kNoPos) return;                                // not pending
+
+  remove_from_heap(pos_[idx]);
+  fn_of(idx).reset();
+  release(idx);
 }
 
-void EventQueue::drop_cancelled_top() {
-  while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.front().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
-  }
-}
-
-Time EventQueue::next_time() {
-  drop_cancelled_top();
-  return heap_.empty() ? kTimeInfinity : heap_.front().t;
+void EventQueue::release(std::uint32_t idx) {
+  pos_[idx] = kNoPos;
+  ++gen_[idx];  // invalidates every outstanding handle to this slot
+  free_.push_back(idx);
 }
 
 bool EventQueue::pop_and_run(Time& now) {
-  drop_cancelled_top();
   if (heap_.empty()) return false;
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Entry e = std::move(heap_.back());
+  const std::uint32_t idx = heap_[0].slot;
+  now = heap_[0].t;
+  EventCallback fn = std::move(fn_of(idx));
+
+  const HeapEntry last = heap_.back();
   heap_.pop_back();
-  --live_;
-  now = e.t;
-  e.fn();
+  if (!heap_.empty()) sift_root_to_bottom(last);
+
+  release(idx);  // recycled before running: reentrant schedule/cancel is safe
+  fn();
   return true;
+}
+
+void EventQueue::remove_from_heap(std::size_t pos) {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (pos < heap_.size()) {
+    // Moving the last entry into the hole: it can only need to travel one
+    // direction.  Try down; if it did not move, try up.
+    sift_down(pos, last);
+    if (pos_[last.slot] == pos) sift_up(pos, last);
+  }
+}
+
+void EventQueue::sift_up(std::size_t pos, HeapEntry e) {
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) >> 2;
+    const HeapEntry& p = heap_[parent];
+    if (!earlier(e, p)) break;
+    place(pos, p);
+    pos = parent;
+  }
+  place(pos, e);
+}
+
+void EventQueue::sift_down(std::size_t pos, HeapEntry e) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = (pos << 2) + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t end = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], e)) break;
+    place(pos, heap_[best]);
+    pos = best;
+  }
+  place(pos, e);
+}
+
+void EventQueue::sift_root_to_bottom(HeapEntry e) {
+  // Bottom-up pop: the hole's replacement is the heap's last (i.e. a late)
+  // entry, so instead of comparing it at every level, promote the minimum
+  // child all the way down and then bubble the replacement up from the
+  // bottom — it rarely moves.  ~25% fewer comparisons than a plain sift.
+  const std::size_t n = heap_.size();
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t first = (pos << 2) + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t end = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    place(pos, heap_[best]);
+    pos = best;
+  }
+  sift_up(pos, e);
 }
 
 }  // namespace dcp

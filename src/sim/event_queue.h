@@ -1,59 +1,112 @@
 #pragma once
-// A binary-heap event queue with stable FIFO ordering for simultaneous
-// events and lazy cancellation.
+// The allocation-free event queue at the bottom of every simulation.
+//
+// Design (rebuilt for throughput — see docs/architecture.md, "Simulator
+// core performance model"):
+//
+//   * Callbacks live in a chunked slab with a freelist.  Slots are
+//     recycled, never freed, so the steady-state schedule->fire path does
+//     not touch the allocator.  Chunks are stable in memory (no callback
+//     ever moves), which lets the heap refer to events by 32-bit slot
+//     index.
+//   * Callbacks are EventCallback (small-buffer optimized, move-only) —
+//     no per-event std::function heap allocation.
+//   * Ordering uses an index-tracked 4-ary min-heap whose entries carry
+//     the full (time, sequence) key inline: sifting compares contiguous
+//     24-byte records and never dereferences a slot.  The sequence number
+//     preserves FIFO order among simultaneous events.  A flat per-slot
+//     position array maps slots back into the heap, so cancel() removes
+//     an entry in place in O(log n): no tombstones, no hash-set lookups
+//     on pop, and next_time() is O(1).
+//   * EventIds are generation-stamped handles: (generation << 32) | slot+1.
+//     Firing or cancelling a slot bumps its generation, so double-cancel
+//     and cancel-after-fire are provably harmless no-ops — a stale handle
+//     can never hit a recycled slot.
 
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
+#include <memory>
 #include <vector>
 
+#include "sim/event_callback.h"
 #include "sim/time.h"
 
 namespace dcp {
 
-/// Handle for a scheduled event; used to cancel it.
+/// Handle for a scheduled event; used to cancel it.  Encodes the slot and
+/// its generation so stale handles are always detected.
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
 class EventQueue {
  public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
   /// Schedules `fn` to fire at absolute time `t`.  Events scheduled for the
   /// same instant fire in the order they were scheduled.
-  EventId push(Time t, std::function<void()> fn);
+  EventId push(Time t, EventCallback fn);
 
-  /// Cancels a pending event.  Cancelling an already-fired or invalid id is
-  /// a harmless no-op.  The entry stays in the heap until its firing time
-  /// (lazy removal), which is fine for the short-lived timers we cancel.
+  /// Cancels a pending event in place (O(log n)).  Cancelling an
+  /// already-fired, already-cancelled, or invalid id is a harmless no-op:
+  /// the generation stamp in the handle no longer matches the slot.
   void cancel(EventId id);
 
-  bool empty() const { return live_ == 0; }
-  std::size_t size() const { return live_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
 
-  /// Time of the earliest pending (non-cancelled) event; kTimeInfinity when
-  /// empty.
-  Time next_time();
+  /// Time of the earliest pending event; kTimeInfinity when empty.  O(1).
+  Time next_time() const { return heap_.empty() ? kTimeInfinity : heap_[0].t; }
 
   /// Pops the earliest event and runs it, setting `now` to its time first.
-  /// Returns false if the queue is empty.
+  /// Returns false if the queue is empty.  The event's slot is recycled
+  /// (generation bumped) before the callback runs, so the callback may
+  /// freely schedule and cancel — including its own, now stale, id.
   bool pop_and_run(Time& now);
 
- private:
-  struct Entry {
-    Time t;
-    EventId id;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      return a.t != b.t ? a.t > b.t : a.id > b.id;
-    }
-  };
-  void drop_cancelled_top();
+  /// Total event slots ever allocated (capacity, not live events) — lets
+  /// tests assert the slab stops growing under steady-state churn.
+  std::size_t slots_allocated() const { return gen_.size(); }
 
-  std::vector<Entry> heap_;  // maintained with std::push_heap/pop_heap
-  std::unordered_set<EventId> cancelled_;
-  EventId next_id_ = 1;
-  std::size_t live_ = 0;
+ private:
+  static constexpr std::uint32_t kChunkShift = 9;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;  // 512 events
+  static constexpr std::uint32_t kNoPos = UINT32_MAX;
+
+  /// Heap entries carry the full ordering key inline so sifting compares
+  /// contiguous records; only the per-slot position array is written while
+  /// entries move (one store per level).
+  struct HeapEntry {
+    Time t;
+    std::uint64_t seq;  // FIFO tie-break among equal times
+    std::uint32_t slot;
+  };
+
+  EventCallback& fn_of(std::uint32_t idx) {
+    return chunks_[idx >> kChunkShift][idx & (kChunkSize - 1)];
+  }
+
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    return a.t != b.t ? a.t < b.t : a.seq < b.seq;
+  }
+
+  void grow();
+  void place(std::size_t pos, const HeapEntry& e) {
+    heap_[pos] = e;
+    pos_[e.slot] = static_cast<std::uint32_t>(pos);
+  }
+  void release(std::uint32_t idx);         // recycle a slot (bumps generation)
+  void remove_from_heap(std::size_t pos);  // detach heap_[pos], restore heap
+  void sift_up(std::size_t pos, HeapEntry e);
+  void sift_down(std::size_t pos, HeapEntry e);
+  void sift_root_to_bottom(HeapEntry e);   // pop path: promote mins, then up
+
+  std::vector<std::unique_ptr<EventCallback[]>> chunks_;  // stable storage
+  std::vector<std::uint32_t> gen_;   // per-slot generation stamp
+  std::vector<std::uint32_t> pos_;   // per-slot heap position (kNoPos = free)
+  std::vector<std::uint32_t> free_;  // recycled slot indices
+  std::vector<HeapEntry> heap_;      // 4-ary min-heap
+  std::uint64_t next_seq_ = 1;
 };
 
 }  // namespace dcp

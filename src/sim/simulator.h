@@ -6,9 +6,9 @@
 // can run side by side in one process.
 
 #include <cstdint>
-#include <functional>
 #include <limits>
 
+#include "sim/event_callback.h"
 #include "sim/event_queue.h"
 #include "sim/time.h"
 
@@ -22,13 +22,14 @@ class Simulator {
 
   Time now() const { return now_; }
 
-  /// Schedules `fn` to run `delay` from now.  Contract: an EventId must not
-  /// be cancelled after its event has fired (callers null their stored ids
-  /// inside the callback).
-  EventId schedule(Time delay, std::function<void()> fn) {
+  /// Schedules `fn` to run `delay` from now.  Generation-stamped EventIds
+  /// make cancelling an already-fired id a harmless no-op, though callers
+  /// still null their stored ids inside callbacks for their own state
+  /// machines' sake.
+  EventId schedule(Time delay, EventCallback fn) {
     return queue_.push(now_ + delay, std::move(fn));
   }
-  EventId schedule_at(Time t, std::function<void()> fn) {
+  EventId schedule_at(Time t, EventCallback fn) {
     return queue_.push(t < now_ ? now_ : t, std::move(fn));
   }
   void cancel(EventId id) { queue_.cancel(id); }
@@ -42,8 +43,8 @@ class Simulator {
   /// Stops a `run()` in progress after the current event returns.
   void stop() { stopped_ = true; }
 
-  bool idle() { return queue_.empty(); }
-  Time next_event_time() { return queue_.next_time(); }
+  bool idle() const { return queue_.empty(); }
+  Time next_event_time() const { return queue_.next_time(); }
   std::uint64_t events_processed() const { return events_processed_; }
 
  private:

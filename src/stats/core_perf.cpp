@@ -1,0 +1,51 @@
+#include "stats/core_perf.h"
+
+#include <cstdio>
+
+#include "sim/simulator.h"
+
+namespace dcp {
+
+CorePerfTimer::CorePerfTimer(const Simulator& sim)
+    : sim_(sim),
+      events_at_start_(sim.events_processed()),
+      wall_start_(std::chrono::steady_clock::now()) {}
+
+CorePerf CorePerfTimer::finish() const {
+  CorePerf p;
+  p.events_processed = sim_.events_processed() - events_at_start_;
+  p.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start_).count();
+  return p;
+}
+
+bool export_core_perf_json(const std::string& path, const std::vector<CorePerfEntry>& entries) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const CorePerfEntry& e = entries[i];
+    std::fprintf(f,
+                 "    {\n"
+                 "      \"name\": \"%s\",\n"
+                 "      \"events_processed\": %llu,\n"
+                 "      \"wall_seconds\": %.6f,\n"
+                 "      \"events_per_sec\": %.0f",
+                 e.name.c_str(), static_cast<unsigned long long>(e.perf.events_processed),
+                 e.perf.wall_seconds, e.perf.events_per_sec());
+    if (e.baseline_events_per_sec > 0.0) {
+      std::fprintf(f,
+                   ",\n"
+                   "      \"seed_events_per_sec\": %.0f,\n"
+                   "      \"speedup_vs_seed\": %.2f",
+                   e.baseline_events_per_sec,
+                   e.perf.events_per_sec() / e.baseline_events_per_sec);
+    }
+    std::fprintf(f, "\n    }%s\n", i + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace dcp

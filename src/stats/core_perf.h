@@ -1,0 +1,54 @@
+#pragma once
+// Simulator-core performance accounting: how fast the substrate itself
+// chews through events, independent of what the experiment measures.
+// Every harness runner fills one of these so regressions in the event
+// core show up in any experiment, and bench_core emits them as
+// BENCH_core.json for before/after comparisons.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcp {
+
+class Simulator;
+
+/// Events processed and wall-clock time of one simulation run.
+struct CorePerf {
+  std::uint64_t events_processed = 0;
+  double wall_seconds = 0.0;
+
+  double events_per_sec() const {
+    return wall_seconds > 0.0 ? static_cast<double>(events_processed) / wall_seconds : 0.0;
+  }
+};
+
+/// Measures a window of simulation: construct before run(), call finish()
+/// after.  Captures the event-count delta so nested/partial runs compose.
+class CorePerfTimer {
+ public:
+  explicit CorePerfTimer(const Simulator& sim);
+
+  /// Stops the clock and returns the window's CorePerf.
+  CorePerf finish() const;
+
+ private:
+  const Simulator& sim_;
+  std::uint64_t events_at_start_;
+  std::chrono::steady_clock::time_point wall_start_;
+};
+
+/// One named measurement in BENCH_core.json, optionally with the baseline
+/// (seed) throughput recorded alongside for a speedup column.
+struct CorePerfEntry {
+  std::string name;
+  CorePerf perf;
+  double baseline_events_per_sec = 0.0;  // 0 = no recorded baseline
+};
+
+/// Writes entries as a JSON document ({"benchmarks": [...]}).  Returns
+/// false if the file could not be opened.
+bool export_core_perf_json(const std::string& path, const std::vector<CorePerfEntry>& entries);
+
+}  // namespace dcp

@@ -32,14 +32,14 @@ void Switch::set_link_up(std::uint32_t port, bool up) {
   for (bool u : port_up_) any_port_down_ = any_port_down_ || !u;
 }
 
-void Switch::receive(Packet pkt, std::uint32_t in_port) {
-  maybe_trace(pkt, in_port);
-  if (pkt.type == PktType::kPfcPause || pkt.type == PktType::kPfcResume) {
-    handle_pfc(pkt, in_port);
+void Switch::receive(PacketPtr pkt, std::uint32_t in_port) {
+  maybe_trace(*pkt, in_port);
+  if (pkt->type == PktType::kPfcPause || pkt->type == PktType::kPfcResume) {
+    handle_pfc(*pkt, in_port);
     return;
   }
 
-  const std::vector<std::uint32_t>* candidates = &routes_.candidates(pkt.dst);
+  const std::vector<std::uint32_t>* candidates = &routes_.candidates(pkt->dst);
   std::vector<std::uint32_t> alive;
   if (any_port_down_) {
     // Failure detection has withdrawn the dead links from the candidate
@@ -54,7 +54,7 @@ void Switch::receive(Packet pkt, std::uint32_t in_port) {
     return;
   }
   const std::uint32_t eport = select_port(
-      cfg_.lb, pkt, *candidates,
+      cfg_.lb, *pkt, *candidates,
       [this](std::uint32_t p) {
         return ports_[p]->queued_bytes(static_cast<int>(QueueClass::kData));
       },
@@ -62,10 +62,10 @@ void Switch::receive(Packet pkt, std::uint32_t in_port) {
 
   // Forced loss (testbed experiments): the P4 switch trims DCP data packets
   // and plainly drops everything else.
-  if (cfg_.inject_loss_rate > 0.0 && pkt.type == PktType::kData &&
+  if (cfg_.inject_loss_rate > 0.0 && pkt->type == PktType::kData &&
       rng_.chance(cfg_.inject_loss_rate)) {
-    if (cfg_.trimming && pkt.tag == DcpTag::kData) {
-      trim_to_header_only(pkt);
+    if (cfg_.trimming && pkt->tag == DcpTag::kData) {
+      trim_to_header_only(*pkt);
       stats_.injected_trims++;
       // falls through to egress enqueue as a header-only packet
     } else {
@@ -100,16 +100,16 @@ bool Switch::ecn_mark_decision(std::uint64_t qbytes) {
   return rng_.chance(p);
 }
 
-void Switch::egress_enqueue(Packet pkt, std::uint32_t eport, std::uint32_t in_port) {
+void Switch::egress_enqueue(PacketPtr pkt, std::uint32_t eport, std::uint32_t in_port) {
   Port& port = *ports_[eport];
-  pkt.acct_in_port = in_port;
+  pkt->acct_in_port = in_port;
 
   // Header-only packets always ride the control queue, at any depth; losing
   // one breaks the lossless-control-plane property and is counted.
-  if (pkt.queue_class == QueueClass::kControl || pkt.type == PktType::kHeaderOnly) {
-    pkt.queue_class = QueueClass::kControl;
+  if (pkt->queue_class == QueueClass::kControl || pkt->type == PktType::kHeaderOnly) {
+    pkt->queue_class = QueueClass::kControl;
     if (!buffer_.alloc(in_port, static_cast<std::uint8_t>(QueueClass::kControl),
-                       pkt.wire_bytes)) {
+                       pkt->wire_bytes)) {
       stats_.dropped_ho++;
       return;
     }
@@ -125,12 +125,12 @@ void Switch::egress_enqueue(Packet pkt, std::uint32_t eport, std::uint32_t in_po
                     : (cfg_.pfc.enabled ? UINT64_MAX : cfg_.max_data_queue_bytes);
 
   if (qbytes >= threshold) {
-    if (cfg_.trimming && pkt.tag == DcpTag::kData && pkt.type == PktType::kData) {
+    if (cfg_.trimming && pkt->tag == DcpTag::kData && pkt->type == PktType::kData) {
       // Paper §4.2: trim the payload, flip the DCP tag to 11, and enqueue
       // the 57-byte remainder into the control queue.
-      trim_to_header_only(pkt);
+      trim_to_header_only(*pkt);
       if (!buffer_.alloc(in_port, static_cast<std::uint8_t>(QueueClass::kControl),
-                         pkt.wire_bytes)) {
+                         pkt->wire_bytes)) {
         stats_.dropped_ho++;
         return;
       }
@@ -141,7 +141,7 @@ void Switch::egress_enqueue(Packet pkt, std::uint32_t eport, std::uint32_t in_po
       return;
     }
     // Non-DCP and DCP-ACK packets are dropped above the threshold (§4.2).
-    if (pkt.type == PktType::kData) {
+    if (pkt->type == PktType::kData) {
       stats_.dropped_data++;
     } else {
       stats_.dropped_ctrl++;
@@ -150,15 +150,15 @@ void Switch::egress_enqueue(Packet pkt, std::uint32_t eport, std::uint32_t in_po
     return;
   }
 
-  if (!buffer_.alloc(in_port, static_cast<std::uint8_t>(QueueClass::kData), pkt.wire_bytes)) {
+  if (!buffer_.alloc(in_port, static_cast<std::uint8_t>(QueueClass::kData), pkt->wire_bytes)) {
     stats_.dropped_buffer_full++;
-    if (pkt.type == PktType::kData) stats_.dropped_data++;
+    if (pkt->type == PktType::kData) stats_.dropped_data++;
     if (cfg_.pfc.enabled) stats_.lossless_violations++;
     return;
   }
 
-  if (pkt.ecn_capable && ecn_mark_decision(qbytes)) {
-    pkt.ecn_ce = true;
+  if (pkt->ecn_capable && ecn_mark_decision(qbytes)) {
+    pkt->ecn_ce = true;
     stats_.ecn_marked++;
   }
 

@@ -96,11 +96,12 @@ class Switch final : public Node {
   void set_link_up(std::uint32_t port, bool up);
   bool link_up(std::uint32_t port) const { return port_up_[port]; }
 
-  void receive(Packet pkt, std::uint32_t in_port) override;
+  using Node::receive;
+  void receive(PacketPtr pkt, std::uint32_t in_port) override;
 
  private:
   void handle_pfc(const Packet& pkt, std::uint32_t in_port);
-  void egress_enqueue(Packet pkt, std::uint32_t eport, std::uint32_t in_port);
+  void egress_enqueue(PacketPtr pkt, std::uint32_t eport, std::uint32_t in_port);
   void on_port_dequeue(const Packet& pkt);
   bool ecn_mark_decision(std::uint64_t qbytes);
   void trim_to_header_only(Packet& pkt) const;

@@ -100,14 +100,17 @@ void TcpLiteSender::handle_ack(const Packet& pkt) {
 void TcpLiteSender::on_packet(Packet pkt) {
   if (pkt.type != PktType::kAck) return;
   // Kernel processing latency before the ACK reaches the TCP state machine.
-  sim_.schedule(cfg_.sw_stack_delay / 2, [this, pkt] { handle_ack(pkt); });
+  // Pool the packet so the deferred closure stays within the event's
+  // inline capture budget (a by-value Packet would heap-allocate).
+  sim_.schedule(cfg_.sw_stack_delay / 2,
+                [this, p = PacketPtr::make(std::move(pkt))] { handle_ack(*p); });
 }
 
 void TcpLiteReceiver::on_packet(Packet pkt) {
   if (pkt.type != PktType::kData) return;
   // Kernel receive path latency (interrupt + softirq + socket copy).
-  sim_.schedule(cfg_.sw_stack_delay / 2, [this, p = std::move(pkt)]() mutable {
-    process(std::move(p));
+  sim_.schedule(cfg_.sw_stack_delay / 2, [this, p = PacketPtr::make(std::move(pkt))]() mutable {
+    process(std::move(*p));
   });
 }
 

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -63,6 +64,91 @@ TEST(EventQueue, CancelInvalidIdIsNoop) {
   q.cancel(kInvalidEvent);
   q.cancel(12345);  // never scheduled
   EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, DoubleCancelIsHarmless) {
+  // Regression: with raw counter ids, cancelling twice could kill an
+  // unrelated event that had reused the id's slot.  Generation-stamped
+  // handles make the second cancel a provable no-op.
+  EventQueue q;
+  int fired = 0;
+  const EventId a = q.push(10, [&] { fired += 1; });
+  q.push(20, [&] { fired += 10; });
+  q.cancel(a);
+  q.cancel(a);  // stale: generation already bumped
+  // New event reuses a's slot; the stale handle must not be able to touch it.
+  q.push(30, [&] { fired += 100; });
+  q.cancel(a);
+  Time now = 0;
+  while (q.pop_and_run(now)) {
+  }
+  EXPECT_EQ(fired, 110);
+}
+
+TEST(EventQueue, CancelAfterFireWithSlotReuse) {
+  EventQueue q;
+  int fired = 0;
+  const EventId a = q.push(10, [&] { fired += 1; });
+  Time now = 0;
+  ASSERT_TRUE(q.pop_and_run(now));  // a fires; its slot is recycled
+  const EventId b = q.push(20, [&] { fired += 10; });  // reuses the slot
+  EXPECT_NE(a, b);                                     // generation differs
+  q.cancel(a);                                         // must not cancel b
+  while (q.pop_and_run(now)) {
+  }
+  EXPECT_EQ(fired, 11);
+}
+
+TEST(EventQueue, CancelOwnIdInsideCallbackIsHarmless) {
+  EventQueue q;
+  int fired = 0;
+  EventId self = kInvalidEvent;
+  self = q.push(10, [&] {
+    fired++;
+    q.cancel(self);  // already fired: stale, no-op
+  });
+  q.push(20, [&] { fired += 10; });
+  Time now = 0;
+  while (q.pop_and_run(now)) {
+  }
+  EXPECT_EQ(fired, 11);
+}
+
+TEST(EventQueue, SlabStopsGrowingUnderChurn) {
+  // Steady-state schedule/cancel/fire churn must recycle slots, not grow
+  // the slab: capacity plateaus at the high-water mark (one 512 chunk).
+  EventQueue q;
+  Time now = 0;
+  std::int64_t t = 0;
+  for (int i = 0; i < 256; ++i) q.push(++t, [] {});
+  const std::size_t plateau = q.slots_allocated();
+  for (int i = 0; i < 100'000; ++i) {
+    const EventId id = q.push(++t, [] {});
+    if (i % 3 == 0) {
+      q.cancel(id);
+    } else {
+      q.pop_and_run(now);
+    }
+  }
+  EXPECT_EQ(q.slots_allocated(), plateau);
+}
+
+TEST(EventCallback, MoveOnlyCaptureAndHeapFallbackCounting) {
+  // Small captures stay inline; captures beyond kInlineSize take the
+  // (counted) heap path.  Move-only captures work in either case, which
+  // std::function could not express.
+  auto small_ptr = std::make_unique<int>(7);
+  EventCallback small([p = std::move(small_ptr)] { (*p)++; });
+  const std::uint64_t before = EventCallback::heap_fallback_count();
+  struct Big {
+    char bytes[96];
+  };
+  EventCallback big([b = Big{}] { (void)b; });
+  EXPECT_EQ(EventCallback::heap_fallback_count(), before + 1);
+  small();
+  big();
+  EventCallback moved = std::move(small);
+  moved();
 }
 
 TEST(EventQueue, SizeTracksLiveEvents) {

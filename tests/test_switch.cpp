@@ -13,7 +13,8 @@ namespace {
 class SinkNode final : public Node {
  public:
   SinkNode(Simulator& sim, Logger& log, NodeId id) : Node(sim, log, id, "sink") {}
-  void receive(Packet pkt, std::uint32_t) override { arrivals.push_back(std::move(pkt)); }
+  using Node::receive;
+  void receive(PacketPtr pkt, std::uint32_t) override { arrivals.push_back(std::move(*pkt)); }
   std::vector<Packet> arrivals;
 };
 
