@@ -6,9 +6,11 @@
 // based, needs no switch support at all), plus IRN+DCQCN for reference.
 
 #include <cstdio>
+#include <vector>
 
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/sweep.h"
 
 using namespace dcp;
 
@@ -63,16 +65,25 @@ int main() {
       {"IRN + DCQCN", SchemeKind::kIrn, true, CcConfig::Type::kDcqcn},
   };
 
+  SweepRunner pool;
+  CorePerfAggregator agg;
+  std::vector<WebSearchResult> results = pool.run(std::size(cfgs), [&](std::size_t i) {
+    WebSearchResult r = run_one(cfgs[i].k, cfgs[i].cc, cfgs[i].type);
+    agg.add(r.core);
+    return r;
+  });
+
   Table t({"Configuration", "P50", "P95", "P99", "Trims", "RTOs"});
-  for (const Cfg& c : cfgs) {
-    WebSearchResult r = run_one(c.k, c.cc, c.type);
-    t.add_row({c.label, Table::num(r.background.overall().percentile(50), 2),
+  for (std::size_t i = 0; i < std::size(cfgs); ++i) {
+    WebSearchResult& r = results[i];
+    t.add_row({cfgs[i].label, Table::num(r.background.overall().percentile(50), 2),
                Table::num(r.background.overall().percentile(95), 2),
                Table::num(r.background.overall().percentile(99), 2),
                std::to_string(r.sw.trimmed),
                std::to_string(r.timeouts_background + r.timeouts_incast)});
   }
   t.print();
+  report_sweep(pool, agg);
 
   std::printf("\nDCP's retransmission path is identical under every controller — only\n"
               "the pacing changes.  Both DCQCN and TIMELY tame the incast trim storms\n"

@@ -5,9 +5,11 @@
 // get worse with more reordering stages.
 
 #include <cstdio>
+#include <vector>
 
 #include "harness/report.h"
 #include "harness/scheme.h"
+#include "harness/sweep.h"
 #include "stats/fct_stats.h"
 #include "topo/clos.h"
 #include "topo/fattree.h"
@@ -23,6 +25,7 @@ struct Row {
   std::uint64_t retx = 0;
   std::uint64_t timeouts = 0;
   bool all_done = false;
+  CorePerf core;
 };
 
 Row harvest(Network& net) {
@@ -66,8 +69,11 @@ Row run(SchemeKind kind, bool fattree) {
   fg.num_flows = full_scale() ? 4000 : 400;
   fg.msg_bytes = 4 * 1024 * 1024;
   generate_poisson_flows(net, hosts, SizeDist::websearch(), fg);
+  CorePerfTimer timer(sim);
   net.run_until_done(seconds(10));
-  return harvest(net);
+  Row r = harvest(net);
+  r.core = timer.finish();
+  return r;
 }
 
 }  // namespace
@@ -75,21 +81,32 @@ Row run(SchemeKind kind, bool fattree) {
 int main() {
   banner("Ablation: CLOS (2-tier) vs fat-tree (3-tier), WebSearch 0.5");
 
-  Table t({"Scheme / topology", "P50", "P95", "Retransmissions", "RTOs", "All done"});
   struct Cfg {
     const char* label;
     SchemeKind k;
     bool ft;
   };
-  for (const Cfg c : {Cfg{"DCP  / CLOS", SchemeKind::kDcp, false},
+  const Cfg cfgs[] = {Cfg{"DCP  / CLOS", SchemeKind::kDcp, false},
                       Cfg{"DCP  / fat-tree", SchemeKind::kDcp, true},
                       Cfg{"IRN  / CLOS", SchemeKind::kIrn, false},
-                      Cfg{"IRN  / fat-tree", SchemeKind::kIrn, true}}) {
-    const Row r = run(c.k, c.ft);
-    t.add_row({c.label, Table::num(r.p50, 2), Table::num(r.p95, 2), std::to_string(r.retx),
+                      Cfg{"IRN  / fat-tree", SchemeKind::kIrn, true}};
+
+  SweepRunner pool;
+  CorePerfAggregator agg;
+  const std::vector<Row> rows = pool.run(std::size(cfgs), [&](std::size_t i) {
+    Row r = run(cfgs[i].k, cfgs[i].ft);
+    agg.add(r.core);
+    return r;
+  });
+
+  Table t({"Scheme / topology", "P50", "P95", "Retransmissions", "RTOs", "All done"});
+  for (std::size_t i = 0; i < std::size(cfgs); ++i) {
+    const Row& r = rows[i];
+    t.add_row({cfgs[i].label, Table::num(r.p50, 2), Table::num(r.p95, 2), std::to_string(r.retx),
                std::to_string(r.timeouts), r.all_done ? "yes" : "NO"});
   }
   t.print();
+  report_sweep(pool, agg);
 
   std::printf("\nDCP never retransmits without loss on either fabric (R2 holds at any\n"
               "depth); IRN's spurious retransmissions grow with the extra reordering\n"

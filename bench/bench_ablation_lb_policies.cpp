@@ -7,9 +7,11 @@
 // IRN's loss recovery misreads the reordering they create.
 
 #include <cstdio>
+#include <vector>
 
 #include "harness/report.h"
 #include "harness/scheme.h"
+#include "harness/sweep.h"
 #include "stats/fct_stats.h"
 #include "topo/clos.h"
 #include "workload/flowgen.h"
@@ -23,6 +25,7 @@ struct Row {
   double p95 = 0.0;
   std::uint64_t retx = 0;
   std::uint64_t timeouts = 0;
+  CorePerf core;
 };
 
 Row run(SchemeKind kind, LbPolicy lb) {
@@ -44,9 +47,11 @@ Row run(SchemeKind kind, LbPolicy lb) {
   fg.num_flows = full_scale() ? 4000 : 400;
   fg.msg_bytes = 4 * 1024 * 1024;
   generate_poisson_flows(net, topo.hosts, SizeDist::websearch(), fg);
+  CorePerfTimer timer(sim);
   net.run_until_done(seconds(5));
 
   Row r;
+  r.core = timer.finish();
   FctStats st;
   for (const FlowRecord& rec : net.records()) {
     if (!rec.complete()) continue;
@@ -73,24 +78,43 @@ const char* lb_name(LbPolicy lb) {
 }  // namespace
 
 int main() {
+  // One sweep covers both tables: 4 DCP policies then 3 IRN contrasts.
+  struct Trial {
+    SchemeKind k;
+    LbPolicy lb;
+  };
+  const Trial trials[] = {
+      {SchemeKind::kDcp, LbPolicy::kEcmp},  {SchemeKind::kDcp, LbPolicy::kFlowlet},
+      {SchemeKind::kDcp, LbPolicy::kSpray}, {SchemeKind::kDcp, LbPolicy::kAdaptive},
+      {SchemeKind::kIrn, LbPolicy::kEcmp},  {SchemeKind::kIrn, LbPolicy::kSpray},
+      {SchemeKind::kIrn, LbPolicy::kAdaptive}};
+
+  SweepRunner pool;
+  CorePerfAggregator agg;
+  const std::vector<Row> rows = pool.run(std::size(trials), [&](std::size_t i) {
+    Row r = run(trials[i].k, trials[i].lb);
+    agg.add(r.core);
+    return r;
+  });
+
   banner("Ablation: DCP under every load-balancing policy (WebSearch 0.5)");
   Table t({"LB policy", "P50", "P95", "Retransmissions", "RTOs"});
-  for (LbPolicy lb :
-       {LbPolicy::kEcmp, LbPolicy::kFlowlet, LbPolicy::kSpray, LbPolicy::kAdaptive}) {
-    const Row r = run(SchemeKind::kDcp, lb);
-    t.add_row({lb_name(lb), Table::num(r.p50, 2), Table::num(r.p95, 2), std::to_string(r.retx),
-               std::to_string(r.timeouts)});
+  for (std::size_t i = 0; i < 4; ++i) {
+    const Row& r = rows[i];
+    t.add_row({lb_name(trials[i].lb), Table::num(r.p50, 2), Table::num(r.p95, 2),
+               std::to_string(r.retx), std::to_string(r.timeouts)});
   }
   t.print();
 
   banner("Contrast: IRN under packet-level policies (spurious retransmissions)");
   Table c({"Scheme+LB", "P50", "P95", "Retransmissions", "RTOs"});
-  for (LbPolicy lb : {LbPolicy::kEcmp, LbPolicy::kSpray, LbPolicy::kAdaptive}) {
-    const Row r = run(SchemeKind::kIrn, lb);
-    c.add_row({std::string("IRN+") + lb_name(lb), Table::num(r.p50, 2), Table::num(r.p95, 2),
-               std::to_string(r.retx), std::to_string(r.timeouts)});
+  for (std::size_t i = 4; i < std::size(trials); ++i) {
+    const Row& r = rows[i];
+    c.add_row({std::string("IRN+") + lb_name(trials[i].lb), Table::num(r.p50, 2),
+               Table::num(r.p95, 2), std::to_string(r.retx), std::to_string(r.timeouts)});
   }
   c.print();
+  report_sweep(pool, agg);
 
   std::printf("\nDCP's retransmission count is loss-only under every policy (R2); IRN\n"
               "retransmits spuriously as soon as the policy reorders packets, and the\n"

@@ -8,9 +8,11 @@
 // and sweep the batch size.
 
 #include <cstdio>
+#include <vector>
 
 #include "harness/report.h"
 #include "harness/scheme.h"
+#include "harness/sweep.h"
 #include "core/dcp_transport.h"
 #include "topo/testbed.h"
 
@@ -22,6 +24,7 @@ struct Result {
   double goodput_gbps = 0.0;
   std::uint64_t pcie_fetches = 0;
   std::uint64_t retx = 0;
+  CorePerf core;
 };
 
 Result run(std::uint32_t batch, Time pcie_rtt) {
@@ -43,9 +46,11 @@ Result run(std::uint32_t batch, Time pcie_rtt) {
   spec.bytes = full_scale() ? 100ull * 1000 * 1000 : 20ull * 1000 * 1000;
   spec.msg_bytes = 4 * 1024 * 1024;
   const FlowId id = net.start_flow(spec);
+  CorePerfTimer timer(sim);
   net.run_until_done(seconds(2));
 
   Result r;
+  r.core = timer.finish();
   const FlowRecord& rec = net.record(id);
   if (rec.complete()) {
     r.goodput_gbps = static_cast<double>(rec.spec.bytes) * 8.0 /
@@ -64,17 +69,27 @@ Result run(std::uint32_t batch, Time pcie_rtt) {
 int main() {
   banner("Ablation: RetransQ PCIe batch size (long flow, 50% forced trimming)");
 
+  const std::uint32_t batches[] = {1u, 2u, 4u, 8u, 16u, 64u};
+  SweepRunner pool;
+  CorePerfAggregator agg;
+  const std::vector<Result> results = pool.run(std::size(batches), [&](std::size_t i) {
+    Result r = run(batches[i], microseconds(2));
+    agg.add(r.core);
+    return r;
+  });
+
   Table t({"Batch", "Goodput (Gbps)", "PCIe fetches", "HO retransmissions",
            "Retx per fetch"});
-  for (std::uint32_t b : {1u, 2u, 4u, 8u, 16u, 64u}) {
-    const Result r = run(b, microseconds(2));
-    t.add_row({std::to_string(b), Table::num(r.goodput_gbps, 2), std::to_string(r.pcie_fetches),
-               std::to_string(r.retx),
+  for (std::size_t i = 0; i < std::size(batches); ++i) {
+    const Result& r = results[i];
+    t.add_row({std::to_string(batches[i]), Table::num(r.goodput_gbps, 2),
+               std::to_string(r.pcie_fetches), std::to_string(r.retx),
                r.pcie_fetches > 0
                    ? Table::num(static_cast<double>(r.retx) / static_cast<double>(r.pcie_fetches), 1)
                    : "-"});
   }
   t.print();
+  report_sweep(pool, agg);
 
   std::printf("\nSmall batches pay one 2-us PCIe round trip per retransmitted packet and\n"
               "goodput under loss drops accordingly; the paper's batch of 16 (= the\n"

@@ -7,9 +7,11 @@
 // like a lossy fabric that rarely trims.
 
 #include <cstdio>
+#include <vector>
 
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/sweep.h"
 
 using namespace dcp;
 
@@ -40,9 +42,11 @@ WebSearchResult run(std::uint64_t threshold) {
   inc.load = 0.05;
   inc.bytes_per_sender = 256 * 1024;
   generate_incast(net, topo.hosts, inc);
+  CorePerfTimer timer(sim);
   net.run_until_done(seconds(5));
 
   WebSearchResult r;
+  r.core = timer.finish();
   for (const FlowRecord& rec : net.records()) {
     if (!rec.complete()) continue;
     const Time ideal = net.ideal_fct(rec.spec.src, rec.spec.dst, rec.spec.bytes);
@@ -63,15 +67,27 @@ WebSearchResult run(std::uint64_t threshold) {
 int main() {
   banner("Ablation: trim threshold (WebSearch 0.5 + incast 0.05, DCP)");
 
+  const std::uint64_t thresholds[] = {64ull * 1024, 256ull * 1024, 1024ull * 1024,
+                                      4096ull * 1024};
+  SweepRunner pool;
+  CorePerfAggregator agg;
+  std::vector<WebSearchResult> results = pool.run(std::size(thresholds), [&](std::size_t i) {
+    WebSearchResult r = run(thresholds[i]);
+    agg.add(r.core);
+    return r;
+  });
+
   Table t({"Threshold", "P50", "P99", "Trims", "ACK drops", "RTOs"});
-  for (std::uint64_t th : {64ull * 1024, 256ull * 1024, 1024ull * 1024, 4096ull * 1024}) {
-    WebSearchResult r = run(th);
+  for (std::size_t i = 0; i < std::size(thresholds); ++i) {
+    const std::uint64_t th = thresholds[i];
+    WebSearchResult& r = results[i];
     t.add_row({Table::bytes_human(th), Table::num(r.background.overall().percentile(50), 2),
                Table::num(r.background.overall().percentile(99), 2), std::to_string(r.sw.trimmed),
                std::to_string(r.sw.dropped_ctrl),
                std::to_string(r.timeouts_background + r.timeouts_incast)});
   }
   t.print();
+  report_sweep(pool, agg);
 
   std::printf("\nShallower thresholds trim more and drop more DCP ACKs (which must be\n"
               "healed by receiver keepalives or the coarse timeout); the default (1 MB,\n"

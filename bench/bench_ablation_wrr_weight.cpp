@@ -8,9 +8,11 @@
 // bandwidth.
 
 #include <cstdio>
+#include <vector>
 
 #include "harness/report.h"
 #include "harness/scheme.h"
+#include "harness/sweep.h"
 #include "switch/scheduler.h"
 #include "topo/dumbbell.h"
 
@@ -24,6 +26,7 @@ struct Result {
   std::uint64_t trims = 0;
   std::uint64_t max_ctrl_queue = 0;  // peak control-queue backlog (bytes)
   bool all_done = false;
+  CorePerf core;
 };
 
 Result run(double weight, int fan_in) {
@@ -46,9 +49,11 @@ Result run(double weight, int fan_in) {
     spec.msg_bytes = 512 * 1024;
     net.start_flow(spec);
   }
+  CorePerfTimer timer(sim);
   net.run_until_done(seconds(10));
 
   Result r;
+  r.core = timer.finish();
   r.all_done = net.all_flows_done();
   for (const auto& swp : net.switches()) {
     for (std::uint32_t pi = 0; pi < swp->num_ports(); ++pi) {
@@ -76,10 +81,20 @@ int main() {
   const double r_ratio = 1073.0 / 57.0;
   const double formula = wrr_control_weight(fan_in + 1, r_ratio, 4.0);
 
+  const double weights[] = {0.01, 0.05, 0.25, 1.0, formula, 16.0};
+  SweepRunner pool;
+  CorePerfAggregator agg;
+  const std::vector<Result> results = pool.run(std::size(weights), [&](std::size_t i) {
+    Result res = run(weights[i], fan_in);
+    agg.add(res.core);
+    return res;
+  });
+
   Table t({"Weight (ctl:data)", "HO loss", "Peak ctl queue", "Trims", "Worst FCT (ms)",
            "All flows done"});
-  for (double w : {0.01, 0.05, 0.25, 1.0, formula, 16.0}) {
-    const Result res = run(w, fan_in);
+  for (std::size_t i = 0; i < std::size(weights); ++i) {
+    const double w = weights[i];
+    const Result& res = results[i];
     char lbl[32];
     std::snprintf(lbl, sizeof(lbl), w == formula ? "%.2f (formula)" : "%.2f", w);
     t.add_row({lbl, Table::num(res.ho_loss * 100, 3) + "%",
@@ -87,6 +102,7 @@ int main() {
                Table::num(res.worst_fct_ms, 2), res.all_done ? "yes" : "NO"});
   }
   t.print();
+  report_sweep(pool, agg);
 
   std::printf("\nThe formula weight keeps the control backlog to a couple of HO packets;\n"
               "small weights let HOs pool (throttling recovery - self-limiting at this\n"

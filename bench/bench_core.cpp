@@ -8,8 +8,10 @@
 // before/after comparison the numbers in docs/architecture.md come from.
 
 #include <cstdio>
+#include <vector>
 
 #include "harness/experiment.h"
+#include "harness/sweep.h"
 #include "sim/event_queue.h"
 #include "stats/core_perf.h"
 #include "topo/network.h"
@@ -83,6 +85,56 @@ CorePerf harness_websearch() {
   return run_websearch(p).core;
 }
 
+/// Digest of one trial for the serial-vs-parallel identity check.
+struct TrialDigest {
+  std::uint64_t events = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  std::size_t completed = 0;
+
+  bool operator==(const TrialDigest&) const = default;
+};
+
+/// An 8-trial seed sweep of the harness websearch run, executed with
+/// `jobs` workers.  Returns per-trial digests (trial-indexed, so the
+/// serial and parallel vectors compare element-wise).
+std::vector<TrialDigest> suite_sweep(unsigned jobs, double* wall_seconds) {
+  SweepRunner pool(jobs);
+  pool.set_progress(false);
+  std::vector<TrialDigest> out = pool.run(8, [](std::size_t i) {
+    WebSearchParams p;
+    p.clos.spines = 2;
+    p.clos.leaves = 2;
+    p.clos.hosts_per_leaf = 4;
+    p.load = 0.4;
+    p.num_flows = 250;
+    p.seed = 100 + i;  // 8 independent replications
+    WebSearchResult r = run_websearch(p);
+    TrialDigest d;
+    d.events = r.core.events_processed;
+    d.p50 = r.background.overall().percentile(50);
+    d.p95 = r.background.overall().percentile(95);
+    d.completed = r.flows_completed;
+    return d;
+  });
+  *wall_seconds = pool.last_wall_seconds();
+  return out;
+}
+
+/// Serial vs parallel wall clock over the same 8 trials — the
+/// "suite_parallel" entry in BENCH_core.json.  On a single-core host the
+/// speedup sits near 1.0x; it scales with cores because trials share no
+/// mutable state.
+SuiteParallelEntry suite_parallel() {
+  SuiteParallelEntry s;
+  s.trials = 8;
+  s.jobs = sweep_jobs();
+  const std::vector<TrialDigest> serial = suite_sweep(1, &s.serial_wall_seconds);
+  const std::vector<TrialDigest> parallel = suite_sweep(s.jobs, &s.parallel_wall_seconds);
+  s.bit_identical = serial == parallel;
+  return s;
+}
+
 }  // namespace
 
 int main() {
@@ -102,7 +154,14 @@ int main() {
     }
     std::printf("\n");
   }
-  const bool ok = export_core_perf_json("BENCH_core.json", entries);
+
+  const SuiteParallelEntry suite = suite_parallel();
+  std::printf("%-32s trials=%zu jobs=%u serial=%.3fs parallel=%.3fs speedup=%.2fx%s\n",
+              "suite_parallel", suite.trials, suite.jobs, suite.serial_wall_seconds,
+              suite.parallel_wall_seconds, suite.speedup(),
+              suite.bit_identical ? "" : "  RESULTS DIVERGED");
+
+  const bool ok = export_core_perf_json("BENCH_core.json", entries, &suite);
   std::printf("BENCH_core.json %s\n", ok ? "written" : "FAILED");
-  return ok ? 0 : 1;
+  return (ok && suite.bit_identical) ? 0 : 1;
 }

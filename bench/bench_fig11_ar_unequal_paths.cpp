@@ -1,33 +1,61 @@
 // Fig. 11: adapting to unequal paths — two cross-switch flows over two
 // cross links whose capacities are set to 1:1, 1:4 and 1:10.  DCP rides
 // in-network adaptive routing; CX5 hashes each flow onto one path (ECMP)
-// and starves when it lands on the thin one.
+// and starves when it lands on the thin one.  The ratio x trial x scheme
+// matrix (36 runs) fans out across the sweep pool (DCP_JOBS).
 
 #include <cstdio>
+#include <vector>
 
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/sweep.h"
 
 using namespace dcp;
 
 int main() {
   banner("Fig 11: average goodput over unequal parallel paths");
 
-  Table t({"Capacity ratio", "CX5 (Gbps)", "DCP (Gbps)"});
-  const int trials = 6;  // average over ECMP hash draws
-  for (double ratio : {1.0, 4.0, 10.0}) {
-    const std::uint64_t bytes = full_scale() ? 40ull * 1000 * 1000 : 10ull * 1000 * 1000;
-    double cx5 = 0, dcp = 0;
-    for (int s = 0; s < trials; ++s) {
+  const double ratios[] = {1.0, 4.0, 10.0};
+  const int trials_per_cell = 6;  // average over ECMP hash draws
+  const std::uint64_t bytes = full_scale() ? 40ull * 1000 * 1000 : 10ull * 1000 * 1000;
+
+  struct Trial {
+    SchemeKind k;
+    double ratio;
+    std::uint16_t sport_base;
+  };
+  std::vector<Trial> trials;
+  for (double ratio : ratios) {
+    for (int s = 0; s < trials_per_cell; ++s) {
       const auto base = static_cast<std::uint16_t>(10000 + 101 * s);
-      cx5 += run_unequal_paths(SchemeKind::kCx5, ratio, bytes, {}, base).avg_goodput_gbps;
-      dcp += run_unequal_paths(SchemeKind::kDcp, ratio, bytes, {}, base).avg_goodput_gbps;
+      trials.push_back({SchemeKind::kCx5, ratio, base});
+      trials.push_back({SchemeKind::kDcp, ratio, base});
+    }
+  }
+
+  SweepRunner pool;
+  CorePerfAggregator agg;
+  const std::vector<double> goodput = pool.run(trials.size(), [&](std::size_t i) {
+    const UnequalPathsResult r =
+        run_unequal_paths(trials[i].k, trials[i].ratio, bytes, {}, trials[i].sport_base);
+    agg.add(r.core);
+    return r.avg_goodput_gbps;
+  });
+
+  Table t({"Capacity ratio", "CX5 (Gbps)", "DCP (Gbps)"});
+  for (std::size_t r = 0; r < std::size(ratios); ++r) {
+    double cx5 = 0, dcp = 0;
+    for (int s = 0; s < trials_per_cell; ++s) {
+      cx5 += goodput[(r * trials_per_cell + s) * 2];
+      dcp += goodput[(r * trials_per_cell + s) * 2 + 1];
     }
     char lbl[16];
-    std::snprintf(lbl, sizeof(lbl), "1:%g", ratio);
-    t.add_row({lbl, Table::num(cx5 / trials, 2), Table::num(dcp / trials, 2)});
+    std::snprintf(lbl, sizeof(lbl), "1:%g", ratios[r]);
+    t.add_row({lbl, Table::num(cx5 / trials_per_cell, 2), Table::num(dcp / trials_per_cell, 2)});
   }
   t.print();
+  report_sweep(pool, agg);
 
   std::printf("\nPaper shape: DCP's goodput stays stable across all ratios (packet-level\n"
               "AR fills both paths); CX5's average drops sharply as the paths diverge.\n");

@@ -1,39 +1,24 @@
 // Fig. 13: WebSearch workload on the two-layer CLOS — FCT slowdown (P50,
 // P95) per flow-size bucket at average loads 0.3 and 0.5 for PFC(+ECMP),
-// IRN(+AR), MP-RDMA and DCP(+AR).
+// IRN(+AR), MP-RDMA and DCP(+AR).  The whole load x scheme matrix fans out
+// across the sweep pool (DCP_JOBS) before any table is printed.
 
 #include <cstdio>
 #include <vector>
 
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/sweep.h"
 
 using namespace dcp;
 
 namespace {
 
-void run_load(double load) {
-  const SchemeKind kinds[] = {SchemeKind::kPfc, SchemeKind::kIrn, SchemeKind::kMpRdma,
-                              SchemeKind::kDcp};
-  std::vector<WebSearchResult> results;
-  for (SchemeKind k : kinds) {
-    WebSearchParams p;
-    p.scheme = k;
-    p.load = load;
-    if (full_scale()) {
-      p.clos.spines = 16;
-      p.clos.leaves = 16;
-      p.clos.hosts_per_leaf = 16;
-      p.num_flows = 20000;
-    } else {
-      p.clos.spines = 4;
-      p.clos.leaves = 4;
-      p.clos.hosts_per_leaf = 4;
-      p.num_flows = 500;
-    }
-    results.push_back(run_websearch(p));
-  }
+constexpr SchemeKind kKinds[] = {SchemeKind::kPfc, SchemeKind::kIrn, SchemeKind::kMpRdma,
+                                 SchemeKind::kDcp};
 
+// Non-const: percentile queries sort the underlying samples lazily.
+void report_load(double load, std::vector<WebSearchResult>& results) {
   for (double pct : {50.0, 95.0}) {
     char title[96];
     std::snprintf(title, sizeof(title), "Fig 13: WebSearch load %.1f, P%.0f FCT slowdown", load,
@@ -63,8 +48,46 @@ void run_load(double load) {
 }  // namespace
 
 int main() {
-  run_load(0.3);
-  run_load(0.5);
+  const double loads[] = {0.3, 0.5};
+
+  struct Trial {
+    double load;
+    SchemeKind k;
+  };
+  std::vector<Trial> trials;
+  for (double load : loads) {
+    for (SchemeKind k : kKinds) trials.push_back({load, k});
+  }
+
+  SweepRunner pool;
+  CorePerfAggregator agg;
+  std::vector<WebSearchResult> results = pool.run(trials.size(), [&](std::size_t i) {
+    WebSearchParams p;
+    p.scheme = trials[i].k;
+    p.load = trials[i].load;
+    if (full_scale()) {
+      p.clos.spines = 16;
+      p.clos.leaves = 16;
+      p.clos.hosts_per_leaf = 16;
+      p.num_flows = 20000;
+    } else {
+      p.clos.spines = 4;
+      p.clos.leaves = 4;
+      p.clos.hosts_per_leaf = 4;
+      p.num_flows = 500;
+    }
+    WebSearchResult r = run_websearch(p);
+    agg.add(r.core);
+    return r;
+  });
+
+  for (std::size_t l = 0; l < std::size(loads); ++l) {
+    std::vector<WebSearchResult> slice(results.begin() + l * std::size(kKinds),
+                                       results.begin() + (l + 1) * std::size(kKinds));
+    report_load(loads[l], slice);
+  }
+  report_sweep(pool, agg);
+
   std::printf("\nPaper shape: fine-grained LB (DCP, MP-RDMA, IRN+AR) beats PFC+ECMP; among\n"
               "them DCP has the best tail (IRN pays for spurious retransmissions under\n"
               "AR, MP-RDMA for its bounded OOO tolerance).\n");

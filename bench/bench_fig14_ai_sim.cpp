@@ -1,6 +1,8 @@
 // Fig. 14: AI workloads in simulation — groups of servers on the CLOS run
 // ring-AllReduce / AllToAll; reports per-group JCT against the ideal bound
 // and the CDF of individual flow FCTs, for PFC / IRN / MP-RDMA / DCP.
+// Both collectives x all four schemes fan out across the sweep pool
+// (DCP_JOBS) before any table is printed.
 
 #include <algorithm>
 #include <cstdio>
@@ -8,39 +10,17 @@
 
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/sweep.h"
 #include "stats/percentile.h"
 
 using namespace dcp;
 
 namespace {
 
-void run_kind(CollectiveKind kind, const char* label) {
-  const SchemeKind kinds[] = {SchemeKind::kPfc, SchemeKind::kIrn, SchemeKind::kMpRdma,
-                              SchemeKind::kDcp};
-  std::vector<CollectiveResult> results;
-  for (SchemeKind k : kinds) {
-    CollectiveExpParams p;
-    p.kind = kind;
-    p.scheme = k;
-    p.use_clos = true;
-    if (full_scale()) {
-      p.clos.spines = 16;
-      p.clos.leaves = 16;
-      p.clos.hosts_per_leaf = 16;
-      p.groups = 16;
-      p.members_per_group = 16;
-      p.total_bytes = 300ull * 1000 * 1000;
-    } else {
-      p.clos.spines = 4;
-      p.clos.leaves = 4;
-      p.clos.hosts_per_leaf = 4;
-      p.groups = 4;
-      p.members_per_group = 4;
-      p.total_bytes = 24ull * 1024 * 1024;
-    }
-    results.push_back(run_collectives(p));
-  }
+constexpr SchemeKind kKinds[] = {SchemeKind::kPfc, SchemeKind::kIrn, SchemeKind::kMpRdma,
+                                 SchemeKind::kDcp};
 
+void report_kind(const char* label, const std::vector<CollectiveResult>& results) {
   banner(std::string("Fig 14: ") + label + " JCT per group (ms)");
   Table t({"Group", "PFC", "IRN", "MP-RDMA", "DCP", "Ideal"});
   const std::size_t groups = results[0].jct_ms.size();
@@ -69,8 +49,52 @@ void run_kind(CollectiveKind kind, const char* label) {
 }  // namespace
 
 int main() {
-  run_kind(CollectiveKind::kAllReduce, "AllReduce");
-  run_kind(CollectiveKind::kAllToAll, "AllToAll");
+  const CollectiveKind collectives[] = {CollectiveKind::kAllReduce, CollectiveKind::kAllToAll};
+
+  struct Trial {
+    CollectiveKind kind;
+    SchemeKind k;
+  };
+  std::vector<Trial> trials;
+  for (CollectiveKind kind : collectives) {
+    for (SchemeKind k : kKinds) trials.push_back({kind, k});
+  }
+
+  SweepRunner pool;
+  CorePerfAggregator agg;
+  const std::vector<CollectiveResult> results = pool.run(trials.size(), [&](std::size_t i) {
+    CollectiveExpParams p;
+    p.kind = trials[i].kind;
+    p.scheme = trials[i].k;
+    p.use_clos = true;
+    if (full_scale()) {
+      p.clos.spines = 16;
+      p.clos.leaves = 16;
+      p.clos.hosts_per_leaf = 16;
+      p.groups = 16;
+      p.members_per_group = 16;
+      p.total_bytes = 300ull * 1000 * 1000;
+    } else {
+      p.clos.spines = 4;
+      p.clos.leaves = 4;
+      p.clos.hosts_per_leaf = 4;
+      p.groups = 4;
+      p.members_per_group = 4;
+      p.total_bytes = 24ull * 1024 * 1024;
+    }
+    CollectiveResult r = run_collectives(p);
+    agg.add(r.core);
+    return r;
+  });
+
+  const char* labels[] = {"AllReduce", "AllToAll"};
+  for (std::size_t c = 0; c < std::size(collectives); ++c) {
+    const std::vector<CollectiveResult> slice(results.begin() + c * std::size(kKinds),
+                                              results.begin() + (c + 1) * std::size(kKinds));
+    report_kind(labels[c], slice);
+  }
+  report_sweep(pool, agg);
+
   std::printf("\nPaper shape: DCP has the lowest JCT (38%%/44%%/61%% below MP-RDMA/IRN/PFC\n"
               "for AllReduce; 5%%/45%%/46%% for AllToAll) because synchronized collectives\n"
               "are gated by the slowest flow and DCP has the best tail FCT.\n");

@@ -1,56 +1,31 @@
 // Fig. 15: cross-DC scenarios — leaf-spine propagation raised to 500 us
 // (100 km) and 5 ms (1000 km).  Lossless schemes (PFC, MP-RDMA) get their
 // buffers enlarged to cover the PFC headroom (600 MB / 6 GB in the paper);
-// IRN and DCP keep the 32 MB buffer.  Reports P50/P95 FCT slowdown.
+// IRN and DCP keep the 32 MB buffer.  Reports P50/P95 FCT slowdown.  Both
+// distances x all four schemes fan out across the sweep pool (DCP_JOBS).
 
 #include <cstdio>
 #include <vector>
 
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/sweep.h"
 
 using namespace dcp;
 
 namespace {
 
-void run_distance(Time leaf_spine_delay, const char* label, std::uint64_t lossless_buffer) {
-  const SchemeKind kinds[] = {SchemeKind::kPfc, SchemeKind::kIrn, SchemeKind::kMpRdma,
-                              SchemeKind::kDcp};
-  std::vector<WebSearchResult> results;
-  for (SchemeKind k : kinds) {
-    SchemeOptions opt;
-    // Timers must scale with the fabric RTT.
-    const Time rtt = 2 * (2 * microseconds(1) + 2 * leaf_spine_delay);
-    opt.base_rtt = rtt;
-    opt.rto_high = 2 * rtt + microseconds(320);
-    opt.rto_low = rtt + microseconds(100);
-    opt.dcp_msg_timeout = 2 * rtt + milliseconds(1);
-    if (k == SchemeKind::kPfc || k == SchemeKind::kMpRdma) {
-      opt.buffer_bytes = lossless_buffer;
-    }
+constexpr SchemeKind kKinds[] = {SchemeKind::kPfc, SchemeKind::kIrn, SchemeKind::kMpRdma,
+                                 SchemeKind::kDcp};
 
-    WebSearchParams p;
-    p.scheme = k;
-    p.opt = opt;
-    // Higher offered load than intra-DC: the paper notes servers generate
-    // more traffic cross-DC (larger BDP), making congestion more severe.
-    p.load = 0.7;
-    p.clos.leaf_spine_delay = leaf_spine_delay;
-    if (full_scale()) {
-      p.clos.spines = 16;
-      p.clos.leaves = 16;
-      p.clos.hosts_per_leaf = 16;
-      p.num_flows = 5000;
-    } else {
-      p.clos.spines = 4;
-      p.clos.leaves = 4;
-      p.clos.hosts_per_leaf = 8;
-      p.num_flows = 800;
-    }
-    p.max_time = seconds(30);
-    results.push_back(run_websearch(p));
-  }
+struct Distance {
+  Time leaf_spine_delay;
+  const char* label;
+  std::uint64_t lossless_buffer;
+};
 
+// Non-const: percentile queries sort the underlying samples lazily.
+void report_distance(const char* label, std::vector<WebSearchResult>& results) {
   for (double pct : {50.0, 95.0}) {
     char title[96];
     std::snprintf(title, sizeof(title), "Fig 15: cross-DC %s, P%.0f FCT slowdown", label, pct);
@@ -71,8 +46,67 @@ void run_distance(Time leaf_spine_delay, const char* label, std::uint64_t lossle
 }  // namespace
 
 int main() {
-  run_distance(microseconds(500), "100 km (500 us leaf-spine)", 600ull * 1024 * 1024);
-  run_distance(milliseconds(5), "1000 km (5 ms leaf-spine)", 6ull * 1024 * 1024 * 1024);
+  const Distance distances[] = {
+      {microseconds(500), "100 km (500 us leaf-spine)", 600ull * 1024 * 1024},
+      {milliseconds(5), "1000 km (5 ms leaf-spine)", 6ull * 1024 * 1024 * 1024},
+  };
+
+  struct Trial {
+    Distance d;
+    SchemeKind k;
+  };
+  std::vector<Trial> trials;
+  for (const Distance& d : distances) {
+    for (SchemeKind k : kKinds) trials.push_back({d, k});
+  }
+
+  SweepRunner pool;
+  CorePerfAggregator agg;
+  std::vector<WebSearchResult> results = pool.run(trials.size(), [&](std::size_t i) {
+    const Distance& d = trials[i].d;
+    const SchemeKind k = trials[i].k;
+    SchemeOptions opt;
+    // Timers must scale with the fabric RTT.
+    const Time rtt = 2 * (2 * microseconds(1) + 2 * d.leaf_spine_delay);
+    opt.base_rtt = rtt;
+    opt.rto_high = 2 * rtt + microseconds(320);
+    opt.rto_low = rtt + microseconds(100);
+    opt.dcp_msg_timeout = 2 * rtt + milliseconds(1);
+    if (k == SchemeKind::kPfc || k == SchemeKind::kMpRdma) {
+      opt.buffer_bytes = d.lossless_buffer;
+    }
+
+    WebSearchParams p;
+    p.scheme = k;
+    p.opt = opt;
+    // Higher offered load than intra-DC: the paper notes servers generate
+    // more traffic cross-DC (larger BDP), making congestion more severe.
+    p.load = 0.7;
+    p.clos.leaf_spine_delay = d.leaf_spine_delay;
+    if (full_scale()) {
+      p.clos.spines = 16;
+      p.clos.leaves = 16;
+      p.clos.hosts_per_leaf = 16;
+      p.num_flows = 5000;
+    } else {
+      p.clos.spines = 4;
+      p.clos.leaves = 4;
+      p.clos.hosts_per_leaf = 8;
+      p.num_flows = 800;
+    }
+    p.max_time = seconds(30);
+    WebSearchResult r = run_websearch(p);
+    agg.add(r.core);
+    return r;
+  });
+
+  for (std::size_t d = 0; d < std::size(distances); ++d) {
+    std::vector<WebSearchResult> slice(results.begin() + d * std::size(kKinds),
+                                       results.begin() + (d + 1) * std::size(kKinds));
+    report_distance(distances[d].label, slice);
+  }
+  report_sweep(pool, agg);
+
   std::printf("\nPaper shape: DCP's advantage grows with distance (larger BDP -> more\n"
               "severe congestion); lossless schemes oscillate because of the giant\n"
               "PFC-headroom buffers, and DCP keeps the 32 MB buffer throughout.\n");

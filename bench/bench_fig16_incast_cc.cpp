@@ -3,54 +3,24 @@
 // and DCP.  Reports P50 and P99 FCT slowdown.  Without CC, DCP's HO storm
 // amplifies congestion and its P99 is the worst; with DCQCN integrated,
 // DCP+CC takes the lead (the paper's point that reliability and rate
-// control are separable problems).
+// control are separable problems).  All six CC x scheme trials fan out
+// across the sweep pool (DCP_JOBS).
 
 #include <cstdio>
 #include <vector>
 
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/sweep.h"
 
 using namespace dcp;
 
 namespace {
 
-WebSearchResult run_one(SchemeKind k, bool with_cc) {
-  WebSearchParams p;
-  p.scheme = k;
-  p.opt.with_cc = with_cc;
-  p.load = 0.5;
-  p.with_incast = true;
-  if (full_scale()) {
-    p.clos.spines = 16;
-    p.clos.leaves = 16;
-    p.clos.hosts_per_leaf = 16;
-    p.num_flows = 10000;
-    p.incast.fan_in = 128;
-    p.incast.bursts = 20;
-  } else {
-    p.clos.spines = 4;
-    p.clos.leaves = 4;
-    p.clos.hosts_per_leaf = 4;
-    p.num_flows = 400;
-    p.incast.fan_in = 12;
-    p.incast.bursts = 10;
-  }
-  p.incast.load = 0.05;
-  // Deep bursts so the incast actually overflows queues at reduced scale.
-  // Reduced scale needs deeper per-sender bursts to overflow the 1 MB
-  // queue; at paper scale 128 senders x 64 KB already do (and 256 KB x 128
-  // would exhaust the whole shared buffer, which the paper's setup avoids).
-  p.incast.bytes_per_sender = full_scale() ? 64 * 1024 : 256 * 1024;
-  p.max_time = seconds(5);
-  return run_websearch(p);
-}
+constexpr SchemeKind kKinds[] = {SchemeKind::kIrn, SchemeKind::kMpRdma, SchemeKind::kDcp};
 
-void report(bool with_cc) {
-  const SchemeKind kinds[] = {SchemeKind::kIrn, SchemeKind::kMpRdma, SchemeKind::kDcp};
-  std::vector<WebSearchResult> results;
-  for (SchemeKind k : kinds) results.push_back(run_one(k, with_cc));
-
+// Non-const: percentile queries sort the underlying samples lazily.
+void report(bool with_cc, std::vector<WebSearchResult>& results) {
   banner(std::string("Fig 16: WebSearch 0.5 + incast 0.05, ") +
          (with_cc ? "WITH DCQCN" : "WITHOUT CC"));
   Table t({"Metric", "IRN", "MP-RDMA", "DCP"});
@@ -70,8 +40,58 @@ void report(bool with_cc) {
 }  // namespace
 
 int main() {
-  report(false);
-  report(true);
+  struct Trial {
+    bool with_cc;
+    SchemeKind k;
+  };
+  std::vector<Trial> trials;
+  for (bool cc : {false, true}) {
+    for (SchemeKind k : kKinds) trials.push_back({cc, k});
+  }
+
+  SweepRunner pool;
+  CorePerfAggregator agg;
+  const std::vector<WebSearchResult> results = pool.run(trials.size(), [&](std::size_t i) {
+    WebSearchParams p;
+    p.scheme = trials[i].k;
+    p.opt.with_cc = trials[i].with_cc;
+    p.load = 0.5;
+    p.with_incast = true;
+    if (full_scale()) {
+      p.clos.spines = 16;
+      p.clos.leaves = 16;
+      p.clos.hosts_per_leaf = 16;
+      p.num_flows = 10000;
+      p.incast.fan_in = 128;
+      p.incast.bursts = 20;
+    } else {
+      p.clos.spines = 4;
+      p.clos.leaves = 4;
+      p.clos.hosts_per_leaf = 4;
+      p.num_flows = 400;
+      p.incast.fan_in = 12;
+      p.incast.bursts = 10;
+    }
+    p.incast.load = 0.05;
+    // Reduced scale needs deeper per-sender bursts to overflow the 1 MB
+    // queue; at paper scale 128 senders x 64 KB already do (and 256 KB x 128
+    // would exhaust the whole shared buffer, which the paper's setup avoids).
+    p.incast.bytes_per_sender = full_scale() ? 64 * 1024 : 256 * 1024;
+    p.max_time = seconds(5);
+    WebSearchResult r = run_websearch(p);
+    agg.add(r.core);
+    return r;
+  });
+
+  std::size_t base = 0;
+  for (bool cc : {false, true}) {
+    std::vector<WebSearchResult> slice(results.begin() + base,
+                                       results.begin() + base + std::size(kKinds));
+    report(cc, slice);
+    base += std::size(kKinds);
+  }
+  report_sweep(pool, agg);
+
   std::printf("\nPaper shape: without CC, DCP wins P50 but has the worst P99 (incast HO\n"
               "storms); with DCQCN, DCP+CC achieves the best P99 (-31%%/-29%% vs MP-RDMA\n"
               "and IRN+CC).\n");

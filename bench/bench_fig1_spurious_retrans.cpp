@@ -11,6 +11,7 @@
 
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/sweep.h"
 #include "stats/fct_stats.h"
 #include "stats/percentile.h"
 
@@ -41,8 +42,17 @@ WebSearchResult run_one(SchemeKind k) {
 int main() {
   banner("Fig 1: spurious retransmissions under AR (WebSearch 0.3, no loss)");
 
-  const WebSearchResult irn = run_one(SchemeKind::kIrn);
-  const WebSearchResult dcp = run_one(SchemeKind::kDcp);
+  const SchemeKind kinds[] = {SchemeKind::kIrn, SchemeKind::kDcp};
+  SweepRunner pool;
+  CorePerfAggregator agg;
+  const std::vector<WebSearchResult> results = pool.run(std::size(kinds), [&](std::size_t i) {
+    WebSearchResult r = run_one(kinds[i]);
+    agg.add(r.core);
+    return r;
+  });
+  report_sweep(pool, agg);
+  const WebSearchResult& irn = results[0];
+  const WebSearchResult& dcp = results[1];
 
   std::printf("Actual drops: IRN run = %llu, DCP run = %llu (loss-free by design)\n\n",
               static_cast<unsigned long long>(irn.sw.dropped_data + irn.sw.injected_drops),

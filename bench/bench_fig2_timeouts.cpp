@@ -9,6 +9,7 @@
 
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/sweep.h"
 
 using namespace dcp;
 
@@ -54,9 +55,18 @@ std::uint64_t max_of(const std::vector<std::uint64_t>& v) {
 int main() {
   banner("Fig 2: RTO counts, WebSearch 0.3 + incast 0.1");
 
-  const WebSearchResult irn_ecmp = run_one(SchemeKind::kIrnEcmp);
-  const WebSearchResult irn_ar = run_one(SchemeKind::kIrn);
-  const WebSearchResult dcp = run_one(SchemeKind::kDcp);
+  const SchemeKind kinds[] = {SchemeKind::kIrnEcmp, SchemeKind::kIrn, SchemeKind::kDcp};
+  SweepRunner pool;
+  CorePerfAggregator agg;
+  const std::vector<WebSearchResult> results = pool.run(std::size(kinds), [&](std::size_t i) {
+    WebSearchResult r = run_one(kinds[i]);
+    agg.add(r.core);
+    return r;
+  });
+  report_sweep(pool, agg);
+  const WebSearchResult& irn_ecmp = results[0];
+  const WebSearchResult& irn_ar = results[1];
+  const WebSearchResult& dcp = results[2];
 
   Table t({"Metric", "IRN-ECMP", "IRN-AR", "DCP"});
   auto row = [&](const char* label, auto getter) {

@@ -1,14 +1,19 @@
 // Config-driven experiment runner: describe an experiment in a small
 // key = value file and run it without recompiling.
 //
-//   ./example_run_config my_experiment.conf
+//   ./example_run_config exp1.conf [exp2.conf ...]
 //
+// Several configs fan out across the sweep pool (DCP_JOBS workers;
+// DCP_JOBS=1 forces serial) and their reports print in argument order.
 // With no argument, runs a built-in demo configuration and prints the
 // recognized keys.  See docs/running-experiments.md and src/harness/config.h.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "harness/config.h"
+#include "harness/sweep.h"
 
 int main(int argc, char** argv) {
   using namespace dcp;
@@ -45,12 +50,26 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::string err;
-  auto cfg = load_experiment_config(argv[1], &err);
-  if (!cfg) {
-    std::fprintf(stderr, "error: %s\n", err.c_str());
-    return 1;
+  // Parse every config up front so a typo in the last file is reported
+  // before any simulation time is spent.
+  std::vector<ExperimentConfig> cfgs;
+  for (int i = 1; i < argc; ++i) {
+    std::string err;
+    auto cfg = load_experiment_config(argv[i], &err);
+    if (!cfg) {
+      std::fprintf(stderr, "error: %s\n", err.c_str());
+      return 1;
+    }
+    cfgs.push_back(*cfg);
   }
-  std::printf("%s", run_configured_experiment(*cfg).c_str());
+
+  SweepRunner pool;
+  const std::vector<std::string> reports = pool.run(
+      cfgs.size(), [&](std::size_t i) { return run_configured_experiment(cfgs[i]); });
+
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (reports.size() > 1) std::printf("==== %s ====\n", argv[i + 1]);
+    std::printf("%s", reports[i].c_str());
+  }
   return 0;
 }

@@ -62,8 +62,10 @@ class EventCallback {
     }
   }
 
-  /// Process-wide count of callbacks that exceeded the inline buffer and
+  /// Per-thread count of callbacks that exceeded the inline buffer and
   /// heap-allocated.  The datapath keeps this flat in steady state.
+  /// Thread-local (not a process-wide atomic) so simulations running on
+  /// parallel sweep workers neither race nor pay for synchronization.
   static std::uint64_t heap_fallback_count() { return heap_fallbacks_; }
 
  private:
@@ -101,7 +103,7 @@ class EventCallback {
   alignas(std::max_align_t) unsigned char buf_[kInlineSize];
   const Ops* ops_ = nullptr;
 
-  static inline std::uint64_t heap_fallbacks_ = 0;
+  static inline thread_local std::uint64_t heap_fallbacks_ = 0;
 };
 
 }  // namespace dcp

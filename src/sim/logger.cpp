@@ -1,5 +1,8 @@
 #include "sim/logger.h"
 
+#include <cstring>
+#include <mutex>
+
 namespace dcp {
 namespace {
 const char* level_name(LogLevel level) {
@@ -13,13 +16,28 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+// One mutex for every Logger: distinct Logger objects routinely share a
+// sink (stderr, or one capture file in tests), so the guard must be
+// process-wide, not per-instance.
+std::mutex g_emit_mutex;
 }  // namespace
 
 void Logger::log(LogLevel level, Time now, std::string_view component, std::string_view msg) {
   if (!enabled(level)) return;
-  std::fprintf(out_, "[%12.3fus] %-5s %.*s: %.*s\n", to_us(now), level_name(level),
-               static_cast<int>(component.size()), component.data(),
-               static_cast<int>(msg.size()), msg.data());
+  // Format the whole line first, then emit it with a single locked write:
+  // concurrent simulations produce whole lines, never interleaved pieces.
+  char buf[512];
+  int len = std::snprintf(buf, sizeof(buf), "[%12.3fus] %-5s %.*s: %.*s\n", to_us(now),
+                          level_name(level), static_cast<int>(component.size()), component.data(),
+                          static_cast<int>(msg.size()), msg.data());
+  if (len < 0) return;
+  if (len >= static_cast<int>(sizeof(buf))) {  // truncated: keep the newline
+    len = static_cast<int>(sizeof(buf)) - 1;
+    buf[len - 1] = '\n';
+  }
+  std::lock_guard<std::mutex> lk(g_emit_mutex);
+  std::fwrite(buf, 1, static_cast<std::size_t>(len), out_);
 }
 
 }  // namespace dcp

@@ -1,6 +1,10 @@
 #pragma once
 // Minimal leveled logger.  Simulation components log through a Logger owned
-// by the experiment so parallel simulations don't interleave unexpectedly.
+// by the experiment, so each simulation can have its own sink and level.
+// Emission is concurrency-safe: a line is formatted off to the side and
+// written to the sink in one call under a process-wide mutex, so two
+// simulations logging from two sweep workers — even into the same FILE* —
+// never interleave or tear lines.
 
 #include <cstdio>
 #include <string>

@@ -47,6 +47,10 @@ class Simulator {
   Time next_event_time() const { return queue_.next_time(); }
   std::uint64_t events_processed() const { return events_processed_; }
 
+  /// Event-slab capacity (slots ever allocated) — surfaced so CorePerf can
+  /// report per-run allocation behaviour alongside events/sec.
+  std::size_t event_slots_allocated() const { return queue_.slots_allocated(); }
+
  private:
   EventQueue queue_;
   Time now_ = 0;

@@ -1,7 +1,9 @@
 #include "stats/core_perf.h"
 
+#include <algorithm>
 #include <cstdio>
 
+#include "net/packet_pool.h"
 #include "sim/simulator.h"
 
 namespace dcp {
@@ -9,17 +11,43 @@ namespace dcp {
 CorePerfTimer::CorePerfTimer(const Simulator& sim)
     : sim_(sim),
       events_at_start_(sim.events_processed()),
+      pool_acquires_at_start_(PacketPool::local().stats().acquires),
       wall_start_(std::chrono::steady_clock::now()) {}
 
 CorePerf CorePerfTimer::finish() const {
+  const PacketPool::Stats pool = PacketPool::local().stats();
   CorePerf p;
   p.events_processed = sim_.events_processed() - events_at_start_;
   p.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start_).count();
+  p.pool_acquires = pool.acquires - pool_acquires_at_start_;
+  p.pool_slots = pool.slots;
+  p.event_slots = sim_.event_slots_allocated();
   return p;
 }
 
-bool export_core_perf_json(const std::string& path, const std::vector<CorePerfEntry>& entries) {
+void CorePerfAggregator::add(const CorePerf& p) {
+  std::lock_guard<std::mutex> lk(m_);
+  total_.events_processed += p.events_processed;
+  total_.wall_seconds += p.wall_seconds;
+  total_.pool_acquires += p.pool_acquires;
+  total_.pool_slots = std::max(total_.pool_slots, p.pool_slots);
+  total_.event_slots = std::max(total_.event_slots, p.event_slots);
+  ++trials_;
+}
+
+CorePerf CorePerfAggregator::total() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return total_;
+}
+
+std::uint64_t CorePerfAggregator::trials() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return trials_;
+}
+
+bool export_core_perf_json(const std::string& path, const std::vector<CorePerfEntry>& entries,
+                           const SuiteParallelEntry* suite) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   std::fprintf(f, "{\n  \"benchmarks\": [\n");
@@ -43,7 +71,22 @@ bool export_core_perf_json(const std::string& path, const std::vector<CorePerfEn
     }
     std::fprintf(f, "\n    }%s\n", i + 1 < entries.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ]");
+  if (suite != nullptr) {
+    std::fprintf(f,
+                 ",\n  \"suite_parallel\": {\n"
+                 "    \"trials\": %llu,\n"
+                 "    \"jobs\": %u,\n"
+                 "    \"serial_wall_seconds\": %.6f,\n"
+                 "    \"parallel_wall_seconds\": %.6f,\n"
+                 "    \"speedup\": %.2f,\n"
+                 "    \"bit_identical\": %s\n"
+                 "  }",
+                 static_cast<unsigned long long>(suite->trials), suite->jobs,
+                 suite->serial_wall_seconds, suite->parallel_wall_seconds, suite->speedup(),
+                 suite->bit_identical ? "true" : "false");
+  }
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
   return true;
 }

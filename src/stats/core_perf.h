@@ -7,6 +7,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -14,10 +15,16 @@ namespace dcp {
 
 class Simulator;
 
-/// Events processed and wall-clock time of one simulation run.
+/// Events processed and wall-clock time of one simulation run, plus the
+/// run's thread-local allocation behaviour (PacketPool handouts and the
+/// EventQueue slab) so per-worker allocation is observable when trials
+/// fan out across a sweep pool.
 struct CorePerf {
   std::uint64_t events_processed = 0;
   double wall_seconds = 0.0;
+  std::uint64_t pool_acquires = 0;  // PacketPool handouts during the window
+  std::size_t pool_slots = 0;       // executing thread's pool capacity after
+  std::size_t event_slots = 0;      // the run's EventQueue slab capacity
 
   double events_per_sec() const {
     return wall_seconds > 0.0 ? static_cast<double>(events_processed) / wall_seconds : 0.0;
@@ -25,7 +32,8 @@ struct CorePerf {
 };
 
 /// Measures a window of simulation: construct before run(), call finish()
-/// after.  Captures the event-count delta so nested/partial runs compose.
+/// after — on the same thread, since the PacketPool counters it samples
+/// are thread-local.  Captures deltas so nested/partial runs compose.
 class CorePerfTimer {
  public:
   explicit CorePerfTimer(const Simulator& sim);
@@ -36,7 +44,25 @@ class CorePerfTimer {
  private:
   const Simulator& sim_;
   std::uint64_t events_at_start_;
+  std::uint64_t pool_acquires_at_start_;
   std::chrono::steady_clock::time_point wall_start_;
+};
+
+/// Thread-safe CorePerf accumulator: trials finishing on different sweep
+/// workers add() concurrently; total() is the suite-wide view.  Events,
+/// wall seconds (aggregate busy time, not elapsed) and pool acquires are
+/// summed; slot capacities take the max, since trials on the same worker
+/// share one thread-local pool and summing would double-count it.
+class CorePerfAggregator {
+ public:
+  void add(const CorePerf& p);
+  CorePerf total() const;
+  std::uint64_t trials() const;
+
+ private:
+  mutable std::mutex m_;
+  CorePerf total_;
+  std::uint64_t trials_ = 0;
 };
 
 /// One named measurement in BENCH_core.json, optionally with the baseline
@@ -47,8 +73,24 @@ struct CorePerfEntry {
   double baseline_events_per_sec = 0.0;  // 0 = no recorded baseline
 };
 
-/// Writes entries as a JSON document ({"benchmarks": [...]}).  Returns
-/// false if the file could not be opened.
-bool export_core_perf_json(const std::string& path, const std::vector<CorePerfEntry>& entries);
+/// Serial-vs-parallel suite measurement: the same sweep run with one job
+/// and with the full pool ("suite_parallel" in BENCH_core.json).
+struct SuiteParallelEntry {
+  std::size_t trials = 0;
+  unsigned jobs = 0;
+  double serial_wall_seconds = 0.0;
+  double parallel_wall_seconds = 0.0;
+  bool bit_identical = false;  // parallel results matched serial exactly
+
+  double speedup() const {
+    return parallel_wall_seconds > 0.0 ? serial_wall_seconds / parallel_wall_seconds : 0.0;
+  }
+};
+
+/// Writes entries as a JSON document ({"benchmarks": [...]}), with an
+/// optional "suite_parallel" object.  Returns false if the file could not
+/// be opened.
+bool export_core_perf_json(const std::string& path, const std::vector<CorePerfEntry>& entries,
+                           const SuiteParallelEntry* suite = nullptr);
 
 }  // namespace dcp

@@ -1,0 +1,203 @@
+// The parallel sweep engine: results are indexed by trial (never by
+// completion order), every trial runs exactly once, DCP_JOBS semantics
+// hold, and — the property the whole evaluation suite rests on — a sweep
+// run with 8 workers is bit-identical to the same sweep run serially.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/sweep.h"
+
+namespace dcp {
+namespace {
+
+TEST(Sweep, ResultsIndexedByTrialNotCompletionOrder) {
+  SweepRunner pool(4);
+  pool.set_progress(false);
+  // Trials finish in scrambled order (later indices do less work), but the
+  // results vector must still map i -> f(i).
+  const std::vector<std::size_t> out = pool.run(64, [](std::size_t i) {
+    volatile std::size_t spin = (64 - i) * 1000;
+    while (spin > 0) --spin;
+    return i * i;
+  });
+  ASSERT_EQ(out.size(), 64u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(Sweep, EveryTrialRunsExactlyOnce) {
+  SweepRunner pool(8);
+  pool.set_progress(false);
+  std::vector<std::atomic<int>> hits(100);
+  pool.run_indexed(100, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << "trial " << i;
+}
+
+TEST(Sweep, SingleJobRunsEverythingOnCallerThread) {
+  SweepRunner pool(1);
+  pool.set_progress(false);
+  const std::thread::id caller = std::this_thread::get_id();
+  const std::vector<bool> on_caller =
+      pool.run(16, [&](std::size_t) { return std::this_thread::get_id() == caller; });
+  for (bool b : on_caller) EXPECT_TRUE(b);
+}
+
+TEST(Sweep, PoolIsReusableAcrossSweeps) {
+  SweepRunner pool(4);
+  pool.set_progress(false);
+  for (int round = 0; round < 3; ++round) {
+    const std::vector<int> out =
+        pool.run(10, [round](std::size_t i) { return round * 100 + static_cast<int>(i); });
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], round * 100 + static_cast<int>(i));
+    }
+  }
+}
+
+TEST(Sweep, WorkerStatsCoverAllTrials) {
+  SweepRunner pool(4);
+  pool.set_progress(false);
+  pool.run_indexed(33, [](std::size_t) {});
+  std::uint64_t total = 0;
+  for (const SweepRunner::WorkerStats& ws : pool.worker_stats()) total += ws.trials;
+  EXPECT_EQ(total, 33u);
+  EXPECT_EQ(pool.worker_stats().size(), 4u);
+}
+
+TEST(Sweep, HandlesMoreJobsThanTrials) {
+  SweepRunner pool(8);
+  pool.set_progress(false);
+  const std::vector<int> out = pool.run(3, [](std::size_t i) { return static_cast<int>(i) + 1; });
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Sweep, ZeroTrialsIsANoOp) {
+  SweepRunner pool(4);
+  pool.set_progress(false);
+  pool.run_indexed(0, [](std::size_t) { FAIL() << "no trial should run"; });
+}
+
+TEST(SweepJobs, EnvOverrideAndClamp) {
+  ASSERT_EQ(setenv("DCP_JOBS", "6", 1), 0);
+  EXPECT_EQ(sweep_jobs(), 6u);
+  ASSERT_EQ(setenv("DCP_JOBS", "1", 1), 0);
+  EXPECT_EQ(sweep_jobs(), 1u);
+  ASSERT_EQ(setenv("DCP_JOBS", "0", 1), 0);
+  EXPECT_EQ(sweep_jobs(), 1u);  // < 1 clamps to serial
+  ASSERT_EQ(unsetenv("DCP_JOBS"), 0);
+  EXPECT_GE(sweep_jobs(), 1u);  // hardware_concurrency fallback
+}
+
+TEST(SweepAggregator, ConcurrentAddsSumExactly) {
+  CorePerfAggregator agg;
+  SweepRunner pool(8);
+  pool.set_progress(false);
+  pool.run_indexed(200, [&](std::size_t i) {
+    CorePerf p;
+    p.events_processed = i;
+    p.wall_seconds = 0.5;
+    p.pool_acquires = 2 * i;
+    p.pool_slots = i;  // max-merged
+    p.event_slots = 7;
+    agg.add(p);
+  });
+  const CorePerf total = agg.total();
+  EXPECT_EQ(agg.trials(), 200u);
+  EXPECT_EQ(total.events_processed, 199u * 200u / 2);
+  EXPECT_DOUBLE_EQ(total.wall_seconds, 100.0);
+  EXPECT_EQ(total.pool_acquires, 199u * 200u);
+  EXPECT_EQ(total.pool_slots, 199u);
+  EXPECT_EQ(total.event_slots, 7u);
+}
+
+// ---------------------------------------------------------------------------
+// The determinism regression the evaluation suite rests on: a Fig 17-style
+// scheme x loss matrix gives bit-identical measurements whether it runs
+// serially or across 8 workers.
+// ---------------------------------------------------------------------------
+
+struct TrialDigest {
+  double goodput = 0.0;
+  Time elapsed = 0;
+  bool completed = false;
+  std::uint64_t retransmitted = 0;
+  std::uint64_t events = 0;
+
+  bool operator==(const TrialDigest&) const = default;
+};
+
+std::vector<TrialDigest> fig17_matrix(unsigned jobs) {
+  const SchemeKind kinds[] = {SchemeKind::kDcp, SchemeKind::kRackTlp, SchemeKind::kIrn,
+                              SchemeKind::kTimeout};
+  const double rates[] = {0.0, 0.005, 0.02};
+
+  struct Trial {
+    SchemeKind k;
+    double rate;
+  };
+  std::vector<Trial> trials;
+  for (double rate : rates) {
+    for (SchemeKind k : kinds) trials.push_back({k, rate});
+  }
+
+  SweepRunner pool(jobs);
+  pool.set_progress(false);
+  return pool.run(trials.size(), [&](std::size_t i) {
+    LongFlowParams p;
+    p.scheme = trials[i].k;
+    p.loss_rate = trials[i].rate;
+    p.flow_bytes = 2ull * 1000 * 1000;
+    p.max_time = milliseconds(20);
+    const LongFlowResult r = run_long_flow(p);
+    TrialDigest d;
+    d.goodput = r.goodput_gbps;
+    d.elapsed = r.elapsed;
+    d.completed = r.completed;
+    d.retransmitted = r.sender.retransmitted_packets;
+    d.events = r.core.events_processed;
+    return d;
+  });
+}
+
+TEST(SweepDeterminism, Fig17MatrixBitIdenticalAcrossJobCounts) {
+  const std::vector<TrialDigest> serial = fig17_matrix(1);
+  const std::vector<TrialDigest> parallel = fig17_matrix(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "trial " << i;
+  }
+  // The matrix did real work: at least one trial saw loss and recovered.
+  bool any_retx = false;
+  for (const TrialDigest& d : serial) any_retx = any_retx || d.retransmitted > 0;
+  EXPECT_TRUE(any_retx);
+}
+
+TEST(SweepDeterminism, WebsearchSweepMatchesSerial) {
+  auto sweep = [](unsigned jobs) {
+    const std::uint64_t seeds[] = {11, 23};
+    const SchemeKind kinds[] = {SchemeKind::kDcp, SchemeKind::kIrn};
+    SweepRunner pool(jobs);
+    pool.set_progress(false);
+    return pool.run(4, [&](std::size_t i) {
+      WebSearchParams p;
+      p.scheme = kinds[i % 2];
+      p.seed = seeds[i / 2];
+      p.clos.spines = 2;
+      p.clos.leaves = 2;
+      p.clos.hosts_per_leaf = 4;
+      p.load = 0.4;
+      p.num_flows = 100;
+      const WebSearchResult r = run_websearch(p);
+      return std::pair<std::uint64_t, std::size_t>(r.core.events_processed, r.flows_completed);
+    });
+  };
+  EXPECT_EQ(sweep(1), sweep(4));
+}
+
+}  // namespace
+}  // namespace dcp
