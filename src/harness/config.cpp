@@ -64,6 +64,7 @@ std::optional<ExperimentConfig> parse_experiment_config(const std::string& text,
 
   SchemeKind scheme = SchemeKind::kDcp;
   SchemeOptions opt;
+  bool in_faults = false;
   std::istringstream in(text);
   std::string raw;
   int line_no = 0;
@@ -73,6 +74,21 @@ std::optional<ExperimentConfig> parse_experiment_config(const std::string& text,
     if (hash != std::string::npos) raw.resize(hash);
     const std::string line = trim(raw);
     if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']') return fail(line_no, "unterminated section header");
+      const std::string section = lower(trim(line.substr(1, line.size() - 2)));
+      if (section == "faults") in_faults = true;
+      else if (section == "general" || section == "experiment") in_faults = false;
+      else return fail(line_no, "unknown section '" + section + "'");
+      continue;
+    }
+    if (in_faults) {
+      std::string ferr;
+      std::optional<FaultAction> a = parse_fault_action(line, &ferr);
+      if (!a) return fail(line_no, ferr);
+      cfg.faults.actions.push_back(*a);
+      continue;
+    }
     const std::size_t eq = line.find('=');
     if (eq == std::string::npos) return fail(line_no, "expected key = value");
     const std::string key = lower(trim(line.substr(0, eq)));
@@ -86,7 +102,9 @@ std::optional<ExperimentConfig> parse_experiment_config(const std::string& text,
         else if (l == "longflow") cfg.kind = ExperimentConfig::Kind::kLongFlow;
         else if (l == "collective") cfg.kind = ExperimentConfig::Kind::kCollective;
         else if (l == "unequal_paths") cfg.kind = ExperimentConfig::Kind::kUnequalPaths;
-        else return fail(line_no, "unknown experiment '" + val + "'");
+        else if (l == "fault_drill" || l == "faultdrill") {
+          cfg.kind = ExperimentConfig::Kind::kFaultDrill;
+        } else return fail(line_no, "unknown experiment '" + val + "'");
       } else if (key == "scheme") {
         if (!parse_scheme(val, scheme)) return fail(line_no, "unknown scheme '" + val + "'");
       } else if (key == "with_cc") {
@@ -102,6 +120,8 @@ std::optional<ExperimentConfig> parse_experiment_config(const std::string& text,
         cfg.websearch.num_flows = std::stoul(val);
       } else if (key == "seed") {
         cfg.websearch.seed = std::stoull(val);
+        cfg.longflow.seed = std::stoull(val);
+        cfg.faultdrill.seed = std::stoull(val);
       } else if (key == "dist") {
         const std::string l = lower(val);
         if (l == "websearch") cfg.websearch.dist = WorkloadDist::kWebSearch;
@@ -110,12 +130,15 @@ std::optional<ExperimentConfig> parse_experiment_config(const std::string& text,
       } else if (key == "spines") {
         cfg.websearch.clos.spines = std::stoi(val);
         cfg.collective.clos.spines = std::stoi(val);
+        cfg.faultdrill.clos.spines = std::stoi(val);
       } else if (key == "leaves") {
         cfg.websearch.clos.leaves = std::stoi(val);
         cfg.collective.clos.leaves = std::stoi(val);
+        cfg.faultdrill.clos.leaves = std::stoi(val);
       } else if (key == "hosts_per_leaf") {
         cfg.websearch.clos.hosts_per_leaf = std::stoi(val);
         cfg.collective.clos.hosts_per_leaf = std::stoi(val);
+        cfg.faultdrill.clos.hosts_per_leaf = std::stoi(val);
       } else if (key == "leaf_spine_delay_us") {
         cfg.websearch.clos.leaf_spine_delay = microseconds(std::stod(val));
       } else if (key == "incast") {
@@ -132,6 +155,7 @@ std::optional<ExperimentConfig> parse_experiment_config(const std::string& text,
         cfg.longflow.loss_rate = std::stod(val);
       } else if (key == "flow_bytes") {
         cfg.longflow.flow_bytes = std::stoull(val);
+        cfg.faultdrill.flow_bytes = std::stoull(val);
       } else if (key == "collective_kind") {
         const std::string l = lower(val);
         if (l == "allreduce") cfg.collective.kind = CollectiveKind::kAllReduce;
@@ -150,6 +174,7 @@ std::optional<ExperimentConfig> parse_experiment_config(const std::string& text,
         cfg.websearch.max_time = t;
         cfg.longflow.max_time = t;
         cfg.collective.max_time = t;
+        cfg.faultdrill.max_time = t;
       } else {
         return fail(line_no, "unknown key '" + key + "'");
       }
@@ -164,6 +189,11 @@ std::optional<ExperimentConfig> parse_experiment_config(const std::string& text,
   cfg.longflow.opt = opt;
   cfg.collective.scheme = scheme;
   cfg.collective.opt = opt;
+  cfg.faultdrill.scheme = scheme;
+  cfg.faultdrill.opt = opt;
+  cfg.websearch.faults = cfg.faults;
+  cfg.longflow.faults = cfg.faults;
+  cfg.faultdrill.faults = cfg.faults;
   return cfg;
 }
 
@@ -178,6 +208,35 @@ std::optional<ExperimentConfig> load_experiment_config(const std::string& path,
   ss << in.rdbuf();
   return parse_experiment_config(ss.str(), error);
 }
+
+namespace {
+
+// Renders the per-episode recovery table into the report string.
+std::string recovery_table_text(const std::vector<RecoveryStats::Episode>& episodes) {
+  if (episodes.empty()) return {};
+  std::vector<std::vector<std::string>> rows = RecoveryStats::table_rows(episodes);
+  std::vector<std::string> headers = RecoveryStats::table_headers();
+  std::vector<std::size_t> width(headers.size());
+  for (std::size_t c = 0; c < headers.size(); ++c) width[c] = headers[c].size();
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out += cells[c];
+      if (c + 1 < cells.size()) out.append(width[c] - cells[c].size() + 2, ' ');
+    }
+    out += '\n';
+  };
+  emit(headers);
+  for (const auto& row : rows) emit(row);
+  return out;
+}
+
+}  // namespace
 
 std::string run_configured_experiment(const ExperimentConfig& cfg) {
   char buf[256];
@@ -220,6 +279,20 @@ std::string run_configured_experiment(const ExperimentConfig& cfg) {
       std::snprintf(buf, sizeof(buf), "unequal_paths %s ratio 1:%g: avg goodput %.2f Gbps\n",
                     scheme_name(cfg.longflow.scheme), cfg.unequal_ratio, r.avg_goodput_gbps);
       out = buf;
+      break;
+    }
+    case ExperimentConfig::Kind::kFaultDrill: {
+      FaultDrillResult r = run_fault_drill(cfg.faultdrill);
+      std::snprintf(buf, sizeof(buf),
+                    "fault_drill %s: goodput %.2f Gbps  completed=%s  episodes %zu  "
+                    "wire drops %llu  corrupt %llu  blackholed %llu\n",
+                    scheme_name(cfg.faultdrill.scheme), r.goodput_gbps,
+                    r.completed ? "yes" : "no", r.fault_episodes.size(),
+                    static_cast<unsigned long long>(r.wire.dropped),
+                    static_cast<unsigned long long>(r.wire.corrupted),
+                    static_cast<unsigned long long>(r.wire.blackholed));
+      out = buf;
+      out += recovery_table_text(r.fault_episodes);
       break;
     }
   }

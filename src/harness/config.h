@@ -15,6 +15,14 @@
 //   incast     = true
 //   incast_fan_in = 12
 //   ...
+//
+// An optional `[faults]` section switches to one-action-per-line fault
+// syntax (see fault_plan.h); the resulting FaultPlan applies to the
+// websearch, longflow and fault_drill experiments:
+//
+//   [faults]
+//   link_flap at=2ms dur=500us sw=0 port=1
+//   drop at=5ms dur=1ms rate=0.01
 
 #include <optional>
 #include <string>
@@ -24,13 +32,15 @@
 namespace dcp {
 
 struct ExperimentConfig {
-  enum class Kind { kWebSearch, kLongFlow, kCollective, kUnequalPaths };
+  enum class Kind { kWebSearch, kLongFlow, kCollective, kUnequalPaths, kFaultDrill };
   Kind kind = Kind::kWebSearch;
 
   WebSearchParams websearch;
   LongFlowParams longflow;
   CollectiveExpParams collective;
+  FaultDrillParams faultdrill;
   double unequal_ratio = 4.0;
+  FaultPlan faults;  // parsed [faults] section; copied into the params above
 };
 
 /// Parses config text.  On failure returns nullopt and, if `error` is

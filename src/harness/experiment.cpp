@@ -1,8 +1,45 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <memory>
+#include <unordered_map>
 
 namespace dcp {
+
+namespace {
+
+// Attaches a FaultInjector + RecoveryStats pair to a run when the plan has
+// any effect.  Plans whose actions are all no-ops attach nothing, keeping
+// the event sequence bit-identical to a fault-free run.
+struct FaultHarness {
+  std::unique_ptr<FaultInjector> injector;
+  std::unique_ptr<RecoveryStats> recovery;
+  std::unordered_map<std::size_t, std::size_t> episode_of_action;
+
+  void attach(Network& net, const FaultPlan& plan, std::uint64_t fault_seed,
+              Time sample_interval = microseconds(20)) {
+    if (!plan.has_effect()) return;
+    injector = std::make_unique<FaultInjector>(net, plan, fault_seed);
+    recovery = std::make_unique<RecoveryStats>(net, sample_interval);
+    injector->on_fault_start = [this](std::size_t i, const FaultAction& a, Time t) {
+      episode_of_action[i] = recovery->begin_episode(fault_kind_name(a.kind), t);
+    };
+    injector->on_fault_end = [this](std::size_t i, const FaultAction&, Time t) {
+      auto it = episode_of_action.find(i);
+      if (it != episode_of_action.end()) recovery->end_episode(it->second, t);
+    };
+  }
+
+  // Finalizes the collector and copies episodes + wire counters out.
+  void finish(std::vector<RecoveryStats::Episode>& episodes, FaultInjector::Counters& wire) {
+    if (!injector) return;
+    recovery->finalize();
+    episodes = recovery->episodes();
+    wire = injector->counters();
+  }
+};
+
+}  // namespace
 
 LongFlowResult run_long_flow(const LongFlowParams& p) {
   Simulator sim;
@@ -26,11 +63,15 @@ LongFlowResult run_long_flow(const LongFlowParams& p) {
   spec.msg_bytes = p.opt.msg_bytes;
   const FlowId id = net.start_flow(spec);
 
+  FaultHarness faults;
+  faults.attach(net, p.faults, /*fault_seed=*/p.seed ^ 0xfa017);
+
   CorePerfTimer timer(sim);
   net.run_until_done(p.max_time);
 
   LongFlowResult r;
   r.core = timer.finish();
+  faults.finish(r.fault_episodes, r.wire);
   const FlowRecord& rec = net.record(id);
   r.completed = rec.complete();
   r.elapsed = r.completed ? rec.fct() : sim.now();
@@ -97,6 +138,52 @@ UnequalPathsResult run_unequal_paths(SchemeKind scheme, double ratio, std::uint6
   return r;
 }
 
+FaultDrillResult run_fault_drill(const FaultDrillParams& p) {
+  Simulator sim;
+  Logger log(LogLevel::kError);
+  Network net(sim, log);
+
+  SchemeSetup setup = make_scheme(p.scheme, p.opt);
+  ClosParams clos = p.clos;
+  clos.sw = setup.sw;
+  if (setup.sw.pfc.enabled) clos.sw.pfc.enabled = true;
+  ClosTopology topo = build_clos(net, clos);
+  apply_scheme(net, setup);
+
+  // One long cross-rack flow: first host of the first leaf to the first
+  // host of the last leaf, so every leaf-spine link is a candidate path.
+  FlowSpec spec;
+  spec.src = topo.hosts.front()->id();
+  spec.dst = topo.hosts[static_cast<std::size_t>(clos.num_hosts() - clos.hosts_per_leaf)]->id();
+  spec.bytes = p.flow_bytes;
+  spec.start_time = 0;
+  spec.msg_bytes = p.msg_bytes;
+  const FlowId id = net.start_flow(spec);
+
+  FaultHarness faults;
+  faults.attach(net, p.faults, p.fault_seed ^ p.seed, p.sample_interval);
+
+  CorePerfTimer timer(sim);
+  net.run_until_done(p.max_time);
+
+  FaultDrillResult r;
+  r.core = timer.finish();
+  faults.finish(r.fault_episodes, r.wire);
+  const FlowRecord& rec = net.record(id);
+  r.completed = rec.complete();
+  r.elapsed = r.completed ? rec.fct() : sim.now();
+  Host* dst = net.host(spec.dst);
+  Host* src = net.host(spec.src);
+  r.receiver = rec.complete() ? rec.receiver : dst->receiver(id)->stats();
+  r.sender = rec.complete() ? rec.sender : src->sender(id)->stats();
+  if (r.elapsed > 0) {
+    r.goodput_gbps = static_cast<double>(r.receiver.bytes_received) * 8.0 /
+                     (static_cast<double>(r.elapsed) / kSecond) / 1e9;
+  }
+  r.sw = net.total_switch_stats();
+  return r;
+}
+
 WebSearchResult run_websearch(const WebSearchParams& p) {
   Simulator sim;
   Logger log(LogLevel::kError);
@@ -126,11 +213,15 @@ WebSearchResult run_websearch(const WebSearchParams& p) {
     generate_incast(net, topo.hosts, ip);
   }
 
+  FaultHarness faults;
+  faults.attach(net, p.faults, /*fault_seed=*/p.seed ^ 0xfa017);
+
   CorePerfTimer timer(sim);
   net.run_until_done(p.max_time);
 
   WebSearchResult r;
   r.core = timer.finish();
+  faults.finish(r.fault_episodes, r.wire);
   for (const FlowRecord& rec : net.records()) {
     r.flows_total++;
     if (!rec.complete()) continue;

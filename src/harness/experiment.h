@@ -6,9 +6,12 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
 #include "harness/scheme.h"
 #include "stats/core_perf.h"
 #include "stats/fct_stats.h"
+#include "stats/recovery_stats.h"
 #include "topo/clos.h"
 #include "topo/testbed.h"
 #include "workload/collective.h"
@@ -29,6 +32,7 @@ struct LongFlowParams {
   Time max_time = milliseconds(200);
   Time cross_link_delay = microseconds(1);  // 50 us = the 10 km fiber
   std::uint64_t seed = 1;
+  FaultPlan faults;  // optional: injected while the flow runs
 };
 
 struct LongFlowResult {
@@ -38,6 +42,8 @@ struct LongFlowResult {
   SenderStats sender;
   ReceiverStats receiver;
   Switch::Stats sw;
+  std::vector<RecoveryStats::Episode> fault_episodes;  // one per fired action
+  FaultInjector::Counters wire;                        // wire-level fault tally
   CorePerf core;  // simulator substrate speed for this run
 };
 
@@ -78,6 +84,7 @@ struct WebSearchParams {
   IncastParams incast;
   Time max_time = seconds(2);
   std::uint64_t seed = 42;
+  FaultPlan faults;  // optional: injected under the background workload
 };
 
 struct RetransSample {
@@ -98,10 +105,60 @@ struct WebSearchResult {
   std::size_t flows_total = 0;
   std::size_t flows_completed = 0;
   double ho_loss_ratio = 0.0;  // dropped HO / (dropped + delivered) (Table 5)
+  std::vector<RecoveryStats::Episode> fault_episodes;
+  FaultInjector::Counters wire;
   CorePerf core;
 };
 
 WebSearchResult run_websearch(const WebSearchParams& p);
+
+// ---------------------------------------------------------------------------
+// Fault drill: one long cross-rack flow under a FaultPlan
+// ---------------------------------------------------------------------------
+//
+// The canonical robustness experiment: a small leaf-spine fabric carries a
+// single long flow, the plan's faults fire mid-transfer, and the result
+// reports how the scheme rode them out.  An empty (or all-no-op) plan runs
+// bit-identically to a fault-free baseline.
+
+struct FaultDrillParams {
+  SchemeKind scheme = SchemeKind::kDcp;
+  SchemeOptions opt;
+  FaultPlan faults;
+  ClosParams clos = small_drill_clos();
+  std::uint64_t flow_bytes = 8ull * 1000 * 1000;
+  // Receivers account unique bytes at *message completion*, so the drill
+  // posts the flow at a granularity well below sample_interval's worth of
+  // line rate — with one flow-sized message the goodput sampler would see
+  // nothing until the very end.
+  std::uint64_t msg_bytes = 64 * 1024;
+  Time max_time = milliseconds(100);
+  std::uint64_t seed = 1;
+  std::uint64_t fault_seed = 0xfa017;
+  Time sample_interval = microseconds(20);
+
+  static ClosParams small_drill_clos() {
+    ClosParams c;
+    c.spines = 2;
+    c.leaves = 2;
+    c.hosts_per_leaf = 2;
+    return c;
+  }
+};
+
+struct FaultDrillResult {
+  double goodput_gbps = 0.0;
+  bool completed = false;
+  Time elapsed = 0;
+  SenderStats sender;
+  ReceiverStats receiver;
+  Switch::Stats sw;
+  std::vector<RecoveryStats::Episode> fault_episodes;
+  FaultInjector::Counters wire;
+  CorePerf core;
+};
+
+FaultDrillResult run_fault_drill(const FaultDrillParams& p);
 
 // ---------------------------------------------------------------------------
 // Collectives (Figs. 12, 14)

@@ -30,6 +30,16 @@ class Host final : public Node {
   SenderTransport* sender(FlowId id);
   ReceiverTransport* receiver(FlowId id);
 
+  /// All transports living on this host (live sampling, e.g. the recovery
+  /// statistics collector).  Transports persist after flow completion, so
+  /// iterating these covers finished flows too.
+  const std::unordered_map<FlowId, std::unique_ptr<SenderTransport>>& senders() const {
+    return senders_;
+  }
+  const std::unordered_map<FlowId, std::unique_ptr<ReceiverTransport>>& receivers() const {
+    return receivers_;
+  }
+
   /// Fired when a sender considers its flow fully acknowledged.
   std::function<void(FlowId)> on_sender_done;
   /// Fired when a receiver has every byte of the flow.

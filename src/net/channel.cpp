@@ -7,11 +7,36 @@ void Channel::deliver(PacketPtr pkt, Time extra) {
     discarded_packets_++;
     return;  // the dying handle recycles the packet
   }
+  if (fault_ != nullptr && fault_->active()) {
+    if (fault_->blackhole_refs > 0) {
+      fault_->blackholed++;
+      discarded_packets_++;
+      return;
+    }
+    if (fault_->drop_rate > 0.0 && fault_->rng->chance(fault_->drop_rate)) {
+      fault_->dropped++;
+      discarded_packets_++;
+      return;
+    }
+  }
+  // Corruption is decided now (deterministic draw order) but takes effect at
+  // the far end: the frame occupies the wire, then fails CRC on arrival.
+  const bool corrupt =
+      fault_ != nullptr && fault_->corrupt_rate > 0.0 && fault_->rng->chance(fault_->corrupt_rate);
   delivered_packets_++;
   delivered_bytes_ += pkt->wire_bytes;
+  const std::uint32_t epoch = cut_epoch_;
   sim_.schedule(extra + propagation_,
-                [dst = dst_, port = dst_port_, p = std::move(pkt)]() mutable {
-                  dst->receive(std::move(p), port);
+                [this, epoch, corrupt, p = std::move(pkt)]() mutable {
+                  if (epoch != cut_epoch_) {
+                    in_flight_dropped_++;  // a drop-in-flight cut happened mid-wire
+                    return;
+                  }
+                  if (corrupt) {
+                    if (fault_ != nullptr) fault_->corrupted++;
+                    return;
+                  }
+                  dst_->receive(std::move(p), dst_port_);
                 });
 }
 

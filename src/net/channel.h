@@ -10,10 +10,28 @@
 #include "net/node.h"
 #include "net/packet.h"
 #include "net/packet_pool.h"
+#include "sim/rng.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
 
 namespace dcp {
+
+/// Fault state a FaultInjector (src/fault) installs on a channel.  The
+/// struct is owned by the injector; the channel only holds a pointer, so
+/// the fault-free fast path costs one null check.  All probability draws
+/// come from `rng` — a stream dedicated to fault decisions — so enabling
+/// faults never perturbs workload or switch randomness.
+struct ChannelFault {
+  double drop_rate = 0.0;     // BER-style loss: packet vanishes at the wire
+  double corrupt_rate = 0.0;  // CRC failure: consumes the wire, dies at the far end
+  int blackhole_refs = 0;     // > 0: silently discards everything (port stays routed)
+  Rng* rng = nullptr;
+  std::uint64_t dropped = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t blackholed = 0;
+
+  bool active() const { return drop_rate > 0.0 || corrupt_rate > 0.0 || blackhole_refs > 0; }
+};
 
 class Channel {
  public:
@@ -39,12 +57,30 @@ class Channel {
   void deliver(Packet pkt, Time extra) { deliver(PacketPtr::make(std::move(pkt)), extra); }
 
   /// A downed channel discards everything handed to it (cut fiber).
-  void set_up(bool up) { up_ = up; }
+  /// Packets already on the wire at cut time follow the in-flight policy
+  /// below: by default they still arrive (the photons are past the cut);
+  /// with drop-in-flight they are lost too (cut at the far-end connector).
+  void set_up(bool up) {
+    if (!up && up_ && drop_in_flight_on_cut_) cut_epoch_++;
+    up_ = up;
+  }
   bool up() const { return up_; }
+
+  /// In-flight policy for set_up(false).  Default false: packets already
+  /// handed to the wire are delivered (what tests/test_failures.cpp relies
+  /// on — a cut only discards *subsequent* traffic).  True: a cut also
+  /// kills everything currently propagating, counted in in_flight_dropped().
+  void set_drop_in_flight_on_cut(bool drop) { drop_in_flight_on_cut_ = drop; }
+  bool drop_in_flight_on_cut() const { return drop_in_flight_on_cut_; }
+
+  /// Fault-injection state (see ChannelFault).  Pass nullptr to detach.
+  void set_fault(ChannelFault* f) { fault_ = f; }
+  ChannelFault* fault() const { return fault_; }
 
   std::uint64_t delivered_packets() const { return delivered_packets_; }
   std::uint64_t delivered_bytes() const { return delivered_bytes_; }
   std::uint64_t discarded_packets() const { return discarded_packets_; }
+  std::uint64_t in_flight_dropped() const { return in_flight_dropped_; }
 
  private:
   Simulator& sim_;
@@ -53,9 +89,13 @@ class Channel {
   Node* dst_ = nullptr;
   std::uint32_t dst_port_ = 0;
   bool up_ = true;
+  bool drop_in_flight_on_cut_ = false;
+  std::uint32_t cut_epoch_ = 0;  // bumped by drop-in-flight cuts
+  ChannelFault* fault_ = nullptr;
   std::uint64_t delivered_packets_ = 0;
   std::uint64_t delivered_bytes_ = 0;
   std::uint64_t discarded_packets_ = 0;
+  std::uint64_t in_flight_dropped_ = 0;
 };
 
 }  // namespace dcp

@@ -9,6 +9,17 @@
 
 namespace dcp {
 
+/// 64-bit mix hash used for ECMP and seed derivation (deterministic across
+/// runs, good spread).
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 1) : gen_(seed) {}
@@ -42,18 +53,16 @@ class Rng {
 
   std::mt19937_64& engine() { return gen_; }
 
+  /// Derives an independent deterministic stream from a seed and a tag.
+  /// Components with an optional stochastic feature (e.g. fault injection)
+  /// draw from their own substream so enabling the feature never perturbs
+  /// the draws of the base stream.
+  static Rng substream(std::uint64_t seed, std::uint64_t tag) {
+    return Rng(mix64(seed ^ mix64(tag)));
+  }
+
  private:
   std::mt19937_64 gen_;
 };
-
-/// 64-bit mix hash used for ECMP (deterministic across runs, good spread).
-constexpr std::uint64_t mix64(std::uint64_t x) {
-  x ^= x >> 33;
-  x *= 0xff51afd7ed558ccdULL;
-  x ^= x >> 33;
-  x *= 0xc4ceb9fe1a85ec53ULL;
-  x ^= x >> 33;
-  return x;
-}
 
 }  // namespace dcp

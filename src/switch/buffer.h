@@ -41,6 +41,11 @@ class SharedBuffer {
 
   std::uint64_t used() const { return used_; }
   std::uint64_t capacity() const { return capacity_; }
+
+  /// Resizes the shared pool (fault injection: buffer shrink/restore).
+  /// Shrinking below used() is legal: nothing is evicted, but alloc() fails
+  /// until the overshoot drains.
+  void set_capacity(std::uint64_t bytes) { capacity_ = bytes; }
   std::uint64_t max_used() const { return max_used_; }
   std::uint64_t ingress_bytes(std::uint32_t port, std::uint8_t cls) const {
     return ingress_bytes_[port][cls];

@@ -9,6 +9,7 @@ Switch::Switch(Simulator& sim, Logger& log, NodeId id, std::string name, SwitchC
     : Node(sim, log, id, std::move(name)),
       cfg_(cfg),
       rng_(seed),
+      fault_rng_(Rng::substream(seed, /*tag=*/0xfa017u)),
       flowlets_(cfg.flowlet_gap),
       buffer_(cfg.buffer_bytes, 0, cfg.pfc) {}
 
@@ -108,6 +109,16 @@ void Switch::egress_enqueue(PacketPtr pkt, std::uint32_t eport, std::uint32_t in
   // one breaks the lossless-control-plane property and is counted.
   if (pkt->queue_class == QueueClass::kControl || pkt->type == PktType::kHeaderOnly) {
     pkt->queue_class = QueueClass::kControl;
+    if (cfg_.inject_ho_loss_rate > 0.0 && fault_rng_.chance(cfg_.inject_ho_loss_rate)) {
+      if (pkt->type == PktType::kHeaderOnly) {
+        stats_.dropped_ho++;
+        stats_.injected_ho_drops++;
+      } else {
+        stats_.dropped_ctrl++;
+        stats_.injected_ctrl_drops++;
+      }
+      return;
+    }
     if (!buffer_.alloc(in_port, static_cast<std::uint8_t>(QueueClass::kControl),
                        pkt->wire_bytes)) {
       stats_.dropped_ho++;

@@ -49,6 +49,13 @@ struct SwitchConfig {
   // are trimmed instead of dropped, mirroring the paper's P4 manipulation.
   double inject_loss_rate = 0.0;
 
+  // Control-queue loss injection (0 disables): every packet entering the
+  // control queue — header-only packets above all — is dropped with this
+  // probability, directly violating the lossless-control-plane assumption
+  // (§4.5's failure regime).  Draws come from a dedicated fault RNG stream,
+  // so a zero rate leaves the switch's base randomness untouched.
+  double inject_ho_loss_rate = 0.0;
+
   LbPolicy lb = LbPolicy::kEcmp;
   Time flowlet_gap = microseconds(50);  // for LbPolicy::kFlowlet
 };
@@ -65,6 +72,8 @@ class Switch final : public Node {
     std::uint64_t dropped_ctrl = 0;     // ACK/CNP/non-DCP dropped over threshold
     std::uint64_t dropped_buffer_full = 0;
     std::uint64_t injected_drops = 0;
+    std::uint64_t injected_ho_drops = 0;    // HO losses forced by fault injection
+    std::uint64_t injected_ctrl_drops = 0;  // other control-queue fault losses
     std::uint64_t ecn_marked = 0;
     std::uint64_t pauses_sent = 0;
     std::uint64_t resumes_sent = 0;
@@ -88,6 +97,7 @@ class Switch final : public Node {
   std::uint32_t num_ports() const { return static_cast<std::uint32_t>(ports_.size()); }
   const Stats& stats() const { return stats_; }
   const SharedBuffer& buffer() const { return buffer_; }
+  SharedBuffer& buffer() { return buffer_; }  // fault injection resizes capacity
   SwitchConfig& config() { return cfg_; }
 
   /// Administratively fails/restores a link: a down port is excluded from
@@ -108,6 +118,7 @@ class Switch final : public Node {
 
   SwitchConfig cfg_;
   Rng rng_;
+  Rng fault_rng_;  // dedicated stream: drawn only while a fault rate is armed
   std::vector<std::unique_ptr<Port>> ports_;
   std::vector<bool> port_up_;
   bool any_port_down_ = false;

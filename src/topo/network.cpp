@@ -133,6 +133,8 @@ Switch::Stats Network::total_switch_stats() const {
     total.dropped_ctrl += st.dropped_ctrl;
     total.dropped_buffer_full += st.dropped_buffer_full;
     total.injected_drops += st.injected_drops;
+    total.injected_ho_drops += st.injected_ho_drops;
+    total.injected_ctrl_drops += st.injected_ctrl_drops;
     total.ecn_marked += st.ecn_marked;
     total.pauses_sent += st.pauses_sent;
     total.resumes_sent += st.resumes_sent;

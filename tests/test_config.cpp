@@ -99,6 +99,76 @@ TEST(Config, CollectiveRuns) {
   EXPECT_NE(report.find("done=yes"), std::string::npos);
 }
 
+TEST(Config, FaultsSectionParsesIntoPlan) {
+  const char* text =
+      "experiment = fault_drill\n"
+      "scheme = irn\n"
+      "flow_bytes = 3000000\n"
+      "[faults]\n"
+      "link_flap at=200us dur=300us sw=0 port=1 drop_inflight=true\n"
+      "drop at=1ms dur=500us rate=0.02\n"
+      "# comments still work here\n"
+      "ho_loss at=2ms rate=0.1\n";
+  std::string err;
+  auto cfg = parse_experiment_config(text, &err);
+  ASSERT_TRUE(cfg.has_value()) << err;
+  EXPECT_EQ(cfg->kind, ExperimentConfig::Kind::kFaultDrill);
+  EXPECT_EQ(cfg->faultdrill.scheme, SchemeKind::kIrn);
+  EXPECT_EQ(cfg->faultdrill.flow_bytes, 3'000'000u);
+  ASSERT_EQ(cfg->faults.actions.size(), 3u);
+  EXPECT_EQ(cfg->faults.actions[0].kind, FaultKind::kLinkFlap);
+  EXPECT_TRUE(cfg->faults.actions[0].drop_in_flight);
+  EXPECT_DOUBLE_EQ(cfg->faults.actions[1].rate, 0.02);
+  // The plan fans out to every experiment that accepts one.
+  EXPECT_EQ(cfg->faultdrill.faults, cfg->faults);
+  EXPECT_EQ(cfg->websearch.faults, cfg->faults);
+  EXPECT_EQ(cfg->longflow.faults, cfg->faults);
+}
+
+TEST(Config, FaultsSectionRoundTrips) {
+  const char* text =
+      "[faults]\n"
+      "link_flap at=200us dur=300us sw=0 port=1 drop_inflight=true\n"
+      "corrupt at=1ms dur=500us rate=0.001 sw=2\n"
+      "buffer_shrink at=3ms dur=1ms frac=0.5\n"
+      "blackhole at=4ms dur=100us sw=1 port=0\n";
+  auto cfg = parse_experiment_config(text);
+  ASSERT_TRUE(cfg.has_value());
+  // Serialize the parsed plan back into a config and re-parse: identical.
+  const std::string again_text = "[faults]\n" + cfg->faults.to_config_text();
+  auto again = parse_experiment_config(again_text);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(cfg->faults, again->faults);
+}
+
+TEST(Config, FaultsSectionErrors) {
+  std::string err;
+  EXPECT_FALSE(parse_experiment_config("[faults\n", &err).has_value());
+  EXPECT_NE(err.find("line 1"), std::string::npos);
+  EXPECT_FALSE(parse_experiment_config("[warp]\n", &err).has_value());
+  EXPECT_FALSE(parse_experiment_config("[faults]\ndrop at=1ms rate=7\n", &err).has_value());
+  EXPECT_NE(err.find("line 2"), std::string::npos);
+  EXPECT_FALSE(parse_experiment_config("experiment = fault_drill\n[faults]\nnonsense\n", &err)
+                   .has_value());
+}
+
+TEST(Config, FaultDrillRunsEndToEnd) {
+  const char* text =
+      "experiment = fault_drill\n"
+      "scheme = dcp\n"
+      "flow_bytes = 2000000\n"
+      "max_time_ms = 50\n"
+      "[faults]\n"
+      "drop at=100us dur=200us rate=0.02 sw=0\n";
+  auto cfg = parse_experiment_config(text);
+  ASSERT_TRUE(cfg.has_value());
+  const std::string report = run_configured_experiment(*cfg);
+  EXPECT_NE(report.find("fault_drill DCP"), std::string::npos);
+  EXPECT_NE(report.find("completed=yes"), std::string::npos);
+  EXPECT_NE(report.find("episodes 1"), std::string::npos);
+  EXPECT_NE(report.find("Episode"), std::string::npos);  // recovery table header
+}
+
 TEST(Config, MissingFileReportsError) {
   std::string err;
   EXPECT_FALSE(load_experiment_config("/no/such/file.conf", &err).has_value());

@@ -160,6 +160,27 @@ TEST(DcpTransport, SilentDropRecoveredByCoarseTimeout) {
   EXPECT_EQ(rec.receiver.bytes_received, 300'000u);
 }
 
+TEST(DcpTransport, HoLossFallbackRecoversEveryMessage) {
+  // Trimming is ON, so losses do produce HO notifications — but the
+  // control queue itself drops them (inject_ho_loss_rate): the injected
+  // violation of the lossless-control-plane assumption.  The precise
+  // HO-driven path silently loses its signal, so the sender's retry
+  // counters (sRetryNo/rRetryNo) must escalate to the coarse timeout and
+  // still deliver every message.
+  SwitchConfig sw = dcp_switch();
+  sw.inject_loss_rate = 0.05;     // data losses -> trims -> HO packets
+  sw.inject_ho_loss_rate = 0.8;   // ...which the control queue then eats
+  DcpFixture f(sw);
+  const FlowId id = f.flow(0, 2, 300'000, 50'000);
+  f.net.run_until_done(seconds(5));
+  const FlowRecord& rec = f.net.record(id);
+  ASSERT_TRUE(rec.complete());
+  EXPECT_GT(rec.sender.timeouts, 0u);  // the fallback escalation fired
+  EXPECT_EQ(rec.receiver.bytes_received, 300'000u);
+  const Switch::Stats stats = f.net.total_switch_stats();
+  EXPECT_GT(stats.injected_ho_drops, 0u);  // the fault actually engaged
+}
+
 TEST(DcpTransport, RetryRoundsDoNotCorruptCounting) {
   // Heavy silent loss + small messages: many sRetryNo rounds; counting must
   // still complete each message exactly once.

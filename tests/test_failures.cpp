@@ -37,6 +37,40 @@ TEST(Channel, DownChannelDiscards) {
   EXPECT_EQ(t.a->nic().channel().discarded_packets(), 1u);
 }
 
+TEST(Channel, CutInFlightPolicy) {
+  // Default cut semantics: set_up(false) discards only traffic handed to
+  // the wire *after* the cut; packets already propagating still arrive.
+  // The MidFlightLinkCut tests below rely on this — their in-flight losses
+  // happen at the dead switch's egress, not mid-wire.
+  FailFixture f;
+  BackToBack t = [&] {
+    Network& net = f.net;
+    BackToBack bb;
+    bb.a = net.add_host("a", Bandwidth::gbps(100), microseconds(1));
+    bb.b = net.add_host("b", Bandwidth::gbps(100), microseconds(1));
+    net.direct_link(bb.a, bb.b);
+    return bb;
+  }();
+  Channel& ch = t.a->nic().channel();
+  Packet p;
+  p.wire_bytes = 100;
+
+  ch.deliver(p, 0);   // on the wire...
+  ch.set_up(false);   // ...then the fiber is cut
+  f.sim.run();
+  EXPECT_EQ(ch.delivered_packets(), 1u);
+  EXPECT_EQ(ch.in_flight_dropped(), 0u);  // the photons are past the cut
+
+  // Opt-in drop-in-flight (what FaultInjector's link_flap uses with
+  // drop_inflight=true): the same sequence kills the wire-borne packet.
+  ch.set_up(true);
+  ch.set_drop_in_flight_on_cut(true);
+  ch.deliver(p, 0);
+  ch.set_up(false);
+  f.sim.run();
+  EXPECT_EQ(ch.in_flight_dropped(), 1u);
+}
+
 TEST(SwitchFailure, DownPortExcludedFromCandidates) {
   FailFixture f;
   SchemeSetup s = make_scheme(SchemeKind::kDcp);

@@ -177,6 +177,46 @@ TEST(SweepDeterminism, Fig17MatrixBitIdenticalAcrossJobCounts) {
   EXPECT_TRUE(any_retx);
 }
 
+TEST(SweepDeterminism, FaultDrillMatrixBitIdenticalAcrossJobCounts) {
+  // The robustness-bench shape: fault kind x scheme cells, each a fault
+  // drill with its own injector + recovery collector.  Fault RNG streams
+  // are per-trial state, so DCP_JOBS=8 must reproduce DCP_JOBS=1 exactly.
+  auto matrix = [](unsigned jobs) {
+    const SchemeKind kinds[] = {SchemeKind::kDcp, SchemeKind::kIrn};
+    const FaultKind faults[] = {FaultKind::kDrop, FaultKind::kLinkFlap, FaultKind::kHoLoss};
+    SweepRunner pool(jobs);
+    pool.set_progress(false);
+    return pool.run(6, [&](std::size_t i) {
+      FaultDrillParams p;
+      p.scheme = kinds[i % 2];
+      p.flow_bytes = 2ull * 1000 * 1000;
+      p.max_time = milliseconds(50);
+      FaultAction a;
+      a.kind = faults[i / 2];
+      a.at = microseconds(100);
+      a.duration = microseconds(200);
+      a.rate = 0.02;
+      a.sw = 0;
+      if (a.kind == FaultKind::kLinkFlap) a.port = 0;
+      p.faults.actions.push_back(a);
+      const FaultDrillResult r = run_fault_drill(p);
+      TrialDigest d;
+      d.goodput = r.goodput_gbps;
+      d.elapsed = r.elapsed;
+      d.completed = r.completed;
+      d.retransmitted = r.sender.retransmitted_packets;
+      d.events = r.core.events_processed;
+      return d;
+    });
+  };
+  const std::vector<TrialDigest> serial = matrix(1);
+  const std::vector<TrialDigest> parallel = matrix(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "trial " << i;
+  }
+}
+
 TEST(SweepDeterminism, WebsearchSweepMatchesSerial) {
   auto sweep = [](unsigned jobs) {
     const std::uint64_t seeds[] = {11, 23};
