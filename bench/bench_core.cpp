@@ -8,8 +8,10 @@
 // before/after comparison the numbers in docs/architecture.md come from.
 
 #include <cstdio>
+#include <memory>
 #include <vector>
 
+#include "check/invariant_oracle.h"
 #include "harness/experiment.h"
 #include "harness/sweep.h"
 #include "sim/event_queue.h"
@@ -45,8 +47,10 @@ CorePerf micro_event_churn(std::uint64_t total) {
 
 /// Full-stack macro run: DCP on a 2x2x4 CLOS with 0.5% injected loss,
 /// 400 websearch flows at 40% load (the seed baseline was measured on this
-/// exact configuration).
-CorePerf macro_websearch() {
+/// exact configuration).  With `oracle`, the InvariantOracle rides along —
+/// the delta against the unarmed entry is the checking overhead (the armed
+/// run must also come back clean).
+CorePerf macro_websearch(bool oracle = false) {
   Simulator sim;
   Logger log(LogLevel::kOff);
   Network net(sim, log);
@@ -67,9 +71,28 @@ CorePerf macro_websearch() {
   fg.seed = 7;
   generate_poisson_flows(net, topo.hosts, SizeDist::websearch(), fg);
 
+  std::unique_ptr<InvariantOracle> ora;
+  if (oracle) ora = std::make_unique<InvariantOracle>(net);
   CorePerfTimer timer(sim);
   net.run_until_done(seconds(10));
-  return timer.finish();
+  CorePerf perf = timer.finish();
+  if (ora) {
+    ora->finalize();
+    if (!ora->ok()) {
+      std::fprintf(stderr, "ORACLE VIOLATION in macro bench: %s\n", ora->summary().c_str());
+      perf.events_processed = 0;  // poison the entry so the regression is loud
+    }
+  }
+  return perf;
+}
+
+/// Faster (by wall clock) of two macro samples; a poisoned sample (oracle
+/// violation zeroed its event count) always wins so the regression stays
+/// loud.
+CorePerf min_wall(const CorePerf& a, const CorePerf& b) {
+  if (a.events_processed == 0) return a;
+  if (b.events_processed == 0) return b;
+  return b.wall_seconds < a.wall_seconds ? b : a;
 }
 
 /// The same metric surfaced through the standard harness runner, proving
@@ -141,7 +164,17 @@ int main() {
   std::vector<CorePerfEntry> entries;
   entries.push_back({"micro_event_queue_push_pop_1M", micro_event_churn(1'000'000),
                      kSeedMicroEventsPerSec});
-  entries.push_back({"macro_websearch_clos_loss", macro_websearch(), kSeedMacroEventsPerSec});
+  // The armed-vs-unarmed delta is a few percent — smaller than scheduler
+  // noise on a loaded host — so the pair is sampled interleaved (drift hits
+  // both sides alike) and each entry keeps its best-of-3 wall clock.
+  CorePerf macro_unarmed = macro_websearch(/*oracle=*/false);
+  CorePerf macro_armed = macro_websearch(/*oracle=*/true);
+  for (int i = 1; i < 3; ++i) {
+    macro_unarmed = min_wall(macro_unarmed, macro_websearch(/*oracle=*/false));
+    macro_armed = min_wall(macro_armed, macro_websearch(/*oracle=*/true));
+  }
+  entries.push_back({"macro_websearch_clos_loss", macro_unarmed, kSeedMacroEventsPerSec});
+  entries.push_back({"macro_websearch_oracle_armed", macro_armed, 0.0});
   entries.push_back({"harness_run_websearch", harness_websearch(), 0.0});
 
   for (const CorePerfEntry& e : entries) {
@@ -153,6 +186,15 @@ int main() {
                   e.perf.events_per_sec() / e.baseline_events_per_sec);
     }
     std::printf("\n");
+  }
+
+  // Oracle overhead on the macro run (acceptance: <= 5% when armed, zero
+  // when off — the unarmed run compiles to null-checked hook sites only).
+  const double unarmed = entries[1].perf.events_per_sec();
+  const double armed = entries[2].perf.events_per_sec();
+  if (unarmed > 0.0 && armed > 0.0) {
+    std::printf("%-32s %.2f%% (armed %.3gM vs unarmed %.3gM events/sec)\n", "oracle_overhead",
+                (unarmed / armed - 1.0) * 100.0, armed / 1e6, unarmed / 1e6);
   }
 
   const SuiteParallelEntry suite = suite_parallel();

@@ -1,0 +1,173 @@
+#include "check/broken.h"
+
+namespace dcp {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Toy protocol
+// ---------------------------------------------------------------------------
+
+class ToySender : public SenderTransport {
+ public:
+  using SenderTransport::SenderTransport;
+
+  void on_packet(Packet pkt) override {
+    if (pkt.type == PktType::kAck) finish();
+  }
+  bool done() const override { return finished_; }
+
+ protected:
+  bool protocol_has_packet() override { return next_ < plan_size(); }
+  Packet protocol_next_packet() override { return packet_at(next_++); }
+
+  virtual std::uint32_t plan_size() const { return total_packets(); }
+  virtual Packet packet_at(std::uint32_t i) {
+    return make_data_packet(i, HeaderSizes::kRoceData);
+  }
+
+  std::uint32_t next_ = 0;
+};
+
+// After the real stream, re-sends an already-sent PSN without the
+// retransmit flag — to the oracle, new data going backwards.
+class PsnRegressSender final : public ToySender {
+ public:
+  using ToySender::ToySender;
+
+ protected:
+  std::uint32_t plan_size() const override { return total_packets() + 1; }
+  Packet packet_at(std::uint32_t i) override {
+    if (i < total_packets()) return ToySender::packet_at(i);
+    Packet p = make_data_packet(total_packets() > 1 ? total_packets() - 2 : 0,
+                                HeaderSizes::kRoceData);
+    p.last_of_flow = false;
+    return p;
+  }
+};
+
+class ToySink : public ReceiverTransport {
+ public:
+  using ReceiverTransport::ReceiverTransport;
+
+  void on_packet(Packet pkt) override {
+    if (pkt.type != PktType::kData) return;
+    if (pkt.psn >= seen_.size()) seen_.resize(pkt.psn + 1, false);
+    if (!seen_[pkt.psn]) {
+      seen_[pkt.psn] = true;
+      stats_.data_packets++;
+      stats_.bytes_received += pkt.payload_bytes;
+    } else {
+      stats_.duplicate_packets++;
+    }
+    on_data(pkt);
+    if (!done_ && stats_.bytes_received >= spec_.bytes) {
+      done_ = true;
+      on_all_bytes();
+    }
+  }
+  bool complete() const override { return done_; }
+
+ protected:
+  virtual void on_data(const Packet&) {}
+  virtual void on_all_bytes() {
+    mark_complete();
+    send_final_ack();
+  }
+  void send_final_ack() { send_control(make_control(PktType::kAck, HeaderSizes::kRoceAck)); }
+
+ private:
+  std::vector<bool> seen_;
+  bool done_ = false;
+};
+
+class DupCompleteSink final : public ToySink {
+ public:
+  using ToySink::ToySink;
+
+ protected:
+  void on_all_bytes() override {
+    mark_complete();
+    mark_complete();  // the seeded defect: the CQE fires twice
+    send_final_ack();
+  }
+};
+
+class ForgedHoSink final : public ToySink {
+ public:
+  using ToySink::ToySink;
+
+ protected:
+  void on_data(const Packet&) override {
+    if (forged_) return;
+    forged_ = true;
+    // Bounce an HO toward the sender although nothing was ever trimmed.
+    send_control(make_control(PktType::kHeaderOnly, HeaderSizes::kDcpHeaderOnly));
+  }
+
+ private:
+  bool forged_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Broken DCP: duplicate completion on the first retransmitted packet
+// ---------------------------------------------------------------------------
+
+class RetryDupReceiver final : public ReceiverTransport {
+ public:
+  RetryDupReceiver(Simulator& sim, Host& host, FlowSpec spec, TransportConfig cfg)
+      : ReceiverTransport(sim, host, spec, cfg), inner_(sim, host, spec, cfg) {}
+
+  void on_packet(Packet pkt) override {
+    const bool trigger = !fired_ && pkt.type == PktType::kData && pkt.is_retransmit;
+    inner_.on_packet(std::move(pkt));
+    stats_ = inner_.stats();  // mirror so flow records stay truthful
+    if (trigger) {
+      fired_ = true;
+      mark_complete();  // premature CQE; the real one follows from inner_
+    }
+  }
+  bool complete() const override { return inner_.complete(); }
+
+ private:
+  DcpReceiver inner_;
+  bool fired_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<SenderTransport> ToyFactory::make_sender(Simulator& sim, Host& host,
+                                                         const FlowSpec& spec,
+                                                         const TransportConfig& cfg) {
+  if (bug_ == ToyBug::kPsnRegress) {
+    return std::make_unique<PsnRegressSender>(sim, host, spec, cfg);
+  }
+  return std::make_unique<ToySender>(sim, host, spec, cfg);
+}
+
+std::unique_ptr<ReceiverTransport> ToyFactory::make_receiver(Simulator& sim, Host& host,
+                                                             const FlowSpec& spec,
+                                                             const TransportConfig& cfg) {
+  switch (bug_) {
+    case ToyBug::kDupComplete:
+      return std::make_unique<DupCompleteSink>(sim, host, spec, cfg);
+    case ToyBug::kForgedHo:
+      return std::make_unique<ForgedHoSink>(sim, host, spec, cfg);
+    default:
+      return std::make_unique<ToySink>(sim, host, spec, cfg);
+  }
+}
+
+std::unique_ptr<SenderTransport> BrokenDcpFactory::make_sender(Simulator& sim, Host& host,
+                                                               const FlowSpec& spec,
+                                                               const TransportConfig& cfg) {
+  return std::make_unique<DcpSender>(sim, host, spec, cfg);
+}
+
+std::unique_ptr<ReceiverTransport> BrokenDcpFactory::make_receiver(Simulator& sim, Host& host,
+                                                                   const FlowSpec& spec,
+                                                                   const TransportConfig& cfg) {
+  return std::make_unique<RetryDupReceiver>(sim, host, spec, cfg);
+}
+
+}  // namespace dcp

@@ -1,0 +1,433 @@
+#include "check/fuzzer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "check/invariant_oracle.h"
+#include "fault/fault_injector.h"
+#include "sim/rng.h"
+#include "topo/clos.h"
+
+namespace dcp {
+
+namespace {
+
+// Substream tags: one independent stream per scenario aspect, so e.g. a
+// change to the fault generator never shifts the workload draw of a seed.
+constexpr std::uint64_t kTagScheme = 0x5c11e3e;
+constexpr std::uint64_t kTagTopo = 0x70b0;
+constexpr std::uint64_t kTagFlows = 0xf10a5;
+constexpr std::uint64_t kTagFaults = 0xfa0175;
+// Fault-injection seed for the run itself (probability draws on links).
+constexpr std::uint64_t kTagInject = 0xfa5eed;
+
+// Same grammar as fault_plan.cpp (whose helpers are file-static).
+std::string time_str(Time t) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9gus", to_us(t));
+  return buf;
+}
+
+bool parse_time_str(const std::string& v, Time* out) {
+  char* end = nullptr;
+  const double x = std::strtod(v.c_str(), &end);
+  if (end == v.c_str()) return false;
+  const std::string unit(end);
+  if (unit == "ns") *out = nanoseconds(x);
+  else if (unit == "us" || unit.empty()) *out = microseconds(x);
+  else if (unit == "ms") *out = milliseconds(x);
+  else if (unit == "s") *out = seconds(x);
+  else return false;
+  return true;
+}
+
+std::string trim_copy(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+std::optional<SchemeKind> scheme_from_name(const std::string& name) {
+  std::string low;
+  for (char c : name) low += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  static constexpr SchemeKind kAll[] = {
+      SchemeKind::kPfc,  SchemeKind::kIrn,     SchemeKind::kIrnEcmp,
+      SchemeKind::kMpRdma, SchemeKind::kDcp,   SchemeKind::kCx5,
+      SchemeKind::kTimeout, SchemeKind::kRackTlp, SchemeKind::kTcp};
+  for (SchemeKind k : kAll) {
+    std::string n = scheme_name(k);
+    for (char& c : n) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (n == low) return k;
+  }
+  return std::nullopt;
+}
+
+FuzzScenario generate_fuzz_scenario(std::uint64_t seed) {
+  FuzzScenario s;
+  s.seed = seed;
+  s.max_time = milliseconds(50);
+
+  // Scheme: every scheme appears, DCP weighted up — it is the protocol
+  // under test, and the invariants with the most teeth (HO conservation,
+  // bounded tracking, retry escalation) only arm on its wire format.
+  {
+    Rng r = Rng::substream(seed, kTagScheme);
+    static constexpr SchemeKind kPool[] = {
+        SchemeKind::kDcp,     SchemeKind::kDcp, SchemeKind::kDcp,
+        SchemeKind::kPfc,     SchemeKind::kIrn, SchemeKind::kIrnEcmp,
+        SchemeKind::kMpRdma,  SchemeKind::kCx5, SchemeKind::kTimeout,
+        SchemeKind::kRackTlp, SchemeKind::kTcp};
+    s.scheme = kPool[r.pick_index(std::size(kPool))];
+  }
+
+  {
+    Rng r = Rng::substream(seed, kTagTopo);
+    s.spines = static_cast<int>(r.uniform_int(1, 3));
+    s.leaves = static_cast<int>(r.uniform_int(2, 3));
+    s.hosts_per_leaf = static_cast<int>(r.uniform_int(1, 3));
+  }
+
+  {
+    Rng r = Rng::substream(seed, kTagFlows);
+    const int hosts = s.num_hosts();
+    const int n = static_cast<int>(r.uniform_int(1, 6));
+    for (int i = 0; i < n; ++i) {
+      FuzzFlow f;
+      f.src = static_cast<int>(r.pick_index(static_cast<std::size_t>(hosts)));
+      f.dst = static_cast<int>(r.pick_index(static_cast<std::size_t>(hosts - 1)));
+      if (f.dst >= f.src) f.dst++;  // loopback flows are not modeled
+      // Log-uniform flow sizes: 2 KB .. 300 KB.
+      f.bytes = static_cast<std::uint64_t>(std::exp(r.uniform(std::log(2e3), std::log(3e5))));
+      static constexpr std::uint64_t kMsg[] = {0, 4096, 16384, 65536};
+      f.msg_bytes = kMsg[r.pick_index(std::size(kMsg))];
+      f.start = microseconds(r.uniform(0.0, 300.0));
+      s.flows.push_back(f);
+    }
+  }
+
+  {
+    Rng r = Rng::substream(seed, kTagFaults);
+    // Probabilities quantized to 6 decimals: the repro grammar serializes
+    // them with %.9g, and a full-precision double would not round-trip.
+    const auto q = [](double x) { return std::round(x * 1e6) / 1e6; };
+    const int n = static_cast<int>(r.uniform_int(0, 6));
+    const std::uint32_t num_sw = static_cast<std::uint32_t>(s.spines + s.leaves);
+    for (int i = 0; i < n; ++i) {
+      FaultAction a;
+      static constexpr FaultKind kKinds[] = {FaultKind::kLinkFlap,     FaultKind::kDrop,
+                                             FaultKind::kCorrupt,      FaultKind::kHoLoss,
+                                             FaultKind::kBufferShrink, FaultKind::kBlackhole};
+      a.kind = kKinds[r.pick_index(std::size(kKinds))];
+      a.at = microseconds(r.uniform(0.0, 600.0));
+      a.sw = r.chance(0.25) ? FaultAction::kAll
+                            : static_cast<std::uint32_t>(r.pick_index(num_sw));
+      // Ports beyond a switch's radix are silently ignored by the injector,
+      // so a generous range is safe and exercises the fan-out paths.
+      a.port = r.chance(0.25) ? FaultAction::kAll
+                              : static_cast<std::uint32_t>(r.uniform_int(0, 5));
+      switch (a.kind) {
+        case FaultKind::kLinkFlap:
+        case FaultKind::kBlackhole:
+          a.duration = microseconds(r.uniform(20.0, 400.0));
+          a.drop_in_flight = a.kind == FaultKind::kLinkFlap && r.chance(0.5);
+          break;
+        case FaultKind::kDrop:
+        case FaultKind::kCorrupt:
+          a.rate = q(r.uniform(0.001, 0.2));
+          a.duration = r.chance(0.3) ? 0 : microseconds(r.uniform(20.0, 400.0));
+          break;
+        case FaultKind::kHoLoss:
+          a.rate = q(r.uniform(0.05, 0.6));
+          a.duration = r.chance(0.3) ? 0 : microseconds(r.uniform(20.0, 400.0));
+          break;
+        case FaultKind::kBufferShrink:
+          a.frac = q(r.uniform(0.05, 0.8));
+          a.duration = microseconds(r.uniform(20.0, 400.0));
+          break;
+      }
+      s.faults.actions.push_back(a);
+    }
+  }
+  return s;
+}
+
+FuzzVerdict run_fuzz_scenario(const FuzzScenario& s, const FuzzOptions& opt) {
+  Simulator sim;
+  Logger log(LogLevel::kError);
+  Network net(sim, log);
+
+  SchemeSetup setup = make_scheme(s.scheme);
+  ClosParams clos;
+  clos.spines = s.spines;
+  clos.leaves = s.leaves;
+  clos.hosts_per_leaf = s.hosts_per_leaf;
+  clos.sw = setup.sw;
+  ClosTopology topo = build_clos(net, clos);
+  apply_scheme(net, setup);
+  if (opt.factory_override) net.set_factory(opt.factory_override);
+
+  for (const FuzzFlow& f : s.flows) {
+    FlowSpec spec;
+    spec.src = topo.hosts.at(static_cast<std::size_t>(f.src))->id();
+    spec.dst = topo.hosts.at(static_cast<std::size_t>(f.dst))->id();
+    spec.bytes = f.bytes;
+    spec.msg_bytes = f.msg_bytes;
+    spec.start_time = f.start;
+    net.start_flow(spec);
+  }
+
+  InvariantOracle oracle(net);
+  std::unique_ptr<FaultInjector> inj;
+  if (s.faults.has_effect()) {
+    inj = std::make_unique<FaultInjector>(net, s.faults, mix64(s.seed ^ kTagInject));
+  }
+
+  net.run_until_done(s.max_time);
+  oracle.finalize();
+
+  FuzzVerdict v;
+  v.violated = !oracle.ok();
+  v.num_violations = oracle.violations().size();
+  v.all_complete = net.all_flows_done();
+  if (const InvariantViolation* first = oracle.first()) {
+    v.invariant = first->invariant;
+    v.at = first->at;
+    v.message = oracle.summary();
+    v.trace = oracle.trace_slice(opt.trace_events);
+  }
+  return v;
+}
+
+namespace {
+
+bool reproduces(const FuzzScenario& s, const FuzzOptions& opt, const std::string& invariant,
+                ShrinkStats& st, std::size_t max_runs) {
+  if (st.runs >= max_runs) return false;
+  st.runs++;
+  const FuzzVerdict v = run_fuzz_scenario(s, opt);
+  return v.violated && v.invariant == invariant;
+}
+
+}  // namespace
+
+FuzzScenario shrink_fuzz_scenario(const FuzzScenario& s, const FuzzOptions& opt,
+                                  ShrinkStats* stats, std::size_t max_runs) {
+  ShrinkStats local;
+  ShrinkStats& st = stats != nullptr ? *stats : local;
+  st = {};
+  st.actions_before = s.faults.actions.size();
+  st.flows_before = s.flows.size();
+
+  const FuzzVerdict base = run_fuzz_scenario(s, opt);
+  st.runs++;
+  if (!base.violated) {
+    st.actions_after = st.actions_before;
+    st.flows_after = st.flows_before;
+    return s;
+  }
+  const std::string& inv = base.invariant;
+  FuzzScenario cur = s;
+
+  // Phase 1: ddmin over fault actions — remove chunks, halving the chunk
+  // size whenever a whole pass removes nothing.
+  std::size_t chunk = std::max<std::size_t>(1, cur.faults.actions.size() / 2);
+  while (!cur.faults.actions.empty()) {
+    bool removed = false;
+    for (std::size_t i = 0; i < cur.faults.actions.size();) {
+      FuzzScenario cand = cur;
+      auto& acts = cand.faults.actions;
+      const std::size_t end = std::min(i + chunk, acts.size());
+      acts.erase(acts.begin() + static_cast<std::ptrdiff_t>(i),
+                 acts.begin() + static_cast<std::ptrdiff_t>(end));
+      if (reproduces(cand, opt, inv, st, max_runs)) {
+        cur = std::move(cand);
+        removed = true;  // the next candidate shifted into slot i
+      } else {
+        i = end;
+      }
+    }
+    if (!removed && chunk == 1) break;
+    if (!removed) chunk = std::max<std::size_t>(1, chunk / 2);
+  }
+
+  // Phase 2: drop whole flows (a repro needs at least one).
+  for (std::size_t i = 0; cur.flows.size() > 1 && i < cur.flows.size();) {
+    FuzzScenario cand = cur;
+    cand.flows.erase(cand.flows.begin() + static_cast<std::ptrdiff_t>(i));
+    if (reproduces(cand, opt, inv, st, max_runs)) {
+      cur = std::move(cand);
+    } else {
+      ++i;
+    }
+  }
+
+  // Phase 3: halve flow and message sizes while the violation survives.
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (std::size_t i = 0; i < cur.flows.size(); ++i) {
+      if (cur.flows[i].bytes >= 2000) {
+        FuzzScenario cand = cur;
+        cand.flows[i].bytes /= 2;
+        if (reproduces(cand, opt, inv, st, max_runs)) {
+          cur = std::move(cand);
+          changed = true;
+        }
+      }
+      if (cur.flows[i].msg_bytes >= 2048) {
+        FuzzScenario cand = cur;
+        cand.flows[i].msg_bytes /= 2;
+        if (reproduces(cand, opt, inv, st, max_runs)) {
+          cur = std::move(cand);
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Phase 4: shorten the schedule.
+  while (cur.max_time / 2 >= milliseconds(1)) {
+    FuzzScenario cand = cur;
+    cand.max_time /= 2;
+    if (!reproduces(cand, opt, inv, st, max_runs)) break;
+    cur = std::move(cand);
+  }
+
+  st.actions_after = cur.faults.actions.size();
+  st.flows_after = cur.flows.size();
+  return cur;
+}
+
+std::string write_fuzz_repro(const FuzzScenario& s, const FuzzVerdict& v) {
+  std::string out;
+  out += "# run_fuzz repro — replay with: run_fuzz --replay <this file>\n";
+  out += "[scenario]\n";
+  out += "seed = " + std::to_string(s.seed) + "\n";
+  out += std::string("scheme = ") + scheme_name(s.scheme) + "\n";
+  out += "spines = " + std::to_string(s.spines) + "\n";
+  out += "leaves = " + std::to_string(s.leaves) + "\n";
+  out += "hosts_per_leaf = " + std::to_string(s.hosts_per_leaf) + "\n";
+  out += "max_time = " + time_str(s.max_time) + "\n";
+  for (const FuzzFlow& f : s.flows) {
+    out += "flow src=" + std::to_string(f.src) + " dst=" + std::to_string(f.dst) +
+           " bytes=" + std::to_string(f.bytes) + " msg=" + std::to_string(f.msg_bytes) +
+           " start=" + time_str(f.start) + "\n";
+  }
+  out += "[faults]\n";
+  out += s.faults.to_config_text();
+  out += "\n";
+  if (v.violated) {
+    out += "# verdict: " + v.message + "\n";
+    if (!v.trace.empty()) {
+      out += "# trace (oldest first, frozen at first violation):\n";
+      std::istringstream in(v.trace);
+      std::string line;
+      while (std::getline(in, line)) out += "#   " + line + "\n";
+    }
+  } else {
+    out += "# verdict: all invariants held\n";
+  }
+  return out;
+}
+
+std::optional<FuzzScenario> parse_fuzz_scenario(const std::string& text, std::string* error) {
+  auto fail = [&](const std::string& msg) -> std::optional<FuzzScenario> {
+    if (error != nullptr) *error = msg;
+    return std::nullopt;
+  };
+
+  FuzzScenario s;
+  s.flows.clear();
+  std::string faults_text;
+  enum class Section { kNone, kScenario, kFaults } section = Section::kNone;
+
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    const std::string line = trim_copy(raw);
+    if (line.empty()) continue;
+    if (line == "[scenario]") {
+      section = Section::kScenario;
+      continue;
+    }
+    if (line == "[faults]") {
+      section = Section::kFaults;
+      continue;
+    }
+    if (section == Section::kFaults) {
+      faults_text += line + "\n";
+      continue;
+    }
+    if (section != Section::kScenario) {
+      return fail("line " + std::to_string(line_no) + ": content before [scenario]");
+    }
+    if (line.rfind("flow ", 0) == 0) {
+      FuzzFlow f;
+      std::istringstream fin(line.substr(5));
+      std::string kv;
+      while (fin >> kv) {
+        const std::size_t eq = kv.find('=');
+        if (eq == std::string::npos) {
+          return fail("line " + std::to_string(line_no) + ": expected key=value");
+        }
+        const std::string key = kv.substr(0, eq);
+        const std::string val = kv.substr(eq + 1);
+        bool ok = true;
+        if (key == "src") f.src = std::atoi(val.c_str());
+        else if (key == "dst") f.dst = std::atoi(val.c_str());
+        else if (key == "bytes") f.bytes = std::strtoull(val.c_str(), nullptr, 10);
+        else if (key == "msg") f.msg_bytes = std::strtoull(val.c_str(), nullptr, 10);
+        else if (key == "start") ok = parse_time_str(val, &f.start);
+        else ok = false;
+        if (!ok) return fail("line " + std::to_string(line_no) + ": bad flow key '" + key + "'");
+      }
+      s.flows.push_back(f);
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return fail("line " + std::to_string(line_no) + ": expected key = value");
+    }
+    const std::string key = trim_copy(line.substr(0, eq));
+    const std::string val = trim_copy(line.substr(eq + 1));
+    bool ok = true;
+    if (key == "seed") s.seed = std::strtoull(val.c_str(), nullptr, 10);
+    else if (key == "scheme") {
+      auto k = scheme_from_name(val);
+      ok = k.has_value();
+      if (ok) s.scheme = *k;
+    } else if (key == "spines") s.spines = std::atoi(val.c_str());
+    else if (key == "leaves") s.leaves = std::atoi(val.c_str());
+    else if (key == "hosts_per_leaf") s.hosts_per_leaf = std::atoi(val.c_str());
+    else if (key == "max_time") ok = parse_time_str(val, &s.max_time);
+    else ok = false;
+    if (!ok) return fail("line " + std::to_string(line_no) + ": bad entry '" + line + "'");
+  }
+
+  if (section == Section::kNone) return fail("no [scenario] section");
+  if (s.flows.empty()) return fail("scenario has no flows");
+  if (s.spines < 1 || s.leaves < 1 || s.hosts_per_leaf < 1) return fail("bad topology");
+  for (const FuzzFlow& f : s.flows) {
+    if (f.src < 0 || f.dst < 0 || f.src >= s.num_hosts() || f.dst >= s.num_hosts() ||
+        f.src == f.dst) {
+      return fail("flow endpoints out of range (or src == dst)");
+    }
+  }
+  std::string err;
+  auto plan = parse_fault_plan(faults_text, &err);
+  if (!plan) return fail(err);
+  s.faults = *plan;
+  return s;
+}
+
+}  // namespace dcp

@@ -1,3 +1,4 @@
+#include "check/observer.h"
 #include "core/dcp_transport.h"
 #include "host/host.h"
 
@@ -123,6 +124,7 @@ void DcpReceiver::on_packet(Packet pkt) {
     for (std::uint32_t m = prev_emsn; m < tracker_.emsn(); ++m) {
       rretry_[m % cfg_.outstanding_msgs] = 0;
       stats_.bytes_received += layout_.msg_bytes_of(m);
+      if (CheckObserver* ob = sim_.check_observer()) ob->on_msg_complete(spec_.id, m);
     }
     send_emsn_ack();
     if (complete()) mark_complete();
@@ -221,6 +223,7 @@ void DcpBitmapReceiver::on_packet(Packet pkt) {
   while (emsn_ < layout_.num_msgs &&
          scan_ >= layout_.msg_start_psn(emsn_) + layout_.msg_pkts(emsn_)) {
     stats_.bytes_received += layout_.msg_bytes_of(emsn_);
+    if (CheckObserver* ob = sim_.check_observer()) ob->on_msg_complete(spec_.id, emsn_);
     ++emsn_;
   }
   if (emsn_ > prev_emsn) {

@@ -160,6 +160,9 @@ FaultDrillResult run_fault_drill(const FaultDrillParams& p) {
   spec.msg_bytes = p.msg_bytes;
   const FlowId id = net.start_flow(spec);
 
+  std::unique_ptr<InvariantOracle> oracle;
+  if (p.oracle) oracle = std::make_unique<InvariantOracle>(net);
+
   FaultHarness faults;
   faults.attach(net, p.faults, p.fault_seed ^ p.seed, p.sample_interval);
 
@@ -168,6 +171,10 @@ FaultDrillResult run_fault_drill(const FaultDrillParams& p) {
 
   FaultDrillResult r;
   r.core = timer.finish();
+  if (oracle) {
+    oracle->finalize();
+    r.violations = oracle->violations();
+  }
   faults.finish(r.fault_episodes, r.wire);
   const FlowRecord& rec = net.record(id);
   r.completed = rec.complete();

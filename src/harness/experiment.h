@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/invariant_oracle.h"
 #include "fault/fault_injector.h"
 #include "fault/fault_plan.h"
 #include "harness/scheme.h"
@@ -136,6 +137,9 @@ struct FaultDrillParams {
   std::uint64_t seed = 1;
   std::uint64_t fault_seed = 0xfa017;
   Time sample_interval = microseconds(20);
+  /// Arms the InvariantOracle for the whole run; violations land in
+  /// FaultDrillResult::violations.  Off by default (≈ zero-cost hooks).
+  bool oracle = false;
 
   static ClosParams small_drill_clos() {
     ClosParams c;
@@ -156,6 +160,7 @@ struct FaultDrillResult {
   std::vector<RecoveryStats::Episode> fault_episodes;
   FaultInjector::Counters wire;
   CorePerf core;
+  std::vector<InvariantViolation> violations;  // only when params.oracle
 };
 
 FaultDrillResult run_fault_drill(const FaultDrillParams& p);

@@ -1,5 +1,7 @@
 #include "host/host.h"
 
+#include "check/observer.h"
+
 namespace dcp {
 
 void Host::receive(PacketPtr pkt, std::uint32_t in_port) {
@@ -9,6 +11,7 @@ void Host::receive(PacketPtr pkt, std::uint32_t in_port) {
     nic_.set_paused(pkt->type == PktType::kPfcPause);
     return;
   }
+  if (CheckObserver* ob = sim_.check_observer()) ob->on_host_deliver(id(), *pkt);
 
   // End of the pooled path: the transport state machines take the packet
   // by value (one final move out of the pool slot).
@@ -45,6 +48,9 @@ void Host::receive(PacketPtr pkt, std::uint32_t in_port) {
     }
     default:
       break;
+  }
+  if (CheckObserver* ob = sim_.check_observer()) {
+    ob->on_drop(DropSite::kHostUnroutable, id(), *pkt);
   }
   unroutable_++;
 }

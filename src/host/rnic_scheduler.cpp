@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/observer.h"
+
 namespace dcp {
 
 void RnicScheduler::send_control(Packet pkt) {
@@ -31,6 +33,7 @@ void RnicScheduler::set_paused(bool paused) {
 void RnicScheduler::transmit(PacketPtr pkt) {
   tx_packets_++;
   tx_bytes_ += pkt->wire_bytes;
+  if (CheckObserver* ob = sim_.check_observer()) ob->on_host_send(*pkt);
   const Time ser = channel_.serialization(pkt->wire_bytes);
   channel_.deliver(std::move(pkt), ser);
   transmitting_ = true;

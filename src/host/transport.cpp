@@ -1,5 +1,6 @@
 #include "host/transport.h"
 
+#include "check/observer.h"
 #include "host/host.h"
 
 namespace dcp {
@@ -53,8 +54,13 @@ Packet SenderTransport::next_packet() {
 void SenderTransport::kick_nic() { host_.nic().kick(); }
 
 void SenderTransport::finish() {
+  // Duplicate calls are idiomatic here — every ACK that confirms completion
+  // may call finish() (a spurious retransmit earns a duplicate final ACK),
+  // so the observer only sees the application-visible transition.  The
+  // receiver-side hook is the strict one (see mark_complete).
   if (finished_) return;
   finished_ = true;
+  if (CheckObserver* ob = sim_.check_observer()) ob->on_tx_complete(spec_.id);
   host_.nic().deregister_sender(this);
   if (host_.on_sender_done) host_.on_sender_done(spec_.id);
 }
@@ -113,6 +119,8 @@ Packet ReceiverTransport::make_control(PktType type, std::uint32_t wire_bytes) {
 }
 
 void ReceiverTransport::mark_complete() {
+  // Every call is reported, ahead of the guard (see SenderTransport::finish).
+  if (CheckObserver* ob = sim_.check_observer()) ob->on_rx_complete(spec_.id);
   if (completion_fired_) return;
   completion_fired_ = true;
   if (host_.on_receiver_done) host_.on_receiver_done(spec_.id);

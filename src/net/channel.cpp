@@ -1,19 +1,30 @@
 #include "net/channel.h"
 
+#include "check/observer.h"
+
 namespace dcp {
 
 void Channel::deliver(PacketPtr pkt, Time extra) {
   if (!up_) {
+    if (CheckObserver* ob = sim_.check_observer()) {
+      ob->on_drop(DropSite::kWireDown, kInvalidNode, *pkt);
+    }
     discarded_packets_++;
     return;  // the dying handle recycles the packet
   }
   if (fault_ != nullptr && fault_->active()) {
     if (fault_->blackhole_refs > 0) {
+      if (CheckObserver* ob = sim_.check_observer()) {
+        ob->on_drop(DropSite::kWireBlackhole, kInvalidNode, *pkt);
+      }
       fault_->blackholed++;
       discarded_packets_++;
       return;
     }
     if (fault_->drop_rate > 0.0 && fault_->rng->chance(fault_->drop_rate)) {
+      if (CheckObserver* ob = sim_.check_observer()) {
+        ob->on_drop(DropSite::kWireRandom, kInvalidNode, *pkt);
+      }
       fault_->dropped++;
       discarded_packets_++;
       return;
@@ -29,10 +40,16 @@ void Channel::deliver(PacketPtr pkt, Time extra) {
   sim_.schedule(extra + propagation_,
                 [this, epoch, corrupt, p = std::move(pkt)]() mutable {
                   if (epoch != cut_epoch_) {
+                    if (CheckObserver* ob = sim_.check_observer()) {
+                      ob->on_drop(DropSite::kWireCutInFlight, kInvalidNode, *p);
+                    }
                     in_flight_dropped_++;  // a drop-in-flight cut happened mid-wire
                     return;
                   }
                   if (corrupt) {
+                    if (CheckObserver* ob = sim_.check_observer()) {
+                      ob->on_drop(DropSite::kWireCorrupt, kInvalidNode, *p);
+                    }
                     if (fault_ != nullptr) fault_->corrupted++;
                     return;
                   }

@@ -14,6 +14,8 @@
 
 namespace dcp {
 
+class CheckObserver;
+
 class Simulator {
  public:
   Simulator() = default;
@@ -51,11 +53,18 @@ class Simulator {
   /// report per-run allocation behaviour alongside events/sec.
   std::size_t event_slots_allocated() const { return queue_.slots_allocated(); }
 
+  /// The invariant-checking observer armed on this simulation, if any (see
+  /// check/observer.h).  Components consult this at their hook sites; the
+  /// unarmed fast path is a single null check.
+  CheckObserver* check_observer() const { return check_observer_; }
+  void set_check_observer(CheckObserver* ob) { check_observer_ = ob; }
+
  private:
   EventQueue queue_;
   Time now_ = 0;
   std::uint64_t events_processed_ = 0;
   bool stopped_ = false;
+  CheckObserver* check_observer_ = nullptr;
 };
 
 }  // namespace dcp

@@ -17,6 +17,9 @@
 
 namespace dcp {
 
+class CheckObserver;
+struct BufferShadow;
+
 struct PfcConfig {
   bool enabled = false;
   std::uint64_t xoff_bytes = 256 * 1024;  // pause threshold per (port, class)
@@ -59,6 +62,20 @@ class SharedBuffer {
 
   const PfcConfig& pfc() const { return pfc_; }
 
+  /// Arms conservation checking (see check/observer.h).  The buffer has no
+  /// Simulator reference, so unlike the other hook sites the oracle
+  /// installs itself here directly.  With a `shadow`, each alloc/release
+  /// replays the accounting inline and the observer hears only about
+  /// divergences (alloc/release fire per switch hop — the hottest hook
+  /// pair in the armed path); without one, every successful call is
+  /// reported virtually.
+  void set_check_observer(CheckObserver* ob, BufferShadow* shadow = nullptr) {
+    check_observer_ = ob;
+    check_shadow_ = shadow;
+  }
+  CheckObserver* check_observer() const { return check_observer_; }
+  BufferShadow* check_shadow() const { return check_shadow_; }
+
   /// PFC decision points: after alloc, should the (port, class) be paused?
   bool should_pause(std::uint32_t port, std::uint8_t cls) const {
     return pfc_.enabled && ingress_bytes_[port][cls] > pfc_.xoff_bytes;
@@ -79,6 +96,8 @@ class SharedBuffer {
   std::uint64_t max_used_ = 0;
   PfcConfig pfc_;
   std::vector<PerPort> ingress_bytes_;
+  CheckObserver* check_observer_ = nullptr;
+  BufferShadow* check_shadow_ = nullptr;
 };
 
 }  // namespace dcp

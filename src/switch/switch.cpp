@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "check/observer.h"
+
 namespace dcp {
 
 Switch::Switch(Simulator& sim, Logger& log, NodeId id, std::string name, SwitchConfig cfg,
@@ -51,6 +53,9 @@ void Switch::receive(PacketPtr pkt, std::uint32_t in_port) {
     candidates = &alive;
   }
   if (candidates->empty()) {
+    if (CheckObserver* ob = sim_.check_observer()) {
+      ob->on_drop(DropSite::kSwitchNoRoute, id(), *pkt);
+    }
     stats_.no_route++;
     return;
   }
@@ -67,9 +72,13 @@ void Switch::receive(PacketPtr pkt, std::uint32_t in_port) {
       rng_.chance(cfg_.inject_loss_rate)) {
     if (cfg_.trimming && pkt->tag == DcpTag::kData) {
       trim_to_header_only(*pkt);
+      if (CheckObserver* ob = sim_.check_observer()) ob->on_trim(id(), *pkt);
       stats_.injected_trims++;
       // falls through to egress enqueue as a header-only packet
     } else {
+      if (CheckObserver* ob = sim_.check_observer()) {
+        ob->on_drop(DropSite::kSwitchInjected, id(), *pkt);
+      }
       stats_.injected_drops++;
       return;
     }
@@ -110,6 +119,9 @@ void Switch::egress_enqueue(PacketPtr pkt, std::uint32_t eport, std::uint32_t in
   if (pkt->queue_class == QueueClass::kControl || pkt->type == PktType::kHeaderOnly) {
     pkt->queue_class = QueueClass::kControl;
     if (cfg_.inject_ho_loss_rate > 0.0 && fault_rng_.chance(cfg_.inject_ho_loss_rate)) {
+      if (CheckObserver* ob = sim_.check_observer()) {
+        ob->on_drop(DropSite::kSwitchCtrlFault, id(), *pkt);
+      }
       if (pkt->type == PktType::kHeaderOnly) {
         stats_.dropped_ho++;
         stats_.injected_ho_drops++;
@@ -121,6 +133,9 @@ void Switch::egress_enqueue(PacketPtr pkt, std::uint32_t eport, std::uint32_t in
     }
     if (!buffer_.alloc(in_port, static_cast<std::uint8_t>(QueueClass::kControl),
                        pkt->wire_bytes)) {
+      if (CheckObserver* ob = sim_.check_observer()) {
+        ob->on_drop(DropSite::kSwitchHoBufferFull, id(), *pkt);
+      }
       stats_.dropped_ho++;
       return;
     }
@@ -140,8 +155,12 @@ void Switch::egress_enqueue(PacketPtr pkt, std::uint32_t eport, std::uint32_t in
       // Paper §4.2: trim the payload, flip the DCP tag to 11, and enqueue
       // the 57-byte remainder into the control queue.
       trim_to_header_only(*pkt);
+      if (CheckObserver* ob = sim_.check_observer()) ob->on_trim(id(), *pkt);
       if (!buffer_.alloc(in_port, static_cast<std::uint8_t>(QueueClass::kControl),
                          pkt->wire_bytes)) {
+        if (CheckObserver* ob = sim_.check_observer()) {
+          ob->on_drop(DropSite::kSwitchHoBufferFull, id(), *pkt);
+        }
         stats_.dropped_ho++;
         return;
       }
@@ -152,6 +171,9 @@ void Switch::egress_enqueue(PacketPtr pkt, std::uint32_t eport, std::uint32_t in
       return;
     }
     // Non-DCP and DCP-ACK packets are dropped above the threshold (§4.2).
+    if (CheckObserver* ob = sim_.check_observer()) {
+      ob->on_drop(DropSite::kSwitchOverThreshold, id(), *pkt);
+    }
     if (pkt->type == PktType::kData) {
       stats_.dropped_data++;
     } else {
@@ -162,6 +184,9 @@ void Switch::egress_enqueue(PacketPtr pkt, std::uint32_t eport, std::uint32_t in
   }
 
   if (!buffer_.alloc(in_port, static_cast<std::uint8_t>(QueueClass::kData), pkt->wire_bytes)) {
+    if (CheckObserver* ob = sim_.check_observer()) {
+      ob->on_drop(DropSite::kSwitchBufferFull, id(), *pkt);
+    }
     stats_.dropped_buffer_full++;
     if (pkt->type == PktType::kData) stats_.dropped_data++;
     if (cfg_.pfc.enabled) stats_.lossless_violations++;

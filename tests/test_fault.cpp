@@ -321,6 +321,81 @@ TEST(FaultDrill, RecoveryEpisodeMetricsAreSane) {
   EXPECT_GT(r.wire.dropped, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Scheme x fault matrix gaps: GBN and MP-RDMA under ho_loss and blackhole.
+// All four run oracle-armed — the drill must ride the fault out without
+// breaking any protocol invariant.
+// ---------------------------------------------------------------------------
+
+FaultDrillParams matrix_params(SchemeKind scheme) {
+  FaultDrillParams p;
+  p.scheme = scheme;
+  p.flow_bytes = 2'000'000;
+  p.oracle = true;
+  return p;
+}
+
+FaultAction ho_loss_action() {
+  FaultAction a;
+  a.kind = FaultKind::kHoLoss;
+  a.at = microseconds(50);
+  a.rate = 0.5;  // would be devastating for DCP's control plane
+  return a;
+}
+
+FaultAction blackhole_action() {
+  FaultAction a;
+  a.kind = FaultKind::kBlackhole;
+  a.at = microseconds(50);
+  a.duration = microseconds(200);
+  // Every switch, every port: a single-path scheme (CX5's ECMP draw) can
+  // hash around a one-switch blackhole and never cross it.
+  a.sw = FaultAction::kAll;
+  return a;
+}
+
+// GBN and MP-RDMA carry their ACKs/NACKs in the ordinary data queue, so a
+// control-queue loss fault has nothing to bite on: the run must match the
+// fault-free baseline bit-exactly and count zero injected control drops.
+class HoLossVacuousSweep : public ::testing::TestWithParam<SchemeKind> {};
+
+TEST_P(HoLossVacuousSweep, MatchesBaselineBitExactly) {
+  FaultDrillParams base = matrix_params(GetParam());
+  FaultDrillParams faulted = base;
+  faulted.faults.actions.push_back(ho_loss_action());
+  ASSERT_TRUE(faulted.faults.has_effect());
+
+  const FaultDrillResult a = run_fault_drill(base);
+  const FaultDrillResult b = run_fault_drill(faulted);
+  ASSERT_TRUE(a.completed);
+  EXPECT_EQ(drill_digest(a), drill_digest(b));
+  EXPECT_EQ(b.sw.injected_ho_drops, 0u);
+  EXPECT_EQ(b.sw.injected_ctrl_drops, 0u);
+  EXPECT_TRUE(b.violations.empty()) << b.violations.front().invariant << ": "
+                                    << b.violations.front().detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, HoLossVacuousSweep,
+                         ::testing::Values(SchemeKind::kCx5, SchemeKind::kPfc,
+                                           SchemeKind::kMpRdma));
+
+class BlackholeSweep : public ::testing::TestWithParam<SchemeKind> {};
+
+TEST_P(BlackholeSweep, RecoversWithInvariantsIntact) {
+  FaultDrillParams p = matrix_params(GetParam());
+  p.faults.actions.push_back(blackhole_action());
+
+  const FaultDrillResult r = run_fault_drill(p);
+  ASSERT_TRUE(r.completed) << scheme_name(GetParam());
+  EXPECT_EQ(r.receiver.bytes_received, 2'000'000u);
+  EXPECT_GT(r.wire.blackholed, 0u);
+  EXPECT_TRUE(r.violations.empty()) << r.violations.front().invariant << ": "
+                                    << r.violations.front().detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, BlackholeSweep,
+                         ::testing::Values(SchemeKind::kCx5, SchemeKind::kMpRdma));
+
 TEST(FaultDrill, SameSeedSamePlanIsDeterministic) {
   FaultDrillParams p;
   p.flow_bytes = 2'000'000;

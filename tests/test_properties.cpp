@@ -11,6 +11,7 @@
 
 #include <tuple>
 
+#include "check/invariant_oracle.h"
 #include "core/dcp_transport.h"
 #include "harness/scheme.h"
 #include "switch/scheduler.h"
@@ -297,6 +298,115 @@ TEST_P(Chaos, RandomizedFabricDeliversEverything) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Chaos, ::testing::Range<std::uint64_t>(100, 140));
+
+// ---------------------------------------------------------------------------
+// Oracle-armed P1–P3: the same adverse conditions, but with the
+// InvariantOracle attached so a run fails on the *first* violated protocol
+// invariant (with its event trace) instead of only on end-state asserts.
+// Compact parameter sets: the unarmed sweeps above cover breadth.
+// ---------------------------------------------------------------------------
+
+#define ASSERT_ORACLE_OK(oracle) \
+  ASSERT_TRUE((oracle).ok()) << (oracle).summary() << "\n" << (oracle).trace_slice()
+
+using OracleReliabilityParam = std::tuple<SchemeKind, int>;  // scheme, loss_pct10
+
+class OracleReliabilitySweep : public ::testing::TestWithParam<OracleReliabilityParam> {};
+
+TEST_P(OracleReliabilitySweep, InvariantsHoldUnderLoss) {
+  const auto [kind, loss_pct10] = GetParam();
+  Simulator sim;
+  Logger log{LogLevel::kOff};
+  Network net{sim, log};
+  SchemeSetup s = make_scheme(kind);
+  s.sw.inject_loss_rate = loss_pct10 / 1000.0;
+  Star star = build_star(net, 5, s.sw);
+  apply_scheme(net, s);
+
+  Rng rng(7);
+  for (int i = 0; i < 6; ++i) {
+    FlowSpec spec;
+    const std::size_t a = rng.pick_index(5);
+    std::size_t b = rng.pick_index(5);
+    if (b == a) b = (a + 1) % 5;
+    spec.src = star.hosts[a]->id();
+    spec.dst = star.hosts[b]->id();
+    spec.bytes = 1 + static_cast<std::uint64_t>(rng.uniform_int(0, 300'000));
+    spec.msg_bytes = 64 * 1024;
+    spec.start_time = static_cast<Time>(rng.uniform_int(0, microseconds(50)));
+    net.start_flow(spec);
+  }
+  InvariantOracle oracle(net);
+  net.run_until_done(seconds(10));
+  oracle.finalize();
+  ASSERT_ORACLE_OK(oracle);
+  EXPECT_TRUE(net.all_flows_done());
+}
+
+INSTANTIATE_TEST_SUITE_P(SchemesUnderLoss, OracleReliabilitySweep,
+                         ::testing::Combine(::testing::Values(SchemeKind::kDcp, SchemeKind::kCx5,
+                                                              SchemeKind::kIrn,
+                                                              SchemeKind::kRackTlp),
+                                            ::testing::Values(0, 20)));
+
+class OracleLosslessCpSweep : public ::testing::TestWithParam<int> {};  // fan-in
+
+TEST_P(OracleLosslessCpSweep, InvariantsHoldUnderIncastTrimming) {
+  const int fan_in = GetParam();
+  Simulator sim;
+  Logger log{LogLevel::kOff};
+  Network net{sim, log};
+  SchemeSetup s = make_scheme(SchemeKind::kDcp);
+  const double r = 1073.0 / 57.0;
+  s.sw.control_weight = wrr_control_weight(fan_in + 1, r, /*fallback=*/4.0);
+  s.sw.trim_threshold_bytes = 64 * 1024;
+  Star star = build_star(net, fan_in + 1, s.sw);
+  apply_scheme(net, s);
+
+  for (int i = 0; i < fan_in; ++i) {
+    FlowSpec spec;
+    spec.src = star.hosts[static_cast<std::size_t>(i)]->id();
+    spec.dst = star.hosts[static_cast<std::size_t>(fan_in)]->id();
+    spec.bytes = 200'000;
+    spec.msg_bytes = 64 * 1024;
+    net.start_flow(spec);
+  }
+  InvariantOracle oracle(net);
+  net.run_until_done(seconds(10));
+  oracle.finalize();
+  ASSERT_ORACLE_OK(oracle);
+  EXPECT_TRUE(net.all_flows_done());
+  EXPECT_GT(net.total_switch_stats().trimmed, 0u);  // HO ledger actually exercised
+}
+
+INSTANTIATE_TEST_SUITE_P(FanIn, OracleLosslessCpSweep, ::testing::Values(4, 12));
+
+class OracleDcpExactlyOnce : public ::testing::TestWithParam<int> {};  // loss pct*10
+
+TEST_P(OracleDcpExactlyOnce, InvariantsHoldAcrossTimeoutRounds) {
+  Simulator sim;
+  Logger log{LogLevel::kOff};
+  Network net{sim, log};
+  SchemeSetup s = make_scheme(SchemeKind::kDcp);
+  s.sw.inject_loss_rate = GetParam() / 1000.0;
+  Star star = build_star(net, 3, s.sw);
+  apply_scheme(net, s);
+
+  FlowSpec spec;
+  spec.src = star.hosts[0]->id();
+  spec.dst = star.hosts[2]->id();
+  spec.bytes = 400'000;
+  spec.msg_bytes = 50'000;
+  const FlowId id = net.start_flow(spec);
+  InvariantOracle oracle(net);
+  net.run_until_done(seconds(10));
+  oracle.finalize();
+  ASSERT_ORACLE_OK(oracle);
+  ASSERT_TRUE(net.record(id).complete());
+  EXPECT_EQ(net.record(id).receiver.bytes_received, 400'000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(LossLevels, OracleDcpExactlyOnce, ::testing::Values(0, 30, 100));
 
 }  // namespace
 }  // namespace dcp

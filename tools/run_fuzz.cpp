@@ -1,0 +1,269 @@
+// run_fuzz: seed-driven scenario fuzzer with oracle-armed runs and
+// automatic shrinking.
+//
+//   run_fuzz --seed 1 --count 100 --out fuzz_repro.txt
+//       Runs scenarios for seeds 1..100 (in parallel per DCP_JOBS).  On a
+//       violation, shrinks the lowest failing seed's scenario to a minimal
+//       repro, writes it to --out, and exits 1.
+//
+//   run_fuzz --replay fuzz_repro.txt
+//       Re-runs a repro file and reports its verdict (exit 1 on violation).
+//
+//   run_fuzz --print 7
+//       Dumps the scenario seed 7 generates, without running it.
+//
+//   run_fuzz --inject-bug dup-completion ...
+//       Swaps in a DCP receiver with a deliberate duplicate-completion
+//       defect (forces scheme=DCP).  --selftest uses this to prove the
+//       fuzzer finds a seeded bug and shrinks it to <= 3 fault actions.
+//
+// Determinism: a seed fully determines its scenario and verdict; repro
+// files contain no timestamps or host state, so the same failing seed
+// yields a byte-identical repro under DCP_JOBS=1 and DCP_JOBS=8.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "check/broken.h"
+#include "check/fuzzer.h"
+#include "harness/sweep.h"
+
+using namespace dcp;
+
+namespace {
+
+struct Cli {
+  std::uint64_t seed = 1;
+  std::size_t count = 100;
+  std::string out = "fuzz_repro.txt";
+  std::string replay;
+  std::string inject;
+  bool selftest = false;
+  long print_seed = -1;
+  long budget_ms = 0;  // 0 = no wall-clock budget
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: run_fuzz [--seed N] [--count N] [--out FILE] [--replay FILE]\n"
+               "                [--print SEED] [--inject-bug dup-completion]\n"
+               "                [--time-budget-ms N] [--selftest]\n");
+  return 2;
+}
+
+FuzzOptions make_options(const Cli& cli) {
+  FuzzOptions opt;
+  if (cli.inject == "dup-completion") {
+    opt.factory_override = std::make_shared<BrokenDcpFactory>();
+  }
+  return opt;
+}
+
+FuzzScenario scenario_for(const Cli& cli, std::uint64_t seed) {
+  FuzzScenario s = generate_fuzz_scenario(seed);
+  // The injected bug lives in a DCP receiver double; aim every scenario
+  // at it rather than fuzzing schemes that cannot reach the defect.
+  if (!cli.inject.empty()) s.scheme = SchemeKind::kDcp;
+  return s;
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f << text;
+}
+
+/// Shrinks the violating scenario, writes the repro, prints the verdict.
+int report_violation(const Cli& cli, const FuzzScenario& s, const FuzzVerdict& v) {
+  std::printf("seed %llu violated: %s\n", static_cast<unsigned long long>(s.seed),
+              v.message.c_str());
+  const FuzzOptions opt = make_options(cli);
+  ShrinkStats st;
+  const FuzzScenario min = shrink_fuzz_scenario(s, opt, &st);
+  const FuzzVerdict mv = run_fuzz_scenario(min, opt);
+  std::printf("shrunk in %zu runs: %zu -> %zu fault actions, %zu -> %zu flows\n", st.runs,
+              st.actions_before, st.actions_after, st.flows_before, st.flows_after);
+  write_file(cli.out, write_fuzz_repro(min, mv));
+  std::printf("repro written to %s\n", cli.out.c_str());
+  return 1;
+}
+
+int run_batch(const Cli& cli) {
+  const FuzzOptions opt = make_options(cli);
+  SweepRunner pool;
+  pool.set_progress(false);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Batches of one pool-width each: parallel inside a batch, budget check
+  // between batches.  Verdicts are keyed by seed, so the first failing
+  // *seed* (not the first failing worker) is the one reported.
+  const std::size_t batch = pool.jobs();
+  std::size_t ran = 0;
+  for (std::size_t base = 0; base < cli.count; base += batch) {
+    const std::size_t n = std::min(batch, cli.count - base);
+    auto verdicts = pool.run(n, [&](std::size_t i) {
+      return run_fuzz_scenario(scenario_for(cli, cli.seed + base + i), opt);
+    });
+    ran += n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (verdicts[i].violated) {
+        return report_violation(cli, scenario_for(cli, cli.seed + base + i), verdicts[i]);
+      }
+    }
+    if (cli.budget_ms > 0) {
+      const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+      if (ms >= cli.budget_ms) break;
+    }
+  }
+  std::printf("%zu scenarios (seeds %llu..%llu): all invariants held\n", ran,
+              static_cast<unsigned long long>(cli.seed),
+              static_cast<unsigned long long>(cli.seed + ran - 1));
+  return 0;
+}
+
+int run_replay(const Cli& cli) {
+  std::ifstream f(cli.replay, std::ios::binary);
+  if (!f) {
+    std::fprintf(stderr, "run_fuzz: cannot read %s\n", cli.replay.c_str());
+    return 2;
+  }
+  std::stringstream ss;
+  ss << f.rdbuf();
+  std::string err;
+  auto s = parse_fuzz_scenario(ss.str(), &err);
+  if (!s) {
+    std::fprintf(stderr, "run_fuzz: %s: %s\n", cli.replay.c_str(), err.c_str());
+    return 2;
+  }
+  const FuzzVerdict v = run_fuzz_scenario(*s, make_options(cli));
+  if (!v.violated) {
+    std::printf("replay of %s: all invariants held\n", cli.replay.c_str());
+    return 0;
+  }
+  std::printf("replay of %s: %s\n", cli.replay.c_str(), v.message.c_str());
+  if (!v.trace.empty()) std::printf("%s", v.trace.c_str());
+  return 1;
+}
+
+/// Proves the pipeline end to end: a seeded duplicate-completion bug is
+/// found by fuzzing, shrunk to <= 3 fault actions, and the written repro
+/// replays to the same violation.
+int run_selftest(Cli cli) {
+  cli.inject = "dup-completion";
+  const FuzzOptions opt = make_options(cli);
+
+  FuzzScenario found;
+  FuzzVerdict fv;
+  bool hit = false;
+  for (std::uint64_t seed = cli.seed; seed < cli.seed + 200; ++seed) {
+    const FuzzScenario s = scenario_for(cli, seed);
+    const FuzzVerdict v = run_fuzz_scenario(s, opt);
+    if (v.violated) {
+      found = s;
+      fv = v;
+      hit = true;
+      break;
+    }
+  }
+  if (!hit) {
+    std::fprintf(stderr, "selftest: injected bug not found in 200 seeds\n");
+    return 1;
+  }
+  if (fv.invariant != "exactly-once-completion") {
+    std::fprintf(stderr, "selftest: expected exactly-once-completion, got %s\n",
+                 fv.invariant.c_str());
+    return 1;
+  }
+  std::printf("selftest: seed %llu trips the injected bug (%s)\n",
+              static_cast<unsigned long long>(found.seed), fv.invariant.c_str());
+
+  ShrinkStats st;
+  const FuzzScenario min = shrink_fuzz_scenario(found, opt, &st);
+  std::printf("selftest: shrunk in %zu runs to %zu fault actions, %zu flows\n", st.runs,
+              st.actions_after, st.flows_after);
+  if (min.faults.actions.size() > 3) {
+    std::fprintf(stderr, "selftest: shrunk plan still has %zu actions (> 3)\n",
+                 min.faults.actions.size());
+    return 1;
+  }
+
+  const FuzzVerdict mv = run_fuzz_scenario(min, opt);
+  const std::string repro = write_fuzz_repro(min, mv);
+  write_file(cli.out, repro);
+  std::string err;
+  auto parsed = parse_fuzz_scenario(repro, &err);
+  if (!parsed) {
+    std::fprintf(stderr, "selftest: repro does not parse back: %s\n", err.c_str());
+    return 1;
+  }
+  if (!(*parsed == min)) {
+    std::fprintf(stderr, "selftest: repro round-trip changed the scenario\n");
+    return 1;
+  }
+  const FuzzVerdict rv = run_fuzz_scenario(*parsed, opt);
+  if (!rv.violated || rv.invariant != fv.invariant) {
+    std::fprintf(stderr, "selftest: repro replay did not reproduce %s\n", fv.invariant.c_str());
+    return 1;
+  }
+  std::printf("selftest: repro (%s) replays to the same violation — PASS\n", cli.out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (a == "--seed") {
+      const char* v = next();
+      if (!v) return usage();
+      cli.seed = std::strtoull(v, nullptr, 10);
+    } else if (a == "--count") {
+      const char* v = next();
+      if (!v) return usage();
+      cli.count = std::strtoull(v, nullptr, 10);
+    } else if (a == "--out") {
+      const char* v = next();
+      if (!v) return usage();
+      cli.out = v;
+    } else if (a == "--replay") {
+      const char* v = next();
+      if (!v) return usage();
+      cli.replay = v;
+    } else if (a == "--inject-bug") {
+      const char* v = next();
+      if (!v || std::strcmp(v, "dup-completion") != 0) return usage();
+      cli.inject = v;
+    } else if (a == "--print") {
+      const char* v = next();
+      if (!v) return usage();
+      cli.print_seed = std::strtol(v, nullptr, 10);
+    } else if (a == "--time-budget-ms") {
+      const char* v = next();
+      if (!v) return usage();
+      cli.budget_ms = std::strtol(v, nullptr, 10);
+    } else if (a == "--selftest") {
+      cli.selftest = true;
+    } else {
+      return usage();
+    }
+  }
+
+  if (cli.print_seed >= 0) {
+    const FuzzScenario s = scenario_for(cli, static_cast<std::uint64_t>(cli.print_seed));
+    FuzzVerdict none;
+    std::printf("%s", write_fuzz_repro(s, none).c_str());
+    return 0;
+  }
+  if (cli.selftest) return run_selftest(cli);
+  if (!cli.replay.empty()) return run_replay(cli);
+  if (cli.count == 0) return usage();
+  return run_batch(cli);
+}
