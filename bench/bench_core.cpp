@@ -8,12 +8,17 @@
 // before/after comparison the numbers in docs/architecture.md come from.
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "check/invariant_oracle.h"
 #include "harness/experiment.h"
 #include "harness/sweep.h"
+#include "net/channel.h"
 #include "sim/event_queue.h"
 #include "stats/core_perf.h"
 #include "topo/network.h"
@@ -41,6 +46,45 @@ CorePerf micro_event_churn(std::uint64_t total) {
   }
   CorePerf p;
   p.events_processed = total;
+  p.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return p;
+}
+
+/// Counts deliveries and drops them; the lane microbenchmark's far end.
+class BenchSink final : public Node {
+ public:
+  BenchSink(Simulator& sim, Logger& log) : Node(sim, log, 0, "sink") {}
+  using Node::receive;
+  void receive(PacketPtr pkt, std::uint32_t) override { pkt.reset(); }
+};
+
+/// Bursty wire delivery — the shape that separates the two schedulers.
+/// Each round hands the channel a back-to-back burst; the plain heap holds
+/// one entry per in-flight packet (every pop sifts across the burst), the
+/// lane holds the head only.  Same (t, seq) stream either way, so the two
+/// runs process identical event counts.
+CorePerf micro_lane_burst(bool lanes, int rounds, int burst) {
+  Simulator sim;
+  sim.set_use_lanes(lanes);
+  Logger log(LogLevel::kOff);
+  BenchSink sink(sim, log);
+  Channel ch(sim, Bandwidth::gbps(100), microseconds(1));
+  ch.connect(&sink, 0);
+  const Time ser = ch.serialization(1000);
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < rounds; ++r) {
+    for (int i = 0; i < burst; ++i) {
+      Packet p;
+      p.type = PktType::kData;
+      p.wire_bytes = 1000;
+      p.payload_bytes = 1000;
+      ch.deliver(p, static_cast<Time>(i + 1) * ser);
+    }
+    sim.run();
+  }
+  CorePerf p;
+  p.events_processed = sim.events_processed();
   p.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   return p;
 }
@@ -158,12 +202,62 @@ SuiteParallelEntry suite_parallel() {
   return s;
 }
 
+/// Pulls `field` out of the named benchmark object in a committed
+/// BENCH_core.json.  Narrow by design: the file is produced by
+/// export_core_perf_json, so "name" precedes the metrics of its entry.
+double json_metric(const std::string& text, const std::string& bench, const std::string& field) {
+  const std::size_t at = text.find("\"name\": \"" + bench + "\"");
+  if (at == std::string::npos) return -1.0;
+  const std::string key = "\"" + field + "\":";
+  const std::size_t k = text.find(key, at);
+  if (k == std::string::npos) return -1.0;
+  return std::strtod(text.c_str() + k + key.size(), nullptr);
+}
+
+/// `bench_core --check <committed BENCH_core.json>`: the CI perf-smoke
+/// gate.  Re-measures the macro workload (best of 3) and fails when it
+/// runs below 0.75x the committed events/sec — wide enough for shared-
+/// runner noise, tight enough that losing the two-level scheduler's win
+/// (~1.5x) trips it.
+int run_check(const char* json_path) {
+  std::ifstream in(json_path);
+  if (!in) {
+    std::fprintf(stderr, "--check: cannot open %s\n", json_path);
+    return 2;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const double committed = json_metric(ss.str(), "macro_websearch_clos_loss", "events_per_sec");
+  if (committed <= 0.0) {
+    std::fprintf(stderr, "--check: no macro_websearch_clos_loss entry in %s\n", json_path);
+    return 2;
+  }
+
+  CorePerf fresh = macro_websearch(/*oracle=*/false);
+  for (int i = 1; i < 3; ++i) fresh = min_wall(fresh, macro_websearch(/*oracle=*/false));
+
+  const double floor = 0.75 * committed;
+  const double got = fresh.events_per_sec();
+  std::printf("perf-check macro_websearch_clos_loss: fresh %.3gM ev/s vs committed %.3gM "
+              "(floor 0.75x = %.3gM) -> %s\n",
+              got / 1e6, committed / 1e6, floor / 1e6, got >= floor ? "OK" : "REGRESSION");
+  return got >= floor ? 0 : 1;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc == 3 && std::strcmp(argv[1], "--check") == 0) return run_check(argv[2]);
+
   std::vector<CorePerfEntry> entries;
   entries.push_back({"micro_event_queue_push_pop_1M", micro_event_churn(1'000'000),
                      kSeedMicroEventsPerSec});
+  // Lane scheduler vs plain heap on the bursty-wire microbenchmark: the
+  // entry's perf is the lanes-on run; the "seed" column carries the plain
+  // heap on the identical event stream, so speedup_vs_seed is the lane win.
+  const CorePerf lane_on = micro_lane_burst(/*lanes=*/true, /*rounds=*/2000, /*burst=*/512);
+  const CorePerf lane_off = micro_lane_burst(/*lanes=*/false, 2000, 512);
+  entries.push_back({"micro_lane_vs_heap", lane_on, lane_off.events_per_sec()});
   // The armed-vs-unarmed delta is a few percent — smaller than scheduler
   // noise on a loaded host — so the pair is sampled interleaved (drift hits
   // both sides alike) and each entry keeps its best-of-3 wall clock.
@@ -190,8 +284,8 @@ int main() {
 
   // Oracle overhead on the macro run (acceptance: <= 5% when armed, zero
   // when off — the unarmed run compiles to null-checked hook sites only).
-  const double unarmed = entries[1].perf.events_per_sec();
-  const double armed = entries[2].perf.events_per_sec();
+  const double unarmed = macro_unarmed.events_per_sec();
+  const double armed = macro_armed.events_per_sec();
   if (unarmed > 0.0 && armed > 0.0) {
     std::printf("%-32s %.2f%% (armed %.3gM vs unarmed %.3gM events/sec)\n", "oracle_overhead",
                 (unarmed / armed - 1.0) * 100.0, armed / 1e6, unarmed / 1e6);

@@ -10,30 +10,21 @@ DcqcnRp::DcqcnRp(Simulator& sim, Bandwidth line_rate, std::uint64_t window, Dcqc
       rc_gbps_(line_rate.as_gbps()),
       rt_gbps_(line_rate.as_gbps()) {}
 
-DcqcnRp::~DcqcnRp() {
-  if (alpha_ev_ != kInvalidEvent) sim_.cancel(alpha_ev_);
-  if (rate_ev_ != kInvalidEvent) sim_.cancel(rate_ev_);
+void DcqcnRp::arm_alpha_timer() { alpha_timer_.arm_deadline(p_.alpha_timer); }
+
+void DcqcnRp::on_alpha_timer() {
+  alpha_ *= (1.0 - p_.g);
+  // Once alpha has decayed to irrelevance and the rate is restored there
+  // is nothing left to do; stop so an idle simulation can drain.
+  if (alpha_ > 1e-3 || rc_gbps_ < line_gbps_ * 0.999) arm_alpha_timer();
 }
 
-void DcqcnRp::arm_alpha_timer() {
-  if (alpha_ev_ != kInvalidEvent) sim_.cancel(alpha_ev_);
-  alpha_ev_ = sim_.schedule(p_.alpha_timer, [this] {
-    alpha_ev_ = kInvalidEvent;
-    alpha_ *= (1.0 - p_.g);
-    // Once alpha has decayed to irrelevance and the rate is restored there
-    // is nothing left to do; stop so an idle simulation can drain.
-    if (alpha_ > 1e-3 || rc_gbps_ < line_gbps_ * 0.999) arm_alpha_timer();
-  });
-}
+void DcqcnRp::arm_rate_timer() { rate_timer_.arm_deadline(p_.rate_increase_timer); }
 
-void DcqcnRp::arm_rate_timer() {
-  if (rate_ev_ != kInvalidEvent) sim_.cancel(rate_ev_);
-  rate_ev_ = sim_.schedule(p_.rate_increase_timer, [this] {
-    rate_ev_ = kInvalidEvent;
-    ++rate_timer_events_;
-    increase_event();
-    if (rc_gbps_ < line_gbps_ * 0.999) arm_rate_timer();
-  });
+void DcqcnRp::on_rate_timer() {
+  ++rate_timer_events_;
+  increase_event();
+  if (rc_gbps_ < line_gbps_ * 0.999) arm_rate_timer();
 }
 
 void DcqcnRp::cut_rate() {

@@ -14,7 +14,6 @@ namespace dcp {
 class DcqcnRp final : public CongestionControl {
  public:
   DcqcnRp(Simulator& sim, Bandwidth line_rate, std::uint64_t window, DcqcnParams p);
-  ~DcqcnRp() override;
 
   Bandwidth rate() const override { return Bandwidth::gbps(rc_gbps_); }
   std::uint64_t window_bytes() const override { return window_; }
@@ -31,6 +30,8 @@ class DcqcnRp final : public CongestionControl {
   void increase_event();
   void arm_alpha_timer();
   void arm_rate_timer();
+  void on_alpha_timer();
+  void on_rate_timer();
 
   Simulator& sim_;
   DcqcnParams p_;
@@ -43,8 +44,10 @@ class DcqcnRp final : public CongestionControl {
   int rate_timer_events_ = 0;   // T in the paper
   int byte_counter_events_ = 0; // BC in the paper
   std::uint64_t bytes_since_event_ = 0;
-  EventId alpha_ev_ = kInvalidEvent;
-  EventId rate_ev_ = kInvalidEvent;
+  // Deadline-class: every CNP re-arms both timers, but they fire at most
+  // once per period — the classic push-the-deadline-forward pattern.
+  Timer alpha_timer_{sim_, [this] { on_alpha_timer(); }};
+  Timer rate_timer_{sim_, [this] { on_rate_timer(); }};
 };
 
 /// Receiver-side CNP pacing: at most one CNP per flow per interval.

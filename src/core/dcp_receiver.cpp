@@ -24,10 +24,6 @@ void DcpReceiver::bounce_header_only(const Packet& pkt) {
   send_control(std::move(ho));
 }
 
-DcpReceiver::~DcpReceiver() {
-  if (keepalive_ev_ != kInvalidEvent) sim_.cancel(keepalive_ev_);
-}
-
 void DcpReceiver::send_emsn_ack() {
   Packet ack = make_control(PktType::kAck, HeaderSizes::kDcpAck);
   ack.tag = DcpTag::kAck;
@@ -40,22 +36,23 @@ void DcpReceiver::send_emsn_ack() {
 }
 
 void DcpReceiver::arm_ack_keepalive() {
-  if (keepalive_ev_ != kInvalidEvent) return;  // periodic chain already live
-  keepalive_ev_ = sim_.schedule(ka_backoff_, [this] {
-    keepalive_ev_ = kInvalidEvent;
-    if (complete() && post_complete_kas_ >= 12) return;  // give up; sender RTO owns it
-    if (sim_.now() - last_activity_ >= ka_backoff_) {
-      Packet ack = make_control(PktType::kAck, HeaderSizes::kDcpAck);
-      ack.tag = DcpTag::kAck;
-      ack.emsn = tracker_.emsn();
-      ack.ack_psn = static_cast<std::uint32_t>(stats_.data_packets);
-      ack.echo_ts = last_echo_;
-      send_control(std::move(ack));
-      if (complete()) ++post_complete_kas_;
-      ka_backoff_ = std::min<Time>(2 * ka_backoff_, microseconds(200));
-    }
-    arm_ack_keepalive();
-  });
+  if (keepalive_.pending()) return;  // periodic chain already live
+  keepalive_.arm_deadline(ka_backoff_);
+}
+
+void DcpReceiver::on_keepalive() {
+  if (complete() && post_complete_kas_ >= 12) return;  // give up; sender RTO owns it
+  if (sim_.now() - last_activity_ >= ka_backoff_) {
+    Packet ack = make_control(PktType::kAck, HeaderSizes::kDcpAck);
+    ack.tag = DcpTag::kAck;
+    ack.emsn = tracker_.emsn();
+    ack.ack_psn = static_cast<std::uint32_t>(stats_.data_packets);
+    ack.echo_ts = last_echo_;
+    send_control(std::move(ack));
+    if (complete()) ++post_complete_kas_;
+    ka_backoff_ = std::min<Time>(2 * ka_backoff_, microseconds(200));
+  }
+  arm_ack_keepalive();
 }
 
 void DcpReceiver::on_packet(Packet pkt) {
@@ -141,10 +138,6 @@ DcpBitmapReceiver::DcpBitmapReceiver(Simulator& sim, Host& host, FlowSpec spec,
       layout_(spec.bytes, spec.msg_bytes, cfg.mtu_payload),
       received_(layout_.total_pkts, false) {}
 
-DcpBitmapReceiver::~DcpBitmapReceiver() {
-  if (keepalive_ev_ != kInvalidEvent) sim_.cancel(keepalive_ev_);
-}
-
 void DcpBitmapReceiver::bounce_header_only(const Packet& pkt) {
   Packet ho = make_control(PktType::kHeaderOnly, HeaderSizes::kDcpHeaderOnly);
   ho.tag = DcpTag::kHeaderOnly;
@@ -167,22 +160,23 @@ void DcpBitmapReceiver::send_emsn_ack() {
 }
 
 void DcpBitmapReceiver::arm_ack_keepalive() {
-  if (keepalive_ev_ != kInvalidEvent) return;
-  keepalive_ev_ = sim_.schedule(ka_backoff_, [this] {
-    keepalive_ev_ = kInvalidEvent;
-    if (complete() && post_complete_kas_ >= 12) return;
-    if (sim_.now() - last_activity_ >= ka_backoff_) {
-      Packet ack = make_control(PktType::kAck, HeaderSizes::kDcpAck);
-      ack.tag = DcpTag::kAck;
-      ack.emsn = emsn_;
-      ack.ack_psn = static_cast<std::uint32_t>(stats_.data_packets);
-      ack.echo_ts = last_echo_;
-      send_control(std::move(ack));
-      if (complete()) ++post_complete_kas_;
-      ka_backoff_ = std::min<Time>(2 * ka_backoff_, microseconds(200));
-    }
-    arm_ack_keepalive();
-  });
+  if (keepalive_.pending()) return;
+  keepalive_.arm_deadline(ka_backoff_);
+}
+
+void DcpBitmapReceiver::on_keepalive() {
+  if (complete() && post_complete_kas_ >= 12) return;
+  if (sim_.now() - last_activity_ >= ka_backoff_) {
+    Packet ack = make_control(PktType::kAck, HeaderSizes::kDcpAck);
+    ack.tag = DcpTag::kAck;
+    ack.emsn = emsn_;
+    ack.ack_psn = static_cast<std::uint32_t>(stats_.data_packets);
+    ack.echo_ts = last_echo_;
+    send_control(std::move(ack));
+    if (complete()) ++post_complete_kas_;
+    ka_backoff_ = std::min<Time>(2 * ka_backoff_, microseconds(200));
+  }
+  arm_ack_keepalive();
 }
 
 void DcpBitmapReceiver::on_packet(Packet pkt) {

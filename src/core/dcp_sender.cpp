@@ -10,10 +10,6 @@ DcpSender::DcpSender(Simulator& sim, Host& host, FlowSpec spec, TransportConfig 
       layout_(spec.bytes, spec.msg_bytes, cfg.mtu_payload),
       sretry_(layout_.num_msgs, 0) {}
 
-DcpSender::~DcpSender() {
-  if (msg_timer_ != kInvalidEvent) sim_.cancel(msg_timer_);
-}
-
 Packet DcpSender::build_packet(std::uint32_t psn, bool retransmit, std::uint8_t retry_no) {
   Packet p = make_data_packet(psn, dcp_data_header_bytes(spec_.op));
   p.tag = DcpTag::kData;
@@ -88,26 +84,28 @@ void DcpSender::start_fetch() {
   std::uint64_t by_window = cc_->window_bytes() == CongestionControl::kNoWindowCap
                                 ? cfg_.retrans_batch
                                 : std::max<std::uint64_t>(1, cc_->window_bytes() / cfg_.mtu_payload);
-  const std::size_t batch = static_cast<std::size_t>(
+  fetch_batch_ = static_cast<std::size_t>(
       std::min<std::uint64_t>({cfg_.retrans_batch, rq_.len(), by_window}));
-  sim_.schedule(cfg_.pcie_rtt, [this, batch] {
-    fetch_in_flight_ = false;
-    // Drop entries for messages that completed while the fetch was in
-    // flight (checked against the QPC, costs nothing extra).
-    rq_.fetch_to_staging(batch);
-    dstats_.pcie_fetches++;
-    kick_nic();
-  });
+  // Deadline-class: armed once per fetch, always from idle, so the (t,seq)
+  // key is identical to a main-heap arm — but the entry parks off the
+  // packet heap for the whole PCIe round trip.
+  fetch_done_.arm_deadline(cfg_.pcie_rtt);
+}
+
+void DcpSender::on_fetch_done() {
+  fetch_in_flight_ = false;
+  // Drop entries for messages that completed while the fetch was in
+  // flight (checked against the QPC, costs nothing extra).
+  rq_.fetch_to_staging(fetch_batch_);
+  dstats_.pcie_fetches++;
+  kick_nic();
 }
 
 void DcpSender::arm_msg_timer() {
   if (done()) return;
-  if (msg_timer_ != kInvalidEvent) return;  // periodic check already armed
+  if (msg_timer_.pending()) return;  // periodic check already armed
   if (last_progress_ == 0) last_progress_ = sim_.now();
-  msg_timer_ = sim_.schedule(cfg_.dcp_msg_timeout, [this] {
-    msg_timer_ = kInvalidEvent;
-    on_msg_timeout();
-  });
+  msg_timer_.arm_deadline(cfg_.dcp_msg_timeout);
 }
 
 void DcpSender::on_msg_timeout() {
@@ -192,8 +190,7 @@ void DcpSender::on_packet(Packet pkt) {
           timeout_retx_.pop_front();
         }
         if (done()) {
-          if (msg_timer_ != kInvalidEvent) sim_.cancel(msg_timer_);
-          msg_timer_ = kInvalidEvent;
+          msg_timer_.cancel();
           finish();
           return;
         }

@@ -69,7 +69,6 @@ struct DcpSenderStats {
 class DcpSender final : public SenderTransport {
  public:
   DcpSender(Simulator& sim, Host& host, FlowSpec spec, TransportConfig cfg);
-  ~DcpSender() override;
 
   void on_packet(Packet pkt) override;
   bool done() const override { return una_msn_ >= layout_.num_msgs; }
@@ -86,6 +85,7 @@ class DcpSender final : public SenderTransport {
  private:
   Packet build_packet(std::uint32_t psn, bool retransmit, std::uint8_t retry_no);
   void start_fetch();
+  void on_fetch_done();
   void arm_msg_timer();
   void on_msg_timeout();
   std::uint8_t retry_of(std::uint32_t msn) const { return sretry_[msn]; }
@@ -94,6 +94,7 @@ class DcpSender final : public SenderTransport {
   MessageLayout layout_;
   RetransQ rq_;
   bool fetch_in_flight_ = false;
+  std::size_t fetch_batch_ = 0;  // batch size of the PCIe fetch in flight
   // Packet-conservation flow control (the paper's `awin`): every
   // transmission is eventually accounted either by the receiver's
   // cumulative arrival counter (rcnt, carried in ACKs) or by a bounced HO.
@@ -107,13 +108,17 @@ class DcpSender final : public SenderTransport {
   std::vector<std::uint8_t> sretry_;        // per-message timeout round
   std::uint32_t snd_nxt_ = 0;
   std::uint32_t una_msn_ = 0;  // smallest unacknowledged MSN
-  EventId msg_timer_ = kInvalidEvent;
   // The coarse timer fires only after a *quiet* period with no forward
   // progress (no ACK advance, no HO arrival) and no recovery in flight;
   // consecutive rounds for the same message back off exponentially.
   Time last_progress_ = 0;
   int timeout_backoff_ = 1;
   DcpSenderStats dstats_;
+  // PCIe fetch completion: fires once per fetch; persistent first-level slot.
+  Timer fetch_done_{sim_, [this] { on_fetch_done(); }};
+  // The coarse per-message timer is deadline-class: one entry per flow
+  // would otherwise park in the hot heap for the flow's whole life.
+  Timer msg_timer_{sim_, [this] { on_msg_timeout(); }};
 };
 
 struct DcpReceiverStats {
@@ -132,12 +137,11 @@ class DcpReceiver final : public ReceiverTransport {
   const DcpReceiverStats& dcp_stats() const { return dstats_; }
   const MessageCounterTracker& tracker() const { return tracker_; }
 
-  ~DcpReceiver() override;
-
  private:
   void bounce_header_only(const Packet& pkt);
   void send_emsn_ack();
   void arm_ack_keepalive();
+  void on_keepalive();
 
   MessageLayout layout_;
   MessageCounterTracker tracker_;
@@ -150,12 +154,12 @@ class DcpReceiver final : public ReceiverTransport {
   // with exponential backoff while messages are incomplete (more data must
   // be coming), and a bounded number of times after completion (the final
   // ACK might have died).  The sender's coarse timeout stays the last
-  // resort.
-  EventId keepalive_ev_ = kInvalidEvent;
+  // resort.  Deadline-class: one per flow, fires only on quiet QPs.
   Time last_activity_ = 0;
   Time ka_backoff_ = microseconds(50);
   int post_complete_kas_ = 0;
   Time last_echo_ = -1;  // latest data packet's transmit timestamp (RTT echo)
+  Timer keepalive_{sim_, [this] { on_keepalive(); }};
 };
 
 /// §4.5 "Orthogonality": a DCP receiver that keeps a traditional
@@ -167,7 +171,6 @@ class DcpReceiver final : public ReceiverTransport {
 class DcpBitmapReceiver final : public ReceiverTransport {
  public:
   DcpBitmapReceiver(Simulator& sim, Host& host, FlowSpec spec, TransportConfig cfg);
-  ~DcpBitmapReceiver() override;
 
   void on_packet(Packet pkt) override;
   bool complete() const override { return emsn_ >= layout_.num_msgs; }
@@ -179,16 +182,17 @@ class DcpBitmapReceiver final : public ReceiverTransport {
   void bounce_header_only(const Packet& pkt);
   void send_emsn_ack();
   void arm_ack_keepalive();
+  void on_keepalive();
 
   MessageLayout layout_;
   std::vector<bool> received_;  // the bitmap the paper's design eliminates
   std::uint32_t emsn_ = 0;
   std::uint32_t scan_ = 0;  // first PSN not known-received
-  EventId keepalive_ev_ = kInvalidEvent;
   Time last_activity_ = 0;
   Time ka_backoff_ = microseconds(50);
   int post_complete_kas_ = 0;
   Time last_echo_ = -1;
+  Timer keepalive_{sim_, [this] { on_keepalive(); }};
 };
 
 class DcpFactory final : public TransportFactory {

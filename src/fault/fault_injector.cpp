@@ -173,4 +173,10 @@ FaultInjector::Counters FaultInjector::counters() const {
   return c;
 }
 
+std::size_t FaultInjector::doomed_in_lanes() const {
+  std::size_t n = 0;
+  for (const Channel* ch : cut_channels_) n += ch->lane_doomed_pending();
+  return n;
+}
+
 }  // namespace dcp

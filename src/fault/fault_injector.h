@@ -16,6 +16,16 @@
 // (control-queue loss) and SharedBuffer::set_capacity (buffer shrink).
 // Overlapping rate faults on one link compose additively; the injector's
 // destructor detaches every hook it installed.
+//
+// Interaction with the two-level scheduler (net/lane.h): none of the hooks
+// touch the simulator heap.  Rate faults draw at the far end when a lane
+// record fires, exactly where the plain path would have drawn, so the RNG
+// stream consumption is identical.  A drop-in-flight link cut is an O(1)
+// epoch bump on the channel: records already parked in the lane are doomed
+// *lazily* — they stay in the FIFO, surface at their stamped (t, seq), and
+// only then account as in_flight_dropped.  Between the cut and the last
+// stamped arrival time, doomed_in_lanes() exposes how many such dead
+// records are still parked (a pure diagnostic; it never affects outputs).
 
 #include <cstdint>
 #include <deque>
@@ -54,6 +64,12 @@ class FaultInjector {
   std::function<void(std::size_t, const FaultAction&, Time)> on_fault_end;
 
   Counters counters() const;
+
+  /// Lane records doomed by a drop-in-flight cut but not yet surfaced —
+  /// in-flight losses the lane scheduler has committed to but not yet
+  /// accounted (always 0 on the plain path, and again 0 once simulated
+  /// time passes the last pre-cut arrival stamp).
+  std::size_t doomed_in_lanes() const;
 
  private:
   void arm();

@@ -57,20 +57,30 @@ void Host::receive(PacketPtr pkt, std::uint32_t in_port) {
 
 void Host::add_sender(std::unique_ptr<SenderTransport> s) {
   senders_[s->spec().id] = std::move(s);
+  last_sender_ = nullptr;  // the id may have been re-bound
 }
 
 void Host::add_receiver(std::unique_ptr<ReceiverTransport> r) {
   receivers_[r->spec().id] = std::move(r);
+  last_receiver_ = nullptr;
 }
 
 SenderTransport* Host::sender(FlowId id) {
+  if (id == last_sender_id_ && last_sender_ != nullptr) return last_sender_;
   auto it = senders_.find(id);
-  return it == senders_.end() ? nullptr : it->second.get();
+  if (it == senders_.end()) return nullptr;
+  last_sender_id_ = id;
+  last_sender_ = it->second.get();
+  return last_sender_;
 }
 
 ReceiverTransport* Host::receiver(FlowId id) {
+  if (id == last_receiver_id_ && last_receiver_ != nullptr) return last_receiver_;
   auto it = receivers_.find(id);
-  return it == receivers_.end() ? nullptr : it->second.get();
+  if (it == receivers_.end()) return nullptr;
+  last_receiver_id_ = id;
+  last_receiver_ = it->second.get();
+  return last_receiver_;
 }
 
 }  // namespace dcp

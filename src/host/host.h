@@ -51,6 +51,13 @@ class Host final : public Node {
   RnicScheduler nic_;
   std::unordered_map<FlowId, std::unique_ptr<SenderTransport>> senders_;
   std::unordered_map<FlowId, std::unique_ptr<ReceiverTransport>> receivers_;
+  // MRU memo of the maps above (hit on nearly every delivery — packets of
+  // one flow arrive in trains).  Pure cache: transport addresses are
+  // stable, and add_* invalidates.
+  FlowId last_sender_id_ = UINT64_MAX;
+  SenderTransport* last_sender_ = nullptr;
+  FlowId last_receiver_id_ = UINT64_MAX;
+  ReceiverTransport* last_receiver_ = nullptr;
   std::uint64_t unroutable_ = 0;
 };
 

@@ -37,18 +37,12 @@ void RnicScheduler::transmit(PacketPtr pkt) {
   const Time ser = channel_.serialization(pkt->wire_bytes);
   channel_.deliver(std::move(pkt), ser);
   transmitting_ = true;
-  sim_.schedule(ser, [this] {
-    transmitting_ = false;
-    kick();
-  });
+  tx_done_.arm(ser);
 }
 
 void RnicScheduler::kick() {
   if (transmitting_ || paused_) return;
-  if (wakeup_ != kInvalidEvent) {
-    sim_.cancel(wakeup_);
-    wakeup_ = kInvalidEvent;
-  }
+  wakeup_.cancel();
 
   // Stage 1: control packets (strict priority).
   if (!control_q_.empty()) {
@@ -78,10 +72,7 @@ void RnicScheduler::kick() {
     earliest = std::min(earliest, s->next_eligible(now));
   }
   if (earliest != kTimeInfinity && earliest > now) {
-    wakeup_ = sim_.schedule_at(earliest, [this] {
-      wakeup_ = kInvalidEvent;
-      kick();
-    });
+    wakeup_.arm_at(earliest);
   }
 }
 

@@ -52,9 +52,14 @@ class RnicScheduler {
   std::size_t rr_ = 0;
   bool transmitting_ = false;
   bool paused_ = false;
-  EventId wakeup_ = kInvalidEvent;
   std::uint64_t tx_packets_ = 0;
   std::uint64_t tx_bytes_ = 0;
+  // Both timers fire at NIC-clock rates, so they keep persistent slots.
+  Timer tx_done_{sim_, [this] {
+    transmitting_ = false;
+    kick();
+  }};
+  Timer wakeup_{sim_, [this] { kick(); }};
 };
 
 }  // namespace dcp

@@ -1,10 +1,27 @@
 #include "net/channel.h"
 
+#include <cassert>
+
 #include "check/observer.h"
 
 namespace dcp {
 
+Channel::~Channel() {
+  // Drain parked records so their packet slots return to the pool.  The
+  // lane timer's own slot is released by its member destructor afterwards.
+  LaneRecord* r = lane_head_;
+  while (r != nullptr) {
+    LaneRecord* next = r->next;
+    PacketPtr::adopt(r->pkt);  // handle dies immediately, recycling the slot
+    LanePool::local().release(r);
+    r = next;
+  }
+}
+
 void Channel::deliver(PacketPtr pkt, Time extra) {
+  // `extra` is the caller's serialization backlog; a negative value would
+  // deliver before the wire was even driven.
+  assert(extra >= 0 && "Channel::deliver called with negative extra time");
   if (!up_) {
     if (CheckObserver* ob = sim_.check_observer()) {
       ob->on_drop(DropSite::kWireDown, kInvalidNode, *pkt);
@@ -37,24 +54,117 @@ void Channel::deliver(PacketPtr pkt, Time extra) {
   delivered_packets_++;
   delivered_bytes_ += pkt->wire_bytes;
   const std::uint32_t epoch = cut_epoch_;
-  sim_.schedule(extra + propagation_,
-                [this, epoch, corrupt, p = std::move(pkt)]() mutable {
-                  if (epoch != cut_epoch_) {
-                    if (CheckObserver* ob = sim_.check_observer()) {
-                      ob->on_drop(DropSite::kWireCutInFlight, kInvalidNode, *p);
-                    }
-                    in_flight_dropped_++;  // a drop-in-flight cut happened mid-wire
-                    return;
-                  }
-                  if (corrupt) {
-                    if (CheckObserver* ob = sim_.check_observer()) {
-                      ob->on_drop(DropSite::kWireCorrupt, kInvalidNode, *p);
-                    }
-                    if (fault_ != nullptr) fault_->corrupted++;
-                    return;
-                  }
-                  dst_->receive(std::move(p), dst_port_);
-                });
+
+  if (!sim_.use_lanes()) {
+    // Plain path: one heap entry per packet (consumes one sequence number
+    // inside schedule(), same as the lane stamp below).
+    sim_.schedule(extra + propagation_, [this, epoch, corrupt, p = std::move(pkt)]() mutable {
+      arrive(std::move(p), epoch, corrupt);
+    });
+    return;
+  }
+
+  LaneRecord* r = LanePool::local().acquire();
+  r->t = sim_.now() + extra + propagation_;
+  r->seq = sim_.alloc_event_seq();
+  r->pkt = pkt.release_raw();
+  r->next = nullptr;
+  r->epoch = epoch;
+  r->corrupt = corrupt;
+  lane_insert(r);
+}
+
+void Channel::arrive(PacketPtr p, std::uint32_t epoch, bool corrupt) {
+  if (epoch != cut_epoch_) {
+    if (CheckObserver* ob = sim_.check_observer()) {
+      ob->on_drop(DropSite::kWireCutInFlight, kInvalidNode, *p);
+    }
+    in_flight_dropped_++;  // a drop-in-flight cut happened mid-wire
+    return;
+  }
+  if (corrupt) {
+    if (CheckObserver* ob = sim_.check_observer()) {
+      ob->on_drop(DropSite::kWireCorrupt, kInvalidNode, *p);
+    }
+    if (fault_ != nullptr) fault_->corrupted++;
+    return;
+  }
+  dst_->receive(std::move(p), dst_port_);
+}
+
+void Channel::lane_insert(LaneRecord* r) {
+  ++lane_len_;
+  if (lane_head_ == nullptr) {
+    lane_head_ = lane_tail_ = r;
+    lane_timer_.arm_keyed_abs(r->t, r->seq);
+    return;
+  }
+  if (lane_tail_->t <= r->t) {
+    // FIFO fast path: queue-driven traffic arrives in serialization order,
+    // and at equal times r's fresher sequence number keeps it behind.
+    lane_tail_->next = r;
+    lane_tail_ = r;
+    return;
+  }
+  if (r->t < lane_head_->t) {
+    // An out-of-band frame (PFC PAUSE via Port::send_oob) overtaking the
+    // in-flight backlog: new head, so the heap mirror must be re-keyed.
+    r->next = lane_head_;
+    lane_head_ = r;
+    lane_timer_.arm_keyed_abs(r->t, r->seq);
+    return;
+  }
+  // Rare middle insert (short OOB frame landing between queued MTU frames):
+  // after the last record with t <= r->t, preserving FIFO among equal times.
+  LaneRecord* n = lane_head_;
+  while (n->next != nullptr && n->next->t <= r->t) n = n->next;
+  r->next = n->next;
+  n->next = r;
+}
+
+void Channel::fire_lane() {
+  LaneRecord* r = lane_head_;
+  for (;;) {
+    // Pop, then re-arm for the remaining head BEFORE running the arrival
+    // path: arrivals can re-enter deliver() on this same channel (zero-
+    // propagation loops), and lane_insert relies on "head present => timer
+    // armed with the head's key".
+    lane_head_ = r->next;
+    if (lane_head_ == nullptr) {
+      lane_tail_ = nullptr;
+    } else {
+      lane_timer_.arm_keyed_abs(lane_head_->t, lane_head_->seq);
+    }
+    --lane_len_;
+    const std::uint32_t epoch = r->epoch;
+    const bool corrupt = r->corrupt;
+    PacketPtr p = PacketPtr::adopt(r->pkt);
+    r->pkt = nullptr;
+    LanePool::local().release(r);
+    arrive(std::move(p), epoch, corrupt);
+
+    // Same-time run coalescing: deliver the next record without a heap
+    // round trip iff it is due NOW, the run loop was not stopped, and
+    // nothing else anywhere in the simulation precedes it.  The armed
+    // timer IS the candidate heap top, so it is pulled out before probing.
+    LaneRecord* next = lane_head_;
+    if (next == nullptr || next->t != sim_.now() || sim_.stop_requested()) return;
+    lane_timer_.cancel();
+    if (!sim_.lane_may_run(next->t, next->seq)) {
+      lane_timer_.arm_keyed_abs(next->t, next->seq);
+      return;
+    }
+    sim_.note_coalesced_event();  // the plain heap would have popped one event
+    r = next;
+  }
+}
+
+std::size_t Channel::lane_doomed_pending() const {
+  std::size_t doomed = 0;
+  for (const LaneRecord* r = lane_head_; r != nullptr; r = r->next) {
+    if (r->epoch != cut_epoch_) ++doomed;
+  }
+  return doomed;
 }
 
 }  // namespace dcp

@@ -3,10 +3,25 @@
 // A full-duplex cable is two Channels.  The egress Port drives the channel
 // (it decides when transmission starts); the Channel schedules delivery at
 // the far end.
+//
+// Delivery lane (the two-level scheduler's first level): a fixed-rate,
+// fixed-latency wire delivers strictly FIFO, so instead of one heap entry
+// per in-flight packet the channel parks packets in an intrusive FIFO of
+// LaneRecords — each stamped at deliver() time with its absolute arrival
+// time and a global tie-break sequence — and keeps only the lane HEAD in
+// the simulator heap, via a persistent Timer keyed with the head's exact
+// (t, seq).  Heap size becomes O(active links) instead of O(packets in
+// flight), and outputs stay bit-identical to the plain path because every
+// delivery consumes exactly one sequence number, exactly as schedule()
+// would have at the same call site (see docs/architecture.md, "Two-level
+// scheduler").  DCP_LANES=0 (or Simulator::set_use_lanes(false)) selects
+// the plain one-event-per-packet path.
 
+#include <cstddef>
 #include <cstdint>
 #include <utility>
 
+#include "net/lane.h"
 #include "net/node.h"
 #include "net/packet.h"
 #include "net/packet_pool.h"
@@ -37,6 +52,7 @@ class Channel {
  public:
   Channel(Simulator& sim, Bandwidth bw, Time propagation)
       : sim_(sim), bw_(bw), propagation_(propagation) {}
+  ~Channel();
 
   void connect(Node* dst, std::uint32_t dst_port) {
     dst_ = dst;
@@ -51,8 +67,8 @@ class Channel {
 
   /// Schedules delivery of `pkt` at the far end, `extra` (typically the
   /// serialization time) plus the propagation delay from now.  The pooled
-  /// handle rides inside the event inline — no per-hop allocation or
-  /// Packet copy.
+  /// handle rides inside a lane record (or the event inline on the plain
+  /// path) — no per-hop allocation or Packet copy.
   void deliver(PacketPtr pkt, Time extra);
   void deliver(Packet pkt, Time extra) { deliver(PacketPtr::make(std::move(pkt)), extra); }
 
@@ -70,6 +86,9 @@ class Channel {
   /// handed to the wire are delivered (what tests/test_failures.cpp relies
   /// on — a cut only discards *subsequent* traffic).  True: a cut also
   /// kills everything currently propagating, counted in in_flight_dropped().
+  /// The cut itself is O(1) in both modes: lane records are doomed lazily
+  /// (their send-time epoch no longer matches) and still reach the head at
+  /// their stamped times, where they account exactly like the plain path.
   void set_drop_in_flight_on_cut(bool drop) { drop_in_flight_on_cut_ = drop; }
   bool drop_in_flight_on_cut() const { return drop_in_flight_on_cut_; }
 
@@ -82,7 +101,18 @@ class Channel {
   std::uint64_t discarded_packets() const { return discarded_packets_; }
   std::uint64_t in_flight_dropped() const { return in_flight_dropped_; }
 
+  /// Packets currently parked in the delivery lane (0 on the plain path).
+  std::size_t lane_pending() const { return lane_len_; }
+  /// Lane records doomed by a drop-in-flight cut but not yet fired.
+  std::size_t lane_doomed_pending() const;
+
  private:
+  /// Far-end arrival: shared by the lane head firing and the plain-path
+  /// closure, so both modes run the identical drop/corrupt/receive logic.
+  void arrive(PacketPtr p, std::uint32_t epoch, bool corrupt);
+  void lane_insert(LaneRecord* r);
+  void fire_lane();
+
   Simulator& sim_;
   Bandwidth bw_;
   Time propagation_;
@@ -96,6 +126,13 @@ class Channel {
   std::uint64_t delivered_bytes_ = 0;
   std::uint64_t discarded_packets_ = 0;
   std::uint64_t in_flight_dropped_ = 0;
+
+  // Delivery lane: intrusive FIFO, earliest first; the head's (t, seq) is
+  // mirrored by lane_timer_ whenever the lane is non-empty.
+  LaneRecord* lane_head_ = nullptr;
+  LaneRecord* lane_tail_ = nullptr;
+  std::size_t lane_len_ = 0;
+  Timer lane_timer_{sim_, [this] { fire_lane(); }};
 };
 
 }  // namespace dcp

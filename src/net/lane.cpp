@@ -1,0 +1,20 @@
+#include "net/lane.h"
+
+namespace dcp {
+
+LanePool& LanePool::local() {
+  thread_local LanePool pool;
+  return pool;
+}
+
+void LanePool::grow() {
+  chunks_.push_back(std::make_unique<LaneRecord[]>(kChunkRecords));
+  LaneRecord* base = chunks_.back().get();
+  free_.reserve(free_.size() + kChunkRecords);
+  // Reversed so the lowest address is handed out first.
+  for (std::size_t i = kChunkRecords; i > 0; --i) {
+    free_.push_back(base + i - 1);
+  }
+}
+
+}  // namespace dcp

@@ -118,6 +118,18 @@ class PacketPtr {
   Packet* get() const { return p_; }
   explicit operator bool() const { return p_ != nullptr; }
 
+  /// Detaches the raw pooled pointer without releasing it — for intrusive
+  /// structures (delivery-lane records) that park packets outside a handle.
+  /// The caller owns the slot until it re-wraps it with adopt().
+  Packet* release_raw() {
+    Packet* p = p_;
+    p_ = nullptr;
+    return p;
+  }
+
+  /// Re-wraps a pointer previously taken via release_raw().
+  static PacketPtr adopt(Packet* p) { return PacketPtr(p); }
+
  private:
   explicit PacketPtr(Packet* p) : p_(p) {}
 

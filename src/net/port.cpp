@@ -35,15 +35,12 @@ void Port::try_transmit() {
   stats_.tx_packets++;
   stats_.tx_bytes += pkt->wire_bytes;
   stats_.tx_packets_by_class[c]++;
-  if (on_dequeue) on_dequeue(*pkt);
+  if (dequeue_fn_ != nullptr) dequeue_fn_(dequeue_ctx_, *pkt);
 
   const Time ser = channel_.serialization(pkt->wire_bytes);
   channel_.deliver(std::move(pkt), ser);
   transmitting_ = true;
-  sim_.schedule(ser, [this] {
-    transmitting_ = false;
-    try_transmit();
-  });
+  tx_done_.arm(ser);
 }
 
 }  // namespace dcp

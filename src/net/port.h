@@ -102,12 +102,19 @@ class Port {
 
   /// Invoked with every packet the port dequeues for transmission, before
   /// it hits the wire.  The owner (switch) uses it to release shared-buffer
-  /// and PFC ingress accounting.
-  std::function<void(const Packet&)> on_dequeue;
+  /// and PFC ingress accounting.  A raw (fn, ctx) pair rather than a
+  /// std::function: this fires once per transmitted packet on the hot path.
+  using DequeueHook = void (*)(void* ctx, const Packet&);
+  void set_dequeue_hook(DequeueHook fn, void* ctx) {
+    dequeue_fn_ = fn;
+    dequeue_ctx_ = ctx;
+  }
 
  private:
   void try_transmit();
 
+  DequeueHook dequeue_fn_ = nullptr;
+  void* dequeue_ctx_ = nullptr;
   Simulator& sim_;
   Channel channel_;
   std::unique_ptr<SchedulerPolicy> policy_;
@@ -115,6 +122,12 @@ class Port {
   std::array<bool, kNumQueueClasses> paused_{};
   bool transmitting_ = false;
   Stats stats_;
+  // Serialization-done: fires once per transmitted frame, so it keeps a
+  // persistent slot — re-arming is a heap insert only.
+  Timer tx_done_{sim_, [this] {
+    transmitting_ = false;
+    try_transmit();
+  }};
 };
 
 }  // namespace dcp

@@ -14,6 +14,9 @@ void EventQueue::grow() {
   chunks_.push_back(std::make_unique<EventCallback[]>(kChunkSize));
   gen_.resize(base + kChunkSize, 0);
   pos_.resize(base + kChunkSize, kNoPos);
+  persistent_.resize(base + kChunkSize, 0);
+  in_dheap_.resize(base + kChunkSize, 0);
+  deadline_.resize(base + kChunkSize, kTimeInfinity);
   free_.reserve(free_.size() + kChunkSize);
   // Reversed so the lowest index is handed out first.
   for (std::uint32_t i = kChunkSize; i > 0; --i) {
@@ -21,14 +24,37 @@ void EventQueue::grow() {
   }
 }
 
-EventId EventQueue::push(Time t, EventCallback fn) {
+std::uint32_t EventQueue::alloc_slot() {
   if (free_.empty()) grow();
   const std::uint32_t idx = free_.back();
   free_.pop_back();
+  return idx;
+}
 
-  fn_of(idx) = std::move(fn);
+void EventQueue::insert_main(const HeapEntry& e) {
   heap_.emplace_back();  // placeholder; sift_up writes the entry in place
-  sift_up(heap_.size() - 1, HeapEntry{t, next_seq_++, idx});
+  if (heap_.size() > peak_heap_) peak_heap_ = heap_.size();
+  sift_up(heap_, heap_.size() - 1, e);
+}
+
+EventId EventQueue::push(Time t, EventCallback fn) {
+  return push_keyed(t, next_seq_++, std::move(fn));
+}
+
+EventId EventQueue::push_keyed(Time t, std::uint64_t seq, EventCallback fn) {
+  const std::uint32_t idx = alloc_slot();
+  fn_of(idx) = std::move(fn);
+  insert_main(HeapEntry{t, seq, idx});
+  return (static_cast<EventId>(gen_[idx]) << 32) | (idx + 1);
+}
+
+EventId EventQueue::push_far(Time t, EventCallback fn) {
+  const std::uint32_t idx = alloc_slot();
+  fn_of(idx) = std::move(fn);
+  in_dheap_[idx] = 1;
+  deadline_[idx] = t;  // one-shots are never lazily re-keyed: always accurate
+  dheap_.emplace_back();
+  sift_up(dheap_, dheap_.size() - 1, HeapEntry{t, next_seq_++, idx});
   return (static_cast<EventId>(gen_[idx]) << 32) | (idx + 1);
 }
 
@@ -39,9 +65,19 @@ void EventQueue::cancel(EventId id) {
   if (idx >= gen_.size()) return;  // never allocated
 
   if (gen_[idx] != static_cast<std::uint32_t>(id >> 32)) return;  // stale handle
+  if (persistent_[idx]) return;  // timers are managed via timer_* only
   if (pos_[idx] == kNoPos) return;                                // not pending
 
-  remove_from_heap(pos_[idx]);
+  if (in_dheap_[idx]) {
+    // Far one-shot: physical removal (off the hot path by definition).
+    remove_from_heap(dheap_, pos_[idx]);
+    pos_[idx] = kNoPos;
+    settle_dtop();
+    in_dheap_[idx] = 0;
+    deadline_[idx] = kTimeInfinity;
+  } else {
+    remove_from_heap(heap_, pos_[idx]);
+  }
   fn_of(idx).reset();
   release(idx);
 }
@@ -52,66 +88,226 @@ void EventQueue::release(std::uint32_t idx) {
   free_.push_back(idx);
 }
 
+std::uint32_t EventQueue::timer_create(EventCallback fn) {
+  const std::uint32_t idx = alloc_slot();
+  fn_of(idx) = std::move(fn);
+  persistent_[idx] = 1;
+  return idx;
+}
+
+void EventQueue::timer_destroy(std::uint32_t timer) {
+  if (timer == deferred_root_) {
+    // Destroyed from its own callback: the spent root still references
+    // this slot, and the slot may be recycled before the deferred cleanup
+    // in pop_and_run runs — remove the entry now.
+    deferred_root_ = kNoPos;
+    const HeapEntry last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_root_to_bottom(heap_, last);
+  }
+  if (pos_[timer] != kNoPos) {
+    if (in_dheap_[timer]) {
+      remove_from_heap(dheap_, pos_[timer]);
+      pos_[timer] = kNoPos;
+      settle_dtop();
+    } else {
+      remove_from_heap(heap_, pos_[timer]);
+      pos_[timer] = kNoPos;
+    }
+  }
+  in_dheap_[timer] = 0;
+  deadline_[timer] = kTimeInfinity;
+  fn_of(timer).reset();
+  persistent_[timer] = 0;
+  release(timer);
+}
+
+void EventQueue::timer_arm_keyed(std::uint32_t timer, Time t, std::uint64_t seq) {
+  if (timer == deferred_root_) {
+    // Self re-arm from the slot's own callback: re-key the spent root in
+    // place.  The new key can only be later, so one sift_down suffices —
+    // and it usually terminates at the root (the next lane head / next
+    // serialization-done is still among the earliest events pending).
+    deferred_root_ = kNoPos;
+    sift_down(heap_, 0, HeapEntry{t, seq, timer});
+    return;
+  }
+  if (pos_[timer] != kNoPos) {
+    if (in_dheap_[timer]) {
+      // Switching discipline mid-life (rare): vacate the deadline heap.
+      remove_from_heap(dheap_, pos_[timer]);
+      settle_dtop();
+    } else {
+      remove_from_heap(heap_, pos_[timer]);
+    }
+    pos_[timer] = kNoPos;
+  }
+  in_dheap_[timer] = 0;
+  insert_main(HeapEntry{t, seq, timer});
+}
+
+void EventQueue::timer_arm_deadline(std::uint32_t timer, Time t) {
+  deadline_[timer] = t;
+  if (pos_[timer] != kNoPos) {
+    if (!in_dheap_[timer]) {
+      // Switching discipline mid-life (rare): vacate the first level.
+      remove_from_heap(heap_, pos_[timer]);
+      pos_[timer] = kNoPos;
+    } else {
+      const std::size_t p = pos_[timer];
+      if (dheap_[p].t <= t) {
+        // The common case — the deadline moves forward (per-ACK RTO
+        // pushes): O(1).  The parked entry goes stale; it is re-keyed
+        // only if it ever surfaces at the top.
+        if (p == 0 && dheap_[0].t < t) settle_dtop();
+        return;
+      }
+      // Deadline shrank below the parked entry: re-key eagerly (the new
+      // key is earlier, so an in-place sift_up).
+      sift_up(dheap_, p, HeapEntry{t, next_seq_++, timer});
+      return;
+    }
+  }
+  in_dheap_[timer] = 1;
+  dheap_.emplace_back();
+  sift_up(dheap_, dheap_.size() - 1, HeapEntry{t, next_seq_++, timer});
+}
+
+void EventQueue::timer_cancel(std::uint32_t timer) {
+  if (pos_[timer] == kNoPos) {
+    deadline_[timer] = kTimeInfinity;
+    return;
+  }
+  if (in_dheap_[timer]) {
+    // Lazy cancel: the parked entry evaporates when it surfaces.
+    deadline_[timer] = kTimeInfinity;
+    if (pos_[timer] == 0) settle_dtop();
+    return;
+  }
+  remove_from_heap(heap_, pos_[timer]);
+  pos_[timer] = kNoPos;
+}
+
+void EventQueue::settle_dtop() {
+  while (!dheap_.empty()) {
+    HeapEntry top = dheap_[0];
+    const Time dl = deadline_[top.slot];
+    if (dl == top.t) return;  // accurate: this deadline is real
+    if (dl == kTimeInfinity) {
+      // Lazily cancelled: drop the entry.
+      const HeapEntry last = dheap_.back();
+      dheap_.pop_back();
+      pos_[top.slot] = kNoPos;
+      if (!dheap_.empty()) sift_root_to_bottom(dheap_, last);
+      continue;
+    }
+    // Lazily extended: re-key at the true deadline (later, so sift down).
+    top.t = dl;
+    top.seq = next_seq_++;
+    sift_down(dheap_, 0, top);
+  }
+}
+
 bool EventQueue::pop_and_run(Time& now) {
-  if (heap_.empty()) return false;
-  const std::uint32_t idx = heap_[0].slot;
-  now = heap_[0].t;
-  EventCallback fn = std::move(fn_of(idx));
+  if (!heap_.empty() && (dheap_.empty() || earlier(heap_[0], dheap_[0]))) {
+    const std::uint32_t idx = heap_[0].slot;
+    now = heap_[0].t;
 
-  const HeapEntry last = heap_.back();
-  heap_.pop_back();
-  if (!heap_.empty()) sift_root_to_bottom(last);
+    if (persistent_[idx]) {
+      // Timer: the callback stays in place and may re-arm its own slot.
+      // Root removal is DEFERRED: the spent entry's key precedes every
+      // other key that can exist during the callback, so it pins the root
+      // and timer_arm_keyed can fuse a self re-arm into one sift_down.
+      pos_[idx] = kNoPos;
+      deferred_root_ = idx;
+      fn_of(idx)();
+      if (deferred_root_ == idx) {
+        // Not re-armed (or re-armed into the deadline class): physically
+        // remove the spent root now.
+        deferred_root_ = kNoPos;
+        const HeapEntry last = heap_.back();
+        heap_.pop_back();
+        if (!heap_.empty()) sift_root_to_bottom(heap_, last);
+      }
+      return true;
+    }
+    const HeapEntry last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_root_to_bottom(heap_, last);
 
-  release(idx);  // recycled before running: reentrant schedule/cancel is safe
-  fn();
+    EventCallback fn = std::move(fn_of(idx));
+    release(idx);  // recycled before running: reentrant schedule/cancel is safe
+    fn();
+    return true;
+  }
+  if (dheap_.empty()) return false;
+
+  // Deadline heap fires: the top is accurate by the settle_dtop invariant —
+  // a persistent deadline-class timer or a far one-shot.
+  const HeapEntry top = dheap_[0];
+  const HeapEntry last = dheap_.back();
+  dheap_.pop_back();
+  if (!dheap_.empty()) sift_root_to_bottom(dheap_, last);
+  settle_dtop();
+  pos_[top.slot] = kNoPos;
+  deadline_[top.slot] = kTimeInfinity;
+  now = top.t;
+  if (!persistent_[top.slot]) {
+    in_dheap_[top.slot] = 0;
+    EventCallback fn = std::move(fn_of(top.slot));
+    release(top.slot);  // recycled before running, same as the main path
+    fn();
+    return true;
+  }
+  fn_of(top.slot)();
   return true;
 }
 
-void EventQueue::remove_from_heap(std::size_t pos) {
-  const HeapEntry last = heap_.back();
-  heap_.pop_back();
-  if (pos < heap_.size()) {
+void EventQueue::remove_from_heap(std::vector<HeapEntry>& h, std::size_t pos) {
+  const HeapEntry last = h.back();
+  h.pop_back();
+  if (pos < h.size()) {
     // Moving the last entry into the hole: it can only need to travel one
     // direction.  Try down; if it did not move, try up.
-    sift_down(pos, last);
-    if (pos_[last.slot] == pos) sift_up(pos, last);
+    sift_down(h, pos, last);
+    if (pos_[last.slot] == pos) sift_up(h, pos, last);
   }
 }
 
-void EventQueue::sift_up(std::size_t pos, HeapEntry e) {
+void EventQueue::sift_up(std::vector<HeapEntry>& h, std::size_t pos, HeapEntry e) {
   while (pos > 0) {
     const std::size_t parent = (pos - 1) >> 2;
-    const HeapEntry& p = heap_[parent];
+    const HeapEntry& p = h[parent];
     if (!earlier(e, p)) break;
-    place(pos, p);
+    place(h, pos, p);
     pos = parent;
   }
-  place(pos, e);
+  place(h, pos, e);
 }
 
-void EventQueue::sift_down(std::size_t pos, HeapEntry e) {
-  const std::size_t n = heap_.size();
+void EventQueue::sift_down(std::vector<HeapEntry>& h, std::size_t pos, HeapEntry e) {
+  const std::size_t n = h.size();
   for (;;) {
     const std::size_t first = (pos << 2) + 1;
     if (first >= n) break;
     std::size_t best = first;
     const std::size_t end = std::min(first + 4, n);
     for (std::size_t c = first + 1; c < end; ++c) {
-      if (earlier(heap_[c], heap_[best])) best = c;
+      if (earlier(h[c], h[best])) best = c;
     }
-    if (!earlier(heap_[best], e)) break;
-    place(pos, heap_[best]);
+    if (!earlier(h[best], e)) break;
+    place(h, pos, h[best]);
     pos = best;
   }
-  place(pos, e);
+  place(h, pos, e);
 }
 
-void EventQueue::sift_root_to_bottom(HeapEntry e) {
+void EventQueue::sift_root_to_bottom(std::vector<HeapEntry>& h, HeapEntry e) {
   // Bottom-up pop: the hole's replacement is the heap's last (i.e. a late)
   // entry, so instead of comparing it at every level, promote the minimum
   // child all the way down and then bubble the replacement up from the
   // bottom — it rarely moves.  ~25% fewer comparisons than a plain sift.
-  const std::size_t n = heap_.size();
+  const std::size_t n = h.size();
   std::size_t pos = 0;
   for (;;) {
     const std::size_t first = (pos << 2) + 1;
@@ -119,12 +315,12 @@ void EventQueue::sift_root_to_bottom(HeapEntry e) {
     std::size_t best = first;
     const std::size_t end = std::min(first + 4, n);
     for (std::size_t c = first + 1; c < end; ++c) {
-      if (earlier(heap_[c], heap_[best])) best = c;
+      if (earlier(h[c], h[best])) best = c;
     }
-    place(pos, heap_[best]);
+    place(h, pos, h[best]);
     pos = best;
   }
-  sift_up(pos, e);
+  sift_up(h, pos, e);
 }
 
 }  // namespace dcp

@@ -2,7 +2,7 @@
 // The allocation-free event queue at the bottom of every simulation.
 //
 // Design (rebuilt for throughput — see docs/architecture.md, "Simulator
-// core performance model"):
+// core performance model" and "Two-level scheduler"):
 //
 //   * Callbacks live in a chunked slab with a freelist.  Slots are
 //     recycled, never freed, so the steady-state schedule->fire path does
@@ -22,6 +22,26 @@
 //     Firing or cancelling a slot bumps its generation, so double-cancel
 //     and cancel-after-fire are provably harmless no-ops — a stale handle
 //     can never hit a recycled slot.
+//   * Two-level scheduling support: components that own a naturally
+//     ordered stream of events (a Channel's delivery lane, a periodic
+//     timer) keep only ONE entry in the heap.  alloc_seq()/push_keyed()
+//     let them stamp each logical event with a global sequence number at
+//     creation and enter the heap with that exact (time, seq) key later,
+//     so the merged firing order is identical to scheduling every logical
+//     event individually.  Persistent timer slots (timer_create /
+//     timer_arm / timer_cancel) hold their callback across fires: arming
+//     again after a fire is a heap insert only — no slot churn, no
+//     callback reconstruction.
+//   * Deadline class: timers that are re-armed far more often than they
+//     fire (retransmission timeouts, keepalives, per-flow stall checks)
+//     live in a SECOND heap via timer_arm_deadline().  Pushing such a
+//     deadline forward is O(1) — the parked entry goes stale and the real
+//     deadline is stored beside the slot; stale entries are re-keyed (or
+//     dropped, for lazy cancels) only when they surface at that heap's
+//     top.  The pop path takes the earlier of the two heap tops under the
+//     same global (time, seq) order, so firing order is unchanged — but
+//     the first-level heap stays at O(active links + near-term timers)
+//     instead of O(flows), which is what every packet-event sift pays for.
 
 #include <cstdint>
 #include <memory>
@@ -47,26 +67,99 @@ class EventQueue {
   /// same instant fire in the order they were scheduled.
   EventId push(Time t, EventCallback fn);
 
+  /// Allocates the next tie-break sequence number.  A caller that manages
+  /// its own ordered event stream stamps each logical event with one of
+  /// these at creation time; entering the heap later via push_keyed() or
+  /// timer_arm_keyed() with the stamped value reproduces exactly the
+  /// firing order push() would have produced.
+  std::uint64_t alloc_seq() { return next_seq_++; }
+
+  /// push() with an explicit tie-break sequence (from alloc_seq()).
+  EventId push_keyed(Time t, std::uint64_t seq, EventCallback fn);
+
+  /// push() for FAR events: one-shots expected to sit a long time before
+  /// firing (staggered flow starts, experiment-end probes).  The entry
+  /// parks in the deadline heap, so the thousands of pops between schedule
+  /// and fire never sift across it.  Firing order is identical to push()
+  /// — the sequence number is allocated here, at call time.
+  EventId push_far(Time t, EventCallback fn);
+
   /// Cancels a pending event in place (O(log n)).  Cancelling an
   /// already-fired, already-cancelled, or invalid id is a harmless no-op:
   /// the generation stamp in the handle no longer matches the slot.
   void cancel(EventId id);
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t size() const { return heap_.size(); }
+  bool empty() const { return heap_.empty() && dheap_.empty(); }
+  std::size_t size() const { return heap_.size() + dheap_.size(); }
 
   /// Time of the earliest pending event; kTimeInfinity when empty.  O(1).
-  Time next_time() const { return heap_.empty() ? kTimeInfinity : heap_[0].t; }
+  /// (The deadline heap's top is kept accurate — see settle_dtop.)
+  Time next_time() const {
+    const Time m = heap_.empty() ? kTimeInfinity : heap_[0].t;
+    const Time d = dheap_.empty() ? kTimeInfinity : dheap_[0].t;
+    return m < d ? m : d;
+  }
+
+  /// True when an event keyed (t, seq) would fire before everything
+  /// currently pending — the coalescing probe of the two-level scheduler.
+  bool before_top(Time t, std::uint64_t seq) const {
+    if (!heap_.empty() &&
+        !(t < heap_[0].t || (t == heap_[0].t && seq < heap_[0].seq))) {
+      return false;
+    }
+    if (!dheap_.empty() &&
+        !(t < dheap_[0].t || (t == dheap_[0].t && seq < dheap_[0].seq))) {
+      return false;
+    }
+    return true;
+  }
 
   /// Pops the earliest event and runs it, setting `now` to its time first.
-  /// Returns false if the queue is empty.  The event's slot is recycled
+  /// Returns false if the queue is empty.  One-shot slots are recycled
   /// (generation bumped) before the callback runs, so the callback may
   /// freely schedule and cancel — including its own, now stale, id.
+  /// Persistent timer slots keep their callback and may re-arm themselves.
   bool pop_and_run(Time& now);
+
+  // --- Persistent timers ----------------------------------------------------
+  // A timer is a slot whose callback survives firing: high-frequency
+  // self-rescheduling events (port serialization-done, pacing wakeups,
+  // RetransQ drains, lane heads) re-arm the same slot instead of paying
+  // slot release/acquire and callback destroy/reconstruct per fire.
+  // Handles are plain slot indices; the owner must destroy the timer
+  // before the EventQueue goes away (components already outlive neither
+  // their Simulator nor the reverse).
+
+  /// Registers `fn` in a persistent slot; the timer starts un-armed.
+  std::uint32_t timer_create(EventCallback fn);
+  /// Cancels and releases the slot (the callback is destroyed).
+  void timer_destroy(std::uint32_t timer);
+  /// (Re-)arms the timer at absolute time `t` with a fresh sequence number
+  /// — equivalent in firing order to cancel + push().
+  void timer_arm(std::uint32_t timer, Time t) { timer_arm_keyed(timer, t, next_seq_++); }
+  /// (Re-)arms with an explicit (t, seq) key stamped via alloc_seq().
+  void timer_arm_keyed(std::uint32_t timer, Time t, std::uint64_t seq);
+  /// (Re-)arms in the DEADLINE class: the timer fires at absolute time `t`
+  /// unless pushed further first.  Extending a pending deadline is O(1);
+  /// use this for timers that are re-armed per-ACK but fire per-timeout.
+  void timer_arm_deadline(std::uint32_t timer, Time t);
+  /// Removes the timer from the heap if pending; the callback is retained.
+  /// For deadline-class timers this is O(1) (the parked entry evaporates
+  /// when it surfaces).
+  void timer_cancel(std::uint32_t timer);
+  bool timer_pending(std::uint32_t timer) const {
+    return pos_[timer] != kNoPos && (!in_dheap_[timer] || deadline_[timer] != kTimeInfinity);
+  }
 
   /// Total event slots ever allocated (capacity, not live events) — lets
   /// tests assert the slab stops growing under steady-state churn.
   std::size_t slots_allocated() const { return gen_.size(); }
+
+  /// High-water mark of the first-level heap — the figure the two-level
+  /// scheduler shrinks from O(packets in flight + flows) to O(active
+  /// links).  Deadline-class entries are excluded: they park in their own
+  /// heap precisely so packet events never sift across them.
+  std::size_t peak_heap_size() const { return peak_heap_; }
 
  private:
   static constexpr std::uint32_t kChunkShift = 9;
@@ -91,22 +184,41 @@ class EventQueue {
   }
 
   void grow();
-  void place(std::size_t pos, const HeapEntry& e) {
-    heap_[pos] = e;
+  std::uint32_t alloc_slot();
+  void insert_main(const HeapEntry& e);
+  void place(std::vector<HeapEntry>& h, std::size_t pos, const HeapEntry& e) {
+    h[pos] = e;
     pos_[e.slot] = static_cast<std::uint32_t>(pos);
   }
-  void release(std::uint32_t idx);         // recycle a slot (bumps generation)
-  void remove_from_heap(std::size_t pos);  // detach heap_[pos], restore heap
-  void sift_up(std::size_t pos, HeapEntry e);
-  void sift_down(std::size_t pos, HeapEntry e);
-  void sift_root_to_bottom(HeapEntry e);   // pop path: promote mins, then up
+  void release(std::uint32_t idx);  // recycle a slot (bumps generation)
+  void remove_from_heap(std::vector<HeapEntry>& h, std::size_t pos);
+  void sift_up(std::vector<HeapEntry>& h, std::size_t pos, HeapEntry e);
+  void sift_down(std::vector<HeapEntry>& h, std::size_t pos, HeapEntry e);
+  void sift_root_to_bottom(std::vector<HeapEntry>& h, HeapEntry e);
+  /// Restores the invariant "the deadline heap's top entry matches its
+  /// slot's true deadline": drops lazily-cancelled tops, re-keys lazily-
+  /// extended ones (their key only grows, so an in-place sift_down).
+  void settle_dtop();
 
   std::vector<std::unique_ptr<EventCallback[]>> chunks_;  // stable storage
   std::vector<std::uint32_t> gen_;   // per-slot generation stamp
   std::vector<std::uint32_t> pos_;   // per-slot heap position (kNoPos = free)
+  std::vector<std::uint8_t> persistent_;  // slot is a timer (callback survives fire)
+  std::vector<std::uint8_t> in_dheap_;    // pending entry lives in the deadline heap
+  std::vector<Time> deadline_;       // true deadline of a deadline-class timer
   std::vector<std::uint32_t> free_;  // recycled slot indices
-  std::vector<HeapEntry> heap_;      // 4-ary min-heap
+  std::vector<HeapEntry> heap_;      // first level: near-term, always-fire events
+  std::vector<HeapEntry> dheap_;     // second level: rarely-firing deadlines
   std::uint64_t next_seq_ = 1;
+  std::size_t peak_heap_ = 0;
+  // Fused pop+re-arm: while a persistent timer's callback runs, its spent
+  // root entry stays parked at heap_[0] (its key is a strict minimum, so
+  // nothing can sift past it).  If the callback re-arms the same slot —
+  // the self-rescheduling pattern of lane heads and port serialization
+  // timers, i.e. nearly every pop — the root is re-keyed in place with a
+  // single sift_down instead of a full remove + insert.  Otherwise the
+  // stale root is removed after the callback returns.
+  std::uint32_t deferred_root_ = kNoPos;
 };
 
 }  // namespace dcp

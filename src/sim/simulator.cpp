@@ -1,6 +1,18 @@
 #include "sim/simulator.h"
 
+#include <cstdlib>
+#include <cstring>
+
 namespace dcp {
+
+Simulator::Simulator() {
+  // DCP_LANES=0 is the escape hatch back to one-heap-entry-per-packet
+  // scheduling — used by the digest-equality suite and for bisection when
+  // a lane bug is suspected.  Any other value (or unset) keeps lanes on.
+  if (const char* env = std::getenv("DCP_LANES")) {
+    if (std::strcmp(env, "0") == 0) use_lanes_ = false;
+  }
+}
 
 void Simulator::run(Time until) {
   stopped_ = false;

@@ -18,7 +18,7 @@ class CheckObserver;
 
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -34,6 +34,13 @@ class Simulator {
   EventId schedule_at(Time t, EventCallback fn) {
     return queue_.push(t < now_ ? now_ : t, std::move(fn));
   }
+  /// schedule_at() for one-shots that sit a long time before firing
+  /// (staggered flow starts): the entry parks in the deadline heap so hot
+  /// packet events never sift across it.  Same firing order as
+  /// schedule_at() — the tie-break sequence is allocated here.
+  EventId schedule_at_far(Time t, EventCallback fn) {
+    return queue_.push_far(t < now_ ? now_ : t, std::move(fn));
+  }
   void cancel(EventId id) { queue_.cancel(id); }
 
   /// Runs until the queue drains or simulated time exceeds `until`.
@@ -44,14 +51,47 @@ class Simulator {
 
   /// Stops a `run()` in progress after the current event returns.
   void stop() { stopped_ = true; }
+  /// True between stop() and the run loop noticing it.  Delivery lanes
+  /// consult this so same-time coalescing honours stop() exactly like the
+  /// plain one-event-per-packet heap would.
+  bool stop_requested() const { return stopped_; }
 
   bool idle() const { return queue_.empty(); }
   Time next_event_time() const { return queue_.next_time(); }
   std::uint64_t events_processed() const { return events_processed_; }
 
+  // --- Two-level scheduler support -----------------------------------------
+  // A component owning an ordered event stream (a Channel's delivery lane)
+  // stamps each logical event with alloc_event_seq() at creation and keeps
+  // only its earliest one in the heap (via Timer::arm_keyed_abs).  Because
+  // one sequence number is consumed per logical event, exactly as if each
+  // were schedule()d individually, the interleaving with every other event
+  // is bit-identical to the plain heap.
+
+  /// Whether Channels route deliveries through per-link lanes (default on;
+  /// the DCP_LANES=0 environment escape hatch or set_use_lanes(false)
+  /// selects the plain one-heap-entry-per-packet path).
+  bool use_lanes() const { return use_lanes_; }
+  void set_use_lanes(bool on) { use_lanes_ = on; }
+
+  /// Stamps a logical event with the next global tie-break sequence.
+  std::uint64_t alloc_event_seq() { return queue_.alloc_seq(); }
+
+  /// True when a logical event keyed (t, seq) precedes everything pending
+  /// in the heap — i.e. a lane may run it now without a heap round trip.
+  bool lane_may_run(Time t, std::uint64_t seq) const { return queue_.before_top(t, seq); }
+
+  /// Accounts a lane-coalesced delivery so events_processed() matches the
+  /// plain heap (which would have popped one event for it).
+  void note_coalesced_event() { ++events_processed_; }
+
   /// Event-slab capacity (slots ever allocated) — surfaced so CorePerf can
   /// report per-run allocation behaviour alongside events/sec.
   std::size_t event_slots_allocated() const { return queue_.slots_allocated(); }
+
+  /// High-water mark of the scheduling heap — O(active links + timers)
+  /// under the two-level scheduler vs O(packets in flight) without it.
+  std::size_t peak_heap_size() const { return queue_.peak_heap_size(); }
 
   /// The invariant-checking observer armed on this simulation, if any (see
   /// check/observer.h).  Components consult this at their hook sites; the
@@ -60,11 +100,57 @@ class Simulator {
   void set_check_observer(CheckObserver* ob) { check_observer_ = ob; }
 
  private:
+  friend class Timer;
+
   EventQueue queue_;
   Time now_ = 0;
   std::uint64_t events_processed_ = 0;
   bool stopped_ = false;
+  bool use_lanes_ = true;
   CheckObserver* check_observer_ = nullptr;
+};
+
+/// A persistent, self-rescheduling event: the callback is registered once
+/// and survives every fire, so re-arming costs a heap insert only — no
+/// slot churn, no callback reconstruction, no O(log n) cancel on the
+/// cancel+reschedule pattern.  Drop-in replacement for the high-frequency
+/// EventId timers (port serialization-done, NIC pacing wakeups, RetransQ
+/// PCIe drains, CC timers): arm() consumes one tie-break sequence exactly
+/// like schedule() did, so firing order is unchanged.
+///
+/// The owner must not outlive the Simulator (components already hold
+/// Simulator references, so destruction order is unchanged).  The callback
+/// may re-arm its own timer; pending() is false while it runs.
+class Timer {
+ public:
+  Timer(Simulator& sim, EventCallback fn)
+      : sim_(sim), slot_(sim.queue_.timer_create(std::move(fn))) {}
+  ~Timer() { sim_.queue_.timer_destroy(slot_); }
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// (Re-)arms `delay` from now; equivalent to cancel + schedule(delay).
+  void arm(Time delay) { sim_.queue_.timer_arm(slot_, sim_.now() + delay); }
+  /// (Re-)arms at absolute time `t` (clamped to now, like schedule_at).
+  void arm_at(Time t) { sim_.queue_.timer_arm(slot_, t < sim_.now() ? sim_.now() : t); }
+  /// (Re-)arms with an explicit (t, seq) key stamped via alloc_event_seq():
+  /// the two-level scheduler's lane-head entry.
+  void arm_keyed_abs(Time t, std::uint64_t seq) { sim_.queue_.timer_arm_keyed(slot_, t, seq); }
+  /// (Re-)arms `delay` from now in the DEADLINE class: extending a pending
+  /// deadline is O(1) and the entry parks in the second-level heap.  Use
+  /// for timers re-armed per-ACK but firing per-timeout (RTO, keepalive,
+  /// stall checks), so packet events never sift across them.
+  void arm_deadline(Time delay) { sim_.queue_.timer_arm_deadline(slot_, sim_.now() + delay); }
+  void arm_deadline_at(Time t) {
+    sim_.queue_.timer_arm_deadline(slot_, t < sim_.now() ? sim_.now() : t);
+  }
+  /// Removes from the heap if pending; harmless no-op otherwise.
+  void cancel() { sim_.queue_.timer_cancel(slot_); }
+  bool pending() const { return sim_.queue_.timer_pending(slot_); }
+
+ private:
+  Simulator& sim_;
+  std::uint32_t slot_;
 };
 
 }  // namespace dcp

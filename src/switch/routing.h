@@ -9,6 +9,7 @@
 //                   in-network adaptive routing, per-packet);
 //   * SourcePath  — honour the packet's path_id (MP-RDMA virtual paths).
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
@@ -32,20 +33,86 @@ enum class LbPolicy : std::uint8_t {
 
 class RouteTable {
  public:
-  void add_route(NodeId dst, std::uint32_t egress_port) { routes_[dst].push_back(egress_port); }
-  void clear_routes(NodeId dst) { routes_[dst].clear(); }
-
-  /// Candidate egress ports toward `dst`; empty if unknown.
-  const std::vector<std::uint32_t>& candidates(NodeId dst) const {
-    static const std::vector<std::uint32_t> kNone;
-    auto it = routes_.find(dst);
-    return it == routes_.end() ? kNone : it->second;
+  void add_route(NodeId dst, std::uint32_t egress_port) {
+    if (dst >= routes_.size()) routes_.resize(dst + 1);
+    routes_[dst].push_back(egress_port);
+    ++version_;
+  }
+  void clear_routes(NodeId dst) {
+    if (dst < routes_.size()) routes_[dst].clear();
+    ++version_;
   }
 
-  bool has_route(NodeId dst) const { return routes_.contains(dst) && !routes_.at(dst).empty(); }
+  /// Candidate egress ports toward `dst`; empty if unknown.  NodeIds are
+  /// small and sequential, so the table is a dense vector — one indexed
+  /// load on the per-packet path instead of a hash probe.
+  const std::vector<std::uint32_t>& candidates(NodeId dst) const {
+    static const std::vector<std::uint32_t> kNone;
+    return dst < routes_.size() ? routes_[dst] : kNone;
+  }
+
+  bool has_route(NodeId dst) const { return dst < routes_.size() && !routes_[dst].empty(); }
+
+  /// Bumped on every mutation; cached decisions key on it.
+  std::uint32_t version() const { return version_; }
 
  private:
-  std::unordered_map<NodeId, std::vector<std::uint32_t>> routes_;
+  std::vector<std::vector<std::uint32_t>> routes_;
+  std::uint32_t version_ = 0;
+};
+
+/// Direct-mapped cache of ECMP port picks, one per (flow, hop).
+///
+/// ECMP is a pure function of (ecmp hash key, candidate set), and the key
+/// itself is fixed for a given (flow, path_id, direction) — so a hit keyed
+/// on those fields returns exactly the port the full lookup would compute,
+/// while skipping both the 3×mix64 hash and the modulo.  Caching is
+/// output-invisible.  Entries carry the epoch under which they were
+/// filled; `Switch` bumps its epoch on any routing change (table mutation
+/// or link flap), so stale picks miss instead of steering packets into
+/// withdrawn ports.  Only kEcmp decisions are cached — adaptive/spray/
+/// flowlet picks are load- or RNG-dependent per packet.
+class RouteCache {
+ public:
+  struct Slot {
+    FlowId flow = UINT64_MAX;
+    NodeId dst = UINT32_MAX;     // flow id is direction-agnostic; dst is not
+    std::uint32_t path_id = 0;
+    std::uint32_t epoch = 0;
+    std::uint32_t port = 0;
+  };
+
+  static constexpr std::size_t kSlots = 512;  // power of two
+
+  /// Returns the cached port, or UINT32_MAX on miss.
+  std::uint32_t lookup(FlowId flow, NodeId dst, std::uint32_t path_id, std::uint32_t epoch) {
+    const Slot& s = slots_[index(flow, dst)];
+    if (s.flow == flow && s.dst == dst && s.path_id == path_id && s.epoch == epoch) {
+      ++hits_;
+      return s.port;
+    }
+    ++misses_;
+    return UINT32_MAX;
+  }
+  void insert(FlowId flow, NodeId dst, std::uint32_t path_id, std::uint32_t epoch,
+              std::uint32_t port) {
+    slots_[index(flow, dst)] = Slot{flow, dst, path_id, epoch, port};
+  }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  static std::size_t index(FlowId flow, NodeId dst) {
+    // One multiply spreads sequential flow ids; fold dst so a flow's two
+    // directions land in different slots.
+    return ((flow ^ (static_cast<std::uint64_t>(dst) << 17)) * 0x9E3779B97F4A7C15ull >> 48) &
+           (kSlots - 1);
+  }
+
+  std::array<Slot, kSlots> slots_{};
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
 };
 
 /// Per-flow flowlet state for LbPolicy::kFlowlet.

@@ -7,6 +7,15 @@ DwrrPolicy::DwrrPolicy(std::array<double, kNumQueueClasses> weights, std::uint32
 
 int DwrrPolicy::select(const std::vector<FifoQueue>& queues,
                        const std::array<bool, kNumQueueClasses>& paused) {
+  // Fast path: the class holding the round is still eligible and its
+  // deficit covers its head-of-line packet.  This is exactly the loop's
+  // first iteration (which performs no writes in that case), short of the
+  // eligibility pre-scan — whose only effect, the eligible==0 early
+  // return, cannot apply when cur_ itself is eligible.
+  if (entered_ && !queues[cur_].empty() && !paused[cur_] &&
+      deficit_[cur_] >= static_cast<double>(queues[cur_].front().wire_bytes)) {
+    return cur_;
+  }
   const int n = static_cast<int>(queues.size());
   int eligible = 0;
   for (int c = 0; c < n; ++c) {

@@ -20,7 +20,8 @@ std::uint32_t Switch::add_port(Bandwidth bw, Time propagation) {
   auto policy = std::make_unique<DwrrPolicy>(
       std::array<double, kNumQueueClasses>{1.0, cfg_.control_weight});
   auto port = std::make_unique<Port>(sim_, bw, propagation, std::move(policy));
-  port->on_dequeue = [this](const Packet& p) { on_port_dequeue(p); };
+  port->set_dequeue_hook(
+      [](void* sw, const Packet& p) { static_cast<Switch*>(sw)->on_port_dequeue(p); }, this);
   ports_.push_back(std::move(port));
   port_up_.push_back(true);
   pause_sent_.push_back({});
@@ -33,6 +34,7 @@ void Switch::set_link_up(std::uint32_t port, bool up) {
   ports_[port]->channel().set_up(up);  // anything already queued is lost
   any_port_down_ = false;
   for (bool u : port_up_) any_port_down_ = any_port_down_ || !u;
+  ++flap_epoch_;  // every cached route pick made before the flap goes stale
 }
 
 void Switch::receive(PacketPtr pkt, std::uint32_t in_port) {
@@ -42,29 +44,41 @@ void Switch::receive(PacketPtr pkt, std::uint32_t in_port) {
     return;
   }
 
-  const std::vector<std::uint32_t>* candidates = &routes_.candidates(pkt->dst);
-  std::vector<std::uint32_t> alive;
-  if (any_port_down_) {
-    // Failure detection has withdrawn the dead links from the candidate
-    // set (as a routing protocol would).
-    for (std::uint32_t c : *candidates) {
-      if (port_up_[c]) alive.push_back(c);
-    }
-    candidates = &alive;
+  // ECMP fast path: the pick is a pure function of the packet's hash key
+  // and the candidate set, both fixed per (flow, path_id, direction) — so
+  // a cache hit skips the table walk, the hash and the modulo entirely.
+  // Epoch stamping (route_epoch()) makes flaps and table edits miss.
+  std::uint32_t eport = UINT32_MAX;
+  const bool cacheable = cfg_.route_cache && cfg_.lb == LbPolicy::kEcmp;
+  if (cacheable) {
+    eport = rcache_.lookup(pkt->flow, pkt->dst, pkt->path_id, route_epoch());
   }
-  if (candidates->empty()) {
-    if (CheckObserver* ob = sim_.check_observer()) {
-      ob->on_drop(DropSite::kSwitchNoRoute, id(), *pkt);
+  if (eport == UINT32_MAX) {
+    const std::vector<std::uint32_t>* candidates = &routes_.candidates(pkt->dst);
+    if (any_port_down_) {
+      // Failure detection has withdrawn the dead links from the candidate
+      // set (as a routing protocol would).
+      alive_scratch_.clear();
+      for (std::uint32_t c : *candidates) {
+        if (port_up_[c]) alive_scratch_.push_back(c);
+      }
+      candidates = &alive_scratch_;
     }
-    stats_.no_route++;
-    return;
+    if (candidates->empty()) {
+      if (CheckObserver* ob = sim_.check_observer()) {
+        ob->on_drop(DropSite::kSwitchNoRoute, id(), *pkt);
+      }
+      stats_.no_route++;
+      return;
+    }
+    eport = select_port(
+        cfg_.lb, *pkt, *candidates,
+        [this](std::uint32_t p) {
+          return ports_[p]->queued_bytes(static_cast<int>(QueueClass::kData));
+        },
+        rng_, sim_.now(), &flowlets_);
+    if (cacheable) rcache_.insert(pkt->flow, pkt->dst, pkt->path_id, route_epoch(), eport);
   }
-  const std::uint32_t eport = select_port(
-      cfg_.lb, *pkt, *candidates,
-      [this](std::uint32_t p) {
-        return ports_[p]->queued_bytes(static_cast<int>(QueueClass::kData));
-      },
-      rng_, sim_.now(), &flowlets_);
 
   // Forced loss (testbed experiments): the P4 switch trims DCP data packets
   // and plainly drops everything else.

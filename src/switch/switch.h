@@ -58,6 +58,10 @@ struct SwitchConfig {
 
   LbPolicy lb = LbPolicy::kEcmp;
   Time flowlet_gap = microseconds(50);  // for LbPolicy::kFlowlet
+
+  // Per-switch ECMP decision cache (see RouteCache).  Output-invisible;
+  // off only for A/B checks like tests/test_route_cache.cpp.
+  bool route_cache = true;
 };
 
 class Switch final : public Node {
@@ -106,6 +110,11 @@ class Switch final : public Node {
   void set_link_up(std::uint32_t port, bool up);
   bool link_up(std::uint32_t port) const { return port_up_[port]; }
 
+  /// Epoch every cached routing decision is stamped with: any route-table
+  /// mutation or link flap changes it, invalidating the whole cache.
+  std::uint32_t route_epoch() const { return routes_.version() + flap_epoch_; }
+  const RouteCache& route_cache() const { return rcache_; }
+
   using Node::receive;
   void receive(PacketPtr pkt, std::uint32_t in_port) override;
 
@@ -124,6 +133,9 @@ class Switch final : public Node {
   bool any_port_down_ = false;
   FlowletTable flowlets_;
   RouteTable routes_;
+  RouteCache rcache_;
+  std::uint32_t flap_epoch_ = 0;          // bumped by set_link_up
+  std::vector<std::uint32_t> alive_scratch_;  // reused live-candidate filter
   SharedBuffer buffer_;
   // pause_sent_[port][class]: we have PAUSEd that upstream and not yet RESUMEd.
   std::vector<std::array<bool, kNumQueueClasses>> pause_sent_;

@@ -4,10 +4,6 @@
 
 namespace dcp {
 
-GbnSender::~GbnSender() {
-  if (rto_ev_ != kInvalidEvent) sim_.cancel(rto_ev_);
-}
-
 std::uint64_t GbnSender::inflight_bytes() const {
   return static_cast<std::uint64_t>(snd_nxt_ - snd_una_) * cfg_.mtu_payload;
 }
@@ -28,16 +24,14 @@ Packet GbnSender::protocol_next_packet() {
   return p;
 }
 
-void GbnSender::arm_rto() {
-  if (rto_ev_ != kInvalidEvent) sim_.cancel(rto_ev_);
-  rto_ev_ = sim_.schedule(cfg_.rto_high, [this] {
-    rto_ev_ = kInvalidEvent;
-    if (done()) return;
-    stats_.timeouts++;
-    cc_->on_timeout();
-    rewind("rto");
-    arm_rto();
-  });
+void GbnSender::arm_rto() { rto_.arm_deadline(cfg_.rto_high); }
+
+void GbnSender::on_rto() {
+  if (done()) return;
+  stats_.timeouts++;
+  cc_->on_timeout();
+  rewind("rto");
+  arm_rto();
 }
 
 void GbnSender::rewind(const char* why) {
@@ -62,8 +56,7 @@ void GbnSender::on_packet(Packet pkt) {
         if (snd_nxt_ < snd_una_) snd_nxt_ = snd_una_;
         cc_->on_ack(newly);
         if (done()) {
-          sim_.cancel(rto_ev_);
-          rto_ev_ = kInvalidEvent;
+          rto_.cancel();
           finish();
           return;
         }

@@ -15,7 +15,6 @@ class GbnSender final : public SenderTransport {
  public:
   GbnSender(Simulator& sim, Host& host, FlowSpec spec, TransportConfig cfg)
       : SenderTransport(sim, host, spec, cfg) {}
-  ~GbnSender() override;
 
   void on_packet(Packet pkt) override;
   bool done() const override { return snd_una_ >= total_packets(); }
@@ -27,6 +26,7 @@ class GbnSender final : public SenderTransport {
 
  private:
   void arm_rto();
+  void on_rto();
   void rewind(const char* why);
   std::uint64_t inflight_bytes() const;
 
@@ -36,7 +36,7 @@ class GbnSender final : public SenderTransport {
   // the same ePSN are echoes of packets already in flight).
   std::uint32_t last_rewind_una_ = UINT32_MAX;
   std::uint32_t high_water_ = 0;  // highest snd_nxt ever reached
-  EventId rto_ev_ = kInvalidEvent;
+  Timer rto_{sim_, [this] { on_rto(); }};  // deadline-class: re-armed per ACK
 };
 
 class GbnReceiver final : public ReceiverTransport {

@@ -4,10 +4,6 @@
 
 namespace dcp {
 
-IrnSender::~IrnSender() {
-  if (rto_ev_ != kInvalidEvent) sim_.cancel(rto_ev_);
-}
-
 std::uint64_t IrnSender::inflight_bytes() const {
   // Unacked bytes between the cumulative ACK and snd_nxt; SACKed holes are
   // a second-order correction we ignore (IRN uses the same approximation).
@@ -39,13 +35,9 @@ Packet IrnSender::protocol_next_packet() {
 }
 
 void IrnSender::arm_rto() {
-  if (rto_ev_ != kInvalidEvent) sim_.cancel(rto_ev_);
   const std::uint32_t outstanding = snd_nxt_ - snd_una_;
   const Time rto = outstanding <= cfg_.rto_low_threshold_pkts ? cfg_.rto_low : cfg_.rto_high;
-  rto_ev_ = sim_.schedule(rto, [this] {
-    rto_ev_ = kInvalidEvent;
-    on_rto();
-  });
+  rto_.arm_deadline(rto);
 }
 
 void IrnSender::on_rto() {
@@ -136,8 +128,7 @@ void IrnSender::on_packet(Packet pkt) {
   }
 
   if (done()) {
-    sim_.cancel(rto_ev_);
-    rto_ev_ = kInvalidEvent;
+    rto_.cancel();
     finish();
     return;
   }

@@ -25,8 +25,6 @@ class IrnSender final : public SenderTransport {
         acked_(total_packets(), false),
         retx_pending_(total_packets(), false),
         retx_done_(total_packets(), false) {}
-  ~IrnSender() override;
-
   void on_packet(Packet pkt) override;
   bool done() const override { return snd_una_ >= total_packets(); }
 
@@ -34,7 +32,7 @@ class IrnSender final : public SenderTransport {
   std::uint32_t snd_una() const { return snd_una_; }
   std::uint32_t snd_nxt() const { return snd_nxt_; }
   std::uint32_t retx_count() const { return retx_count_; }
-  bool rto_armed() const { return rto_ev_ != kInvalidEvent; }
+  bool rto_armed() const { return rto_.pending(); }
 
  protected:
   bool protocol_has_packet() override;
@@ -65,7 +63,7 @@ class IrnSender final : public SenderTransport {
   std::uint32_t loss_scan_ = 0;
   bool in_recovery_ = false;
   std::uint32_t recovery_high_ = 0;   // snd_nxt at recovery entry
-  EventId rto_ev_ = kInvalidEvent;
+  Timer rto_{sim_, [this] { on_rto(); }};  // deadline-class: re-armed per ACK
 };
 
 class IrnReceiver final : public ReceiverTransport {

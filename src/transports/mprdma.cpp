@@ -4,10 +4,6 @@
 
 namespace dcp {
 
-MpRdmaSender::~MpRdmaSender() {
-  if (rto_ev_ != kInvalidEvent) sim_.cancel(rto_ev_);
-}
-
 bool MpRdmaSender::protocol_has_packet() {
   if (done()) return false;
   if (retx_count_ > 0) return true;
@@ -34,25 +30,23 @@ Packet MpRdmaSender::protocol_next_packet() {
   return p;
 }
 
-void MpRdmaSender::arm_rto() {
-  if (rto_ev_ != kInvalidEvent) sim_.cancel(rto_ev_);
-  rto_ev_ = sim_.schedule(cfg_.rto_high, [this] {
-    rto_ev_ = kInvalidEvent;
-    if (done()) return;
-    stats_.timeouts++;
-    cc_->on_timeout();
-    retx_scan_ = total_packets();
-    for (std::uint32_t p = snd_una_; p < snd_nxt_; ++p) {
-      if (!acked_[p] && !retx_pending_[p]) {
-        retx_pending_[p] = true;
-        ++retx_count_;
-        if (p < retx_scan_) retx_scan_ = p;
-      }
+void MpRdmaSender::arm_rto() { rto_.arm_deadline(cfg_.rto_high); }
+
+void MpRdmaSender::on_rto() {
+  if (done()) return;
+  stats_.timeouts++;
+  cc_->on_timeout();
+  retx_scan_ = total_packets();
+  for (std::uint32_t p = snd_una_; p < snd_nxt_; ++p) {
+    if (!acked_[p] && !retx_pending_[p]) {
+      retx_pending_[p] = true;
+      ++retx_count_;
+      if (p < retx_scan_) retx_scan_ = p;
     }
-    cwnd_pkts_ = std::max(1.0, cwnd_pkts_ / 2.0);
-    arm_rto();
-    kick_nic();
-  });
+  }
+  cwnd_pkts_ = std::max(1.0, cwnd_pkts_ / 2.0);
+  arm_rto();
+  kick_nic();
 }
 
 void MpRdmaSender::on_packet(Packet pkt) {
@@ -103,8 +97,7 @@ void MpRdmaSender::on_packet(Packet pkt) {
     arm_rto();
   }
   if (done()) {
-    sim_.cancel(rto_ev_);
-    rto_ev_ = kInvalidEvent;
+    rto_.cancel();
     finish();
     return;
   }

@@ -27,7 +27,6 @@ class MpRdmaSender final : public SenderTransport {
     if (cwnd_pkts_ < 1.0) cwnd_pkts_ = 1.0;
     max_cwnd_pkts_ = 2.0 * cwnd_pkts_;
   }
-  ~MpRdmaSender() override;
 
   void on_packet(Packet pkt) override;
   bool done() const override { return snd_una_ >= total_packets(); }
@@ -41,6 +40,7 @@ class MpRdmaSender final : public SenderTransport {
 
  private:
   void arm_rto();
+  void on_rto();
 
   std::vector<bool> acked_;
   std::vector<bool> retx_pending_;
@@ -51,7 +51,7 @@ class MpRdmaSender final : public SenderTransport {
   double cwnd_pkts_;
   double max_cwnd_pkts_;
   std::uint32_t vp_rr_ = 0;  // virtual-path round robin
-  EventId rto_ev_ = kInvalidEvent;
+  Timer rto_{sim_, [this] { on_rto(); }};  // deadline-class: re-armed per ACK
 };
 
 class MpRdmaReceiver final : public ReceiverTransport {

@@ -6,12 +6,6 @@
 
 namespace dcp {
 
-RackTlpSender::~RackTlpSender() {
-  if (rack_ev_ != kInvalidEvent) sim_.cancel(rack_ev_);
-  if (tlp_ev_ != kInvalidEvent) sim_.cancel(tlp_ev_);
-  if (rto_ev_ != kInvalidEvent) sim_.cancel(rto_ev_);
-}
-
 bool RackTlpSender::protocol_has_packet() {
   if (done()) return false;
   if (retx_count_ > 0) return true;
@@ -39,53 +33,47 @@ Packet RackTlpSender::protocol_next_packet() {
   return p;
 }
 
-void RackTlpSender::arm_rack_timer(Time deadline) {
-  if (rack_ev_ != kInvalidEvent) sim_.cancel(rack_ev_);
-  rack_ev_ = sim_.schedule_at(deadline, [this] {
-    rack_ev_ = kInvalidEvent;
-    detect_losses();
-    kick_nic();
-  });
+void RackTlpSender::arm_rack_timer(Time deadline) { rack_.arm_deadline_at(deadline); }
+
+void RackTlpSender::on_rack() {
+  detect_losses();
+  kick_nic();
 }
 
-void RackTlpSender::arm_tlp() {
-  if (tlp_ev_ != kInvalidEvent) sim_.cancel(tlp_ev_);
-  tlp_ev_ = sim_.schedule(2 * srtt_, [this] {
-    tlp_ev_ = kInvalidEvent;
-    if (done()) return;
-    // Tail loss probe: resend the newest unacked packet to elicit a SACK.
-    for (std::uint32_t p = snd_nxt_; p > snd_una_; --p) {
-      const std::uint32_t psn = p - 1;
-      if (!acked_[psn] && !retx_pending_[psn]) {
-        retx_pending_[psn] = true;
-        ++retx_count_;
-        retx_scan_ = std::min(retx_scan_, psn);
-        break;
-      }
+void RackTlpSender::arm_tlp() { tlp_.arm_deadline(2 * srtt_); }
+
+void RackTlpSender::on_tlp() {
+  if (done()) return;
+  // Tail loss probe: resend the newest unacked packet to elicit a SACK.
+  for (std::uint32_t p = snd_nxt_; p > snd_una_; --p) {
+    const std::uint32_t psn = p - 1;
+    if (!acked_[psn] && !retx_pending_[psn]) {
+      retx_pending_[psn] = true;
+      ++retx_count_;
+      retx_scan_ = std::min(retx_scan_, psn);
+      break;
     }
-    arm_tlp();
-    kick_nic();
-  });
+  }
+  arm_tlp();
+  kick_nic();
 }
 
-void RackTlpSender::arm_rto() {
-  if (rto_ev_ != kInvalidEvent) sim_.cancel(rto_ev_);
-  rto_ev_ = sim_.schedule(cfg_.rto_high, [this] {
-    rto_ev_ = kInvalidEvent;
-    if (done()) return;
-    stats_.timeouts++;
-    cc_->on_timeout();
-    retx_scan_ = total_packets();
-    for (std::uint32_t p = snd_una_; p < snd_nxt_; ++p) {
-      if (!acked_[p] && !retx_pending_[p]) {
-        retx_pending_[p] = true;
-        ++retx_count_;
-        if (p < retx_scan_) retx_scan_ = p;
-      }
+void RackTlpSender::arm_rto() { rto_.arm_deadline(cfg_.rto_high); }
+
+void RackTlpSender::on_rto() {
+  if (done()) return;
+  stats_.timeouts++;
+  cc_->on_timeout();
+  retx_scan_ = total_packets();
+  for (std::uint32_t p = snd_una_; p < snd_nxt_; ++p) {
+    if (!acked_[p] && !retx_pending_[p]) {
+      retx_pending_[p] = true;
+      ++retx_count_;
+      if (p < retx_scan_) retx_scan_ = p;
     }
-    arm_rto();
-    kick_nic();
-  });
+  }
+  arm_rto();
+  kick_nic();
 }
 
 void RackTlpSender::detect_losses() {
@@ -144,10 +132,9 @@ void RackTlpSender::on_packet(Packet pkt) {
     cc_->on_ack(static_cast<std::uint64_t>(snd_una_ - old_una) * cfg_.mtu_payload);
   }
   if (done()) {
-    sim_.cancel(rack_ev_);
-    sim_.cancel(tlp_ev_);
-    sim_.cancel(rto_ev_);
-    rack_ev_ = tlp_ev_ = rto_ev_ = kInvalidEvent;
+    rack_.cancel();
+    tlp_.cancel();
+    rto_.cancel();
     finish();
     return;
   }

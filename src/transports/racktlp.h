@@ -24,7 +24,6 @@ class RackTlpSender final : public SenderTransport {
         acked_(total_packets(), false),
         retx_pending_(total_packets(), false),
         xmit_ts_(total_packets(), -1) {}
-  ~RackTlpSender() override;
 
   void on_packet(Packet pkt) override;
   bool done() const override { return snd_una_ >= total_packets(); }
@@ -44,6 +43,9 @@ class RackTlpSender final : public SenderTransport {
   void arm_rack_timer(Time deadline);
   void arm_tlp();
   void arm_rto();
+  void on_rack();
+  void on_tlp();
+  void on_rto();
 
   std::vector<bool> acked_;
   std::vector<bool> retx_pending_;
@@ -54,9 +56,10 @@ class RackTlpSender final : public SenderTransport {
   std::uint32_t snd_nxt_ = 0;
   Time srtt_ = microseconds(20);
   Time rack_xmit_ts_ = -1;  // newest delivered packet's transmission time
-  EventId rack_ev_ = kInvalidEvent;
-  EventId tlp_ev_ = kInvalidEvent;
-  EventId rto_ev_ = kInvalidEvent;
+  // All three are deadline-class (re-armed far more often than they fire).
+  Timer rack_{sim_, [this] { on_rack(); }};
+  Timer tlp_{sim_, [this] { on_tlp(); }};
+  Timer rto_{sim_, [this] { on_rto(); }};
 };
 
 class RackTlpFactory final : public TransportFactory {

@@ -6,10 +6,6 @@
 
 namespace dcp {
 
-TcpLiteSender::~TcpLiteSender() {
-  if (rto_ev_ != kInvalidEvent) sim_.cancel(rto_ev_);
-}
-
 bool TcpLiteSender::protocol_has_packet() {
   if (done()) return false;
   if (retx_count_ > 0) return true;
@@ -40,25 +36,25 @@ Packet TcpLiteSender::protocol_next_packet() {
 }
 
 void TcpLiteSender::arm_rto() {
-  if (rto_ev_ != kInvalidEvent) sim_.cancel(rto_ev_);
-  rto_ev_ = sim_.schedule(std::max<Time>(cfg_.rto_high, milliseconds(1)), [this] {
-    rto_ev_ = kInvalidEvent;
-    if (done()) return;
-    stats_.timeouts++;
-    ssthresh_pkts_ = std::max(2.0, cwnd_pkts_ / 2.0);
-    cwnd_pkts_ = 1.0;
-    if (retx_pending_.empty()) retx_pending_.assign(total_packets(), false);
-    retx_scan_ = total_packets();
-    for (std::uint32_t p = snd_una_; p < snd_nxt_; ++p) {
-      if (!acked_[p] && !retx_pending_[p]) {
-        retx_pending_[p] = true;
-        ++retx_count_;
-        if (p < retx_scan_) retx_scan_ = p;
-      }
+  rto_.arm_deadline(std::max<Time>(cfg_.rto_high, milliseconds(1)));
+}
+
+void TcpLiteSender::on_rto() {
+  if (done()) return;
+  stats_.timeouts++;
+  ssthresh_pkts_ = std::max(2.0, cwnd_pkts_ / 2.0);
+  cwnd_pkts_ = 1.0;
+  if (retx_pending_.empty()) retx_pending_.assign(total_packets(), false);
+  retx_scan_ = total_packets();
+  for (std::uint32_t p = snd_una_; p < snd_nxt_; ++p) {
+    if (!acked_[p] && !retx_pending_[p]) {
+      retx_pending_[p] = true;
+      ++retx_count_;
+      if (p < retx_scan_) retx_scan_ = p;
     }
-    arm_rto();
-    kick_nic();
-  });
+  }
+  arm_rto();
+  kick_nic();
 }
 
 void TcpLiteSender::handle_ack(const Packet& pkt) {
@@ -89,8 +85,7 @@ void TcpLiteSender::handle_ack(const Packet& pkt) {
     }
   }
   if (done()) {
-    sim_.cancel(rto_ev_);
-    rto_ev_ = kInvalidEvent;
+    rto_.cancel();
     finish();
     return;
   }

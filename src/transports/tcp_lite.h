@@ -19,7 +19,6 @@ class TcpLiteSender final : public SenderTransport {
       : SenderTransport(sim, host, spec, stack_capped(cfg)),
         acked_(total_packets(), false),
         cwnd_pkts_(10.0) {}
-  ~TcpLiteSender() override;
 
   void on_packet(Packet pkt) override;
   bool done() const override { return snd_una_ >= total_packets(); }
@@ -37,6 +36,7 @@ class TcpLiteSender final : public SenderTransport {
     return c;
   }
   void arm_rto();
+  void on_rto();
   void handle_ack(const Packet& pkt);
 
   std::vector<bool> acked_;
@@ -48,7 +48,7 @@ class TcpLiteSender final : public SenderTransport {
   double cwnd_pkts_;
   double ssthresh_pkts_ = 1e9;
   std::uint32_t dup_acks_ = 0;
-  EventId rto_ev_ = kInvalidEvent;
+  Timer rto_{sim_, [this] { on_rto(); }};  // deadline-class: re-armed per ACK
 };
 
 class TcpLiteReceiver final : public ReceiverTransport {

@@ -4,10 +4,6 @@
 
 namespace dcp {
 
-TimeoutSender::~TimeoutSender() {
-  if (rto_ev_ != kInvalidEvent) sim_.cancel(rto_ev_);
-}
-
 bool TimeoutSender::protocol_has_packet() {
   if (done()) return false;
   if (retx_count_ > 0) return true;
@@ -33,13 +29,7 @@ Packet TimeoutSender::protocol_next_packet() {
   return p;
 }
 
-void TimeoutSender::arm_rto() {
-  if (rto_ev_ != kInvalidEvent) sim_.cancel(rto_ev_);
-  rto_ev_ = sim_.schedule(cfg_.rto_high, [this] {
-    rto_ev_ = kInvalidEvent;
-    on_rto();
-  });
-}
+void TimeoutSender::arm_rto() { rto_.arm_deadline(cfg_.rto_high); }
 
 void TimeoutSender::on_rto() {
   if (done()) return;
@@ -80,8 +70,7 @@ void TimeoutSender::on_packet(Packet pkt) {
     arm_rto();
   }
   if (done()) {
-    sim_.cancel(rto_ev_);
-    rto_ev_ = kInvalidEvent;
+    rto_.cancel();
     finish();
     return;
   }

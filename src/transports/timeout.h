@@ -14,7 +14,6 @@ class TimeoutSender final : public SenderTransport {
  public:
   TimeoutSender(Simulator& sim, Host& host, FlowSpec spec, TransportConfig cfg)
       : SenderTransport(sim, host, spec, cfg), acked_(total_packets(), false) {}
-  ~TimeoutSender() override;
 
   void on_packet(Packet pkt) override;
   bool done() const override { return snd_una_ >= total_packets(); }
@@ -34,7 +33,7 @@ class TimeoutSender final : public SenderTransport {
   std::uint32_t retx_scan_ = 0;
   std::uint32_t snd_una_ = 0;
   std::uint32_t snd_nxt_ = 0;
-  EventId rto_ev_ = kInvalidEvent;
+  Timer rto_{sim_, [this] { on_rto(); }};  // deadline-class: re-armed per ACK
 };
 
 /// Out-of-order-accepting receiver with cumulative ACKs + per-packet echo

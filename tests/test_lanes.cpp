@@ -1,0 +1,496 @@
+// The two-level scheduler: delivery lanes, deadline-class timers and far
+// events must reproduce the plain one-heap-entry-per-packet schedule BIT
+// FOR BIT.  Mechanism tests pin down lane FIFO order, same-time
+// coalescing, lazy dooming on mid-flight cuts and the deadline heap's lazy
+// extend/cancel; the digest suites then prove equality end-to-end across
+// the Fig 1/10/17 experiment shapes and a 200-seed fuzz batch, with the
+// DCP_LANES=0 escape hatch selecting the plain path.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "check/fuzzer.h"
+#include "harness/experiment.h"
+#include "harness/sweep.h"
+#include "net/channel.h"
+#include "net/node.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace dcp {
+namespace {
+
+/// Scoped DCP_LANES override: Simulator reads the variable at construction,
+/// so set it before building the fixture / running the experiment.
+class ScopedLanesEnv {
+ public:
+  explicit ScopedLanesEnv(bool lanes_on) {
+    const char* prev = std::getenv("DCP_LANES");
+    had_prev_ = prev != nullptr;
+    if (had_prev_) prev_ = prev;
+    setenv("DCP_LANES", lanes_on ? "1" : "0", 1);
+  }
+  ~ScopedLanesEnv() {
+    if (had_prev_) {
+      setenv("DCP_LANES", prev_.c_str(), 1);
+    } else {
+      unsetenv("DCP_LANES");
+    }
+  }
+
+ private:
+  bool had_prev_ = false;
+  std::string prev_;
+};
+
+class SinkNode final : public Node {
+ public:
+  SinkNode(Simulator& sim, Logger& log) : Node(sim, log, 0, "sink") {}
+  using Node::receive;
+  void receive(PacketPtr pkt, std::uint32_t in_port) override {
+    arrivals.push_back({sim_.now(), std::move(*pkt), in_port});
+  }
+  struct Arrival {
+    Time t;
+    Packet pkt;
+    std::uint32_t port;
+  };
+  std::vector<Arrival> arrivals;
+};
+
+Packet data_packet(std::uint32_t bytes) {
+  Packet p;
+  p.type = PktType::kData;
+  p.wire_bytes = bytes;
+  p.payload_bytes = bytes;
+  return p;
+}
+
+struct LaneFixture {
+  Simulator sim;
+  Logger log{LogLevel::kOff};
+};
+
+// ---------------------------------------------------------------------------
+// Lane mechanics
+// ---------------------------------------------------------------------------
+
+TEST(Lane, BackToBackMtuOnSaturatedLink) {
+  // The Channel::deliver precondition regression: a saturated 100 Gbps link
+  // hands the wire one MTU packet exactly as the previous one finishes
+  // serializing (extra == serialization, gap zero).  All three must arrive,
+  // in order, spaced exactly one serialization time apart.
+  LaneFixture f;
+  f.sim.set_use_lanes(true);
+  SinkNode sink(f.sim, f.log);
+  Channel ch(f.sim, Bandwidth::gbps(100), microseconds(1));
+  ch.connect(&sink, 3);
+  const Time ser = ch.serialization(1000);
+  ASSERT_GT(ser, 0);
+
+  for (int i = 0; i < 3; ++i) {
+    f.sim.schedule_at(i * ser, [&ch, i] {
+      Packet p = data_packet(1000);
+      p.psn = static_cast<std::uint32_t>(i);
+      ch.deliver(p, ch.serialization(1000));
+    });
+  }
+  f.sim.run();
+
+  ASSERT_EQ(sink.arrivals.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(sink.arrivals[i].pkt.psn, static_cast<std::uint32_t>(i));
+    EXPECT_EQ(sink.arrivals[i].t, (i + 1) * ser + microseconds(1));
+    EXPECT_EQ(sink.arrivals[i].port, 3u);
+  }
+  EXPECT_EQ(ch.delivered_packets(), 3u);
+  EXPECT_EQ(ch.lane_pending(), 0u);
+}
+
+TEST(Lane, HoldsFifoWithOnlyHeadInHeap) {
+  LaneFixture f;
+  f.sim.set_use_lanes(true);
+  SinkNode sink(f.sim, f.log);
+  Channel ch(f.sim, Bandwidth::gbps(100), microseconds(5));
+  ch.connect(&sink, 0);
+  const Time ser = ch.serialization(1000);
+
+  // Queue four packets up front (a port bursting into the wire): they park
+  // in the lane, not the heap.
+  for (int i = 0; i < 4; ++i) {
+    Packet p = data_packet(1000);
+    p.psn = static_cast<std::uint32_t>(i);
+    ch.deliver(p, (i + 1) * ser);
+  }
+  EXPECT_EQ(ch.lane_pending(), 4u);
+
+  f.sim.run();
+  ASSERT_EQ(sink.arrivals.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(sink.arrivals[i].pkt.psn, static_cast<std::uint32_t>(i));
+    EXPECT_EQ(sink.arrivals[i].t, (i + 1) * ser + microseconds(5));
+  }
+}
+
+TEST(Lane, SameTimeDeliveriesCoalesceInIssueOrder) {
+  // Two wires funneling into one sink with identical delivery instants:
+  // arrivals keep issue order, and the lane path charges exactly as many
+  // events as the plain path would have popped.
+  auto run = [](bool lanes) {
+    LaneFixture f;
+    f.sim.set_use_lanes(lanes);
+    SinkNode sink(f.sim, f.log);
+    Channel ch(f.sim, Bandwidth::gbps(100), microseconds(1));
+    ch.connect(&sink, 0);
+    for (int i = 0; i < 3; ++i) {
+      Packet p = data_packet(64);
+      p.psn = static_cast<std::uint32_t>(i);
+      ch.deliver(p, 0);  // all three arrive at exactly propagation time
+    }
+    f.sim.run();
+    std::vector<std::uint32_t> psns;
+    for (const auto& a : sink.arrivals) {
+      EXPECT_EQ(a.t, microseconds(1));
+      psns.push_back(a.pkt.psn);
+    }
+    return std::pair<std::vector<std::uint32_t>, std::uint64_t>(psns, f.sim.events_processed());
+  };
+  const auto lanes_on = run(true);
+  const auto lanes_off = run(false);
+  EXPECT_EQ(lanes_on.first, (std::vector<std::uint32_t>{0, 1, 2}));
+  EXPECT_EQ(lanes_on, lanes_off);
+}
+
+TEST(Lane, MidFlightCutDoomsLazily) {
+  // Drop-in-flight cut: O(1) epoch bump, no heap surgery.  Parked records
+  // are doomed lazily and account as in-flight losses when they surface.
+  LaneFixture f;
+  f.sim.set_use_lanes(true);
+  SinkNode sink(f.sim, f.log);
+  Channel ch(f.sim, Bandwidth::gbps(100), microseconds(1));
+  ch.connect(&sink, 0);
+  ch.set_drop_in_flight_on_cut(true);
+  const Time ser = ch.serialization(1000);
+
+  ch.deliver(data_packet(1000), ser);
+  ch.deliver(data_packet(1000), 2 * ser);
+  ASSERT_EQ(ch.lane_pending(), 2u);
+  ch.set_up(false);
+  EXPECT_EQ(ch.lane_doomed_pending(), 2u);
+
+  f.sim.run();
+  EXPECT_TRUE(sink.arrivals.empty());
+  // delivered_packets counts wire hand-off at deliver() time (same as the
+  // plain path); the mid-flight kills show up only as in_flight_dropped.
+  EXPECT_EQ(ch.delivered_packets(), 2u);
+  EXPECT_EQ(ch.in_flight_dropped(), 2u);
+  EXPECT_EQ(ch.lane_pending(), 0u);
+  EXPECT_EQ(ch.lane_doomed_pending(), 0u);
+}
+
+TEST(Lane, DefaultCutPolicyDeliversInFlight) {
+  // PR 3's cut semantics through the lane path: without drop-in-flight the
+  // photons past the cut still arrive; only subsequent traffic is lost.
+  LaneFixture f;
+  f.sim.set_use_lanes(true);
+  SinkNode sink(f.sim, f.log);
+  Channel ch(f.sim, Bandwidth::gbps(100), microseconds(1));
+  ch.connect(&sink, 0);
+
+  ch.deliver(data_packet(1000), 0);  // on the wire...
+  ch.set_up(false);                  // ...then the cut
+  ch.deliver(data_packet(1000), 0);  // handed to a dead wire
+  f.sim.run();
+  EXPECT_EQ(sink.arrivals.size(), 1u);
+  EXPECT_EQ(ch.delivered_packets(), 1u);
+  EXPECT_EQ(ch.in_flight_dropped(), 0u);
+  EXPECT_EQ(ch.discarded_packets(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Deadline-class timers (the second-level heap)
+// ---------------------------------------------------------------------------
+
+TEST(DeadlineTimer, LazyExtendFiresOnceAtLatestDeadline) {
+  Simulator sim;
+  int fires = 0;
+  Time fired_at = -1;
+  Timer rto(sim, [&] {
+    ++fires;
+    fired_at = sim.now();
+  });
+  rto.arm_deadline(microseconds(10));
+  // Per-ACK pushes: each re-arm extends the deadline; the parked entry goes
+  // stale and must NOT fire at its old key.
+  sim.schedule(microseconds(4), [&] { rto.arm_deadline(microseconds(10)); });
+  sim.schedule(microseconds(8), [&] { rto.arm_deadline(microseconds(12)); });
+  sim.run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(fired_at, microseconds(20));
+}
+
+TEST(DeadlineTimer, LazyCancelNeverFires) {
+  Simulator sim;
+  int fires = 0;
+  Timer rto(sim, [&] { ++fires; });
+  rto.arm_deadline(microseconds(10));
+  EXPECT_TRUE(rto.pending());
+  rto.cancel();
+  EXPECT_FALSE(rto.pending());
+  rto.cancel();  // double-cancel is harmless
+  sim.run();
+  EXPECT_EQ(fires, 0);
+}
+
+TEST(DeadlineTimer, ShrinkFiresAtTheEarlierDeadline) {
+  Simulator sim;
+  Time fired_at = -1;
+  Timer rto(sim, [&] { fired_at = sim.now(); });
+  rto.arm_deadline(microseconds(50));
+  rto.arm_deadline(microseconds(5));  // deadline moves BACK: eager re-key
+  sim.run();
+  EXPECT_EQ(fired_at, microseconds(5));
+}
+
+TEST(DeadlineTimer, DestroyWhileStaleEntryParked) {
+  Simulator sim;
+  int other_fires = 0;
+  Timer survivor(sim, [&] { ++other_fires; });
+  survivor.arm_deadline(microseconds(30));
+  {
+    Timer doomed(sim, [] { FAIL() << "destroyed timer fired"; });
+    doomed.arm_deadline(microseconds(10));
+    doomed.arm_deadline(microseconds(20));  // parked entry now stale
+  }  // destroyed with the stale entry still in the deadline heap
+  sim.run();
+  EXPECT_EQ(other_fires, 1);
+}
+
+TEST(DeadlineTimer, ReArmFromOwnCallbackKeepsRunning) {
+  Simulator sim;
+  int fires = 0;
+  Timer* tp = nullptr;
+  Timer self(sim, [&] {
+    if (++fires < 3) tp->arm_deadline(microseconds(1));
+  });
+  tp = &self;
+  self.arm_deadline(microseconds(1));
+  sim.run();
+  EXPECT_EQ(fires, 3);
+  EXPECT_FALSE(self.pending());
+}
+
+TEST(DeadlineTimer, EqualTimeOrderAcrossHeapsFollowsAllocation) {
+  // A main-heap event and a deadline entry at the same instant fire in
+  // sequence-allocation order — the global (t, seq) merge is heap-blind.
+  {
+    Simulator sim;
+    std::vector<char> order;
+    sim.schedule(microseconds(10), [&] { order.push_back('a'); });  // seq first
+    Timer t(sim, [&] { order.push_back('b'); });
+    t.arm_deadline(microseconds(10));
+    sim.run();
+    EXPECT_EQ(order, (std::vector<char>{'a', 'b'}));
+  }
+  {
+    Simulator sim;
+    std::vector<char> order;
+    Timer t(sim, [&] { order.push_back('b'); });
+    t.arm_deadline(microseconds(10));  // seq first this time
+    sim.schedule(microseconds(10), [&] { order.push_back('a'); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<char>{'b', 'a'}));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Far events (one-shots parked in the deadline heap)
+// ---------------------------------------------------------------------------
+
+TEST(FarEvents, InterleaveWithNearEventsInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at_far(microseconds(20), [&] { order.push_back(2); });
+  sim.schedule_at(microseconds(10), [&] { order.push_back(1); });
+  sim.schedule_at_far(microseconds(30), [&] { order.push_back(4); });
+  sim.schedule_at(microseconds(30), [&] { order.push_back(5); });  // later seq, same t
+  sim.schedule_at(microseconds(25), [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(sim.events_processed(), 5u);
+}
+
+TEST(FarEvents, CancelRemovesExactlyOnce) {
+  Simulator sim;
+  int fires = 0;
+  const EventId id = sim.schedule_at_far(microseconds(10), [&] { ++fires; });
+  const EventId keep = sim.schedule_at_far(microseconds(20), [&] { ++fires; });
+  sim.cancel(id);
+  sim.cancel(id);  // stale handle: no-op
+  sim.run();
+  EXPECT_EQ(fires, 1);
+  sim.cancel(keep);  // cancel-after-fire: no-op (generation stamped)
+}
+
+TEST(FarEvents, SlotRecyclesCleanlyIntoMainHeap) {
+  // A slot that held a far event must come back as an ordinary main-heap
+  // slot with no deadline-heap residue.
+  Simulator sim;
+  int fires = 0;
+  for (int round = 0; round < 100; ++round) {
+    sim.schedule_at_far(sim.now() + microseconds(1), [&] { ++fires; });
+    sim.schedule(microseconds(2), [&] { ++fires; });
+    sim.run();
+  }
+  EXPECT_EQ(fires, 200);
+  EXPECT_TRUE(sim.idle());
+}
+
+// ---------------------------------------------------------------------------
+// Digest equality: lanes on == lanes off, bit for bit
+// ---------------------------------------------------------------------------
+
+struct TrialDigest {
+  double goodput = 0.0;
+  Time elapsed = 0;
+  bool completed = false;
+  std::uint64_t retransmitted = 0;
+  std::uint64_t events = 0;
+
+  bool operator==(const TrialDigest&) const = default;
+};
+
+/// Fig 10/17 shape: scheme x injected-loss matrix of long testbed flows.
+std::vector<TrialDigest> long_flow_matrix(bool lanes, unsigned jobs) {
+  ScopedLanesEnv env(lanes);
+  const SchemeKind kinds[] = {SchemeKind::kDcp, SchemeKind::kRackTlp, SchemeKind::kIrn,
+                              SchemeKind::kTimeout};
+  const double rates[] = {0.0, 0.005, 0.02};
+  struct Trial {
+    SchemeKind k;
+    double rate;
+  };
+  std::vector<Trial> trials;
+  for (double rate : rates) {
+    for (SchemeKind k : kinds) trials.push_back({k, rate});
+  }
+  SweepRunner pool(jobs);
+  pool.set_progress(false);
+  return pool.run(trials.size(), [&](std::size_t i) {
+    LongFlowParams p;
+    p.scheme = trials[i].k;
+    p.loss_rate = trials[i].rate;
+    p.flow_bytes = 2ull * 1000 * 1000;
+    p.max_time = milliseconds(20);
+    const LongFlowResult r = run_long_flow(p);
+    TrialDigest d;
+    d.goodput = r.goodput_gbps;
+    d.elapsed = r.elapsed;
+    d.completed = r.completed;
+    d.retransmitted = r.sender.retransmitted_packets;
+    d.events = r.core.events_processed;
+    return d;
+  });
+}
+
+TEST(LaneDigest, LongFlowMatrixLanesOnOffBitIdentical) {
+  const std::vector<TrialDigest> on = long_flow_matrix(true, 1);
+  const std::vector<TrialDigest> off = long_flow_matrix(false, 1);
+  ASSERT_EQ(on.size(), off.size());
+  for (std::size_t i = 0; i < on.size(); ++i) {
+    EXPECT_EQ(on[i], off[i]) << "trial " << i;
+  }
+  // The matrix exercised recovery, not just clean delivery.
+  bool any_retx = false;
+  for (const TrialDigest& d : on) any_retx = any_retx || d.retransmitted > 0;
+  EXPECT_TRUE(any_retx);
+}
+
+TEST(LaneDigest, LongFlowMatrixLanesOnOffBitIdenticalUnderParallelSweep) {
+  // DCP_JOBS=8 shape: worker threads each build their own Simulator, so the
+  // lane/heap choice must be equal per-trial regardless of scheduling.
+  const std::vector<TrialDigest> on = long_flow_matrix(true, 8);
+  const std::vector<TrialDigest> off = long_flow_matrix(false, 8);
+  ASSERT_EQ(on.size(), off.size());
+  for (std::size_t i = 0; i < on.size(); ++i) {
+    EXPECT_EQ(on[i], off[i]) << "trial " << i;
+  }
+  EXPECT_EQ(on, long_flow_matrix(true, 1));  // and jobs are digest-invisible
+}
+
+/// Fig 1 shape: WebSearch background load on the CLOS fabric.
+std::vector<TrialDigest> websearch_matrix(bool lanes, unsigned jobs) {
+  ScopedLanesEnv env(lanes);
+  const std::uint64_t seeds[] = {11, 23};
+  const SchemeKind kinds[] = {SchemeKind::kDcp, SchemeKind::kIrn};
+  SweepRunner pool(jobs);
+  pool.set_progress(false);
+  return pool.run(4, [&](std::size_t i) {
+    WebSearchParams p;
+    p.scheme = kinds[i % 2];
+    p.seed = seeds[i / 2];
+    p.clos.spines = 2;
+    p.clos.leaves = 2;
+    p.clos.hosts_per_leaf = 4;
+    p.load = 0.4;
+    p.num_flows = 100;
+    WebSearchResult r = run_websearch(p);
+    TrialDigest d;
+    d.goodput = r.background.overall().percentile(99.0);
+    d.completed = r.flows_completed == r.flows_total;
+    d.retransmitted = r.timeouts_background;
+    d.events = r.core.events_processed;
+    return d;
+  });
+}
+
+TEST(LaneDigest, WebsearchLanesOnOffBitIdenticalAcrossJobCounts) {
+  const std::vector<TrialDigest> baseline = websearch_matrix(true, 1);
+  EXPECT_EQ(baseline, websearch_matrix(false, 1));
+  EXPECT_EQ(baseline, websearch_matrix(true, 8));
+  EXPECT_EQ(baseline, websearch_matrix(false, 8));
+}
+
+// ---------------------------------------------------------------------------
+// 200-seed fuzz batch: verdicts identical lanes on/off, oracle clean
+// ---------------------------------------------------------------------------
+
+struct FuzzDigest {
+  bool violated = false;
+  std::string invariant;
+  Time at = 0;
+  std::size_t num_violations = 0;
+  bool all_complete = false;
+
+  bool operator==(const FuzzDigest&) const = default;
+};
+
+std::vector<FuzzDigest> fuzz_batch(bool lanes, unsigned jobs) {
+  ScopedLanesEnv env(lanes);
+  SweepRunner pool(jobs);
+  pool.set_progress(false);
+  return pool.run(200, [&](std::size_t i) {
+    const FuzzScenario s = generate_fuzz_scenario(/*seed=*/1000 + i);
+    const FuzzVerdict v = run_fuzz_scenario(s);
+    return FuzzDigest{v.violated, v.invariant, v.at, v.num_violations, v.all_complete};
+  });
+}
+
+TEST(LaneFuzz, TwoHundredSeedsCleanAndIdenticalLanesOnOff) {
+  // Crossed axes on purpose: lanes-on under the parallel pool vs lanes-off
+  // serial.  Equality proves the lane scheduler AND the job count are both
+  // invisible to the invariant oracle across 200 random scenarios.
+  const std::vector<FuzzDigest> on = fuzz_batch(true, 8);
+  const std::vector<FuzzDigest> off = fuzz_batch(false, 1);
+  ASSERT_EQ(on.size(), off.size());
+  for (std::size_t i = 0; i < on.size(); ++i) {
+    EXPECT_EQ(on[i], off[i]) << "seed " << 1000 + i;
+    EXPECT_FALSE(on[i].violated) << "seed " << 1000 + i << ": " << on[i].invariant;
+  }
+}
+
+}  // namespace
+}  // namespace dcp
