@@ -159,9 +159,18 @@ FuzzScenario generate_fuzz_scenario(std::uint64_t seed) {
 }
 
 FuzzVerdict run_fuzz_scenario(const FuzzScenario& s, const FuzzOptions& opt) {
-  Simulator sim;
+  // Fault-free scenarios honour DCP_SHARDS (bit-identical to serial by
+  // construction); fault plans run serial — the injector has no shard
+  // ordering story.
+  int nshards = 1;
+  if (!s.faults.has_effect()) {
+    if (const char* e = std::getenv("DCP_SHARDS")) {
+      nshards = std::max(1, std::min(std::atoi(e), s.leaves));
+    }
+  }
+  ShardGroup shards(nshards);
   Logger log(LogLevel::kError);
-  Network net(sim, log);
+  Network net(shards, log);
 
   SchemeSetup setup = make_scheme(s.scheme);
   ClosParams clos;

@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
+#include <mutex>
 
 #include "core/dcp_transport.h"
 
@@ -44,12 +45,13 @@ InvariantOracle::InvariantOracle(Network& net, OracleOptions opt)
   ring_.resize(cap);
   ring_mask_ = cap - 1;
   prev_ = sim_.check_observer();
-  sim_.set_check_observer(this);
+  net_.set_check_observer_all(this);
+  mt_ = net_.shard_count() > 1;
   for (const auto& sw : net_.switches()) watch_buffer(sw->buffer());
 }
 
 InvariantOracle::~InvariantOracle() {
-  sim_.set_check_observer(prev_);
+  net_.set_check_observer_all(prev_);
   for (SharedBuffer* b : watched_) b->set_check_observer(nullptr);
 }
 
@@ -74,20 +76,28 @@ BufferShadow& InvariantOracle::buf_state(const SharedBuffer* buf) {
   return *buffers_.back().second;
 }
 
+Time InvariantOracle::stamp() const {
+  // Hooks fire on the executing shard's thread; its own clock is the only
+  // one safe (and meaningful) to read there.  Outside any run loop
+  // (finalize, setup) fall back to the primary simulator.
+  const Simulator* s = Simulator::active();
+  return s != nullptr ? s->now() : sim_.now();
+}
+
 void InvariantOracle::violate(const char* invariant, std::string detail) {
   frozen_ = true;  // preserve the trace ring as it was at first failure
   if (violations_.size() >= opt_.max_violations) {
     suppressed_++;
     return;
   }
-  violations_.push_back({invariant, std::move(detail), sim_.now()});
+  violations_.push_back({invariant, std::move(detail), stamp()});
 }
 
 void InvariantOracle::record(std::uint8_t kind, NodeId node, const Packet& pkt,
                              std::uint8_t site) {
   if (frozen_ || ring_.empty()) return;
   TraceEv& e = ring_[ring_next_];
-  e.at = sim_.now();
+  e.at = stamp();
   e.kind = kind;
   e.site = site;
   e.type = pkt.type;
@@ -104,7 +114,26 @@ void InvariantOracle::record(std::uint8_t kind, NodeId node, const Packet& pkt,
 // Per-event hooks
 // ---------------------------------------------------------------------------
 
+namespace {
+// Lock only when the oracle is armed on a sharded group.
+struct MaybeLock {
+  MaybeLock(std::mutex& m, bool on) : m_(m), on_(on) {
+    if (on_) m_.lock();
+  }
+  ~MaybeLock() {
+    if (on_) m_.unlock();
+  }
+  MaybeLock(const MaybeLock&) = delete;
+  MaybeLock& operator=(const MaybeLock&) = delete;
+
+ private:
+  std::mutex& m_;
+  bool on_;
+};
+}  // namespace
+
 void InvariantOracle::on_host_send(const Packet& pkt) {
+  MaybeLock lk(mu_, mt_);
   record('S', pkt.src, pkt);
   switch (pkt.type) {
     case PktType::kData: {
@@ -176,6 +205,7 @@ void InvariantOracle::on_host_send(const Packet& pkt) {
 }
 
 void InvariantOracle::on_host_deliver(NodeId host, const Packet& pkt) {
+  MaybeLock lk(mu_, mt_);
   record('D', host, pkt);
   if (pkt.type != PktType::kHeaderOnly) return;
   FlowState& f = flow(pkt.flow);
@@ -193,6 +223,7 @@ void InvariantOracle::on_host_deliver(NodeId host, const Packet& pkt) {
 }
 
 void InvariantOracle::on_msg_complete(FlowId id, std::uint32_t msn) {
+  MaybeLock lk(mu_, mt_);
   if (!frozen_ && !ring_.empty()) {
     Packet p;
     p.flow = id;
@@ -238,6 +269,7 @@ void InvariantOracle::check_bounded_tracking(FlowId id, FlowState& f) {
 }
 
 void InvariantOracle::on_rx_complete(FlowId id) {
+  MaybeLock lk(mu_, mt_);
   if (!frozen_ && !ring_.empty()) {
     Packet p;
     p.flow = id;
@@ -251,6 +283,7 @@ void InvariantOracle::on_rx_complete(FlowId id) {
 }
 
 void InvariantOracle::on_tx_complete(FlowId id) {
+  MaybeLock lk(mu_, mt_);
   if (!frozen_ && !ring_.empty()) {
     Packet p;
     p.flow = id;
@@ -264,11 +297,13 @@ void InvariantOracle::on_tx_complete(FlowId id) {
 }
 
 void InvariantOracle::on_trim(NodeId sw, const Packet& ho) {
+  MaybeLock lk(mu_, mt_);
   record('T', sw, ho);
   flow(ho.flow).trims++;
 }
 
 void InvariantOracle::on_drop(DropSite site, NodeId node, const Packet& pkt) {
+  MaybeLock lk(mu_, mt_);
   record('X', node, pkt, static_cast<std::uint8_t>(site));
   if (pkt.type != PktType::kHeaderOnly) return;
   // An unroutable HO still *landed* at a host — on_host_deliver already
@@ -286,6 +321,7 @@ void InvariantOracle::on_drop(DropSite site, NodeId node, const Packet& pkt) {
 void InvariantOracle::on_buffer_alloc(const SharedBuffer* buf, std::uint32_t in_port,
                                       std::uint8_t cls, std::uint64_t bytes,
                                       std::uint64_t used_after) {
+  MaybeLock lk(mu_, mt_);
   BufferShadow* sh = buf->check_shadow();
   if (sh == nullptr) {
     sh = &buf_state(buf);
@@ -300,6 +336,7 @@ void InvariantOracle::on_buffer_alloc(const SharedBuffer* buf, std::uint32_t in_
 void InvariantOracle::on_buffer_release(const SharedBuffer* buf, std::uint32_t in_port,
                                         std::uint8_t cls, std::uint64_t bytes,
                                         std::uint64_t used_after) {
+  MaybeLock lk(mu_, mt_);
   BufferShadow* sh = buf->check_shadow();
   if (sh == nullptr) {
     sh = &buf_state(buf);
@@ -328,7 +365,8 @@ void InvariantOracle::on_buffer_release(const SharedBuffer* buf, std::uint32_t i
 void InvariantOracle::finalize() {
   if (finalized_) return;
   finalized_ = true;
-  const bool quiesced = sim_.idle();
+  ShardGroup* g = net_.shard_group();
+  const bool quiesced = g != nullptr && g->sharded() ? g->idle() : sim_.idle();
 
   for (const FlowRecord& rec : net_.records()) {
     if (rec.complete()) {

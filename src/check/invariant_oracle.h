@@ -35,6 +35,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -134,12 +135,22 @@ class InvariantOracle final : public CheckObserver {
 
   FlowState& flow(FlowId id);
   BufferShadow& buf_state(const SharedBuffer* buf);
+  /// Timestamp for violations/trace events: the executing shard's clock
+  /// (Simulator::active()), falling back to the primary sim outside a run.
+  Time stamp() const;
   void violate(const char* invariant, std::string detail);
   void record(std::uint8_t kind, NodeId node, const Packet& pkt, std::uint8_t site = 0);
   void check_bounded_tracking(FlowId id, FlowState& f);
 
   Network& net_;
   Simulator& sim_;  // cached: record() reads the clock on every hot hook
+  // Sharded runs fire hooks from every shard's worker concurrently; all
+  // oracle state is cross-flow, so the public hooks serialize on mu_ when
+  // armed on a sharded group (serial runs skip the lock entirely).
+  // Violation/trace timestamps come from the executing shard's own clock
+  // via stamp() — reading another shard's now() would be a data race.
+  bool mt_ = false;
+  std::mutex mu_;
   OracleOptions opt_;
   CheckObserver* prev_ = nullptr;
   std::vector<SharedBuffer*> watched_;

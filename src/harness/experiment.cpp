@@ -1,12 +1,26 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <memory>
 #include <unordered_map>
 
 namespace dcp {
 
 namespace {
+
+// Shard count for a run: DCP_SHARDS (default 1 — the serial escape hatch),
+// clamped to the topology's natural partition count.  Fault plans force
+// serial: the injector mutates switches/channels from timer events with no
+// shard-ordering story, and fault runs are not on the hot benchmark path.
+int resolve_shards(int topo_max, bool has_faults) {
+  if (has_faults) return 1;
+  // Re-read per run (not cached): the digest tests flip the variable
+  // between calls inside one process.
+  const char* s = std::getenv("DCP_SHARDS");
+  const int v = s != nullptr ? std::atoi(s) : 1;
+  return std::min(v < 1 ? 1 : v, topo_max);
+}
 
 // Attaches a FaultInjector + RecoveryStats pair to a run when the plan has
 // any effect.  Plans whose actions are all no-ops attach nothing, keeping
@@ -42,9 +56,10 @@ struct FaultHarness {
 }  // namespace
 
 LongFlowResult run_long_flow(const LongFlowParams& p) {
-  Simulator sim;
+  ShardGroup shards(resolve_shards(/*topo_max=*/2, p.faults.has_effect()));
+  Simulator& sim = shards.sim(0);
   Logger log(LogLevel::kError);
-  Network net(sim, log);
+  Network net(shards, log);
 
   SchemeSetup setup = make_scheme(p.scheme, p.opt);
   TestbedParams tb;
@@ -66,7 +81,7 @@ LongFlowResult run_long_flow(const LongFlowParams& p) {
   FaultHarness faults;
   faults.attach(net, p.faults, /*fault_seed=*/p.seed ^ 0xfa017);
 
-  CorePerfTimer timer(sim);
+  CorePerfTimer timer(shards);
   net.run_until_done(p.max_time);
 
   LongFlowResult r;
@@ -192,9 +207,10 @@ FaultDrillResult run_fault_drill(const FaultDrillParams& p) {
 }
 
 WebSearchResult run_websearch(const WebSearchParams& p) {
-  Simulator sim;
+  ShardGroup shards(resolve_shards(p.clos.leaves, p.faults.has_effect()));
+  Simulator& sim = shards.sim(0);
   Logger log(LogLevel::kError);
-  Network net(sim, log);
+  Network net(shards, log);
 
   SchemeSetup setup = make_scheme(p.scheme, p.opt);
   ClosParams clos = p.clos;
@@ -223,7 +239,7 @@ WebSearchResult run_websearch(const WebSearchParams& p) {
   FaultHarness faults;
   faults.attach(net, p.faults, /*fault_seed=*/p.seed ^ 0xfa017);
 
-  CorePerfTimer timer(sim);
+  CorePerfTimer timer(shards);
   net.run_until_done(p.max_time);
 
   WebSearchResult r;

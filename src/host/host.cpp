@@ -15,10 +15,12 @@ void Host::receive(PacketPtr pkt, std::uint32_t in_port) {
 
   // End of the pooled path: the transport state machines take the packet
   // by value (one final move out of the pool slot).
+  const FlowId flow = pkt->flow;
   switch (pkt->type) {
     case PktType::kData: {
-      if (auto* r = receiver(pkt->flow)) {
+      if (auto* r = receiver(flow)) {
         r->on_packet(std::move(*pkt));
+        if (journal_on_) journal_receiver_stats(flow);
         return;
       }
       break;
@@ -27,7 +29,7 @@ void Host::receive(PacketPtr pkt, std::uint32_t in_port) {
     case PktType::kSack:
     case PktType::kNack:
     case PktType::kCnp: {
-      if (auto* s = sender(pkt->flow)) {
+      if (auto* s = sender(flow)) {
         s->on_packet(std::move(*pkt));
         return;
       }
@@ -36,11 +38,12 @@ void Host::receive(PacketPtr pkt, std::uint32_t in_port) {
     case PktType::kHeaderOnly: {
       // First leg (switch -> receiver): the receiver bounces it back.
       // Second leg (receiver -> sender): drives HO-based retransmission.
-      if (auto* r = receiver(pkt->flow)) {
+      if (auto* r = receiver(flow)) {
         r->on_packet(std::move(*pkt));
+        if (journal_on_) journal_receiver_stats(flow);
         return;
       }
-      if (auto* s = sender(pkt->flow)) {
+      if (auto* s = sender(flow)) {
         s->on_packet(std::move(*pkt));
         return;
       }
@@ -72,6 +75,44 @@ SenderTransport* Host::sender(FlowId id) {
   last_sender_id_ = id;
   last_sender_ = it->second.get();
   return last_sender_;
+}
+
+void Host::journal_receiver_stats(FlowId id) {
+  ReceiverTransport* r = receiver(id);
+  if (r == nullptr) return;
+  std::vector<StatSnap>& log = journal_[id];
+  const Time t = sim_.current_event_time();
+  const std::uint64_t seq = sim_.current_event_seq();
+  if (!log.empty() && log.back().t == t && log.back().seq == seq) {
+    log.back().stats = r->stats();  // same event touched the stats twice
+    return;
+  }
+  log.push_back(StatSnap{t, seq, r->stats()});
+}
+
+ReceiverStats Host::journal_stats_at(FlowId id, Time t, std::uint64_t seq) {
+  auto it = journal_.find(id);
+  if (it != journal_.end()) {
+    const std::vector<StatSnap>& log = it->second;
+    for (std::size_t i = log.size(); i > 0; --i) {
+      const StatSnap& s = log[i - 1];
+      if (s.t < t || (s.t == t && s.seq <= seq)) return s.stats;
+    }
+  }
+  ReceiverTransport* r = receiver(id);
+  return r != nullptr ? r->stats() : ReceiverStats{};
+}
+
+void Host::remap_stat_journal(const SeqRemap& remap) {
+  for (auto& [id, log] : journal_) {
+    for (StatSnap& s : log) s.seq = remap(s.seq);
+  }
+}
+
+void Host::prune_stat_journal() {
+  for (auto& [id, log] : journal_) {
+    if (log.size() > 1) log.erase(log.begin(), log.end() - 1);
+  }
 }
 
 ReceiverTransport* Host::receiver(FlowId id) {

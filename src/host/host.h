@@ -6,6 +6,7 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "host/rnic_scheduler.h"
 #include "host/transport.h"
@@ -47,6 +48,30 @@ class Host final : public Node {
 
   std::uint64_t unroutable_packets() const { return unroutable_; }
 
+  // --- Sharded-run receiver-stat journal ---------------------------------
+  // A sharded run finalizes flows at window barriers, but the FlowRecord
+  // must capture the receiver's stats exactly as they stood at the
+  // finalizing event's (t, seq) — the receiver's shard may already have
+  // executed past that point within the same window.  With the journal on,
+  // every mutation point (receiver packet dispatch here, control sends in
+  // ReceiverTransport::send_control) snapshots the stats keyed by the
+  // event executing on this host's shard.
+
+  void enable_stat_journal() { journal_on_ = true; }
+  bool stat_journal_on() const { return journal_on_; }
+  /// Appends a snapshot of flow `id`'s receiver stats keyed by the current
+  /// event; provisional stamps are committed by remap_stat_journal().
+  void journal_receiver_stats(FlowId id);
+  /// Latest snapshot strictly before finalize key (t, seq); keys are
+  /// globally unique so "at or before" is equivalent.  Falls back to the
+  /// live stats when nothing has been journaled for the flow.
+  ReceiverStats journal_stats_at(FlowId id, Time t, std::uint64_t seq);
+  /// Barrier: commit provisional stamps (window remap hook).
+  void remap_stat_journal(const SeqRemap& remap);
+  /// Barrier, after finalizations: drop all but each flow's latest entry —
+  /// later finalize keys lie in strictly later windows.
+  void prune_stat_journal();
+
  private:
   RnicScheduler nic_;
   std::unordered_map<FlowId, std::unique_ptr<SenderTransport>> senders_;
@@ -59,6 +84,16 @@ class Host final : public Node {
   FlowId last_receiver_id_ = UINT64_MAX;
   ReceiverTransport* last_receiver_ = nullptr;
   std::uint64_t unroutable_ = 0;
+
+  struct StatSnap {
+    Time t;
+    std::uint64_t seq;
+    ReceiverStats stats;
+  };
+  bool journal_on_ = false;
+  // Entries per flow are appended in execution order, which is ascending
+  // committed (t, seq) — the window remap is order-preserving.
+  std::unordered_map<FlowId, std::vector<StatSnap>> journal_;
 };
 
 }  // namespace dcp

@@ -1,5 +1,6 @@
 #include "net/channel.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "check/observer.h"
@@ -54,6 +55,20 @@ void Channel::deliver(PacketPtr pkt, Time extra) {
   delivered_packets_++;
   delivered_bytes_ += pkt->wire_bytes;
   const std::uint32_t epoch = cut_epoch_;
+
+  if (cross_dst_sim_ != nullptr) {
+    // Cut edge: copy the packet out of the source shard's pool and park it
+    // until the barrier.  One sequence per delivery, same as both paths
+    // below, keeps the merged order bit-identical to the serial run.
+    CrossRecord cr;
+    cr.t = sim_.now() + extra + propagation_;
+    cr.seq = sim_.alloc_event_seq();
+    cr.epoch = epoch;
+    cr.corrupt = corrupt;
+    cr.pkt = *pkt;
+    outbox_.push_back(std::move(cr));
+    return;  // the dying handle recycles the source-side slot
+  }
 
   if (!sim_.use_lanes()) {
     // Plain path: one heap entry per packet (consumes one sequence number
@@ -154,9 +169,62 @@ void Channel::fire_lane() {
       lane_timer_.arm_keyed_abs(next->t, next->seq);
       return;
     }
-    sim_.note_coalesced_event();  // the plain heap would have popped one event
+    sim_.note_coalesced_event(next->t, next->seq);  // the plain heap would have popped one event
     r = next;
   }
+}
+
+void Channel::enable_shard_mode(Simulator* dst_sim) {
+  cross_dst_sim_ = dst_sim;
+  // Parked lane records carry window-provisional stamps; commit them at
+  // every barrier (the heap mirror is rewritten by end_shard_window).
+  sim_.add_seq_remap_hook([this](const SeqRemap& remap) {
+    for (LaneRecord* r = lane_head_; r != nullptr; r = r->next) r->seq = remap(r->seq);
+  });
+}
+
+void Channel::drain_cross(const SeqRemap& remap) {
+  auto later = [](const CrossRecord& a, const CrossRecord& b) {
+    return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+  };
+  for (CrossRecord& r : outbox_) {
+    r.seq = remap(r.seq);
+    cross_dst_sim_->schedule_cross(r.t, r.seq, [this] { cross_arrive_next(); });
+    inbox_.push_back(std::move(r));
+    std::push_heap(inbox_.begin(), inbox_.end(), later);
+  }
+  outbox_.clear();
+}
+
+void Channel::cross_arrive_next() {
+  // Events fire in (t, seq) order and each maps to exactly one record, so
+  // the minimum remaining record is the one this event was scheduled for.
+  auto later = [](const CrossRecord& a, const CrossRecord& b) {
+    return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+  };
+  assert(!inbox_.empty());
+  std::pop_heap(inbox_.begin(), inbox_.end(), later);
+  CrossRecord rec = std::move(inbox_.back());
+  inbox_.pop_back();
+  // Re-pool on the destination shard's thread, then run the shared far-end
+  // logic.  Observer hooks go through the destination simulator: that is
+  // the one executing this event.
+  PacketPtr p = PacketPtr::make(std::move(rec.pkt));
+  if (rec.epoch != cut_epoch_) {
+    if (CheckObserver* ob = cross_dst_sim_->check_observer()) {
+      ob->on_drop(DropSite::kWireCutInFlight, kInvalidNode, *p);
+    }
+    in_flight_dropped_++;
+    return;
+  }
+  if (rec.corrupt) {
+    if (CheckObserver* ob = cross_dst_sim_->check_observer()) {
+      ob->on_drop(DropSite::kWireCorrupt, kInvalidNode, *p);
+    }
+    if (fault_ != nullptr) fault_->corrupted++;
+    return;
+  }
+  dst_->receive(std::move(p), dst_port_);
 }
 
 std::size_t Channel::lane_doomed_pending() const {

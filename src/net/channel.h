@@ -31,6 +31,18 @@
 
 namespace dcp {
 
+/// One cross-shard delivery riding a cut channel (see sim/shard.h): the
+/// packet is copied by value so the source shard's pool slot never leaves
+/// its owning thread.  `seq` is provisional until the window barrier
+/// remaps it; the destination shard re-pools the bytes on arrival.
+struct CrossRecord {
+  Time t = 0;
+  std::uint64_t seq = 0;
+  std::uint32_t epoch = 0;
+  bool corrupt = false;
+  Packet pkt;
+};
+
 /// Fault state a FaultInjector (src/fault) installs on a channel.  The
 /// struct is owned by the injector; the channel only holds a pointer, so
 /// the fault-free fast path costs one null check.  All probability draws
@@ -106,12 +118,31 @@ class Channel {
   /// Lane records doomed by a drop-in-flight cut but not yet fired.
   std::size_t lane_doomed_pending() const;
 
+  // --- Cross-shard cut edges (see sim/shard.h) -----------------------------
+  // A channel whose endpoints live on different shards becomes a mailbox:
+  // deliver() stamps one sequence (exactly like the lane path) and parks a
+  // CrossRecord in the source-thread outbox; at the window barrier the
+  // coordinator remaps the stamp and schedules one keyed event on the
+  // destination shard per record, so the far side pops exactly one event
+  // per delivery — bit-identical accounting to the serial paths.
+
+  /// Puts the channel in shard mode.  `dst_sim` is the destination shard's
+  /// simulator for cut edges, nullptr for shard-internal channels (which
+  /// only need their parked lane stamps remapped at barriers).
+  void enable_shard_mode(Simulator* dst_sim);
+  bool cross_shard() const { return cross_dst_sim_ != nullptr; }
+  /// Barrier-only: commits outbox stamps and hands the records to the
+  /// destination shard (runs on the coordinator with all shards parked).
+  void drain_cross(const SeqRemap& remap);
+  std::size_t cross_pending() const { return outbox_.size() + inbox_.size(); }
+
  private:
   /// Far-end arrival: shared by the lane head firing and the plain-path
   /// closure, so both modes run the identical drop/corrupt/receive logic.
   void arrive(PacketPtr p, std::uint32_t epoch, bool corrupt);
   void lane_insert(LaneRecord* r);
   void fire_lane();
+  void cross_arrive_next();
 
   Simulator& sim_;
   Bandwidth bw_;
@@ -126,6 +157,15 @@ class Channel {
   std::uint64_t delivered_bytes_ = 0;
   std::uint64_t discarded_packets_ = 0;
   std::uint64_t in_flight_dropped_ = 0;
+
+  // Cross-shard mailbox: outbox_ is appended by the source shard thread
+  // during windows; inbox_ is a (t, seq) min-heap appended by the barrier
+  // coordinator and popped by the destination shard thread — the phases
+  // never overlap, and the barrier's release/acquire pair publishes each
+  // side's writes to the other.
+  Simulator* cross_dst_sim_ = nullptr;
+  std::vector<CrossRecord> outbox_;
+  std::vector<CrossRecord> inbox_;
 
   // Delivery lane: intrusive FIFO, earliest first; the head's (t, seq) is
   // mirrored by lane_timer_ whenever the lane is non-empty.

@@ -1,5 +1,7 @@
 #include "net/lane.h"
 
+#include "net/pool_retire.h"
+
 namespace dcp {
 
 LanePool& LanePool::local() {
@@ -7,7 +9,17 @@ LanePool& LanePool::local() {
   return pool;
 }
 
+LanePool::~LanePool() {
+  if (chunks_.empty() && free_.empty()) return;
+  RetiredSlabs<LaneRecord>::instance().donate(std::move(chunks_), std::move(free_));
+}
+
 void LanePool::grow() {
+  const std::size_t got = RetiredSlabs<LaneRecord>::instance().reclaim(free_, kChunkRecords);
+  if (got > 0) {
+    reclaimed_ += got;
+    return;
+  }
   chunks_.push_back(std::make_unique<LaneRecord[]>(kChunkRecords));
   LaneRecord* base = chunks_.back().get();
   free_.reserve(free_.size() + kChunkRecords);

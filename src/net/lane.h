@@ -36,6 +36,10 @@ struct LaneRecord {
 };
 
 /// Thread-local freelist of LaneRecords (chunked slabs, never shrink).
+/// Like PacketPool, a dying thread's pool donates its slabs to the
+/// process-wide retired store (pool_retire.h): records it handed out can
+/// still be parked in lanes when a shard worker exits and are released
+/// later on the coordinator's thread.
 class LanePool {
  public:
   struct Stats {
@@ -47,6 +51,11 @@ class LanePool {
 
   /// The calling thread's pool.
   static LanePool& local();
+
+  LanePool() = default;
+  ~LanePool();
+  LanePool(const LanePool&) = delete;
+  LanePool& operator=(const LanePool&) = delete;
 
   LaneRecord* acquire() {
     if (free_.empty()) grow();
@@ -62,8 +71,11 @@ class LanePool {
   }
 
   Stats stats() const {
-    return Stats{acquires_, releases_, chunks_.size() * kChunkRecords,
-                 chunks_.size() * kChunkRecords - free_.size()};
+    // Cross-thread teardown releases can park foreign-slab records here,
+    // so clamp rather than underflow.
+    const std::size_t slots = chunks_.size() * kChunkRecords + reclaimed_;
+    return Stats{acquires_, releases_, slots,
+                 free_.size() >= slots ? 0 : slots - free_.size()};
   }
 
  private:
@@ -73,6 +85,7 @@ class LanePool {
 
   std::vector<std::unique_ptr<LaneRecord[]>> chunks_;
   std::vector<LaneRecord*> free_;
+  std::size_t reclaimed_ = 0;  // slots adopted from the retired store
   std::uint64_t acquires_ = 0;
   std::uint64_t releases_ = 0;
 };

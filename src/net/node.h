@@ -23,6 +23,9 @@ class Node {
 
   NodeId id() const { return id_; }
   const std::string& name() const { return name_; }
+  /// The simulator driving this node — in a sharded run, the node's shard.
+  Simulator& sim() { return sim_; }
+  const Simulator& sim() const { return sim_; }
 
   /// Delivery of a pooled packet arriving on `in_port`.  The node owns the
   /// handle from here on: forwarding moves it onward, dropping just lets

@@ -1,5 +1,7 @@
 #include "net/packet_pool.h"
 
+#include "net/pool_retire.h"
+
 namespace dcp {
 
 PacketPool& PacketPool::local() {
@@ -7,7 +9,21 @@ PacketPool& PacketPool::local() {
   return pool;
 }
 
+PacketPool::~PacketPool() {
+  // Slots this pool handed out may still be in flight on other threads
+  // (shard teardown releases them on the coordinator) — the slabs must
+  // outlive this thread.  A never-grown pool has nothing to donate, and
+  // skipping the call keeps process exit from constructing the store.
+  if (chunks_.empty() && free_.empty()) return;
+  RetiredSlabs<Packet>::instance().donate(std::move(chunks_), std::move(free_));
+}
+
 void PacketPool::grow() {
+  const std::size_t got = RetiredSlabs<Packet>::instance().reclaim(free_, kChunkPackets);
+  if (got > 0) {
+    reclaimed_ += got;
+    return;
+  }
   chunks_.push_back(std::make_unique<Packet[]>(kChunkPackets));
   Packet* base = chunks_.back().get();
   free_.reserve(free_.size() + kChunkPackets);

@@ -15,6 +15,12 @@
 // simulator depends on slot addresses), while simulations on different
 // threads never contend.  Slabs are chunked and never shrink, so the
 // steady-state acquire/release cycle performs zero heap allocations.
+//
+// Thread exit does NOT free the slabs: a shard worker's packets can still
+// be in flight when the ShardGroup joins the thread (teardown releases
+// them on the coordinator, into *its* freelist), so a dying pool donates
+// its slabs and unclaimed slots to a process-wide retired store that new
+// pools draw from before allocating fresh slabs.  See pool_retire.h.
 
 #include <cstddef>
 #include <cstdint>
@@ -38,6 +44,11 @@ class PacketPool {
   /// The calling thread's pool.
   static PacketPool& local();
 
+  PacketPool() = default;
+  ~PacketPool();
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
+
   Packet* acquire() {
     if (free_.empty()) grow();
     Packet* p = free_.back();
@@ -52,8 +63,11 @@ class PacketPool {
   }
 
   Stats stats() const {
-    return Stats{acquires_, releases_, chunks_.size() * kChunkPackets,
-                 chunks_.size() * kChunkPackets - free_.size()};
+    // Cross-thread teardown releases can park foreign-slab slots in this
+    // freelist, so clamp rather than underflow.
+    const std::size_t slots = chunks_.size() * kChunkPackets + reclaimed_;
+    return Stats{acquires_, releases_, slots,
+                 free_.size() >= slots ? 0 : slots - free_.size()};
   }
 
  private:
@@ -63,6 +77,7 @@ class PacketPool {
 
   std::vector<std::unique_ptr<Packet[]>> chunks_;
   std::vector<Packet*> free_;
+  std::size_t reclaimed_ = 0;  // slots adopted from the retired store
   std::uint64_t acquires_ = 0;
   std::uint64_t releases_ = 0;
 };

@@ -1,0 +1,59 @@
+#pragma once
+// Process-wide retired store backing the thread-local slab pools
+// (PacketPool, LanePool).
+//
+// A pool's slots can outlive its thread: shard workers allocate packets
+// and lane records that are still parked in queues when the ShardGroup
+// joins the thread, and teardown then releases them on the coordinator —
+// into the *coordinator's* freelist.  If the dying thread's pool freed its
+// slabs, those freelist entries would dangle.  So a dying pool donates its
+// slabs (and the slots it still holds) here instead, keeping every
+// outstanding pointer valid for the life of the process; new pools
+// reclaim retired slots before allocating fresh slabs, so repeatedly
+// creating and destroying shard groups recycles memory rather than
+// accumulating it.
+//
+// All calls are cold (pool growth and thread exit), so one mutex is fine.
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace dcp {
+
+template <typename T>
+class RetiredSlabs {
+ public:
+  static RetiredSlabs& instance() {
+    static RetiredSlabs r;
+    return r;
+  }
+
+  /// Takes ownership of a dying pool's slabs and unclaimed slots.
+  void donate(std::vector<std::unique_ptr<T[]>>&& chunks, std::vector<T*>&& free) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& c : chunks) chunks_.push_back(std::move(c));
+    free_.insert(free_.end(), free.begin(), free.end());
+  }
+
+  /// Moves up to `max` retired slots into `out`; returns how many moved.
+  /// The backing slabs stay owned here — the reclaiming pool must never
+  /// free them.
+  std::size_t reclaim(std::vector<T*>& out, std::size_t max) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::size_t n = free_.size() < max ? free_.size() : max;
+    out.insert(out.end(), free_.end() - static_cast<std::ptrdiff_t>(n), free_.end());
+    free_.resize(free_.size() - n);
+    return n;
+  }
+
+ private:
+  RetiredSlabs() = default;
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<T[]>> chunks_;
+  std::vector<T*> free_;
+};
+
+}  // namespace dcp

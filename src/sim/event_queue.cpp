@@ -38,24 +38,22 @@ void EventQueue::insert_main(const HeapEntry& e) {
 }
 
 EventId EventQueue::push(Time t, EventCallback fn) {
-  return push_keyed(t, next_seq_++, std::move(fn));
+  return push_keyed(t, take_seq(), std::move(fn));
 }
 
 EventId EventQueue::push_keyed(Time t, std::uint64_t seq, EventCallback fn) {
   const std::uint32_t idx = alloc_slot();
   fn_of(idx) = std::move(fn);
-  insert_main(HeapEntry{t, seq, idx});
+  pos_[idx] = kOneshotLive;
+  opush(HeapEntry{t, seq, idx});
   return (static_cast<EventId>(gen_[idx]) << 32) | (idx + 1);
 }
 
 EventId EventQueue::push_far(Time t, EventCallback fn) {
-  const std::uint32_t idx = alloc_slot();
-  fn_of(idx) = std::move(fn);
-  in_dheap_[idx] = 1;
-  deadline_[idx] = t;  // one-shots are never lazily re-keyed: always accurate
-  dheap_.emplace_back();
-  sift_up(dheap_, dheap_.size() - 1, HeapEntry{t, next_seq_++, idx});
-  return (static_cast<EventId>(gen_[idx]) << 32) | (idx + 1);
+  // One-shots all live in the non-tracking heap; a far entry sinks below
+  // the near-term traffic once at push and is never compared against
+  // until its time approaches.
+  return push_keyed(t, take_seq(), std::move(fn));
 }
 
 void EventQueue::cancel(EventId id) {
@@ -66,20 +64,17 @@ void EventQueue::cancel(EventId id) {
 
   if (gen_[idx] != static_cast<std::uint32_t>(id >> 32)) return;  // stale handle
   if (persistent_[idx]) return;  // timers are managed via timer_* only
-  if (pos_[idx] == kNoPos) return;                                // not pending
+  if (pos_[idx] != kOneshotLive) return;  // not pending (or already tombstoned)
 
-  if (in_dheap_[idx]) {
-    // Far one-shot: physical removal (off the hot path by definition).
-    remove_from_heap(dheap_, pos_[idx]);
-    pos_[idx] = kNoPos;
-    settle_dtop();
-    in_dheap_[idx] = 0;
-    deadline_[idx] = kTimeInfinity;
-  } else {
-    remove_from_heap(heap_, pos_[idx]);
-  }
+  // Lazy cancel: destroy the callback now (releasing captured resources),
+  // leave a tombstone the heap reclaims when the entry surfaces.
   fn_of(idx).reset();
-  release(idx);
+  pos_[idx] = kOneshotDead;
+  ++gen_[idx];  // invalidates every outstanding handle to this slot
+  --olive_;
+  ++odead_;
+  drain_otop();
+  if (odead_ > 64 && odead_ > olive_) compact_oheap();
 }
 
 void EventQueue::release(std::uint32_t idx) {
@@ -164,13 +159,13 @@ void EventQueue::timer_arm_deadline(std::uint32_t timer, Time t) {
       }
       // Deadline shrank below the parked entry: re-key eagerly (the new
       // key is earlier, so an in-place sift_up).
-      sift_up(dheap_, p, HeapEntry{t, next_seq_++, timer});
+      sift_up(dheap_, p, HeapEntry{t, take_seq(), timer});
       return;
     }
   }
   in_dheap_[timer] = 1;
   dheap_.emplace_back();
-  sift_up(dheap_, dheap_.size() - 1, HeapEntry{t, next_seq_++, timer});
+  sift_up(dheap_, dheap_.size() - 1, HeapEntry{t, take_seq(), timer});
 }
 
 void EventQueue::timer_cancel(std::uint32_t timer) {
@@ -202,22 +197,61 @@ void EventQueue::settle_dtop() {
       continue;
     }
     // Lazily extended: re-key at the true deadline (later, so sift down).
+    // The entry keeps its original sequence — re-keying consumes nothing,
+    // so the global sequence stream is independent of WHEN stale entries
+    // happen to surface (a shard's deadline heap sees only its own
+    // traffic; allocating here would make sequence numbering depend on
+    // sharding).
     top.t = dl;
-    top.seq = next_seq_++;
     sift_down(dheap_, 0, top);
   }
 }
 
 bool EventQueue::pop_and_run(Time& now) {
-  if (!heap_.empty() && (dheap_.empty() || earlier(heap_[0], dheap_[0]))) {
+  // Select the earliest of the three tops under the global (t, seq) order.
+  // 0 = main (timers), 1 = deadline, 2 = one-shot.
+  int which;
+  if (!heap_.empty()) {
+    which = 0;
+    if (!dheap_.empty() && earlier(dheap_[0], heap_[0])) which = 1;
+    if (!oheap_.empty() && earlier(oheap_[0], which == 0 ? heap_[0] : dheap_[0])) which = 2;
+  } else if (!dheap_.empty()) {
+    which = 1;
+    if (!oheap_.empty() && earlier(oheap_[0], dheap_[0])) which = 2;
+  } else if (!oheap_.empty()) {
+    which = 2;
+  } else {
+    return false;
+  }
+
+  if (which == 2) {
+    // One-shot: pop, recycle the slot, run.  drain_otop() afterwards keeps
+    // the top live so next_time() stays O(1)-accurate.
+    const HeapEntry top = oheap_[0];
+    now = top.t;
+    cur_time_ = top.t;
+    cur_parent_ = top.seq;
+    opop_root();
+    --olive_;
+    EventCallback fn = std::move(fn_of(top.slot));
+    release(top.slot);  // recycled before running: reentrant schedule/cancel is safe
+    fn();
+    drain_otop();
+    return true;
+  }
+
+  if (which == 0) {
     const std::uint32_t idx = heap_[0].slot;
     now = heap_[0].t;
+    cur_time_ = heap_[0].t;
+    cur_parent_ = heap_[0].seq;
 
     if (persistent_[idx]) {
       // Timer: the callback stays in place and may re-arm its own slot.
       // Root removal is DEFERRED: the spent entry's key precedes every
-      // other key that can exist during the callback, so it pins the root
-      // and timer_arm_keyed can fuse a self re-arm into one sift_down.
+      // other main-heap key that can exist during the callback, so it pins
+      // the root and timer_arm_keyed can fuse a self re-arm into one
+      // sift_down.
       pos_[idx] = kNoPos;
       deferred_root_ = idx;
       fn_of(idx)();
@@ -240,10 +274,8 @@ bool EventQueue::pop_and_run(Time& now) {
     fn();
     return true;
   }
-  if (dheap_.empty()) return false;
 
-  // Deadline heap fires: the top is accurate by the settle_dtop invariant —
-  // a persistent deadline-class timer or a far one-shot.
+  // Deadline heap fires: the top is accurate by the settle_dtop invariant.
   const HeapEntry top = dheap_[0];
   const HeapEntry last = dheap_.back();
   dheap_.pop_back();
@@ -252,6 +284,8 @@ bool EventQueue::pop_and_run(Time& now) {
   pos_[top.slot] = kNoPos;
   deadline_[top.slot] = kTimeInfinity;
   now = top.t;
+  cur_time_ = top.t;
+  cur_parent_ = top.seq;
   if (!persistent_[top.slot]) {
     in_dheap_[top.slot] = 0;
     EventCallback fn = std::move(fn_of(top.slot));
@@ -262,6 +296,106 @@ bool EventQueue::pop_and_run(Time& now) {
   fn_of(top.slot)();
   return true;
 }
+
+void EventQueue::end_shard_window(const std::vector<std::uint64_t>& committed) {
+  shard_log_ = nullptr;
+  const auto fix = [&committed](HeapEntry& e) {
+    if (e.seq & kProvisionalSeq) e.seq = committed[e.seq & ~kProvisionalSeq];
+  };
+  for (HeapEntry& e : heap_) fix(e);
+  for (HeapEntry& e : dheap_) fix(e);
+  for (HeapEntry& e : oheap_) fix(e);
+}
+
+// --- Non-tracking one-shot heap ---------------------------------------------
+
+void EventQueue::opush(const HeapEntry& e) {
+  ++olive_;
+  oheap_.emplace_back();  // placeholder; osift_up writes the entry in place
+  osift_up(oheap_.size() - 1, e);
+}
+
+void EventQueue::opop_root() {
+  const HeapEntry last = oheap_.back();
+  oheap_.pop_back();
+  if (oheap_.empty()) return;
+  // Bottom-up pop, same scheme as sift_root_to_bottom but without position
+  // maintenance: promote the minimum child down to a leaf, then bubble the
+  // (late) replacement up from there — it rarely moves.
+  const std::size_t n = oheap_.size();
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t first = (pos << 2) + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t end = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (earlier(oheap_[c], oheap_[best])) best = c;
+    }
+    oheap_[pos] = oheap_[best];
+    pos = best;
+  }
+  osift_up(pos, last);
+}
+
+void EventQueue::drain_otop() {
+  while (!oheap_.empty() && pos_[oheap_[0].slot] == kOneshotDead) {
+    release(oheap_[0].slot);  // the tombstoned slot finally returns to the pool
+    --odead_;
+    opop_root();
+  }
+}
+
+void EventQueue::compact_oheap() {
+  std::vector<HeapEntry> live;
+  live.reserve(olive_);
+  for (const HeapEntry& e : oheap_) {
+    if (pos_[e.slot] == kOneshotLive) {
+      live.push_back(e);
+    } else {
+      release(e.slot);
+      --odead_;
+    }
+  }
+  oheap_ = std::move(live);
+  // Floyd build: sift each internal node down, last parent first.
+  if (oheap_.size() > 1) {
+    for (std::size_t i = (oheap_.size() - 2) >> 2; ; --i) {
+      osift_down(i, oheap_[i]);
+      if (i == 0) break;
+    }
+  }
+}
+
+void EventQueue::osift_up(std::size_t pos, HeapEntry e) {
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) >> 2;
+    const HeapEntry& p = oheap_[parent];
+    if (!earlier(e, p)) break;
+    oheap_[pos] = p;
+    pos = parent;
+  }
+  oheap_[pos] = e;
+}
+
+void EventQueue::osift_down(std::size_t pos, HeapEntry e) {
+  const std::size_t n = oheap_.size();
+  for (;;) {
+    const std::size_t first = (pos << 2) + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t end = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (earlier(oheap_[c], oheap_[best])) best = c;
+    }
+    if (!earlier(oheap_[best], e)) break;
+    oheap_[pos] = oheap_[best];
+    pos = best;
+  }
+  oheap_[pos] = e;
+}
+
+// --- Index-tracked heaps (timers + deadlines) --------------------------------
 
 void EventQueue::remove_from_heap(std::vector<HeapEntry>& h, std::size_t pos) {
   const HeapEntry last = h.back();

@@ -11,13 +11,26 @@
 //     index.
 //   * Callbacks are EventCallback (small-buffer optimized, move-only) —
 //     no per-event std::function heap allocation.
-//   * Ordering uses an index-tracked 4-ary min-heap whose entries carry
-//     the full (time, sequence) key inline: sifting compares contiguous
-//     24-byte records and never dereferences a slot.  The sequence number
-//     preserves FIFO order among simultaneous events.  A flat per-slot
-//     position array maps slots back into the heap, so cancel() removes
-//     an entry in place in O(log n): no tombstones, no hash-set lookups
-//     on pop, and next_time() is O(1).
+//   * Ordering uses THREE 4-ary min-heaps sharing one global (time,
+//     sequence) key space, so the merged firing order is exactly that of a
+//     single heap:
+//       - heap_  : persistent timers (index-tracked via a flat per-slot
+//         position array, so timer_cancel / re-arm removes an entry in
+//         place in O(log n)).
+//       - dheap_ : DEADLINE-class timers (retransmission timeouts,
+//         keepalives) — re-armed far more often than they fire.  Pushing a
+//         deadline forward is O(1): the parked entry goes stale and the
+//         true deadline is stored beside the slot; stale entries are
+//         re-keyed (keeping their original sequence) or dropped only when
+//         they surface at this heap's top.
+//       - oheap_ : ONE-SHOT events (plain push(), far-future push_far()).
+//         One-shots are fire-and-forget: they are never re-keyed and
+//         almost never cancelled, so this heap is NON-TRACKING — sifting
+//         moves 24-byte records without maintaining any position array
+//         (one fewer store per level, and cancel() degrades to an O(1)
+//         lazy tombstone reclaimed when the entry surfaces).
+//     The sequence number preserves FIFO order among simultaneous events;
+//     each heap's top is kept accurate so next_time() stays O(1).
 //   * EventIds are generation-stamped handles: (generation << 32) | slot+1.
 //     Firing or cancelling a slot bumps its generation, so double-cancel
 //     and cancel-after-fire are provably harmless no-ops — a stale handle
@@ -32,16 +45,15 @@
 //     timer_arm / timer_cancel) hold their callback across fires: arming
 //     again after a fire is a heap insert only — no slot churn, no
 //     callback reconstruction.
-//   * Deadline class: timers that are re-armed far more often than they
-//     fire (retransmission timeouts, keepalives, per-flow stall checks)
-//     live in a SECOND heap via timer_arm_deadline().  Pushing such a
-//     deadline forward is O(1) — the parked entry goes stale and the real
-//     deadline is stored beside the slot; stale entries are re-keyed (or
-//     dropped, for lazy cancels) only when they surface at that heap's
-//     top.  The pop path takes the earlier of the two heap tops under the
-//     same global (time, seq) order, so firing order is unchanged — but
-//     the first-level heap stays at O(active links + near-term timers)
-//     instead of O(flows), which is what every packet-event sift pays for.
+//   * Space-parallel sharding support: a sharded run (sim/shard.h) gives
+//     every shard its own EventQueue but ONE logical sequence space.  In
+//     the single-threaded setup phase all queues draw from a shared
+//     counter; during a parallel window each queue hands out provisional
+//     high-bit-flagged sequences and logs (allocation time, allocating
+//     event) per draw, and the window barrier merges the per-shard logs
+//     into the exact sequence numbers the serial run would have assigned
+//     (see remap_shard_seqs).  Unsharded runs pay one predictable branch
+//     per allocation.
 
 #include <cstdint>
 #include <memory>
@@ -57,8 +69,22 @@ namespace dcp {
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
+/// One provisional sequence allocation inside a shard window: when it was
+/// drawn and the (global or provisional) sequence of the event that drew
+/// it.  The log index doubles as the provisional id.
+struct ShardSeqAlloc {
+  Time t;
+  std::uint64_t parent;
+};
+
 class EventQueue {
  public:
+  /// Provisional sequences handed out during a shard window carry this
+  /// flag; they compare AFTER every committed sequence at the same time,
+  /// which is exactly the serial order (anything allocated in an earlier
+  /// window was allocated at an earlier simulated time).
+  static constexpr std::uint64_t kProvisionalSeq = 1ull << 63;
+
   EventQueue() = default;
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
@@ -72,32 +98,37 @@ class EventQueue {
   /// these at creation time; entering the heap later via push_keyed() or
   /// timer_arm_keyed() with the stamped value reproduces exactly the
   /// firing order push() would have produced.
-  std::uint64_t alloc_seq() { return next_seq_++; }
+  std::uint64_t alloc_seq() { return take_seq(); }
 
-  /// push() with an explicit tie-break sequence (from alloc_seq()).
+  /// push() with an explicit tie-break sequence (from alloc_seq(), or a
+  /// committed cross-shard sequence).
   EventId push_keyed(Time t, std::uint64_t seq, EventCallback fn);
 
   /// push() for FAR events: one-shots expected to sit a long time before
-  /// firing (staggered flow starts, experiment-end probes).  The entry
-  /// parks in the deadline heap, so the thousands of pops between schedule
-  /// and fire never sift across it.  Firing order is identical to push()
-  /// — the sequence number is allocated here, at call time.
+  /// firing (staggered flow starts, experiment-end probes).  One-shots all
+  /// live in the non-tracking heap, where a far entry sinks once and is
+  /// never compared against by near-term traffic sifting shallower than
+  /// it.  Firing order is identical to push() — the sequence number is
+  /// allocated here, at call time.
   EventId push_far(Time t, EventCallback fn);
 
-  /// Cancels a pending event in place (O(log n)).  Cancelling an
-  /// already-fired, already-cancelled, or invalid id is a harmless no-op:
-  /// the generation stamp in the handle no longer matches the slot.
+  /// Cancels a pending event.  For one-shots this is an O(1) lazy
+  /// tombstone (the callback is destroyed now; the heap entry evaporates
+  /// when it surfaces).  Cancelling an already-fired, already-cancelled,
+  /// or invalid id is a harmless no-op: the generation stamp in the handle
+  /// no longer matches the slot.
   void cancel(EventId id);
 
-  bool empty() const { return heap_.empty() && dheap_.empty(); }
-  std::size_t size() const { return heap_.size() + dheap_.size(); }
+  bool empty() const { return heap_.empty() && dheap_.empty() && olive_ == 0; }
+  std::size_t size() const { return heap_.size() + dheap_.size() + olive_; }
 
   /// Time of the earliest pending event; kTimeInfinity when empty.  O(1).
-  /// (The deadline heap's top is kept accurate — see settle_dtop.)
+  /// (Each heap's top is kept accurate — see settle_dtop / drain_otop.)
   Time next_time() const {
-    const Time m = heap_.empty() ? kTimeInfinity : heap_[0].t;
-    const Time d = dheap_.empty() ? kTimeInfinity : dheap_[0].t;
-    return m < d ? m : d;
+    Time m = heap_.empty() ? kTimeInfinity : heap_[0].t;
+    if (!dheap_.empty() && dheap_[0].t < m) m = dheap_[0].t;
+    if (!oheap_.empty() && oheap_[0].t < m) m = oheap_[0].t;
+    return m;
   }
 
   /// True when an event keyed (t, seq) would fire before everything
@@ -109,6 +140,10 @@ class EventQueue {
     }
     if (!dheap_.empty() &&
         !(t < dheap_[0].t || (t == dheap_[0].t && seq < dheap_[0].seq))) {
+      return false;
+    }
+    if (!oheap_.empty() &&
+        !(t < oheap_[0].t || (t == oheap_[0].t && seq < oheap_[0].seq))) {
       return false;
     }
     return true;
@@ -136,7 +171,7 @@ class EventQueue {
   void timer_destroy(std::uint32_t timer);
   /// (Re-)arms the timer at absolute time `t` with a fresh sequence number
   /// — equivalent in firing order to cancel + push().
-  void timer_arm(std::uint32_t timer, Time t) { timer_arm_keyed(timer, t, next_seq_++); }
+  void timer_arm(std::uint32_t timer, Time t) { timer_arm_keyed(timer, t, take_seq()); }
   /// (Re-)arms with an explicit (t, seq) key stamped via alloc_seq().
   void timer_arm_keyed(std::uint32_t timer, Time t, std::uint64_t seq);
   /// (Re-)arms in the DEADLINE class: the timer fires at absolute time `t`
@@ -157,18 +192,55 @@ class EventQueue {
 
   /// High-water mark of the first-level heap — the figure the two-level
   /// scheduler shrinks from O(packets in flight + flows) to O(active
-  /// links).  Deadline-class entries are excluded: they park in their own
-  /// heap precisely so packet events never sift across them.
+  /// links).  Deadline-class and one-shot entries are excluded: they park
+  /// in their own heaps precisely so timer events never sift across them.
   std::size_t peak_heap_size() const { return peak_heap_; }
+
+  // --- Space-parallel sharding hooks (see sim/shard.h) ----------------------
+
+  /// Redirects sequence allocation to an external counter shared by every
+  /// shard's queue (single-threaded setup phase).  Pass nullptr to restore
+  /// the private counter.
+  void set_shared_seq(std::uint64_t* shared) { seq_src_ = shared != nullptr ? shared : &next_seq_; }
+
+  /// Enters window mode: every sequence draw returns a provisional id and
+  /// appends a ShardSeqAlloc to `log` (whose index IS the id).  `log` must
+  /// outlive the window; the caller clears it.
+  void begin_shard_window(std::vector<ShardSeqAlloc>* log) { shard_log_ = log; }
+
+  /// Leaves window mode and rewrites every provisional sequence still
+  /// pending in the three heaps with its committed value (`committed[i]`
+  /// for provisional id i).  The per-shard mapping is strictly increasing
+  /// and every committed value exceeds every previously committed one, so
+  /// relabeling preserves all heap invariants in place — no re-heapify.
+  void end_shard_window(const std::vector<std::uint64_t>& committed);
+
+  /// (time, sequence) of the event currently executing — the "parent" a
+  /// window-mode allocation is logged under, also used to stamp receiver
+  /// stat journals.  Valid during pop_and_run (and lane coalescing, which
+  /// refreshes it via set_current_event).
+  Time current_event_time() const { return cur_time_; }
+  std::uint64_t current_event_seq() const { return cur_parent_; }
+  /// Lane coalescing runs a logical event without a pop; the lane refreshes
+  /// the current-event key so allocations inside it log the right parent.
+  void set_current_event(Time t, std::uint64_t seq) {
+    cur_time_ = t;
+    cur_parent_ = seq;
+  }
 
  private:
   static constexpr std::uint32_t kChunkShift = 9;
   static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;  // 512 events
   static constexpr std::uint32_t kNoPos = UINT32_MAX;
+  // pos_[] sentinels for slots parked in the non-tracking one-shot heap:
+  // membership is tracked, position is not.
+  static constexpr std::uint32_t kOneshotLive = UINT32_MAX - 1;
+  static constexpr std::uint32_t kOneshotDead = UINT32_MAX - 2;
 
   /// Heap entries carry the full ordering key inline so sifting compares
   /// contiguous records; only the per-slot position array is written while
-  /// entries move (one store per level).
+  /// entries move (one store per level) — and not at all in the one-shot
+  /// heap.
   struct HeapEntry {
     Time t;
     std::uint64_t seq;  // FIFO tie-break among equal times
@@ -181,6 +253,14 @@ class EventQueue {
 
   static bool earlier(const HeapEntry& a, const HeapEntry& b) {
     return a.t != b.t ? a.t < b.t : a.seq < b.seq;
+  }
+
+  std::uint64_t take_seq() {
+    if (shard_log_ != nullptr) {
+      shard_log_->push_back(ShardSeqAlloc{cur_time_, cur_parent_});
+      return kProvisionalSeq | (shard_log_->size() - 1);
+    }
+    return (*seq_src_)++;
   }
 
   void grow();
@@ -197,8 +277,20 @@ class EventQueue {
   void sift_root_to_bottom(std::vector<HeapEntry>& h, HeapEntry e);
   /// Restores the invariant "the deadline heap's top entry matches its
   /// slot's true deadline": drops lazily-cancelled tops, re-keys lazily-
-  /// extended ones (their key only grows, so an in-place sift_down).
+  /// extended ones (their key only grows, so an in-place sift_down; the
+  /// entry keeps its original sequence, so re-keying never consumes one).
   void settle_dtop();
+
+  // --- Non-tracking one-shot heap helpers ----------------------------------
+  void opush(const HeapEntry& e);
+  void opop_root();
+  /// Drops tombstoned entries off the one-shot heap's top so it is always
+  /// live (next_time()'s O(1) contract).
+  void drain_otop();
+  /// Rebuilds oheap_ without tombstones once they outnumber live entries.
+  void compact_oheap();
+  void osift_up(std::size_t pos, HeapEntry e);
+  void osift_down(std::size_t pos, HeapEntry e);
 
   std::vector<std::unique_ptr<EventCallback[]>> chunks_;  // stable storage
   std::vector<std::uint32_t> gen_;   // per-slot generation stamp
@@ -207,17 +299,25 @@ class EventQueue {
   std::vector<std::uint8_t> in_dheap_;    // pending entry lives in the deadline heap
   std::vector<Time> deadline_;       // true deadline of a deadline-class timer
   std::vector<std::uint32_t> free_;  // recycled slot indices
-  std::vector<HeapEntry> heap_;      // first level: near-term, always-fire events
-  std::vector<HeapEntry> dheap_;     // second level: rarely-firing deadlines
+  std::vector<HeapEntry> heap_;      // persistent timers (index-tracked)
+  std::vector<HeapEntry> dheap_;     // deadline class: rarely-firing deadlines
+  std::vector<HeapEntry> oheap_;     // one-shots (non-tracking)
+  std::size_t olive_ = 0;            // live (non-tombstoned) one-shot entries
+  std::size_t odead_ = 0;            // tombstones still parked in oheap_
   std::uint64_t next_seq_ = 1;
+  std::uint64_t* seq_src_ = &next_seq_;  // shared counter in sharded setup
+  std::vector<ShardSeqAlloc>* shard_log_ = nullptr;  // non-null inside a window
+  Time cur_time_ = 0;
+  std::uint64_t cur_parent_ = 0;  // seq of the event currently executing
   std::size_t peak_heap_ = 0;
   // Fused pop+re-arm: while a persistent timer's callback runs, its spent
-  // root entry stays parked at heap_[0] (its key is a strict minimum, so
-  // nothing can sift past it).  If the callback re-arms the same slot —
-  // the self-rescheduling pattern of lane heads and port serialization
-  // timers, i.e. nearly every pop — the root is re-keyed in place with a
-  // single sift_down instead of a full remove + insert.  Otherwise the
-  // stale root is removed after the callback returns.
+  // root entry stays parked at heap_[0] (its key is a strict minimum among
+  // main-heap entries, so nothing can sift past it).  If the callback
+  // re-arms the same slot — the self-rescheduling pattern of lane heads
+  // and port serialization timers, i.e. nearly every pop — the root is
+  // re-keyed in place with a single sift_down instead of a full remove +
+  // insert.  Otherwise the stale root is removed after the callback
+  // returns.
   std::uint32_t deferred_root_ = kNoPos;
 };
 

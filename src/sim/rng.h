@@ -2,6 +2,8 @@
 // Deterministic random-number utilities.  Every stochastic component takes
 // a seed so experiments are exactly reproducible.
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <random>
 #include <span>
@@ -63,6 +65,42 @@ class Rng {
 
  private:
   std::mt19937_64 gen_;
+};
+
+/// Buffered uniform-[0,1) draws for hot Bernoulli sites.  A refill pulls
+/// kBatch values from the caller's engine through the same distribution
+/// `Rng::uniform()` constructs (it is stateless on every implementation we
+/// build against, consuming exactly one engine word per double), so the
+/// k-th `next()` returns bit-identically the k-th `uniform()` would have —
+/// what the batch buys is one tight loop instead of a distribution
+/// construction and two function calls per draw.
+///
+/// The caveat is ordering: a refill consumes engine words *ahead* of time,
+/// so the owner must be the engine's only consumer while batching — any
+/// interleaved direct draw from the same engine would see a shifted
+/// stream.  Owners gate on that (see Switch::draw_chance: batching is
+/// enabled only under load-balancing policies whose port selection never
+/// touches the base RNG).
+class UniformPrefetch {
+ public:
+  double next(std::mt19937_64& gen) {
+    if (pos_ == filled_) refill(gen);
+    return buf_[pos_++];
+  }
+
+ private:
+  static constexpr std::size_t kBatch = 64;
+
+  void refill(std::mt19937_64& gen) {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    for (std::size_t i = 0; i < kBatch; ++i) buf_[i] = dist(gen);
+    pos_ = 0;
+    filled_ = kBatch;
+  }
+
+  std::array<double, kBatch> buf_{};
+  std::size_t pos_ = 0;
+  std::size_t filled_ = 0;
 };
 
 }  // namespace dcp

@@ -1,0 +1,162 @@
+#include "sim/shard.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dcp {
+
+namespace {
+
+/// Bounded spin: barriers are microseconds apart in wall time, so burn a
+/// little CPU before yielding rather than paying a futex round trip per
+/// window.
+template <typename Pred>
+void spin_until(Pred&& done) {
+  int spins = 0;
+  while (!done()) {
+    if (++spins >= 4096) {
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+}
+
+}  // namespace
+
+ShardGroup::ShardGroup(int n) {
+  assert(n >= 1);
+  sims_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) sims_.push_back(std::make_unique<Simulator>());
+  logs_.resize(sims_.size());
+  committed_.resize(sims_.size());
+  cross_drains_.resize(sims_.size());
+  if (sharded()) {
+    // One sequence space: setup-phase allocations interleave across shard
+    // queues exactly as a single serial queue would hand them out.
+    for (auto& s : sims_) s->set_shared_seq(&global_seq_);
+  }
+}
+
+ShardGroup::~ShardGroup() {
+  if (!workers_.empty()) {
+    exit_.store(true, std::memory_order_relaxed);
+    go_epoch_.fetch_add(1, std::memory_order_release);
+    for (std::thread& t : workers_) t.join();
+  }
+}
+
+void ShardGroup::start_workers() {
+  if (!workers_.empty() || !sharded()) return;
+  workers_.reserve(sims_.size() - 1);
+  for (std::size_t i = 1; i < sims_.size(); ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+void ShardGroup::worker_loop(std::size_t i) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    spin_until([&] { return go_epoch_.load(std::memory_order_acquire) != seen; });
+    seen = go_epoch_.load(std::memory_order_acquire);
+    if (exit_.load(std::memory_order_relaxed)) return;
+    sims_[i]->run(window_bound_);
+    done_count_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+Time ShardGroup::next_time() const {
+  Time t = kTimeInfinity;
+  for (const auto& s : sims_) t = std::min(t, s->next_event_time());
+  return t;
+}
+
+Time ShardGroup::max_now() const {
+  Time t = 0;
+  for (const auto& s : sims_) t = std::max(t, s->now());
+  return t;
+}
+
+std::uint64_t ShardGroup::events_processed() const {
+  std::uint64_t n = 0;
+  for (const auto& s : sims_) n += s->events_processed();
+  return n;
+}
+
+void ShardGroup::sync_now(Time t) {
+  for (auto& s : sims_) s->sync_now(t);
+}
+
+void ShardGroup::run_window(Time bound) {
+  if (!sharded()) {
+    sims_[0]->run(bound);
+    return;
+  }
+  assert(lookahead_ > 0 && "set_lookahead() before sharded windows");
+  start_workers();
+  for (std::size_t i = 0; i < sims_.size(); ++i) {
+    logs_[i].clear();
+    sims_[i]->begin_shard_window(&logs_[i]);
+  }
+  window_bound_ = bound;
+  done_count_.store(0, std::memory_order_relaxed);
+  go_epoch_.fetch_add(1, std::memory_order_release);
+  sims_[0]->run(bound);
+  const int need = static_cast<int>(sims_.size()) - 1;
+  spin_until([&] { return done_count_.load(std::memory_order_acquire) == need; });
+  commit_window();
+}
+
+void ShardGroup::commit_window() {
+  const std::size_t n = sims_.size();
+  std::size_t remaining = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    committed_[i].assign(logs_[i].size(), 0);
+    remaining += logs_[i].size();
+  }
+
+  // K-way merge of the per-shard allocation logs into serial order.  Each
+  // log is already sorted by (time, committed parent): time is the shard
+  // clock (monotone within a window), and at equal times events execute —
+  // and therefore allocate — in parent-sequence order.  A provisional
+  // parent always resolves before it is needed: its own allocation sits at
+  // a smaller index of the same log (it was drawn before the parent event
+  // ran), so the head cursor has already committed it.  Ties across shards
+  // are impossible — an event executes on exactly one shard, so a given
+  // (time, parent) pair only ever heads one log.
+  std::vector<std::size_t> head(n, 0);
+  auto resolved_parent = [this](std::size_t s, const ShardSeqAlloc& a) {
+    return (a.parent & EventQueue::kProvisionalSeq) != 0
+               ? committed_[s][a.parent & ~EventQueue::kProvisionalSeq]
+               : a.parent;
+  };
+  while (remaining > 0) {
+    std::size_t best = n;
+    Time bt = 0;
+    std::uint64_t bp = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (head[i] >= logs_[i].size()) continue;
+      const ShardSeqAlloc& a = logs_[i][head[i]];
+      const std::uint64_t p = resolved_parent(i, a);
+      if (best == n || a.t < bt || (a.t == bt && p < bp)) {
+        best = i;
+        bt = a.t;
+        bp = p;
+      }
+    }
+    committed_[best][head[best]++] = global_seq_++;
+    --remaining;
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Leave window mode, rewriting every provisional key still parked in
+    // the shard's heaps, then let components (lanes, journals, pending
+    // finalizations) commit the stamps they hold outside the queue.
+    sims_[i]->end_shard_window(committed_[i]);
+    sims_[i]->run_seq_remap_hooks(SeqRemap{&committed_[i]});
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& drain : cross_drains_[i]) drain(SeqRemap{&committed_[i]});
+  }
+}
+
+}  // namespace dcp

@@ -1,0 +1,105 @@
+#pragma once
+// Space-parallel simulation: one Simulator (and so one EventQueue, packet
+// pool and lane pool) per topology shard, advancing together in bounded
+// time windows under conservative synchronization.
+//
+// Lookahead: with L = the minimum propagation delay over all cut (cross-
+// shard) channels, a window bounded by min-next-event-time + L - 1 can be
+// executed by every shard independently — any packet a shard emits across
+// the cut arrives at send-time + L at the earliest, i.e. strictly after
+// the window, so no shard can receive an event it should already have run.
+//
+// Determinism: all shards draw setup-phase tie-break sequences from ONE
+// shared counter, so topology construction is bit-identical to the serial
+// run.  During a window each EventQueue hands out provisional sequences
+// and logs (alloc time, allocating event); at the barrier the coordinator
+// K-way-merges the logs — ordered by (time, committed parent sequence),
+// which IS the serial allocation order — and assigns dense global
+// sequences continuing the shared counter.  Every sequence a serial run
+// would have allocated gets the same value, so event interleavings, lane
+// orders and digests are bit-identical to DCP_SHARDS=1 (proof sketch in
+// docs/architecture.md, "Sharded simulation").
+//
+// Threading: shard 0 runs on the caller's thread; shards 1..n-1 each get a
+// dedicated worker pinned to their Simulator (keeping the thread-local
+// pools coherent).  The go/done pair uses release/acquire so everything a
+// worker wrote in a window is visible to the coordinator at the barrier
+// and everything the coordinator wrote (committed stamps, mailbox
+// deliveries) is visible to workers in the next window.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace dcp {
+
+class ShardGroup {
+ public:
+  /// A group of `n` simulators sharing one sequence space.  n == 1 is the
+  /// escape hatch: no shared counter, no windows, no worker threads — the
+  /// single simulator behaves exactly like a stand-alone one.
+  explicit ShardGroup(int n);
+  ~ShardGroup();
+  ShardGroup(const ShardGroup&) = delete;
+  ShardGroup& operator=(const ShardGroup&) = delete;
+
+  int size() const { return static_cast<int>(sims_.size()); }
+  bool sharded() const { return sims_.size() > 1; }
+  Simulator& sim(int i) { return *sims_[static_cast<std::size_t>(i)]; }
+  const Simulator& sim(int i) const { return *sims_[static_cast<std::size_t>(i)]; }
+
+  /// Conservative lookahead (min cut-channel propagation); must be set
+  /// (> 0) before the first run_window() of a sharded run.
+  void set_lookahead(Time l) { lookahead_ = l; }
+  Time lookahead() const { return lookahead_; }
+
+  /// Registers a barrier drain for a cut channel whose SOURCE lives on
+  /// `src_shard`: runs on the coordinator with every shard parked, with
+  /// the source shard's remap for the window just ended.
+  void add_cross_drain(int src_shard, std::function<void(const SeqRemap&)> fn) {
+    cross_drains_[static_cast<std::size_t>(src_shard)].push_back(std::move(fn));
+  }
+
+  /// Earliest pending event over all shards (mailboxes are always empty
+  /// between windows, so this is exact).
+  Time next_time() const;
+  bool idle() const { return next_time() == kTimeInfinity; }
+  /// Latest shard clock — the global "last executed event" time when idle.
+  Time max_now() const;
+  std::uint64_t events_processed() const;
+  /// Advances every shard's clock to a slice boundary (no events run).
+  void sync_now(Time t);
+
+  /// Runs every shard to `bound` (inclusive) in parallel, then commits the
+  /// window: merge allocation logs -> committed sequences -> heap rewrite
+  /// -> component remap hooks -> cut-channel mailbox drains.
+  void run_window(Time bound);
+
+ private:
+  void start_workers();
+  void worker_loop(std::size_t i);
+  void commit_window();
+
+  std::vector<std::unique_ptr<Simulator>> sims_;
+  Time lookahead_ = 0;
+  std::uint64_t global_seq_ = 1;  // mirrors EventQueue's initial next_seq_
+  std::vector<std::vector<ShardSeqAlloc>> logs_;
+  std::vector<std::vector<std::uint64_t>> committed_;
+  std::vector<std::vector<std::function<void(const SeqRemap&)>>> cross_drains_;
+
+  // Barrier state.  window_bound_ is published before the go epoch bump
+  // (release) and read by workers after their acquire load of go_epoch_.
+  std::vector<std::thread> workers_;
+  std::atomic<std::uint64_t> go_epoch_{0};
+  std::atomic<int> done_count_{0};
+  std::atomic<bool> exit_{false};
+  Time window_bound_ = 0;
+};
+
+}  // namespace dcp

@@ -14,21 +14,30 @@ Simulator::Simulator() {
   }
 }
 
+thread_local const Simulator* Simulator::tls_active_ = nullptr;
+
 void Simulator::run(Time until) {
+  const Simulator* outer = tls_active_;
+  tls_active_ = this;
   stopped_ = false;
   while (!stopped_) {
     const Time t = queue_.next_time();
     if (t == kTimeInfinity || t > until) {
       if (t != kTimeInfinity && until != kTimeInfinity) now_ = until;
-      return;
+      break;
     }
     queue_.pop_and_run(now_);
     ++events_processed_;
   }
+  tls_active_ = outer;
 }
 
 bool Simulator::run_one() {
-  if (!queue_.pop_and_run(now_)) return false;
+  const Simulator* outer = tls_active_;
+  tls_active_ = this;
+  const bool ran = queue_.pop_and_run(now_);
+  tls_active_ = outer;
+  if (!ran) return false;
   ++events_processed_;
   return true;
 }

@@ -6,7 +6,9 @@
 // can run side by side in one process.
 
 #include <cstdint>
+#include <functional>
 #include <limits>
+#include <vector>
 
 #include "sim/event_callback.h"
 #include "sim/event_queue.h"
@@ -16,6 +18,18 @@ namespace dcp {
 
 class CheckObserver;
 
+/// Rewrites a provisional (window-local) sequence into its committed
+/// global value; committed sequences pass through unchanged.  Handed to
+/// seq-remap hooks at every shard-window barrier (see sim/shard.h).
+struct SeqRemap {
+  const std::vector<std::uint64_t>* committed = nullptr;
+  std::uint64_t operator()(std::uint64_t s) const {
+    return (s & EventQueue::kProvisionalSeq) != 0
+               ? (*committed)[s & ~EventQueue::kProvisionalSeq]
+               : s;
+  }
+};
+
 class Simulator {
  public:
   Simulator();
@@ -23,6 +37,12 @@ class Simulator {
   Simulator& operator=(const Simulator&) = delete;
 
   Time now() const { return now_; }
+
+  /// The Simulator whose run()/run_one() loop is executing on THIS thread
+  /// (nullptr outside a run loop).  Cross-shard observers (the invariant
+  /// oracle) use it to stamp timestamps with the executing shard's clock —
+  /// reading any other shard's now() from a hook is a data race.
+  static const Simulator* active() { return tls_active_; }
 
   /// Schedules `fn` to run `delay` from now.  Generation-stamped EventIds
   /// make cancelling an already-fired id a harmless no-op, though callers
@@ -82,8 +102,13 @@ class Simulator {
   bool lane_may_run(Time t, std::uint64_t seq) const { return queue_.before_top(t, seq); }
 
   /// Accounts a lane-coalesced delivery so events_processed() matches the
-  /// plain heap (which would have popped one event for it).
-  void note_coalesced_event() { ++events_processed_; }
+  /// plain heap (which would have popped one event for it).  The coalesced
+  /// record's (t, seq) becomes the current event key, so anything it
+  /// allocates logs the right parent in a shard window.
+  void note_coalesced_event(Time t, std::uint64_t seq) {
+    ++events_processed_;
+    queue_.set_current_event(t, seq);
+  }
 
   /// Event-slab capacity (slots ever allocated) — surfaced so CorePerf can
   /// report per-run allocation behaviour alongside events/sec.
@@ -99,8 +124,50 @@ class Simulator {
   CheckObserver* check_observer() const { return check_observer_; }
   void set_check_observer(CheckObserver* ob) { check_observer_ = ob; }
 
+  // --- Space-parallel sharding support (see sim/shard.h) --------------------
+  // A ShardGroup gives every shard its own Simulator but one logical
+  // sequence space; these hooks are inert (and the remap-hook list empty)
+  // in ordinary single-simulator runs.
+
+  /// (time, seq) key of the event currently executing — stamps receiver
+  /// stat journals and window allocation logs.
+  Time current_event_time() const { return queue_.current_event_time(); }
+  std::uint64_t current_event_seq() const { return queue_.current_event_seq(); }
+
+  /// Setup-phase shared sequence counter (nullptr restores the private one).
+  void set_shared_seq(std::uint64_t* shared) { queue_.set_shared_seq(shared); }
+  /// Window-mode entry/exit; see EventQueue::begin_shard_window.
+  void begin_shard_window(std::vector<ShardSeqAlloc>* log) { queue_.begin_shard_window(log); }
+  void end_shard_window(const std::vector<std::uint64_t>& committed) {
+    queue_.end_shard_window(committed);
+  }
+
+  /// Inserts a cross-shard boundary event with its committed (t, seq) key —
+  /// consumed at a window barrier, never during parallel execution.
+  void schedule_cross(Time t, std::uint64_t seq, EventCallback fn) {
+    queue_.push_keyed(t, seq, std::move(fn));
+  }
+
+  /// Registered components holding stamped-but-unfired sequences outside
+  /// the event queue (channel lane records, receiver stat journals, pending
+  /// flow finalizations) rewrite them here at every window barrier.
+  void add_seq_remap_hook(std::function<void(const SeqRemap&)> hook) {
+    remap_hooks_.push_back(std::move(hook));
+  }
+  void run_seq_remap_hooks(const SeqRemap& remap) {
+    for (auto& h : remap_hooks_) h(remap);
+  }
+
+  /// Advances the clock to a window/slice boundary without running events
+  /// (mirrors what run(until) does when the next event lies beyond it).
+  void sync_now(Time t) {
+    if (t > now_) now_ = t;
+  }
+
  private:
   friend class Timer;
+
+  static thread_local const Simulator* tls_active_;
 
   EventQueue queue_;
   Time now_ = 0;
@@ -108,6 +175,7 @@ class Simulator {
   bool stopped_ = false;
   bool use_lanes_ = true;
   CheckObserver* check_observer_ = nullptr;
+  std::vector<std::function<void(const SeqRemap&)>> remap_hooks_;
 };
 
 /// A persistent, self-rescheduling event: the callback is registered once

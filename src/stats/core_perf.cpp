@@ -4,25 +4,35 @@
 #include <cstdio>
 
 #include "net/packet_pool.h"
+#include "sim/shard.h"
 #include "sim/simulator.h"
 
 namespace dcp {
 
 CorePerfTimer::CorePerfTimer(const Simulator& sim)
-    : sim_(sim),
+    : sim_(&sim),
       events_at_start_(sim.events_processed()),
+      pool_acquires_at_start_(PacketPool::local().stats().acquires),
+      wall_start_(std::chrono::steady_clock::now()) {}
+
+CorePerfTimer::CorePerfTimer(const ShardGroup& group)
+    : group_(&group),
+      events_at_start_(group.events_processed()),
       pool_acquires_at_start_(PacketPool::local().stats().acquires),
       wall_start_(std::chrono::steady_clock::now()) {}
 
 CorePerf CorePerfTimer::finish() const {
   const PacketPool::Stats pool = PacketPool::local().stats();
   CorePerf p;
-  p.events_processed = sim_.events_processed() - events_at_start_;
+  const std::uint64_t events =
+      group_ != nullptr ? group_->events_processed() : sim_->events_processed();
+  p.events_processed = events - events_at_start_;
   p.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start_).count();
   p.pool_acquires = pool.acquires - pool_acquires_at_start_;
   p.pool_slots = pool.slots;
-  p.event_slots = sim_.event_slots_allocated();
+  p.event_slots = group_ != nullptr ? group_->sim(0).event_slots_allocated()
+                                    : sim_->event_slots_allocated();
   return p;
 }
 

@@ -14,6 +14,7 @@
 namespace dcp {
 
 class Simulator;
+class ShardGroup;
 
 /// Events processed and wall-clock time of one simulation run, plus the
 /// run's thread-local allocation behaviour (PacketPool handouts and the
@@ -37,12 +38,17 @@ struct CorePerf {
 class CorePerfTimer {
  public:
   explicit CorePerfTimer(const Simulator& sim);
+  /// Group-wide window: events_processed sums over every shard; the pool
+  /// and slab counters remain the caller thread's (shard 0's) view, since
+  /// other shards' pools are thread-local to their workers.
+  explicit CorePerfTimer(const ShardGroup& group);
 
   /// Stops the clock and returns the window's CorePerf.
   CorePerf finish() const;
 
  private:
-  const Simulator& sim_;
+  const Simulator* sim_ = nullptr;
+  const ShardGroup* group_ = nullptr;
   std::uint64_t events_at_start_;
   std::uint64_t pool_acquires_at_start_;
   std::chrono::steady_clock::time_point wall_start_;

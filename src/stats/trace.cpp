@@ -24,7 +24,7 @@ void PacketTracer::record(const Node& node, const Packet& pkt, std::uint32_t in_
   if (filter_ != 0 && pkt.flow != filter_) return;
   if (events_.size() >= cap_) return;
   TraceEvent e;
-  e.t = net_.sim().now();
+  e.t = node.sim().now();  // the node's own shard clock, exact in sharded runs
   e.node = node.id();
   e.node_name = node.name();
   e.in_port = in_port;

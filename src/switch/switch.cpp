@@ -13,7 +13,17 @@ Switch::Switch(Simulator& sim, Logger& log, NodeId id, std::string name, SwitchC
       rng_(seed),
       fault_rng_(Rng::substream(seed, /*tag=*/0xfa017u)),
       flowlets_(cfg.flowlet_gap),
-      buffer_(cfg.buffer_bytes, 0, cfg.pfc) {}
+      buffer_(cfg.buffer_bytes, 0, cfg.pfc) {
+  // Spray/adaptive/flowlet port selection draws from rng_, which would
+  // interleave with (and shift) a prefetched batch; hash-based policies
+  // never touch it, so there the chance() sites can batch safely.
+  batched_draws_ = cfg_.lb == LbPolicy::kEcmp || cfg_.lb == LbPolicy::kSourcePath;
+}
+
+bool Switch::draw_chance(double p) {
+  if (batched_draws_) return chance_buf_.next(rng_.engine()) < p;
+  return rng_.chance(p);
+}
 
 std::uint32_t Switch::add_port(Bandwidth bw, Time propagation) {
   const auto idx = static_cast<std::uint32_t>(ports_.size());
@@ -83,7 +93,7 @@ void Switch::receive(PacketPtr pkt, std::uint32_t in_port) {
   // Forced loss (testbed experiments): the P4 switch trims DCP data packets
   // and plainly drops everything else.
   if (cfg_.inject_loss_rate > 0.0 && pkt->type == PktType::kData &&
-      rng_.chance(cfg_.inject_loss_rate)) {
+      draw_chance(cfg_.inject_loss_rate)) {
     if (cfg_.trimming && pkt->tag == DcpTag::kData) {
       trim_to_header_only(*pkt);
       if (CheckObserver* ob = sim_.check_observer()) ob->on_trim(id(), *pkt);
@@ -121,7 +131,7 @@ bool Switch::ecn_mark_decision(std::uint64_t qbytes) {
   if (qbytes >= cfg_.ecn_kmax_bytes) return true;
   const double span = static_cast<double>(cfg_.ecn_kmax_bytes - cfg_.ecn_kmin_bytes);
   const double p = cfg_.ecn_pmax * static_cast<double>(qbytes - cfg_.ecn_kmin_bytes) / span;
-  return rng_.chance(p);
+  return draw_chance(p);
 }
 
 void Switch::egress_enqueue(PacketPtr pkt, std::uint32_t eport, std::uint32_t in_port) {

@@ -18,6 +18,7 @@
 
 #include "net/node.h"
 #include "net/port.h"
+#include "sim/rng.h"
 #include "switch/buffer.h"
 #include "switch/routing.h"
 #include "switch/scheduler.h"
@@ -124,10 +125,16 @@ class Switch final : public Node {
   void on_port_dequeue(const Packet& pkt);
   bool ecn_mark_decision(std::uint64_t qbytes);
   void trim_to_header_only(Packet& pkt) const;
+  bool draw_chance(double p);
 
   SwitchConfig cfg_;
   Rng rng_;
   Rng fault_rng_;  // dedicated stream: drawn only while a fault rate is armed
+  // Loss-injection / ECN Bernoulli draws come from a prefetched batch when
+  // the LB policy's port selection never draws from rng_ (ECMP, source
+  // routing) — the only case where batching keeps the stream bit-identical.
+  UniformPrefetch chance_buf_;
+  bool batched_draws_ = false;
   std::vector<std::unique_ptr<Port>> ports_;
   std::vector<bool> port_up_;
   bool any_port_down_ = false;

@@ -38,10 +38,17 @@ ClosTopology build_clos(Network& net, ClosParams p) {
     p.sw.pfc.enabled = true;
   }
 
+  // Shard partitioning (no-op at shard_count() == 1): each leaf plus its
+  // hosts forms a contiguous group mapped to one shard, spines spread
+  // round-robin — so every cut edge is a leaf<->spine link and the
+  // lookahead is p.leaf_spine_delay.
+  const int ns = net.shard_count();
   for (int s = 0; s < p.spines; ++s) {
+    net.set_build_shard(s % ns);
     topo.spines.push_back(net.add_switch("spine" + std::to_string(s), p.sw));
   }
   for (int l = 0; l < p.leaves; ++l) {
+    net.set_build_shard(static_cast<int>(static_cast<long long>(l) * ns / p.leaves));
     Switch* leaf = net.add_switch("leaf" + std::to_string(l), p.sw);
     topo.leaves.push_back(leaf);
     for (int h = 0; h < p.hosts_per_leaf; ++h) {
@@ -51,6 +58,7 @@ ClosTopology build_clos(Network& net, ClosParams p) {
       topo.hosts.push_back(host);
     }
   }
+  net.set_build_shard(0);
 
   // Leaf <-> spine full mesh.
   std::vector<std::vector<std::uint32_t>> leaf_uplink(p.leaves);   // [leaf][spine] -> port

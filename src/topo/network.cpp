@@ -1,12 +1,16 @@
 #include "topo/network.h"
 
+#include <algorithm>
 #include <cassert>
+
+#include "check/observer.h"
 
 namespace dcp {
 
 Host* Network::add_host(const std::string& name, Bandwidth nic_bw, Time link_prop) {
-  auto h = std::make_unique<Host>(sim_, log_, next_node_++, name, nic_bw, link_prop);
+  auto h = std::make_unique<Host>(build_sim(), log_, next_node_++, name, nic_bw, link_prop);
   Host* raw = h.get();
+  shard_of_node_.push_back(build_shard_);  // node ids are dense and ordered
   host_by_id_[raw->id()] = raw;
   wire_host_hooks(raw);
   hosts_.push_back(std::move(h));
@@ -15,8 +19,9 @@ Host* Network::add_host(const std::string& name, Bandwidth nic_bw, Time link_pro
 
 Switch* Network::add_switch(const std::string& name, const SwitchConfig& cfg) {
   const NodeId id = next_node_++;
-  auto s = std::make_unique<Switch>(sim_, log_, id, name, cfg, /*seed=*/0x5eedULL + id);
+  auto s = std::make_unique<Switch>(build_sim(), log_, id, name, cfg, /*seed=*/0x5eedULL + id);
   Switch* raw = s.get();
+  shard_of_node_.push_back(build_shard_);
   switches_.push_back(std::move(s));
   return raw;
 }
@@ -44,11 +49,36 @@ void Network::direct_link(Host* a, Host* b) {
 }
 
 void Network::wire_host_hooks(Host* h) {
-  h->on_sender_done = [this](FlowId id) { finalize_flow(id); };
-  h->on_receiver_done = [this](FlowId id) {
+  h->on_sender_done = [this, h](FlowId id) {
+    if (!shard_run_active_) {
+      finalize_flow(id);
+      return;
+    }
+    // Window phase, source shard's thread: snapshot the sender stats at
+    // the exact point the serial finalize would read them and defer the
+    // shared-state mutation to the barrier.
+    Simulator& hs = h->sim();
+    PendingFinalize p;
+    p.id = id;
+    p.t = hs.current_event_time();
+    p.seq = hs.current_event_seq();
+    if (auto* s = h->sender(id)) p.sender = s->stats();
+    pending_fin_[static_cast<std::size_t>(shard_of(h->id()))].push_back(std::move(p));
+  };
+  h->on_receiver_done = [this, h](FlowId id) {
     FlowRecord& rec = record(id);
-    rec.rx_done = sim_.now();
-    for (auto& fn : rx_listeners_) fn(rec);
+    rec.rx_done = h->sim().now();  // h's shard executes this event
+    if (!shard_run_active_) {
+      // A listener may start follow-up flows (collectives), reallocating
+      // records_ — re-fetch the record per call rather than hold `rec`.
+      for (auto& fn : rx_listeners_) fn(record(id));
+      return;
+    }
+    if (!rx_listeners_.empty()) {
+      Simulator& hs = h->sim();
+      pending_rx_[static_cast<std::size_t>(shard_of(h->id()))].push_back(
+          PendingRx{id, hs.current_event_time(), hs.current_event_seq()});
+    }
   };
 }
 
@@ -67,13 +97,16 @@ FlowId Network::start_flow(FlowSpec spec) {
   index_[spec.id] = records_.size();
   records_.push_back(rec);
 
-  dst->add_receiver(factory_->make_receiver(sim_, *dst, spec, tcfg_));
-  src->add_sender(factory_->make_sender(sim_, *src, spec, tcfg_));
+  // Transports must live on their host's shard: their timers go into that
+  // shard's queue and their clock reads must see that shard's now().
+  dst->add_receiver(factory_->make_receiver(dst->sim(), *dst, spec, tcfg_));
+  src->add_sender(factory_->make_sender(src->sim(), *src, spec, tcfg_));
 
   SenderTransport* snd = src->sender(spec.id);
   // Far event: with staggered arrivals hundreds of starts sit pending for
-  // most of the run; parking them keeps the packet heap shallow.
-  sim_.schedule_at_far(spec.start_time, [snd] { snd->start(); });
+  // most of the run; parking them keeps the packet heap shallow.  The
+  // start runs on the source host's shard (== sim_ in serial builds).
+  src->sim().schedule_at_far(spec.start_time, [snd] { snd->start(); });
   return spec.id;
 }
 
@@ -86,8 +119,10 @@ void Network::finalize_flow(FlowId id) {
   if (auto* s = src->sender(id)) rec.sender = s->stats();
   if (auto* r = dst->receiver(id)) rec.receiver = r->stats();
   ++completed_;
-  if (on_flow_complete) on_flow_complete(rec);
-  for (auto& fn : tx_listeners_) fn(rec);
+  // Callbacks may start follow-up flows (collectives), reallocating
+  // records_ — re-fetch the record per call rather than hold `rec`.
+  if (on_flow_complete) on_flow_complete(record(id));
+  for (auto& fn : tx_listeners_) fn(record(id));
 }
 
 Host* Network::host(NodeId id) {
@@ -113,12 +148,161 @@ Time Network::ideal_fct(NodeId src, NodeId dst, std::uint64_t bytes) const {
 }
 
 void Network::run_until_done(Time max_time) {
+  if (shards_ != nullptr && shards_->sharded()) {
+    run_until_done_sharded(max_time);
+    return;
+  }
   // Run in slices so we can stop as soon as all flows complete.
   const Time slice = std::max<Time>(microseconds(100), max_time / 10000);
   while (!all_flows_done() && sim_.now() < max_time) {
     const Time next = std::min(max_time, sim_.now() + slice);
     sim_.run(next);
     if (sim_.idle()) break;
+  }
+}
+
+void Network::set_check_observer_all(CheckObserver* ob) {
+  if (shards_ != nullptr) {
+    for (int i = 0; i < shards_->size(); ++i) shards_->sim(i).set_check_observer(ob);
+  } else {
+    sim_.set_check_observer(ob);
+  }
+}
+
+void Network::finalize_shards() {
+  if (shards_finalized_) return;
+  shards_finalized_ = true;
+  const int n = shards_->size();
+  pending_fin_.resize(static_cast<std::size_t>(n));
+  pending_rx_.resize(static_cast<std::size_t>(n));
+
+  // Window-provisional stamps held outside the event heaps: pending
+  // finalizations/rx notifications and receiver-stat journals.
+  for (int i = 0; i < n; ++i) {
+    shards_->sim(i).add_seq_remap_hook([this, i](const SeqRemap& remap) {
+      for (auto& p : pending_fin_[static_cast<std::size_t>(i)]) p.seq = remap(p.seq);
+      for (auto& p : pending_rx_[static_cast<std::size_t>(i)]) p.seq = remap(p.seq);
+    });
+  }
+  for (auto& h : hosts_) {
+    h->enable_stat_journal();
+    Host* hp = h.get();
+    hp->sim().add_seq_remap_hook(
+        [hp](const SeqRemap& remap) { hp->remap_stat_journal(remap); });
+  }
+
+  // Classify every channel: a channel whose endpoints live on different
+  // shards becomes a mailbox edge (and contributes to the lookahead); a
+  // same-shard channel only needs its lane stamps committed at barriers.
+  Time min_cut = kTimeInfinity;
+  auto wire = [&](Channel& ch, int src_shard) {
+    Node* peer = ch.peer();
+    if (peer == nullptr) {
+      ch.enable_shard_mode(nullptr);
+      return;
+    }
+    const int dst_shard = shard_of(peer->id());
+    if (dst_shard == src_shard) {
+      ch.enable_shard_mode(nullptr);
+      return;
+    }
+    ch.enable_shard_mode(&shards_->sim(dst_shard));
+    shards_->add_cross_drain(src_shard,
+                             [&ch](const SeqRemap& remap) { ch.drain_cross(remap); });
+    if (ch.propagation() < min_cut) min_cut = ch.propagation();
+  };
+  for (auto& h : hosts_) wire(h->nic().channel(), shard_of(h->id()));
+  for (auto& s : switches_) {
+    const int ss = shard_of(s->id());
+    for (std::uint32_t p = 0; p < s->num_ports(); ++p) wire(s->port(p).channel(), ss);
+  }
+  // Conservative sync needs strictly positive lookahead; every supported
+  // cut (leaf-spine and testbed cross links) has >= 1us propagation.  A
+  // partition with no cut at all runs plain slice-bounded windows.
+  assert(min_cut == kTimeInfinity || min_cut > 0);
+  shards_->set_lookahead(min_cut == kTimeInfinity ? milliseconds(1) : min_cut);
+  shard_run_active_ = true;
+}
+
+void Network::finalize_flow_at(const PendingFinalize& p) {
+  FlowRecord& rec = record(p.id);
+  if (rec.tx_done >= 0) return;
+  rec.tx_done = p.t;
+  rec.sender = p.sender;
+  Host* dst = host_by_id_.at(rec.spec.dst);
+  rec.receiver = dst->journal_stats_at(p.id, p.t, p.seq);
+  ++completed_;
+  // Same re-fetch discipline as finalize_flow: callbacks can grow records_.
+  if (on_flow_complete) on_flow_complete(record(p.id));
+  for (auto& fn : tx_listeners_) fn(record(p.id));
+}
+
+void Network::commit_window_effects() {
+  // Gather the per-shard pending lists and apply them in committed
+  // (t, seq) order — the order the serial run would have fired them in.
+  std::vector<PendingFinalize> fins;
+  std::vector<PendingRx> rxs;
+  for (auto& v : pending_fin_) {
+    fins.insert(fins.end(), v.begin(), v.end());
+    v.clear();
+  }
+  for (auto& v : pending_rx_) {
+    rxs.insert(rxs.end(), v.begin(), v.end());
+    v.clear();
+  }
+  if (fins.empty() && rxs.empty()) return;
+  auto before = [](Time at, std::uint64_t as, Time bt, std::uint64_t bs) {
+    return at != bt ? at < bt : as < bs;
+  };
+  std::sort(fins.begin(), fins.end(), [&](const PendingFinalize& a, const PendingFinalize& b) {
+    return before(a.t, a.seq, b.t, b.seq);
+  });
+  std::sort(rxs.begin(), rxs.end(), [&](const PendingRx& a, const PendingRx& b) {
+    return before(a.t, a.seq, b.t, b.seq);
+  });
+  std::size_t fi = 0;
+  std::size_t ri = 0;
+  while (fi < fins.size() || ri < rxs.size()) {
+    const bool take_rx =
+        fi == fins.size() ||
+        (ri < rxs.size() && before(rxs[ri].t, rxs[ri].seq, fins[fi].t, fins[fi].seq));
+    if (take_rx) {
+      for (auto& fn : rx_listeners_) fn(record(rxs[ri].id));
+      ++ri;
+    } else {
+      finalize_flow_at(fins[fi]);
+      ++fi;
+    }
+  }
+  // Any finalize key still to come lies in a strictly later window, so
+  // only each flow's latest journal entry can ever be looked up again.
+  for (auto& h : hosts_) h->prune_stat_journal();
+}
+
+void Network::run_until_done_sharded(Time max_time) {
+  finalize_shards();
+  const Time slice = std::max<Time>(microseconds(100), max_time / 10000);
+  const Time look = shards_->lookahead();
+  while (!all_flows_done() && sim_.now() < max_time) {
+    const Time boundary = std::min(max_time, sim_.now() + slice);
+    bool drained = false;
+    for (;;) {
+      const Time tn = shards_->next_time();
+      if (tn == kTimeInfinity) {
+        drained = true;
+        break;
+      }
+      if (tn > boundary) break;
+      shards_->run_window(std::min(boundary, tn + look - 1));
+      commit_window_effects();
+    }
+    if (drained) {
+      // Serial semantics: an idle break leaves the clock at the last
+      // executed event; across shards that is the latest shard clock.
+      sim_.sync_now(shards_->max_now());
+      break;
+    }
+    shards_->sync_now(boundary);
   }
 }
 

@@ -13,6 +13,7 @@
 #include "host/host.h"
 #include "host/transport.h"
 #include "net/packet.h"
+#include "sim/shard.h"
 #include "switch/switch.h"
 
 namespace dcp {
@@ -39,6 +40,11 @@ struct FlowRecord {
 class Network {
  public:
   Network(Simulator& sim, Logger& log) : sim_(sim), log_(log) {}
+  /// Shard-aware construction: nodes are created on the shard selected by
+  /// set_build_shard() and the run loop advances the group in lookahead
+  /// windows.  A group of size 1 is bit-for-bit the serial path.
+  Network(ShardGroup& shards, Logger& log)
+      : sim_(shards.sim(0)), log_(log), shards_(&shards) {}
 
   // ---- Construction -----------------------------------------------------
   Host* add_host(const std::string& name, Bandwidth nic_bw, Time link_prop);
@@ -88,6 +94,19 @@ class Network {
   Simulator& sim() { return sim_; }
   Logger& log() { return log_; }
 
+  // ---- Space-parallel sharding (see sim/shard.h) ------------------------
+  /// The group driving this network, or nullptr for plain construction.
+  ShardGroup* shard_group() { return shards_; }
+  /// Number of shards nodes may be assigned to (1 without a group).
+  int shard_count() const { return shards_ != nullptr ? shards_->size() : 1; }
+  /// Topology builders select the shard subsequent nodes are created on.
+  void set_build_shard(int s) {
+    build_shard_ = (shards_ != nullptr && s >= 0 && s < shards_->size()) ? s : 0;
+  }
+  int shard_of(NodeId id) const { return shard_of_node_[id]; }
+  /// Arms the observer on every shard's simulator (serial: just sim()).
+  void set_check_observer_all(CheckObserver* ob);
+
   /// Path metadata for ideal-FCT; installed by topology builders.
   std::function<PathInfo(NodeId, NodeId)> path_info;
 
@@ -104,9 +123,42 @@ class Network {
  private:
   void wire_host_hooks(Host* h);
   void finalize_flow(FlowId id);
+  Simulator& build_sim() { return shards_ != nullptr ? shards_->sim(build_shard_) : sim_; }
+
+  /// One sender-done observed during a window, finalized at the barrier.
+  /// The sender's stats are snapshotted HERE (at the exact serial read
+  /// point — later events in the window must not leak in); the receiver's
+  /// come from the destination host's journal at the same key.
+  struct PendingFinalize {
+    FlowId id = 0;
+    Time t = 0;
+    std::uint64_t seq = 0;
+    SenderStats sender;
+  };
+  struct PendingRx {
+    FlowId id = 0;
+    Time t = 0;
+    std::uint64_t seq = 0;
+  };
+
+  /// Lazily flips the network into sharded-run mode: locates cut channels,
+  /// computes the lookahead, arms journals and remap hooks.
+  void finalize_shards();
+  /// Barrier step: finalize pending flows in serial order, fire deferred
+  /// rx listeners, prune journals.
+  void commit_window_effects();
+  void run_until_done_sharded(Time max_time);
+  void finalize_flow_at(const PendingFinalize& p);
 
   Simulator& sim_;
   Logger& log_;
+  ShardGroup* shards_ = nullptr;
+  int build_shard_ = 0;
+  std::vector<int> shard_of_node_;
+  bool shards_finalized_ = false;
+  bool shard_run_active_ = false;
+  std::vector<std::vector<PendingFinalize>> pending_fin_;  // [shard], own thread only
+  std::vector<std::vector<PendingRx>> pending_rx_;         // [shard], own thread only
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<Switch>> switches_;
   std::unordered_map<NodeId, Host*> host_by_id_;

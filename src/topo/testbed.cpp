@@ -8,15 +8,23 @@ TestbedTopology build_testbed(Network& net, TestbedParams p) {
   TestbedTopology topo;
   topo.params = p;
 
+  // Two natural shards (no-op when shard_count() == 1): each switch and
+  // its hosts on one side, the cross links forming the cut.
+  const int sw2_shard = net.shard_count() > 1 ? 1 : 0;
+  net.set_build_shard(0);
   topo.sw1 = net.add_switch("sw1", p.sw);
+  net.set_build_shard(sw2_shard);
   topo.sw2 = net.add_switch("sw2", p.sw);
 
   for (int i = 0; i < 2 * p.hosts_per_switch; ++i) {
-    Switch* sw = i < p.hosts_per_switch ? topo.sw1 : topo.sw2;
+    const bool side1 = i < p.hosts_per_switch;
+    Switch* sw = side1 ? topo.sw1 : topo.sw2;
+    net.set_build_shard(side1 ? 0 : sw2_shard);
     Host* h = net.add_host("h" + std::to_string(i), p.host_link, p.host_link_delay);
     net.attach(h, sw, p.host_link, p.host_link_delay);
     topo.hosts.push_back(h);
   }
+  net.set_build_shard(0);
 
   std::vector<std::uint32_t> sw1_cross, sw2_cross;
   for (const Bandwidth bw : p.cross_links) {
