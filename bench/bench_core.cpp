@@ -22,6 +22,7 @@
 #include "net/channel.h"
 #include "sim/event_queue.h"
 #include "stats/core_perf.h"
+#include "switch/switch.h"
 #include "topo/network.h"
 
 namespace {
@@ -81,6 +82,65 @@ CorePerf micro_lane_burst(bool lanes, int rounds, int burst) {
       p.wire_bytes = 1000;
       p.payload_bytes = 1000;
       ch.deliver(p, static_cast<Time>(i + 1) * ser);
+    }
+    sim.run();
+  }
+  CorePerf p;
+  p.events_processed = sim.events_processed();
+  p.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return p;
+}
+
+/// One switch hop under a mixed data/ACK/header-only stream — the path the
+/// static-dispatch + hot/cold-split work targets.  A 4:1-oversubscribed
+/// ingress wire feeds one egress port, so the data queue builds past the
+/// (shallow) trim threshold and every receive outcome runs: classification,
+/// ECMP-cache hit, data enqueue, trim-to-HO, control-queue enqueue, and
+/// over-threshold ACK drop.  With `devirt` the channel static-dispatches
+/// into Switch::receive_fast; without it every arrival takes the virtual
+/// Node::receive hop.  The (t, seq) stream is identical either way, so the
+/// two runs process the same event count and the ratio is the dispatch win.
+CorePerf micro_switch_receive(bool devirt, int rounds, int burst) {
+  Simulator sim;
+  sim.set_use_devirt(devirt);
+  Logger log(LogLevel::kOff);
+  BenchSink sink(sim, log);
+
+  SwitchConfig cfg;
+  cfg.trimming = true;
+  cfg.trim_threshold_bytes = 64 * 1024;  // shallow: trims start mid-burst
+  Switch sw(sim, log, /*id=*/1, "sw", cfg, /*seed=*/42);
+  const std::uint32_t out = sw.add_port(Bandwidth::gbps(100), microseconds(1));
+  sw.connect(out, &sink, 0);
+  const NodeId kDst = 9;
+  sw.routes().add_route(kDst, out);
+
+  Channel in(sim, Bandwidth::gbps(400), microseconds(1));  // 4:1 oversubscription
+  in.connect(&sw, 0);
+  const Time ser = in.serialization(1000);
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < rounds; ++r) {
+    for (int i = 0; i < burst; ++i) {
+      Packet p;
+      p.dst = kDst;
+      p.flow = static_cast<FlowId>(i % 32);  // a few flows: the route cache engages
+      if (i % 8 == 7) {  // returning DCP ACK (dropped when over threshold)
+        p.type = PktType::kAck;
+        p.tag = DcpTag::kAck;
+        p.wire_bytes = HeaderSizes::kDcpAck;
+      } else if (i % 8 == 3) {  // already-trimmed HO from an upstream hop
+        p.type = PktType::kHeaderOnly;
+        p.tag = DcpTag::kHeaderOnly;
+        p.queue_class = QueueClass::kControl;
+        p.wire_bytes = HeaderSizes::kDcpHeaderOnly;
+      } else {  // DCP data (trimmed, not dropped, above threshold)
+        p.type = PktType::kData;
+        p.tag = DcpTag::kData;
+        p.wire_bytes = 1000;
+        p.payload_bytes = 1000 - HeaderSizes::kDcpHeaderOnly;
+      }
+      in.deliver(p, static_cast<Time>(i + 1) * ser);
     }
     sim.run();
   }
@@ -275,6 +335,27 @@ int run_check(const char* json_path) {
               got / 1e6, committed / 1e6, floor / 1e6, got >= floor ? "OK" : "REGRESSION");
   if (got < floor) return 1;
 
+  // Switch-datapath micro: short (so noisier than the macro), hence the
+  // wider 0.70x floor — still tight enough that losing the static dispatch
+  // or fattening PacketHot past a cache line shows up.  Skipped (with a
+  // note) against committed files that predate the entry.
+  const double sw_committed = json_metric(ss.str(), "micro_switch_receive", "events_per_sec");
+  if (sw_committed > 0.0) {
+    CorePerf sw = micro_switch_receive(/*devirt=*/true, /*rounds=*/1500, /*burst=*/512);
+    for (int i = 1; i < 3; ++i) {
+      sw = min_wall(sw, micro_switch_receive(/*devirt=*/true, 1500, 512));
+    }
+    const double sw_floor = 0.70 * sw_committed;
+    const double sw_got = sw.events_per_sec();
+    std::printf("perf-check micro_switch_receive: fresh %.3gM ev/s vs committed %.3gM "
+                "(floor 0.70x = %.3gM) -> %s\n",
+                sw_got / 1e6, sw_committed / 1e6, sw_floor / 1e6,
+                sw_got >= sw_floor ? "OK" : "REGRESSION");
+    if (sw_got < sw_floor) return 1;
+  } else {
+    std::printf("perf-check micro_switch_receive: skipped (no committed entry)\n");
+  }
+
   // Sharded gate: only meaningful where the two shard workers get real
   // cores.  On >= 4 hardware threads the sharded macro must beat serial
   // by > 1.5x (single trial); below that the windows time-slice one core
@@ -307,6 +388,12 @@ int main(int argc, char** argv) {
   const CorePerf lane_on = micro_lane_burst(/*lanes=*/true, /*rounds=*/2000, /*burst=*/512);
   const CorePerf lane_off = micro_lane_burst(/*lanes=*/false, 2000, 512);
   entries.push_back({"micro_lane_vs_heap", lane_on, lane_off.events_per_sec()});
+  // Static vs virtual dispatch on the single-switch datapath: the entry's
+  // perf is the devirtualized run; the "seed" column carries the virtual-hop
+  // run of the identical stream, so speedup_vs_seed is the dispatch win.
+  const CorePerf swrecv_on = micro_switch_receive(/*devirt=*/true, /*rounds=*/1500, /*burst=*/512);
+  const CorePerf swrecv_off = micro_switch_receive(/*devirt=*/false, 1500, 512);
+  entries.push_back({"micro_switch_receive", swrecv_on, swrecv_off.events_per_sec()});
   // The armed-vs-unarmed delta is a few percent — smaller than scheduler
   // noise on a loaded host — so the pair is sampled interleaved (drift hits
   // both sides alike) and each entry keeps its best-of-3 wall clock.
@@ -324,7 +411,11 @@ int main(int argc, char** argv) {
   // core, where the windows serialize onto a single thread).
   CorePerf macro_sharded = macro_websearch_sharded(2);
   for (int i = 1; i < 3; ++i) macro_sharded = min_wall(macro_sharded, macro_websearch_sharded(2));
-  entries.push_back({"macro_websearch_sharded", macro_sharded, macro_unarmed.events_per_sec()});
+  CorePerfEntry sharded_entry{"macro_websearch_sharded", macro_sharded,
+                              macro_unarmed.events_per_sec()};
+  sharded_entry.shards = 2;
+  sharded_entry.hardware_threads = std::thread::hardware_concurrency();
+  entries.push_back(sharded_entry);
   entries.push_back({"harness_run_websearch", harness_websearch(), 0.0});
 
   for (const CorePerfEntry& e : entries) {

@@ -4,22 +4,26 @@
 
 namespace dcp {
 
-void Host::receive(PacketPtr pkt, std::uint32_t in_port) {
+void Host::receive_fast(PacketPtr pkt, std::uint32_t in_port) {
   maybe_trace(*pkt, in_port);
   (void)in_port;
   if (pkt->type == PktType::kPfcPause || pkt->type == PktType::kPfcResume) {
     nic_.set_paused(pkt->type == PktType::kPfcPause);
     return;
   }
-  if (CheckObserver* ob = sim_.check_observer()) ob->on_host_deliver(id(), *pkt);
 
-  // End of the pooled path: the transport state machines take the packet
-  // by value (one final move out of the pool slot).
-  const FlowId flow = pkt->flow;
-  switch (pkt->type) {
+  // End of the pooled path: gather the flat packet (the delivery's one
+  // cold-record read), return the slot, and hand the value to the
+  // transport state machines.
+  Packet flat(*pkt);
+  pkt.reset();
+  if (CheckObserver* ob = sim_.check_observer()) ob->on_host_deliver(id(), flat);
+
+  const FlowId flow = flat.flow;
+  switch (flat.type) {
     case PktType::kData: {
       if (auto* r = receiver(flow)) {
-        r->on_packet(std::move(*pkt));
+        r->on_packet(std::move(flat));
         if (journal_on_) journal_receiver_stats(flow);
         return;
       }
@@ -30,7 +34,7 @@ void Host::receive(PacketPtr pkt, std::uint32_t in_port) {
     case PktType::kNack:
     case PktType::kCnp: {
       if (auto* s = sender(flow)) {
-        s->on_packet(std::move(*pkt));
+        s->on_packet(std::move(flat));
         return;
       }
       break;
@@ -39,12 +43,12 @@ void Host::receive(PacketPtr pkt, std::uint32_t in_port) {
       // First leg (switch -> receiver): the receiver bounces it back.
       // Second leg (receiver -> sender): drives HO-based retransmission.
       if (auto* r = receiver(flow)) {
-        r->on_packet(std::move(*pkt));
+        r->on_packet(std::move(flat));
         if (journal_on_) journal_receiver_stats(flow);
         return;
       }
       if (auto* s = sender(flow)) {
-        s->on_packet(std::move(*pkt));
+        s->on_packet(std::move(flat));
         return;
       }
       break;
@@ -53,7 +57,7 @@ void Host::receive(PacketPtr pkt, std::uint32_t in_port) {
       break;
   }
   if (CheckObserver* ob = sim_.check_observer()) {
-    ob->on_drop(DropSite::kHostUnroutable, id(), *pkt);
+    ob->on_drop(DropSite::kHostUnroutable, id(), flat);
   }
   unroutable_++;
 }

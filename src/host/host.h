@@ -18,13 +18,21 @@ class Host final : public Node {
  public:
   Host(Simulator& sim, Logger& log, NodeId id, std::string name, Bandwidth nic_bw,
        Time link_propagation)
-      : Node(sim, log, id, std::move(name)), nic_(sim, nic_bw, link_propagation) {}
+      : Node(sim, log, id, std::move(name), NodeKind::kHost),
+        nic_(sim, nic_bw, link_propagation) {}
 
   RnicScheduler& nic() { return nic_; }
   void connect(Node* sw, std::uint32_t sw_port) { nic_.channel().connect(sw, sw_port); }
 
   using Node::receive;
-  void receive(PacketPtr pkt, std::uint32_t in_port) override;
+  /// Virtual path (DCP_DEVIRT=0 / custom callers): same body as the
+  /// statically-dispatched entry, so outputs are bit-identical.
+  void receive(PacketPtr pkt, std::uint32_t in_port) override { receive_fast(std::move(pkt), in_port); }
+  /// Statically-dispatched delivery entry (Channel::dispatch_receive casts
+  /// to the final type and calls this non-virtually).  Gathers the flat
+  /// packet once — the cold record's only read on the delivery path — and
+  /// hands it to the transport state machines by value.
+  void receive_fast(PacketPtr pkt, std::uint32_t in_port);
 
   void add_sender(std::unique_ptr<SenderTransport> s);
   void add_receiver(std::unique_ptr<ReceiverTransport> r);

@@ -4,8 +4,31 @@
 #include <cassert>
 
 #include "check/observer.h"
+// The two concrete datapath endpoints, for the static dispatch in
+// dispatch_receive (both are final; their receive_fast entries are
+// header-visible so switch classification inlines into delivery).
+#include "host/host.h"
+#include "switch/switch.h"
 
 namespace dcp {
+
+void Channel::dispatch_receive(PacketPtr p, Simulator& sim) {
+  // `sim` is the simulator executing this arrival (the destination shard's
+  // on cut edges); DCP_DEVIRT is process-wide, so every shard agrees.
+  if (sim.use_devirt()) {
+    switch (dst_kind_) {
+      case NodeKind::kSwitch:
+        static_cast<Switch*>(dst_)->receive_fast(std::move(p), dst_port_);
+        return;
+      case NodeKind::kHost:
+        static_cast<Host*>(dst_)->receive_fast(std::move(p), dst_port_);
+        return;
+      case NodeKind::kOther:
+        break;  // test sinks / tools: only the virtual hop exists
+    }
+  }
+  dst_->receive(std::move(p), dst_port_);
+}
 
 Channel::~Channel() {
   // Drain parked records so their packet slots return to the pool.  The
@@ -19,10 +42,7 @@ Channel::~Channel() {
   }
 }
 
-void Channel::deliver(PacketPtr pkt, Time extra) {
-  // `extra` is the caller's serialization backlog; a negative value would
-  // deliver before the wire was even driven.
-  assert(extra >= 0 && "Channel::deliver called with negative extra time");
+void Channel::deliver_slow(PacketPtr pkt, Time extra) {
   if (!up_) {
     if (CheckObserver* ob = sim_.check_observer()) {
       ob->on_drop(DropSite::kWireDown, kInvalidNode, *pkt);
@@ -104,23 +124,12 @@ void Channel::arrive(PacketPtr p, std::uint32_t epoch, bool corrupt) {
     if (fault_ != nullptr) fault_->corrupted++;
     return;
   }
-  dst_->receive(std::move(p), dst_port_);
+  dispatch_receive(std::move(p), sim_);
 }
 
-void Channel::lane_insert(LaneRecord* r) {
-  ++lane_len_;
-  if (lane_head_ == nullptr) {
-    lane_head_ = lane_tail_ = r;
-    lane_timer_.arm_keyed_abs(r->t, r->seq);
-    return;
-  }
-  if (lane_tail_->t <= r->t) {
-    // FIFO fast path: queue-driven traffic arrives in serialization order,
-    // and at equal times r's fresher sequence number keeps it behind.
-    lane_tail_->next = r;
-    lane_tail_ = r;
-    return;
-  }
+void Channel::lane_insert_ooo(LaneRecord* r) {
+  // Reached only from lane_insert's inline fast paths: the lane is
+  // non-empty and r lands strictly before the tail.
   if (r->t < lane_head_->t) {
     // An out-of-band frame (PFC PAUSE via Port::send_oob) overtaking the
     // in-flight backlog: new head, so the heap mirror must be re-keyed.
@@ -224,7 +233,7 @@ void Channel::cross_arrive_next() {
     if (fault_ != nullptr) fault_->corrupted++;
     return;
   }
-  dst_->receive(std::move(p), dst_port_);
+  dispatch_receive(std::move(p), *cross_dst_sim_);
 }
 
 std::size_t Channel::lane_doomed_pending() const {

@@ -17,10 +17,12 @@
 // scheduler").  DCP_LANES=0 (or Simulator::set_use_lanes(false)) selects
 // the plain one-event-per-packet path.
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
 
+#include "check/observer.h"
 #include "net/lane.h"
 #include "net/node.h"
 #include "net/packet.h"
@@ -69,6 +71,10 @@ class Channel {
   void connect(Node* dst, std::uint32_t dst_port) {
     dst_ = dst;
     dst_port_ = dst_port;
+    // Wiring-time resolution of the endpoint's concrete type: delivery
+    // static-dispatches on this tag (see dispatch_receive) so the switch
+    // classification inlines into the arrival path.
+    dst_kind_ = dst->kind();
   }
 
   Bandwidth bandwidth() const { return bw_; }
@@ -80,8 +86,28 @@ class Channel {
   /// Schedules delivery of `pkt` at the far end, `extra` (typically the
   /// serialization time) plus the propagation delay from now.  The pooled
   /// handle rides inside a lane record (or the event inline on the plain
-  /// path) — no per-hop allocation or Packet copy.
-  void deliver(PacketPtr pkt, Time extra);
+  /// path) — no per-hop allocation or Packet copy.  Inline: this is the
+  /// per-hop injection point (once per transmit from Port and the RNIC).
+  void deliver(PacketPtr pkt, Time extra) {
+    // `extra` is the caller's serialization backlog; a negative value would
+    // deliver before the wire was even driven.
+    assert(extra >= 0 && "Channel::deliver called with negative extra time");
+    if (!up_ || (fault_ != nullptr && fault_->active()) || cross_dst_sim_ != nullptr ||
+        !sim_.use_lanes()) {
+      deliver_slow(std::move(pkt), extra);
+      return;
+    }
+    delivered_packets_++;
+    delivered_bytes_ += pkt->wire_bytes;
+    LaneRecord* r = LanePool::local().acquire();
+    r->t = sim_.now() + extra + propagation_;
+    r->seq = sim_.alloc_event_seq();
+    r->pkt = pkt.release_raw();
+    r->next = nullptr;
+    r->epoch = cut_epoch_;
+    r->corrupt = false;
+    lane_insert(r);
+  }
   void deliver(Packet pkt, Time extra) { deliver(PacketPtr::make(std::move(pkt)), extra); }
 
   /// A downed channel discards everything handed to it (cut fiber).
@@ -137,10 +163,34 @@ class Channel {
   std::size_t cross_pending() const { return outbox_.size() + inbox_.size(); }
 
  private:
+  /// Everything deliver()'s fast path punts on: downed wire, active fault
+  /// state (drop/corrupt/blackhole draws), cross-shard cut edges and the
+  /// DCP_LANES=0 plain path.
+  void deliver_slow(PacketPtr pkt, Time extra);
   /// Far-end arrival: shared by the lane head firing and the plain-path
   /// closure, so both modes run the identical drop/corrupt/receive logic.
   void arrive(PacketPtr p, std::uint32_t epoch, bool corrupt);
-  void lane_insert(LaneRecord* r);
+  /// Hands the packet to the endpoint: a {kind, ptr} static dispatch to
+  /// the final receive_fast entries, or the virtual Node::receive hop when
+  /// devirtualization is off (DCP_DEVIRT=0) or the peer is a custom node.
+  void dispatch_receive(PacketPtr p, Simulator& sim);
+  void lane_insert(LaneRecord* r) {
+    ++lane_len_;
+    if (lane_head_ == nullptr) {
+      lane_head_ = lane_tail_ = r;
+      lane_timer_.arm_keyed_abs(r->t, r->seq);
+      return;
+    }
+    if (lane_tail_->t <= r->t) {
+      // FIFO fast path: queue-driven traffic arrives in serialization order,
+      // and at equal times r's fresher sequence number keeps it behind.
+      lane_tail_->next = r;
+      lane_tail_ = r;
+      return;
+    }
+    lane_insert_ooo(r);
+  }
+  void lane_insert_ooo(LaneRecord* r);
   void fire_lane();
   void cross_arrive_next();
 
@@ -149,6 +199,7 @@ class Channel {
   Time propagation_;
   Node* dst_ = nullptr;
   std::uint32_t dst_port_ = 0;
+  NodeKind dst_kind_ = NodeKind::kOther;
   bool up_ = true;
   bool drop_in_flight_on_cut_ = false;
   std::uint32_t cut_epoch_ = 0;  // bumped by drop-in-flight cuts

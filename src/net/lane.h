@@ -24,12 +24,12 @@
 namespace dcp {
 
 /// One in-flight packet parked in a channel's delivery lane.  The record
-/// owns its Packet slot (taken from PacketPtr via release_raw) until the
+/// owns its pooled slot (taken from PacketPtr via release_raw) until the
 /// lane fires or drains it.
 struct LaneRecord {
-  Time t = 0;             // absolute delivery time at the far end
-  std::uint64_t seq = 0;  // global tie-break, stamped at deliver() time
-  Packet* pkt = nullptr;  // pooled packet (owned while parked)
+  Time t = 0;                // absolute delivery time at the far end
+  std::uint64_t seq = 0;     // global tie-break, stamped at deliver() time
+  PacketHot* pkt = nullptr;  // pooled packet (owned while parked)
   LaneRecord* next = nullptr;
   std::uint32_t epoch = 0;  // channel cut_epoch_ at send; mismatch = doomed
   bool corrupt = false;     // CRC failure decided at send, applied at arrival

@@ -13,16 +13,22 @@
 
 namespace dcp {
 
+/// Concrete datapath type of a Node, cached by Channel at connect() time
+/// so delivery can static-dispatch to Switch/Host::receive_fast instead of
+/// the virtual hop (kOther — test sinks, tools — keeps the virtual path).
+enum class NodeKind : std::uint8_t { kOther = 0, kHost = 1, kSwitch = 2 };
+
 class Node {
  public:
   Node(Simulator& sim, Logger& log, NodeId id, std::string name)
-      : sim_(sim), log_(log), id_(id), name_(std::move(name)) {}
+      : Node(sim, log, id, std::move(name), NodeKind::kOther) {}
   virtual ~Node() = default;
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
 
   NodeId id() const { return id_; }
   const std::string& name() const { return name_; }
+  NodeKind kind() const { return kind_; }
   /// The simulator driving this node — in a sharded run, the node's shard.
   Simulator& sim() { return sim_; }
   const Simulator& sim() const { return sim_; }
@@ -45,8 +51,16 @@ class Node {
   std::function<void(const Node&, const Packet&, std::uint32_t)> trace_hook;
 
  protected:
+  Node(Simulator& sim, Logger& log, NodeId id, std::string name, NodeKind kind)
+      : sim_(sim), log_(log), id_(id), name_(std::move(name)), kind_(kind) {}
+
   void maybe_trace(const Packet& pkt, std::uint32_t in_port) const {
     if (trace_hook) trace_hook(*this, pkt, in_port);
+  }
+  /// Hot-path variant: the flat gather happens only once a hook is
+  /// actually installed.
+  void maybe_trace(const PacketHot& pkt, std::uint32_t in_port) const {
+    if (trace_hook) trace_hook(*this, Packet(pkt), in_port);
   }
 
   Simulator& sim_;
@@ -55,6 +69,7 @@ class Node {
  private:
   NodeId id_;
   std::string name_;
+  NodeKind kind_ = NodeKind::kOther;
 };
 
 }  // namespace dcp

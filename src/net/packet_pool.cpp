@@ -15,20 +15,31 @@ PacketPool::~PacketPool() {
   // outlive this thread.  A never-grown pool has nothing to donate, and
   // skipping the call keeps process exit from constructing the store.
   if (chunks_.empty() && free_.empty()) return;
-  RetiredSlabs<Packet>::instance().donate(std::move(chunks_), std::move(free_));
+  RetiredSlabs<PacketHot>::instance().donate(std::move(chunks_), std::move(free_));
+  // The cold slabs are reached only through hot slots' cold_slot pointers;
+  // park them in their own store so the pairings stay valid for the life
+  // of the process (no free slots of their own to offer).
+  if (!cold_chunks_.empty()) {
+    RetiredSlabs<PacketCold>::instance().donate(std::move(cold_chunks_), {});
+  }
 }
 
 void PacketPool::grow() {
-  const std::size_t got = RetiredSlabs<Packet>::instance().reclaim(free_, kChunkPackets);
+  // Retired hot slots arrive with their cold_slot pairing intact (the
+  // paired cold slabs are parked alive in the cold retired store).
+  const std::size_t got = RetiredSlabs<PacketHot>::instance().reclaim(free_, kChunkPackets);
   if (got > 0) {
     reclaimed_ += got;
     return;
   }
-  chunks_.push_back(std::make_unique<Packet[]>(kChunkPackets));
-  Packet* base = chunks_.back().get();
+  chunks_.push_back(std::make_unique<PacketHot[]>(kChunkPackets));
+  cold_chunks_.push_back(std::make_unique<PacketCold[]>(kChunkPackets));
+  PacketHot* base = chunks_.back().get();
+  PacketCold* cold = cold_chunks_.back().get();
   free_.reserve(free_.size() + kChunkPackets);
   // Reversed so the lowest address is handed out first.
   for (std::size_t i = kChunkPackets; i > 0; --i) {
+    base[i - 1].cold_slot = cold + (i - 1);
     free_.push_back(base + i - 1);
   }
 }

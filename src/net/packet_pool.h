@@ -1,6 +1,6 @@
 #pragma once
-// A freelist pool of Packet objects and the owning handle that moves them
-// through the datapath.
+// A freelist pool of pooled packet records and the owning handle that
+// moves them through the datapath.
 //
 // The seed simulator copied the ~130-byte Packet struct at every stage of
 // every hop: into the egress FifoQueue, out of it, into the delivery
@@ -9,6 +9,14 @@
 // single 8-byte PacketPtr travels through queues, events, and channels;
 // dropping a packet (tail-drop, link down, trim-refused) is just letting
 // the handle die, which recycles the slot.
+//
+// Storage is structure-of-arrays: each pool slot is a PacketHot (one
+// cache line — everything the switch/port/lane path reads) permanently
+// paired with a PacketCold in a parallel slab (host-transport fields,
+// initialized lazily).  A blank acquire writes only the hot line; the
+// cold record is first touched at injection (assign) or on demand
+// (cold()) — a packet that dies in the fabric never pulls its cold line
+// into cache.
 //
 // The pool is thread-local: simulations on the same thread share one
 // freelist (harmless — packets are pure value state and nothing in the
@@ -20,7 +28,9 @@
 // be in flight when the ShardGroup joins the thread (teardown releases
 // them on the coordinator, into *its* freelist), so a dying pool donates
 // its slabs and unclaimed slots to a process-wide retired store that new
-// pools draw from before allocating fresh slabs.  See pool_retire.h.
+// pools draw from before allocating fresh slabs.  Donated hot slots keep
+// their cold_slot pairing; the paired cold slabs park in the cold store
+// purely to stay alive.  See pool_retire.h.
 
 #include <cstddef>
 #include <cstdint>
@@ -49,15 +59,15 @@ class PacketPool {
   PacketPool(const PacketPool&) = delete;
   PacketPool& operator=(const PacketPool&) = delete;
 
-  Packet* acquire() {
+  PacketHot* acquire() {
     if (free_.empty()) grow();
-    Packet* p = free_.back();
+    PacketHot* p = free_.back();
     free_.pop_back();
     ++acquires_;
     return p;
   }
 
-  void release(Packet* p) {
+  void release(PacketHot* p) {
     ++releases_;
     free_.push_back(p);
   }
@@ -75,38 +85,41 @@ class PacketPool {
 
   void grow();
 
-  std::vector<std::unique_ptr<Packet[]>> chunks_;
-  std::vector<Packet*> free_;
+  std::vector<std::unique_ptr<PacketHot[]>> chunks_;
+  // Parallel slabs: chunk i's slot j is paired with cold_chunks_[i][j] at
+  // allocation time and the pairing never changes.
+  std::vector<std::unique_ptr<PacketCold[]>> cold_chunks_;
+  std::vector<PacketHot*> free_;
   std::size_t reclaimed_ = 0;  // slots adopted from the retired store
   std::uint64_t acquires_ = 0;
   std::uint64_t releases_ = 0;
 };
 
-/// Move-only owning handle to a pooled Packet.  8 bytes; returns the
-/// packet to the thread-local pool when it goes out of scope.
+/// Move-only owning handle to a pooled packet.  8 bytes; returns the slot
+/// to the thread-local pool when it goes out of scope.  Dereferencing
+/// yields the hot record; `Packet flat(*ptr)` gathers the full packet and
+/// `ptr->cold()` reaches the cold fields directly.
 class PacketPtr {
  public:
   PacketPtr() = default;
 
-  /// A fresh default-initialized packet from the pool.
+  /// A fresh default packet from the pool.  Initializes the HOT record
+  /// only — the cold record stays untouched until cold()/assign() (a
+  /// packet dropped in the fabric never writes those bytes).
   static PacketPtr make() {
     PacketPtr p(PacketPool::local().acquire());
-    *p.p_ = Packet{};
+    p.p_->init_hot();
     return p;
   }
 
-  /// A pooled copy of `src` (the one copy a packet's lifetime pays, at
-  /// injection into the datapath).
-  static PacketPtr make(Packet&& src) {
-    PacketPtr p(PacketPool::local().acquire());
-    *p.p_ = src;
-    return p;
-  }
+  /// A pooled copy of `src` (the one full scatter a packet's lifetime
+  /// pays, at injection into the datapath).
   static PacketPtr make(const Packet& src) {
     PacketPtr p(PacketPool::local().acquire());
-    *p.p_ = src;
+    p.p_->assign(src);
     return p;
   }
+  static PacketPtr make(Packet&& src) { return make(static_cast<const Packet&>(src)); }
 
   PacketPtr(PacketPtr&& other) noexcept : p_(other.p_) { other.p_ = nullptr; }
   PacketPtr& operator=(PacketPtr&& other) noexcept {
@@ -128,31 +141,33 @@ class PacketPtr {
     }
   }
 
-  Packet& operator*() const { return *p_; }
-  Packet* operator->() const { return p_; }
-  Packet* get() const { return p_; }
+  PacketHot& operator*() const { return *p_; }
+  PacketHot* operator->() const { return p_; }
+  PacketHot* get() const { return p_; }
   explicit operator bool() const { return p_ != nullptr; }
 
   /// Detaches the raw pooled pointer without releasing it — for intrusive
   /// structures (delivery-lane records) that park packets outside a handle.
   /// The caller owns the slot until it re-wraps it with adopt().
-  Packet* release_raw() {
-    Packet* p = p_;
+  PacketHot* release_raw() {
+    PacketHot* p = p_;
     p_ = nullptr;
     return p;
   }
 
   /// Re-wraps a pointer previously taken via release_raw().
-  static PacketPtr adopt(Packet* p) { return PacketPtr(p); }
+  static PacketPtr adopt(PacketHot* p) { return PacketPtr(p); }
 
  private:
-  explicit PacketPtr(Packet* p) : p_(p) {}
+  explicit PacketPtr(PacketHot* p) : p_(p) {}
 
-  Packet* p_ = nullptr;
+  PacketHot* p_ = nullptr;
 };
 
-static_assert(std::is_trivially_copyable_v<Packet>,
-              "Packet must stay a plain value type: the pool recycles slots "
-              "by assignment and never runs destructors");
+static_assert(std::is_trivially_copyable_v<Packet> &&
+                  std::is_trivially_copyable_v<PacketHot> &&
+                  std::is_trivially_copyable_v<PacketCold>,
+              "packet records must stay plain value types: the pool recycles "
+              "slots by assignment and never runs destructors");
 
 }  // namespace dcp

@@ -1,5 +1,10 @@
 #include "net/port.h"
 
+// For the static select/charge dispatch below: DwrrPolicy's bodies are
+// header-inline, so including it here adds no link dependency on the
+// switch library.
+#include "switch/scheduler.h"
+
 namespace dcp {
 
 void Port::enqueue(PacketPtr pkt) {
@@ -27,11 +32,34 @@ std::uint64_t Port::total_queued_bytes() const {
 
 void Port::try_transmit() {
   if (transmitting_) return;
-  const int c = policy_->select(queues_, paused_);
+  // Static dispatch on the policy tag cached at construction: both concrete
+  // policies are final with header-visible bodies, so the scheduling
+  // decision inlines here instead of taking two virtual hops per packet.
+  int c;
+  switch (policy_kind_) {
+    case SchedulerPolicy::Kind::kDwrr:
+      c = static_cast<DwrrPolicy*>(policy_.get())->select(queues_, paused_);
+      break;
+    case SchedulerPolicy::Kind::kStrict:
+      c = static_cast<StrictPriorityPolicy*>(policy_.get())->select(queues_, paused_);
+      break;
+    default:
+      c = policy_->select(queues_, paused_);
+      break;
+  }
   if (c < 0) return;
 
   PacketPtr pkt = queues_[c].pop();
-  policy_->charge(c, pkt->wire_bytes);
+  switch (policy_kind_) {
+    case SchedulerPolicy::Kind::kDwrr:
+      static_cast<DwrrPolicy*>(policy_.get())->charge(c, pkt->wire_bytes);
+      break;
+    case SchedulerPolicy::Kind::kStrict:
+      break;  // strict priority keeps no deficit state
+    default:
+      policy_->charge(c, pkt->wire_bytes);
+      break;
+  }
   stats_.tx_packets++;
   stats_.tx_bytes += pkt->wire_bytes;
   stats_.tx_packets_by_class[c]++;

@@ -23,7 +23,13 @@ namespace dcp {
 /// Chooses which queue class an egress port serves next.
 class SchedulerPolicy {
  public:
+  /// Concrete-type tag, resolved once at Port construction: the per-packet
+  /// transmit path static-dispatches select()/charge() on it (the same
+  /// {kind, ptr} devirtualization as Channel -> Node delivery).  Custom
+  /// policies keep the default kGeneric and take the virtual hop.
+  enum class Kind : std::uint8_t { kGeneric, kStrict, kDwrr };
   virtual ~SchedulerPolicy() = default;
+  virtual Kind kind() const { return Kind::kGeneric; }
 
   /// Returns the index of the queue to serve, or -1 if nothing is eligible.
   /// `paused[i]` means class i must not be served (PFC).
@@ -45,6 +51,8 @@ class StrictPriorityPolicy final : public SchedulerPolicy {
   /// `high_first` lists class indices from highest to lowest priority.
   explicit StrictPriorityPolicy(std::vector<int> high_first) : order_(std::move(high_first)) {}
   StrictPriorityPolicy() : order_{0, 1} {}
+
+  Kind kind() const override { return Kind::kStrict; }
 
   int select(const std::vector<FifoQueue>& queues,
              const std::array<bool, kNumQueueClasses>& paused) override {
@@ -74,6 +82,7 @@ class Port {
       : sim_(sim),
         channel_(sim, bw, propagation),
         policy_(std::move(policy)),
+        policy_kind_(policy_->kind()),
         queues_(kNumQueueClasses) {}
 
   Channel& channel() { return channel_; }
@@ -104,7 +113,7 @@ class Port {
   /// it hits the wire.  The owner (switch) uses it to release shared-buffer
   /// and PFC ingress accounting.  A raw (fn, ctx) pair rather than a
   /// std::function: this fires once per transmitted packet on the hot path.
-  using DequeueHook = void (*)(void* ctx, const Packet&);
+  using DequeueHook = void (*)(void* ctx, const PacketHot&);
   void set_dequeue_hook(DequeueHook fn, void* ctx) {
     dequeue_fn_ = fn;
     dequeue_ctx_ = ctx;
@@ -118,6 +127,9 @@ class Port {
   Simulator& sim_;
   Channel channel_;
   std::unique_ptr<SchedulerPolicy> policy_;
+  // Cached policy_->kind(): try_transmit static-dispatches on it so the
+  // DWRR/strict select bodies inline into the transmit path.
+  SchedulerPolicy::Kind policy_kind_;
   std::vector<FifoQueue> queues_;
   std::array<bool, kNumQueueClasses> paused_{};
   bool transmitting_ = false;

@@ -29,7 +29,7 @@ class FifoQueue {
     return p;
   }
 
-  const Packet& front() const { return *q_.front(); }
+  const PacketHot& front() const { return *q_.front(); }
   bool empty() const { return q_.empty(); }
   std::size_t packets() const { return q_.size(); }
   std::uint64_t bytes() const { return bytes_; }

@@ -1,13 +1,10 @@
 #include "sim/event_queue.h"
 
-#include <algorithm>
+// The per-event hot path (push / pop_and_run / timer_arm_* / the sift
+// helpers) lives inline in event_queue.h so callers compile it into their
+// own loops; only cold maintenance is out of line here.
 
 namespace dcp {
-namespace {
-
-constexpr std::uint64_t kSlotMask = 0xFFFFFFFFull;
-
-}  // namespace
 
 void EventQueue::grow() {
   const auto base = static_cast<std::uint32_t>(gen_.size());
@@ -22,65 +19,6 @@ void EventQueue::grow() {
   for (std::uint32_t i = kChunkSize; i > 0; --i) {
     free_.push_back(base + i - 1);
   }
-}
-
-std::uint32_t EventQueue::alloc_slot() {
-  if (free_.empty()) grow();
-  const std::uint32_t idx = free_.back();
-  free_.pop_back();
-  return idx;
-}
-
-void EventQueue::insert_main(const HeapEntry& e) {
-  heap_.emplace_back();  // placeholder; sift_up writes the entry in place
-  if (heap_.size() > peak_heap_) peak_heap_ = heap_.size();
-  sift_up(heap_, heap_.size() - 1, e);
-}
-
-EventId EventQueue::push(Time t, EventCallback fn) {
-  return push_keyed(t, take_seq(), std::move(fn));
-}
-
-EventId EventQueue::push_keyed(Time t, std::uint64_t seq, EventCallback fn) {
-  const std::uint32_t idx = alloc_slot();
-  fn_of(idx) = std::move(fn);
-  pos_[idx] = kOneshotLive;
-  opush(HeapEntry{t, seq, idx});
-  return (static_cast<EventId>(gen_[idx]) << 32) | (idx + 1);
-}
-
-EventId EventQueue::push_far(Time t, EventCallback fn) {
-  // One-shots all live in the non-tracking heap; a far entry sinks below
-  // the near-term traffic once at push and is never compared against
-  // until its time approaches.
-  return push_keyed(t, take_seq(), std::move(fn));
-}
-
-void EventQueue::cancel(EventId id) {
-  const std::uint64_t slot_part = id & kSlotMask;
-  if (slot_part == 0) return;  // kInvalidEvent or malformed
-  const auto idx = static_cast<std::uint32_t>(slot_part - 1);
-  if (idx >= gen_.size()) return;  // never allocated
-
-  if (gen_[idx] != static_cast<std::uint32_t>(id >> 32)) return;  // stale handle
-  if (persistent_[idx]) return;  // timers are managed via timer_* only
-  if (pos_[idx] != kOneshotLive) return;  // not pending (or already tombstoned)
-
-  // Lazy cancel: destroy the callback now (releasing captured resources),
-  // leave a tombstone the heap reclaims when the entry surfaces.
-  fn_of(idx).reset();
-  pos_[idx] = kOneshotDead;
-  ++gen_[idx];  // invalidates every outstanding handle to this slot
-  --olive_;
-  ++odead_;
-  drain_otop();
-  if (odead_ > 64 && odead_ > olive_) compact_oheap();
-}
-
-void EventQueue::release(std::uint32_t idx) {
-  pos_[idx] = kNoPos;
-  ++gen_[idx];  // invalidates every outstanding handle to this slot
-  free_.push_back(idx);
 }
 
 std::uint32_t EventQueue::timer_create(EventCallback fn) {
@@ -117,186 +55,6 @@ void EventQueue::timer_destroy(std::uint32_t timer) {
   release(timer);
 }
 
-void EventQueue::timer_arm_keyed(std::uint32_t timer, Time t, std::uint64_t seq) {
-  if (timer == deferred_root_) {
-    // Self re-arm from the slot's own callback: re-key the spent root in
-    // place.  The new key can only be later, so one sift_down suffices —
-    // and it usually terminates at the root (the next lane head / next
-    // serialization-done is still among the earliest events pending).
-    deferred_root_ = kNoPos;
-    sift_down(heap_, 0, HeapEntry{t, seq, timer});
-    return;
-  }
-  if (pos_[timer] != kNoPos) {
-    if (in_dheap_[timer]) {
-      // Switching discipline mid-life (rare): vacate the deadline heap.
-      remove_from_heap(dheap_, pos_[timer]);
-      settle_dtop();
-    } else {
-      remove_from_heap(heap_, pos_[timer]);
-    }
-    pos_[timer] = kNoPos;
-  }
-  in_dheap_[timer] = 0;
-  insert_main(HeapEntry{t, seq, timer});
-}
-
-void EventQueue::timer_arm_deadline(std::uint32_t timer, Time t) {
-  deadline_[timer] = t;
-  if (pos_[timer] != kNoPos) {
-    if (!in_dheap_[timer]) {
-      // Switching discipline mid-life (rare): vacate the first level.
-      remove_from_heap(heap_, pos_[timer]);
-      pos_[timer] = kNoPos;
-    } else {
-      const std::size_t p = pos_[timer];
-      if (dheap_[p].t <= t) {
-        // The common case — the deadline moves forward (per-ACK RTO
-        // pushes): O(1).  The parked entry goes stale; it is re-keyed
-        // only if it ever surfaces at the top.
-        if (p == 0 && dheap_[0].t < t) settle_dtop();
-        return;
-      }
-      // Deadline shrank below the parked entry: re-key eagerly (the new
-      // key is earlier, so an in-place sift_up).
-      sift_up(dheap_, p, HeapEntry{t, take_seq(), timer});
-      return;
-    }
-  }
-  in_dheap_[timer] = 1;
-  dheap_.emplace_back();
-  sift_up(dheap_, dheap_.size() - 1, HeapEntry{t, take_seq(), timer});
-}
-
-void EventQueue::timer_cancel(std::uint32_t timer) {
-  if (pos_[timer] == kNoPos) {
-    deadline_[timer] = kTimeInfinity;
-    return;
-  }
-  if (in_dheap_[timer]) {
-    // Lazy cancel: the parked entry evaporates when it surfaces.
-    deadline_[timer] = kTimeInfinity;
-    if (pos_[timer] == 0) settle_dtop();
-    return;
-  }
-  remove_from_heap(heap_, pos_[timer]);
-  pos_[timer] = kNoPos;
-}
-
-void EventQueue::settle_dtop() {
-  while (!dheap_.empty()) {
-    HeapEntry top = dheap_[0];
-    const Time dl = deadline_[top.slot];
-    if (dl == top.t) return;  // accurate: this deadline is real
-    if (dl == kTimeInfinity) {
-      // Lazily cancelled: drop the entry.
-      const HeapEntry last = dheap_.back();
-      dheap_.pop_back();
-      pos_[top.slot] = kNoPos;
-      if (!dheap_.empty()) sift_root_to_bottom(dheap_, last);
-      continue;
-    }
-    // Lazily extended: re-key at the true deadline (later, so sift down).
-    // The entry keeps its original sequence — re-keying consumes nothing,
-    // so the global sequence stream is independent of WHEN stale entries
-    // happen to surface (a shard's deadline heap sees only its own
-    // traffic; allocating here would make sequence numbering depend on
-    // sharding).
-    top.t = dl;
-    sift_down(dheap_, 0, top);
-  }
-}
-
-bool EventQueue::pop_and_run(Time& now) {
-  // Select the earliest of the three tops under the global (t, seq) order.
-  // 0 = main (timers), 1 = deadline, 2 = one-shot.
-  int which;
-  if (!heap_.empty()) {
-    which = 0;
-    if (!dheap_.empty() && earlier(dheap_[0], heap_[0])) which = 1;
-    if (!oheap_.empty() && earlier(oheap_[0], which == 0 ? heap_[0] : dheap_[0])) which = 2;
-  } else if (!dheap_.empty()) {
-    which = 1;
-    if (!oheap_.empty() && earlier(oheap_[0], dheap_[0])) which = 2;
-  } else if (!oheap_.empty()) {
-    which = 2;
-  } else {
-    return false;
-  }
-
-  if (which == 2) {
-    // One-shot: pop, recycle the slot, run.  drain_otop() afterwards keeps
-    // the top live so next_time() stays O(1)-accurate.
-    const HeapEntry top = oheap_[0];
-    now = top.t;
-    cur_time_ = top.t;
-    cur_parent_ = top.seq;
-    opop_root();
-    --olive_;
-    EventCallback fn = std::move(fn_of(top.slot));
-    release(top.slot);  // recycled before running: reentrant schedule/cancel is safe
-    fn();
-    drain_otop();
-    return true;
-  }
-
-  if (which == 0) {
-    const std::uint32_t idx = heap_[0].slot;
-    now = heap_[0].t;
-    cur_time_ = heap_[0].t;
-    cur_parent_ = heap_[0].seq;
-
-    if (persistent_[idx]) {
-      // Timer: the callback stays in place and may re-arm its own slot.
-      // Root removal is DEFERRED: the spent entry's key precedes every
-      // other main-heap key that can exist during the callback, so it pins
-      // the root and timer_arm_keyed can fuse a self re-arm into one
-      // sift_down.
-      pos_[idx] = kNoPos;
-      deferred_root_ = idx;
-      fn_of(idx)();
-      if (deferred_root_ == idx) {
-        // Not re-armed (or re-armed into the deadline class): physically
-        // remove the spent root now.
-        deferred_root_ = kNoPos;
-        const HeapEntry last = heap_.back();
-        heap_.pop_back();
-        if (!heap_.empty()) sift_root_to_bottom(heap_, last);
-      }
-      return true;
-    }
-    const HeapEntry last = heap_.back();
-    heap_.pop_back();
-    if (!heap_.empty()) sift_root_to_bottom(heap_, last);
-
-    EventCallback fn = std::move(fn_of(idx));
-    release(idx);  // recycled before running: reentrant schedule/cancel is safe
-    fn();
-    return true;
-  }
-
-  // Deadline heap fires: the top is accurate by the settle_dtop invariant.
-  const HeapEntry top = dheap_[0];
-  const HeapEntry last = dheap_.back();
-  dheap_.pop_back();
-  if (!dheap_.empty()) sift_root_to_bottom(dheap_, last);
-  settle_dtop();
-  pos_[top.slot] = kNoPos;
-  deadline_[top.slot] = kTimeInfinity;
-  now = top.t;
-  cur_time_ = top.t;
-  cur_parent_ = top.seq;
-  if (!persistent_[top.slot]) {
-    in_dheap_[top.slot] = 0;
-    EventCallback fn = std::move(fn_of(top.slot));
-    release(top.slot);  // recycled before running, same as the main path
-    fn();
-    return true;
-  }
-  fn_of(top.slot)();
-  return true;
-}
-
 void EventQueue::end_shard_window(const std::vector<std::uint64_t>& committed) {
   shard_log_ = nullptr;
   const auto fix = [&committed](HeapEntry& e) {
@@ -305,45 +63,6 @@ void EventQueue::end_shard_window(const std::vector<std::uint64_t>& committed) {
   for (HeapEntry& e : heap_) fix(e);
   for (HeapEntry& e : dheap_) fix(e);
   for (HeapEntry& e : oheap_) fix(e);
-}
-
-// --- Non-tracking one-shot heap ---------------------------------------------
-
-void EventQueue::opush(const HeapEntry& e) {
-  ++olive_;
-  oheap_.emplace_back();  // placeholder; osift_up writes the entry in place
-  osift_up(oheap_.size() - 1, e);
-}
-
-void EventQueue::opop_root() {
-  const HeapEntry last = oheap_.back();
-  oheap_.pop_back();
-  if (oheap_.empty()) return;
-  // Bottom-up pop, same scheme as sift_root_to_bottom but without position
-  // maintenance: promote the minimum child down to a leaf, then bubble the
-  // (late) replacement up from there — it rarely moves.
-  const std::size_t n = oheap_.size();
-  std::size_t pos = 0;
-  for (;;) {
-    const std::size_t first = (pos << 2) + 1;
-    if (first >= n) break;
-    std::size_t best = first;
-    const std::size_t end = std::min(first + 4, n);
-    for (std::size_t c = first + 1; c < end; ++c) {
-      if (earlier(oheap_[c], oheap_[best])) best = c;
-    }
-    oheap_[pos] = oheap_[best];
-    pos = best;
-  }
-  osift_up(pos, last);
-}
-
-void EventQueue::drain_otop() {
-  while (!oheap_.empty() && pos_[oheap_[0].slot] == kOneshotDead) {
-    release(oheap_[0].slot);  // the tombstoned slot finally returns to the pool
-    --odead_;
-    opop_root();
-  }
 }
 
 void EventQueue::compact_oheap() {
@@ -365,96 +84,6 @@ void EventQueue::compact_oheap() {
       if (i == 0) break;
     }
   }
-}
-
-void EventQueue::osift_up(std::size_t pos, HeapEntry e) {
-  while (pos > 0) {
-    const std::size_t parent = (pos - 1) >> 2;
-    const HeapEntry& p = oheap_[parent];
-    if (!earlier(e, p)) break;
-    oheap_[pos] = p;
-    pos = parent;
-  }
-  oheap_[pos] = e;
-}
-
-void EventQueue::osift_down(std::size_t pos, HeapEntry e) {
-  const std::size_t n = oheap_.size();
-  for (;;) {
-    const std::size_t first = (pos << 2) + 1;
-    if (first >= n) break;
-    std::size_t best = first;
-    const std::size_t end = std::min(first + 4, n);
-    for (std::size_t c = first + 1; c < end; ++c) {
-      if (earlier(oheap_[c], oheap_[best])) best = c;
-    }
-    if (!earlier(oheap_[best], e)) break;
-    oheap_[pos] = oheap_[best];
-    pos = best;
-  }
-  oheap_[pos] = e;
-}
-
-// --- Index-tracked heaps (timers + deadlines) --------------------------------
-
-void EventQueue::remove_from_heap(std::vector<HeapEntry>& h, std::size_t pos) {
-  const HeapEntry last = h.back();
-  h.pop_back();
-  if (pos < h.size()) {
-    // Moving the last entry into the hole: it can only need to travel one
-    // direction.  Try down; if it did not move, try up.
-    sift_down(h, pos, last);
-    if (pos_[last.slot] == pos) sift_up(h, pos, last);
-  }
-}
-
-void EventQueue::sift_up(std::vector<HeapEntry>& h, std::size_t pos, HeapEntry e) {
-  while (pos > 0) {
-    const std::size_t parent = (pos - 1) >> 2;
-    const HeapEntry& p = h[parent];
-    if (!earlier(e, p)) break;
-    place(h, pos, p);
-    pos = parent;
-  }
-  place(h, pos, e);
-}
-
-void EventQueue::sift_down(std::vector<HeapEntry>& h, std::size_t pos, HeapEntry e) {
-  const std::size_t n = h.size();
-  for (;;) {
-    const std::size_t first = (pos << 2) + 1;
-    if (first >= n) break;
-    std::size_t best = first;
-    const std::size_t end = std::min(first + 4, n);
-    for (std::size_t c = first + 1; c < end; ++c) {
-      if (earlier(h[c], h[best])) best = c;
-    }
-    if (!earlier(h[best], e)) break;
-    place(h, pos, h[best]);
-    pos = best;
-  }
-  place(h, pos, e);
-}
-
-void EventQueue::sift_root_to_bottom(std::vector<HeapEntry>& h, HeapEntry e) {
-  // Bottom-up pop: the hole's replacement is the heap's last (i.e. a late)
-  // entry, so instead of comparing it at every level, promote the minimum
-  // child all the way down and then bubble the replacement up from the
-  // bottom — it rarely moves.  ~25% fewer comparisons than a plain sift.
-  const std::size_t n = h.size();
-  std::size_t pos = 0;
-  for (;;) {
-    const std::size_t first = (pos << 2) + 1;
-    if (first >= n) break;
-    std::size_t best = first;
-    const std::size_t end = std::min(first + 4, n);
-    for (std::size_t c = first + 1; c < end; ++c) {
-      if (earlier(h[c], h[best])) best = c;
-    }
-    place(h, pos, h[best]);
-    pos = best;
-  }
-  sift_up(h, pos, e);
 }
 
 }  // namespace dcp

@@ -12,6 +12,12 @@ Simulator::Simulator() {
   if (const char* env = std::getenv("DCP_LANES")) {
     if (std::strcmp(env, "0") == 0) use_lanes_ = false;
   }
+  // DCP_DEVIRT=0 restores the virtual Node::receive hop at channel
+  // delivery (same bodies, vtable dispatch) — the A/B lever for the
+  // digest-equality suite and for bisecting dispatch-layer suspicion.
+  if (const char* env = std::getenv("DCP_DEVIRT")) {
+    if (std::strcmp(env, "0") == 0) use_devirt_ = false;
+  }
 }
 
 thread_local const Simulator* Simulator::tls_active_ = nullptr;
@@ -21,13 +27,15 @@ void Simulator::run(Time until) {
   tls_active_ = this;
   stopped_ = false;
   while (!stopped_) {
-    const Time t = queue_.next_time();
-    if (t == kTimeInfinity || t > until) {
-      if (t != kTimeInfinity && until != kTimeInfinity) now_ = until;
-      break;
+    // One fused top-selection per event (next_time() + pop would scan the
+    // three heap tops twice).
+    const EventQueue::PopResult r = queue_.pop_and_run_bounded(until, now_);
+    if (r == EventQueue::PopResult::kRan) {
+      ++events_processed_;
+      continue;
     }
-    queue_.pop_and_run(now_);
-    ++events_processed_;
+    if (r == EventQueue::PopResult::kBeyond && until != kTimeInfinity) now_ = until;
+    break;
   }
   tls_active_ = outer;
 }

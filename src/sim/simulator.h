@@ -94,6 +94,14 @@ class Simulator {
   bool use_lanes() const { return use_lanes_; }
   void set_use_lanes(bool on) { use_lanes_ = on; }
 
+  /// Whether Channels static-dispatch deliveries to the concrete node type
+  /// cached at connect() time (default on; the DCP_DEVIRT=0 environment
+  /// escape hatch or set_use_devirt(false) selects the virtual
+  /// Node::receive hop).  Both paths run identical bodies, so outputs are
+  /// bit-identical — enforced by tests/test_devirt.cpp.
+  bool use_devirt() const { return use_devirt_; }
+  void set_use_devirt(bool on) { use_devirt_ = on; }
+
   /// Stamps a logical event with the next global tie-break sequence.
   std::uint64_t alloc_event_seq() { return queue_.alloc_seq(); }
 
@@ -174,6 +182,7 @@ class Simulator {
   std::uint64_t events_processed_ = 0;
   bool stopped_ = false;
   bool use_lanes_ = true;
+  bool use_devirt_ = true;
   CheckObserver* check_observer_ = nullptr;
   std::vector<std::function<void(const SeqRemap&)>> remap_hooks_;
 };

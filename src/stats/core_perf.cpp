@@ -79,6 +79,13 @@ bool export_core_perf_json(const std::string& path, const std::vector<CorePerfEn
                    e.baseline_events_per_sec,
                    e.perf.events_per_sec() / e.baseline_events_per_sec);
     }
+    if (e.shards > 0) {
+      std::fprintf(f,
+                   ",\n"
+                   "      \"shards\": %u,\n"
+                   "      \"hardware_threads\": %u",
+                   e.shards, e.hardware_threads);
+    }
     std::fprintf(f, "\n    }%s\n", i + 1 < entries.size() ? "," : "");
   }
   std::fprintf(f, "  ]");

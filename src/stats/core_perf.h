@@ -77,6 +77,12 @@ struct CorePerfEntry {
   std::string name;
   CorePerf perf;
   double baseline_events_per_sec = 0.0;  // 0 = no recorded baseline
+  // Execution-environment metadata for parallel measurements (0 = serial
+  // entry, fields omitted from the JSON).  A sharded number is meaningless
+  // without knowing how many event cores ran and how much hardware the box
+  // offered, so the committed BENCH_core.json records both.
+  unsigned shards = 0;
+  unsigned hardware_threads = 0;
 };
 
 /// Serial-vs-parallel suite measurement: the same sweep run with one job

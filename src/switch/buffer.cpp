@@ -1,32 +1,6 @@
 #include "switch/buffer.h"
 
-#include "check/observer.h"
-
-namespace dcp {
-
-bool SharedBuffer::alloc(std::uint32_t in_port, std::uint8_t pfc_class, std::uint64_t bytes) {
-  if (!has_room(bytes)) return false;
-  used_ += bytes;
-  if (used_ > max_used_) max_used_ = used_;
-  if (in_port < ingress_bytes_.size()) ingress_bytes_[in_port][pfc_class] += bytes;
-  if (check_observer_ != nullptr) {
-    if (check_shadow_ == nullptr ||
-        check_shadow_->on_alloc(in_port, pfc_class, bytes, used_) != ShadowFail::kNone) {
-      check_observer_->on_buffer_alloc(this, in_port, pfc_class, bytes, used_);
-    }
-  }
-  return true;
-}
-
-void SharedBuffer::release(std::uint32_t in_port, std::uint8_t pfc_class, std::uint64_t bytes) {
-  used_ -= bytes;
-  if (in_port < ingress_bytes_.size()) ingress_bytes_[in_port][pfc_class] -= bytes;
-  if (check_observer_ != nullptr) {
-    if (check_shadow_ == nullptr ||
-        check_shadow_->on_release(in_port, pfc_class, bytes, used_) != ShadowFail::kNone) {
-      check_observer_->on_buffer_release(this, in_port, pfc_class, bytes, used_);
-    }
-  }
-}
-
-}  // namespace dcp
+// SharedBuffer's alloc/release pair fires once per switch hop, so both
+// live inline in buffer.h (including the BufferShadow replay, which exists
+// precisely to keep the armed path statically dispatched).  Nothing is left
+// out of line.

@@ -13,12 +13,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/observer.h"
 #include "net/packet.h"
 
 namespace dcp {
-
-class CheckObserver;
-struct BufferShadow;
 
 struct PfcConfig {
   bool enabled = false;
@@ -36,11 +34,34 @@ class SharedBuffer {
   bool has_room(std::uint64_t bytes) const { return used_ + bytes <= capacity_; }
 
   /// Charges a buffered packet against the shared pool and its ingress
-  /// accounting.  Returns false (and charges nothing) when full.
-  bool alloc(std::uint32_t in_port, std::uint8_t pfc_class, std::uint64_t bytes);
+  /// accounting.  Returns false (and charges nothing) when full.  Inline:
+  /// this fires once per switch hop, the hottest accounting pair in the
+  /// datapath.
+  bool alloc(std::uint32_t in_port, std::uint8_t pfc_class, std::uint64_t bytes) {
+    if (!has_room(bytes)) return false;
+    used_ += bytes;
+    if (used_ > max_used_) max_used_ = used_;
+    if (in_port < ingress_bytes_.size()) ingress_bytes_[in_port][pfc_class] += bytes;
+    if (check_observer_ != nullptr) {
+      if (check_shadow_ == nullptr ||
+          check_shadow_->on_alloc(in_port, pfc_class, bytes, used_) != ShadowFail::kNone) {
+        check_observer_->on_buffer_alloc(this, in_port, pfc_class, bytes, used_);
+      }
+    }
+    return true;
+  }
 
   /// Releases a previously charged packet.
-  void release(std::uint32_t in_port, std::uint8_t pfc_class, std::uint64_t bytes);
+  void release(std::uint32_t in_port, std::uint8_t pfc_class, std::uint64_t bytes) {
+    used_ -= bytes;
+    if (in_port < ingress_bytes_.size()) ingress_bytes_[in_port][pfc_class] -= bytes;
+    if (check_observer_ != nullptr) {
+      if (check_shadow_ == nullptr ||
+          check_shadow_->on_release(in_port, pfc_class, bytes, used_) != ShadowFail::kNone) {
+        check_observer_->on_buffer_release(this, in_port, pfc_class, bytes, used_);
+      }
+    }
+  }
 
   std::uint64_t used() const { return used_; }
   std::uint64_t capacity() const { return capacity_; }

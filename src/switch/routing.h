@@ -169,8 +169,11 @@ std::uint32_t least_loaded(const std::vector<std::uint32_t>& candidates,
 /// Picks an egress port index into `candidates`.
 /// `queue_bytes(port)` must return the egress data-queue depth for adaptive
 /// routing decisions; `flowlets` may be null unless policy is kFlowlet.
-template <typename QueueDepthFn>
-std::uint32_t select_port(LbPolicy policy, const Packet& pkt,
+/// Templated over the packet representation (flat Packet or the pooled
+/// PacketHot record — only flow/path_id and the ecmp_key fields are read,
+/// all of which live in the hot record).
+template <typename P, typename QueueDepthFn>
+std::uint32_t select_port(LbPolicy policy, const P& pkt,
                           const std::vector<std::uint32_t>& candidates,
                           QueueDepthFn&& queue_bytes, Rng& rng, Time now = 0,
                           FlowletTable* flowlets = nullptr) {

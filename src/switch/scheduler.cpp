@@ -5,17 +5,8 @@ namespace dcp {
 DwrrPolicy::DwrrPolicy(std::array<double, kNumQueueClasses> weights, std::uint32_t quantum_bytes)
     : weights_(weights), quantum_(quantum_bytes) {}
 
-int DwrrPolicy::select(const std::vector<FifoQueue>& queues,
-                       const std::array<bool, kNumQueueClasses>& paused) {
-  // Fast path: the class holding the round is still eligible and its
-  // deficit covers its head-of-line packet.  This is exactly the loop's
-  // first iteration (which performs no writes in that case), short of the
-  // eligibility pre-scan — whose only effect, the eligible==0 early
-  // return, cannot apply when cur_ itself is eligible.
-  if (entered_ && !queues[cur_].empty() && !paused[cur_] &&
-      deficit_[cur_] >= static_cast<double>(queues[cur_].front().wire_bytes)) {
-    return cur_;
-  }
+int DwrrPolicy::select_slow(const std::vector<FifoQueue>& queues,
+                            const std::array<bool, kNumQueueClasses>& paused) {
   const int n = static_cast<int>(queues.size());
   int eligible = 0;
   for (int c = 0; c < n; ++c) {
@@ -50,11 +41,6 @@ int DwrrPolicy::select(const std::vector<FifoQueue>& queues,
     if (!queues[c].empty() && !paused[c]) return c;
   }
   return -1;
-}
-
-void DwrrPolicy::charge(int queue, std::uint32_t bytes) {
-  deficit_[queue] -= static_cast<double>(bytes);
-  if (deficit_[queue] < 0) deficit_[queue] = 0;
 }
 
 double wrr_control_weight(int incast_scale_n, double size_ratio_r, double fallback) {

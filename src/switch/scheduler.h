@@ -28,11 +28,33 @@ class DwrrPolicy final : public SchedulerPolicy {
   explicit DwrrPolicy(std::array<double, kNumQueueClasses> weights,
                       std::uint32_t quantum_bytes = 2048);
 
+  Kind kind() const override { return Kind::kDwrr; }
+
+  // select/charge bodies live inline here: Port::try_transmit resolves the
+  // policy to this final type via the Kind tag and calls them statically,
+  // so the whole DWRR decision compiles into the transmit path.
   int select(const std::vector<FifoQueue>& queues,
-             const std::array<bool, kNumQueueClasses>& paused) override;
-  void charge(int queue, std::uint32_t bytes) override;
+             const std::array<bool, kNumQueueClasses>& paused) override {
+    // Fast path: the class holding the round is still eligible and its
+    // deficit covers its head-of-line packet.  This is exactly the loop's
+    // first iteration (which performs no writes in that case), short of the
+    // eligibility pre-scan — whose only effect, the eligible==0 early
+    // return, cannot apply when cur_ itself is eligible.
+    if (entered_ && !queues[cur_].empty() && !paused[cur_] &&
+        deficit_[cur_] >= static_cast<double>(queues[cur_].front().wire_bytes)) {
+      return cur_;
+    }
+    return select_slow(queues, paused);
+  }
+
+  void charge(int queue, std::uint32_t bytes) override {
+    deficit_[queue] -= static_cast<double>(bytes);
+    if (deficit_[queue] < 0) deficit_[queue] = 0;
+  }
 
  private:
+  int select_slow(const std::vector<FifoQueue>& queues,
+                  const std::array<bool, kNumQueueClasses>& paused);
   std::array<double, kNumQueueClasses> weights_;
   std::array<double, kNumQueueClasses> deficit_{};
   std::uint32_t quantum_;

@@ -8,7 +8,7 @@ namespace dcp {
 
 Switch::Switch(Simulator& sim, Logger& log, NodeId id, std::string name, SwitchConfig cfg,
                std::uint64_t seed)
-    : Node(sim, log, id, std::move(name)),
+    : Node(sim, log, id, std::move(name), NodeKind::kSwitch),
       cfg_(cfg),
       rng_(seed),
       fault_rng_(Rng::substream(seed, /*tag=*/0xfa017u)),
@@ -20,18 +20,13 @@ Switch::Switch(Simulator& sim, Logger& log, NodeId id, std::string name, SwitchC
   batched_draws_ = cfg_.lb == LbPolicy::kEcmp || cfg_.lb == LbPolicy::kSourcePath;
 }
 
-bool Switch::draw_chance(double p) {
-  if (batched_draws_) return chance_buf_.next(rng_.engine()) < p;
-  return rng_.chance(p);
-}
-
 std::uint32_t Switch::add_port(Bandwidth bw, Time propagation) {
   const auto idx = static_cast<std::uint32_t>(ports_.size());
   auto policy = std::make_unique<DwrrPolicy>(
       std::array<double, kNumQueueClasses>{1.0, cfg_.control_weight});
   auto port = std::make_unique<Port>(sim_, bw, propagation, std::move(policy));
   port->set_dequeue_hook(
-      [](void* sw, const Packet& p) { static_cast<Switch*>(sw)->on_port_dequeue(p); }, this);
+      [](void* sw, const PacketHot& p) { static_cast<Switch*>(sw)->on_port_dequeue(p); }, this);
   ports_.push_back(std::move(port));
   port_up_.push_back(true);
   pause_sent_.push_back({});
@@ -47,77 +42,51 @@ void Switch::set_link_up(std::uint32_t port, bool up) {
   ++flap_epoch_;  // every cached route pick made before the flap goes stale
 }
 
-void Switch::receive(PacketPtr pkt, std::uint32_t in_port) {
-  maybe_trace(*pkt, in_port);
-  if (pkt->type == PktType::kPfcPause || pkt->type == PktType::kPfcResume) {
-    handle_pfc(*pkt, in_port);
-    return;
-  }
-
-  // ECMP fast path: the pick is a pure function of the packet's hash key
-  // and the candidate set, both fixed per (flow, path_id, direction) — so
-  // a cache hit skips the table walk, the hash and the modulo entirely.
-  // Epoch stamping (route_epoch()) makes flaps and table edits miss.
-  std::uint32_t eport = UINT32_MAX;
-  const bool cacheable = cfg_.route_cache && cfg_.lb == LbPolicy::kEcmp;
-  if (cacheable) {
-    eport = rcache_.lookup(pkt->flow, pkt->dst, pkt->path_id, route_epoch());
-  }
-  if (eport == UINT32_MAX) {
-    const std::vector<std::uint32_t>* candidates = &routes_.candidates(pkt->dst);
-    if (any_port_down_) {
-      // Failure detection has withdrawn the dead links from the candidate
-      // set (as a routing protocol would).
-      alive_scratch_.clear();
-      for (std::uint32_t c : *candidates) {
-        if (port_up_[c]) alive_scratch_.push_back(c);
-      }
-      candidates = &alive_scratch_;
+bool Switch::route_slow(const PacketHot& pkt, std::uint32_t& eport) {
+  const std::vector<std::uint32_t>* candidates = &routes_.candidates(pkt.dst);
+  if (any_port_down_) {
+    // Failure detection has withdrawn the dead links from the candidate
+    // set (as a routing protocol would).
+    alive_scratch_.clear();
+    for (std::uint32_t c : *candidates) {
+      if (port_up_[c]) alive_scratch_.push_back(c);
     }
-    if (candidates->empty()) {
-      if (CheckObserver* ob = sim_.check_observer()) {
-        ob->on_drop(DropSite::kSwitchNoRoute, id(), *pkt);
-      }
-      stats_.no_route++;
-      return;
-    }
-    eport = select_port(
-        cfg_.lb, *pkt, *candidates,
-        [this](std::uint32_t p) {
-          return ports_[p]->queued_bytes(static_cast<int>(QueueClass::kData));
-        },
-        rng_, sim_.now(), &flowlets_);
-    if (cacheable) rcache_.insert(pkt->flow, pkt->dst, pkt->path_id, route_epoch(), eport);
+    candidates = &alive_scratch_;
   }
-
-  // Forced loss (testbed experiments): the P4 switch trims DCP data packets
-  // and plainly drops everything else.
-  if (cfg_.inject_loss_rate > 0.0 && pkt->type == PktType::kData &&
-      draw_chance(cfg_.inject_loss_rate)) {
-    if (cfg_.trimming && pkt->tag == DcpTag::kData) {
-      trim_to_header_only(*pkt);
-      if (CheckObserver* ob = sim_.check_observer()) ob->on_trim(id(), *pkt);
-      stats_.injected_trims++;
-      // falls through to egress enqueue as a header-only packet
-    } else {
-      if (CheckObserver* ob = sim_.check_observer()) {
-        ob->on_drop(DropSite::kSwitchInjected, id(), *pkt);
-      }
-      stats_.injected_drops++;
-      return;
+  if (candidates->empty()) {
+    if (CheckObserver* ob = sim_.check_observer()) {
+      ob->on_drop(DropSite::kSwitchNoRoute, id(), pkt);
     }
+    stats_.no_route++;
+    return false;
   }
-
-  egress_enqueue(std::move(pkt), eport, in_port);
+  eport = select_port(
+      cfg_.lb, pkt, *candidates,
+      [this](std::uint32_t p) {
+        return ports_[p]->queued_bytes(static_cast<int>(QueueClass::kData));
+      },
+      rng_, sim_.now(), &flowlets_);
+  if (cfg_.route_cache && cfg_.lb == LbPolicy::kEcmp) {
+    rcache_.insert(pkt.flow, pkt.dst, pkt.path_id, route_epoch(), eport);
+  }
+  return true;
 }
 
-void Switch::handle_pfc(const Packet& pkt, std::uint32_t in_port) {
-  // PAUSE/RESUME from the downstream neighbour applies to our egress port
-  // facing it, i.e. the port the frame arrived on (ports are full-duplex).
-  ports_[in_port]->set_paused(pkt.pause_class, pkt.type == PktType::kPfcPause);
+bool Switch::apply_injected_loss(PacketHot& pkt) {
+  if (cfg_.trimming && pkt.tag == DcpTag::kData) {
+    trim_to_header_only(pkt);
+    if (CheckObserver* ob = sim_.check_observer()) ob->on_trim(id(), pkt);
+    stats_.injected_trims++;
+    return true;  // lives on: egress-enqueued as a header-only packet
+  }
+  if (CheckObserver* ob = sim_.check_observer()) {
+    ob->on_drop(DropSite::kSwitchInjected, id(), pkt);
+  }
+  stats_.injected_drops++;
+  return false;
 }
 
-void Switch::trim_to_header_only(Packet& pkt) const {
+void Switch::trim_to_header_only(PacketHot& pkt) const {
   pkt.type = PktType::kHeaderOnly;
   pkt.tag = DcpTag::kHeaderOnly;
   pkt.queue_class = QueueClass::kControl;
@@ -238,7 +207,7 @@ void Switch::egress_enqueue(PacketPtr pkt, std::uint32_t eport, std::uint32_t in
   }
 }
 
-void Switch::on_port_dequeue(const Packet& pkt) {
+void Switch::on_port_dequeue(const PacketHot& pkt) {
   const auto cls = static_cast<std::uint8_t>(pkt.queue_class);
   const std::uint32_t in_port = pkt.acct_in_port;
   if (in_port == UINT32_MAX) return;  // not buffer-accounted (should not happen)

@@ -68,18 +68,20 @@ struct SwitchConfig {
 class Switch final : public Node {
  public:
   struct Stats {
+    // The per-packet counters (bumped on every successful forward) lead
+    // the struct so they share one cache line; rarer outcomes follow.
     std::uint64_t forwarded = 0;
+    std::uint64_t ho_seen = 0;          // HO packets enqueued OK
     std::uint64_t trimmed = 0;          // data packets converted to HO
+    std::uint64_t ecn_marked = 0;
     std::uint64_t injected_trims = 0;   // trims caused by loss injection
+    std::uint64_t injected_drops = 0;
     std::uint64_t dropped_data = 0;     // data packets dropped (lossy mode)
     std::uint64_t dropped_ho = 0;       // HO packets lost (control plane!)
-    std::uint64_t ho_seen = 0;          // HO packets enqueued OK
     std::uint64_t dropped_ctrl = 0;     // ACK/CNP/non-DCP dropped over threshold
     std::uint64_t dropped_buffer_full = 0;
-    std::uint64_t injected_drops = 0;
     std::uint64_t injected_ho_drops = 0;    // HO losses forced by fault injection
     std::uint64_t injected_ctrl_drops = 0;  // other control-queue fault losses
-    std::uint64_t ecn_marked = 0;
     std::uint64_t pauses_sent = 0;
     std::uint64_t resumes_sent = 0;
     std::uint64_t lossless_violations = 0;  // drops while PFC enabled
@@ -117,15 +119,58 @@ class Switch final : public Node {
   const RouteCache& route_cache() const { return rcache_; }
 
   using Node::receive;
-  void receive(PacketPtr pkt, std::uint32_t in_port) override;
+  /// Virtual path (DCP_DEVIRT=0 / custom callers): same body as the
+  /// statically-dispatched entry below, so outputs are bit-identical.
+  void receive(PacketPtr pkt, std::uint32_t in_port) override { receive_fast(std::move(pkt), in_port); }
+
+  /// Statically-dispatched delivery entry (Channel::dispatch_receive casts
+  /// to the final type and calls this non-virtually).  Header-visible so
+  /// per-packet classification and the ECMP cache hit inline into the
+  /// channel's arrival; the rare outcomes — cache miss, PFC frame,
+  /// injected loss — take out-of-line helpers.
+  void receive_fast(PacketPtr pkt, std::uint32_t in_port) {
+    maybe_trace(*pkt, in_port);
+    const PktType ty = pkt->type;
+    if (ty == PktType::kPfcPause || ty == PktType::kPfcResume) {
+      // PAUSE/RESUME from the downstream neighbour applies to our egress
+      // port facing it, i.e. the arrival port (ports are full-duplex).
+      ports_[in_port]->set_paused(pkt->pause_class, ty == PktType::kPfcPause);
+      return;
+    }
+    // ECMP fast path: the pick is a pure function of the packet's hash key
+    // and the candidate set, both fixed per (flow, path_id, direction) — so
+    // a cache hit skips the table walk, the hash and the modulo entirely.
+    // Epoch stamping (route_epoch()) makes flaps and table edits miss.
+    std::uint32_t eport = UINT32_MAX;
+    if (cfg_.route_cache && cfg_.lb == LbPolicy::kEcmp) {
+      eport = rcache_.lookup(pkt->flow, pkt->dst, pkt->path_id, route_epoch());
+    }
+    if (eport == UINT32_MAX && !route_slow(*pkt, eport)) return;  // no route: dropped
+    // Forced loss (testbed experiments): the P4 switch trims DCP data
+    // packets and plainly drops everything else.
+    if (cfg_.inject_loss_rate > 0.0 && ty == PktType::kData &&
+        draw_chance(cfg_.inject_loss_rate) && !apply_injected_loss(*pkt)) {
+      return;  // dropped (a trim falls through as a header-only packet)
+    }
+    egress_enqueue(std::move(pkt), eport, in_port);
+  }
 
  private:
-  void handle_pfc(const Packet& pkt, std::uint32_t in_port);
+  /// Route-cache miss path: candidate walk (minus withdrawn links), LB
+  /// port selection, cache fill.  Returns false when the packet has no
+  /// route (accounted + dropped).
+  bool route_slow(const PacketHot& pkt, std::uint32_t& eport);
+  /// An injected-loss draw fired: trims DCP data in place (returns true —
+  /// the packet lives on as header-only) or accounts a drop (false).
+  bool apply_injected_loss(PacketHot& pkt);
   void egress_enqueue(PacketPtr pkt, std::uint32_t eport, std::uint32_t in_port);
-  void on_port_dequeue(const Packet& pkt);
+  void on_port_dequeue(const PacketHot& pkt);
   bool ecn_mark_decision(std::uint64_t qbytes);
-  void trim_to_header_only(Packet& pkt) const;
-  bool draw_chance(double p);
+  void trim_to_header_only(PacketHot& pkt) const;
+  bool draw_chance(double p) {
+    if (batched_draws_) return chance_buf_.next(rng_.engine()) < p;
+    return rng_.chance(p);
+  }
 
   SwitchConfig cfg_;
   Rng rng_;

@@ -1,0 +1,272 @@
+// Static dispatch (DCP_DEVIRT) must be OUTPUT-INVISIBLE: the {kind, ptr}
+// dispatch into Switch::receive_fast / Host::receive_fast runs the same
+// bodies as the virtual Node::receive hop, so every digest — goodputs,
+// FCTs, retransmit counts, events_processed, fuzz verdicts — must be bit
+// for bit identical with DCP_DEVIRT=0 and 1, alone and crossed with the
+// sharded substrate (DCP_SHARDS=2).  Mechanism tests pin down the kind
+// tags and the custom-node fallback; the digest suites prove equality
+// end-to-end across the Fig 1/10/17 experiment shapes and a 200-seed
+// oracle-armed fuzz batch.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "check/fuzzer.h"
+#include "harness/experiment.h"
+#include "harness/sweep.h"
+#include "net/channel.h"
+#include "net/node.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "switch/switch.h"
+
+namespace dcp {
+namespace {
+
+/// Scoped DCP_DEVIRT override: Simulator reads the variable at
+/// construction, so set it before building the fixture / experiment.
+class ScopedDevirtEnv {
+ public:
+  explicit ScopedDevirtEnv(bool devirt_on) {
+    const char* prev = std::getenv("DCP_DEVIRT");
+    had_prev_ = prev != nullptr;
+    if (had_prev_) prev_ = prev;
+    setenv("DCP_DEVIRT", devirt_on ? "1" : "0", 1);
+  }
+  ~ScopedDevirtEnv() {
+    if (had_prev_) {
+      setenv("DCP_DEVIRT", prev_.c_str(), 1);
+    } else {
+      unsetenv("DCP_DEVIRT");
+    }
+  }
+
+ private:
+  bool had_prev_ = false;
+  std::string prev_;
+};
+
+/// Scoped DCP_SHARDS override, for crossing the two escape hatches.
+class ScopedShardsEnv {
+ public:
+  explicit ScopedShardsEnv(int shards) {
+    const char* prev = std::getenv("DCP_SHARDS");
+    had_prev_ = prev != nullptr;
+    if (had_prev_) prev_ = prev;
+    setenv("DCP_SHARDS", std::to_string(shards).c_str(), 1);
+  }
+  ~ScopedShardsEnv() {
+    if (had_prev_) {
+      setenv("DCP_SHARDS", prev_.c_str(), 1);
+    } else {
+      unsetenv("DCP_SHARDS");
+    }
+  }
+
+ private:
+  bool had_prev_ = false;
+  std::string prev_;
+};
+
+// ---------------------------------------------------------------------------
+// Mechanism: kind tags and the custom-node fallback
+// ---------------------------------------------------------------------------
+
+class CustomSink final : public Node {
+ public:
+  CustomSink(Simulator& sim, Logger& log) : Node(sim, log, 0, "sink") {}
+  using Node::receive;
+  void receive(PacketPtr pkt, std::uint32_t in_port) override {
+    arrivals.push_back({sim_.now(), pkt->psn, in_port});
+  }
+  struct Arrival {
+    Time t;
+    std::uint32_t psn;
+    std::uint32_t port;
+    bool operator==(const Arrival&) const = default;
+  };
+  std::vector<Arrival> arrivals;
+};
+
+TEST(Devirt, ConcreteEndpointsCarryTheirKindTags) {
+  Simulator sim;
+  Logger log(LogLevel::kOff);
+  Switch sw(sim, log, 1, "sw", SwitchConfig{}, /*seed=*/1);
+  CustomSink sink(sim, log);
+  EXPECT_EQ(sw.kind(), NodeKind::kSwitch);
+  EXPECT_EQ(sink.kind(), NodeKind::kOther);  // test nodes keep the virtual hop
+}
+
+TEST(Devirt, CustomNodeDeliveriesIdenticalOnBothPaths) {
+  // A kOther endpoint always takes the virtual hop; flipping DCP_DEVIRT
+  // must change nothing about what arrives, when, or on which port.
+  auto run = [](bool devirt) {
+    Simulator sim;
+    sim.set_use_devirt(devirt);
+    Logger log(LogLevel::kOff);
+    CustomSink sink(sim, log);
+    Channel ch(sim, Bandwidth::gbps(100), microseconds(1));
+    ch.connect(&sink, 7);
+    const Time ser = ch.serialization(1000);
+    for (int i = 0; i < 4; ++i) {
+      Packet p;
+      p.type = PktType::kData;
+      p.wire_bytes = 1000;
+      p.psn = static_cast<std::uint32_t>(i);
+      ch.deliver(p, (i + 1) * ser);
+    }
+    sim.run();
+    return std::pair(sink.arrivals, sim.events_processed());
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+// ---------------------------------------------------------------------------
+// Digest equality: devirt on == devirt off, bit for bit
+// ---------------------------------------------------------------------------
+
+struct TrialDigest {
+  double goodput = 0.0;
+  Time elapsed = 0;
+  bool completed = false;
+  std::uint64_t retransmitted = 0;
+  std::uint64_t events = 0;
+
+  bool operator==(const TrialDigest&) const = default;
+};
+
+/// Fig 10/17 shape: scheme x injected-loss matrix of long testbed flows.
+std::vector<TrialDigest> long_flow_matrix(bool devirt, unsigned jobs) {
+  ScopedDevirtEnv env(devirt);
+  const SchemeKind kinds[] = {SchemeKind::kDcp, SchemeKind::kRackTlp, SchemeKind::kIrn,
+                              SchemeKind::kTimeout};
+  const double rates[] = {0.0, 0.005, 0.02};
+  struct Trial {
+    SchemeKind k;
+    double rate;
+  };
+  std::vector<Trial> trials;
+  for (double rate : rates) {
+    for (SchemeKind k : kinds) trials.push_back({k, rate});
+  }
+  SweepRunner pool(jobs);
+  pool.set_progress(false);
+  return pool.run(trials.size(), [&](std::size_t i) {
+    LongFlowParams p;
+    p.scheme = trials[i].k;
+    p.loss_rate = trials[i].rate;
+    p.flow_bytes = 2ull * 1000 * 1000;
+    p.max_time = milliseconds(20);
+    const LongFlowResult r = run_long_flow(p);
+    TrialDigest d;
+    d.goodput = r.goodput_gbps;
+    d.elapsed = r.elapsed;
+    d.completed = r.completed;
+    d.retransmitted = r.sender.retransmitted_packets;
+    d.events = r.core.events_processed;
+    return d;
+  });
+}
+
+TEST(DevirtDigest, LongFlowMatrixDevirtOnOffBitIdentical) {
+  const std::vector<TrialDigest> on = long_flow_matrix(true, 1);
+  const std::vector<TrialDigest> off = long_flow_matrix(false, 1);
+  ASSERT_EQ(on.size(), off.size());
+  for (std::size_t i = 0; i < on.size(); ++i) {
+    EXPECT_EQ(on[i], off[i]) << "trial " << i;
+  }
+  // The matrix exercised recovery, not just clean delivery.
+  bool any_retx = false;
+  for (const TrialDigest& d : on) any_retx = any_retx || d.retransmitted > 0;
+  EXPECT_TRUE(any_retx);
+}
+
+/// Fig 1 shape: WebSearch background load on the CLOS fabric.
+std::vector<TrialDigest> websearch_matrix(bool devirt, unsigned jobs) {
+  ScopedDevirtEnv env(devirt);
+  const std::uint64_t seeds[] = {11, 23};
+  const SchemeKind kinds[] = {SchemeKind::kDcp, SchemeKind::kIrn};
+  SweepRunner pool(jobs);
+  pool.set_progress(false);
+  return pool.run(4, [&](std::size_t i) {
+    WebSearchParams p;
+    p.scheme = kinds[i % 2];
+    p.seed = seeds[i / 2];
+    p.clos.spines = 2;
+    p.clos.leaves = 2;
+    p.clos.hosts_per_leaf = 4;
+    p.load = 0.4;
+    p.num_flows = 100;
+    WebSearchResult r = run_websearch(p);
+    TrialDigest d;
+    d.goodput = r.background.overall().percentile(99.0);
+    d.completed = r.flows_completed == r.flows_total;
+    d.retransmitted = r.timeouts_background;
+    d.events = r.core.events_processed;
+    return d;
+  });
+}
+
+TEST(DevirtDigest, WebsearchDevirtOnOffBitIdenticalAcrossJobCounts) {
+  const std::vector<TrialDigest> baseline = websearch_matrix(true, 1);
+  EXPECT_EQ(baseline, websearch_matrix(false, 1));
+  EXPECT_EQ(baseline, websearch_matrix(true, 8));
+  EXPECT_EQ(baseline, websearch_matrix(false, 8));
+}
+
+TEST(DevirtDigest, CrossedWithShardsStaysBitIdentical) {
+  // The two escape hatches compose: static dispatch also runs on cut-edge
+  // arrivals executed by the destination shard's simulator, so all four
+  // {devirt} x {serial, DCP_SHARDS=2} corners must produce one digest.
+  const std::vector<TrialDigest> baseline = websearch_matrix(true, 1);
+  {
+    ScopedShardsEnv shards(2);
+    EXPECT_EQ(baseline, websearch_matrix(true, 1));
+    EXPECT_EQ(baseline, websearch_matrix(false, 1));
+  }
+  EXPECT_EQ(baseline, websearch_matrix(false, 1));
+}
+
+// ---------------------------------------------------------------------------
+// 200-seed fuzz batch: verdicts identical devirt on/off, oracle clean
+// ---------------------------------------------------------------------------
+
+struct FuzzDigest {
+  bool violated = false;
+  std::string invariant;
+  Time at = 0;
+  std::size_t num_violations = 0;
+  bool all_complete = false;
+
+  bool operator==(const FuzzDigest&) const = default;
+};
+
+std::vector<FuzzDigest> fuzz_batch(bool devirt, unsigned jobs) {
+  ScopedDevirtEnv env(devirt);
+  SweepRunner pool(jobs);
+  pool.set_progress(false);
+  return pool.run(200, [&](std::size_t i) {
+    const FuzzScenario s = generate_fuzz_scenario(/*seed=*/1000 + i);
+    const FuzzVerdict v = run_fuzz_scenario(s);
+    return FuzzDigest{v.violated, v.invariant, v.at, v.num_violations, v.all_complete};
+  });
+}
+
+TEST(DevirtFuzz, TwoHundredSeedsCleanAndIdenticalDevirtOnOff) {
+  // Crossed axes on purpose: devirt-on under the parallel pool vs devirt-off
+  // serial.  Equality proves the dispatch mode AND the job count are both
+  // invisible to the invariant oracle across 200 random scenarios.
+  const std::vector<FuzzDigest> on = fuzz_batch(true, 8);
+  const std::vector<FuzzDigest> off = fuzz_batch(false, 1);
+  ASSERT_EQ(on.size(), off.size());
+  for (std::size_t i = 0; i < on.size(); ++i) {
+    EXPECT_EQ(on[i], off[i]) << "seed " << 1000 + i;
+    EXPECT_FALSE(on[i].violated) << "seed " << 1000 + i << ": " << on[i].invariant;
+  }
+}
+
+}  // namespace
+}  // namespace dcp
