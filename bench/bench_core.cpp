@@ -24,6 +24,7 @@
 #include "stats/core_perf.h"
 #include "switch/switch.h"
 #include "topo/network.h"
+#include "transports/ec_codec.h"
 
 namespace {
 
@@ -146,6 +147,44 @@ CorePerf micro_switch_receive(bool devirt, int rounds, int burst) {
   }
   CorePerf p;
   p.events_processed = sim.events_processed();
+  p.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return p;
+}
+
+/// GF(256) codec throughput at the FEC tier's wire shape: encode k
+/// MTU-sized chunks into m parity, erase the worst case (the first m data
+/// chunks), decode the group back.  "Events" are chunks pushed through the
+/// coder — k+m out of encode plus k out of decode per round — so
+/// events/sec is the chunk rate the streaming sender/receiver pair could
+/// sustain at 1000-byte chunks.
+CorePerf micro_fec_codec(unsigned k, unsigned m, int rounds) {
+  const EcCodec codec(k, m);
+  std::vector<std::vector<std::uint8_t>> data(k, std::vector<std::uint8_t>(1000));
+  for (unsigned i = 0; i < k; ++i) {
+    for (std::size_t b = 0; b < data[i].size(); ++b) {
+      data[i][b] = static_cast<std::uint8_t>(i * 151 + b * 7 + 1);
+    }
+  }
+  std::uint8_t sink = 0;
+  std::uint64_t chunks = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < rounds; ++r) {
+    std::vector<std::vector<std::uint8_t>> all = data;
+    for (auto& p : codec.encode(data)) all.push_back(std::move(p));
+    std::vector<bool> present(k + m, true);
+    for (unsigned i = 0; i < m; ++i) {
+      present[i] = false;
+      all[i].clear();
+    }
+    if (!codec.decode(all, present)) {
+      chunks = 0;  // poison the entry: a failed decode is a loud regression
+      break;
+    }
+    sink ^= all[0][500];
+    chunks += 2 * k + m;
+  }
+  CorePerf p;
+  p.events_processed = chunks + (sink == 255 ? 1 : 0);  // keep the work live
   p.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   return p;
 }
@@ -394,6 +433,10 @@ int main(int argc, char** argv) {
   const CorePerf swrecv_on = micro_switch_receive(/*devirt=*/true, /*rounds=*/1500, /*burst=*/512);
   const CorePerf swrecv_off = micro_switch_receive(/*devirt=*/false, 1500, 512);
   entries.push_back({"micro_switch_receive", swrecv_on, swrecv_off.events_per_sec()});
+  // FEC codec at the default (8, 2) and the widest swept (16, 4) geometry;
+  // no seed column (the coder is new with the FEC tier).
+  entries.push_back({"micro_fec_codec_8_2", micro_fec_codec(8, 2, 20000), 0.0});
+  entries.push_back({"micro_fec_codec_16_4", micro_fec_codec(16, 4, 10000), 0.0});
   // The armed-vs-unarmed delta is a few percent — smaller than scheduler
   // noise on a loaded host — so the pair is sampled interleaved (drift hits
   // both sides alike) and each entry keeps its best-of-3 wall clock.

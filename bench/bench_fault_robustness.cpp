@@ -125,7 +125,7 @@ int main(int argc, char** argv) {
       {"high", 0.05, microseconds(400), 0.05},
   };
   std::vector<SchemeKind> schemes = {SchemeKind::kDcp, SchemeKind::kIrn, SchemeKind::kCx5,
-                                     SchemeKind::kMpRdma};
+                                     SchemeKind::kMpRdma, SchemeKind::kFec};
   if (smoke) {
     kinds = {FaultKind::kDrop, FaultKind::kHoLoss};
     intensities = {{"zero", 0.0, 0, 1.0}, {"high", 0.05, microseconds(400), 0.05}};

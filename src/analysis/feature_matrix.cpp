@@ -11,6 +11,12 @@ std::vector<SchemeFeatures> feature_matrix() {
       {"CP", true, true, true, false},
       {"MP-RDMA", false, true, false, true},
       {"DCP", true, true, true, true},
+      // Erasure-coded streaming (transports/fec.h): thrives on lossy fabrics
+      // and is indifferent to per-packet spraying, and repairs up to m losses
+      // per group with no retransmission at all — but line-rate GF(256)
+      // encode plus per-group decode buffers put it outside the
+      // low-memory/low-compute RNIC envelope R4 asks for.
+      {"FEC", true, true, true, false},
   };
 }
 

@@ -60,7 +60,8 @@ std::optional<SchemeKind> scheme_from_name(const std::string& name) {
   static constexpr SchemeKind kAll[] = {
       SchemeKind::kPfc,  SchemeKind::kIrn,     SchemeKind::kIrnEcmp,
       SchemeKind::kMpRdma, SchemeKind::kDcp,   SchemeKind::kCx5,
-      SchemeKind::kTimeout, SchemeKind::kRackTlp, SchemeKind::kTcp};
+      SchemeKind::kTimeout, SchemeKind::kRackTlp, SchemeKind::kTcp,
+      SchemeKind::kFec};
   for (SchemeKind k : kAll) {
     std::string n = scheme_name(k);
     for (char& c : n) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
@@ -83,7 +84,7 @@ FuzzScenario generate_fuzz_scenario(std::uint64_t seed) {
         SchemeKind::kDcp,     SchemeKind::kDcp, SchemeKind::kDcp,
         SchemeKind::kPfc,     SchemeKind::kIrn, SchemeKind::kIrnEcmp,
         SchemeKind::kMpRdma,  SchemeKind::kCx5, SchemeKind::kTimeout,
-        SchemeKind::kRackTlp, SchemeKind::kTcp};
+        SchemeKind::kRackTlp, SchemeKind::kTcp, SchemeKind::kFec};
     s.scheme = kPool[r.pick_index(std::size(kPool))];
   }
 

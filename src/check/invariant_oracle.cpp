@@ -376,6 +376,24 @@ void InvariantOracle::finalize() {
                     " B",
                     rec.spec.id, rec.receiver.bytes_received, rec.spec.bytes));
       }
+      // recovery-accounting (FEC): decode-recovered and NACK-recovered
+      // chunks partition the repaired losses, so their sum can never exceed
+      // the flow's data-packet count — an overshoot means a chunk was
+      // credited twice (e.g. counted by the decoder and again when the
+      // retransmission landed), which completion-consistency alone can miss
+      // when offsetting byte errors cancel out.
+      const std::uint64_t mtu = net_.transport_config().mtu_payload;
+      std::uint64_t data_pkts = mtu > 0 ? (rec.spec.bytes + mtu - 1) / mtu : 0;
+      if (data_pkts == 0) data_pkts = 1;
+      const std::uint64_t recovered =
+          rec.receiver.decode_recovered_packets + rec.receiver.nack_recovered_packets;
+      if (recovered > data_pkts) {
+        violate("recovery-accounting",
+                fmt("flow %" PRIu64 ": %" PRIu64 " chunks recovered (%" PRIu64
+                    " decode + %" PRIu64 " NACK) out of only %" PRIu64 " data packets",
+                    rec.spec.id, recovered, rec.receiver.decode_recovered_packets,
+                    rec.receiver.nack_recovered_packets, data_pkts));
+      }
     } else if (quiesced) {
       violate("no-silent-deadlock",
               fmt("flow %" PRIu64 ": simulator quiesced but the flow never completed "

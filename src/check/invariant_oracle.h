@@ -24,6 +24,9 @@
 //                            (§4.5: per-message counters + eMSN, no bitmap)
 //   completion-consistency   a completed flow whose receiver accounted a
 //                            byte count different from the flow size
+//   recovery-accounting      an FEC flow "recovered" (by parity decode or
+//                            NACK retransmission) more chunks than the flow
+//                            has data packets — a double-credited repair
 //   no-silent-deadlock       the simulator quiesced with an incomplete flow
 //
 // Usage: construct after the topology is built, run, then finalize():

@@ -48,6 +48,7 @@ bool parse_scheme(const std::string& v, SchemeKind& out) {
   else if (l == "timeout") out = SchemeKind::kTimeout;
   else if (l == "racktlp" || l == "rack-tlp") out = SchemeKind::kRackTlp;
   else if (l == "tcp") out = SchemeKind::kTcp;
+  else if (l == "fec") out = SchemeKind::kFec;
   else return false;
   return true;
 }
@@ -65,6 +66,7 @@ std::optional<ExperimentConfig> parse_experiment_config(const std::string& text,
   SchemeKind scheme = SchemeKind::kDcp;
   SchemeOptions opt;
   bool in_faults = false;
+  bool in_scheme = false;
   std::istringstream in(text);
   std::string raw;
   int line_no = 0;
@@ -77,9 +79,13 @@ std::optional<ExperimentConfig> parse_experiment_config(const std::string& text,
     if (line.front() == '[') {
       if (line.back() != ']') return fail(line_no, "unterminated section header");
       const std::string section = lower(trim(line.substr(1, line.size() - 2)));
+      in_faults = false;
+      in_scheme = false;
       if (section == "faults") in_faults = true;
-      else if (section == "general" || section == "experiment") in_faults = false;
-      else return fail(line_no, "unknown section '" + section + "'");
+      else if (section == "scheme") in_scheme = true;
+      else if (section != "general" && section != "experiment") {
+        return fail(line_no, "unknown section '" + section + "'");
+      }
       continue;
     }
     if (in_faults) {
@@ -95,6 +101,30 @@ std::optional<ExperimentConfig> parse_experiment_config(const std::string& text,
     const std::string val = trim(line.substr(eq + 1));
     if (val.empty()) return fail(line_no, "empty value for '" + key + "'");
 
+    if (in_scheme) {
+      try {
+        if (key == "kind" || key == "scheme") {
+          if (!parse_scheme(val, scheme)) return fail(line_no, "unknown scheme '" + val + "'");
+        } else if (key == "fec_k") {
+          opt.fec_k = static_cast<std::uint32_t>(std::stoul(val));
+          if (opt.fec_k == 0) return fail(line_no, "fec_k must be >= 1");
+        } else if (key == "fec_m") {
+          opt.fec_m = static_cast<std::uint32_t>(std::stoul(val));
+          if (opt.fec_m == 0) return fail(line_no, "fec_m must be >= 1");
+        } else if (key == "fec_stream_window_bytes") {
+          opt.fec_stream_window_bytes = std::stoull(val);
+        } else if (key == "fec_nack_delay_us") {
+          opt.fec_nack_delay = microseconds(std::stod(val));
+        } else {
+          return fail(line_no, "unknown [scheme] key '" + key + "'");
+        }
+      } catch (const std::exception&) {
+        return fail(line_no, "bad numeric value '" + val + "' for '" + key + "'");
+      }
+      if (opt.fec_k + opt.fec_m > 256) return fail(line_no, "fec_k + fec_m must be <= 256");
+      continue;
+    }
+
     try {
       if (key == "experiment") {
         const std::string l = lower(val);
@@ -104,6 +134,8 @@ std::optional<ExperimentConfig> parse_experiment_config(const std::string& text,
         else if (l == "unequal_paths") cfg.kind = ExperimentConfig::Kind::kUnequalPaths;
         else if (l == "fault_drill" || l == "faultdrill") {
           cfg.kind = ExperimentConfig::Kind::kFaultDrill;
+        } else if (l == "wanflow" || l == "wan_flow") {
+          cfg.kind = ExperimentConfig::Kind::kWanFlow;
         } else return fail(line_no, "unknown experiment '" + val + "'");
       } else if (key == "scheme") {
         if (!parse_scheme(val, scheme)) return fail(line_no, "unknown scheme '" + val + "'");
@@ -122,6 +154,7 @@ std::optional<ExperimentConfig> parse_experiment_config(const std::string& text,
         cfg.websearch.seed = std::stoull(val);
         cfg.longflow.seed = std::stoull(val);
         cfg.faultdrill.seed = std::stoull(val);
+        cfg.wanflow.seed = std::stoull(val);
       } else if (key == "dist") {
         const std::string l = lower(val);
         if (l == "websearch") cfg.websearch.dist = WorkloadDist::kWebSearch;
@@ -156,6 +189,15 @@ std::optional<ExperimentConfig> parse_experiment_config(const std::string& text,
       } else if (key == "flow_bytes") {
         cfg.longflow.flow_bytes = std::stoull(val);
         cfg.faultdrill.flow_bytes = std::stoull(val);
+        cfg.wanflow.flow_bytes = std::stoull(val);
+      } else if (key == "regions") {
+        cfg.wanflow.wan.regions = std::stoi(val);
+      } else if (key == "hosts_per_region") {
+        cfg.wanflow.wan.hosts_per_region = std::stoi(val);
+      } else if (key == "wan_delay_ms") {
+        cfg.wanflow.wan.wan_delay = milliseconds(std::stod(val));
+      } else if (key == "wan_loss_rate") {
+        cfg.wanflow.wan.wan_loss_rate = std::stod(val);
       } else if (key == "collective_kind") {
         const std::string l = lower(val);
         if (l == "allreduce") cfg.collective.kind = CollectiveKind::kAllReduce;
@@ -175,6 +217,7 @@ std::optional<ExperimentConfig> parse_experiment_config(const std::string& text,
         cfg.longflow.max_time = t;
         cfg.collective.max_time = t;
         cfg.faultdrill.max_time = t;
+        cfg.wanflow.max_time = t;
       } else {
         return fail(line_no, "unknown key '" + key + "'");
       }
@@ -191,10 +234,24 @@ std::optional<ExperimentConfig> parse_experiment_config(const std::string& text,
   cfg.collective.opt = opt;
   cfg.faultdrill.scheme = scheme;
   cfg.faultdrill.opt = opt;
+  cfg.wanflow.scheme = scheme;
+  cfg.wanflow.opt = opt;
   cfg.websearch.faults = cfg.faults;
   cfg.longflow.faults = cfg.faults;
   cfg.faultdrill.faults = cfg.faults;
   return cfg;
+}
+
+std::string scheme_config_text(SchemeKind kind, const SchemeOptions& opt) {
+  std::string name = lower(scheme_name(kind));
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "[scheme]\nkind = %s\nfec_k = %u\nfec_m = %u\n"
+                "fec_stream_window_bytes = %llu\nfec_nack_delay_us = %.9g\n",
+                name.c_str(), opt.fec_k, opt.fec_m,
+                static_cast<unsigned long long>(opt.fec_stream_window_bytes),
+                static_cast<double>(opt.fec_nack_delay) / kMicrosecond);
+  return buf;
 }
 
 std::optional<ExperimentConfig> load_experiment_config(const std::string& path,
@@ -278,6 +335,18 @@ std::string run_configured_experiment(const ExperimentConfig& cfg) {
           run_unequal_paths(cfg.longflow.scheme, cfg.unequal_ratio, cfg.longflow.flow_bytes);
       std::snprintf(buf, sizeof(buf), "unequal_paths %s ratio 1:%g: avg goodput %.2f Gbps\n",
                     scheme_name(cfg.longflow.scheme), cfg.unequal_ratio, r.avg_goodput_gbps);
+      out = buf;
+      break;
+    }
+    case ExperimentConfig::Kind::kWanFlow: {
+      WanFlowResult r = run_wan_flow(cfg.wanflow);
+      std::snprintf(buf, sizeof(buf),
+                    "wanflow %s: goodput %.2f Gbps  completed=%s  wire drops %llu  "
+                    "decode-recovered %llu  nack-recovered %llu\n",
+                    scheme_name(cfg.wanflow.scheme), r.goodput_gbps, r.completed ? "yes" : "no",
+                    static_cast<unsigned long long>(r.wire_dropped),
+                    static_cast<unsigned long long>(r.receiver.decode_recovered_packets),
+                    static_cast<unsigned long long>(r.receiver.nack_recovered_packets));
       out = buf;
       break;
     }

@@ -4,7 +4,8 @@
 // scripted without recompiling.  Used by `examples/run_config`.
 //
 //   experiment = websearch        # websearch | longflow | collective | unequal_paths
-//   scheme     = dcp              # dcp irn irn-ecmp pfc mprdma cx5 timeout racktlp tcp
+//                                 # | fault_drill | wanflow
+//   scheme     = dcp              # dcp irn irn-ecmp pfc mprdma cx5 timeout racktlp tcp fec
 //   with_cc    = true
 //   cc         = timely           # dcqcn | timely
 //   load       = 0.5
@@ -23,6 +24,26 @@
 //   [faults]
 //   link_flap at=2ms dur=500us sw=0 port=1
 //   drop at=5ms dur=1ms rate=0.01
+//
+// An optional `[scheme]` section carries scheme-specific knobs (today: the
+// FEC tier's group geometry and stream window); scheme_config_text()
+// serializes it back, and parsing that text reproduces the same values —
+// the same round-trip contract FaultPlan::to_config_text() provides:
+//
+//   [scheme]
+//   kind = fec
+//   fec_k = 8
+//   fec_m = 2
+//   fec_stream_window_bytes = 0    # 0 = 2 x BDP
+//   fec_nack_delay_us = 0          # 0 = max(rto_low, base_rtt / 2)
+//
+// The `wanflow` experiment drives the WAN topology (topo/wan.h):
+//
+//   experiment = wanflow
+//   regions = 3
+//   hosts_per_region = 4
+//   wan_delay_ms = 25
+//   wan_loss_rate = 0.05
 
 #include <optional>
 #include <string>
@@ -32,16 +53,21 @@
 namespace dcp {
 
 struct ExperimentConfig {
-  enum class Kind { kWebSearch, kLongFlow, kCollective, kUnequalPaths, kFaultDrill };
+  enum class Kind { kWebSearch, kLongFlow, kCollective, kUnequalPaths, kFaultDrill, kWanFlow };
   Kind kind = Kind::kWebSearch;
 
   WebSearchParams websearch;
   LongFlowParams longflow;
   CollectiveExpParams collective;
   FaultDrillParams faultdrill;
+  WanFlowParams wanflow;
   double unequal_ratio = 4.0;
   FaultPlan faults;  // parsed [faults] section; copied into the params above
 };
+
+/// Serializes the scheme + its `[scheme]`-section knobs back to config
+/// text; parse_experiment_config() round-trips it exactly.
+std::string scheme_config_text(SchemeKind kind, const SchemeOptions& opt);
 
 /// Parses config text.  On failure returns nullopt and, if `error` is
 /// non-null, a message naming the offending line/key.

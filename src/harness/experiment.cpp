@@ -206,6 +206,68 @@ FaultDrillResult run_fault_drill(const FaultDrillParams& p) {
   return r;
 }
 
+WanFlowResult run_wan_flow(const WanFlowParams& p) {
+  ShardGroup shards(resolve_shards(p.wan.regions, /*has_faults=*/false));
+  Simulator& sim = shards.sim(0);
+  Logger log(LogLevel::kError);
+  Network net(shards, log);
+
+  SchemeOptions opt = p.opt;
+  WanParams wan = p.wan;
+  wan.wan_seed = p.seed;
+  if (p.auto_scale_timers) {
+    const Time rtt = 2 * (2 * wan.host_link_delay + wan.wan_delay);
+    opt.base_rtt = rtt;
+    opt.rto_high = 2 * rtt + microseconds(320);
+    opt.rto_low = rtt / 2 + microseconds(100);
+    opt.dcp_msg_timeout = 2 * rtt + milliseconds(1);
+    opt.line_rate = wan.wan_link;
+  }
+  SchemeSetup setup = make_scheme(p.scheme, opt);
+  wan.sw = setup.sw;
+  // The long pipe must fit in the region switch: size buffers to the BDP
+  // (a 25 ms 100G span is ~312 MB of in-flight data per direction).
+  const std::uint64_t bdp = bdp_bytes(wan.wan_link, 2 * wan.wan_delay);
+  wan.sw.buffer_bytes = std::max(wan.sw.buffer_bytes, 2 * bdp);
+  wan.sw.max_data_queue_bytes = std::max(wan.sw.max_data_queue_bytes, 2 * bdp);
+  WanTopology topo = build_wan(net, wan);
+  apply_scheme(net, setup);
+
+  FlowSpec spec;
+  spec.src = topo.hosts[0]->id();
+  spec.dst = topo.hosts[static_cast<std::size_t>(wan.hosts_per_region)]->id();  // region 1
+  spec.bytes = p.flow_bytes;
+  spec.start_time = 0;
+  spec.msg_bytes = opt.msg_bytes;
+  const FlowId id = net.start_flow(spec);
+
+  std::unique_ptr<InvariantOracle> oracle;
+  if (p.oracle) oracle = std::make_unique<InvariantOracle>(net);
+
+  CorePerfTimer timer(shards);
+  net.run_until_done(p.max_time);
+
+  WanFlowResult r;
+  r.core = timer.finish();
+  if (oracle) {
+    oracle->finalize();
+    r.violations = oracle->violations();
+  }
+  const FlowRecord& rec = net.record(id);
+  r.completed = rec.complete();
+  r.elapsed = r.completed ? rec.fct() : sim.now();
+  Host* dst = net.host(spec.dst);
+  Host* src = net.host(spec.src);
+  r.receiver = rec.complete() ? rec.receiver : dst->receiver(id)->stats();
+  r.sender = rec.complete() ? rec.sender : src->sender(id)->stats();
+  if (r.elapsed > 0) {
+    r.goodput_gbps = static_cast<double>(r.receiver.bytes_received) * 8.0 /
+                     (static_cast<double>(r.elapsed) / kSecond) / 1e9;
+  }
+  r.wire_dropped = topo.wire_dropped();
+  return r;
+}
+
 WebSearchResult run_websearch(const WebSearchParams& p) {
   ShardGroup shards(resolve_shards(p.clos.leaves, p.faults.has_effect()));
   Simulator& sim = shards.sim(0);

@@ -15,6 +15,7 @@
 #include "stats/recovery_stats.h"
 #include "topo/clos.h"
 #include "topo/testbed.h"
+#include "topo/wan.h"
 #include "workload/collective.h"
 #include "workload/flowgen.h"
 #include "workload/incast.h"
@@ -164,6 +165,42 @@ struct FaultDrillResult {
 };
 
 FaultDrillResult run_fault_drill(const FaultDrillParams& p);
+
+// ---------------------------------------------------------------------------
+// WAN cross-region flow (bench_fig18): lossy long-haul links
+// ---------------------------------------------------------------------------
+//
+// One flow from region 0 to region 1 over the WAN mesh.  Ambient wire loss
+// comes from the topology's per-direction ChannelFault substreams, which
+// are shard-safe (each is drawn only by its channel's source-side thread),
+// so these runs shard by region and stay bit-identical across DCP_SHARDS.
+
+struct WanFlowParams {
+  SchemeKind scheme = SchemeKind::kFec;
+  SchemeOptions opt;
+  WanParams wan;
+  std::uint64_t flow_bytes = 25ull * 1000 * 1000;
+  Time max_time = seconds(10);
+  std::uint64_t seed = 1;
+  /// Derive base_rtt / RTO / NACK timers from the WAN round trip instead
+  /// of the datacenter defaults (a 320 us RTO under a 50 ms RTT would
+  /// retransmit the whole flow many times over before the first ACK).
+  bool auto_scale_timers = true;
+  bool oracle = false;
+};
+
+struct WanFlowResult {
+  double goodput_gbps = 0.0;
+  bool completed = false;
+  Time elapsed = 0;
+  SenderStats sender;
+  ReceiverStats receiver;
+  std::uint64_t wire_dropped = 0;  // random WAN-loss drops across the mesh
+  CorePerf core;
+  std::vector<InvariantViolation> violations;  // only when params.oracle
+};
+
+WanFlowResult run_wan_flow(const WanFlowParams& p);
 
 // ---------------------------------------------------------------------------
 // Collectives (Figs. 12, 14)

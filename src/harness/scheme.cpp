@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/dcp_transport.h"
+#include "transports/fec.h"
 #include "transports/gbn.h"
 #include "transports/irn.h"
 #include "transports/mprdma.h"
@@ -23,6 +24,7 @@ const char* scheme_name(SchemeKind k) {
     case SchemeKind::kTimeout: return "Timeout";
     case SchemeKind::kRackTlp: return "RACK-TLP";
     case SchemeKind::kTcp: return "TCP";
+    case SchemeKind::kFec: return "FEC";
   }
   return "?";
 }
@@ -124,6 +126,20 @@ SchemeSetup make_scheme(SchemeKind kind, const SchemeOptions& opt) {
     case SchemeKind::kTcp:
       s.factory = std::make_shared<TcpLiteFactory>();
       s.sw.lb = LbPolicy::kEcmp;
+      break;
+
+    case SchemeKind::kFec:
+      s.factory = std::make_shared<FecFactory>();
+      s.sw.lb = LbPolicy::kEcmp;  // lossy fabric, no PFC/trim on a WAN
+      s.tcfg.fec_k = opt.fec_k;
+      s.tcfg.fec_m = opt.fec_m;
+      // Fire-and-forget needs pipe + slack: with the window at exactly one
+      // BDP the stream stalls while group ACKs cross the long haul.
+      s.tcfg.fec_stream_window_bytes =
+          opt.fec_stream_window_bytes > 0 ? opt.fec_stream_window_bytes : 2 * bdp;
+      s.tcfg.fec_nack_delay =
+          opt.fec_nack_delay > 0 ? opt.fec_nack_delay : std::max(opt.rto_low, opt.base_rtt / 2);
+      if (opt.with_cc) enable_dcqcn(2 * bdp);
       break;
   }
 

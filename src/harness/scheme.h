@@ -12,6 +12,7 @@
 //   Timeout  : timeout-only + lossy                + ECMP
 //   RACK-TLP : RACK-TLP  + lossy                   + ECMP
 //   TCP      : TcpLite   + lossy                   + ECMP
+//   FEC      : erasure-coded streaming + lossy     + ECMP (WAN tier)
 
 #include <memory>
 #include <string>
@@ -32,6 +33,7 @@ enum class SchemeKind {
   kTimeout,
   kRackTlp,
   kTcp,
+  kFec,
 };
 
 const char* scheme_name(SchemeKind k);
@@ -52,6 +54,15 @@ struct SchemeOptions {
   // support up to 16 MB per message at 1 KB MTU (§4.5); general RPC-style
   // flows post large messages, collectives use their own chunk size.
   std::uint64_t msg_bytes = 4 * 1024 * 1024;
+  // FEC geometry and stream window (transports/fec.h).  A zero stream
+  // window defaults to 2 BDP so the sender keeps the long pipe full while
+  // group ACKs are still in flight; a zero NACK delay defaults to
+  // max(rto_low, base_rtt / 2) — long enough to ride out reordering,
+  // short enough to beat the RTO backstop.
+  std::uint32_t fec_k = 8;
+  std::uint32_t fec_m = 2;
+  std::uint64_t fec_stream_window_bytes = 0;
+  Time fec_nack_delay = 0;
 };
 
 struct SchemeSetup {

@@ -60,6 +60,13 @@ struct TransportConfig {
   // TCP software-stack proxy (Fig 8): host processing rate + latency.
   Bandwidth sw_stack_rate = Bandwidth::gbps(30);
   Time sw_stack_delay = microseconds(8);
+  // FEC transport (transports/fec.h): (k, m) parity-group geometry, the
+  // fire-and-forget stream window (0 = fall back to the CC window) and the
+  // receiver's quiet-period NACK delay (0 = rto_low).
+  std::uint32_t fec_k = 8;
+  std::uint32_t fec_m = 2;
+  std::uint64_t fec_stream_window_bytes = 0;
+  Time fec_nack_delay = 0;
 };
 
 struct SenderStats {
@@ -70,6 +77,7 @@ struct SenderStats {
   std::uint64_t timeouts = 0;
   std::uint64_t ho_received = 0;
   std::uint64_t cnp_received = 0;
+  std::uint64_t parity_packets_sent = 0;  // FEC redundancy overhead
 };
 
 /// Per-flow sender state machine.  Subclasses implement the protocol; the
@@ -144,6 +152,10 @@ struct ReceiverStats {
   std::uint64_t bytes_received = 0;   // unique payload bytes
   std::uint64_t ho_received = 0;
   std::uint64_t acks_sent = 0;
+  // FEC recovery split: chunks reconstructed by parity decode vs chunks
+  // that needed a NACK'd retransmission to arrive.
+  std::uint64_t decode_recovered_packets = 0;
+  std::uint64_t nack_recovered_packets = 0;
 };
 
 /// Per-flow receiver state machine.

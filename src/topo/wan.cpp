@@ -1,0 +1,102 @@
+#include "topo/wan.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dcp {
+
+WanTopology build_wan(Network& net, WanParams p) {
+  assert(p.regions >= 2 && p.regions <= 8 && "WAN topology supports 2-8 regions");
+  WanTopology topo;
+  topo.params = p;
+
+  // One natural shard per region (no-op when shard_count() == 1): a region
+  // switch and its hosts stay on one core, the WAN mesh forming the cut.
+  auto shard_of = [&](int region) {
+    return net.shard_count() > 1 ? region % net.shard_count() : 0;
+  };
+
+  for (int r = 0; r < p.regions; ++r) {
+    net.set_build_shard(shard_of(r));
+    topo.region_sw.push_back(net.add_switch("region" + std::to_string(r), p.sw));
+    for (int i = 0; i < p.hosts_per_region; ++i) {
+      Host* h = net.add_host("r" + std::to_string(r) + "h" + std::to_string(i), p.host_link,
+                             p.host_link_delay);
+      net.attach(h, topo.region_sw[r], p.host_link, p.host_link_delay);
+      topo.hosts.push_back(h);
+    }
+  }
+  net.set_build_shard(0);
+
+  // Full mesh of inter-region wires.  cross[a][b] is the port on region a's
+  // switch whose channel leads to region b.
+  std::vector<std::vector<std::uint32_t>> cross(p.regions,
+                                                std::vector<std::uint32_t>(p.regions, 0));
+  for (int a = 0; a < p.regions; ++a) {
+    for (int b = a + 1; b < p.regions; ++b) {
+      auto [pa, pb] = net.link(topo.region_sw[a], topo.region_sw[b], p.wan_link, p.wan_delay);
+      cross[a][b] = pa;
+      cross[b][a] = pb;
+      if (p.wan_loss_rate > 0.0) {
+        // Ambient loss, one independent substream per wire direction.  The
+        // fault struct must outlive the run at a stable address (channels
+        // keep a raw pointer), hence the unique_ptr store on the topology.
+        const std::uint64_t tag =
+            (static_cast<std::uint64_t>(a) << 32) | static_cast<std::uint64_t>(b);
+        for (int dir = 0; dir < 2; ++dir) {
+          auto wf = std::make_unique<WanTopology::WireFault>(
+              mix64(p.wan_seed ^ mix64(tag * 2 + dir)));
+          wf->fault.drop_rate = p.wan_loss_rate;
+          Switch* src = dir == 0 ? topo.region_sw[a] : topo.region_sw[b];
+          const std::uint32_t port = dir == 0 ? cross[a][b] : cross[b][a];
+          src->port(port).channel().set_fault(&wf->fault);
+          topo.wire_faults.push_back(std::move(wf));
+        }
+      }
+    }
+  }
+
+  // Remote-region hosts route over the direct wire (single-path WAN: no
+  // ECMP spraying across regions, which matches long-haul reality).
+  for (int r = 0; r < p.regions; ++r) {
+    for (int other = 0; other < p.regions; ++other) {
+      if (other == r) continue;
+      for (int i = 0; i < p.hosts_per_region; ++i) {
+        const NodeId hid = topo.hosts[other * p.hosts_per_region + i]->id();
+        topo.region_sw[r]->routes().add_route(hid, cross[r][other]);
+      }
+    }
+  }
+
+  const Time hd = p.host_link_delay;
+  const Time wd = p.wan_delay;
+  const int hpr = p.hosts_per_region;
+  const Bandwidth host_bw = p.host_link;
+  const Bandwidth wan_bw = p.wan_link;
+  std::vector<NodeId> host_ids;
+  for (auto* h : topo.hosts) host_ids.push_back(h->id());
+  net.path_info = [host_ids, hpr, hd, wd, host_bw, wan_bw](NodeId a, NodeId b) {
+    PathInfo pi;
+    auto idx = [&host_ids](NodeId id) {
+      auto it = std::lower_bound(host_ids.begin(), host_ids.end(), id);
+      return it != host_ids.end() && *it == id ? static_cast<int>(it - host_ids.begin()) : -1;
+    };
+    const int ia = idx(a);
+    const int ib = idx(b);
+    const bool same_region = ia >= 0 && ib >= 0 && ia / hpr == ib / hpr;
+    if (same_region) {
+      pi.bottleneck = host_bw;
+      pi.one_way_delay = 2 * hd;
+      pi.hops = 2;
+    } else {
+      pi.bottleneck = host_bw.ps_per_byte > wan_bw.ps_per_byte ? host_bw : wan_bw;
+      pi.one_way_delay = 2 * hd + wd;
+      pi.hops = 3;
+    }
+    return pi;
+  };
+
+  return topo;
+}
+
+}  // namespace dcp

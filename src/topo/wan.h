@@ -1,0 +1,62 @@
+#pragma once
+// WAN topology: 2-8 regions of hosts, each behind one region switch, the
+// switches bridged by a full mesh of high-RTT, lossy, huge-BDP inter-region
+// links.  The scenario axis beyond the paper's datacenter scope: ms-scale
+// propagation makes PFC and packet trimming structurally impossible, and a
+// ChannelFault on each direction of every inter-region wire models the
+// ambient loss (1-20%) that the FEC tier is built for.  Regions shard
+// naturally (one region per event core, the WAN links forming the cut).
+
+#include <memory>
+#include <vector>
+
+#include "net/channel.h"
+#include "topo/network.h"
+
+namespace dcp {
+
+struct WanParams {
+  int regions = 3;  // 2..8
+  int hosts_per_region = 4;
+  Bandwidth host_link = Bandwidth::gbps(100);
+  Time host_link_delay = microseconds(1);
+  Bandwidth wan_link = Bandwidth::gbps(100);
+  /// One-way propagation of every inter-region link.  25 ms is a
+  /// continental span; at 100 Gbps that is a ~312 MB BDP per direction.
+  Time wan_delay = milliseconds(25);
+  /// Ambient random loss applied independently to each direction of each
+  /// inter-region link (0 = clean wires and the no-fault fast path).
+  double wan_loss_rate = 0.0;
+  std::uint64_t wan_seed = 1;
+  SwitchConfig sw;
+};
+
+struct WanTopology {
+  /// Loss state for one direction of one inter-region wire.  Owned here
+  /// (channels only hold pointers) with a dedicated Rng substream per
+  /// direction, so draws stay deterministic per wire regardless of event
+  /// interleaving across shards.
+  struct WireFault {
+    ChannelFault fault;
+    Rng rng;
+    explicit WireFault(std::uint64_t seed) : rng(seed) { fault.rng = &rng; }
+  };
+
+  WanParams params;
+  std::vector<Host*> hosts;          // region r owns [r*hpr, (r+1)*hpr)
+  std::vector<Switch*> region_sw;    // one per region
+  std::vector<std::unique_ptr<WireFault>> wire_faults;
+
+  int region_of_host(int host_index) const { return host_index / params.hosts_per_region; }
+
+  /// Sum of random-loss drops across every inter-region wire direction.
+  std::uint64_t wire_dropped() const {
+    std::uint64_t n = 0;
+    for (const auto& wf : wire_faults) n += wf->fault.dropped;
+    return n;
+  }
+};
+
+WanTopology build_wan(Network& net, WanParams params);
+
+}  // namespace dcp

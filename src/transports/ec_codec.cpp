@@ -1,0 +1,177 @@
+#include "transports/ec_codec.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace dcp {
+namespace {
+
+// exp/log tables for GF(2^8) mod x^8 + x^4 + x^3 + x^2 + 1 (0x11d), the
+// polynomial every RS implementation from RAID-6 to ISA-L uses.  gf_exp is
+// doubled so mul can skip the mod-255 reduction on the index sum.
+struct GfTables {
+  std::uint8_t exp[512];
+  std::uint8_t log[256];
+
+  GfTables() {
+    std::uint32_t x = 1;
+    for (unsigned i = 0; i < 255; ++i) {
+      exp[i] = static_cast<std::uint8_t>(x);
+      log[x] = static_cast<std::uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= 0x11d;
+    }
+    for (unsigned i = 255; i < 512; ++i) exp[i] = exp[i - 255];
+    log[0] = 0;  // never consulted: callers guard the zero operand
+  }
+};
+
+const GfTables& tables() {
+  static const GfTables t;
+  return t;
+}
+
+// parity += coef * data over a whole buffer.  The scalar loop is enough for
+// the micro-benchmark's purposes; the per-call table hoist keeps it out of
+// the inner loop.
+void gf_mul_acc(std::uint8_t* dst, const std::uint8_t* src, std::size_t n, std::uint8_t coef) {
+  if (coef == 0) return;
+  const GfTables& t = tables();
+  if (coef == 1) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+    return;
+  }
+  const unsigned lc = t.log[coef];
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t s = src[i];
+    if (s != 0) dst[i] ^= t.exp[lc + t.log[s]];
+  }
+}
+
+}  // namespace
+
+std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const GfTables& t = tables();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+std::uint8_t gf_inv(std::uint8_t a) {
+  assert(a != 0 && "GF(256) zero has no inverse");
+  const GfTables& t = tables();
+  return t.exp[255 - t.log[a]];
+}
+
+std::uint8_t gf_div(std::uint8_t a, std::uint8_t b) {
+  assert(b != 0 && "GF(256) division by zero");
+  if (a == 0) return 0;
+  const GfTables& t = tables();
+  return t.exp[t.log[a] + 255 - t.log[b]];
+}
+
+EcCodec::EcCodec(unsigned k, unsigned m) : k_(k), m_(m), coef_(std::size_t{m} * k) {
+  assert(k >= 1 && m >= 1 && k + m <= 256 && "EcCodec: need 1 <= k, 1 <= m, k + m <= 256");
+  if (m == 1) {
+    // Single-parity XOR: the 1 x k all-ones row.  Any one erasure among the
+    // k + 1 chunks is the XOR of the survivors.
+    for (unsigned i = 0; i < k; ++i) coef_[i] = 1;
+    return;
+  }
+  // Cauchy construction: coef[j][i] = 1 / (x_j ^ y_i) with x_j = k + j and
+  // y_i = i.  The index sets are disjoint (so x_j ^ y_i != 0) and every
+  // square submatrix of a Cauchy matrix is nonsingular, which makes the
+  // systematic code [I_k ; C] MDS: any k of the k + m chunks decode.
+  for (unsigned j = 0; j < m; ++j) {
+    for (unsigned i = 0; i < k; ++i) {
+      coef_[std::size_t{j} * k + i] =
+          gf_inv(static_cast<std::uint8_t>((k + j) ^ i));
+    }
+  }
+}
+
+std::vector<std::vector<std::uint8_t>> EcCodec::encode(
+    const std::vector<std::vector<std::uint8_t>>& data) const {
+  assert(data.size() == k_ && "EcCodec::encode: expected exactly k data chunks");
+  std::size_t len = 0;
+  for (const auto& d : data) len = d.size() > len ? d.size() : len;
+  std::vector<std::vector<std::uint8_t>> parity(m_, std::vector<std::uint8_t>(len, 0));
+  for (unsigned j = 0; j < m_; ++j) {
+    for (unsigned i = 0; i < k_; ++i) {
+      // Accumulate each chunk over its own length: a short chunk (the tail
+      // group's last one) is implicitly zero-padded, and zeroes add nothing.
+      gf_mul_acc(parity[j].data(), data[i].data(), data[i].size(), coef(j, i));
+    }
+  }
+  return parity;
+}
+
+bool EcCodec::decode(std::vector<std::vector<std::uint8_t>>& chunks,
+                     const std::vector<bool>& present) const {
+  assert(chunks.size() == k_ + m_ && present.size() == k_ + m_ &&
+         "EcCodec::decode: expected k + m chunk/present slots");
+
+  // Pick the first k present chunks as the decoding basis; with fewer than
+  // k survivors the group is arithmetically unrecoverable.
+  std::vector<unsigned> rows;
+  rows.reserve(k_);
+  for (unsigned i = 0; i < k_ + m_ && rows.size() < k_; ++i) {
+    if (present[i]) rows.push_back(i);
+  }
+  if (rows.size() < k_) return false;
+
+  bool all_data = true;
+  for (unsigned r : rows) all_data &= (r < k_);
+  if (all_data) return true;  // nothing to reconstruct
+
+  std::size_t len = 0;
+  for (unsigned r : rows) len = chunks[r].size() > len ? chunks[r].size() : len;
+
+  // A[r][*] is row `rows[r]` of the systematic generator [I_k ; C], and
+  // work[r] the matching received buffer; Gauss-Jordan over GF(256) turns
+  // A into I and work into the k data chunks.
+  std::vector<std::uint8_t> a(std::size_t{k_} * k_, 0);
+  std::vector<std::vector<std::uint8_t>> work(k_);
+  for (unsigned r = 0; r < k_; ++r) {
+    const unsigned src = rows[r];
+    if (src < k_) {
+      a[std::size_t{r} * k_ + src] = 1;
+    } else {
+      std::memcpy(&a[std::size_t{r} * k_], &coef_[std::size_t{src - k_} * k_], k_);
+    }
+    work[r].assign(len, 0);
+    std::memcpy(work[r].data(), chunks[src].data(), chunks[src].size());
+  }
+
+  for (unsigned col = 0; col < k_; ++col) {
+    unsigned piv = col;
+    while (piv < k_ && a[std::size_t{piv} * k_ + col] == 0) ++piv;
+    assert(piv < k_ && "EcCodec::decode: MDS matrix cannot be singular");
+    if (piv != col) {
+      for (unsigned c = 0; c < k_; ++c)
+        std::swap(a[std::size_t{piv} * k_ + c], a[std::size_t{col} * k_ + c]);
+      work[piv].swap(work[col]);
+    }
+    const std::uint8_t inv = gf_inv(a[std::size_t{col} * k_ + col]);
+    if (inv != 1) {
+      for (unsigned c = 0; c < k_; ++c)
+        a[std::size_t{col} * k_ + c] = gf_mul(a[std::size_t{col} * k_ + c], inv);
+      for (std::size_t i = 0; i < len; ++i)
+        work[col][i] = gf_mul(work[col][i], inv);
+    }
+    for (unsigned r = 0; r < k_; ++r) {
+      if (r == col) continue;
+      const std::uint8_t f = a[std::size_t{r} * k_ + col];
+      if (f == 0) continue;
+      for (unsigned c = 0; c < k_; ++c)
+        a[std::size_t{r} * k_ + c] ^= gf_mul(f, a[std::size_t{col} * k_ + c]);
+      gf_mul_acc(work[r].data(), work[col].data(), len, f);
+    }
+  }
+
+  for (unsigned i = 0; i < k_; ++i) {
+    if (!present[i]) chunks[i] = std::move(work[i]);
+  }
+  return true;
+}
+
+}  // namespace dcp

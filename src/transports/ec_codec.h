@@ -1,0 +1,68 @@
+#pragma once
+// GF(256) erasure codec for the FEC transport (src/transports/fec.h).
+//
+// A group of k data chunks is extended with m parity chunks so that ANY k
+// of the k + m chunks reconstruct the originals (an MDS code).  m == 1 is
+// plain XOR parity; m > 1 uses a systematic Cauchy-matrix Reed-Solomon
+// construction over GF(2^8) with the 0x11d primitive polynomial — every
+// square submatrix of a Cauchy matrix is nonsingular, which is exactly the
+// MDS property, and the arithmetic stays table-driven and branch-light so
+// bench_core can gate encode+decode throughput like the rest of the hot
+// path.
+//
+// The simulator's packets carry no payload bytes, so FecReceiver only asks
+// the arithmetic question (EcCodec::recoverable); the byte paths exist for
+// unit tests and the codec micro-benchmark, and for any future integration
+// that moves real buffers.
+
+#include <cstdint>
+#include <vector>
+
+namespace dcp {
+
+// --- GF(256) arithmetic (primitive polynomial 0x11d) -----------------------
+
+std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b);
+std::uint8_t gf_inv(std::uint8_t a);  // a != 0
+std::uint8_t gf_div(std::uint8_t a, std::uint8_t b);  // b != 0
+
+class EcCodec {
+ public:
+  /// k >= 1 data chunks, m >= 1 parity chunks, k + m <= 256 (field size).
+  EcCodec(unsigned k, unsigned m);
+
+  unsigned k() const { return k_; }
+  unsigned m() const { return m_; }
+
+  /// Encodes k data chunks into m parity chunks sized to the widest chunk.
+  /// data.size() must equal k; shorter chunks (the tail group's last one)
+  /// are treated as zero-padded to the widest length.
+  std::vector<std::vector<std::uint8_t>> encode(
+      const std::vector<std::vector<std::uint8_t>>& data) const;
+
+  /// Reconstructs every missing DATA chunk in place.  `chunks` has k + m
+  /// slots (data first, then parity); `present[i]` marks slot i as received.
+  /// Missing-parity slots are left empty — the transport never needs them
+  /// back.  Returns false (and touches nothing) when fewer than k chunks
+  /// are present, i.e. the group needs retransmission instead.
+  bool decode(std::vector<std::vector<std::uint8_t>>& chunks,
+              const std::vector<bool>& present) const;
+
+  /// The arithmetic reachability rule the transport uses on the fly: an MDS
+  /// group decodes iff at least k of its k + m chunks arrived.
+  static bool recoverable(unsigned k, unsigned have_data, unsigned have_parity) {
+    return have_data + have_parity >= k;
+  }
+
+ private:
+  std::uint8_t coef(unsigned row, unsigned col) const { return coef_[row * k_ + col]; }
+
+  unsigned k_;
+  unsigned m_;
+  // m x k parity-generator rows.  m == 1 is the all-ones row (classic XOR
+  // parity); m > 1 is a pure Cauchy matrix — mixing the two would forfeit
+  // the every-submatrix-nonsingular guarantee.
+  std::vector<std::uint8_t> coef_;
+};
+
+}  // namespace dcp

@@ -169,6 +169,82 @@ TEST(Config, FaultDrillRunsEndToEnd) {
   EXPECT_NE(report.find("Episode"), std::string::npos);  // recovery table header
 }
 
+TEST(Config, SchemeSectionParsesKnobs) {
+  const char* text =
+      "experiment = wanflow\n"
+      "[scheme]\n"
+      "kind = fec\n"
+      "fec_k = 12\n"
+      "fec_m = 3\n"
+      "fec_stream_window_bytes = 4000000\n"
+      "fec_nack_delay_us = 250\n";
+  std::string err;
+  auto cfg = parse_experiment_config(text, &err);
+  ASSERT_TRUE(cfg.has_value()) << err;
+  EXPECT_EQ(cfg->kind, ExperimentConfig::Kind::kWanFlow);
+  EXPECT_EQ(cfg->wanflow.scheme, SchemeKind::kFec);
+  EXPECT_EQ(cfg->wanflow.opt.fec_k, 12u);
+  EXPECT_EQ(cfg->wanflow.opt.fec_m, 3u);
+  EXPECT_EQ(cfg->wanflow.opt.fec_stream_window_bytes, 4'000'000u);
+  EXPECT_EQ(cfg->wanflow.opt.fec_nack_delay, microseconds(250));
+  // The scheme fans out to every experiment, like [faults] does.
+  EXPECT_EQ(cfg->longflow.scheme, SchemeKind::kFec);
+  EXPECT_EQ(cfg->longflow.opt.fec_k, 12u);
+}
+
+TEST(Config, SchemeSectionRoundTripsEveryScheme) {
+  const SchemeKind kinds[] = {SchemeKind::kPfc,     SchemeKind::kIrn,  SchemeKind::kIrnEcmp,
+                              SchemeKind::kMpRdma,  SchemeKind::kDcp,  SchemeKind::kCx5,
+                              SchemeKind::kTimeout, SchemeKind::kRackTlp, SchemeKind::kTcp,
+                              SchemeKind::kFec};
+  for (SchemeKind k : kinds) {
+    SchemeOptions opt;
+    opt.fec_k = 6;
+    opt.fec_m = 2;
+    opt.fec_stream_window_bytes = 123456;
+    opt.fec_nack_delay = microseconds(75);
+    auto cfg = parse_experiment_config(scheme_config_text(k, opt));
+    ASSERT_TRUE(cfg.has_value()) << scheme_name(k);
+    EXPECT_EQ(cfg->websearch.scheme, k) << scheme_name(k);
+    EXPECT_EQ(cfg->websearch.opt.fec_k, 6u);
+    EXPECT_EQ(cfg->websearch.opt.fec_m, 2u);
+    EXPECT_EQ(cfg->websearch.opt.fec_stream_window_bytes, 123456u);
+    EXPECT_EQ(cfg->websearch.opt.fec_nack_delay, microseconds(75));
+  }
+}
+
+TEST(Config, SchemeSectionErrors) {
+  std::string err;
+  EXPECT_FALSE(parse_experiment_config("[scheme]\nkind = klingon\n", &err).has_value());
+  EXPECT_NE(err.find("line 2"), std::string::npos);
+  EXPECT_FALSE(parse_experiment_config("[scheme]\nfec_k = 0\n", &err).has_value());
+  EXPECT_FALSE(parse_experiment_config("[scheme]\nfec_k = 250\nfec_m = 10\n", &err).has_value());
+  EXPECT_NE(err.find("256"), std::string::npos);
+  EXPECT_FALSE(parse_experiment_config("[scheme]\nbogus = 1\n", &err).has_value());
+}
+
+TEST(Config, WanflowRunsEndToEnd) {
+  const char* text =
+      "experiment = wanflow\n"
+      "regions = 2\n"
+      "hosts_per_region = 2\n"
+      "wan_delay_ms = 2\n"
+      "wan_loss_rate = 0.02\n"
+      "flow_bytes = 1000000\n"
+      "max_time_ms = 2000\n"
+      "[scheme]\n"
+      "kind = fec\n"
+      "fec_k = 8\n"
+      "fec_m = 2\n";
+  auto cfg = parse_experiment_config(text);
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->wanflow.wan.regions, 2);
+  EXPECT_EQ(cfg->wanflow.wan.wan_delay, milliseconds(2));
+  const std::string report = run_configured_experiment(*cfg);
+  EXPECT_NE(report.find("wanflow FEC"), std::string::npos);
+  EXPECT_NE(report.find("completed=yes"), std::string::npos);
+}
+
 TEST(Config, MissingFileReportsError) {
   std::string err;
   EXPECT_FALSE(load_experiment_config("/no/such/file.conf", &err).has_value());

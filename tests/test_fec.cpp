@@ -1,0 +1,320 @@
+// FEC reliability tier: GF(256) codec algebra, the (k, m) group transport
+// end-to-end on the testbed and the WAN, recovery-counter accounting, and
+// determinism — a FEC sweep must be bit-identical across DCP_JOBS, and the
+// oracle-armed fuzz batch must stay clean with the scheme forced to FEC.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "check/fuzzer.h"
+#include "harness/experiment.h"
+#include "harness/sweep.h"
+#include "transports/ec_codec.h"
+#include "transports/fec.h"
+
+namespace dcp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// GF(256) arithmetic
+// ---------------------------------------------------------------------------
+
+TEST(EcCodec, FieldAxioms) {
+  // Spot-check the multiplicative structure: inverses invert, division
+  // round-trips, and 1 is the identity.
+  for (unsigned a = 1; a < 256; ++a) {
+    const std::uint8_t x = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(gf_mul(x, gf_inv(x)), 1) << "a=" << a;
+    EXPECT_EQ(gf_mul(x, 1), x);
+    EXPECT_EQ(gf_div(x, x), 1);
+  }
+  EXPECT_EQ(gf_mul(0, 123), 0);
+  // A known product in GF(256)/0x11d: 2 * 128 = 0x1d (the reduction).
+  EXPECT_EQ(gf_mul(2, 128), 0x1d);
+}
+
+std::vector<std::vector<std::uint8_t>> make_chunks(unsigned k, std::size_t len,
+                                                   std::uint64_t seed) {
+  std::vector<std::vector<std::uint8_t>> data(k);
+  std::uint64_t s = seed;
+  for (unsigned i = 0; i < k; ++i) {
+    data[i].resize(len);
+    for (std::size_t b = 0; b < len; ++b) {
+      s = s * 6364136223846793005ull + 1442695040888963407ull;
+      data[i][b] = static_cast<std::uint8_t>(s >> 33);
+    }
+  }
+  return data;
+}
+
+// Erase `lose` chunk indices, decode, and require the data chunks back
+// bit-exactly.
+void round_trip(unsigned k, unsigned m, const std::vector<unsigned>& lose) {
+  const EcCodec codec(k, m);
+  const auto data = make_chunks(k, 64, 0xfec0de + k * 31 + m);
+  const auto parity = codec.encode(data);
+  ASSERT_EQ(parity.size(), m);
+
+  std::vector<std::vector<std::uint8_t>> chunks = data;
+  for (const auto& p : parity) chunks.push_back(p);
+  std::vector<bool> present(k + m, true);
+  for (unsigned idx : lose) {
+    present[idx] = false;
+    chunks[idx].clear();
+  }
+  ASSERT_TRUE(codec.decode(chunks, present));
+  for (unsigned i = 0; i < k; ++i) {
+    EXPECT_EQ(chunks[i], data[i]) << "chunk " << i << " (k=" << k << ", m=" << m << ")";
+  }
+}
+
+TEST(EcCodec, XorParityRecoversAnySingleLoss) {
+  // m == 1 degenerates to plain XOR parity: any one loss is recoverable.
+  for (unsigned idx = 0; idx < 5; ++idx) round_trip(/*k=*/4, /*m=*/1, {idx});
+}
+
+TEST(EcCodec, RecoversExactlyMLosses) {
+  // MDS guarantee: any m erasures out of k+m decode.  Sweep loss patterns
+  // mixing data and parity positions.
+  round_trip(8, 2, {0, 1});    // two data chunks
+  round_trip(8, 2, {3, 9});    // one data, one parity
+  round_trip(8, 2, {8, 9});    // both parity (trivial: data intact)
+  round_trip(8, 2, {0, 7});    // first and last data
+  round_trip(16, 4, {0, 5, 11, 19});
+  round_trip(16, 4, {12, 13, 14, 15});
+  round_trip(4, 3, {0, 2, 6});
+  round_trip(2, 2, {0, 1});    // all data lost, rebuilt purely from parity
+}
+
+TEST(EcCodec, MorePlusOneLossesFailClosed) {
+  // m+1 erasures leave fewer than k chunks: decode must refuse (the
+  // transport then falls back to per-group NACK repair).
+  const unsigned k = 8, m = 2;
+  const EcCodec codec(k, m);
+  const auto data = make_chunks(k, 32, 99);
+  const auto parity = codec.encode(data);
+
+  std::vector<std::vector<std::uint8_t>> chunks = data;
+  for (const auto& p : parity) chunks.push_back(p);
+  std::vector<bool> present(k + m, true);
+  present[0] = present[1] = present[8] = false;  // m+1 = 3 losses
+  chunks[0].clear();
+  chunks[1].clear();
+  chunks[8].clear();
+  EXPECT_FALSE(codec.decode(chunks, present));
+
+  EXPECT_TRUE(EcCodec::recoverable(k, /*have_data=*/6, /*have_parity=*/2));
+  EXPECT_FALSE(EcCodec::recoverable(k, /*have_data=*/6, /*have_parity=*/1));
+  EXPECT_TRUE(EcCodec::recoverable(k, /*have_data=*/8, /*have_parity=*/0));
+}
+
+TEST(EcCodec, UnevenTailChunksZeroPad) {
+  // The tail group's last data chunk is shorter than the rest; parity is
+  // sized to the widest chunk and decode zero-pads internally.
+  const unsigned k = 3, m = 2;
+  const EcCodec codec(k, m);
+  std::vector<std::vector<std::uint8_t>> data = {
+      {1, 2, 3, 4, 5}, {9, 8, 7, 6, 5}, {42, 43}};
+  const auto parity = codec.encode(data);
+  ASSERT_EQ(parity[0].size(), 5u);
+
+  std::vector<std::vector<std::uint8_t>> chunks = data;
+  for (const auto& p : parity) chunks.push_back(p);
+  std::vector<bool> present(k + m, true);
+  present[0] = present[2] = false;
+  const std::vector<std::uint8_t> want0 = chunks[0];
+  const std::vector<std::uint8_t> want2 = chunks[2];
+  chunks[0].clear();
+  chunks[2].clear();
+  ASSERT_TRUE(codec.decode(chunks, present));
+  EXPECT_EQ(chunks[0], want0);
+  // Reconstruction works over the padded width; the short chunk comes back
+  // zero-extended, with its real prefix intact.
+  ASSERT_GE(chunks[2].size(), want2.size());
+  for (std::size_t i = 0; i < want2.size(); ++i) EXPECT_EQ(chunks[2][i], want2[i]);
+  for (std::size_t i = want2.size(); i < chunks[2].size(); ++i) EXPECT_EQ(chunks[2][i], 0);
+}
+
+// ---------------------------------------------------------------------------
+// Wire layout
+// ---------------------------------------------------------------------------
+
+TEST(FecLayout, GroupGeometry) {
+  // 10 data packets at (k=4, m=1): groups of 5 wire slots, tail group of 2
+  // data + 1 parity.
+  const FecLayout l(/*k=*/4, /*m=*/1, /*total_data=*/10);
+  EXPECT_EQ(l.full_groups, 2u);
+  EXPECT_EQ(l.rem, 2u);
+  EXPECT_EQ(l.groups, 3u);
+  EXPECT_EQ(l.wire_total, 2u * 5 + 2 + 1);
+  EXPECT_EQ(l.k_of(0), 4u);
+  EXPECT_EQ(l.k_of(2), 2u);
+  EXPECT_EQ(l.wire_begin(2), 10u);
+  EXPECT_EQ(l.wire_end(2), 13u);
+  // Wire PSN 4 is group 0's parity; PSN 12 is the tail group's parity.
+  EXPECT_FALSE(l.is_data(4));
+  EXPECT_TRUE(l.is_data(3));
+  EXPECT_EQ(l.group_of(4), 0u);
+  EXPECT_EQ(l.group_of(12), 2u);
+  EXPECT_FALSE(l.is_data(12));
+  EXPECT_TRUE(l.is_data(11));
+  EXPECT_EQ(l.data_index(11), 9u);
+  EXPECT_EQ(l.data_index(5), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Transport end-to-end (testbed)
+// ---------------------------------------------------------------------------
+
+TEST(FecTransport, CleanFlowCompletesWithoutRepair) {
+  LongFlowParams p;
+  p.scheme = SchemeKind::kFec;
+  p.flow_bytes = 2ull * 1000 * 1000;
+  p.max_time = milliseconds(20);
+  const LongFlowResult r = run_long_flow(p);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.receiver.bytes_received, p.flow_bytes);
+  EXPECT_GT(r.sender.parity_packets_sent, 0u);
+  EXPECT_EQ(r.sender.retransmitted_packets, 0u);
+  EXPECT_EQ(r.receiver.decode_recovered_packets, 0u);
+  EXPECT_EQ(r.receiver.nack_recovered_packets, 0u);
+  EXPECT_GT(r.goodput_gbps, 1.0);
+}
+
+TEST(FecTransport, LossyFlowRecoversViaDecode) {
+  // 2% ambient loss at the cross switch: most groups lose <= m chunks and
+  // repair from parity without a single retransmission round trip.
+  LongFlowParams p;
+  p.scheme = SchemeKind::kFec;
+  p.loss_rate = 0.02;
+  p.flow_bytes = 2ull * 1000 * 1000;
+  p.max_time = milliseconds(50);
+  const LongFlowResult r = run_long_flow(p);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.receiver.bytes_received, p.flow_bytes);
+  EXPECT_GT(r.receiver.decode_recovered_packets, 0u);
+  // Parity-decode repair must dominate NACK repair at this loss rate.
+  EXPECT_GT(r.receiver.decode_recovered_packets, r.receiver.nack_recovered_packets);
+}
+
+TEST(FecTransport, HeavyLossFallsBackToNack) {
+  // At 20% loss, (8, 2) groups regularly lose more than m chunks and the
+  // per-group NACK path has to carry the flow home.
+  LongFlowParams p;
+  p.scheme = SchemeKind::kFec;
+  p.loss_rate = 0.20;
+  p.flow_bytes = 500ull * 1000;
+  p.max_time = milliseconds(100);
+  const LongFlowResult r = run_long_flow(p);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.receiver.bytes_received, p.flow_bytes);
+  EXPECT_GT(r.receiver.nack_recovered_packets, 0u);
+  EXPECT_GT(r.sender.retransmitted_packets, 0u);
+}
+
+TEST(FecTransport, OracleCleanUnderLoss) {
+  // The full invariant catalogue (psn-monotonic, exactly-once completion,
+  // completion-consistency, recovery-accounting, no-silent-deadlock) armed
+  // over a lossy FEC drill.
+  FaultDrillParams p;
+  p.scheme = SchemeKind::kFec;
+  p.flow_bytes = 1ull * 1000 * 1000;
+  p.max_time = milliseconds(50);
+  p.oracle = true;
+  FaultAction a;
+  a.kind = FaultKind::kDrop;
+  a.at = microseconds(100);
+  a.duration = microseconds(400);
+  a.rate = 0.05;
+  a.sw = 0;
+  p.faults.actions.push_back(a);
+  const FaultDrillResult r = run_fault_drill(p);
+  EXPECT_TRUE(r.completed);
+  for (const InvariantViolation& v : r.violations) {
+    ADD_FAILURE() << v.invariant << ": " << v.detail;
+  }
+}
+
+TEST(FecTransport, KnobsReachTheWire) {
+  // A wide group (k=16, m=4) sends 25% parity overhead; check the counter
+  // matches the geometry the layout predicts.
+  LongFlowParams p;
+  p.scheme = SchemeKind::kFec;
+  p.opt.fec_k = 16;
+  p.opt.fec_m = 4;
+  p.flow_bytes = 1ull * 1000 * 1000;
+  p.max_time = milliseconds(20);
+  const LongFlowResult r = run_long_flow(p);
+  EXPECT_TRUE(r.completed);
+  const std::uint64_t data_pkts = r.sender.data_packets_sent - r.sender.parity_packets_sent;
+  const FecLayout l(16, 4, static_cast<std::uint32_t>(data_pkts));
+  EXPECT_EQ(r.sender.parity_packets_sent, static_cast<std::uint64_t>(l.groups) * 4);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: DCP_JOBS and the forced-FEC fuzz batch
+// ---------------------------------------------------------------------------
+
+struct TrialDigest {
+  double goodput = 0.0;
+  Time elapsed = 0;
+  bool completed = false;
+  std::uint64_t retransmitted = 0;
+  std::uint64_t parity = 0;
+  std::uint64_t decoded = 0;
+  std::uint64_t events = 0;
+
+  bool operator==(const TrialDigest&) const = default;
+};
+
+std::vector<TrialDigest> fec_sweep(unsigned jobs) {
+  SweepRunner pool(jobs);
+  pool.set_progress(false);
+  const double rates[] = {0.0, 0.01, 0.03};
+  return pool.run(6, [&](std::size_t i) {
+    LongFlowParams p;
+    p.scheme = SchemeKind::kFec;
+    p.opt.fec_k = i % 2 == 0 ? 8 : 4;
+    p.opt.fec_m = i % 2 == 0 ? 2 : 1;
+    p.loss_rate = rates[i / 2];
+    p.flow_bytes = 1ull * 1000 * 1000;
+    p.max_time = milliseconds(20);
+    const LongFlowResult r = run_long_flow(p);
+    TrialDigest d;
+    d.goodput = r.goodput_gbps;
+    d.elapsed = r.elapsed;
+    d.completed = r.completed;
+    d.retransmitted = r.sender.retransmitted_packets;
+    d.parity = r.sender.parity_packets_sent;
+    d.decoded = r.receiver.decode_recovered_packets;
+    d.events = r.core.events_processed;
+    return d;
+  });
+}
+
+TEST(FecSweepDigest, ParallelSweepBitIdenticalToSerial) {
+  const std::vector<TrialDigest> serial = fec_sweep(1);
+  const std::vector<TrialDigest> parallel = fec_sweep(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "trial " << i;
+  }
+}
+
+TEST(FecFuzz, ForcedFecBatchOracleClean) {
+  // The generated scenario pool with the scheme pinned to FEC: every
+  // topology x workload x fault draw must run oracle-clean.
+  for (std::size_t i = 0; i < 200; ++i) {
+    FuzzScenario s = generate_fuzz_scenario(/*seed=*/4200 + i);
+    s.scheme = SchemeKind::kFec;
+    const FuzzVerdict v = run_fuzz_scenario(s);
+    EXPECT_FALSE(v.violated) << "seed " << 4200 + i << ": " << v.invariant << " — " << v.message;
+  }
+}
+
+}  // namespace
+}  // namespace dcp
