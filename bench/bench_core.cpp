@@ -16,7 +16,9 @@
 #include <thread>
 #include <vector>
 
+#include "check/fuzzer.h"
 #include "check/invariant_oracle.h"
+#include "harness/checkpoint.h"
 #include "harness/experiment.h"
 #include "harness/sweep.h"
 #include "net/channel.h"
@@ -185,6 +187,50 @@ CorePerf micro_fec_codec(unsigned k, unsigned m, int rounds) {
   }
   CorePerf p;
   p.events_processed = chunks + (sink == 255 ? 1 : 0);  // keep the work live
+  p.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return p;
+}
+
+/// Checkpoint round-trip throughput: a DCP world paused mid-run is saved
+/// and restored into a fresh world each round (construction included —
+/// the re-arm model makes a rebuild part of every restore).  "Events" are
+/// the state-stream bytes moved per round (saved + restored), so
+/// events/sec is StateIO overlay bandwidth; a restored-digest mismatch
+/// poisons the entry.
+CorePerf micro_snapshot_save_restore(int rounds) {
+  FuzzScenario s;
+  s.seed = 42;
+  s.scheme = SchemeKind::kDcp;
+  s.spines = 2;
+  s.leaves = 4;
+  s.hosts_per_leaf = 2;
+  s.max_time = milliseconds(5);
+  s.flows = {{0, 5, 64 * 1024, 4096, microseconds(5)},
+             {2, 7, 24 * 1024, 0, microseconds(20)},
+             {6, 1, 96 * 1024, 16384, microseconds(40)},
+             {4, 3, 8 * 1024, 4096, microseconds(120)}};
+  const WorldSpec spec = fuzz_world_spec(s, FuzzOptions{});
+  SimWorld base(spec);
+  base.run_to(microseconds(60));
+
+  std::uint64_t bytes = 0;
+  bool ok = true;
+  const auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < rounds; ++r) {
+    SnapshotImage img;
+    if (!base.save(img)) {
+      ok = false;
+      break;
+    }
+    SimWorld w(spec);
+    if (!w.restore(img) || w.digest() != base.digest()) {
+      ok = false;
+      break;
+    }
+    bytes += 2 * img.state.size();
+  }
+  CorePerf p;
+  p.events_processed = ok ? bytes : 0;  // poison on failure: loud regression
   p.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   return p;
 }
@@ -395,6 +441,26 @@ int run_check(const char* json_path) {
     std::printf("perf-check micro_switch_receive: skipped (no committed entry)\n");
   }
 
+  // Snapshot round-trip micro: dominated by world rebuild + StateIO
+  // memcpy, so it is steadier than the event-path micros; 0.60x still
+  // allows shared-runner noise while catching an accidental O(n^2) in the
+  // overlay or a state-stream blow-up.  Skipped (with a note) against
+  // committed files that predate the entry.
+  const double snap_committed = json_metric(ss.str(), "micro_snapshot_save_restore", "events_per_sec");
+  if (snap_committed > 0.0) {
+    CorePerf snap = micro_snapshot_save_restore(200);
+    for (int i = 1; i < 3; ++i) snap = min_wall(snap, micro_snapshot_save_restore(200));
+    const double snap_floor = 0.60 * snap_committed;
+    const double snap_got = snap.events_per_sec();
+    std::printf("perf-check micro_snapshot_save_restore: fresh %.3gM bytes/s vs committed %.3gM "
+                "(floor 0.60x = %.3gM) -> %s\n",
+                snap_got / 1e6, snap_committed / 1e6, snap_floor / 1e6,
+                snap_got >= snap_floor ? "OK" : "REGRESSION");
+    if (snap_got < snap_floor) return 1;
+  } else {
+    std::printf("perf-check micro_snapshot_save_restore: skipped (no committed entry)\n");
+  }
+
   // Sharded gate: only meaningful where the two shard workers get real
   // cores.  On >= 4 hardware threads the sharded macro must beat serial
   // by > 1.5x (single trial); below that the windows time-slice one core
@@ -437,6 +503,9 @@ int main(int argc, char** argv) {
   // no seed column (the coder is new with the FEC tier).
   entries.push_back({"micro_fec_codec_8_2", micro_fec_codec(8, 2, 20000), 0.0});
   entries.push_back({"micro_fec_codec_16_4", micro_fec_codec(16, 4, 10000), 0.0});
+  // Checkpoint round-trip bandwidth (state bytes through StateIO per
+  // second); no seed column (the subsystem is new).
+  entries.push_back({"micro_snapshot_save_restore", micro_snapshot_save_restore(400), 0.0});
   // The armed-vs-unarmed delta is a few percent — smaller than scheduler
   // noise on a loaded host — so the pair is sampled interleaved (drift hits
   // both sides alike) and each entry keeps its best-of-3 wall clock.

@@ -14,6 +14,8 @@
 
 namespace dcp {
 
+class StateIO;
+
 class CongestionControl {
  public:
   virtual ~CongestionControl() = default;
@@ -31,6 +33,10 @@ class CongestionControl {
   virtual void on_cnp() {}
   virtual void on_ecn_echo() {}
   virtual void on_timeout() {}
+
+  /// Checkpoint hook (sim/snapshot.h): CCs with runtime state (DCQCN,
+  /// TIMELY) override; stateless CCs have nothing to save.
+  virtual void checkpoint(StateIO& io) { (void)io; }
 
   static constexpr std::uint64_t kNoWindowCap = UINT64_MAX;
 };

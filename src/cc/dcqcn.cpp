@@ -1,5 +1,7 @@
 #include "cc/dcqcn.h"
 
+#include "sim/snapshot.h"
+
 namespace dcp {
 
 DcqcnRp::DcqcnRp(Simulator& sim, Bandwidth line_rate, std::uint64_t window, DcqcnParams p)
@@ -72,6 +74,18 @@ void DcqcnRp::on_timeout() {
   cut_rate();
   arm_alpha_timer();
   arm_rate_timer();
+}
+
+void DcqcnRp::checkpoint(StateIO& io) {
+  io.label(0xDCC41u);
+  io.pod(rc_gbps_);
+  io.pod(rt_gbps_);
+  io.pod(alpha_);
+  io.pod(rate_timer_events_);
+  io.pod(byte_counter_events_);
+  io.pod(bytes_since_event_);
+  io.timer(alpha_timer_);
+  io.timer(rate_timer_);
 }
 
 }  // namespace dcp

@@ -25,6 +25,9 @@ class DcqcnRp final : public CongestionControl {
   double alpha() const { return alpha_; }
   double current_rate_gbps() const { return rc_gbps_; }
 
+  /// Rate machine scalars + the two deadline timers' heap arms.
+  void checkpoint(StateIO& io) override;
+
  private:
   void cut_rate();
   void increase_event();
@@ -62,6 +65,12 @@ class CnpGenerator {
       return true;
     }
     return false;
+  }
+
+  /// Checkpoint hook: the pacing clock is the only runtime state.
+  template <typename IO>
+  void checkpoint(IO& io) {
+    io.pod(last_);
   }
 
  private:

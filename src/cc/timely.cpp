@@ -1,5 +1,7 @@
 #include "cc/timely.h"
 
+#include "sim/snapshot.h"
+
 namespace dcp {
 
 void TimelyCc::on_rtt_sample(Time rtt) {
@@ -36,6 +38,15 @@ void TimelyCc::on_rtt_sample(Time rtt) {
     rate_gbps_ =
         std::max(p_.min_rate_gbps, rate_gbps_ * (1.0 - p_.beta * std::min(gradient_, 1.0)));
   }
+}
+
+void TimelyCc::checkpoint(StateIO& io) {
+  io.label(0x713E1Bu);
+  io.pod(rate_gbps_);
+  io.pod(prev_rtt_);
+  io.pod(rtt_diff_);
+  io.pod(gradient_);
+  io.pod(neg_gradient_streak_);
 }
 
 }  // namespace dcp

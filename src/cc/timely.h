@@ -32,6 +32,9 @@ class TimelyCc final : public CongestionControl {
   double current_rate_gbps() const { return rate_gbps_; }
   double normalized_gradient() const { return gradient_; }
 
+  /// Rate/gradient scalars (no timers).
+  void checkpoint(StateIO& io) override;
+
  private:
   TimelyParams p_;
   double line_gbps_;

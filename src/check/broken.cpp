@@ -1,5 +1,7 @@
 #include "check/broken.h"
 
+#include "sim/snapshot.h"
+
 namespace dcp {
 
 namespace {
@@ -25,6 +27,7 @@ class ToySender : public SenderTransport {
   virtual Packet packet_at(std::uint32_t i) {
     return make_data_packet(i, HeaderSizes::kRoceData);
   }
+  void checkpoint_extra(StateIO& io) override { io.pod(next_); }
 
   std::uint32_t next_ = 0;
 };
@@ -75,6 +78,10 @@ class ToySink : public ReceiverTransport {
     send_final_ack();
   }
   void send_final_ack() { send_control(make_control(PktType::kAck, HeaderSizes::kRoceAck)); }
+  void checkpoint_extra(StateIO& io) override {
+    io.vbool(seen_);
+    io.pod(done_);
+  }
 
  private:
   std::vector<bool> seen_;
@@ -104,6 +111,10 @@ class ForgedHoSink final : public ToySink {
     // Bounce an HO toward the sender although nothing was ever trimmed.
     send_control(make_control(PktType::kHeaderOnly, HeaderSizes::kDcpHeaderOnly));
   }
+  void checkpoint_extra(StateIO& io) override {
+    ToySink::checkpoint_extra(io);
+    io.pod(forged_);
+  }
 
  private:
   bool forged_ = false;
@@ -128,6 +139,14 @@ class RetryDupReceiver final : public ReceiverTransport {
     }
   }
   bool complete() const override { return inner_.complete(); }
+
+ protected:
+  // The wrapper's own base fields ride the outer checkpoint(); the wrapped
+  // receiver carries its full record (stats_ here mirrors inner_'s).
+  void checkpoint_extra(StateIO& io) override {
+    inner_.checkpoint(io);
+    io.pod(fired_);
+  }
 
  private:
   DcpReceiver inner_;

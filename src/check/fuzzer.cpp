@@ -9,7 +9,9 @@
 
 #include "check/invariant_oracle.h"
 #include "fault/fault_injector.h"
+#include "harness/checkpoint.h"
 #include "sim/rng.h"
+#include "sim/snapshot.h"
 #include "topo/clos.h"
 
 namespace dcp {
@@ -159,70 +161,97 @@ FuzzScenario generate_fuzz_scenario(std::uint64_t seed) {
   return s;
 }
 
+WorldSpec fuzz_world_spec(const FuzzScenario& s, const FuzzOptions& opt) {
+  WorldSpec ws;
+  ws.scenario = s;
+  ws.injector_seed = mix64(s.seed ^ kTagInject);
+  ws.factory_override = opt.factory_override;
+  return ws;
+}
+
 FuzzVerdict run_fuzz_scenario(const FuzzScenario& s, const FuzzOptions& opt) {
-  // Fault-free scenarios honour DCP_SHARDS (bit-identical to serial by
-  // construction); fault plans run serial — the injector has no shard
-  // ordering story.
-  int nshards = 1;
-  if (!s.faults.has_effect()) {
-    if (const char* e = std::getenv("DCP_SHARDS")) {
-      nshards = std::max(1, std::min(std::atoi(e), s.leaves));
-    }
-  }
-  ShardGroup shards(nshards);
-  Logger log(LogLevel::kError);
-  Network net(shards, log);
-
-  SchemeSetup setup = make_scheme(s.scheme);
-  ClosParams clos;
-  clos.spines = s.spines;
-  clos.leaves = s.leaves;
-  clos.hosts_per_leaf = s.hosts_per_leaf;
-  clos.sw = setup.sw;
-  ClosTopology topo = build_clos(net, clos);
-  apply_scheme(net, setup);
-  if (opt.factory_override) net.set_factory(opt.factory_override);
-
-  for (const FuzzFlow& f : s.flows) {
-    FlowSpec spec;
-    spec.src = topo.hosts.at(static_cast<std::size_t>(f.src))->id();
-    spec.dst = topo.hosts.at(static_cast<std::size_t>(f.dst))->id();
-    spec.bytes = f.bytes;
-    spec.msg_bytes = f.msg_bytes;
-    spec.start_time = f.start;
-    net.start_flow(spec);
-  }
-
-  InvariantOracle oracle(net);
-  std::unique_ptr<FaultInjector> inj;
-  if (s.faults.has_effect()) {
-    inj = std::make_unique<FaultInjector>(net, s.faults, mix64(s.seed ^ kTagInject));
-  }
-
-  net.run_until_done(s.max_time);
-  oracle.finalize();
-
-  FuzzVerdict v;
-  v.violated = !oracle.ok();
-  v.num_violations = oracle.violations().size();
-  v.all_complete = net.all_flows_done();
-  if (const InvariantViolation* first = oracle.first()) {
-    v.invariant = first->invariant;
-    v.at = first->at;
-    v.message = oracle.summary();
-    v.trace = oracle.trace_slice(opt.trace_events);
-  }
-  return v;
+  SimWorld w(fuzz_world_spec(s, opt));
+  w.run_until_done();
+  return w.finalize_verdict(opt.trace_events);
 }
 
 namespace {
 
-bool reproduces(const FuzzScenario& s, const FuzzOptions& opt, const std::string& invariant,
-                ShrinkStats& st, std::size_t max_runs) {
-  if (st.runs >= max_runs) return false;
-  st.runs++;
-  const FuzzVerdict v = run_fuzz_scenario(s, opt);
-  return v.violated && v.invariant == invariant;
+/// No snapshot may be used for this candidate run (phases 2-4, which
+/// mutate the world's setup phase rather than its fault timeline).
+constexpr Time kNoRestore = -1;
+
+/// Shared state of one shrink: verdict target, run budget/accounting, and
+/// the prefix-snapshot ring saved from the *input* scenario's run.  Ring
+/// images stay valid for every Phase-1 candidate because candidates only
+/// ever REMOVE fault actions: a probe that removes nothing before time T
+/// is prefix-isomorphic with the input up to T, so the latest image with
+/// at <= T restores bit-exactly (modulo the constant setup-seq delta).
+struct ShrinkCtx {
+  const FuzzOptions& opt;
+  const std::string& inv;
+  ShrinkStats& st;
+  const std::size_t max_runs;
+  std::vector<SnapshotImage> ring;  // ascending .at
+};
+
+/// Runs one candidate, restoring from the latest ring snapshot whose time
+/// is <= `bound` when possible; cold-runs otherwise.  The restored run is
+/// bit-identical to a cold one, so the verdict cannot depend on `bound`.
+bool reproduces(ShrinkCtx& c, const FuzzScenario& s, Time bound) {
+  if (c.st.runs >= c.max_runs) return false;
+  c.st.runs++;
+  const WorldSpec spec = fuzz_world_spec(s, c.opt);
+  auto w = std::make_unique<SimWorld>(spec);
+  const SnapshotImage* best = nullptr;
+  for (const SnapshotImage& img : c.ring) {
+    if (img.at > bound) break;
+    best = &img;
+  }
+  std::uint64_t skipped = 0;
+  if (best != nullptr) {
+    std::string err;
+    if (w->restore(*best, /*allow_spec_delta=*/true, &err)) {
+      skipped = w->events_processed();
+    } else {
+      // A failed restore may leave partial state behind; cold-boot.
+      w = std::make_unique<SimWorld>(spec);
+    }
+  }
+  w->run_until_done();
+  c.st.events_skipped += skipped;
+  c.st.events_executed += w->events_processed() - skipped;
+  const FuzzVerdict v = w->finalize_verdict(c.opt.trace_events);
+  const char* dbg = std::getenv("DCP_DEBUG_SHRINK");
+  if (dbg != nullptr && *dbg != '\0') {
+    std::fprintf(stderr, "[shrink] run=%zu bound=%lld skipped=%llu exec=%llu acts=%zu flows=%zu viol=%d\n",
+                 c.st.runs, static_cast<long long>(bound),
+                 static_cast<unsigned long long>(skipped),
+                 static_cast<unsigned long long>(w->events_processed() - skipped),
+                 s.faults.actions.size(), s.flows.size(), v.violated ? 1 : 0);
+  }
+  return v.violated && v.invariant == c.inv;
+}
+
+/// Snapshot times for the shrink ring: the distinct fault-action start
+/// times (a snapshot AT an action's time precedes its start event, so the
+/// action itself is still removable), thinned to at most eight.
+std::vector<Time> ring_boundaries(const FuzzScenario& s) {
+  std::vector<Time> at;
+  for (const FaultAction& a : s.faults.actions) {
+    if (a.at > 0) at.push_back(a.at);
+  }
+  std::sort(at.begin(), at.end());
+  at.erase(std::unique(at.begin(), at.end()), at.end());
+  constexpr std::size_t kMaxRing = 8;
+  if (at.size() <= kMaxRing) return at;
+  std::vector<Time> picked;
+  for (std::size_t k = 1; k <= kMaxRing; ++k) {
+    // Evenly spread, always including the latest boundary.
+    picked.push_back(at[k * at.size() / kMaxRing - 1]);
+  }
+  picked.erase(std::unique(picked.begin(), picked.end()), picked.end());
+  return picked;
 }
 
 }  // namespace
@@ -235,8 +264,30 @@ FuzzScenario shrink_fuzz_scenario(const FuzzScenario& s, const FuzzOptions& opt,
   st.actions_before = s.faults.actions.size();
   st.flows_before = s.flows.size();
 
-  const FuzzVerdict base = run_fuzz_scenario(s, opt);
-  st.runs++;
+  // Base run; with snapshots on it doubles as the ring-building run (the
+  // ring costs no extra simulation — images are saved at barrier-safe
+  // pauses of the run we needed anyway).
+  std::vector<SnapshotImage> ring;
+  FuzzVerdict base;
+  {
+    auto w = std::make_unique<SimWorld>(fuzz_world_spec(s, opt));
+    if (opt.use_snapshots && SimWorld::snapshot_supported(s.scheme)) {
+      for (Time b : ring_boundaries(s)) {
+        w->run_to(b);
+        SnapshotImage img;
+        if (w->save(img)) {
+          ring.push_back(std::move(img));
+        } else {
+          ring.clear();  // a module without checkpoint support: cold-run all
+          break;
+        }
+      }
+    }
+    w->run_until_done();
+    st.runs++;
+    st.events_executed += w->events_processed();
+    base = w->finalize_verdict(opt.trace_events);
+  }
   if (!base.violated) {
     st.actions_after = st.actions_before;
     st.flows_after = st.flows_before;
@@ -244,9 +295,14 @@ FuzzScenario shrink_fuzz_scenario(const FuzzScenario& s, const FuzzOptions& opt,
   }
   const std::string& inv = base.invariant;
   FuzzScenario cur = s;
+  ShrinkCtx ctx{opt, inv, st, max_runs, std::move(ring)};
 
   // Phase 1: ddmin over fault actions — remove chunks, halving the chunk
-  // size whenever a whole pass removes nothing.
+  // size whenever a whole pass removes nothing.  `floor` tracks the
+  // earliest action time removed from the input so far: a probe may only
+  // restore from snapshots before every action it drops (accumulated
+  // removals included), since the image was saved from the full input run.
+  Time floor = kTimeInfinity;
   std::size_t chunk = std::max<std::size_t>(1, cur.faults.actions.size() / 2);
   while (!cur.faults.actions.empty()) {
     bool removed = false;
@@ -254,10 +310,15 @@ FuzzScenario shrink_fuzz_scenario(const FuzzScenario& s, const FuzzOptions& opt,
       FuzzScenario cand = cur;
       auto& acts = cand.faults.actions;
       const std::size_t end = std::min(i + chunk, acts.size());
+      Time bound = floor;
+      for (std::size_t k = i; k < end; ++k) {
+        bound = std::min(bound, cur.faults.actions[k].at);
+      }
       acts.erase(acts.begin() + static_cast<std::ptrdiff_t>(i),
                  acts.begin() + static_cast<std::ptrdiff_t>(end));
-      if (reproduces(cand, opt, inv, st, max_runs)) {
+      if (reproduces(ctx, cand, bound)) {
         cur = std::move(cand);
+        floor = bound;
         removed = true;  // the next candidate shifted into slot i
       } else {
         i = end;
@@ -271,7 +332,7 @@ FuzzScenario shrink_fuzz_scenario(const FuzzScenario& s, const FuzzOptions& opt,
   for (std::size_t i = 0; cur.flows.size() > 1 && i < cur.flows.size();) {
     FuzzScenario cand = cur;
     cand.flows.erase(cand.flows.begin() + static_cast<std::ptrdiff_t>(i));
-    if (reproduces(cand, opt, inv, st, max_runs)) {
+    if (reproduces(ctx, cand, kNoRestore)) {
       cur = std::move(cand);
     } else {
       ++i;
@@ -285,7 +346,7 @@ FuzzScenario shrink_fuzz_scenario(const FuzzScenario& s, const FuzzOptions& opt,
       if (cur.flows[i].bytes >= 2000) {
         FuzzScenario cand = cur;
         cand.flows[i].bytes /= 2;
-        if (reproduces(cand, opt, inv, st, max_runs)) {
+        if (reproduces(ctx, cand, kNoRestore)) {
           cur = std::move(cand);
           changed = true;
         }
@@ -293,7 +354,7 @@ FuzzScenario shrink_fuzz_scenario(const FuzzScenario& s, const FuzzOptions& opt,
       if (cur.flows[i].msg_bytes >= 2048) {
         FuzzScenario cand = cur;
         cand.flows[i].msg_bytes /= 2;
-        if (reproduces(cand, opt, inv, st, max_runs)) {
+        if (reproduces(ctx, cand, kNoRestore)) {
           cur = std::move(cand);
           changed = true;
         }
@@ -305,7 +366,7 @@ FuzzScenario shrink_fuzz_scenario(const FuzzScenario& s, const FuzzOptions& opt,
   while (cur.max_time / 2 >= milliseconds(1)) {
     FuzzScenario cand = cur;
     cand.max_time /= 2;
-    if (!reproduces(cand, opt, inv, st, max_runs)) break;
+    if (!reproduces(ctx, cand, kNoRestore)) break;
     cur = std::move(cand);
   }
 

@@ -59,6 +59,12 @@ struct FuzzOptions {
   /// check/broken.h).  The scenario's scheme still picks the switch config.
   std::shared_ptr<TransportFactory> factory_override;
   std::size_t trace_events = 40;  // trace lines kept in the verdict
+  /// Snapshot-accelerated shrinking (harness/checkpoint.h): ddmin probes
+  /// restore from the latest prefix snapshot preceding the first removed
+  /// fault action instead of re-running from t=0.  Restored probe runs are
+  /// bit-identical to cold ones, so the shrink result is byte-identical
+  /// with this on or off (run_fuzz --no-snapshot is the escape hatch).
+  bool use_snapshots = true;
 };
 
 struct FuzzVerdict {
@@ -81,6 +87,13 @@ struct ShrinkStats {
   std::size_t actions_after = 0;
   std::size_t flows_before = 0;
   std::size_t flows_after = 0;
+  /// Simulation events actually executed across all shrink runs, and
+  /// events skipped by restoring probes from prefix snapshots (0 with
+  /// use_snapshots off).  Both are deterministic, so
+  /// (executed + skipped) / executed is the exact event-for-event speedup
+  /// of snapshot-backed shrinking over cold re-runs.
+  std::uint64_t events_executed = 0;
+  std::uint64_t events_skipped = 0;
 };
 
 /// Minimizes a violating scenario while preserving its first-violation

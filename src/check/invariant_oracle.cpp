@@ -1,5 +1,7 @@
 #include "check/invariant_oracle.h"
 
+#include "sim/snapshot.h"
+
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
@@ -475,6 +477,70 @@ std::string InvariantOracle::trace_slice(std::size_t max_events) const {
     out += '\n';
   }
   return out;
+}
+
+
+void InvariantOracle::checkpoint(StateIO& io) {
+  io.label(0x02AC1Eu);
+  auto flow_state = [](StateIO& s, FlowState& f) {
+    s.pod(f.src);
+    s.pod(f.dst);
+    s.pod(f.endpoints_known);
+    s.pod(f.max_new_psn);
+    s.pod(f.next_msg);
+    s.pod(f.rx_fires);
+    s.pod(f.tx_fires);
+    s.pod(f.max_ack_emsn);
+    s.pod(f.max_ack_cnt);
+    s.pod(f.trims);
+    s.pod(f.bounces);
+    s.pod(f.ho_to_rx);
+    s.pod(f.ho_to_tx);
+    s.pod(f.ho_other);
+    s.pod(f.ho_lost);
+    s.vec(f.retry_seen);
+    s.pod(f.tracking_checked);
+  };
+  io.each(flows_, flow_state);
+  // Sparse states (forged flow ids) sorted by id for a canonical stream.
+  std::vector<FlowId> sids;
+  sids.reserve(sparse_flows_.size());
+  for (auto& kv : sparse_flows_) sids.push_back(kv.first);
+  std::sort(sids.begin(), sids.end());
+  std::uint64_t sn = sids.size();
+  io.pod(sn);
+  if (io.saving()) {
+    for (FlowId id : sids) {
+      FlowId rid = id;
+      io.pod(rid);
+      flow_state(io, sparse_flows_.at(id));
+    }
+  } else {
+    sparse_flows_.clear();
+    for (std::uint64_t i = 0; i < sn && io.ok(); ++i) {
+      FlowId id = 0;
+      io.pod(id);
+      flow_state(io, sparse_flows_[id]);
+    }
+  }
+  // Buffer shadows: the watch list itself is rebuilt by the constructor in
+  // the same order, so only the replay state is overlaid.
+  io.fixed(buffers_, [](StateIO& s, std::pair<const SharedBuffer*, std::unique_ptr<BufferShadow>>& b) {
+    s.pod(b.second->used);
+    s.vec(b.second->per_key);
+    s.pod(b.second->last_fail);
+  });
+  io.vec(ring_);
+  io.pod(ring_next_);
+  io.pod(ring_wrapped_);
+  io.pod(frozen_);
+  io.each(violations_, [](StateIO& s, InvariantViolation& v) {
+    s.str(v.invariant);
+    s.str(v.detail);
+    s.pod(v.at);
+  });
+  io.pod(suppressed_);
+  io.pod(finalized_);
 }
 
 }  // namespace dcp

@@ -49,6 +49,8 @@
 
 namespace dcp {
 
+class StateIO;
+
 struct InvariantViolation {
   std::string invariant;  // stable id from the catalogue above
   std::string detail;
@@ -88,6 +90,11 @@ class InvariantOracle final : public CheckObserver {
   /// Arms conservation checking on a buffer the constructor could not see
   /// (tests driving a SharedBuffer directly).
   void watch_buffer(SharedBuffer& buf);
+
+  /// Checkpoint hook (sim/snapshot.h): per-flow ledgers, buffer shadows,
+  /// the event ring and recorded violations.  The observer registration
+  /// and buffer hook pointers come from the rebuild, not the image.
+  void checkpoint(StateIO& io);
 
   // ---- CheckObserver ------------------------------------------------------
   void on_host_send(const Packet& pkt) override;

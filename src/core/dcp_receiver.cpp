@@ -1,4 +1,6 @@
 #include "check/observer.h"
+
+#include "sim/snapshot.h"
 #include "core/dcp_transport.h"
 #include "host/host.h"
 
@@ -224,6 +226,29 @@ void DcpBitmapReceiver::on_packet(Packet pkt) {
     send_emsn_ack();
     if (complete()) mark_complete();
   }
+}
+
+
+void DcpReceiver::checkpoint_extra(StateIO& io) {
+  tracker_.checkpoint(io);
+  io.vec(rretry_);
+  io.pod(dstats_);
+  io.pod(last_activity_);
+  io.pod(ka_backoff_);
+  io.pod(post_complete_kas_);
+  io.pod(last_echo_);
+  io.timer(keepalive_);
+}
+
+void DcpBitmapReceiver::checkpoint_extra(StateIO& io) {
+  io.vbool(received_);
+  io.pod(emsn_);
+  io.pod(scan_);
+  io.pod(last_activity_);
+  io.pod(ka_backoff_);
+  io.pod(post_complete_kas_);
+  io.pod(last_echo_);
+  io.timer(keepalive_);
 }
 
 }  // namespace dcp

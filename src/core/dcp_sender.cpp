@@ -1,5 +1,7 @@
 #include <algorithm>
 
+#include "sim/snapshot.h"
+
 #include "core/dcp_transport.h"
 #include "host/host.h"
 
@@ -204,6 +206,25 @@ void DcpSender::on_packet(Packet pkt) {
     default:
       return;
   }
+}
+
+
+void DcpSender::checkpoint_extra(StateIO& io) {
+  rq_.checkpoint(io);
+  io.pod(fetch_in_flight_);
+  io.pod(fetch_batch_);
+  io.pod(rcnt_);
+  io.pod(ho_total_);
+  io.pod(flushed_);
+  io.deq(timeout_retx_);
+  io.vec(sretry_);
+  io.pod(snd_nxt_);
+  io.pod(una_msn_);
+  io.pod(last_progress_);
+  io.pod(timeout_backoff_);
+  io.pod(dstats_);
+  io.timer(fetch_done_);
+  io.timer(msg_timer_);
 }
 
 }  // namespace dcp

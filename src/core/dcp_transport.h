@@ -81,6 +81,7 @@ class DcpSender final : public SenderTransport {
   bool protocol_has_packet() override;
   Packet protocol_next_packet() override;
   void on_start() override { arm_msg_timer(); }
+  void checkpoint_extra(StateIO& io) override;
 
  private:
   Packet build_packet(std::uint32_t psn, bool retransmit, std::uint8_t retry_no);
@@ -137,6 +138,9 @@ class DcpReceiver final : public ReceiverTransport {
   const DcpReceiverStats& dcp_stats() const { return dstats_; }
   const MessageCounterTracker& tracker() const { return tracker_; }
 
+ protected:
+  void checkpoint_extra(StateIO& io) override;
+
  private:
   void bounce_header_only(const Packet& pkt);
   void send_emsn_ack();
@@ -177,6 +181,9 @@ class DcpBitmapReceiver final : public ReceiverTransport {
 
   std::uint64_t tracking_bytes() const { return (received_.size() + 7) / 8; }
   std::uint32_t emsn() const { return emsn_; }
+
+ protected:
+  void checkpoint_extra(StateIO& io) override;
 
  private:
   void bounce_header_only(const Packet& pkt);

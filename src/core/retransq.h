@@ -57,6 +57,16 @@ class RetransQ {
   std::uint64_t pcie_fetches() const { return fetches_; }
   std::size_t max_len() const { return max_len_; }
 
+  /// Checkpoint hook (sim/snapshot.h): both queues plus the counters.
+  template <typename IO>
+  void checkpoint(IO& io) {
+    io.deq(host_q_);
+    io.deq(staging_);
+    io.pod(total_pushed_);
+    io.pod(fetches_);
+    io.pod(max_len_);
+  }
+
  private:
   std::deque<Entry> host_q_;   // in host memory
   std::deque<Entry> staging_;  // on-NIC, already fetched

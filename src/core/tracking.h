@@ -106,6 +106,14 @@ class MessageCounterTracker final : public PacketTracker {
   bool count_packet(std::uint32_t msn);
   void reset_message(std::uint32_t msn);
 
+  /// Checkpoint hook (sim/snapshot.h): the counter ring and eMSN cursor
+  /// (the geometry vectors are rebuilt from the flow spec).
+  template <typename IO>
+  void checkpoint(IO& io) {
+    io.vec(state_);
+    io.pod(emsn_);
+  }
+
  private:
   struct MsgState {
     std::uint32_t counter = 0;  // 14-bit in hardware

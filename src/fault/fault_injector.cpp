@@ -1,6 +1,9 @@
 #include "fault/fault_injector.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "sim/snapshot.h"
 
 namespace dcp {
 
@@ -177,6 +180,65 @@ std::size_t FaultInjector::doomed_in_lanes() const {
   std::size_t n = 0;
   for (const Channel* ch : cut_channels_) n += ch->lane_doomed_pending();
   return n;
+}
+
+
+void FaultInjector::replay_to(Time t) {
+  struct Rep {
+    Time at;
+    std::size_t ev;
+    std::size_t action;
+    bool is_start;
+  };
+  std::vector<Rep> reps;
+  std::size_t ev = 0;
+  for (std::size_t i = 0; i < plan_.actions.size(); ++i) {
+    const FaultAction& a = plan_.actions[i];
+    if (a.is_noop()) continue;
+    if (a.at < t) reps.push_back({a.at, ev, i, true});
+    ++ev;
+    if (a.end() != kTimeInfinity) {
+      if (a.end() < t) reps.push_back({a.end(), ev, i, false});
+      ++ev;
+    }
+  }
+  // Same-time events fired in arm order (arming allocates ascending
+  // sequence numbers), which a stable sort by time preserves.
+  std::stable_sort(reps.begin(), reps.end(),
+                   [](const Rep& x, const Rep& y) { return x.at < y.at; });
+  auto saved_start = std::move(on_fault_start);
+  auto saved_end = std::move(on_fault_end);
+  on_fault_start = nullptr;
+  on_fault_end = nullptr;
+  for (const Rep& r : reps) {
+    net_.sim().cancel(events_[r.ev]);
+    if (r.is_start) {
+      apply(r.action);
+    } else {
+      revert(r.action);
+    }
+  }
+  on_fault_start = std::move(saved_start);
+  on_fault_end = std::move(saved_end);
+}
+
+void FaultInjector::checkpoint(StateIO& io) {
+  io.label(0xFA1737u);
+  rng_.checkpoint(io);
+  io.pod(ctr_);
+  std::uint64_t ns = states_.size();
+  io.pod(ns);
+  if (!io.saving() && ns != states_.size()) {
+    return io.fail("fault hook count mismatch (replay_to not run?)");
+  }
+  for (ChannelFault& f : states_) {
+    io.pod(f.drop_rate);
+    io.pod(f.corrupt_rate);
+    io.pod(f.blackhole_refs);
+    io.pod(f.dropped);
+    io.pod(f.corrupted);
+    io.pod(f.blackholed);
+  }
 }
 
 }  // namespace dcp

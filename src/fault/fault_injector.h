@@ -39,6 +39,8 @@
 
 namespace dcp {
 
+class StateIO;
+
 class FaultInjector {
  public:
   /// Wire-level fault counters aggregated over every hooked channel.
@@ -64,6 +66,20 @@ class FaultInjector {
   std::function<void(std::size_t, const FaultAction&, Time)> on_fault_end;
 
   Counters counters() const;
+
+  // ---- Checkpoint/restore (sim/snapshot.h) ------------------------------
+  /// Restore prep: re-executes the structural side effects of every action
+  /// start/revert with time strictly below `t` — in fire order, with the
+  /// notification callbacks suppressed — and cancels their armed events.
+  /// This reproduces hook creation order (stable ChannelFault addresses),
+  /// the cut-channel list and saved capacities exactly as the saved run
+  /// left them; the value state they carry is then overlaid by
+  /// checkpoint().  Mutations to switches/channels made here are likewise
+  /// overwritten by their own checkpoints.
+  void replay_to(Time t);
+  /// RNG position, aggregate counters and every hooked channel's fault
+  /// rates/counters (in hook-creation order, which replay_to reproduced).
+  void checkpoint(StateIO& io);
 
   /// Lane records doomed by a drop-in-flight cut but not yet surfaced —
   /// in-flight losses the lane scheduler has committed to but not yet

@@ -1,0 +1,273 @@
+#include "harness/checkpoint.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dcp {
+
+namespace {
+
+// Feeds a trivially-copyable record into the digest as 64-bit lanes
+// (tail bytes zero-padded).  All digested structs are u64/i64/double
+// aggregates, so there is no padding to leak.
+template <typename T>
+void hash_pod(Fnv64& h, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  std::size_t i = 0;
+  for (; i + 8 <= sizeof v; i += 8) {
+    std::uint64_t lane;
+    std::memcpy(&lane, p + i, 8);
+    h.u64(lane);
+  }
+  if (i < sizeof v) {
+    std::uint64_t lane = 0;
+    std::memcpy(&lane, p + i, sizeof v - i);
+    h.u64(lane);
+  }
+}
+
+int resolve_shards(const WorldSpec& spec) {
+  if (spec.force_shards > 0) return spec.force_shards;
+  // run_fuzz policy: fault-free scenarios honour DCP_SHARDS (bit-identical
+  // to serial by construction); fault plans run serial — the injector has
+  // no shard ordering story.
+  int nshards = 1;
+  if (!spec.scenario.faults.has_effect()) {
+    if (const char* e = std::getenv("DCP_SHARDS")) {
+      nshards = std::max(1, std::min(std::atoi(e), spec.scenario.leaves));
+    }
+  }
+  return nshards;
+}
+
+}  // namespace
+
+std::uint64_t WorldSpec::fingerprint() const {
+  Fnv64 h;
+  const FuzzScenario& s = scenario;
+  h.u64(s.seed);
+  h.u64(static_cast<std::uint64_t>(s.scheme));
+  h.u64(static_cast<std::uint64_t>(s.spines));
+  h.u64(static_cast<std::uint64_t>(s.leaves));
+  h.u64(static_cast<std::uint64_t>(s.hosts_per_leaf));
+  h.i64(s.max_time);
+  h.u64(s.flows.size());
+  for (const FuzzFlow& f : s.flows) {
+    h.u64(static_cast<std::uint64_t>(f.src));
+    h.u64(static_cast<std::uint64_t>(f.dst));
+    h.u64(f.bytes);
+    h.u64(f.msg_bytes);
+    h.i64(f.start);
+  }
+  h.u64(s.faults.actions.size());
+  for (const FaultAction& a : s.faults.actions) {
+    h.u64(static_cast<std::uint64_t>(a.kind));
+    h.i64(a.at);
+    h.i64(a.duration);
+    h.u64(a.sw);
+    h.u64(a.port);
+    h.f64(a.rate);
+    h.f64(a.frac);
+    h.u64(a.drop_in_flight ? 1 : 0);
+  }
+  h.u64(injector_seed);
+  h.u64(factory_override != nullptr ? 1 : 0);
+  h.u64(oracle ? 1 : 0);
+  return h.value();
+}
+
+SimWorld::SimWorld(const WorldSpec& spec) : spec_(spec) {
+  // Mirrors run_fuzz_scenario's construction order exactly; any deviation
+  // breaks the rebuild's bit-identity with the run the image was saved
+  // from.
+  shards_ = std::make_unique<ShardGroup>(resolve_shards(spec_));
+  log_ = std::make_unique<Logger>(LogLevel::kError);
+  net_ = std::make_unique<Network>(*shards_, *log_);
+
+  const FuzzScenario& s = spec_.scenario;
+  SchemeSetup setup = make_scheme(s.scheme);
+  ClosParams clos;
+  clos.spines = s.spines;
+  clos.leaves = s.leaves;
+  clos.hosts_per_leaf = s.hosts_per_leaf;
+  clos.sw = setup.sw;
+  topo_ = build_clos(*net_, clos);
+  apply_scheme(*net_, setup);
+  if (spec_.factory_override) net_->set_factory(spec_.factory_override);
+
+  for (const FuzzFlow& f : s.flows) {
+    FlowSpec fs;
+    fs.src = topo_.hosts.at(static_cast<std::size_t>(f.src))->id();
+    fs.dst = topo_.hosts.at(static_cast<std::size_t>(f.dst))->id();
+    fs.bytes = f.bytes;
+    fs.msg_bytes = f.msg_bytes;
+    fs.start_time = f.start;
+    net_->start_flow(fs);
+  }
+
+  if (spec_.oracle) oracle_ = std::make_unique<InvariantOracle>(*net_);
+  // Unconditional: with a no-effect plan the injector arms nothing and
+  // draws nothing, so it is event-stream-neutral — but its presence keeps
+  // the snapshot stream layout identical across ddmin candidates, letting
+  // the empty-plan probe (ddmin removing every action) restore too.
+  inj_ = std::make_unique<FaultInjector>(*net_, s.faults, spec_.injector_seed);
+
+  // First sequence after the deterministic setup phase: the boundary of
+  // runtime-seq translation for prefix-isomorphic restores.
+  setup_seq_end_ = shards_->sim(0).snapshot_next_seq();
+}
+
+SimWorld::~SimWorld() = default;
+
+std::uint64_t SimWorld::events_processed() const {
+  return shards_->events_processed();
+}
+
+void SimWorld::run_to(Time t) {
+  at_ = net_->run_to_paused(t, spec_.scenario.max_time);
+}
+
+void SimWorld::run_until_done() { net_->run_until_done(spec_.scenario.max_time); }
+
+FuzzVerdict SimWorld::finalize_verdict(std::size_t trace_events) {
+  FuzzVerdict v;
+  v.all_complete = net_->all_flows_done();
+  if (oracle_ == nullptr) return v;
+  oracle_->finalize();
+  v.violated = !oracle_->ok();
+  v.num_violations = oracle_->violations().size();
+  if (const InvariantViolation* first = oracle_->first()) {
+    v.invariant = first->invariant;
+    v.at = first->at;
+    v.message = oracle_->summary();
+    v.trace = oracle_->trace_slice(trace_events);
+  }
+  return v;
+}
+
+bool SimWorld::save(SnapshotImage& out, std::string* error) {
+  auto fail = [&](const std::string& m) {
+    if (error != nullptr) *error = m;
+    return false;
+  };
+  if (!snapshot_supported(spec_.scenario.scheme)) {
+    return fail(std::string("scheme not snapshottable: ") + scheme_name(spec_.scenario.scheme));
+  }
+  out = SnapshotImage{};
+  out.fingerprint = spec_.fingerprint();
+  out.shards = static_cast<std::uint32_t>(shards_->size());
+  Simulator& s0 = shards_->sim(0);
+  out.lanes = s0.use_lanes() ? 1 : 0;
+  out.devirt = s0.use_devirt() ? 1 : 0;
+  out.at = at_;
+  out.setup_seq_end = setup_seq_end_;
+  out.next_seq = s0.snapshot_next_seq();
+  out.clocks.resize(static_cast<std::size_t>(shards_->size()));
+  for (int i = 0; i < shards_->size(); ++i) {
+    const Simulator& s = shards_->sim(i);
+    SnapshotClock& c = out.clocks[static_cast<std::size_t>(i)];
+    c.now = s.now();
+    c.events = s.events_processed();
+    c.cur_time = s.current_event_time();
+    c.cur_seq = s.current_event_seq();
+  }
+
+  StateIO io = StateIO::saver(out.state);
+  net_->checkpoint(io);
+  if (inj_ != nullptr) inj_->checkpoint(io);
+  if (oracle_ != nullptr) oracle_->checkpoint(io);
+  if (!io.ok()) return fail("snapshot save: " + io.error());
+  return true;
+}
+
+bool SimWorld::restore(const SnapshotImage& img, bool allow_spec_delta, std::string* error) {
+  auto fail = [&](const std::string& m) {
+    if (error != nullptr) *error = m;
+    return false;
+  };
+  if (!snapshot_supported(spec_.scenario.scheme)) {
+    return fail(std::string("scheme not snapshottable: ") + scheme_name(spec_.scenario.scheme));
+  }
+  if (!allow_spec_delta && img.fingerprint != spec_.fingerprint()) {
+    return fail("snapshot restore: spec fingerprint mismatch");
+  }
+  if (static_cast<int>(img.shards) != shards_->size()) {
+    return fail("snapshot restore: shard count mismatch");
+  }
+  Simulator& s0 = shards_->sim(0);
+  if ((img.lanes != 0) != s0.use_lanes() || (img.devirt != 0) != s0.use_devirt()) {
+    return fail("snapshot restore: lane/devirt mode mismatch");
+  }
+  if (img.clocks.size() != static_cast<std::size_t>(shards_->size())) {
+    return fail("snapshot restore: clock shape mismatch");
+  }
+
+  // Runtime sequences shift by the setup-phase length difference between
+  // the image's spec and ours (zero when the specs match).
+  const std::int64_t delta = static_cast<std::int64_t>(img.setup_seq_end) -
+                             static_cast<std::int64_t>(setup_seq_end_);
+
+  // Rebuild-side prep, mirroring what the saved run had already done by
+  // its snapshot point: flip shard-run mode on (the saved run's first
+  // window did), drop the start events of flows that had already started
+  // (their effects are overlaid below), and re-execute the fault timeline
+  // so pointer-identity structures (hook registrations, ChannelFault
+  // records) exist in creation order before their values are overlaid.
+  net_->prepare_shard_run();
+  net_->cancel_started_flows(img.at);
+  if (inj_ != nullptr) inj_->replay_to(img.at);
+
+  StateIO io = StateIO::loader(img.state);
+  io.set_seq_context(img.setup_seq_end, delta);
+  net_->checkpoint(io);
+  if (inj_ != nullptr) inj_->checkpoint(io);
+  if (oracle_ != nullptr) oracle_->checkpoint(io);
+  if (!io.ok()) return fail("snapshot restore: " + io.error());
+  if (io.bytes_consumed() != img.state.size()) {
+    return fail("snapshot restore: trailing state bytes");
+  }
+
+  for (int i = 0; i < shards_->size(); ++i) {
+    Simulator& s = shards_->sim(i);
+    const SnapshotClock& c = img.clocks[static_cast<std::size_t>(i)];
+    s.restore_clock(c.now, c.events);
+    s.restore_current_event(c.cur_time, io.translate_seq(c.cur_seq));
+    s.settle_deadline_top();
+  }
+  // One shared allocator across the group: restore once, translated.
+  s0.restore_next_seq(io.translate_seq(img.next_seq));
+  at_ = img.at;
+  return true;
+}
+
+WorldDigest SimWorld::digest() const {
+  Fnv64 h;
+  for (const FlowRecord& r : net_->records()) {
+    h.i64(r.rx_done);
+    h.i64(r.tx_done);
+    hash_pod(h, r.sender);
+    hash_pod(h, r.receiver);
+  }
+  hash_pod(h, net_->total_switch_stats());
+  const std::uint64_t ev = events_processed();
+  h.u64(ev);
+  WorldDigest d;
+  d.value = h.value();
+  d.events = ev;
+  return d;
+}
+
+WarmBoot::WarmBoot(const WorldSpec& spec, Time t) : spec_(spec) {
+  SimWorld w(spec_);
+  w.run_to(t);
+  ok_ = w.save(img_, &err_);
+}
+
+std::unique_ptr<SimWorld> WarmBoot::boot(std::string* error) const {
+  auto w = std::make_unique<SimWorld>(spec_);
+  if (!w->restore(img_, /*allow_spec_delta=*/false, error)) return nullptr;
+  return w;
+}
+
+}  // namespace dcp

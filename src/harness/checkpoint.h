@@ -1,0 +1,155 @@
+#pragma once
+// SimWorld: a deterministic, restorable fuzz-scenario world (the harness
+// side of sim/snapshot.h — see docs/checkpoint.md).
+//
+// A WorldSpec is everything needed to rebuild the world bit-identically:
+// the fuzz scenario (topology, scheme, flows, fault plan), the injector
+// seed, and the optional factory override.  SimWorld replicates
+// run_fuzz_scenario's construction order exactly, then exposes
+// barrier-safe run_to() / save() / restore() on top, so that
+//
+//   SimWorld a(spec);  a.run_to(T);  a.save(img);  a.run_until_done();
+//   SimWorld b(spec);  b.restore(img);             b.run_until_done();
+//
+// leaves a and b with identical digests AND identical events_processed —
+// the restored run is bit-for-bit the uninterrupted one.  Restore into a
+// world built from a *different but prefix-isomorphic* spec (the fuzzer's
+// ddmin probes, which drop fault actions whose first effect lies at or
+// after the snapshot time) is the allow_spec_delta path: runtime event
+// sequences are renumbered by the constant setup-phase delta.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "check/fuzzer.h"
+#include "fault/fault_injector.h"
+#include "check/invariant_oracle.h"
+#include "harness/scheme.h"
+#include "sim/logger.h"
+#include "sim/shard.h"
+#include "sim/snapshot.h"
+#include "topo/clos.h"
+#include "topo/network.h"
+
+namespace dcp {
+
+/// Deterministic rebuild recipe for a fuzz-style world.
+struct WorldSpec {
+  FuzzScenario scenario;
+  /// Seed for the FaultInjector's probability draws; run_fuzz derives it
+  /// from scenario.seed (mix64(seed ^ kTagInject)).  Ignored when the
+  /// scenario's fault plan has no effect.
+  std::uint64_t injector_seed = 0;
+  /// Replaces the scheme's transport factory (broken test doubles).
+  std::shared_ptr<TransportFactory> factory_override;
+  bool oracle = true;
+  /// Overrides the shard count (0 = run_fuzz policy: DCP_SHARDS clamped
+  /// to the leaf count when fault-free, serial otherwise).
+  int force_shards = 0;
+
+  /// Hashes every rebuild-relevant field; snapshots refuse a mismatched
+  /// target unless the caller opts into the prefix-isomorphic delta path.
+  std::uint64_t fingerprint() const;
+};
+
+/// Order-sensitive digest of a finished (or paused) world: per-flow
+/// completion stamps and stats, aggregate switch counters, and the total
+/// event count.  Two runs are bit-identical iff their digests match.
+struct WorldDigest {
+  std::uint64_t value = 0;
+  std::uint64_t events = 0;
+  bool operator==(const WorldDigest& o) const {
+    return value == o.value && events == o.events;
+  }
+  bool operator!=(const WorldDigest& o) const { return !(*this == o); }
+};
+
+class SimWorld {
+ public:
+  explicit SimWorld(const WorldSpec& spec);
+  ~SimWorld();
+  SimWorld(const SimWorld&) = delete;
+  SimWorld& operator=(const SimWorld&) = delete;
+
+  /// Schemes whose transports implement checkpoint_extra.  TcpLite (the
+  /// software-stack proxy) is out of scope; its runs simply never snapshot.
+  static bool snapshot_supported(SchemeKind k) { return k != SchemeKind::kTcp; }
+
+  const WorldSpec& spec() const { return spec_; }
+  Network& net() { return *net_; }
+  InvariantOracle* oracle() { return oracle_.get(); }
+  FaultInjector* injector() { return inj_.get(); }
+  int shard_count() const { return shards_->size(); }
+  std::uint64_t setup_seq_end() const { return setup_seq_end_; }
+  std::uint64_t events_processed() const;
+
+  /// Pauses the CANONICAL run_until_done trajectory just before t: every
+  /// event with time strictly below t has run (committing shard-window
+  /// barriers), leaving the world at a barrier-safe snapshot point.  When
+  /// the canonical run stops before t (all flows done at a slice boundary,
+  /// or idle), the pause lands there instead — running past that point
+  /// would execute trailing timer events the uninterrupted run never sees.
+  void run_to(Time t);
+  /// Runs to completion (scenario.max_time cap), resuming from wherever
+  /// run_to() or restore() left the clocks.
+  void run_until_done();
+  /// Finalizes the oracle and assembles the fuzzer verdict.
+  FuzzVerdict finalize_verdict(std::size_t trace_events = 40);
+
+  /// Captures the full world state at the current (barrier-safe) point.
+  /// Fails — world untouched — when the scheme or a module lacks
+  /// checkpoint support.
+  bool save(SnapshotImage& out, std::string* error = nullptr);
+  /// Overlays a saved image onto this freshly built world.  Only legal
+  /// before any run_to/run_until_done call.  With allow_spec_delta the
+  /// image may come from a prefix-isomorphic spec (ddmin); otherwise the
+  /// fingerprints must match.  On failure the world must be discarded.
+  bool restore(const SnapshotImage& img, bool allow_spec_delta = false,
+               std::string* error = nullptr);
+
+  WorldDigest digest() const;
+
+ private:
+  Simulator& shard_sim(int i) { return shards_->sim(i); }
+
+  WorldSpec spec_;
+  std::unique_ptr<ShardGroup> shards_;
+  std::unique_ptr<Logger> log_;
+  std::unique_ptr<Network> net_;
+  ClosTopology topo_;
+  std::unique_ptr<InvariantOracle> oracle_;
+  std::unique_ptr<FaultInjector> inj_;
+  std::uint64_t setup_seq_end_ = 0;
+  Time at_ = 0;  // barrier-safe point: every event with t < at_ has run
+};
+
+/// The WorldSpec run_fuzz_scenario() builds for a scenario: same injector
+/// seed derivation, same factory override.  Lets tools (run_fuzz
+/// --at-time) and tests rebuild the exact world a fuzz verdict came from.
+WorldSpec fuzz_world_spec(const FuzzScenario& s, const FuzzOptions& opt);
+
+/// Warm-boot helper for sweeps: runs the spec's common prefix once, keeps
+/// the snapshot, and boots per-trial worlds that skip straight to t.
+class WarmBoot {
+ public:
+  /// Builds the world, runs it to t, saves the image.  ok() is false when
+  /// the scheme cannot snapshot — callers fall back to cold boots.
+  WarmBoot(const WorldSpec& spec, Time t);
+
+  bool ok() const { return ok_; }
+  const std::string& error() const { return err_; }
+  const SnapshotImage& image() const { return img_; }
+
+  /// A fresh world restored to t (skipping the prefix events).  Thread-safe
+  /// once constructed: trials on a SweepRunner pool may boot concurrently.
+  std::unique_ptr<SimWorld> boot(std::string* error = nullptr) const;
+
+ private:
+  WorldSpec spec_;
+  SnapshotImage img_;
+  bool ok_ = false;
+  std::string err_;
+};
+
+}  // namespace dcp

@@ -1,5 +1,9 @@
 #include "host/host.h"
 
+#include <algorithm>
+
+#include "sim/snapshot.h"
+
 #include "check/observer.h"
 
 namespace dcp {
@@ -126,6 +130,85 @@ ReceiverTransport* Host::receiver(FlowId id) {
   last_receiver_id_ = id;
   last_receiver_ = it->second.get();
   return last_receiver_;
+}
+
+
+void Host::checkpoint(StateIO& io) {
+  io.label(0x4057u);
+  // Transports exist in the rebuild (created at start_flow setup), so both
+  // directions walk the same sorted id list and the per-id counts must
+  // match exactly.
+  auto walk = [&io](auto& map, const char* what) {
+    std::vector<FlowId> ids;
+    ids.reserve(map.size());
+    for (auto& kv : map) ids.push_back(kv.first);
+    std::sort(ids.begin(), ids.end());
+    std::uint64_t n = ids.size();
+    io.pod(n);
+    if (!io.saving() && n != ids.size()) {
+      io.fail(std::string("transport count mismatch: ") + what);
+      return;
+    }
+    for (FlowId id : ids) {
+      FlowId rid = id;
+      io.pod(rid);
+      if (!io.ok()) return;
+      if (!io.saving() && rid != id) {
+        io.fail(std::string("transport id mismatch: ") + what);
+        return;
+      }
+      map.at(id)->checkpoint(io);
+      if (!io.ok()) return;
+    }
+  };
+  walk(senders_, "senders");
+  if (!io.ok()) return;
+  walk(receivers_, "receivers");
+  if (!io.ok()) return;
+  nic_.checkpoint(io, *this);
+  io.pod(unroutable_);
+  // Receiver-stat journal (sharded runs): per flow, ascending (t, seq).
+  std::vector<FlowId> jids;
+  jids.reserve(journal_.size());
+  for (auto& kv : journal_) jids.push_back(kv.first);
+  std::sort(jids.begin(), jids.end());
+  std::uint64_t jn = jids.size();
+  io.pod(jn);
+  if (io.saving()) {
+    for (FlowId id : jids) {
+      FlowId rid = id;
+      io.pod(rid);
+      auto& v = journal_.at(id);
+      std::uint64_t vn = v.size();
+      io.pod(vn);
+      for (auto& snap : v) {
+        io.pod(snap.t);
+        io.seq(snap.seq);
+        io.pod(snap.stats);
+      }
+    }
+  } else {
+    journal_.clear();
+    for (std::uint64_t i = 0; i < jn && io.ok(); ++i) {
+      FlowId id = 0;
+      io.pod(id);
+      std::uint64_t vn = 0;
+      io.pod(vn);
+      auto& v = journal_[id];
+      v.reserve(vn);
+      for (std::uint64_t k = 0; k < vn && io.ok(); ++k) {
+        StatSnap snap{};
+        io.pod(snap.t);
+        io.seq(snap.seq);
+        io.pod(snap.stats);
+        v.push_back(snap);
+      }
+    }
+    last_sender_id_ = UINT64_MAX;
+    last_sender_ = nullptr;
+    last_receiver_id_ = UINT64_MAX;
+    last_receiver_ = nullptr;
+  }
 }
 
 }  // namespace dcp

@@ -14,6 +14,8 @@
 
 namespace dcp {
 
+class StateIO;
+
 class Host final : public Node {
  public:
   Host(Simulator& sim, Logger& log, NodeId id, std::string name, Bandwidth nic_bw,
@@ -55,6 +57,11 @@ class Host final : public Node {
   std::function<void(FlowId)> on_receiver_done;
 
   std::uint64_t unroutable_packets() const { return unroutable_; }
+
+  /// Checkpoint hook (sim/snapshot.h): every per-flow transport (sorted by
+  /// flow id), the NIC scheduler, and the receiver-stat journal.  The MRU
+  /// transport memo is reset on load rather than saved (pure cache).
+  void checkpoint(StateIO& io);
 
   // --- Sharded-run receiver-stat journal ---------------------------------
   // A sharded run finalizes flows at window barriers, but the FlowRecord

@@ -1,5 +1,8 @@
 #include "host/rnic_scheduler.h"
 
+#include "host/host.h"
+#include "sim/snapshot.h"
+
 #include <algorithm>
 
 #include "check/observer.h"
@@ -74,6 +77,59 @@ void RnicScheduler::kick() {
   if (earliest != kTimeInfinity && earliest > now) {
     wakeup_.arm_at(earliest);
   }
+}
+
+
+void RnicScheduler::checkpoint(StateIO& io, Host& host) {
+  io.label(0x121Cu);
+  channel_.checkpoint(io);
+  // Control queue: flat packet records in FIFO order.
+  std::uint64_t nq = control_q_.size();
+  io.pod(nq);
+  if (io.saving()) {
+    for (auto& p : control_q_) {
+      Packet flat(*p);
+      io.pod(flat);
+    }
+  } else {
+    if (!control_q_.empty()) {
+      io.fail("restore target NIC has queued control packets");
+      return;
+    }
+    for (std::uint64_t i = 0; i < nq && io.ok(); ++i) {
+      Packet flat;
+      io.pod(flat);
+      control_q_.push_back(PacketPtr::make(flat));
+    }
+  }
+  // Active QP list, as flow ids in round-robin order.
+  std::uint64_t ns = senders_.size();
+  io.pod(ns);
+  if (io.saving()) {
+    for (auto* s : senders_) {
+      FlowId id = s->spec().id;
+      io.pod(id);
+    }
+  } else {
+    senders_.clear();
+    for (std::uint64_t i = 0; i < ns && io.ok(); ++i) {
+      FlowId id = 0;
+      io.pod(id);
+      SenderTransport* s = host.sender(id);
+      if (s == nullptr) {
+        io.fail("active sender missing from restore target");
+        return;
+      }
+      senders_.push_back(s);
+    }
+  }
+  io.pod(rr_);
+  io.pod(transmitting_);
+  io.pod(paused_);
+  io.pod(tx_packets_);
+  io.pod(tx_bytes_);
+  io.timer(tx_done_);
+  io.timer(wakeup_);
 }
 
 }  // namespace dcp

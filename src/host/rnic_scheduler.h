@@ -17,6 +17,9 @@
 
 namespace dcp {
 
+class Host;
+class StateIO;
+
 class RnicScheduler {
  public:
   RnicScheduler(Simulator& sim, Bandwidth bw, Time propagation)
@@ -41,6 +44,12 @@ class RnicScheduler {
   std::uint64_t tx_packets() const { return tx_packets_; }
   std::uint64_t tx_bytes() const { return tx_bytes_; }
   std::size_t active_senders() const { return senders_.size(); }
+
+  /// Checkpoint hook (sim/snapshot.h).  The active-QP list is saved as
+  /// flow ids and re-resolved through `host` on load (transport pointers
+  /// are rebuilt before the NIC state is overlaid); control packets ride
+  /// flat records; both timers keep their exact heap keys.
+  void checkpoint(StateIO& io, Host& host);
 
  private:
   void transmit(PacketPtr pkt);

@@ -2,6 +2,7 @@
 
 #include "check/observer.h"
 #include "host/host.h"
+#include "sim/snapshot.h"
 
 namespace dcp {
 
@@ -127,6 +128,32 @@ void ReceiverTransport::mark_complete() {
   if (completion_fired_) return;
   completion_fired_ = true;
   if (host_.on_receiver_done) host_.on_receiver_done(spec_.id);
+}
+
+void SenderTransport::checkpoint(StateIO& io) {
+  io.label(0x5E4D00u);
+  io.pod(stats_);
+  io.pod(started_at_);
+  io.pod(finished_);
+  io.pod(next_allowed_);
+  cc_->checkpoint(io);
+  checkpoint_extra(io);
+}
+
+void SenderTransport::checkpoint_extra(StateIO& io) {
+  io.fail("snapshot unsupported for this sender transport");
+}
+
+void ReceiverTransport::checkpoint(StateIO& io) {
+  io.label(0x4ECF00u);
+  io.pod(stats_);
+  io.pod(completion_fired_);
+  cnp_.checkpoint(io);
+  checkpoint_extra(io);
+}
+
+void ReceiverTransport::checkpoint_extra(StateIO& io) {
+  io.fail("snapshot unsupported for this receiver transport");
 }
 
 }  // namespace dcp

@@ -112,10 +112,17 @@ class SenderTransport {
   CongestionControl& cc() { return *cc_; }
   Time start_time() const { return started_at_; }
 
+  /// Checkpoint hook (sim/snapshot.h): base fields + CC + protocol state
+  /// (checkpoint_extra).  Transports without snapshot support fail the
+  /// stream, which callers surface as "scheme not snapshottable".
+  void checkpoint(StateIO& io);
+
  protected:
   virtual bool protocol_has_packet() = 0;
   virtual Packet protocol_next_packet() = 0;
   virtual void on_start() {}
+  /// Protocol-specific state; the default marks the scheme unsupported.
+  virtual void checkpoint_extra(StateIO& io);
 
   /// Notifies the NIC that this sender may have become eligible (e.g. an
   /// ACK opened the window).
@@ -172,7 +179,12 @@ class ReceiverTransport {
   const FlowSpec& spec() const { return spec_; }
   const ReceiverStats& stats() const { return stats_; }
 
+  /// Checkpoint hook (sim/snapshot.h); see SenderTransport::checkpoint.
+  void checkpoint(StateIO& io);
+
  protected:
+  /// Protocol-specific state; the default marks the scheme unsupported.
+  virtual void checkpoint_extra(StateIO& io);
   /// Sends a control packet (ACK/SACK/CNP/bounced HO) back toward the
   /// sender through the NIC's high-priority control queue.
   void send_control(Packet pkt);

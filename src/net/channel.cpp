@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "check/observer.h"
+#include "sim/snapshot.h"
 // The two concrete datapath endpoints, for the static dispatch in
 // dispatch_receive (both are final; their receive_fast entries are
 // header-visible so switch classification inlines into delivery).
@@ -91,11 +92,23 @@ void Channel::deliver_slow(PacketPtr pkt, Time extra) {
   }
 
   if (!sim_.use_lanes()) {
-    // Plain path: one heap entry per packet (consumes one sequence number
-    // inside schedule(), same as the lane stamp below).
-    sim_.schedule(extra + propagation_, [this, epoch, corrupt, p = std::move(pkt)]() mutable {
-      arrive(std::move(p), epoch, corrupt);
+    // Plain path: one heap entry per packet.  The packet parks in an
+    // in-flight record rather than the event closure (so a snapshot can
+    // serialize the wire); the explicit alloc_event_seq consumes exactly
+    // the sequence schedule() would have, keeping firing order identical.
+    CrossRecord cr;
+    cr.t = sim_.now() + extra + propagation_;
+    cr.seq = sim_.alloc_event_seq();
+    cr.epoch = epoch;
+    cr.corrupt = corrupt;
+    cr.pkt = *pkt;
+    const Time t = cr.t;
+    const std::uint64_t seq = cr.seq;
+    inflight_.push_back(std::move(cr));
+    std::push_heap(inflight_.begin(), inflight_.end(), [](const CrossRecord& a, const CrossRecord& b) {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
     });
+    sim_.schedule_cross(t, seq, [this] { plain_arrive_next(); });
     return;
   }
 
@@ -185,11 +198,27 @@ void Channel::fire_lane() {
 
 void Channel::enable_shard_mode(Simulator* dst_sim) {
   cross_dst_sim_ = dst_sim;
-  // Parked lane records carry window-provisional stamps; commit them at
-  // every barrier (the heap mirror is rewritten by end_shard_window).
+  // Parked lane and plain-path in-flight records carry window-provisional
+  // stamps; commit them at every barrier (the heap mirror is rewritten by
+  // end_shard_window; the per-shard remap is order-preserving, so the
+  // inflight_ heap stays valid in place).
   sim_.add_seq_remap_hook([this](const SeqRemap& remap) {
     for (LaneRecord* r = lane_head_; r != nullptr; r = r->next) r->seq = remap(r->seq);
+    for (CrossRecord& r : inflight_) r.seq = remap(r.seq);
   });
+}
+
+void Channel::plain_arrive_next() {
+  // Events fire in (t, seq) order and each maps to exactly one record, so
+  // the minimum remaining record is the one this event was scheduled for.
+  auto later = [](const CrossRecord& a, const CrossRecord& b) {
+    return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+  };
+  assert(!inflight_.empty());
+  std::pop_heap(inflight_.begin(), inflight_.end(), later);
+  CrossRecord rec = std::move(inflight_.back());
+  inflight_.pop_back();
+  arrive(PacketPtr::make(std::move(rec.pkt)), rec.epoch, rec.corrupt);
 }
 
 void Channel::drain_cross(const SeqRemap& remap) {
@@ -234,6 +263,128 @@ void Channel::cross_arrive_next() {
     return;
   }
   dispatch_receive(std::move(p), *cross_dst_sim_);
+}
+
+void Channel::checkpoint(StateIO& io) {
+  io.label(0xC4A17E1u);
+  io.pod(up_);
+  io.pod(drop_in_flight_on_cut_);
+  io.pod(cut_epoch_);
+  io.pod(delivered_packets_);
+  io.pod(delivered_bytes_);
+  io.pod(discarded_packets_);
+  io.pod(in_flight_dropped_);
+  if (io.saving() && !outbox_.empty()) {
+    io.fail("channel outbox non-empty at snapshot (not a barrier-safe point)");
+    return;
+  }
+
+  // Delivery lane, in FIFO order.  The lane timer's arm is derivable (it
+  // always mirrors the head's key), so it is re-armed rather than saved.
+  std::uint64_t n = lane_len_;
+  io.pod(n);
+  if (io.saving()) {
+    for (LaneRecord* r = lane_head_; r != nullptr; r = r->next) {
+      Time t = r->t;
+      std::uint64_t seq = r->seq;
+      std::uint32_t epoch = r->epoch;
+      std::uint8_t corrupt = r->corrupt ? 1 : 0;
+      Packet flat(*r->pkt);
+      io.pod(t);
+      io.seq(seq);
+      io.pod(epoch);
+      io.pod(corrupt);
+      io.pod(flat);
+    }
+  } else {
+    if (lane_head_ != nullptr) {
+      io.fail("restore target lane non-empty");
+      return;
+    }
+    for (std::uint64_t i = 0; i < n && io.ok(); ++i) {
+      Time t = 0;
+      std::uint64_t seq = 0;
+      std::uint32_t epoch = 0;
+      std::uint8_t corrupt = 0;
+      Packet flat;
+      io.pod(t);
+      io.seq(seq);
+      io.pod(epoch);
+      io.pod(corrupt);
+      io.pod(flat);
+      if (!io.ok()) break;
+      LaneRecord* r = LanePool::local().acquire();
+      r->t = t;
+      r->seq = seq;
+      r->epoch = epoch;
+      r->corrupt = corrupt != 0;
+      r->pkt = PacketPtr::make(flat).release_raw();
+      r->next = nullptr;
+      if (lane_head_ == nullptr) {
+        lane_head_ = lane_tail_ = r;
+      } else {
+        lane_tail_->next = r;
+        lane_tail_ = r;
+      }
+      ++lane_len_;
+    }
+    if (io.ok() && lane_head_ != nullptr) {
+      lane_timer_.arm_keyed_abs(lane_head_->t, lane_head_->seq);
+    }
+  }
+
+  // Plain-path in-flight records and the cross-shard inbox: serialized
+  // sorted ascending by (t, seq) — a sorted array is a valid heap under
+  // the max-`later` comparator, so the load-side arrangement is canonical
+  // and a re-save reproduces the image byte-for-byte.  One keyed event is
+  // re-pushed per record.
+  auto rec_io = [&io](CrossRecord& r) {
+    io.pod(r.t);
+    io.seq(r.seq);
+    io.pod(r.epoch);
+    io.pod(r.corrupt);
+    io.pod(r.pkt);
+  };
+  auto sorted_save = [&](std::vector<CrossRecord>& heap) {
+    std::vector<CrossRecord> recs = heap;
+    std::sort(recs.begin(), recs.end(), [](const CrossRecord& a, const CrossRecord& b) {
+      return a.t != b.t ? a.t < b.t : a.seq < b.seq;
+    });
+    std::uint64_t m = recs.size();
+    io.pod(m);
+    for (CrossRecord& r : recs) rec_io(r);
+  };
+  auto sorted_load = [&](std::vector<CrossRecord>& heap, Simulator* target, bool plain) {
+    std::uint64_t m = 0;
+    io.pod(m);
+    if (!io.ok()) return;
+    if (!heap.empty()) {
+      io.fail("restore target wire non-empty");
+      return;
+    }
+    for (std::uint64_t i = 0; i < m && io.ok(); ++i) {
+      CrossRecord r;
+      rec_io(r);
+      if (!io.ok()) break;
+      if (target == nullptr) {
+        io.fail("cross records without a destination shard");
+        return;
+      }
+      if (plain) {
+        target->schedule_cross(r.t, r.seq, [this] { plain_arrive_next(); });
+      } else {
+        target->schedule_cross(r.t, r.seq, [this] { cross_arrive_next(); });
+      }
+      heap.push_back(std::move(r));
+    }
+  };
+  if (io.saving()) {
+    sorted_save(inflight_);
+    sorted_save(inbox_);
+  } else {
+    sorted_load(inflight_, &sim_, true);
+    sorted_load(inbox_, cross_dst_sim_, false);
+  }
 }
 
 std::size_t Channel::lane_doomed_pending() const {

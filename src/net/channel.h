@@ -33,10 +33,14 @@
 
 namespace dcp {
 
+class StateIO;
+
 /// One cross-shard delivery riding a cut channel (see sim/shard.h): the
 /// packet is copied by value so the source shard's pool slot never leaves
 /// its owning thread.  `seq` is provisional until the window barrier
 /// remaps it; the destination shard re-pools the bytes on arrival.
+/// Also reused as the plain-path (DCP_LANES=0) in-flight record, so every
+/// wire occupancy is a serializable (t, seq, packet) tuple.
 struct CrossRecord {
   Time t = 0;
   std::uint64_t seq = 0;
@@ -162,6 +166,12 @@ class Channel {
   void drain_cross(const SeqRemap& remap);
   std::size_t cross_pending() const { return outbox_.size() + inbox_.size(); }
 
+  /// Checkpoint hook (sim/snapshot.h): scalar counters, parked lane
+  /// records, plain-path in-flight records and cross-shard inbox records
+  /// (each a (t, seq, packet) tuple re-pushed via push_keyed on load).
+  /// Must run at a barrier-safe point: the outbox is empty there.
+  void checkpoint(StateIO& io);
+
  private:
   /// Everything deliver()'s fast path punts on: downed wire, active fault
   /// state (drop/corrupt/blackhole draws), cross-shard cut edges and the
@@ -193,6 +203,7 @@ class Channel {
   void lane_insert_ooo(LaneRecord* r);
   void fire_lane();
   void cross_arrive_next();
+  void plain_arrive_next();
 
   Simulator& sim_;
   Bandwidth bw_;
@@ -217,6 +228,12 @@ class Channel {
   Simulator* cross_dst_sim_ = nullptr;
   std::vector<CrossRecord> outbox_;
   std::vector<CrossRecord> inbox_;
+
+  // Plain-path (DCP_LANES=0) in-flight frames: a (t, seq) min-heap popped
+  // by plain_arrive_next(), one keyed heap event per record.  Keeping the
+  // packet in an inspectable record instead of an event closure is what
+  // makes the wire serializable.
+  std::vector<CrossRecord> inflight_;
 
   // Delivery lane: intrusive FIFO, earliest first; the head's (t, seq) is
   // mirrored by lane_timer_ whenever the lane is non-empty.

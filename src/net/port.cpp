@@ -3,9 +3,21 @@
 // For the static select/charge dispatch below: DwrrPolicy's bodies are
 // header-inline, so including it here adds no link dependency on the
 // switch library.
+#include "sim/snapshot.h"
 #include "switch/scheduler.h"
 
 namespace dcp {
+
+void Port::checkpoint(StateIO& io) {
+  io.label(0x9047u);
+  channel_.checkpoint(io);
+  io.fixed(queues_, [](StateIO& s, FifoQueue& q) { q.checkpoint(s); });
+  io.pod(paused_);
+  io.pod(transmitting_);
+  io.pod(stats_);
+  policy_->checkpoint(io);
+  io.timer(tx_done_);
+}
 
 void Port::enqueue(PacketPtr pkt) {
   const int c = static_cast<int>(pkt->queue_class);

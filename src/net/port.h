@@ -42,6 +42,10 @@ class SchedulerPolicy {
     (void)queue;
     (void)bytes;
   }
+
+  /// Checkpoint hook (sim/snapshot.h): policies with mutable round state
+  /// (DWRR deficits) override; stateless policies have nothing to save.
+  virtual void checkpoint(StateIO& io) { (void)io; }
 };
 
 /// Serves the lowest-index non-empty queue (class 0 first).  With a single
@@ -118,6 +122,11 @@ class Port {
     dequeue_fn_ = fn;
     dequeue_ctx_ = ctx;
   }
+
+  /// Checkpoint hook (sim/snapshot.h): queues, pause state, transmit state,
+  /// stats, the scheduler's round state, the serialization timer's arm and
+  /// the outgoing channel.
+  void checkpoint(StateIO& io);
 
  private:
   void try_transmit();

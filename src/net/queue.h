@@ -35,6 +35,31 @@ class FifoQueue {
   std::uint64_t bytes() const { return bytes_; }
   std::uint64_t max_bytes_seen() const { return max_bytes_seen_; }
 
+  /// Checkpoint hook (sim/snapshot.h): queued packets in FIFO order as
+  /// flat records; byte accounting is rebuilt by re-pushing.
+  template <typename IO>
+  void checkpoint(IO& io) {
+    std::uint64_t n = q_.size();
+    io.pod(n);
+    if (io.saving()) {
+      for (PacketPtr& p : q_) {
+        Packet flat(*p);
+        io.pod(flat);
+      }
+    } else {
+      if (!q_.empty()) {
+        io.fail("restore target FIFO queue non-empty");
+        return;
+      }
+      for (std::uint64_t i = 0; i < n && io.ok(); ++i) {
+        Packet flat;
+        io.pod(flat);
+        if (io.ok()) push(PacketPtr::make(flat));
+      }
+    }
+    io.pod(max_bytes_seen_);
+  }
+
  private:
   std::deque<PacketPtr> q_;
   std::uint64_t bytes_ = 0;

@@ -235,6 +235,82 @@ class EventQueue {
     cur_parent_ = seq;
   }
 
+  // --- Checkpoint/restore hooks (see sim/snapshot.h) ------------------------
+  // Pending one-shots are never serialized (their owners re-push them via
+  // push_keyed with saved keys); persistent timers ARE, as (heap, key)
+  // tuples.  Heap *arrangement* is not observable — pop order is fully
+  // determined by the globally unique (t, seq) keys — so restoring by
+  // reinsertion reproduces execution bit-exactly even though the internal
+  // array layout may differ from the uninterrupted run.
+
+  /// Arm state of a persistent timer, as serialized by a snapshot.
+  struct TimerArm {
+    std::uint8_t kind = 0;  // 0 = unarmed, 1 = main heap, 2 = deadline class
+    Time t = 0;             // parked heap key time (kind != 0)
+    std::uint64_t seq = 0;  // parked heap key sequence (kind != 0)
+    Time deadline = 0;      // true deadline (kind == 2; >= t when lazily extended)
+  };
+
+  TimerArm timer_arm_state(std::uint32_t timer) const {
+    TimerArm a;
+    if (pos_[timer] == kNoPos) return a;
+    if (in_dheap_[timer]) {
+      if (deadline_[timer] == kTimeInfinity) return a;  // lazily cancelled
+      const HeapEntry& e = dheap_[pos_[timer]];
+      a.kind = 2;
+      a.t = e.t;
+      a.seq = e.seq;
+      a.deadline = deadline_[timer];
+      return a;
+    }
+    const HeapEntry& e = heap_[pos_[timer]];
+    a.kind = 1;
+    a.t = e.t;
+    a.seq = e.seq;
+    return a;
+  }
+
+  /// Physically removes a timer's pending entry from whichever heap holds
+  /// it.  Unlike timer_cancel this also evicts lazily-cancelled deadline
+  /// entries, so after unparking every timer the heaps hold exactly the
+  /// arms a snapshot records.
+  void timer_unpark(std::uint32_t timer) {
+    if (pos_[timer] != kNoPos) {
+      if (in_dheap_[timer]) {
+        remove_from_heap(dheap_, pos_[timer]);
+        settle_dtop();
+      } else {
+        remove_from_heap(heap_, pos_[timer]);
+      }
+      pos_[timer] = kNoPos;
+    }
+    in_dheap_[timer] = 0;
+    deadline_[timer] = kTimeInfinity;
+  }
+
+  /// Re-arms a timer with an exact saved key — the restore-side counterpart
+  /// of timer_arm_state().  Call settle_deadline_top() once after a restore
+  /// batch to re-establish the deadline heap's top-accuracy invariant.
+  void timer_restore(std::uint32_t timer, const TimerArm& a) {
+    timer_unpark(timer);
+    if (a.kind == 0) return;
+    if (a.kind == 1) {
+      insert_main(HeapEntry{a.t, a.seq, timer});
+      return;
+    }
+    in_dheap_[timer] = 1;
+    deadline_[timer] = a.deadline;
+    dheap_.emplace_back();
+    sift_up(dheap_, dheap_.size() - 1, HeapEntry{a.t, a.seq, timer});
+  }
+
+  /// Re-establishes "the deadline heap's top matches its slot's true
+  /// deadline" after a batch of timer_restore() calls.
+  void settle_deadline_top() { settle_dtop(); }
+
+  std::uint64_t snapshot_next_seq() const { return *seq_src_; }
+  void restore_next_seq(std::uint64_t v) { *seq_src_ = v; }
+
  private:
   static constexpr std::uint32_t kChunkShift = 9;
   static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;  // 512 events

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <random>
 #include <span>
+#include <sstream>
 #include <vector>
 
 namespace dcp {
@@ -63,6 +64,24 @@ class Rng {
     return Rng(mix64(seed ^ mix64(tag)));
   }
 
+  /// Checkpoint hook (sim/snapshot.h): the engine round-trips through its
+  /// standard-guaranteed textual iostream representation.  Templated so
+  /// this low-level header needs no dependency on the snapshot layer.
+  template <typename IO>
+  void checkpoint(IO& io) {
+    std::string s;
+    if (io.saving()) {
+      std::ostringstream os;
+      os << gen_;
+      s = os.str();
+    }
+    io.str(s);
+    if (!io.saving() && io.ok()) {
+      std::istringstream is(s);
+      is >> gen_;
+    }
+  }
+
  private:
   std::mt19937_64 gen_;
 };
@@ -86,6 +105,21 @@ class UniformPrefetch {
   double next(std::mt19937_64& gen) {
     if (pos_ == filled_) refill(gen);
     return buf_[pos_++];
+  }
+
+  /// Checkpoint hook: unconsumed prefetched draws are part of the stream
+  /// position and must survive a restore bit-exactly.
+  template <typename IO>
+  void checkpoint(IO& io) {
+    io.pod(buf_);
+    std::uint64_t p = pos_;
+    std::uint64_t f = filled_;
+    io.pod(p);
+    io.pod(f);
+    if (!io.saving()) {
+      pos_ = static_cast<std::size_t>(p);
+      filled_ = static_cast<std::size_t>(f);
+    }
   }
 
  private:

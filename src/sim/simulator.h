@@ -172,6 +172,21 @@ class Simulator {
     if (t > now_) now_ = t;
   }
 
+  // --- Checkpoint/restore support (see sim/snapshot.h) ----------------------
+
+  /// Overwrites the clock and event counter with a snapshot's values.
+  void restore_clock(Time now, std::uint64_t events) {
+    now_ = now;
+    events_processed_ = events;
+  }
+  /// Overwrites the current-event key (allocation parent) from a snapshot.
+  void restore_current_event(Time t, std::uint64_t seq) { queue_.set_current_event(t, seq); }
+  std::uint64_t snapshot_next_seq() const { return queue_.snapshot_next_seq(); }
+  void restore_next_seq(std::uint64_t v) { queue_.restore_next_seq(v); }
+  /// Re-establishes the deadline heap's top-accuracy invariant after a
+  /// batch of Timer::restore_arm() calls.
+  void settle_deadline_top() { queue_.settle_deadline_top(); }
+
  private:
   friend class Timer;
 
@@ -224,6 +239,11 @@ class Timer {
   /// Removes from the heap if pending; harmless no-op otherwise.
   void cancel() { sim_.queue_.timer_cancel(slot_); }
   bool pending() const { return sim_.queue_.timer_pending(slot_); }
+
+  /// Checkpoint hooks: the exact heap arm (kind + key) for serialization,
+  /// and its restore-side overlay (see sim/snapshot.h).
+  EventQueue::TimerArm arm_state() const { return sim_.queue_.timer_arm_state(slot_); }
+  void restore_arm(const EventQueue::TimerArm& a) { sim_.queue_.timer_restore(slot_, a); }
 
  private:
   Simulator& sim_;

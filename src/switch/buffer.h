@@ -105,6 +105,17 @@ class SharedBuffer {
     return pfc_.enabled && ingress_bytes_[port][cls] < pfc_.xon_bytes;
   }
 
+  /// Checkpoint hook (sim/snapshot.h): occupancy, high-water mark, the
+  /// (possibly fault-resized) capacity and per-port ingress accounting.
+  /// The observer/shadow pointers are re-armed by the oracle's restore.
+  template <typename IO>
+  void checkpoint(IO& io) {
+    io.pod(capacity_);
+    io.pod(used_);
+    io.pod(max_used_);
+    io.vec(ingress_bytes_);
+  }
+
  private:
   struct PerPort {
     std::uint64_t cls_bytes[kNumQueueClasses] = {};

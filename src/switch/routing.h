@@ -9,10 +9,12 @@
 //                   in-network adaptive routing, per-packet);
 //   * SourcePath  — honour the packet's path_id (MP-RDMA virtual paths).
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "net/packet.h"
@@ -138,6 +140,35 @@ class FlowletTable {
   }
   Time gap() const { return gap_; }
   std::size_t entries() const { return table_.size(); }
+
+  /// Checkpoint hook (sim/snapshot.h): entries serialized sorted by flow id
+  /// so the image is independent of hash-map iteration order.
+  template <typename IO>
+  void checkpoint(IO& io) {
+    std::uint64_t n = table_.size();
+    io.pod(n);
+    if (io.saving()) {
+      std::vector<std::pair<FlowId, FlowletEntry>> v(table_.begin(), table_.end());
+      std::sort(v.begin(), v.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      for (auto& [id, e] : v) {
+        FlowId key = id;
+        io.pod(key);
+        io.pod(e.port);
+        io.pod(e.last_seen);
+      }
+    } else {
+      table_.clear();
+      for (std::uint64_t i = 0; i < n && io.ok(); ++i) {
+        FlowId key = 0;
+        FlowletEntry e;
+        io.pod(key);
+        io.pod(e.port);
+        io.pod(e.last_seen);
+        if (io.ok()) table_[key] = e;
+      }
+    }
+  }
 
  private:
   Time gap_;

@@ -1,9 +1,18 @@
 #include "switch/scheduler.h"
 
+#include "sim/snapshot.h"
+
 namespace dcp {
 
 DwrrPolicy::DwrrPolicy(std::array<double, kNumQueueClasses> weights, std::uint32_t quantum_bytes)
     : weights_(weights), quantum_(quantum_bytes) {}
+
+void DwrrPolicy::checkpoint(StateIO& io) {
+  io.label(0xD3FC17u);
+  io.pod(deficit_);
+  io.pod(cur_);
+  io.pod(entered_);
+}
 
 int DwrrPolicy::select_slow(const std::vector<FifoQueue>& queues,
                             const std::array<bool, kNumQueueClasses>& paused) {

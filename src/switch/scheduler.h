@@ -52,6 +52,10 @@ class DwrrPolicy final : public SchedulerPolicy {
     if (deficit_[queue] < 0) deficit_[queue] = 0;
   }
 
+  /// Mutable round state (deficits, current class, quantum-credit flag);
+  /// weights and quantum are construction-time config.
+  void checkpoint(StateIO& io) override;
+
  private:
   int select_slow(const std::vector<FifoQueue>& queues,
                   const std::array<bool, kNumQueueClasses>& paused);

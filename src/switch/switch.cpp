@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "check/observer.h"
+#include "sim/snapshot.h"
 
 namespace dcp {
 
@@ -221,6 +222,34 @@ void Switch::on_port_dequeue(const PacketHot& pkt) {
     resume.wire_bytes = HeaderSizes::kPfcFrame;
     ports_[in_port]->send_oob(std::move(resume));
   }
+}
+
+void Switch::checkpoint(StateIO& io) {
+  io.label(0x51117C4u);
+  io.pod(cfg_);
+  rng_.checkpoint(io);
+  fault_rng_.checkpoint(io);
+  chance_buf_.checkpoint(io);
+  io.pod(batched_draws_);
+  io.pod(any_port_down_);
+  io.pod(flap_epoch_);
+  // vector<bool> has no contiguous storage; element-wise bytes.
+  std::uint64_t nup = port_up_.size();
+  io.pod(nup);
+  if (!io.saving() && nup != port_up_.size()) {
+    io.fail("switch port count mismatch");
+    return;
+  }
+  for (std::size_t i = 0; i < port_up_.size(); ++i) {
+    std::uint8_t b = port_up_[i] ? 1 : 0;
+    io.pod(b);
+    if (!io.saving()) port_up_[i] = b != 0;
+  }
+  flowlets_.checkpoint(io);
+  buffer_.checkpoint(io);
+  io.vec(pause_sent_);
+  io.pod(stats_);
+  io.fixed(ports_, [](StateIO& s, std::unique_ptr<Port>& p) { p->checkpoint(s); });
 }
 
 }  // namespace dcp

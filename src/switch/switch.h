@@ -118,6 +118,12 @@ class Switch final : public Node {
   std::uint32_t route_epoch() const { return routes_.version() + flap_epoch_; }
   const RouteCache& route_cache() const { return rcache_; }
 
+  /// Checkpoint hook (sim/snapshot.h): runtime config (fault rates), RNG
+  /// streams, link state, flowlets, shared buffer, PFC bookkeeping, stats
+  /// and every port.  Routes and the ECMP cache are not serialized: routes
+  /// are setup-built and the cache is output-invisible (it refills cold).
+  void checkpoint(StateIO& io);
+
   using Node::receive;
   /// Virtual path (DCP_DEVIRT=0 / custom callers): same body as the
   /// statically-dispatched entry below, so outputs are bit-identical.

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "check/observer.h"
+#include "sim/snapshot.h"
 
 namespace dcp {
 
@@ -106,7 +107,9 @@ FlowId Network::start_flow(FlowSpec spec) {
   // Far event: with staggered arrivals hundreds of starts sit pending for
   // most of the run; parking them keeps the packet heap shallow.  The
   // start runs on the source host's shard (== sim_ in serial builds).
-  src->sim().schedule_at_far(spec.start_time, [snd] { snd->start(); });
+  // The id is kept so a snapshot restore can cancel starts the saved run
+  // already executed (cancel_started_flows).
+  start_ev_.push_back(src->sim().schedule_at_far(spec.start_time, [snd] { snd->start(); }));
   return spec.id;
 }
 
@@ -152,10 +155,16 @@ void Network::run_until_done(Time max_time) {
     run_until_done_sharded(max_time);
     return;
   }
-  // Run in slices so we can stop as soon as all flows complete.
+  // Run in slices so we can stop as soon as all flows complete.  Two
+  // rules keep a snapshot-resumed run bit-identical to the uninterrupted
+  // one: slices align to an absolute grid (not now + slice), and
+  // completion is only tested AT grid boundaries — so both runs stop at
+  // the same boundary and execute the same trailing timer events, no
+  // matter where in a slice the resume point fell.
   const Time slice = std::max<Time>(microseconds(100), max_time / 10000);
-  while (!all_flows_done() && sim_.now() < max_time) {
-    const Time next = std::min(max_time, sim_.now() + slice);
+  while (sim_.now() < max_time) {
+    if (sim_.now() % slice == 0 && all_flows_done()) break;
+    const Time next = std::min(max_time, (sim_.now() / slice + 1) * slice);
     sim_.run(next);
     if (sim_.idle()) break;
   }
@@ -281,10 +290,13 @@ void Network::commit_window_effects() {
 
 void Network::run_until_done_sharded(Time max_time) {
   finalize_shards();
+  // Absolute slice grid, for the same resume-alignment reason as the
+  // serial loop above.
   const Time slice = std::max<Time>(microseconds(100), max_time / 10000);
   const Time look = shards_->lookahead();
-  while (!all_flows_done() && sim_.now() < max_time) {
-    const Time boundary = std::min(max_time, sim_.now() + slice);
+  while (sim_.now() < max_time) {
+    if (sim_.now() % slice == 0 && all_flows_done()) break;
+    const Time boundary = std::min(max_time, (sim_.now() / slice + 1) * slice);
     bool drained = false;
     for (;;) {
       const Time tn = shards_->next_time();
@@ -328,6 +340,123 @@ Switch::Stats Network::total_switch_stats() const {
     total.no_route += st.no_route;
   }
   return total;
+}
+
+
+void Network::run_to(Time t) {
+  if (shards_ != nullptr && shards_->sharded()) {
+    run_to_sharded(t);
+    return;
+  }
+  sim_.run(t - 1);
+}
+
+Time Network::run_to_paused(Time t, Time max_time) {
+  if (shards_ != nullptr && shards_->sharded()) return run_to_paused_sharded(t, max_time);
+  const Time slice = std::max<Time>(microseconds(100), max_time / 10000);
+  while (sim_.now() < max_time) {
+    if (sim_.now() % slice == 0 && all_flows_done()) break;
+    const Time next = std::min(max_time, (sim_.now() / slice + 1) * slice);
+    if (next >= t) {
+      sim_.run(t - 1);
+      return t;
+    }
+    sim_.run(next);
+    if (sim_.idle()) break;
+  }
+  return sim_.now() + 1;
+}
+
+Time Network::run_to_paused_sharded(Time t, Time max_time) {
+  finalize_shards();
+  const Time slice = std::max<Time>(microseconds(100), max_time / 10000);
+  const Time look = shards_->lookahead();
+  while (sim_.now() < max_time) {
+    if (sim_.now() % slice == 0 && all_flows_done()) break;
+    const Time boundary = std::min(max_time, (sim_.now() / slice + 1) * slice);
+    if (boundary >= t) {
+      for (;;) {
+        const Time tn = shards_->next_time();
+        if (tn == kTimeInfinity || tn >= t) break;
+        shards_->run_window(std::min<Time>(t - 1, tn + look - 1));
+        commit_window_effects();
+      }
+      return t;
+    }
+    bool drained = false;
+    for (;;) {
+      const Time tn = shards_->next_time();
+      if (tn == kTimeInfinity) {
+        drained = true;
+        break;
+      }
+      if (tn > boundary) break;
+      shards_->run_window(std::min(boundary, tn + look - 1));
+      commit_window_effects();
+    }
+    if (drained) {
+      sim_.sync_now(shards_->max_now());
+      break;
+    }
+    shards_->sync_now(boundary);
+  }
+  return sim_.now() + 1;
+}
+
+void Network::run_to_sharded(Time t) {
+  finalize_shards();
+  const Time look = shards_->lookahead();
+  for (;;) {
+    const Time tn = shards_->next_time();
+    if (tn == kTimeInfinity || tn >= t) break;
+    shards_->run_window(std::min<Time>(t - 1, tn + look - 1));
+    commit_window_effects();
+  }
+}
+
+void Network::prepare_shard_run() {
+  if (shards_ != nullptr && shards_->sharded()) finalize_shards();
+}
+
+void Network::cancel_started_flows(Time t) {
+  for (std::size_t i = 0; i < start_ev_.size() && i < records_.size(); ++i) {
+    const FlowSpec& spec = records_[i].spec;
+    if (spec.start_time < t) {
+      host_by_id_.at(spec.src)->sim().cancel(start_ev_[i]);
+    }
+  }
+}
+
+void Network::checkpoint(StateIO& io) {
+  io.label(0x4E7733u);
+  for (auto& v : pending_fin_) {
+    if (!v.empty()) return io.fail("snapshot off-barrier: pending finalizations");
+  }
+  for (auto& v : pending_rx_) {
+    if (!v.empty()) return io.fail("snapshot off-barrier: pending rx notifications");
+  }
+  io.pod(completed_);
+  io.pod(next_sport_);
+  // Field-wise, not s.pod(r): FlowSpec has interior padding whose bytes
+  // are indeterminate, and snapshot images must be byte-deterministic.
+  io.fixed(records_, [](StateIO& s, FlowRecord& r) {
+    s.pod(r.spec.id);
+    s.pod(r.spec.src);
+    s.pod(r.spec.dst);
+    s.pod(r.spec.bytes);
+    s.pod(r.spec.start_time);
+    s.pod(r.spec.op);
+    s.pod(r.spec.msg_bytes);
+    s.pod(r.spec.sport);
+    s.pod(r.spec.group);
+    s.pod(r.spec.background);
+    s.pod(r.rx_done);
+    s.pod(r.tx_done);
+    s.pod(r.sender);
+    s.pod(r.receiver);
+  });
+  io.fixed(hosts_, [](StateIO& s, std::unique_ptr<Host>& h) { h->checkpoint(s); });
+  io.fixed(switches_, [](StateIO& s, std::unique_ptr<Switch>& sw) { sw->checkpoint(s); });
 }
 
 }  // namespace dcp

@@ -18,6 +18,8 @@
 
 namespace dcp {
 
+class StateIO;
+
 /// Shortest-path properties between two hosts, used for ideal-FCT
 /// normalization (FCT slowdown).  Installed by topology builders.
 struct PathInfo {
@@ -117,6 +119,34 @@ class Network {
   /// Runs the simulation until all flows complete or `max_time` elapses.
   void run_until_done(Time max_time);
 
+  // ---- Checkpoint/restore (sim/snapshot.h) ------------------------------
+  /// Runs every event with time strictly below `t` — and, under sharding,
+  /// commits every window barrier — leaving the world at a barrier-safe
+  /// snapshot point.  Resuming with run_until_done() is bit-identical to a
+  /// run that never stopped.
+  void run_to(Time t);
+  /// Like run_to(t), but follows run_until_done(max_time)'s CANONICAL
+  /// trajectory: same slice grid, same stop-at-boundary-when-done rule.
+  /// Returns the barrier-safe pause point actually reached — t when the
+  /// canonical run is still live there, or (canonical stop + 1) when the
+  /// run would have ended before t.  Snapshots must use this, not
+  /// run_to(): running a finished world past its canonical stopping
+  /// boundary executes trailing timer events the uninterrupted run never
+  /// sees, and the resumed digest would not match.
+  Time run_to_paused(Time t, Time max_time);
+  /// Restore prep on a freshly built target: flips shard-run mode on
+  /// (mailbox channels, journals, remap hooks) without running a window,
+  /// so cross-shard state can be overlaid.  No-op when serial.
+  void prepare_shard_run();
+  /// Restore prep: cancels the flow-start events of flows whose start time
+  /// lies strictly before `t` — the saved run already executed them, and
+  /// their effects are overlaid by checkpoint() instead.
+  void cancel_started_flows(Time t);
+  /// Flow records, completion counts, then every host and switch in node
+  /// order.  Fails the stream when a window effect is still pending (the
+  /// caller did not stop at a barrier).
+  void checkpoint(StateIO& io);
+
   // Aggregate switch counters (across all switches).
   Switch::Stats total_switch_stats() const;
 
@@ -144,6 +174,8 @@ class Network {
   /// Lazily flips the network into sharded-run mode: locates cut channels,
   /// computes the lookahead, arms journals and remap hooks.
   void finalize_shards();
+  void run_to_sharded(Time t);
+  Time run_to_paused_sharded(Time t, Time max_time);
   /// Barrier step: finalize pending flows in serial order, fire deferred
   /// rx listeners, prune journals.
   void commit_window_effects();
@@ -165,6 +197,7 @@ class Network {
   std::shared_ptr<TransportFactory> factory_;
   TransportConfig tcfg_;
   std::vector<FlowRecord> records_;
+  std::vector<EventId> start_ev_;  // flow-start events, aligned with records_
   std::vector<std::function<void(const FlowRecord&)>> tx_listeners_;
   std::vector<std::function<void(const FlowRecord&)>> rx_listeners_;
   std::unordered_map<FlowId, std::size_t> index_;

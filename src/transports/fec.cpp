@@ -1,5 +1,7 @@
 #include "transports/fec.h"
 
+#include "sim/snapshot.h"
+
 #include <algorithm>
 
 #include "host/host.h"
@@ -277,6 +279,29 @@ void FecReceiver::on_packet(Packet pkt) {
     send_group_ack(g, pkt);
   }
   if (!complete()) arm_nack(nack_delay_);
+}
+
+
+void FecSender::checkpoint_extra(StateIO& io) {
+  io.pod(snd_nxt_wire_);
+  io.vbool(group_acked_);
+  io.pod(acked_groups_);
+  io.vec(group_payload_sent_);
+  io.pod(window_used_);
+  io.vbool(retx_pending_);
+  io.pod(retx_count_);
+  io.pod(retx_scan_);
+  io.timer(rto_);
+}
+
+void FecReceiver::checkpoint_extra(StateIO& io) {
+  io.vbool(received_);
+  io.vec(group_);
+  io.pod(complete_groups_);
+  io.pod(groups_done_cum_);
+  io.pod(max_seen_group_);
+  io.pod(expected_wire_);
+  io.timer(nack_timer_);
 }
 
 }  // namespace dcp

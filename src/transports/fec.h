@@ -74,6 +74,7 @@ class FecSender final : public SenderTransport {
   bool protocol_has_packet() override;
   Packet protocol_next_packet() override;
   void on_start() override { arm_rto(); }
+  void checkpoint_extra(StateIO& io) override;
 
  private:
   Packet make_fec_packet(std::uint32_t wire_psn, bool retransmit);
@@ -105,6 +106,9 @@ class FecReceiver final : public ReceiverTransport {
 
   void on_packet(Packet pkt) override;
   bool complete() const override { return complete_groups_ >= layout_.groups; }
+
+ protected:
+  void checkpoint_extra(StateIO& io) override;
 
  private:
   struct GroupState {

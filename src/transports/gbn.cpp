@@ -1,5 +1,7 @@
 #include "transports/gbn.h"
 
+#include "sim/snapshot.h"
+
 #include "host/host.h"
 
 namespace dcp {
@@ -122,6 +124,21 @@ void GbnReceiver::on_packet(Packet pkt) {
     nak.ack_psn = expected_;
     send_control(std::move(nak));
   }
+}
+
+
+void GbnSender::checkpoint_extra(StateIO& io) {
+  io.pod(snd_una_);
+  io.pod(snd_nxt_);
+  io.pod(last_rewind_una_);
+  io.pod(high_water_);
+  io.timer(rto_);
+}
+
+void GbnReceiver::checkpoint_extra(StateIO& io) {
+  io.pod(expected_);
+  io.pod(since_ack_);
+  io.pod(nak_outstanding_);
 }
 
 }  // namespace dcp

@@ -23,6 +23,7 @@ class GbnSender final : public SenderTransport {
   bool protocol_has_packet() override;
   Packet protocol_next_packet() override;
   void on_start() override { arm_rto(); }
+  void checkpoint_extra(StateIO& io) override;
 
  private:
   void arm_rto();
@@ -46,6 +47,9 @@ class GbnReceiver final : public ReceiverTransport {
 
   void on_packet(Packet pkt) override;
   bool complete() const override { return expected_ >= total_packets(); }
+
+ protected:
+  void checkpoint_extra(StateIO& io) override;
 
  private:
   std::uint32_t expected_ = 0;  // next in-order PSN

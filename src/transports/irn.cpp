@@ -1,5 +1,7 @@
 #include "transports/irn.h"
 
+#include "sim/snapshot.h"
+
 #include "host/host.h"
 
 namespace dcp {
@@ -182,6 +184,28 @@ void IrnReceiver::on_packet(Packet pkt) {
     sack.echo_ts = pkt.sent_at;
     send_control(std::move(sack));
   }
+}
+
+
+void IrnSender::checkpoint_extra(StateIO& io) {
+  io.vbool(acked_);
+  io.vbool(retx_pending_);
+  io.vbool(retx_done_);
+  io.pod(retx_count_);
+  io.pod(retx_scan_);
+  io.pod(snd_una_);
+  io.pod(snd_nxt_);
+  io.pod(highest_sacked_);
+  io.pod(loss_scan_);
+  io.pod(in_recovery_);
+  io.pod(recovery_high_);
+  io.timer(rto_);
+}
+
+void IrnReceiver::checkpoint_extra(StateIO& io) {
+  io.vbool(received_);
+  io.pod(received_count_);
+  io.pod(expected_);
 }
 
 }  // namespace dcp

@@ -38,6 +38,7 @@ class IrnSender final : public SenderTransport {
   bool protocol_has_packet() override;
   Packet protocol_next_packet() override;
   void on_start() override { arm_rto(); }
+  void checkpoint_extra(StateIO& io) override;
 
  private:
   void arm_rto();
@@ -73,6 +74,9 @@ class IrnReceiver final : public ReceiverTransport {
 
   void on_packet(Packet pkt) override;
   bool complete() const override { return received_count_ >= total_packets(); }
+
+ protected:
+  void checkpoint_extra(StateIO& io) override;
 
  private:
   std::vector<bool> received_;

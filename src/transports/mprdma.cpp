@@ -1,5 +1,7 @@
 #include "transports/mprdma.h"
 
+#include "sim/snapshot.h"
+
 #include "host/host.h"
 
 namespace dcp {
@@ -141,6 +143,26 @@ void MpRdmaReceiver::on_packet(Packet pkt) {
   ack.ecn_ce = pkt.ecn_ce;  // echo drives the sender's per-ACK window rule
   ack.echo_ts = pkt.sent_at;
   send_control(std::move(ack));
+}
+
+
+void MpRdmaSender::checkpoint_extra(StateIO& io) {
+  io.vbool(acked_);
+  io.vbool(retx_pending_);
+  io.pod(retx_count_);
+  io.pod(retx_scan_);
+  io.pod(snd_una_);
+  io.pod(snd_nxt_);
+  io.pod(cwnd_pkts_);
+  io.pod(max_cwnd_pkts_);
+  io.pod(vp_rr_);
+  io.timer(rto_);
+}
+
+void MpRdmaReceiver::checkpoint_extra(StateIO& io) {
+  io.vbool(received_);
+  io.pod(received_count_);
+  io.pod(expected_);
 }
 
 }  // namespace dcp

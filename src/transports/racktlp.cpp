@@ -1,5 +1,7 @@
 #include "transports/racktlp.h"
 
+#include "sim/snapshot.h"
+
 #include <algorithm>
 
 #include "host/host.h"
@@ -142,6 +144,22 @@ void RackTlpSender::on_packet(Packet pkt) {
   arm_rto();
   detect_losses();
   kick_nic();
+}
+
+
+void RackTlpSender::checkpoint_extra(StateIO& io) {
+  io.vbool(acked_);
+  io.vbool(retx_pending_);
+  io.vec(xmit_ts_);
+  io.pod(retx_count_);
+  io.pod(retx_scan_);
+  io.pod(snd_una_);
+  io.pod(snd_nxt_);
+  io.pod(srtt_);
+  io.pod(rack_xmit_ts_);
+  io.timer(rack_);
+  io.timer(tlp_);
+  io.timer(rto_);
 }
 
 }  // namespace dcp

@@ -37,6 +37,7 @@ class RackTlpSender final : public SenderTransport {
     arm_tlp();
     arm_rto();
   }
+  void checkpoint_extra(StateIO& io) override;
 
  private:
   void detect_losses();

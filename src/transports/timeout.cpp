@@ -1,5 +1,7 @@
 #include "transports/timeout.h"
 
+#include "sim/snapshot.h"
+
 #include "host/host.h"
 
 namespace dcp {
@@ -100,6 +102,23 @@ void OooReceiver::on_packet(Packet pkt) {
   ack.ecn_ce = pkt.ecn_ce;  // echo for window-based CCs
   ack.echo_ts = pkt.sent_at;
   send_control(std::move(ack));
+}
+
+
+void TimeoutSender::checkpoint_extra(StateIO& io) {
+  io.vbool(acked_);
+  io.vbool(retx_pending_);
+  io.pod(retx_count_);
+  io.pod(retx_scan_);
+  io.pod(snd_una_);
+  io.pod(snd_nxt_);
+  io.timer(rto_);
+}
+
+void OooReceiver::checkpoint_extra(StateIO& io) {
+  io.vbool(received_);
+  io.pod(received_count_);
+  io.pod(expected_);
 }
 
 }  // namespace dcp

@@ -22,6 +22,7 @@ class TimeoutSender final : public SenderTransport {
   bool protocol_has_packet() override;
   Packet protocol_next_packet() override;
   void on_start() override { arm_rto(); }
+  void checkpoint_extra(StateIO& io) override;
 
  private:
   void arm_rto();
@@ -47,6 +48,8 @@ class OooReceiver : public ReceiverTransport {
   bool complete() const override { return received_count_ >= total_packets(); }
 
  protected:
+  void checkpoint_extra(StateIO& io) override;
+
   std::vector<bool> received_;
   std::uint32_t received_count_ = 0;
   std::uint32_t expected_ = 0;

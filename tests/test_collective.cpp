@@ -7,6 +7,9 @@
 #include <map>
 #include <set>
 
+#include "check/invariant_oracle.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
 #include "harness/scheme.h"
 #include "topo/dumbbell.h"
 #include "workload/collective.h"
@@ -99,6 +102,75 @@ TEST(AllToAllTest, IdealJctBelowMeasured) {
   f.net.run_until_done(seconds(5));
   ASSERT_TRUE(a2a.done());
   EXPECT_GE(a2a.jct(), AllToAll::ideal_jct(p, Bandwidth::gbps(100)));
+}
+
+// Oracle-armed collectives under an adverse fault plan: the invariant
+// oracle (exactly-once completion, no stuck flows, monotonic stats) must
+// stay green while DCP retries carry a RingAllReduce and an AllToAll
+// through drops, HO loss, and a mid-collective link flap.
+struct FaultedCollFixture : CollFixture {
+  InvariantOracle oracle;
+  FaultInjector inj;
+
+  FaultedCollFixture(int hosts, FaultPlan plan, std::uint64_t seed)
+      : CollFixture(hosts), oracle(net), inj(net, std::move(plan), seed) {}
+};
+
+FaultPlan adverse_plan() {
+  FaultPlan plan;
+  FaultAction drop;
+  drop.kind = FaultKind::kDrop;
+  drop.at = microseconds(10);
+  drop.duration = microseconds(300);
+  drop.rate = 0.05;
+  plan.actions.push_back(drop);
+
+  FaultAction ho;
+  ho.kind = FaultKind::kHoLoss;
+  ho.at = microseconds(50);
+  ho.duration = microseconds(200);
+  ho.rate = 0.25;
+  plan.actions.push_back(ho);
+
+  FaultAction flap;
+  flap.kind = FaultKind::kLinkFlap;
+  flap.at = microseconds(150);
+  flap.duration = microseconds(40);
+  flap.sw = 0;  // the star's single switch
+  flap.port = 1;
+  flap.drop_in_flight = true;
+  plan.actions.push_back(flap);
+  return plan;
+}
+
+TEST(CollectiveFaults, RingAllReduceSurvivesOracleArmed) {
+  FaultedCollFixture f(4, adverse_plan(), /*seed=*/0xc011ec7);
+  RingAllReduce ar(f.net, f.params(4, 2 * 1024 * 1024));
+  f.net.run_until_done(seconds(5));
+  ASSERT_TRUE(ar.done());
+  for (FlowId id : ar.flows()) EXPECT_TRUE(f.net.record(id).complete());
+  f.oracle.finalize();
+  EXPECT_TRUE(f.oracle.ok()) << f.oracle.summary() << "\n" << f.oracle.trace_slice();
+  // The plan must have actually perturbed the run, or this test proves
+  // nothing.  Under DCP the switch converts injected data loss into trims,
+  // so count every injected-loss form: trims, drops (data/HO/ctrl), and the
+  // channel-level fault counters (wire drops, flap-killed in-flight packets).
+  const auto sw = f.net.total_switch_stats();
+  const auto fc = f.inj.counters();
+  EXPECT_GT(sw.injected_trims + sw.injected_drops + sw.injected_ho_drops +
+                sw.injected_ctrl_drops + fc.dropped + fc.in_flight_dropped,
+            0u);
+}
+
+TEST(CollectiveFaults, AllToAllSurvivesOracleArmed) {
+  FaultedCollFixture f(4, adverse_plan(), /*seed=*/0xa17a11);
+  AllToAll a2a(f.net, f.params(4, 2 * 1024 * 1024));
+  f.net.run_until_done(seconds(5));
+  ASSERT_TRUE(a2a.done());
+  f.oracle.finalize();
+  EXPECT_TRUE(f.oracle.ok()) << f.oracle.summary() << "\n" << f.oracle.trace_slice();
+  // Faulted JCT cannot beat the clean ideal.
+  EXPECT_GE(a2a.jct(), AllToAll::ideal_jct(f.params(4, 2 * 1024 * 1024), Bandwidth::gbps(100)));
 }
 
 TEST(CollectiveIdeal, FormulaSanity) {

@@ -1,0 +1,427 @@
+// Deterministic checkpoint/restore (sim/snapshot.h, harness/checkpoint.h):
+// a run resumed from a snapshot at time T must be BIT-IDENTICAL to the run
+// that never stopped — same WorldDigest (per-flow completion stamps and
+// stats, switch counters) and same events_processed — across every
+// snapshottable scheme, serial and sharded event cores, lane-coalesced and
+// per-packet heaps, devirtualized and virtual dispatch.  Also covers
+// re-save byte-equality (save(restore(img)) == img), the TcpLite
+// unsupported-scheme refusal, warm-booted sweeps, a 200-seed oracle-armed
+// fuzz batch through the restore path, and snapshot-accelerated ddmin
+// shrink equivalence on the injected-bug needle.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/broken.h"
+#include "check/fuzzer.h"
+#include "harness/checkpoint.h"
+#include "harness/sweep.h"
+
+namespace dcp {
+namespace {
+
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const std::string& value) : name_(name) {
+    const char* prev = std::getenv(name);
+    had_prev_ = prev != nullptr;
+    if (had_prev_) prev_ = prev;
+    setenv(name, value.c_str(), 1);
+  }
+  ~ScopedEnv() {
+    if (had_prev_) {
+      setenv(name_, prev_.c_str(), 1);
+    } else {
+      unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_prev_ = false;
+  std::string prev_;
+};
+
+constexpr SchemeKind kSnapshottable[] = {
+    SchemeKind::kPfc,     SchemeKind::kIrn,  SchemeKind::kIrnEcmp,
+    SchemeKind::kMpRdma,  SchemeKind::kDcp,  SchemeKind::kCx5,
+    SchemeKind::kTimeout, SchemeKind::kRackTlp, SchemeKind::kFec};
+
+FuzzScenario clean_scenario(SchemeKind k) {
+  FuzzScenario s;
+  s.seed = 42;
+  s.scheme = k;
+  s.spines = 2;
+  s.leaves = 4;
+  s.hosts_per_leaf = 2;
+  s.max_time = milliseconds(5);
+  s.flows = {
+      {0, 5, 64 * 1024, 4096, microseconds(5)},
+      {2, 7, 24 * 1024, 0, microseconds(20)},
+      {6, 1, 96 * 1024, 16384, microseconds(40)},
+      {4, 3, 8 * 1024, 4096, microseconds(120)},
+  };
+  return s;
+}
+
+FuzzScenario faulted_scenario(SchemeKind k) {
+  FuzzScenario s = clean_scenario(k);
+  auto add = [&](FaultKind kind, double at_us, double dur_us, double rate) {
+    FaultAction a;
+    a.kind = kind;
+    a.at = microseconds(at_us);
+    a.duration = microseconds(dur_us);
+    a.rate = rate;
+    s.faults.actions.push_back(a);
+  };
+  add(FaultKind::kDrop, 30, 120, 0.05);
+  add(FaultKind::kHoLoss, 50, 80, 0.3);
+  add(FaultKind::kCorrupt, 80, 60, 0.02);
+  s.faults.actions.push_back([] {
+    FaultAction a;
+    a.kind = FaultKind::kLinkFlap;
+    a.at = microseconds(70);
+    a.duration = microseconds(50);
+    a.drop_in_flight = true;
+    a.sw = 2;  // a leaf
+    return a;
+  }());
+  s.faults.actions.push_back([] {
+    FaultAction a;
+    a.kind = FaultKind::kBufferShrink;
+    a.at = microseconds(45);
+    a.duration = microseconds(150);
+    a.frac = 0.3;
+    return a;
+  }());
+  return s;
+}
+
+WorldSpec spec_for(const FuzzScenario& s) { return fuzz_world_spec(s, FuzzOptions{}); }
+
+WorldDigest cold_digest(const WorldSpec& ws) {
+  SimWorld w(ws);
+  w.run_until_done();
+  return w.digest();
+}
+
+/// Pauses a run at T, snapshots, restores into a FRESH world, finishes it,
+/// and returns the resumed digest.  Also asserts re-save byte-equality:
+/// saving the restored world again must reproduce the image exactly.
+WorldDigest resumed_digest(const WorldSpec& ws, Time t, const char* what) {
+  SimWorld a(ws);
+  a.run_to(t);
+  SnapshotImage img;
+  std::string err;
+  EXPECT_TRUE(a.save(img, &err)) << what << ": save failed: " << err;
+
+  SimWorld b(ws);
+  EXPECT_TRUE(b.restore(img, /*allow_spec_delta=*/false, &err))
+      << what << ": restore failed: " << err;
+
+  SnapshotImage resaved;
+  EXPECT_TRUE(b.save(resaved, &err)) << what << ": re-save failed: " << err;
+  EXPECT_TRUE(img == resaved) << what << ": re-save is not byte-identical (state "
+                              << img.state.size() << " vs " << resaved.state.size()
+                              << " bytes)";
+
+  b.run_until_done();
+  return b.digest();
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(Snapshot, CleanResumeBitIdenticalAcrossSchemes) {
+  for (SchemeKind k : kSnapshottable) {
+    const WorldSpec ws = spec_for(clean_scenario(k));
+    const WorldDigest cold = cold_digest(ws);
+    ASSERT_GT(cold.events, 0u);
+    for (double t_us : {15.0, 60.0, 200.0}) {
+      const WorldDigest warm = resumed_digest(ws, microseconds(t_us), scheme_name(k));
+      EXPECT_EQ(cold.value, warm.value)
+          << scheme_name(k) << ": digest drift after resume at " << t_us << "us";
+      EXPECT_EQ(cold.events, warm.events)
+          << scheme_name(k) << ": events_processed drift after resume at " << t_us << "us";
+    }
+  }
+}
+
+TEST(Snapshot, FaultedOracleArmedResumeBitIdentical) {
+  for (SchemeKind k : kSnapshottable) {
+    const FuzzScenario s = faulted_scenario(k);
+    const WorldSpec ws = spec_for(s);
+
+    SimWorld cold(ws);
+    cold.run_until_done();
+    const WorldDigest cd = cold.digest();
+    const FuzzVerdict cv = cold.finalize_verdict();
+
+    // T=60us sits inside every fault window of the plan: drop and buffer
+    // shrink active, HO-loss just armed, the flap and corrupt still ahead.
+    for (double t_us : {60.0, 130.0}) {
+      SimWorld a(ws);
+      a.run_to(microseconds(t_us));
+      SnapshotImage img;
+      std::string err;
+      ASSERT_TRUE(a.save(img, &err)) << scheme_name(k) << ": " << err;
+
+      SimWorld b(ws);
+      ASSERT_TRUE(b.restore(img, false, &err)) << scheme_name(k) << ": " << err;
+      b.run_until_done();
+      const WorldDigest wd = b.digest();
+      const FuzzVerdict wv = b.finalize_verdict();
+
+      EXPECT_EQ(cd.value, wd.value) << scheme_name(k) << " at " << t_us << "us";
+      EXPECT_EQ(cd.events, wd.events) << scheme_name(k) << " at " << t_us << "us";
+      EXPECT_EQ(cv.violated, wv.violated) << scheme_name(k);
+      EXPECT_EQ(cv.invariant, wv.invariant) << scheme_name(k);
+      EXPECT_EQ(cv.num_violations, wv.num_violations) << scheme_name(k);
+      EXPECT_EQ(cv.all_complete, wv.all_complete) << scheme_name(k);
+    }
+  }
+}
+
+TEST(Snapshot, ShardLanesDevirtMatrix) {
+  // Fault-free scenario (fault plans force serial); leaves=4 admits 4
+  // shards.  Every (shards, lanes, devirt) combination must resume
+  // bit-identically to its own uninterrupted run.
+  for (SchemeKind k : {SchemeKind::kDcp, SchemeKind::kIrn}) {
+    const FuzzScenario s = clean_scenario(k);
+    for (int shards : {1, 4}) {
+      for (const char* lanes : {"0", "1"}) {
+        for (const char* devirt : {"0", "1"}) {
+          ScopedEnv e1("DCP_SHARDS", std::to_string(shards));
+          ScopedEnv e2("DCP_LANES", lanes);
+          ScopedEnv e3("DCP_DEVIRT", devirt);
+          const WorldSpec ws = spec_for(s);
+          const std::string what = std::string(scheme_name(k)) + " shards=" +
+                                   std::to_string(shards) + " lanes=" + lanes +
+                                   " devirt=" + devirt;
+          const WorldDigest cold = cold_digest(ws);
+          const WorldDigest warm = resumed_digest(ws, microseconds(75), what.c_str());
+          EXPECT_EQ(cold.value, warm.value) << what;
+          EXPECT_EQ(cold.events, warm.events) << what;
+        }
+      }
+    }
+  }
+}
+
+TEST(Snapshot, ShardedResumeMatchesSerialDigest) {
+  // The sharded resume must agree not only with its own cold run but with
+  // the serial world entirely (sharding is bit-identical by construction,
+  // and snapshots must not break that).
+  const FuzzScenario s = clean_scenario(SchemeKind::kDcp);
+  WorldDigest serial;
+  {
+    ScopedEnv e("DCP_SHARDS", "1");
+    serial = cold_digest(spec_for(s));
+  }
+  {
+    ScopedEnv e("DCP_SHARDS", "4");
+    const WorldDigest sharded = resumed_digest(spec_for(s), microseconds(75), "sharded");
+    EXPECT_EQ(serial.value, sharded.value);
+    EXPECT_EQ(serial.events, sharded.events);
+  }
+}
+
+TEST(Snapshot, ImageEncodeDecodeRoundTrip) {
+  const WorldSpec ws = spec_for(faulted_scenario(SchemeKind::kDcp));
+  SimWorld w(ws);
+  w.run_to(microseconds(90));
+  SnapshotImage img;
+  std::string err;
+  ASSERT_TRUE(w.save(img, &err)) << err;
+  ASSERT_FALSE(img.state.empty());
+
+  const std::vector<std::uint8_t> bytes = img.encode();
+  SnapshotImage back;
+  ASSERT_TRUE(SnapshotImage::decode(bytes, back));
+  EXPECT_TRUE(img == back);
+
+  // Truncation and corruption must be rejected, not misparsed.
+  std::vector<std::uint8_t> truncated(bytes.begin(), bytes.end() - 9);
+  EXPECT_FALSE(SnapshotImage::decode(truncated, back));
+  std::vector<std::uint8_t> corrupt = bytes;
+  corrupt[0] ^= 0xff;  // magic
+  EXPECT_FALSE(SnapshotImage::decode(corrupt, back));
+}
+
+TEST(Snapshot, TcpSchemeRefusesSnapshot) {
+  FuzzScenario s = clean_scenario(SchemeKind::kTcp);
+  const WorldSpec ws = spec_for(s);
+  SimWorld w(ws);
+  w.run_to(microseconds(50));
+  SnapshotImage img;
+  std::string err;
+  EXPECT_FALSE(w.save(img, &err));
+  EXPECT_NE(err.find("not snapshottable"), std::string::npos) << err;
+  // The refused world keeps running normally.
+  w.run_until_done();
+  EXPECT_TRUE(w.net().all_flows_done());
+}
+
+TEST(Snapshot, RestoreRefusesMismatchedSpec) {
+  const WorldSpec ws = spec_for(faulted_scenario(SchemeKind::kDcp));
+  SimWorld a(ws);
+  a.run_to(microseconds(60));
+  SnapshotImage img;
+  std::string err;
+  ASSERT_TRUE(a.save(img, &err)) << err;
+
+  FuzzScenario other = faulted_scenario(SchemeKind::kDcp);
+  other.flows[0].bytes += 1024;  // different world
+  SimWorld b(spec_for(other));
+  EXPECT_FALSE(b.restore(img, /*allow_spec_delta=*/false, &err));
+  EXPECT_NE(err.find("fingerprint"), std::string::npos) << err;
+}
+
+TEST(Snapshot, WarmBootSweepMatchesColdRuns) {
+  const WorldSpec ws = spec_for(clean_scenario(SchemeKind::kDcp));
+  const WorldDigest cold = cold_digest(ws);
+
+  WarmBoot wb(ws, microseconds(60));
+  ASSERT_TRUE(wb.ok()) << wb.error();
+
+  SweepRunner pool(4);
+  pool.set_progress(false);
+  auto digests = pool.run(8, [&](std::size_t) {
+    std::string err;
+    std::unique_ptr<SimWorld> w = wb.boot(&err);
+    EXPECT_NE(w, nullptr) << err;
+    if (w == nullptr) return WorldDigest{};
+    w->run_until_done();
+    return w->digest();
+  });
+  for (const WorldDigest& d : digests) {
+    EXPECT_EQ(cold.value, d.value);
+    EXPECT_EQ(cold.events, d.events);
+  }
+}
+
+TEST(Snapshot, FuzzBatch200ThroughRestorePath) {
+  // 200 oracle-armed random scenarios: whatever the seed draws (scheme,
+  // topology, flows, faults), pausing at T and restoring into a fresh
+  // world must reproduce the uninterrupted verdict and digest exactly.
+  std::size_t restored = 0;
+  for (std::uint64_t seed = 3000; seed < 3200; ++seed) {
+    const FuzzScenario s = generate_fuzz_scenario(seed);
+    const WorldSpec ws = spec_for(s);
+
+    SimWorld cold(ws);
+    cold.run_until_done();
+    const WorldDigest cd = cold.digest();
+    const FuzzVerdict cv = cold.finalize_verdict();
+
+    SimWorld a(ws);
+    a.run_to(microseconds(150));
+    SnapshotImage img;
+    std::string err;
+    if (!a.save(img, &err)) {
+      // TcpLite scenarios are the only legitimate refusal.
+      EXPECT_EQ(s.scheme, SchemeKind::kTcp) << "seed " << seed << ": " << err;
+      continue;
+    }
+    SimWorld b(ws);
+    ASSERT_TRUE(b.restore(img, false, &err)) << "seed " << seed << ": " << err;
+    b.run_until_done();
+    const WorldDigest wd = b.digest();
+    const FuzzVerdict wv = b.finalize_verdict();
+
+    ASSERT_EQ(cd.value, wd.value) << "seed " << seed << " (" << scheme_name(s.scheme) << ")";
+    ASSERT_EQ(cd.events, wd.events) << "seed " << seed;
+    ASSERT_EQ(cv.violated, wv.violated) << "seed " << seed;
+    ASSERT_EQ(cv.invariant, wv.invariant) << "seed " << seed;
+    ASSERT_EQ(cv.all_complete, wv.all_complete) << "seed " << seed;
+    ++restored;
+  }
+  // The batch must actually exercise the restore path, not skip everything.
+  EXPECT_GE(restored, 150u);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot-accelerated ddmin: shrinking with prefix snapshots must produce
+// a byte-identical repro to cold shrinking, while executing at least 3x
+// fewer simulation events (both counts are deterministic).
+
+FuzzScenario needle_scenario() {
+  // The injected duplicate-completion bug (BrokenDcpFactory) trips on the
+  // first retransmitted data packet.  One essential wire-drop burst guts a
+  // small late flow's initial transmission; the sender's coarse fallback
+  // timer (quiet >= dcp_msg_timeout, backed off) eventually retransmits,
+  // and the retry lands the violation at ~4.4ms.  A large clean bulk flow
+  // packs ~19k events into the first ~320us — BEFORE every fault action,
+  // so every ddmin probe's restore bound (min `at` over the removed chunk,
+  // >= 398us) lets the snapshot ring skip that whole prefix.  49 late
+  // low-rate chaff actions pad the plan to 50 entries; they share 7
+  // distinct start times so the ring (<= 8 distinct boundaries) keeps a
+  // snapshot at or before EVERY probe's bound.
+  FuzzScenario s;
+  s.seed = 7;
+  s.scheme = SchemeKind::kDcp;
+  s.spines = 1;
+  s.leaves = 2;
+  s.hosts_per_leaf = 2;
+  s.max_time = milliseconds(8);
+  s.flows = {{0, 2, 2 * 1024 * 1024, 0, microseconds(5)},  // bulk prefix
+             {1, 3, 8192, 4096, microseconds(400)}};       // needle
+  FaultAction drop;
+  drop.kind = FaultKind::kDrop;
+  drop.at = microseconds(398);
+  drop.duration = microseconds(45);
+  drop.rate = 0.95;
+  s.faults.actions.push_back(drop);
+
+  for (int i = 0; i < 49; ++i) {
+    FaultAction chaff;
+    chaff.kind = FaultKind::kDrop;
+    chaff.at = microseconds(500.0 + 10.0 * (i % 7));
+    chaff.duration = microseconds(5);
+    chaff.rate = 0.001;
+    s.faults.actions.push_back(chaff);
+  }
+  return s;
+}
+
+TEST(Snapshot, DdminShrinkEquivalentAndAtLeast3xCheaper) {
+  FuzzOptions with, without;
+  with.factory_override = std::make_shared<BrokenDcpFactory>();
+  without.factory_override = with.factory_override;
+  with.use_snapshots = true;
+  without.use_snapshots = false;
+
+  const FuzzScenario s = needle_scenario();
+  const FuzzVerdict base = run_fuzz_scenario(s, with);
+  ASSERT_TRUE(base.violated) << "needle scenario does not trip the injected bug";
+  ASSERT_EQ(base.invariant, "exactly-once-completion") << base.message;
+
+  ShrinkStats snap_st, cold_st;
+  const FuzzScenario snap_min = shrink_fuzz_scenario(s, with, &snap_st);
+  const FuzzScenario cold_min = shrink_fuzz_scenario(s, without, &cold_st);
+
+  // Identical shrink decisions => identical minimal scenario and repro.
+  EXPECT_TRUE(snap_min == cold_min);
+  EXPECT_EQ(snap_st.runs, cold_st.runs);
+  const FuzzVerdict sv = run_fuzz_scenario(snap_min, with);
+  const FuzzVerdict cv = run_fuzz_scenario(cold_min, without);
+  EXPECT_EQ(write_fuzz_repro(snap_min, sv), write_fuzz_repro(cold_min, cv));
+  EXPECT_LE(snap_min.faults.actions.size(), 3u);
+
+  // Cold shrink restores nothing.
+  EXPECT_EQ(cold_st.events_skipped, 0u);
+  // Snapshot shrink reaches the same verdicts while executing >= 3x fewer
+  // events.  Cold total == snap executed + snap skipped: every restored
+  // probe is bit-identical to its cold twin, so the skipped prefix events
+  // are exactly the ones the cold shrink re-executes.
+  EXPECT_EQ(cold_st.events_executed, snap_st.events_executed + snap_st.events_skipped);
+  EXPECT_GE(cold_st.events_executed, 3 * snap_st.events_executed)
+      << "snapshot ddmin executed " << snap_st.events_executed << " events, cold "
+      << cold_st.events_executed << " (skipped " << snap_st.events_skipped << ")";
+}
+
+}  // namespace
+}  // namespace dcp

@@ -30,6 +30,7 @@
 
 #include "check/broken.h"
 #include "check/fuzzer.h"
+#include "harness/checkpoint.h"
 #include "harness/sweep.h"
 
 using namespace dcp;
@@ -43,15 +44,21 @@ struct Cli {
   std::string replay;
   std::string inject;
   bool selftest = false;
+  bool no_snapshot = false;  // cold-run every shrink probe
   long print_seed = -1;
-  long budget_ms = 0;  // 0 = no wall-clock budget
+  long budget_ms = 0;   // 0 = no wall-clock budget
+  double at_time_us = -1;  // --at-time: time-travel point for --replay
 };
 
 int usage() {
   std::fprintf(stderr,
                "usage: run_fuzz [--seed N] [--count N] [--out FILE] [--replay FILE]\n"
                "                [--print SEED] [--inject-bug dup-completion]\n"
-               "                [--time-budget-ms N] [--selftest]\n");
+               "                [--time-budget-ms N] [--selftest] [--no-snapshot]\n"
+               "                [--at-time US]   (with --replay: pause the replay at\n"
+               "                                 t=US microseconds, dump the world state\n"
+               "                                 and recent event trace, prove the\n"
+               "                                 snapshot round-trip, then finish)\n");
   return 2;
 }
 
@@ -60,6 +67,7 @@ FuzzOptions make_options(const Cli& cli) {
   if (cli.inject == "dup-completion") {
     opt.factory_override = std::make_shared<BrokenDcpFactory>();
   }
+  opt.use_snapshots = !cli.no_snapshot;
   return opt;
 }
 
@@ -126,6 +134,82 @@ int run_batch(const Cli& cli) {
   return 0;
 }
 
+/// Time-travel debugging: rebuild the repro's world, run it to t (a
+/// barrier-safe point), dump flow progress and the oracle's recent event
+/// trace, prove the snapshot round-trip is bit-exact, then finish the run.
+int run_time_travel(const Cli& cli, const FuzzScenario& s) {
+  const FuzzOptions opt = make_options(cli);
+  const Time t = microseconds(cli.at_time_us);
+  SimWorld w(fuzz_world_spec(s, opt));
+  w.run_to(t);
+
+  std::printf("state of %s at t=%.9gus (%llu events executed):\n", cli.replay.c_str(),
+              to_us(t), static_cast<unsigned long long>(w.events_processed()));
+  for (const FlowRecord& r : w.net().records()) {
+    const SenderTransport* snd = w.net().host(r.spec.src)->sender(r.spec.id);
+    std::printf("  flow %llu: %llu bytes",
+                static_cast<unsigned long long>(r.spec.id),
+                static_cast<unsigned long long>(r.spec.bytes));
+    if (r.tx_done >= 0) {
+      std::printf(", complete (tx_done=%.9gus rx_done=%.9gus)", to_us(r.tx_done),
+                  to_us(r.rx_done));
+    } else if (snd != nullptr && snd->start_time() >= 0) {
+      const SenderStats& st = snd->stats();
+      std::printf(", in flight: sent=%llu retx=%llu timeouts=%llu ho=%llu",
+                  static_cast<unsigned long long>(st.data_packets_sent),
+                  static_cast<unsigned long long>(st.retransmitted_packets),
+                  static_cast<unsigned long long>(st.timeouts),
+                  static_cast<unsigned long long>(st.ho_received));
+    } else {
+      std::printf(", not started (start=%.9gus)", to_us(r.spec.start_time));
+    }
+    std::printf("\n");
+  }
+  if (w.oracle() != nullptr) {
+    const std::string trace = w.oracle()->trace_slice(20);
+    if (!trace.empty()) std::printf("recent events:\n%s", trace.c_str());
+  }
+
+  // Prove the round-trip: a fresh world restored from this point must
+  // finish with a bit-identical digest and event count.
+  SnapshotImage img;
+  std::string err;
+  if (!w.save(img, &err)) {
+    std::printf("snapshot: unavailable (%s); continuing without round-trip check\n",
+                err.c_str());
+    w.run_until_done();
+    const FuzzVerdict v = w.finalize_verdict();
+    std::printf("verdict: %s\n", v.violated ? v.message.c_str() : "all invariants held");
+    return v.violated ? 1 : 0;
+  }
+  std::printf("snapshot: %zu state bytes at t=%.9gus\n", img.state.size(), to_us(img.at));
+
+  SimWorld resumed(fuzz_world_spec(s, opt));
+  if (!resumed.restore(img, /*allow_spec_delta=*/false, &err)) {
+    std::fprintf(stderr, "run_fuzz: restore failed: %s\n", err.c_str());
+    return 2;
+  }
+  w.run_until_done();
+  resumed.run_until_done();
+  const WorldDigest a = w.digest();
+  const WorldDigest b = resumed.digest();
+  if (a != b) {
+    std::fprintf(stderr,
+                 "run_fuzz: NON-DETERMINISTIC RESUME: digest %016llx/%llu vs %016llx/%llu\n",
+                 static_cast<unsigned long long>(a.value),
+                 static_cast<unsigned long long>(a.events),
+                 static_cast<unsigned long long>(b.value),
+                 static_cast<unsigned long long>(b.events));
+    return 2;
+  }
+  std::printf("resume check: digest %016llx, %llu events — restored run bit-identical\n",
+              static_cast<unsigned long long>(a.value),
+              static_cast<unsigned long long>(a.events));
+  const FuzzVerdict v = resumed.finalize_verdict();
+  std::printf("verdict: %s\n", v.violated ? v.message.c_str() : "all invariants held");
+  return v.violated ? 1 : 0;
+}
+
 int run_replay(const Cli& cli) {
   std::ifstream f(cli.replay, std::ios::binary);
   if (!f) {
@@ -140,6 +224,7 @@ int run_replay(const Cli& cli) {
     std::fprintf(stderr, "run_fuzz: %s: %s\n", cli.replay.c_str(), err.c_str());
     return 2;
   }
+  if (cli.at_time_us >= 0) return run_time_travel(cli, *s);
   const FuzzVerdict v = run_fuzz_scenario(*s, make_options(cli));
   if (!v.violated) {
     std::printf("replay of %s: all invariants held\n", cli.replay.c_str());
@@ -249,6 +334,12 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage();
       cli.budget_ms = std::strtol(v, nullptr, 10);
+    } else if (a == "--at-time") {
+      const char* v = next();
+      if (!v) return usage();
+      cli.at_time_us = std::strtod(v, nullptr);
+    } else if (a == "--no-snapshot") {
+      cli.no_snapshot = true;
     } else if (a == "--selftest") {
       cli.selftest = true;
     } else {
