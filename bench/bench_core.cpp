@@ -420,6 +420,35 @@ int run_check(const char* json_path) {
               got / 1e6, committed / 1e6, floor / 1e6, got >= floor ? "OK" : "REGRESSION");
   if (got < floor) return 1;
 
+  // Memory gate: the same macro workload must not blow past 2.5x the
+  // committed slab-arena footprint or peak RSS — wide enough for allocator
+  // and runner variance, tight enough that a leaked slab chunk per window
+  // or an O(hosts^2) route-table regression trips it.  Skipped against
+  // committed files that predate the fields.
+  const double arena_committed = json_metric(ss.str(), "macro_websearch_clos_loss", "arena_bytes");
+  const double rss_committed =
+      json_metric(ss.str(), "macro_websearch_clos_loss", "peak_rss_bytes");
+  if (arena_committed > 0.0 && fresh.arena_bytes > 0) {
+    const double ceil = 2.5 * arena_committed;
+    const double a = static_cast<double>(fresh.arena_bytes);
+    std::printf("perf-check arena_bytes: fresh %.3gMB vs committed %.3gMB "
+                "(ceiling 2.5x = %.3gMB) -> %s\n",
+                a / 1e6, arena_committed / 1e6, ceil / 1e6, a <= ceil ? "OK" : "REGRESSION");
+    if (a > ceil) return 1;
+  } else {
+    std::printf("perf-check arena_bytes: skipped (no committed entry)\n");
+  }
+  if (rss_committed > 0.0 && fresh.peak_rss_bytes > 0) {
+    const double ceil = 2.5 * rss_committed;
+    const double r = static_cast<double>(fresh.peak_rss_bytes);
+    std::printf("perf-check peak_rss_bytes: fresh %.3gMB vs committed %.3gMB "
+                "(ceiling 2.5x = %.3gMB) -> %s\n",
+                r / 1e6, rss_committed / 1e6, ceil / 1e6, r <= ceil ? "OK" : "REGRESSION");
+    if (r > ceil) return 1;
+  } else {
+    std::printf("perf-check peak_rss_bytes: skipped (no committed entry)\n");
+  }
+
   // Switch-datapath micro: short (so noisier than the macro), hence the
   // wider 0.70x floor — still tight enough that losing the static dispatch
   // or fattening PacketHot past a cache line shows up.  Skipped (with a

@@ -384,6 +384,7 @@ std::string write_fuzz_repro(const FuzzScenario& s, const FuzzVerdict& v) {
   out += "spines = " + std::to_string(s.spines) + "\n";
   out += "leaves = " + std::to_string(s.leaves) + "\n";
   out += "hosts_per_leaf = " + std::to_string(s.hosts_per_leaf) + "\n";
+  if (s.fattree_k > 0) out += "fattree_k = " + std::to_string(s.fattree_k) + "\n";
   out += "max_time = " + time_str(s.max_time) + "\n";
   for (const FuzzFlow& f : s.flows) {
     out += "flow src=" + std::to_string(f.src) + " dst=" + std::to_string(f.dst) +
@@ -480,6 +481,7 @@ std::optional<FuzzScenario> parse_fuzz_scenario(const std::string& text, std::st
     } else if (key == "spines") s.spines = std::atoi(val.c_str());
     else if (key == "leaves") s.leaves = std::atoi(val.c_str());
     else if (key == "hosts_per_leaf") s.hosts_per_leaf = std::atoi(val.c_str());
+    else if (key == "fattree_k") s.fattree_k = std::atoi(val.c_str());
     else if (key == "max_time") ok = parse_time_str(val, &s.max_time);
     else ok = false;
     if (!ok) return fail("line " + std::to_string(line_no) + ": bad entry '" + line + "'");
@@ -488,6 +490,7 @@ std::optional<FuzzScenario> parse_fuzz_scenario(const std::string& text, std::st
   if (section == Section::kNone) return fail("no [scenario] section");
   if (s.flows.empty()) return fail("scenario has no flows");
   if (s.spines < 1 || s.leaves < 1 || s.hosts_per_leaf < 1) return fail("bad topology");
+  if (s.fattree_k < 0 || s.fattree_k % 2 != 0) return fail("fattree_k must be even");
   for (const FuzzFlow& f : s.flows) {
     if (f.src < 0 || f.dst < 0 || f.src >= s.num_hosts() || f.dst >= s.num_hosts() ||
         f.src == f.dst) {

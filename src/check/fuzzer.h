@@ -42,11 +42,20 @@ struct FuzzScenario {
   int spines = 1;
   int leaves = 2;
   int hosts_per_leaf = 1;
+  /// 0 = two-tier CLOS from spines/leaves/hosts_per_leaf (the historical
+  /// pool, so existing seeds and golden digests never shift); > 0 = k-ary
+  /// fat-tree with k = fattree_k (even), ignoring the CLOS fields.  The
+  /// CLOS host-index range is always a subset of the fat-tree's (k >= 2
+  /// gives >= 2 hosts, and generated indices stay below num_hosts()), so a
+  /// generated scenario can be re-pooled onto a fat-tree by setting this.
+  int fattree_k = 0;
   Time max_time = milliseconds(50);
   std::vector<FuzzFlow> flows;
   FaultPlan faults;
 
-  int num_hosts() const { return leaves * hosts_per_leaf; }
+  int num_hosts() const {
+    return fattree_k > 0 ? fattree_k * fattree_k * fattree_k / 4 : leaves * hosts_per_leaf;
+  }
   bool operator==(const FuzzScenario&) const = default;
 };
 

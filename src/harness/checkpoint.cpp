@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "topo/fattree.h"
+
 namespace dcp {
 
 namespace {
@@ -31,11 +33,14 @@ int resolve_shards(const WorldSpec& spec) {
   if (spec.force_shards > 0) return spec.force_shards;
   // run_fuzz policy: fault-free scenarios honour DCP_SHARDS (bit-identical
   // to serial by construction); fault plans run serial — the injector has
-  // no shard ordering story.
+  // no shard ordering story.  The clamp is the partition-unit count: leaf
+  // groups on CLOS, pods on a fat-tree.
   int nshards = 1;
   if (!spec.scenario.faults.has_effect()) {
     if (const char* e = std::getenv("DCP_SHARDS")) {
-      nshards = std::max(1, std::min(std::atoi(e), spec.scenario.leaves));
+      const int units = spec.scenario.fattree_k > 0 ? spec.scenario.fattree_k
+                                                    : spec.scenario.leaves;
+      nshards = std::max(1, std::min(std::atoi(e), units));
     }
   }
   return nshards;
@@ -51,6 +56,9 @@ std::uint64_t WorldSpec::fingerprint() const {
   h.u64(static_cast<std::uint64_t>(s.spines));
   h.u64(static_cast<std::uint64_t>(s.leaves));
   h.u64(static_cast<std::uint64_t>(s.hosts_per_leaf));
+  // Appended past the CLOS fields: 0 for every pre-fat-tree spec, so CLOS
+  // fingerprints shift uniformly and never collide with fat-tree ones.
+  h.u64(static_cast<std::uint64_t>(s.fattree_k));
   h.i64(s.max_time);
   h.u64(s.flows.size());
   for (const FuzzFlow& f : s.flows) {
@@ -87,19 +95,26 @@ SimWorld::SimWorld(const WorldSpec& spec) : spec_(spec) {
 
   const FuzzScenario& s = spec_.scenario;
   SchemeSetup setup = make_scheme(s.scheme);
-  ClosParams clos;
-  clos.spines = s.spines;
-  clos.leaves = s.leaves;
-  clos.hosts_per_leaf = s.hosts_per_leaf;
-  clos.sw = setup.sw;
-  topo_ = build_clos(*net_, clos);
+  if (s.fattree_k > 0) {
+    FatTreeParams ft;
+    ft.k = s.fattree_k;
+    ft.sw = setup.sw;
+    hosts_ = build_fattree(*net_, ft).hosts;
+  } else {
+    ClosParams clos;
+    clos.spines = s.spines;
+    clos.leaves = s.leaves;
+    clos.hosts_per_leaf = s.hosts_per_leaf;
+    clos.sw = setup.sw;
+    hosts_ = build_clos(*net_, clos).hosts;
+  }
   apply_scheme(*net_, setup);
   if (spec_.factory_override) net_->set_factory(spec_.factory_override);
 
   for (const FuzzFlow& f : s.flows) {
     FlowSpec fs;
-    fs.src = topo_.hosts.at(static_cast<std::size_t>(f.src))->id();
-    fs.dst = topo_.hosts.at(static_cast<std::size_t>(f.dst))->id();
+    fs.src = hosts_.at(static_cast<std::size_t>(f.src))->id();
+    fs.dst = hosts_.at(static_cast<std::size_t>(f.dst))->id();
     fs.bytes = f.bytes;
     fs.msg_bytes = f.msg_bytes;
     fs.start_time = f.start;

@@ -117,7 +117,7 @@ class SimWorld {
   std::unique_ptr<ShardGroup> shards_;
   std::unique_ptr<Logger> log_;
   std::unique_ptr<Network> net_;
-  ClosTopology topo_;
+  std::vector<Host*> hosts_;  // scenario host-index order (CLOS or fat-tree)
   std::unique_ptr<InvariantOracle> oracle_;
   std::unique_ptr<FaultInjector> inj_;
   std::uint64_t setup_seq_end_ = 0;

@@ -270,7 +270,6 @@ WanFlowResult run_wan_flow(const WanFlowParams& p) {
 
 WebSearchResult run_websearch(const WebSearchParams& p) {
   ShardGroup shards(resolve_shards(p.clos.leaves, p.faults.has_effect()));
-  Simulator& sim = shards.sim(0);
   Logger log(LogLevel::kError);
   Network net(shards, log);
 

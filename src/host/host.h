@@ -83,9 +83,13 @@ class Host final : public Node {
   ReceiverStats journal_stats_at(FlowId id, Time t, std::uint64_t seq);
   /// Barrier: commit provisional stamps (window remap hook).
   void remap_stat_journal(const SeqRemap& remap);
-  /// Barrier, after finalizations: drop all but each flow's latest entry —
-  /// later finalize keys lie in strictly later windows.
-  void prune_stat_journal();
+  /// Barrier, after finalizations: drop entries no future finalize can
+  /// key into.  Under adaptive windows effects past the commit frontier
+  /// stay deferred, so every snapshot with t > frontier is kept along with
+  /// each flow's latest entry at or below it (any later finalize key is
+  /// strictly above the frontier).  kTimeInfinity reduces to "latest per
+  /// flow".
+  void prune_stat_journal(Time frontier);
 
  private:
   RnicScheduler nic_;

@@ -198,6 +198,9 @@ void Channel::fire_lane() {
 
 void Channel::enable_shard_mode(Simulator* dst_sim) {
   cross_dst_sim_ = dst_sim;
+  if (dst_sim != nullptr && cross_timer_ == nullptr) {
+    cross_timer_ = std::make_unique<Timer>(*dst_sim, [this] { cross_arrive_next(); });
+  }
   // Parked lane and plain-path in-flight records carry window-provisional
   // stamps; commit them at every barrier (the heap mirror is rewritten by
   // end_shard_window; the per-shard remap is order-preserving, so the
@@ -221,29 +224,49 @@ void Channel::plain_arrive_next() {
   arrive(PacketPtr::make(std::move(rec.pkt)), rec.epoch, rec.corrupt);
 }
 
-void Channel::drain_cross(const SeqRemap& remap) {
-  auto later = [](const CrossRecord& a, const CrossRecord& b) {
-    return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+std::size_t Channel::drain_cross(const SeqRemap& remap) {
+  const std::size_t moved = outbox_.size();
+  if (moved == 0) return 0;
+  auto earlier = [](const CrossRecord& a, const CrossRecord& b) {
+    return a.t != b.t ? a.t < b.t : a.seq < b.seq;
   };
-  for (CrossRecord& r : outbox_) {
-    r.seq = remap(r.seq);
-    cross_dst_sim_->schedule_cross(r.t, r.seq, [this] { cross_arrive_next(); });
-    inbox_.push_back(std::move(r));
-    std::push_heap(inbox_.begin(), inbox_.end(), later);
+  // Commit the window's stamps, then sort the batch once: delivery times
+  // are near-monotone (the clock advances; only serialization backlog
+  // reorders), so this is almost always a no-op pass.
+  for (CrossRecord& r : outbox_) r.seq = remap(r.seq);
+  std::sort(outbox_.begin(), outbox_.end(), earlier);
+  // Drop the consumed prefix, then splice the batch in one merge pass —
+  // leftover records (arrival times beyond the windows run so far) stay
+  // sorted relative to the newcomers.
+  if (inbox_head_ > 0) {
+    inbox_.erase(inbox_.begin(), inbox_.begin() + static_cast<std::ptrdiff_t>(inbox_head_));
+    inbox_head_ = 0;
   }
+  const std::size_t mid = inbox_.size();
+  inbox_.insert(inbox_.end(), std::make_move_iterator(outbox_.begin()),
+                std::make_move_iterator(outbox_.end()));
+  std::inplace_merge(inbox_.begin(), inbox_.begin() + static_cast<std::ptrdiff_t>(mid),
+                     inbox_.end(), earlier);
   outbox_.clear();
+  // Mirror the (possibly new) head: one heap entry per channel, not per
+  // record.  Re-arming with an existing key never consumes a sequence.
+  cross_timer_->arm_keyed_abs(inbox_.front().t, inbox_.front().seq);
+  return moved;
 }
 
 void Channel::cross_arrive_next() {
-  // Events fire in (t, seq) order and each maps to exactly one record, so
-  // the minimum remaining record is the one this event was scheduled for.
-  auto later = [](const CrossRecord& a, const CrossRecord& b) {
-    return a.t != b.t ? a.t > b.t : a.seq > b.seq;
-  };
-  assert(!inbox_.empty());
-  std::pop_heap(inbox_.begin(), inbox_.end(), later);
-  CrossRecord rec = std::move(inbox_.back());
-  inbox_.pop_back();
+  // The timer fires with the head's exact (t, seq); re-arm for the next
+  // record BEFORE dispatching, preserving "records pending => timer armed
+  // with the head's key".
+  assert(inbox_head_ < inbox_.size());
+  CrossRecord rec = std::move(inbox_[inbox_head_]);
+  ++inbox_head_;
+  if (inbox_head_ == inbox_.size()) {
+    inbox_.clear();
+    inbox_head_ = 0;
+  } else {
+    cross_timer_->arm_keyed_abs(inbox_[inbox_head_].t, inbox_[inbox_head_].seq);
+  }
   // Re-pool on the destination shard's thread, then run the shared far-end
   // logic.  Observer hooks go through the destination simulator: that is
   // the one executing this event.
@@ -335,9 +358,9 @@ void Channel::checkpoint(StateIO& io) {
 
   // Plain-path in-flight records and the cross-shard inbox: serialized
   // sorted ascending by (t, seq) — a sorted array is a valid heap under
-  // the max-`later` comparator, so the load-side arrangement is canonical
-  // and a re-save reproduces the image byte-for-byte.  One keyed event is
-  // re-pushed per record.
+  // the max-`later` comparator (and the canonical inbox FIFO order), so
+  // the load-side arrangement is canonical and a re-save reproduces the
+  // image byte-for-byte.
   auto rec_io = [&io](CrossRecord& r) {
     io.pod(r.t);
     io.seq(r.seq);
@@ -354,7 +377,7 @@ void Channel::checkpoint(StateIO& io) {
     io.pod(m);
     for (CrossRecord& r : recs) rec_io(r);
   };
-  auto sorted_load = [&](std::vector<CrossRecord>& heap, Simulator* target, bool plain) {
+  auto plain_load = [&](std::vector<CrossRecord>& heap) {
     std::uint64_t m = 0;
     io.pod(m);
     if (!io.ok()) return;
@@ -366,24 +389,38 @@ void Channel::checkpoint(StateIO& io) {
       CrossRecord r;
       rec_io(r);
       if (!io.ok()) break;
-      if (target == nullptr) {
-        io.fail("cross records without a destination shard");
-        return;
-      }
-      if (plain) {
-        target->schedule_cross(r.t, r.seq, [this] { plain_arrive_next(); });
-      } else {
-        target->schedule_cross(r.t, r.seq, [this] { cross_arrive_next(); });
-      }
+      sim_.schedule_cross(r.t, r.seq, [this] { plain_arrive_next(); });
       heap.push_back(std::move(r));
     }
   };
   if (io.saving()) {
     sorted_save(inflight_);
-    sorted_save(inbox_);
+    // The consumed prefix is dead state; the live suffix is already in
+    // canonical ascending order.
+    std::uint64_t m = inbox_.size() - inbox_head_;
+    io.pod(m);
+    for (std::size_t i = inbox_head_; i < inbox_.size(); ++i) rec_io(inbox_[i]);
   } else {
-    sorted_load(inflight_, &sim_, true);
-    sorted_load(inbox_, cross_dst_sim_, false);
+    plain_load(inflight_);
+    std::uint64_t m = 0;
+    io.pod(m);
+    if (io.ok() && (!inbox_.empty() || inbox_head_ != 0)) {
+      io.fail("restore target wire non-empty");
+    }
+    for (std::uint64_t i = 0; i < m && io.ok(); ++i) {
+      CrossRecord r;
+      rec_io(r);
+      if (!io.ok()) break;
+      if (cross_timer_ == nullptr) {
+        io.fail("cross records without a destination shard");
+        break;
+      }
+      inbox_.push_back(std::move(r));
+    }
+    // One heap entry mirrors the head, exactly as drain_cross leaves it.
+    if (io.ok() && !inbox_.empty()) {
+      cross_timer_->arm_keyed_abs(inbox_.front().t, inbox_.front().seq);
+    }
   }
 }
 

@@ -20,6 +20,7 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <utility>
 
 #include "check/observer.h"
@@ -152,19 +153,27 @@ class Channel {
   // A channel whose endpoints live on different shards becomes a mailbox:
   // deliver() stamps one sequence (exactly like the lane path) and parks a
   // CrossRecord in the source-thread outbox; at the window barrier the
-  // coordinator remaps the stamp and schedules one keyed event on the
-  // destination shard per record, so the far side pops exactly one event
-  // per delivery — bit-identical accounting to the serial paths.
+  // coordinator remaps the stamps, sorts the batch by (t, seq) and merges
+  // it into the destination-side inbox FIFO in one pass.  Like a delivery
+  // lane, only the inbox HEAD occupies the destination heap — a persistent
+  // timer keyed with the head's exact (t, seq), re-armed as records pop —
+  // so each record still costs exactly one fired event and accounting is
+  // bit-identical to the serial paths, without one heap insert per record
+  // at the barrier.
 
   /// Puts the channel in shard mode.  `dst_sim` is the destination shard's
   /// simulator for cut edges, nullptr for shard-internal channels (which
   /// only need their parked lane stamps remapped at barriers).
   void enable_shard_mode(Simulator* dst_sim);
   bool cross_shard() const { return cross_dst_sim_ != nullptr; }
-  /// Barrier-only: commits outbox stamps and hands the records to the
+  /// Barrier-only: commits outbox stamps and hands the batch to the
   /// destination shard (runs on the coordinator with all shards parked).
-  void drain_cross(const SeqRemap& remap);
-  std::size_t cross_pending() const { return outbox_.size() + inbox_.size(); }
+  /// Returns the number of records moved — the ShardGroup's mailbox-
+  /// pressure signal for adaptive window sizing.
+  std::size_t drain_cross(const SeqRemap& remap);
+  std::size_t cross_pending() const {
+    return outbox_.size() + (inbox_.size() - inbox_head_);
+  }
 
   /// Checkpoint hook (sim/snapshot.h): scalar counters, parked lane
   /// records, plain-path in-flight records and cross-shard inbox records
@@ -221,13 +230,19 @@ class Channel {
   std::uint64_t in_flight_dropped_ = 0;
 
   // Cross-shard mailbox: outbox_ is appended by the source shard thread
-  // during windows; inbox_ is a (t, seq) min-heap appended by the barrier
-  // coordinator and popped by the destination shard thread — the phases
-  // never overlap, and the barrier's release/acquire pair publishes each
-  // side's writes to the other.
+  // during windows; inbox_ is kept sorted ascending by (t, seq) from
+  // inbox_head_ on, merged into by the barrier coordinator and consumed
+  // front-to-back by the destination shard thread via cross_timer_ — the
+  // phases never overlap, and the barrier's release/acquire pair publishes
+  // each side's writes to the other.
   Simulator* cross_dst_sim_ = nullptr;
   std::vector<CrossRecord> outbox_;
   std::vector<CrossRecord> inbox_;
+  std::size_t inbox_head_ = 0;
+  // Persistent keyed timer on the DESTINATION shard's simulator mirroring
+  // the inbox head (created by enable_shard_mode — the destination is not
+  // known at construction).
+  std::unique_ptr<Timer> cross_timer_;
 
   // Plain-path (DCP_LANES=0) in-flight frames: a (t, seq) min-heap popped
   // by plain_arrive_next(), one keyed heap event per record.  Keeping the

@@ -15,18 +15,22 @@ LanePool::~LanePool() {
 }
 
 void LanePool::grow() {
-  const std::size_t got = RetiredSlabs<LaneRecord>::instance().reclaim(free_, kChunkRecords);
+  const std::size_t got = RetiredSlabs<LaneRecord>::instance().reclaim(free_, next_chunk_);
   if (got > 0) {
     reclaimed_ += got;
+    slots_ += got;
     return;
   }
-  chunks_.push_back(std::make_unique<LaneRecord[]>(kChunkRecords));
+  const std::size_t n = next_chunk_;
+  chunks_.push_back(std::make_unique<LaneRecord[]>(n));
   LaneRecord* base = chunks_.back().get();
-  free_.reserve(free_.size() + kChunkRecords);
+  free_.reserve(free_.size() + n);
   // Reversed so the lowest address is handed out first.
-  for (std::size_t i = kChunkRecords; i > 0; --i) {
+  for (std::size_t i = n; i > 0; --i) {
     free_.push_back(base + i - 1);
   }
+  slots_ += n;
+  if (next_chunk_ < kMaxChunkRecords) next_chunk_ *= 2;
 }
 
 }  // namespace dcp

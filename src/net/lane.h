@@ -73,18 +73,28 @@ class LanePool {
   Stats stats() const {
     // Cross-thread teardown releases can park foreign-slab records here,
     // so clamp rather than underflow.
-    const std::size_t slots = chunks_.size() * kChunkRecords + reclaimed_;
-    return Stats{acquires_, releases_, slots,
-                 free_.size() >= slots ? 0 : slots - free_.size()};
+    return Stats{acquires_, releases_, slots_,
+                 free_.size() >= slots_ ? 0 : slots_ - free_.size()};
+  }
+
+  /// Slab footprint of every record this pool has ever acquired (including
+  /// records adopted from the retired store).
+  std::uint64_t arena_bytes() const {
+    return static_cast<std::uint64_t>(slots_) * sizeof(LaneRecord);
   }
 
  private:
+  // Geometric chunk growth (512 doubling to 64Ki), same rationale as
+  // PacketPool: large fat-trees park hundreds of thousands of records.
   static constexpr std::size_t kChunkRecords = 512;
+  static constexpr std::size_t kMaxChunkRecords = 65536;
 
   void grow();
 
   std::vector<std::unique_ptr<LaneRecord[]>> chunks_;
   std::vector<LaneRecord*> free_;
+  std::size_t slots_ = 0;        // owned + reclaimed (chunk sizes vary)
+  std::size_t next_chunk_ = kChunkRecords;
   std::size_t reclaimed_ = 0;  // slots adopted from the retired store
   std::uint64_t acquires_ = 0;
   std::uint64_t releases_ = 0;

@@ -27,21 +27,25 @@ PacketPool::~PacketPool() {
 void PacketPool::grow() {
   // Retired hot slots arrive with their cold_slot pairing intact (the
   // paired cold slabs are parked alive in the cold retired store).
-  const std::size_t got = RetiredSlabs<PacketHot>::instance().reclaim(free_, kChunkPackets);
+  const std::size_t got = RetiredSlabs<PacketHot>::instance().reclaim(free_, next_chunk_);
   if (got > 0) {
     reclaimed_ += got;
+    slots_ += got;
     return;
   }
-  chunks_.push_back(std::make_unique<PacketHot[]>(kChunkPackets));
-  cold_chunks_.push_back(std::make_unique<PacketCold[]>(kChunkPackets));
+  const std::size_t n = next_chunk_;
+  chunks_.push_back(std::make_unique<PacketHot[]>(n));
+  cold_chunks_.push_back(std::make_unique<PacketCold[]>(n));
   PacketHot* base = chunks_.back().get();
   PacketCold* cold = cold_chunks_.back().get();
-  free_.reserve(free_.size() + kChunkPackets);
+  free_.reserve(free_.size() + n);
   // Reversed so the lowest address is handed out first.
-  for (std::size_t i = kChunkPackets; i > 0; --i) {
+  for (std::size_t i = n; i > 0; --i) {
     base[i - 1].cold_slot = cold + (i - 1);
     free_.push_back(base + i - 1);
   }
+  slots_ += n;
+  if (next_chunk_ < kMaxChunkPackets) next_chunk_ *= 2;
 }
 
 }  // namespace dcp

@@ -75,13 +75,23 @@ class PacketPool {
   Stats stats() const {
     // Cross-thread teardown releases can park foreign-slab slots in this
     // freelist, so clamp rather than underflow.
-    const std::size_t slots = chunks_.size() * kChunkPackets + reclaimed_;
-    return Stats{acquires_, releases_, slots,
-                 free_.size() >= slots ? 0 : slots - free_.size()};
+    return Stats{acquires_, releases_, slots_,
+                 free_.size() >= slots_ ? 0 : slots_ - free_.size()};
+  }
+
+  /// Slab footprint of every slot this pool has ever acquired (hot + cold
+  /// records, including slots adopted from the retired store — their slabs
+  /// live elsewhere but the memory is held on this pool's behalf).
+  std::uint64_t arena_bytes() const {
+    return static_cast<std::uint64_t>(slots_) * (sizeof(PacketHot) + sizeof(PacketCold));
   }
 
  private:
+  // Chunks grow geometrically (512 slots doubling to a 64Ki cap): a 10k-host
+  // fat-tree with ~1M packets in flight takes ~30 slab allocations instead
+  // of ~2000, while small runs keep the historical one-page footprint.
   static constexpr std::size_t kChunkPackets = 512;
+  static constexpr std::size_t kMaxChunkPackets = 65536;
 
   void grow();
 
@@ -90,6 +100,8 @@ class PacketPool {
   // allocation time and the pairing never changes.
   std::vector<std::unique_ptr<PacketCold[]>> cold_chunks_;
   std::vector<PacketHot*> free_;
+  std::size_t slots_ = 0;        // owned + reclaimed (chunk sizes vary)
+  std::size_t next_chunk_ = kChunkPackets;
   std::size_t reclaimed_ = 0;  // slots adopted from the retired store
   std::uint64_t acquires_ = 0;
   std::uint64_t releases_ = 0;

@@ -52,6 +52,29 @@ class EventCallback {
   EventCallback& operator=(const EventCallback&) = delete;
   ~EventCallback() { reset(); }
 
+  /// Constructs a callable directly in this slot (after destroying any
+  /// current occupant) — the storage-reuse path of EventQueue's slab.
+  /// Equivalent to `*this = EventCallback(f)` minus the relocate hop: the
+  /// closure is built in buf_ itself, not in a temporary that is then
+  /// moved through an indirect Ops call.
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventCallback> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  void emplace(F&& f) {
+    reset();
+    if constexpr (sizeof(D) <= kInlineSize && alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      *reinterpret_cast<void**>(buf_) = new D(std::forward<F>(f));
+      ops_ = &kHeapOps<D>;
+      ++heap_fallbacks_;
+    }
+  }
+  /// emplace() for an already-erased callback: plain move-assign.
+  void emplace(EventCallback&& f) { *this = std::move(f); }
+
   void operator()() { ops_->invoke(buf_); }
   explicit operator bool() const { return ops_ != nullptr; }
 

@@ -90,8 +90,14 @@ class EventQueue {
   EventQueue& operator=(const EventQueue&) = delete;
 
   /// Schedules `fn` to fire at absolute time `t`.  Events scheduled for the
-  /// same instant fire in the order they were scheduled.
-  EventId push(Time t, EventCallback fn);
+  /// same instant fire in the order they were scheduled.  Templated on the
+  /// callable so the closure is constructed directly in its slab slot —
+  /// passing a prebuilt EventCallback still works (one move), but a lambda
+  /// at the call site skips the temporary + relocate entirely.
+  template <typename F>
+  EventId push(Time t, F&& fn) {
+    return push_keyed(t, take_seq(), std::forward<F>(fn));
+  }
 
   /// Allocates the next tie-break sequence number.  A caller that manages
   /// its own ordered event stream stamps each logical event with one of
@@ -102,7 +108,14 @@ class EventQueue {
 
   /// push() with an explicit tie-break sequence (from alloc_seq(), or a
   /// committed cross-shard sequence).
-  EventId push_keyed(Time t, std::uint64_t seq, EventCallback fn);
+  template <typename F>
+  EventId push_keyed(Time t, std::uint64_t seq, F&& fn) {
+    const std::uint32_t idx = alloc_slot();
+    fn_of(idx).emplace(std::forward<F>(fn));
+    pos_[idx] = kOneshotLive;
+    opush(HeapEntry{t, seq, idx});
+    return (static_cast<EventId>(gen_[idx]) << 32) | (idx + 1);
+  }
 
   /// push() for FAR events: one-shots expected to sit a long time before
   /// firing (staggered flow starts, experiment-end probes).  One-shots all
@@ -110,7 +123,10 @@ class EventQueue {
   /// never compared against by near-term traffic sifting shallower than
   /// it.  Firing order is identical to push() — the sequence number is
   /// allocated here, at call time.
-  EventId push_far(Time t, EventCallback fn);
+  template <typename F>
+  EventId push_far(Time t, F&& fn) {
+    return push_keyed(t, take_seq(), std::forward<F>(fn));
+  }
 
   /// Cancels a pending event.  For one-shots this is an O(1) lazy
   /// tombstone (the callback is destroyed now; the heap entry evaporates
@@ -196,6 +212,21 @@ class EventQueue {
   /// Total event slots ever allocated (capacity, not live events) — lets
   /// tests assert the slab stops growing under steady-state churn.
   std::size_t slots_allocated() const { return gen_.size(); }
+
+  /// Slab footprint: callback chunks plus the per-slot metadata arrays and
+  /// the three heaps' storage.  Counts capacity (slabs never shrink), so
+  /// it tracks the queue's real high-water memory.
+  std::uint64_t arena_bytes() const {
+    const std::uint64_t slots = gen_.size();
+    const std::uint64_t per_slot =
+        sizeof(EventCallback) + 2 * sizeof(std::uint32_t)  // gen_, pos_
+        + 2 * sizeof(std::uint8_t)                         // persistent_, in_dheap_
+        + sizeof(Time) + sizeof(std::uint32_t);            // deadline_, free_
+    return slots * per_slot +
+           static_cast<std::uint64_t>(heap_.capacity() + dheap_.capacity() +
+                                      oheap_.capacity()) *
+               sizeof(HeapEntry);
+  }
 
   /// High-water mark of the first-level heap — the figure the two-level
   /// scheduler shrinks from O(packets in flight + flows) to O(active
@@ -446,25 +477,6 @@ class EventQueue {
 // timer_create/destroy, shard-window relabeling, one-shot compaction)
 // stays in event_queue.cpp.
 
-inline EventId EventQueue::push_keyed(Time t, std::uint64_t seq, EventCallback fn) {
-  const std::uint32_t idx = alloc_slot();
-  fn_of(idx) = std::move(fn);
-  pos_[idx] = kOneshotLive;
-  opush(HeapEntry{t, seq, idx});
-  return (static_cast<EventId>(gen_[idx]) << 32) | (idx + 1);
-}
-
-inline EventId EventQueue::push(Time t, EventCallback fn) {
-  return push_keyed(t, take_seq(), std::move(fn));
-}
-
-inline EventId EventQueue::push_far(Time t, EventCallback fn) {
-  // One-shots all live in the non-tracking heap; a far entry sinks below
-  // the near-term traffic once at push and is never compared against
-  // until its time approaches.
-  return push_keyed(t, take_seq(), std::move(fn));
-}
-
 inline void EventQueue::cancel(EventId id) {
   const std::uint64_t slot_part = id & 0xFFFFFFFFull;
   if (slot_part == 0) return;  // kInvalidEvent or malformed
@@ -578,17 +590,26 @@ inline void EventQueue::settle_dtop() {
 
 inline void EventQueue::run_top(int which, Time& now) {
   if (which == 2) {
-    // One-shot: pop, recycle the slot, run.  drain_otop() afterwards keeps
-    // the top live so next_time() stays O(1)-accurate.
+    // One-shot: pop, invalidate, run IN PLACE.  drain_otop() afterwards
+    // keeps the top live so next_time() stays O(1)-accurate.
     const HeapEntry top = oheap_[0];
     now = top.t;
     cur_time_ = top.t;
     cur_parent_ = top.seq;
     opop_root();
     --olive_;
-    EventCallback fn = std::move(fn_of(top.slot));
-    release(top.slot);  // recycled before running: reentrant schedule/cancel is safe
+    // Handles die here (cancel of the running event's own id is a stale
+    // no-op), but the slot joins the free list only AFTER the callback
+    // returns: a reentrant push can then never reuse this storage, which
+    // makes running the callback in place safe — skipping the relocate
+    // (a kInlineSize-byte move through an indirect call) that popping
+    // by-move paid on every event.
+    pos_[top.slot] = kNoPos;
+    ++gen_[top.slot];
+    EventCallback& fn = fn_of(top.slot);
     fn();
+    fn.reset();
+    free_.push_back(top.slot);
     drain_otop();
     return;
   }

@@ -2,23 +2,26 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+
+#include "net/lane.h"
+#include "net/packet_pool.h"
 
 namespace dcp {
 
 namespace {
 
-/// Bounded spin: barriers are microseconds apart in wall time, so burn a
-/// little CPU before yielding rather than paying a futex round trip per
-/// window.
-template <typename Pred>
-void spin_until(Pred&& done) {
-  int spins = 0;
-  while (!done()) {
-    if (++spins >= 4096) {
-      std::this_thread::yield();
-      spins = 0;
-    }
-  }
+inline std::uint64_t wall_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Thread-local slab footprint of the calling shard's pools.  Must run on
+/// the thread that owns the shard (pools are thread-local by design).
+inline std::uint64_t local_pool_arena_bytes() {
+  return PacketPool::local().arena_bytes() + LanePool::local().arena_bytes();
 }
 
 }  // namespace
@@ -30,17 +33,24 @@ ShardGroup::ShardGroup(int n) {
   logs_.resize(sims_.size());
   committed_.resize(sims_.size());
   cross_drains_.resize(sims_.size());
+  bounds_.resize(sims_.size(), 0);
+  dispatch_.resize(sims_.size(), 0);
+  tn_scratch_.resize(sims_.size(), 0);
   if (sharded()) {
     // One sequence space: setup-phase allocations interleave across shard
     // queues exactly as a single serial queue would hand them out.
     for (auto& s : sims_) s->set_shared_seq(&global_seq_);
+    slots_ = std::make_unique<WorkerSlot[]>(sims_.size() - 1);
   }
 }
 
 ShardGroup::~ShardGroup() {
   if (!workers_.empty()) {
     exit_.store(true, std::memory_order_relaxed);
-    go_epoch_.fetch_add(1, std::memory_order_release);
+    for (std::size_t w = 0; w + 1 < sims_.size(); ++w) {
+      slots_[w].go.fetch_add(1, std::memory_order_seq_cst);
+      slots_[w].go.notify_one();
+    }
     for (std::thread& t : workers_) t.join();
   }
 }
@@ -54,13 +64,35 @@ void ShardGroup::start_workers() {
 }
 
 void ShardGroup::worker_loop(std::size_t i) {
+  WorkerSlot& slot = slots_[i - 1];
   std::uint64_t seen = 0;
   for (;;) {
-    spin_until([&] { return go_epoch_.load(std::memory_order_acquire) != seen; });
-    seen = go_epoch_.load(std::memory_order_acquire);
+    // Spin a short budget — barriers are usually microseconds apart — then
+    // park on the go word's futex.  The sleeping flag is the Dekker half
+    // of the wake protocol: the coordinator only pays the notify syscall
+    // when it observes the worker asleep.
+    std::uint64_t cur;
+    int spins = 0;
+    while ((cur = slot.go.load(std::memory_order_acquire)) == seen) {
+      if (++spins >= kSpinBudget) {
+        slot.sleeping.store(true, std::memory_order_seq_cst);
+        while ((cur = slot.go.load(std::memory_order_seq_cst)) == seen) slot.go.wait(seen);
+        slot.sleeping.store(false, std::memory_order_relaxed);
+        break;
+      }
+    }
+    seen = cur;
     if (exit_.load(std::memory_order_relaxed)) return;
-    sims_[i]->run(window_bound_);
-    done_count_.fetch_add(1, std::memory_order_release);
+    const std::uint64_t t0 = wall_ns();
+    sims_[i]->run(bounds_[i]);
+    slot.busy_ns += wall_ns() - t0;
+    slot.windows += 1;
+    slot.arena_bytes = local_pool_arena_bytes();
+    // seq_cst: publishes the window's writes AND orders the increment
+    // against the coordinator's sleeping flag (either we see the flag and
+    // notify, or the coordinator's later load sees the increment).
+    done_count_.fetch_add(1, std::memory_order_seq_cst);
+    if (coord_sleeping_.load(std::memory_order_seq_cst)) done_count_.notify_one();
   }
 }
 
@@ -86,6 +118,23 @@ void ShardGroup::sync_now(Time t) {
   for (auto& s : sims_) s->sync_now(t);
 }
 
+std::uint64_t ShardGroup::shard_windows(int i) const {
+  return i == 0 ? windows0_ : slots_[static_cast<std::size_t>(i) - 1].windows;
+}
+
+std::uint64_t ShardGroup::busy_ns(int i) const {
+  return i == 0 ? busy0_ns_ : slots_[static_cast<std::size_t>(i) - 1].busy_ns;
+}
+
+std::uint64_t ShardGroup::arena_bytes() const {
+  // Shard 0's pools are this (the coordinator) thread's thread-locals;
+  // worker pools were published to their slots at the last done barrier.
+  std::uint64_t total = local_pool_arena_bytes();
+  for (std::size_t w = 0; w + 1 < sims_.size(); ++w) total += slots_[w].arena_bytes;
+  for (const auto& s : sims_) total += s->event_arena_bytes();
+  return total;
+}
+
 void ShardGroup::run_window(Time bound) {
   if (!sharded()) {
     sims_[0]->run(bound);
@@ -93,16 +142,90 @@ void ShardGroup::run_window(Time bound) {
   }
   assert(lookahead_ > 0 && "set_lookahead() before sharded windows");
   start_workers();
+  // Uniform window: every shard runs to `bound` (the legacy entry keeps
+  // its exact semantics — clocks advance to the bound even on idle
+  // shards, which tests rely on).
   for (std::size_t i = 0; i < sims_.size(); ++i) {
+    bounds_[i] = bound;
+    dispatch_[i] = 1;
+  }
+  run_marked_window();
+}
+
+Time ShardGroup::run_window_adaptive(Time cap) {
+  if (!sharded()) {
+    sims_[0]->run(cap);
+    return cap;
+  }
+  assert(lookahead_ > 0 && "set_lookahead() before sharded windows");
+  start_workers();
+  const std::size_t n = sims_.size();
+  const Time ahead = std::max<Time>(1, lookahead_ >> window_shift_);
+
+  // One uniform bound for every shard, opening at the globally earliest
+  // pending event.  The bound must be uniform: commit_window() hands out
+  // committed sequence numbers window by window, so seqs are globally
+  // ordered by window index — serial (time, parent) order holds only if no
+  // shard allocates at a time another shard has yet to reach.  Per-shard
+  // bounds (letting the earliest shard race ahead of the rest) commit its
+  // beyond-frontier allocations a window early, and a same-time tie
+  // against a slower shard's later-committed event then breaks the wrong
+  // way.  Adaptivity lives in the window LENGTH (`ahead`, shrunk under
+  // cross-shard pressure) and in dispatch: shards with nothing due in the
+  // window are not dispatched — their workers stay parked on the futex and
+  // they skip window entry, the commit merge, and mailbox drains.
+  Time min1 = kTimeInfinity;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Time t = sims_[i]->next_event_time();
+    tn_scratch_[i] = t;
+    if (t < min1) min1 = t;
+  }
+  const Time bound = min1 >= cap ? cap : std::min(cap, min1 + ahead - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    bounds_[i] = bound;
+    dispatch_[i] = tn_scratch_[i] <= bound ? 1 : 0;
+  }
+  run_marked_window();
+  // Dispatched shards ran exactly to the bound and parked shards had
+  // nothing below it, so every barrier effect this window is final.
+  return bound;
+}
+
+void ShardGroup::run_marked_window() {
+  const std::size_t n = sims_.size();
+  ++windows_;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dispatch_[i] == 0) continue;
     logs_[i].clear();
     sims_[i]->begin_shard_window(&logs_[i]);
   }
-  window_bound_ = bound;
+  int need = 0;
   done_count_.store(0, std::memory_order_relaxed);
-  go_epoch_.fetch_add(1, std::memory_order_release);
-  sims_[0]->run(bound);
-  const int need = static_cast<int>(sims_.size()) - 1;
-  spin_until([&] { return done_count_.load(std::memory_order_acquire) == need; });
+  for (std::size_t i = 1; i < n; ++i) {
+    if (dispatch_[i] == 0) continue;
+    ++need;
+    WorkerSlot& slot = slots_[i - 1];
+    slot.go.fetch_add(1, std::memory_order_seq_cst);
+    if (slot.sleeping.load(std::memory_order_seq_cst)) slot.go.notify_one();
+  }
+  if (dispatch_[0] != 0) {
+    const std::uint64_t t0 = wall_ns();
+    sims_[0]->run(bounds_[0]);
+    busy0_ns_ += wall_ns() - t0;
+    ++windows0_;
+  }
+  if (need > 0) {
+    int d;
+    int spins = 0;
+    while ((d = done_count_.load(std::memory_order_acquire)) != need) {
+      if (++spins >= kSpinBudget) {
+        coord_sleeping_.store(true, std::memory_order_seq_cst);
+        while ((d = done_count_.load(std::memory_order_seq_cst)) != need) done_count_.wait(d);
+        coord_sleeping_.store(false, std::memory_order_relaxed);
+        break;
+      }
+    }
+  }
   commit_window();
 }
 
@@ -110,6 +233,11 @@ void ShardGroup::commit_window() {
   const std::size_t n = sims_.size();
   std::size_t remaining = 0;
   for (std::size_t i = 0; i < n; ++i) {
+    if (dispatch_[i] == 0) {
+      committed_[i].clear();
+      logs_[i].clear();
+      continue;
+    }
     committed_[i].assign(logs_[i].size(), 0);
     remaining += logs_[i].size();
   }
@@ -148,14 +276,27 @@ void ShardGroup::commit_window() {
   }
 
   for (std::size_t i = 0; i < n; ++i) {
+    if (dispatch_[i] == 0) continue;
     // Leave window mode, rewriting every provisional key still parked in
     // the shard's heaps, then let components (lanes, journals, pending
     // finalizations) commit the stamps they hold outside the queue.
     sims_[i]->end_shard_window(committed_[i]);
     sims_[i]->run_seq_remap_hooks(SeqRemap{&committed_[i]});
   }
+  // Cut-channel mailbox drains, with the window's cross-record total fed
+  // back into the adaptive window size: heavy mailbox traffic means the
+  // windows admitted more cross-shard skew than the merge absorbs cheaply
+  // (shrink the effective lookahead); light windows grow it back.
+  std::size_t cross = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    for (auto& drain : cross_drains_[i]) drain(SeqRemap{&committed_[i]});
+    if (dispatch_[i] == 0) continue;  // a parked shard sent nothing
+    for (auto& drain : cross_drains_[i]) cross += drain(SeqRemap{&committed_[i]});
+  }
+  cross_records_ += cross;
+  if (cross > kShrinkAt && window_shift_ < kMaxShift) {
+    ++window_shift_;
+  } else if (cross < kGrowAt && window_shift_ > 0) {
+    --window_shift_;
   }
 }
 

@@ -9,6 +9,19 @@
 // the cut arrives at send-time + L at the earliest, i.e. strictly after
 // the window, so no shard can receive an event it should already have run.
 //
+// Adaptive windows (run_window_adaptive): the bound is computed PER SHARD
+// as min(cap, min over other shards' next-event time + A - 1), with
+// A <= L an effective lookahead the group shrinks under cross-shard
+// mailbox pressure and grows back when windows run light.  The per-shard
+// form is safe by the same argument — anything shard j can still send
+// arrives at >= next_j + L > bound_i — and lets a shard whose peers are
+// idle run all the way to the slice boundary instead of re-barriering
+// every L.  Shards with no event inside their bound are not dispatched at
+// all (their worker stays parked), and the call returns the commit
+// FRONTIER min_i(bound_i): every event at or below it has executed on
+// every shard, so barrier effects up to the frontier are final while
+// later ones must be deferred (see Network::commit_window_effects).
+//
 // Determinism: all shards draw setup-phase tie-break sequences from ONE
 // shared counter, so topology construction is bit-identical to the serial
 // run.  During a window each EventQueue hands out provisional sequences
@@ -22,10 +35,12 @@
 //
 // Threading: shard 0 runs on the caller's thread; shards 1..n-1 each get a
 // dedicated worker pinned to their Simulator (keeping the thread-local
-// pools coherent).  The go/done pair uses release/acquire so everything a
-// worker wrote in a window is visible to the coordinator at the barrier
-// and everything the coordinator wrote (committed stamps, mailbox
-// deliveries) is visible to workers in the next window.
+// pools coherent).  Dispatch uses one go-word per worker (bumped only
+// when that shard has work) and a shared done counter; both sides spin a
+// short budget and then block on the atomic's futex, with a Dekker-style
+// sleeping flag so the common fast-barrier case never pays a wake
+// syscall.  All handshakes are seq_cst, so everything a worker wrote in a
+// window is visible to the coordinator at the barrier and vice versa.
 
 #include <atomic>
 #include <cstdint>
@@ -61,8 +76,10 @@ class ShardGroup {
 
   /// Registers a barrier drain for a cut channel whose SOURCE lives on
   /// `src_shard`: runs on the coordinator with every shard parked, with
-  /// the source shard's remap for the window just ended.
-  void add_cross_drain(int src_shard, std::function<void(const SeqRemap&)> fn) {
+  /// the source shard's remap for the window just ended.  Returns the
+  /// number of cross-shard records it moved — the group's mailbox-pressure
+  /// signal for adaptive window sizing.
+  void add_cross_drain(int src_shard, std::function<std::size_t(const SeqRemap&)> fn) {
     cross_drains_[static_cast<std::size_t>(src_shard)].push_back(std::move(fn));
   }
 
@@ -81,9 +98,50 @@ class ShardGroup {
   /// -> component remap hooks -> cut-channel mailbox drains.
   void run_window(Time bound);
 
+  /// Adaptive window (see file header): per-shard bounds capped at `cap`,
+  /// idle shards skipped.  Returns the commit frontier — the time up to
+  /// which every shard is known to have executed everything, i.e. how far
+  /// barrier effects may be applied.
+  Time run_window_adaptive(Time cap);
+
+  // ---- Instrumentation (read between windows, coordinator thread) -------
+  /// Windows committed (either entry point).
+  std::uint64_t windows() const { return windows_; }
+  /// Windows in which shard `i` actually ran events.
+  std::uint64_t shard_windows(int i) const;
+  /// Wall nanoseconds shard `i` spent executing events inside windows —
+  /// busy_ns / total wall is the shard's utilization.
+  std::uint64_t busy_ns(int i) const;
+  /// Total cross-shard mailbox records drained at barriers.
+  std::uint64_t cross_records() const { return cross_records_; }
+  /// Current pressure shift: effective lookahead = lookahead >> shift.
+  int pressure_shift() const { return window_shift_; }
+  /// Bytes held by every shard's slab arenas (packet hot/cold, lane and
+  /// event records).  Workers publish their thread-local pool footprints
+  /// at each barrier; shard 0's pools are read directly, so this must be
+  /// called on the coordinator thread.
+  std::uint64_t arena_bytes() const;
+
  private:
+  // One cache line per worker: the go word and sleep flag are the only
+  // cross-thread hot state, and padding them apart keeps a worker's futex
+  // spin from bouncing the line every other worker (and the coordinator)
+  // writes.
+  struct alignas(64) WorkerSlot {
+    std::atomic<std::uint64_t> go{0};
+    std::atomic<bool> sleeping{false};
+    // Plain fields: written by the worker inside a window, read by the
+    // coordinator after the done barrier (the done fetch_add publishes).
+    std::uint64_t busy_ns = 0;
+    std::uint64_t windows = 0;
+    std::uint64_t arena_bytes = 0;
+  };
+
   void start_workers();
   void worker_loop(std::size_t i);
+  /// Dispatches the marked shards at bounds_[], runs shard 0 inline, waits
+  /// for the done barrier, then merges logs and drains mailboxes.
+  void run_marked_window();
   void commit_window();
 
   std::vector<std::unique_ptr<Simulator>> sims_;
@@ -91,15 +149,30 @@ class ShardGroup {
   std::uint64_t global_seq_ = 1;  // mirrors EventQueue's initial next_seq_
   std::vector<std::vector<ShardSeqAlloc>> logs_;
   std::vector<std::vector<std::uint64_t>> committed_;
-  std::vector<std::vector<std::function<void(const SeqRemap&)>>> cross_drains_;
+  std::vector<std::vector<std::function<std::size_t(const SeqRemap&)>>> cross_drains_;
 
-  // Barrier state.  window_bound_ is published before the go epoch bump
-  // (release) and read by workers after their acquire load of go_epoch_.
+  // Window plan, coordinator-written before dispatch.
+  std::vector<Time> bounds_;
+  std::vector<char> dispatch_;  // shard has work inside its bound
+  std::vector<Time> tn_scratch_;
+
+  // Adaptive state.
+  int window_shift_ = 0;                  // effective lookahead = L >> shift
+  static constexpr int kMaxShift = 4;
+  static constexpr std::size_t kShrinkAt = 8192;  // cross records per window
+  static constexpr std::size_t kGrowAt = 2048;
+  std::uint64_t windows_ = 0;
+  std::uint64_t cross_records_ = 0;
+  std::uint64_t busy0_ns_ = 0;
+  std::uint64_t windows0_ = 0;
+
+  // Barrier state.
+  static constexpr int kSpinBudget = 4096;
   std::vector<std::thread> workers_;
-  std::atomic<std::uint64_t> go_epoch_{0};
+  std::unique_ptr<WorkerSlot[]> slots_;   // size() - 1 entries
   std::atomic<int> done_count_{0};
+  std::atomic<bool> coord_sleeping_{false};
   std::atomic<bool> exit_{false};
-  Time window_bound_ = 0;
 };
 
 }  // namespace dcp

@@ -47,19 +47,23 @@ class Simulator {
   /// Schedules `fn` to run `delay` from now.  Generation-stamped EventIds
   /// make cancelling an already-fired id a harmless no-op, though callers
   /// still null their stored ids inside callbacks for their own state
-  /// machines' sake.
-  EventId schedule(Time delay, EventCallback fn) {
-    return queue_.push(now_ + delay, std::move(fn));
+  /// machines' sake.  Templated (like EventQueue::push) so the closure is
+  /// constructed directly in its slab slot.
+  template <typename F>
+  EventId schedule(Time delay, F&& fn) {
+    return queue_.push(now_ + delay, std::forward<F>(fn));
   }
-  EventId schedule_at(Time t, EventCallback fn) {
-    return queue_.push(t < now_ ? now_ : t, std::move(fn));
+  template <typename F>
+  EventId schedule_at(Time t, F&& fn) {
+    return queue_.push(t < now_ ? now_ : t, std::forward<F>(fn));
   }
   /// schedule_at() for one-shots that sit a long time before firing
   /// (staggered flow starts): the entry parks in the deadline heap so hot
   /// packet events never sift across it.  Same firing order as
   /// schedule_at() — the tie-break sequence is allocated here.
-  EventId schedule_at_far(Time t, EventCallback fn) {
-    return queue_.push_far(t < now_ ? now_ : t, std::move(fn));
+  template <typename F>
+  EventId schedule_at_far(Time t, F&& fn) {
+    return queue_.push_far(t < now_ ? now_ : t, std::forward<F>(fn));
   }
   void cancel(EventId id) { queue_.cancel(id); }
 
@@ -121,6 +125,10 @@ class Simulator {
   /// Event-slab capacity (slots ever allocated) — surfaced so CorePerf can
   /// report per-run allocation behaviour alongside events/sec.
   std::size_t event_slots_allocated() const { return queue_.slots_allocated(); }
+
+  /// Bytes held by the event queue's slabs and heaps (see
+  /// EventQueue::arena_bytes) — one term of ShardGroup::arena_bytes().
+  std::uint64_t event_arena_bytes() const { return queue_.arena_bytes(); }
 
   /// High-water mark of the scheduling heap — O(active links + timers)
   /// under the two-level scheduler vs O(packets in flight) without it.

@@ -142,6 +142,10 @@ class StateIO {
     std::uint64_t n = v.size();
     pod(n);
     if (!ok()) return;
+    if (n == 0) {
+      if (!saving()) v.clear();
+      return;
+    }
     if (saving()) {
       if constexpr (std::has_unique_object_representations_v<T>) {
         const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());

@@ -3,11 +3,25 @@
 #include <algorithm>
 #include <cstdio>
 
+#include <sys/resource.h>
+
+#include "net/lane.h"
 #include "net/packet_pool.h"
 #include "sim/shard.h"
 #include "sim/simulator.h"
 
 namespace dcp {
+
+namespace {
+
+std::uint64_t peak_rss_bytes() {
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+}
+
+}  // namespace
 
 CorePerfTimer::CorePerfTimer(const Simulator& sim)
     : sim_(&sim),
@@ -33,6 +47,14 @@ CorePerf CorePerfTimer::finish() const {
   p.pool_slots = pool.slots;
   p.event_slots = group_ != nullptr ? group_->sim(0).event_slots_allocated()
                                     : sim_->event_slots_allocated();
+  // Absolute footprints, not deltas: slabs never shrink, so the post-run
+  // value IS the run's high-water mark (workers published theirs at the
+  // last barrier; the serial case reads this thread's pools directly).
+  p.arena_bytes = group_ != nullptr
+                      ? group_->arena_bytes()
+                      : PacketPool::local().arena_bytes() + LanePool::local().arena_bytes() +
+                            sim_->event_arena_bytes();
+  p.peak_rss_bytes = peak_rss_bytes();
   return p;
 }
 
@@ -43,6 +65,8 @@ void CorePerfAggregator::add(const CorePerf& p) {
   total_.pool_acquires += p.pool_acquires;
   total_.pool_slots = std::max(total_.pool_slots, p.pool_slots);
   total_.event_slots = std::max(total_.event_slots, p.event_slots);
+  total_.arena_bytes = std::max(total_.arena_bytes, p.arena_bytes);
+  total_.peak_rss_bytes = std::max(total_.peak_rss_bytes, p.peak_rss_bytes);
   ++trials_;
 }
 
@@ -78,6 +102,18 @@ bool export_core_perf_json(const std::string& path, const std::vector<CorePerfEn
                    "      \"speedup_vs_seed\": %.2f",
                    e.baseline_events_per_sec,
                    e.perf.events_per_sec() / e.baseline_events_per_sec);
+    }
+    if (e.perf.arena_bytes > 0) {
+      std::fprintf(f,
+                   ",\n"
+                   "      \"arena_bytes\": %llu",
+                   static_cast<unsigned long long>(e.perf.arena_bytes));
+    }
+    if (e.perf.peak_rss_bytes > 0) {
+      std::fprintf(f,
+                   ",\n"
+                   "      \"peak_rss_bytes\": %llu",
+                   static_cast<unsigned long long>(e.perf.peak_rss_bytes));
     }
     if (e.shards > 0) {
       std::fprintf(f,

@@ -10,7 +10,6 @@
 //   * SourcePath  — honour the packet's path_id (MP-RDMA virtual paths).
 
 #include <algorithm>
-#include <array>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
@@ -33,33 +32,120 @@ enum class LbPolicy : std::uint8_t {
                 // least-loaded port (CONGA/LetFlow-style)
 };
 
+/// Non-owning view of a candidate egress-port set.  The per-packet routing
+/// path hands these around instead of `const std::vector&` so the table can
+/// store single-port entries inline (no per-destination heap vector) — at
+/// fat-tree k=32 the dense vector-of-vectors table cost gigabytes across
+/// 1280 switches; the compact encoding costs megabytes.
+class RouteView {
+ public:
+  RouteView() = default;
+  RouteView(const std::uint32_t* ports, std::size_t n) : ports_(ports), n_(static_cast<std::uint32_t>(n)) {}
+  RouteView(const std::vector<std::uint32_t>& v)  // NOLINT: implicit by design
+      : ports_(v.data()), n_(static_cast<std::uint32_t>(v.size())) {}
+
+  std::size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  std::uint32_t operator[](std::size_t i) const { return ports_[i]; }
+  const std::uint32_t* begin() const { return ports_; }
+  const std::uint32_t* end() const { return ports_ + n_; }
+
+  friend bool operator==(const RouteView& a, const std::vector<std::uint32_t>& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+ private:
+  const std::uint32_t* ports_ = nullptr;
+  std::uint32_t n_ = 0;
+};
+
+/// Compact per-switch routing table.
+///
+/// NodeIds are small and sequential, so lookups stay a dense indexed load —
+/// but the dense window covers only [base, base + entries) (hosts occupy a
+/// contiguous id range per switch role), and each entry is one word:
+/// either the single egress port inline, or a tagged index into the
+/// (rare) multi-port spill lists.  Destinations outside the window, or
+/// explicitly unset inside it, fall back to the default group — fat-tree
+/// edge/aggregation switches route every non-local destination up the same
+/// ECMP uplink set, so one shared list replaces hosts() copies of it.
 class RouteTable {
  public:
   void add_route(NodeId dst, std::uint32_t egress_port) {
-    if (dst >= routes_.size()) routes_.resize(dst + 1);
-    routes_[dst].push_back(egress_port);
+    std::uint32_t& e = slot(dst);
+    if (e == kNoRoute) {
+      e = egress_port;  // ports are tiny; kMultiBit is unreachable by a real port
+    } else if ((e & kMultiBit) != 0) {
+      multi_lists_[e & ~kMultiBit].push_back(egress_port);
+    } else {
+      multi_lists_.push_back({e, egress_port});
+      e = kMultiBit | static_cast<std::uint32_t>(multi_lists_.size() - 1);
+    }
     ++version_;
   }
   void clear_routes(NodeId dst) {
-    if (dst < routes_.size()) routes_[dst].clear();
+    if (dst >= base_ && dst - base_ < entries_.size()) entries_[dst - base_] = kNoRoute;
     ++version_;
   }
 
-  /// Candidate egress ports toward `dst`; empty if unknown.  NodeIds are
-  /// small and sequential, so the table is a dense vector — one indexed
-  /// load on the per-packet path instead of a hash probe.
-  const std::vector<std::uint32_t>& candidates(NodeId dst) const {
-    static const std::vector<std::uint32_t> kNone;
-    return dst < routes_.size() ? routes_[dst] : kNone;
+  /// Shared fallback for every destination without a specific entry.  The
+  /// candidate order is the install order, exactly as per-dst add_route
+  /// calls would have produced, so ECMP picks are unchanged.
+  void set_default_routes(std::vector<std::uint32_t> ports) {
+    default_group_ = std::move(ports);
+    ++version_;
+  }
+  const std::vector<std::uint32_t>& default_routes() const { return default_group_; }
+
+  /// Candidate egress ports toward `dst`; empty if unknown.
+  RouteView candidates(NodeId dst) const {
+    if (dst >= base_ && dst - base_ < entries_.size()) {
+      const std::uint32_t e = entries_[dst - base_];
+      if (e != kNoRoute) {
+        if ((e & kMultiBit) == 0) return RouteView(&entries_[dst - base_], 1);
+        return RouteView(multi_lists_[e & ~kMultiBit]);
+      }
+    }
+    return RouteView(default_group_);
   }
 
-  bool has_route(NodeId dst) const { return dst < routes_.size() && !routes_[dst].empty(); }
+  bool has_route(NodeId dst) const { return !candidates(dst).empty(); }
 
   /// Bumped on every mutation; cached decisions key on it.
   std::uint32_t version() const { return version_; }
 
+  /// Bytes of table storage (capacity, not size) — the arena accounting hook.
+  std::size_t memory_bytes() const {
+    std::size_t b = entries_.capacity() * sizeof(std::uint32_t) +
+                    default_group_.capacity() * sizeof(std::uint32_t) +
+                    multi_lists_.capacity() * sizeof(std::vector<std::uint32_t>);
+    for (const auto& v : multi_lists_) b += v.capacity() * sizeof(std::uint32_t);
+    return b;
+  }
+
  private:
-  std::vector<std::vector<std::uint32_t>> routes_;
+  static constexpr std::uint32_t kNoRoute = UINT32_MAX;
+  static constexpr std::uint32_t kMultiBit = 0x80000000u;
+
+  std::uint32_t& slot(NodeId dst) {
+    if (entries_.empty()) {
+      base_ = dst;
+      entries_.push_back(kNoRoute);
+    } else if (dst < base_) {
+      // Front growth is construction-time only (builders install hosts in
+      // ascending id order; attach() may add the local hosts afterwards).
+      entries_.insert(entries_.begin(), base_ - dst, kNoRoute);
+      base_ = dst;
+    } else if (dst - base_ >= entries_.size()) {
+      entries_.resize(dst - base_ + 1, kNoRoute);
+    }
+    return entries_[dst - base_];
+  }
+
+  NodeId base_ = 0;
+  std::vector<std::uint32_t> entries_;             // port, kMultiBit|idx, or kNoRoute
+  std::vector<std::vector<std::uint32_t>> multi_lists_;
+  std::vector<std::uint32_t> default_group_;
   std::uint32_t version_ = 0;
 };
 
@@ -84,7 +170,21 @@ class RouteCache {
     std::uint32_t port = 0;
   };
 
-  static constexpr std::size_t kSlots = 512;  // power of two
+  static constexpr std::size_t kDefaultSlots = 512;  // power of two
+
+  /// `slots` is rounded up to a power of two.  The default matches the
+  /// historical fixed size; topology builders scale it with the expected
+  /// concurrent (flow, hop) population — at fat-tree k=16+ the 512-slot
+  /// cache thrashes under 10k flows and every miss repays the full
+  /// hash+modulo lookup the cache exists to skip.
+  explicit RouteCache(std::size_t slots = kDefaultSlots) {
+    std::size_t n = 1;
+    while (n < slots) n <<= 1;
+    slots_.resize(n);
+    mask_ = n - 1;
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
 
   /// Returns the cached port, or UINT32_MAX on miss.
   std::uint32_t lookup(FlowId flow, NodeId dst, std::uint32_t path_id, std::uint32_t epoch) {
@@ -105,14 +205,15 @@ class RouteCache {
   std::uint64_t misses() const { return misses_; }
 
  private:
-  static std::size_t index(FlowId flow, NodeId dst) {
+  std::size_t index(FlowId flow, NodeId dst) const {
     // One multiply spreads sequential flow ids; fold dst so a flow's two
     // directions land in different slots.
     return ((flow ^ (static_cast<std::uint64_t>(dst) << 17)) * 0x9E3779B97F4A7C15ull >> 48) &
-           (kSlots - 1);
+           mask_;
   }
 
-  std::array<Slot, kSlots> slots_{};
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };
@@ -178,8 +279,7 @@ class FlowletTable {
 /// Picks the least-loaded candidate with random tie-break (the adaptive
 /// routing primitive).
 template <typename QueueDepthFn>
-std::uint32_t least_loaded(const std::vector<std::uint32_t>& candidates,
-                           QueueDepthFn&& queue_bytes, Rng& rng) {
+std::uint32_t least_loaded(RouteView candidates, QueueDepthFn&& queue_bytes, Rng& rng) {
   std::uint32_t best = candidates[0];
   std::uint64_t best_depth = queue_bytes(best);
   int ties = 1;
@@ -204,8 +304,7 @@ std::uint32_t least_loaded(const std::vector<std::uint32_t>& candidates,
 /// PacketHot record — only flow/path_id and the ecmp_key fields are read,
 /// all of which live in the hot record).
 template <typename P, typename QueueDepthFn>
-std::uint32_t select_port(LbPolicy policy, const P& pkt,
-                          const std::vector<std::uint32_t>& candidates,
+std::uint32_t select_port(LbPolicy policy, const P& pkt, RouteView candidates,
                           QueueDepthFn&& queue_bytes, Rng& rng, Time now = 0,
                           FlowletTable* flowlets = nullptr) {
   if (candidates.size() == 1) return candidates[0];

@@ -14,6 +14,7 @@ Switch::Switch(Simulator& sim, Logger& log, NodeId id, std::string name, SwitchC
       rng_(seed),
       fault_rng_(Rng::substream(seed, /*tag=*/0xfa017u)),
       flowlets_(cfg.flowlet_gap),
+      rcache_(cfg.route_cache_slots),
       buffer_(cfg.buffer_bytes, 0, cfg.pfc) {
   // Spray/adaptive/flowlet port selection draws from rng_, which would
   // interleave with (and shift) a prefetched batch; hash-based policies
@@ -44,17 +45,17 @@ void Switch::set_link_up(std::uint32_t port, bool up) {
 }
 
 bool Switch::route_slow(const PacketHot& pkt, std::uint32_t& eport) {
-  const std::vector<std::uint32_t>* candidates = &routes_.candidates(pkt.dst);
+  RouteView candidates = routes_.candidates(pkt.dst);
   if (any_port_down_) {
     // Failure detection has withdrawn the dead links from the candidate
     // set (as a routing protocol would).
     alive_scratch_.clear();
-    for (std::uint32_t c : *candidates) {
+    for (std::uint32_t c : candidates) {
       if (port_up_[c]) alive_scratch_.push_back(c);
     }
-    candidates = &alive_scratch_;
+    candidates = alive_scratch_;
   }
-  if (candidates->empty()) {
+  if (candidates.empty()) {
     if (CheckObserver* ob = sim_.check_observer()) {
       ob->on_drop(DropSite::kSwitchNoRoute, id(), pkt);
     }
@@ -62,7 +63,7 @@ bool Switch::route_slow(const PacketHot& pkt, std::uint32_t& eport) {
     return false;
   }
   eport = select_port(
-      cfg_.lb, pkt, *candidates,
+      cfg_.lb, pkt, candidates,
       [this](std::uint32_t p) {
         return ports_[p]->queued_bytes(static_cast<int>(QueueClass::kData));
       },

@@ -63,6 +63,12 @@ struct SwitchConfig {
   // Per-switch ECMP decision cache (see RouteCache).  Output-invisible;
   // off only for A/B checks like tests/test_route_cache.cpp.
   bool route_cache = true;
+  // Cache size in slots (rounded up to a power of two).  The historical
+  // 512 default suits small Clos fabrics; topology builders scale it with
+  // the expected concurrent (flow, hop) population — see
+  // FatTreeParams::route_cache_slots.  Sizing is output-invisible: a hit
+  // returns exactly what the full lookup computes.
+  std::uint32_t route_cache_slots = RouteCache::kDefaultSlots;
 };
 
 class Switch final : public Node {

@@ -10,23 +10,43 @@ FatTreeTopology build_fattree(Network& net, FatTreeParams p) {
   FatTreeTopology topo;
   topo.params = p;
   const int half = p.k / 2;
+  const int shards = net.shard_count();
 
-  // Core switches.
+  // Route cache sized for the concurrent (flow, hop) population: 4 slots
+  // per host absorbs both directions of a couple of active flows per host
+  // without evictions.  Clamped so small trees keep the historical default
+  // and giant ones stay a few hundred KB per switch.
+  SwitchConfig swcfg = p.sw;
+  if (p.route_cache_slots != 0) {
+    swcfg.route_cache_slots = p.route_cache_slots;
+  } else {
+    const std::uint64_t want = static_cast<std::uint64_t>(p.hosts()) * 4;
+    swcfg.route_cache_slots = static_cast<std::uint32_t>(
+        std::clamp<std::uint64_t>(want, RouteCache::kDefaultSlots, 8192));
+  }
+
+  // Core switches, spread round-robin across shards: every agg<->core link
+  // is then the (only) shard cut, so the conservative lookahead equals one
+  // link propagation.
   for (int c = 0; c < p.cores(); ++c) {
-    topo.core.push_back(net.add_switch("core" + std::to_string(c), p.sw));
+    net.set_build_shard(shards > 0 ? c % shards : 0);
+    topo.core.push_back(net.add_switch("core" + std::to_string(c), swcfg));
   }
 
   topo.edge.resize(static_cast<std::size_t>(p.pods()));
   topo.agg.resize(static_cast<std::size_t>(p.pods()));
 
-  // Pods: edge + aggregation switches, hosts under edges.
+  // Pods: edge + aggregation switches, hosts under edges.  A pod is placed
+  // whole on one shard (pod*shards/pods), so edge<->agg and host<->edge
+  // links never cross shards.
   for (int pod = 0; pod < p.pods(); ++pod) {
+    net.set_build_shard(pod * shards / p.pods());
     for (int i = 0; i < half; ++i) {
       topo.agg[static_cast<std::size_t>(pod)].push_back(
-          net.add_switch("agg" + std::to_string(pod) + "_" + std::to_string(i), p.sw));
+          net.add_switch("agg" + std::to_string(pod) + "_" + std::to_string(i), swcfg));
     }
     for (int i = 0; i < half; ++i) {
-      Switch* e = net.add_switch("edge" + std::to_string(pod) + "_" + std::to_string(i), p.sw);
+      Switch* e = net.add_switch("edge" + std::to_string(pod) + "_" + std::to_string(i), swcfg);
       topo.edge[static_cast<std::size_t>(pod)].push_back(e);
       for (int h = 0; h < half; ++h) {
         Host* host = net.add_host(
@@ -37,6 +57,7 @@ FatTreeTopology build_fattree(Network& net, FatTreeParams p) {
       }
     }
   }
+  net.set_build_shard(0);
 
   // Edge <-> agg full mesh within each pod.
   // edge_up[pod][e][a] = port on edge e toward agg a, and vice versa.
@@ -79,45 +100,38 @@ FatTreeTopology build_fattree(Network& net, FatTreeParams p) {
     }
   }
 
-  // Routes.
+  // Routes, per switch instead of per (host, switch) — the builder used to
+  // replicate the uplink list into a dense table for every one of the
+  // hosts() destinations on every edge/agg switch, an O(hosts x switches)
+  // memory and time blow-up at k>=16.  Up-routes are position-independent,
+  // so they become each switch's default group (same candidate order as the
+  // old per-destination lists: aggs in index order on edges, cores in index
+  // order on aggs — ECMP picks are bit-identical).  Only down-routes, which
+  // do depend on the destination, get per-host entries.
   const int hosts_per_pod = half * half;
-  for (int hi = 0; hi < p.hosts(); ++hi) {
-    const NodeId hid = topo.hosts[static_cast<std::size_t>(hi)]->id();
-    const int hpod = topo.pod_of(hi);
-    const int hedge = topo.edge_of(hi);
-
-    // Edge switches: same edge -> direct (installed by attach); other edges
-    // go up to any agg in the pod.
-    for (int pod = 0; pod < p.pods(); ++pod) {
-      for (int e = 0; e < half; ++e) {
-        if (pod == hpod && e == hedge) continue;
-        for (int a = 0; a < half; ++a) {
-          topo.edge[static_cast<std::size_t>(pod)][e]->routes().add_route(
-              hid, edge_up[static_cast<std::size_t>(pod)][static_cast<std::size_t>(e)]
-                          [static_cast<std::size_t>(a)]);
-        }
+  for (int pod = 0; pod < p.pods(); ++pod) {
+    for (int e = 0; e < half; ++e) {
+      topo.edge[static_cast<std::size_t>(pod)][e]->routes().set_default_routes(
+          edge_up[static_cast<std::size_t>(pod)][static_cast<std::size_t>(e)]);
+    }
+    for (int a = 0; a < half; ++a) {
+      Switch* sw = topo.agg[static_cast<std::size_t>(pod)][a];
+      sw->routes().set_default_routes(agg_up[static_cast<std::size_t>(pod * half + a)]);
+      for (int hp = 0; hp < hosts_per_pod; ++hp) {
+        const int hi = pod * hosts_per_pod + hp;
+        sw->routes().add_route(
+            topo.hosts[static_cast<std::size_t>(hi)]->id(),
+            agg_down[static_cast<std::size_t>(pod)][static_cast<std::size_t>(a)]
+                    [static_cast<std::size_t>(topo.edge_of(hi))]);
       }
     }
-    // Aggregation switches: same pod -> down to the host's edge; other pods
-    // -> up to any of this agg's cores.
-    for (int pod = 0; pod < p.pods(); ++pod) {
-      for (int a = 0; a < half; ++a) {
-        Switch* sw = topo.agg[static_cast<std::size_t>(pod)][a];
-        if (pod == hpod) {
-          sw->routes().add_route(
-              hid, agg_down[static_cast<std::size_t>(pod)][static_cast<std::size_t>(a)]
-                           [static_cast<std::size_t>(hedge)]);
-        } else {
-          for (std::uint32_t port : agg_up[static_cast<std::size_t>(pod * half + a)]) {
-            sw->routes().add_route(hid, port);
-          }
-        }
-      }
-    }
-    // Core switches: down to the host's pod.
-    for (int c = 0; c < p.cores(); ++c) {
-      topo.core[static_cast<std::size_t>(c)]->routes().add_route(
-          hid, core_down[static_cast<std::size_t>(c)][static_cast<std::size_t>(hpod)]);
+  }
+  for (int c = 0; c < p.cores(); ++c) {
+    Switch* sw = topo.core[static_cast<std::size_t>(c)];
+    for (int hi = 0; hi < p.hosts(); ++hi) {
+      sw->routes().add_route(
+          topo.hosts[static_cast<std::size_t>(hi)]->id(),
+          core_down[static_cast<std::size_t>(c)][static_cast<std::size_t>(topo.pod_of(hi))]);
     }
   }
 

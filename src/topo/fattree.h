@@ -15,6 +15,10 @@ struct FatTreeParams {
   Bandwidth link = Bandwidth::gbps(100);
   Time link_delay = microseconds(1);
   SwitchConfig sw;
+  // Per-switch ECMP route-cache slots; 0 sizes it from the topology
+  // (4 x hosts, clamped to [512, 8192]) so 10k-flow runs at k=16-32 do not
+  // thrash the historical 512-slot direct-mapped cache.  Output-invisible.
+  std::uint32_t route_cache_slots = 0;
 
   int pods() const { return k; }
   int hosts() const { return k * k * k / 4; }
@@ -40,6 +44,15 @@ struct FatTreeTopology {
 
 /// Builds the fat-tree inside `net`, installs routes (up: any valid
 /// uplink; down: deterministic) and path_info.
+///
+/// Shard-aware: when `net` is driven by a ShardGroup, pods are assigned
+/// whole to shards (pod p -> shard p*shards/pods) and core switches are
+/// spread round-robin, so every cross-shard link is an aggregation<->core
+/// hop and the conservative lookahead is that link's propagation delay.
+/// Up-routes are installed as per-switch default groups (one shared ECMP
+/// list instead of hosts() copies), keeping the k=32 route state in
+/// megabytes; candidate order matches the per-destination install order
+/// exactly, so picks — and digests — are unchanged.
 FatTreeTopology build_fattree(Network& net, FatTreeParams params);
 
 }  // namespace dcp

@@ -217,7 +217,7 @@ void Network::finalize_shards() {
     }
     ch.enable_shard_mode(&shards_->sim(dst_shard));
     shards_->add_cross_drain(src_shard,
-                             [&ch](const SeqRemap& remap) { ch.drain_cross(remap); });
+                             [&ch](const SeqRemap& remap) { return ch.drain_cross(remap); });
     if (ch.propagation() < min_cut) min_cut = ch.propagation();
   };
   for (auto& h : hosts_) wire(h->nic().channel(), shard_of(h->id()));
@@ -246,20 +246,47 @@ void Network::finalize_flow_at(const PendingFinalize& p) {
   for (auto& fn : tx_listeners_) fn(record(p.id));
 }
 
-void Network::commit_window_effects() {
+void Network::commit_window_effects(Time frontier) {
   // Gather the per-shard pending lists and apply them in committed
   // (t, seq) order — the order the serial run would have fired them in.
+  // Listener order matters because listeners mutate ordered state
+  // (flow-id assignment in collectives, completion counters).
+  //
+  // Window bounds are uniform, so every effect recorded this window is
+  // timestamped at or below the frontier and applies right here.  The
+  // frontier filter still guards the general case: an effect above it —
+  // possible only if a caller commits below some shard's bound — stays in
+  // its per-shard list (its seq was committed at this barrier, and
+  // SeqRemap passes committed values through untouched at the next one)
+  // until the frontier catches up.
   std::vector<PendingFinalize> fins;
   std::vector<PendingRx> rxs;
+  bool any_pending = false;
   for (auto& v : pending_fin_) {
-    fins.insert(fins.end(), v.begin(), v.end());
-    v.clear();
+    any_pending = any_pending || !v.empty();
+    std::size_t keep = 0;
+    for (auto& p : v) {
+      if (p.t <= frontier) {
+        fins.push_back(std::move(p));
+      } else {
+        v[keep++] = std::move(p);
+      }
+    }
+    v.resize(keep);
   }
   for (auto& v : pending_rx_) {
-    rxs.insert(rxs.end(), v.begin(), v.end());
-    v.clear();
+    any_pending = any_pending || !v.empty();
+    std::size_t keep = 0;
+    for (auto& p : v) {
+      if (p.t <= frontier) {
+        rxs.push_back(p);
+      } else {
+        v[keep++] = p;
+      }
+    }
+    v.resize(keep);
   }
-  if (fins.empty() && rxs.empty()) return;
+  if (!any_pending) return;
   auto before = [](Time at, std::uint64_t as, Time bt, std::uint64_t bs) {
     return at != bt ? at < bt : as < bs;
   };
@@ -283,9 +310,10 @@ void Network::commit_window_effects() {
       ++fi;
     }
   }
-  // Any finalize key still to come lies in a strictly later window, so
-  // only each flow's latest journal entry can ever be looked up again.
-  for (auto& h : hosts_) h->prune_stat_journal();
+  // Any finalize key still to come lies strictly beyond the frontier, so
+  // per flow only the latest journal entry at or below it — plus every
+  // entry beyond it — can ever be looked up again.
+  for (auto& h : hosts_) h->prune_stat_journal(frontier);
 }
 
 void Network::run_until_done_sharded(Time max_time) {
@@ -293,7 +321,6 @@ void Network::run_until_done_sharded(Time max_time) {
   // Absolute slice grid, for the same resume-alignment reason as the
   // serial loop above.
   const Time slice = std::max<Time>(microseconds(100), max_time / 10000);
-  const Time look = shards_->lookahead();
   while (sim_.now() < max_time) {
     if (sim_.now() % slice == 0 && all_flows_done()) break;
     const Time boundary = std::min(max_time, (sim_.now() / slice + 1) * slice);
@@ -305,9 +332,11 @@ void Network::run_until_done_sharded(Time max_time) {
         break;
       }
       if (tn > boundary) break;
-      shards_->run_window(std::min(boundary, tn + look - 1));
-      commit_window_effects();
+      commit_window_effects(shards_->run_window_adaptive(boundary));
     }
+    // Every shard has executed everything at or below the boundary (window
+    // bounds are capped there), so any still-deferred effect is now final.
+    commit_window_effects(drained ? kTimeInfinity : boundary);
     if (drained) {
       // Serial semantics: an idle break leaves the clock at the last
       // executed event; across shards that is the latest shard clock.
@@ -370,7 +399,6 @@ Time Network::run_to_paused(Time t, Time max_time) {
 Time Network::run_to_paused_sharded(Time t, Time max_time) {
   finalize_shards();
   const Time slice = std::max<Time>(microseconds(100), max_time / 10000);
-  const Time look = shards_->lookahead();
   while (sim_.now() < max_time) {
     if (sim_.now() % slice == 0 && all_flows_done()) break;
     const Time boundary = std::min(max_time, (sim_.now() / slice + 1) * slice);
@@ -378,9 +406,9 @@ Time Network::run_to_paused_sharded(Time t, Time max_time) {
       for (;;) {
         const Time tn = shards_->next_time();
         if (tn == kTimeInfinity || tn >= t) break;
-        shards_->run_window(std::min<Time>(t - 1, tn + look - 1));
-        commit_window_effects();
+        commit_window_effects(shards_->run_window_adaptive(t - 1));
       }
+      commit_window_effects(t - 1);
       return t;
     }
     bool drained = false;
@@ -391,9 +419,9 @@ Time Network::run_to_paused_sharded(Time t, Time max_time) {
         break;
       }
       if (tn > boundary) break;
-      shards_->run_window(std::min(boundary, tn + look - 1));
-      commit_window_effects();
+      commit_window_effects(shards_->run_window_adaptive(boundary));
     }
+    commit_window_effects(drained ? kTimeInfinity : boundary);
     if (drained) {
       sim_.sync_now(shards_->max_now());
       break;
@@ -405,13 +433,12 @@ Time Network::run_to_paused_sharded(Time t, Time max_time) {
 
 void Network::run_to_sharded(Time t) {
   finalize_shards();
-  const Time look = shards_->lookahead();
   for (;;) {
     const Time tn = shards_->next_time();
     if (tn == kTimeInfinity || tn >= t) break;
-    shards_->run_window(std::min<Time>(t - 1, tn + look - 1));
-    commit_window_effects();
+    commit_window_effects(shards_->run_window_adaptive(t - 1));
   }
+  commit_window_effects(t - 1);
 }
 
 void Network::prepare_shard_run() {

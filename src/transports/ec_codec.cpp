@@ -3,6 +3,11 @@
 #include <cassert>
 #include <cstring>
 
+#if defined(__x86_64__) || defined(__i386__)
+#define DCP_EC_X86 1
+#include <immintrin.h>
+#endif
+
 namespace dcp {
 namespace {
 
@@ -31,24 +36,185 @@ const GfTables& tables() {
   return t;
 }
 
-// parity += coef * data over a whole buffer.  The scalar loop is enough for
-// the micro-benchmark's purposes; the per-call table hoist keeps it out of
-// the inner loop.
-void gf_mul_acc(std::uint8_t* dst, const std::uint8_t* src, std::size_t n, std::uint8_t coef) {
-  if (coef == 0) return;
+// 16-entry nibble product tables for one coefficient: lo[v] = c*v and
+// hi[v] = c*(v<<4), so c*s = lo[s & 0xf] ^ hi[s >> 4] by linearity of the
+// field over GF(2).  This is both the PSHUFB operand layout and the exact
+// arithmetic the vector tails reuse, so every kernel level produces the
+// same bytes.
+struct NibbleTables {
+  alignas(16) std::uint8_t lo[16];
+  alignas(16) std::uint8_t hi[16];
+};
+
+NibbleTables nibble_tables(std::uint8_t coef) {
   const GfTables& t = tables();
-  if (coef == 1) {
-    for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
-    return;
-  }
+  NibbleTables nt;
+  nt.lo[0] = 0;
+  nt.hi[0] = 0;
   const unsigned lc = t.log[coef];
+  for (unsigned v = 1; v < 16; ++v) {
+    nt.lo[v] = t.exp[lc + t.log[v]];
+    nt.hi[v] = t.exp[lc + t.log[v << 4]];
+  }
+  return nt;
+}
+
+void mul_acc_scalar(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                    const NibbleTables& nt) {
   for (std::size_t i = 0; i < n; ++i) {
     const std::uint8_t s = src[i];
-    if (s != 0) dst[i] ^= t.exp[lc + t.log[s]];
+    dst[i] ^= nt.lo[s & 0x0f] ^ nt.hi[s >> 4];
   }
 }
 
+void mul_scalar(std::uint8_t* dst, std::size_t n, const NibbleTables& nt) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t s = dst[i];
+    dst[i] = static_cast<std::uint8_t>(nt.lo[s & 0x0f] ^ nt.hi[s >> 4]);
+  }
+}
+
+#ifdef DCP_EC_X86
+
+__attribute__((target("ssse3"))) void mul_acc_ssse3(std::uint8_t* dst, const std::uint8_t* src,
+                                                    std::size_t n, const NibbleTables& nt) {
+  const __m128i tlo = _mm_load_si128(reinterpret_cast<const __m128i*>(nt.lo));
+  const __m128i thi = _mm_load_si128(reinterpret_cast<const __m128i*>(nt.hi));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i l = _mm_shuffle_epi8(tlo, _mm_and_si128(s, mask));
+    const __m128i h = _mm_shuffle_epi8(thi, _mm_and_si128(_mm_srli_epi64(s, 4), mask));
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<__m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, _mm_xor_si128(l, h)));
+  }
+  mul_acc_scalar(dst + i, src + i, n - i, nt);
+}
+
+__attribute__((target("ssse3"))) void mul_ssse3(std::uint8_t* dst, std::size_t n,
+                                                const NibbleTables& nt) {
+  const __m128i tlo = _mm_load_si128(reinterpret_cast<const __m128i*>(nt.lo));
+  const __m128i thi = _mm_load_si128(reinterpret_cast<const __m128i*>(nt.hi));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i l = _mm_shuffle_epi8(tlo, _mm_and_si128(s, mask));
+    const __m128i h = _mm_shuffle_epi8(thi, _mm_and_si128(_mm_srli_epi64(s, 4), mask));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_xor_si128(l, h));
+  }
+  mul_scalar(dst + i, n - i, nt);
+}
+
+__attribute__((target("avx2"))) void mul_acc_avx2(std::uint8_t* dst, const std::uint8_t* src,
+                                                  std::size_t n, const NibbleTables& nt) {
+  const __m256i tlo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nt.lo)));
+  const __m256i thi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nt.hi)));
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i s = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i l = _mm256_shuffle_epi8(tlo, _mm256_and_si256(s, mask));
+    const __m256i h = _mm256_shuffle_epi8(thi, _mm256_and_si256(_mm256_srli_epi64(s, 4), mask));
+    const __m256i d = _mm256_loadu_si256(reinterpret_cast<__m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, _mm256_xor_si256(l, h)));
+  }
+  mul_acc_scalar(dst + i, src + i, n - i, nt);
+}
+
+__attribute__((target("avx2"))) void mul_avx2(std::uint8_t* dst, std::size_t n,
+                                              const NibbleTables& nt) {
+  const __m256i tlo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nt.lo)));
+  const __m256i thi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nt.hi)));
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i s = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i l = _mm256_shuffle_epi8(tlo, _mm256_and_si256(s, mask));
+    const __m256i h = _mm256_shuffle_epi8(thi, _mm256_and_si256(_mm256_srli_epi64(s, 4), mask));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), _mm256_xor_si256(l, h));
+  }
+  mul_scalar(dst + i, n - i, nt);
+}
+
+#endif  // DCP_EC_X86
+
+int detect_simd_level() {
+#ifdef DCP_EC_X86
+  if (__builtin_cpu_supports("avx2")) return 2;
+  if (__builtin_cpu_supports("ssse3")) return 1;
+#endif
+  return 0;
+}
+
+int& simd_level_slot() {
+  static int level = detect_simd_level();
+  return level;
+}
+
 }  // namespace
+
+int ec_simd_level() { return simd_level_slot(); }
+
+void set_ec_simd_level(int level) {
+  const int cap = detect_simd_level();
+  if (level > cap) level = cap;
+  if (level < 0) level = 0;
+  simd_level_slot() = level;
+}
+
+void gf_mul_region_acc(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                       std::uint8_t coef) {
+  if (coef == 0 || n == 0) return;
+  if (coef == 1) {
+    // XOR accumulate — the m == 1 parity row and every unit pivot factor.
+    for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+    return;
+  }
+  const NibbleTables nt = nibble_tables(coef);
+#ifdef DCP_EC_X86
+  switch (simd_level_slot()) {
+    case 2:
+      mul_acc_avx2(dst, src, n, nt);
+      return;
+    case 1:
+      mul_acc_ssse3(dst, src, n, nt);
+      return;
+    default:
+      break;
+  }
+#endif
+  mul_acc_scalar(dst, src, n, nt);
+}
+
+void gf_mul_region(std::uint8_t* dst, std::size_t n, std::uint8_t coef) {
+  if (coef == 1 || n == 0) return;
+  if (coef == 0) {
+    std::memset(dst, 0, n);
+    return;
+  }
+  const NibbleTables nt = nibble_tables(coef);
+#ifdef DCP_EC_X86
+  switch (simd_level_slot()) {
+    case 2:
+      mul_avx2(dst, n, nt);
+      return;
+    case 1:
+      mul_ssse3(dst, n, nt);
+      return;
+    default:
+      break;
+  }
+#endif
+  mul_scalar(dst, n, nt);
+}
 
 std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
   if (a == 0 || b == 0) return 0;
@@ -99,7 +265,7 @@ std::vector<std::vector<std::uint8_t>> EcCodec::encode(
     for (unsigned i = 0; i < k_; ++i) {
       // Accumulate each chunk over its own length: a short chunk (the tail
       // group's last one) is implicitly zero-padded, and zeroes add nothing.
-      gf_mul_acc(parity[j].data(), data[i].data(), data[i].size(), coef(j, i));
+      gf_mul_region_acc(parity[j].data(), data[i].data(), data[i].size(), coef(j, i));
     }
   }
   return parity;
@@ -155,8 +321,7 @@ bool EcCodec::decode(std::vector<std::vector<std::uint8_t>>& chunks,
     if (inv != 1) {
       for (unsigned c = 0; c < k_; ++c)
         a[std::size_t{col} * k_ + c] = gf_mul(a[std::size_t{col} * k_ + c], inv);
-      for (std::size_t i = 0; i < len; ++i)
-        work[col][i] = gf_mul(work[col][i], inv);
+      gf_mul_region(work[col].data(), len, inv);
     }
     for (unsigned r = 0; r < k_; ++r) {
       if (r == col) continue;
@@ -164,7 +329,7 @@ bool EcCodec::decode(std::vector<std::vector<std::uint8_t>>& chunks,
       if (f == 0) continue;
       for (unsigned c = 0; c < k_; ++c)
         a[std::size_t{r} * k_ + c] ^= gf_mul(f, a[std::size_t{col} * k_ + c]);
-      gf_mul_acc(work[r].data(), work[col].data(), len, f);
+      gf_mul_region_acc(work[r].data(), work[col].data(), len, f);
     }
   }
 

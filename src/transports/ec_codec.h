@@ -15,6 +15,7 @@
 // unit tests and the codec micro-benchmark, and for any future integration
 // that moves real buffers.
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -25,6 +26,25 @@ namespace dcp {
 std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b);
 std::uint8_t gf_inv(std::uint8_t a);  // a != 0
 std::uint8_t gf_div(std::uint8_t a, std::uint8_t b);  // b != 0
+
+// --- Region kernels ---------------------------------------------------------
+// The encode/decode inner loops: dst ^= coef * src (multiply-accumulate)
+// and dst = coef * dst (in-place scale) over whole buffers.  On x86 the
+// kernels use the classic two-PSHUFB nibble-table scheme (SSSE3, widened
+// to 32 lanes under AVX2), selected once at runtime; every path — scalar
+// included — performs the identical table-exact GF(256) arithmetic, so
+// outputs are bit-identical regardless of the selected level.
+
+void gf_mul_region_acc(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                       std::uint8_t coef);
+void gf_mul_region(std::uint8_t* dst, std::size_t n, std::uint8_t coef);
+
+/// Active kernel level: 0 = scalar, 1 = SSSE3, 2 = AVX2.  Resolved from
+/// CPUID on first use.
+int ec_simd_level();
+/// Forces a level at or below what the hardware supports (tests pin the
+/// scalar path to prove bit-identity against the vector ones).
+void set_ec_simd_level(int level);
 
 class EcCodec {
  public:

@@ -123,7 +123,7 @@ struct CrossFixture {
     g.set_lookahead(microseconds(1));
     ch.connect(&sink, 4);
     ch.enable_shard_mode(&g.sim(1));
-    g.add_cross_drain(0, [this](const SeqRemap& remap) { ch.drain_cross(remap); });
+    g.add_cross_drain(0, [this](const SeqRemap& remap) { return ch.drain_cross(remap); });
   }
 };
 
